@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Every bench writes its reproduced table to ``benchmarks/out/<name>.txt`` so
+the artifacts survive the run (EXPERIMENTS.md references them), and prints
+it (visible with ``pytest -s``).
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xFAB9)
+
+
+@pytest.fixture(scope="session")
+def artifact_dir():
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def save_artifact(artifact_dir):
+    def _save(name: str, text: str) -> None:
+        path = artifact_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n--- {name} ---\n{text}\n[written to {path}]")
+
+    return _save

@@ -1,0 +1,69 @@
+"""Extension: background realism — does the null model survive real genomes?
+
+The paper evaluates on real NCBI sequence, where the background is not
+white noise but *other genes*.  A natural worry: do coding regions (start
+codons, biased codon usage, both strands) systematically inflate FabP's
+degenerate-pattern matching, invalidating thresholds calibrated on the
+uniform-background null model?
+
+Measurement: the same queries and thresholds over (a) uniform random RNA
+and (b) a gene-rich synthetic genome (60 % coding, human codon usage,
+both strands).  Finding — reproducible here and worth recording — the
+spurious-hit densities are statistically indistinguishable and both match
+the analytic model: per-position nucleotide statistics of coding sequence
+are close enough to uniform that FabP's null calibration transfers to
+genomic databases.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import text_table
+from repro.analysis.statistics import null_score_model
+from repro.core.aligner import alignment_scores
+from repro.seq.generate import random_protein, random_rna
+from repro.workloads.genomic import build_genomic_reference
+
+
+def test_background_realism(save_artifact):
+    rng = np.random.default_rng(61)
+    length = 150_000
+    uniform = random_rna(length, rng=rng)
+    genomic = build_genomic_reference(
+        length, coding_fraction=0.6, organism="human", rng=rng
+    )
+    rows = []
+    for trial in range(3):
+        query = random_protein(30, rng=rng)
+        model = null_score_model(query)
+        # Operate where the model expects a countable number of random hits.
+        threshold = model.threshold_for_fpr(150.0, length)
+        uniform_scores = alignment_scores(query, uniform)
+        genomic_scores = alignment_scores(query, genomic.sequence)
+        fp_uniform = int((uniform_scores >= threshold).sum())
+        fp_genomic = int((genomic_scores >= threshold).sum())
+        expected = model.expected_hits(threshold, length)
+        rows.append([trial, threshold, f"{expected:.1f}", fp_uniform, fp_genomic])
+        # Both backgrounds within 4-sigma Poisson bands of the model.
+        sigma = max(1.0, expected**0.5)
+        assert abs(fp_uniform - expected) < 4 * sigma + 2
+        assert abs(fp_genomic - expected) < 4 * sigma + 2
+    table = text_table(
+        ["trial", "threshold", "model E[hits]", "uniform FPs", "genomic FPs"],
+        rows,
+        title="Background realism: uniform vs gene-rich references (150 knt)",
+    )
+    note = (
+        "Finding: gene-rich backgrounds (60% coding, human usage, both\n"
+        "strands) produce the same spurious-hit density as uniform RNA and\n"
+        "both match the analytic null model — FabP threshold calibration\n"
+        "transfers from the uniform model to genomic databases."
+    )
+    save_artifact("background_realism", table + "\n\n" + note)
+
+
+def test_genomic_builder_benchmark(benchmark, rng):
+    genome = benchmark(
+        build_genomic_reference, 30_000, coding_fraction=0.5, rng=rng
+    )
+    assert len(genome.sequence) == 30_000

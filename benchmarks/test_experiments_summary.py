@@ -1,0 +1,93 @@
+"""Final collation: one artifact summarizing every reproduced experiment.
+
+Runs last (alphabetically early module names run their own experiments
+first) — but does not depend on them: it recomputes the headline numbers
+directly so the summary is self-contained, then writes
+``benchmarks/out/SUMMARY.txt`` in the EXPERIMENTS.md layout.
+"""
+
+import pytest
+
+from repro.accel.resources import table1
+from repro.accel.scheduler import max_unsegmented_elements
+from repro.analysis.indels import run_indel_study
+from repro.analysis.report import text_table
+from repro.perf.figures import figure6
+from repro.rtl.popcount import build_popcounter
+
+PAPER = {
+    "speedup_vs_gpu": 1.081,
+    "speedup_vs_cpu12": 24.8,
+    "energy_vs_gpu": 23.2,
+    "energy_vs_cpu12": 266.8,
+}
+
+
+def test_write_summary(save_artifact):
+    fig = figure6()
+    headline = fig.headline()
+    rows = []
+    for key, paper_value in PAPER.items():
+        measured = headline[key]
+        deviation = (measured - paper_value) / paper_value
+        rows.append([key, f"{paper_value}x", f"{measured:.2f}x", f"{deviation:+.1%}"])
+
+    reports = table1()
+    for length in (50, 250):
+        measured = reports[length].row()
+        rows.append(
+            [
+                f"table1 FabP-{length} LUT",
+                {"50": "58%", "250": "98%"}[str(length)],
+                measured["LUT"],
+                "",
+            ]
+        )
+        rows.append(
+            [
+                f"table1 FabP-{length} BW",
+                {"50": "12.2 GB/s", "250": "3.4 GB/s"}[str(length)],
+                measured["DRAM BW"],
+                "",
+            ]
+        )
+
+    crossover = max_unsegmented_elements() // 3
+    rows.append(["sec4b crossover", "~70 aa", f"{crossover} aa", ""])
+
+    fabp_pc = build_popcounter(750, style="fabp").lut_count
+    tree_pc = build_popcounter(750, style="tree").lut_count
+    rows.append(
+        [
+            "sec3d pop-counter saving",
+            "20%",
+            f"{1 - fabp_pc / tree_pc:.0%}",
+            "naive-model dep.",
+        ]
+    )
+
+    indel = run_indel_study(num_queries=10_000, query_residues=150, seed=2021)
+    rows.append(
+        [
+            "sec4a queries w/ indels",
+            "~0.02%",
+            f"{indel.fraction_with_indels:.2%}",
+            "see EXPERIMENTS.md",
+        ]
+    )
+
+    table = text_table(
+        ["experiment", "paper", "measured", "note"],
+        rows,
+        title="FabP reproduction — paper vs measured summary",
+    )
+    save_artifact("SUMMARY", table)
+
+    # The four headline ratios stay within 10 % of the paper.
+    for key, paper_value in PAPER.items():
+        assert headline[key] == pytest.approx(paper_value, rel=0.10)
+
+
+def test_summary_benchmark(benchmark):
+    result = benchmark(figure6)
+    assert result.headline()

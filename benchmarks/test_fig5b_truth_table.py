@@ -1,0 +1,74 @@
+"""Experiment ``fig2-fig5b`` — regenerate Fig. 5(b)'s comparator truth table.
+
+Enumerates the comparison LUT (all populated columns: four Type I
+nucleotides, four Type II conditions, four Type III function/S pairs) and
+checks every readable row of the paper's figure.  Also times exhaustive
+LUT-netlist verification — the kind of check a hardware team would script.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import text_table
+from repro.core import comparator as cmp
+from repro.rtl.comparator import build_element_comparator
+from repro.rtl.simulator import Simulator
+
+#: Readable rows of Fig. 5(b): column label -> {ref: output}.  The figure's
+#: A/C column in the scanned PDF is OCR-damaged; its semantically implied
+#: values (match A or C) are used — see EXPERIMENTS.md.
+PAPER_FIG5B = {
+    "00-A": {"A": 1, "C": 0, "G": 0, "U": 0},
+    "00-C": {"A": 0, "C": 1, "G": 0, "U": 0},
+    "00-G": {"A": 0, "C": 0, "G": 1, "U": 0},
+    "00-U": {"A": 0, "C": 0, "G": 0, "U": 1},
+    "01-C/U": {"A": 0, "C": 1, "G": 0, "U": 1},
+    "01-A/G": {"A": 1, "C": 0, "G": 1, "U": 0},
+    "01-~G": {"A": 1, "C": 1, "G": 0, "U": 1},
+    "01-A/C": {"A": 1, "C": 1, "G": 0, "U": 0},
+    "1-00-0": {"A": 1, "C": 0, "G": 1, "U": 0},  # Stop, prev=A
+    "1-00-1": {"A": 1, "C": 0, "G": 0, "U": 0},  # Stop, prev=G
+    "1-01-0": {"A": 1, "C": 1, "G": 1, "U": 1},  # Leu, first=C
+    "1-01-1": {"A": 1, "C": 0, "G": 1, "U": 0},  # Leu, first=U
+    "1-10-0": {"A": 1, "C": 0, "G": 1, "U": 0},  # Arg, first=A
+    "1-10-1": {"A": 1, "C": 1, "G": 1, "U": 1},  # Arg, first=C
+    "1-11-0": {"A": 1, "C": 1, "G": 1, "U": 1},  # D
+    "1-11-1": {"A": 1, "C": 1, "G": 1, "U": 1},  # D
+}
+
+
+def test_fig5b_truth_table_reproduction(save_artifact):
+    generated = {}
+    for label, ref, out in cmp.truth_table_rows():
+        generated.setdefault(label, {})[ref] = out
+    rows = [
+        [label] + [generated[label][r] for r in "ACGU"] for label in sorted(generated)
+    ]
+    table = text_table(
+        ["column", "A", "C", "G", "U"],
+        rows,
+        title="Fig. 5(b): comparator truth table (regenerated)",
+    )
+    save_artifact("fig5b_truth_table", table)
+    for label, expected in PAPER_FIG5B.items():
+        assert generated[label] == expected, label
+
+
+def test_fig5b_exhaustive_netlist_verification_benchmark(benchmark):
+    """Time the exhaustive (4096-vector) LUT-netlist verification."""
+    netlist = build_element_comparator()
+
+    def verify():
+        batch = 4096
+        sim = Simulator(netlist, batch=batch)
+        index = np.arange(batch)
+        inputs = {}
+        inputs.update(sim.set_input_bus("q", index % 64))
+        inputs.update(sim.set_input_bus("ref", (index // 64) % 4))
+        inputs.update(sim.set_input_bus("prev1", (index // 256) % 4))
+        inputs.update(sim.set_input_bus("prev2", (index // 1024) % 4))
+        sim.settle(inputs)
+        return sim.output_bus("match")
+
+    got = benchmark(verify)
+    assert got.size == 4096

@@ -1,0 +1,55 @@
+"""Experiment ``fig6a`` — Fig. 6(a): normalized performance vs query length.
+
+Regenerates the paper's performance panel: for query lengths 50..250 aa and
+platforms {TBLASTN-1, TBLASTN-12, GPU, FabP}, speedup normalized to
+single-threaded TBLASTN on the 1-GB reference workload.  Paper headline:
+FabP is on average 8.1 % faster than the GPU and 24.8x faster than
+12-thread TBLASTN.
+"""
+
+import pytest
+
+from repro.analysis.report import ratio_summary, text_table
+from repro.perf.figures import PLATFORM_ORDER, figure6
+
+PAPER_SPEEDUP_VS_GPU = 1.081
+PAPER_SPEEDUP_VS_CPU12 = 24.8
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return figure6()
+
+
+def test_fig6a_reproduction(fig6, save_artifact):
+    rows = []
+    for length in fig6.lengths:
+        row = [length]
+        for platform in PLATFORM_ORDER:
+            index = list(fig6.lengths).index(length)
+            row.append(f"{fig6.series(platform)[index]:.2f}")
+        rows.append(row)
+    headline = fig6.headline()
+    table = text_table(
+        ["len(aa)"] + list(PLATFORM_ORDER),
+        rows,
+        title="Fig. 6(a): speedup normalized to TBLASTN-1",
+    )
+    summary = "\n".join(
+        [
+            ratio_summary("FabP vs GPU", PAPER_SPEEDUP_VS_GPU, headline["speedup_vs_gpu"]),
+            ratio_summary(
+                "FabP vs TBLASTN-12", PAPER_SPEEDUP_VS_CPU12, headline["speedup_vs_cpu12"]
+            ),
+        ]
+    )
+    save_artifact("fig6a_performance", table + "\n\n" + summary)
+    # Shape assertions: who wins, by roughly what factor.
+    assert 1.0 <= headline["speedup_vs_gpu"] <= 1.25
+    assert 18 <= headline["speedup_vs_cpu12"] <= 32
+
+
+def test_fig6a_sweep_benchmark(benchmark):
+    """Time the full Fig. 6 model sweep (closed-form, no simulation)."""
+    result = benchmark(figure6)
+    assert len(result.points) == 20

@@ -1,0 +1,63 @@
+"""Experiment ``fig6b`` — Fig. 6(b): normalized energy efficiency.
+
+Regenerates the energy panel of Fig. 6 (efficiency normalized to
+single-threaded TBLASTN).  Paper headline: FabP is 23.2x more energy
+efficient than the GPU and 266.8x more than 12-thread TBLASTN.
+"""
+
+import pytest
+
+from repro.analysis.report import ratio_summary, text_table
+from repro.perf.energy import cpu_run, fabp_run, gpu_run
+from repro.perf.figures import PLATFORM_ORDER, figure6
+from repro.perf.workload import Workload
+
+PAPER_ENERGY_VS_GPU = 23.2
+PAPER_ENERGY_VS_CPU12 = 266.8
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return figure6()
+
+
+def test_fig6b_reproduction(fig6, save_artifact):
+    rows = []
+    for index, length in enumerate(fig6.lengths):
+        row = [length]
+        for platform in PLATFORM_ORDER:
+            row.append(f"{fig6.series(platform, 'energy')[index]:.2f}")
+        rows.append(row)
+    headline = fig6.headline()
+    table = text_table(
+        ["len(aa)"] + list(PLATFORM_ORDER),
+        rows,
+        title="Fig. 6(b): energy efficiency normalized to TBLASTN-1",
+    )
+    summary = "\n".join(
+        [
+            ratio_summary("FabP vs GPU", PAPER_ENERGY_VS_GPU, headline["energy_vs_gpu"]),
+            ratio_summary(
+                "FabP vs TBLASTN-12", PAPER_ENERGY_VS_CPU12, headline["energy_vs_cpu12"]
+            ),
+        ]
+    )
+    save_artifact("fig6b_energy", table + "\n\n" + summary)
+    assert 18 <= headline["energy_vs_gpu"] <= 30
+    assert 200 <= headline["energy_vs_cpu12"] <= 330
+
+
+def test_fig6b_joules_benchmark(benchmark):
+    """Time a single workload's four-platform energy evaluation."""
+
+    def evaluate():
+        workload = Workload(150)
+        return [
+            fabp_run(workload).joules,
+            gpu_run(workload).joules,
+            cpu_run(workload, threads=1).joules,
+            cpu_run(workload, threads=12).joules,
+        ]
+
+    joules = benchmark(evaluate)
+    assert joules[0] < min(joules[1:])  # FabP uses the least energy

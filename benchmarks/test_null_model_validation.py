@@ -1,0 +1,76 @@
+"""Validation bench: the analytic statistics against end-to-end searches.
+
+Closes the loop between the library's two statistics layers and the actual
+aligner: run real searches of random queries against random references and
+check that (1) the measured random-hit counts match the exact null model's
+expectation, and (2) measured recall on diverged homologs matches the
+analytic detection model.  If these hold, the threshold advice the CLI
+gives (`repro stats`) is trustworthy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import text_table
+from repro.analysis.sensitivity import detection_model
+from repro.analysis.statistics import null_score_model
+from repro.core.aligner import align, alignment_scores
+from repro.seq import alphabet
+from repro.seq.generate import random_protein, random_rna
+from repro.seq.mutate import substitute
+from repro.workloads.builder import encode_protein_as_rna
+
+
+def test_null_model_predicts_random_hits(save_artifact):
+    rng = np.random.default_rng(41)
+    rows = []
+    for trial in range(4):
+        query = random_protein(20, rng=rng)
+        model = null_score_model(query)
+        reference = random_rna(400_000, rng=rng)
+        threshold = model.threshold_for_fpr(20.0, len(reference.letters))
+        result = align(query, reference, threshold=threshold)
+        expected = model.expected_hits(threshold, len(reference.letters))
+        rows.append([trial, threshold, f"{expected:.1f}", len(result.hits)])
+        # Poisson-ish tolerance: within 4 sigma of the expectation.
+        sigma = max(1.0, expected**0.5)
+        assert abs(len(result.hits) - expected) < 4 * sigma + 2
+    table = text_table(
+        ["trial", "threshold", "expected random hits", "measured"],
+        rows,
+        title="Null-model validation: expected vs measured random hits (400 knt)",
+    )
+    save_artifact("null_model_validation", table)
+
+
+def test_detection_model_predicts_recall(save_artifact):
+    rng = np.random.default_rng(43)
+    query = random_protein(30, rng=rng)
+    elements = 90
+    rows = []
+    for rate in (0.02, 0.06, 0.10):
+        model = detection_model(query, rate)
+        threshold = int(0.82 * elements)
+        predicted = model.detection_probability(threshold)
+        trials = 300
+        detected = 0
+        for _ in range(trials):
+            region = encode_protein_as_rna(query, rng=rng, codon_usage="paper").letters
+            mutated = substitute(region, rate, alphabet.RNA_NUCLEOTIDES, rng=rng)
+            if alignment_scores(query, mutated.letters)[0] >= threshold:
+                detected += 1
+        measured = detected / trials
+        rows.append([f"{rate:.2f}", f"{predicted:.3f}", f"{measured:.3f}"])
+        assert measured == pytest.approx(predicted, abs=0.08)
+    table = text_table(
+        ["sub rate", "predicted recall", "measured recall"],
+        rows,
+        title="Detection-model validation (threshold = 82% identity)",
+    )
+    save_artifact("detection_model_validation", table)
+
+
+def test_null_model_benchmark(benchmark, rng):
+    query = random_protein(100, rng=rng)
+    model = benchmark(null_score_model, query)
+    assert model.pmf.size == 301

@@ -1,0 +1,65 @@
+"""Experiment ``sec3d-pc`` — §III-D's pop-counter area claim.
+
+"FabP LUT-level optimized Pop-Counter shows 20% area reduction as compared
+to the simple HDL description of a tree-adder-style Pop-Counter."
+
+Both pop-counters are elaborated as real netlists and their physical LUTs
+counted.  Two naive variants bracket what a synthesizer would emit from the
+simple HDL: plain single-output LUTs (pessimistic) and fractured LUT6_2
+full adders (optimistic).  The paper's direction (hand-crafted smaller)
+reproduces robustly; our measured margin is larger than 20 % because the
+Python naive model cannot capture every synthesizer optimization
+(EXPERIMENTS.md discusses the delta).
+"""
+
+import pytest
+
+from repro.analysis.report import text_table
+from repro.rtl.netlist import Netlist
+from repro.rtl.popcount import add_ripple_adder, add_tree_adder_popcount, build_popcounter
+
+PAPER_REDUCTION = 0.20
+
+
+def _tree_fractured_luts(width: int) -> int:
+    netlist = Netlist()
+    bits = netlist.add_input_bus("bits", width)
+    add_tree_adder_popcount(netlist, bits, fractured=True)
+    return netlist.lut_count
+
+
+def test_sec3d_ablation_reproduction(save_artifact):
+    rows = []
+    reductions = []
+    for residues in (50, 100, 150, 200, 250):
+        width = 3 * residues
+        fabp = build_popcounter(width, style="fabp", pipelined=False)
+        tree_plain = build_popcounter(width, style="tree", pipelined=False)
+        tree_fractured = _tree_fractured_luts(width)
+        reduction_plain = 1 - fabp.lut_count / tree_plain.lut_count
+        reduction_fractured = 1 - fabp.lut_count / tree_fractured
+        reductions.append((reduction_plain, reduction_fractured))
+        rows.append(
+            [
+                width,
+                fabp.lut_count,
+                tree_plain.lut_count,
+                tree_fractured,
+                f"{reduction_plain:.0%}",
+                f"{reduction_fractured:.0%}",
+            ]
+        )
+    table = text_table(
+        ["bits", "FabP LUTs", "tree(plain)", "tree(LUT6_2)", "red. plain", "red. frac"],
+        rows,
+        title="SEC III-D pop-counter ablation (paper claims 20% reduction)",
+    )
+    save_artifact("sec3d_popcounter_ablation", table)
+    for reduction_plain, reduction_fractured in reductions:
+        assert reduction_plain >= PAPER_REDUCTION
+        assert reduction_fractured >= PAPER_REDUCTION
+
+
+def test_sec3d_build_benchmark(benchmark):
+    block = benchmark(build_popcounter, 750, style="fabp", pipelined=True)
+    assert block.score_bits == 10

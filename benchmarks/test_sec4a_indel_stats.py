@@ -1,0 +1,58 @@
+"""Experiment ``sec4a-indel`` — §IV-A's 10,000-query indel statistic.
+
+The paper reports that among 10,000 queries only ~0.02 % "involved indels",
+citing an empirical distribution (mean 0.09 indels/kb, sd 0.36/kb, median
+0).  We reproduce the Monte-Carlo experiment with that exact distribution
+and report both the raw fraction of query regions containing an indel and
+the stricter fraction whose *alignment outcome* an indel actually changes.
+
+Note (EXPERIMENTS.md discusses this): the cited distribution mathematically
+implies a few percent of 150-residue regions contain an indel, so 0.02 %
+can only refer to the stricter outcome-changed statistic; our model brackets
+the paper's number between the two.
+"""
+
+import pytest
+
+from repro.analysis.indels import run_indel_study
+from repro.analysis.report import text_table
+
+PAPER_FRACTION = 0.0002  # "~0.02%"
+
+
+def test_sec4a_indel_reproduction(save_artifact):
+    rows = []
+    results = {}
+    for residues in (50, 150, 250):
+        result = run_indel_study(
+            num_queries=10_000, query_residues=residues, seed=2021
+        )
+        results[residues] = result
+        rows.append(
+            [
+                residues,
+                f"{result.fraction_with_indels:.2%}",
+                f"{result.fraction_alignment_affected:.3%}",
+                f"{result.mean_events_per_kb:.3f}",
+            ]
+        )
+    table = text_table(
+        ["query(aa)", "regions w/ indel", "alignment affected", "events/kb"],
+        rows,
+        title=(
+            "SEC IV-A indel study (10,000 queries each; paper reports ~0.02% "
+            "'involved indels')"
+        ),
+    )
+    save_artifact("sec4a_indel_stats", table)
+    # Shape: indels are rare; the outcome-affected fraction is rarer still
+    # and the mean rate matches the cited 0.09/kb.
+    for result in results.values():
+        assert result.fraction_with_indels < 0.08
+        assert result.fraction_alignment_affected <= result.fraction_with_indels
+    assert results[150].mean_events_per_kb == pytest.approx(0.09, abs=0.04)
+
+
+def test_sec4a_indel_benchmark(benchmark):
+    result = benchmark(run_indel_study, num_queries=2000, query_residues=150, seed=1)
+    assert result.num_queries == 2000

@@ -1,0 +1,79 @@
+"""Experiment ``sec4b-xover`` — §IV-B's bandwidth/resource crossover.
+
+"For sequences longer than ~70 [amino acids], the resource utilization is
+the bottleneck of computation; while for shorter sequences the bandwidth is
+the limiting factor."
+
+We sweep query length, record segments (cycles/beat), effective bandwidth
+and LUT utilization from the structural model, and locate the crossover.
+Also reproduces the adjacent claim that "an FPGA with more LUTs can
+outperform the GPU-based implementation" by re-running the sweep on a
+larger device.
+"""
+
+import pytest
+
+from repro.accel.device import KINTEX7, LARGE_FPGA
+from repro.accel.scheduler import max_unsegmented_elements, plan_schedule
+from repro.analysis.report import text_table
+from repro.perf.fpga import estimate
+from repro.perf.gpu import gpu_seconds
+from repro.perf.workload import Workload
+
+PAPER_CROSSOVER_AA = 70
+
+
+def test_sec4b_crossover_reproduction(save_artifact):
+    rows = []
+    for residues in (10, 30, 50, 70, 96, 100, 150, 200, 250):
+        plan = plan_schedule(3 * residues)
+        est = estimate(Workload(residues))
+        rows.append(
+            [
+                residues,
+                plan.segments,
+                "BW" if plan.bandwidth_bound else "LUTs",
+                f"{plan.lut_utilization:.0%}",
+                f"{est.effective_bandwidth / 1e9:.1f} GB/s",
+            ]
+        )
+    crossover = max_unsegmented_elements() // 3
+    table = text_table(
+        ["query(aa)", "cycles/beat", "bottleneck", "LUT util", "eff. BW"],
+        rows,
+        title=(
+            f"SEC IV-B crossover sweep — model crossover at {crossover} aa "
+            f"(paper: ~{PAPER_CROSSOVER_AA} aa)"
+        ),
+    )
+    save_artifact("sec4b_crossover", table)
+    # The crossover exists and sits between the two Table I design points.
+    assert 50 < crossover < 250
+    # Below it: bandwidth-bound; above: resource-bound.
+    assert plan_schedule(3 * 50).bandwidth_bound
+    assert not plan_schedule(3 * 250).bandwidth_bound
+
+
+def test_sec4b_bigger_fpga_beats_gpu(save_artifact):
+    """§IV-B: more LUTs -> fewer iterations -> FabP beats the GPU at 250 aa."""
+    workload = Workload(250)
+    small = estimate(workload, KINTEX7).seconds
+    large = estimate(workload, LARGE_FPGA).seconds
+    gpu = gpu_seconds(workload)
+    table = text_table(
+        ["platform", "seconds"],
+        [
+            ["Kintex-7 FabP", f"{small:.3f}"],
+            ["Large FPGA FabP", f"{large:.3f}"],
+            ["GTX 1080 Ti", f"{gpu:.3f}"],
+        ],
+        title="SEC IV-B: larger FPGA vs GPU at 250 aa",
+    )
+    save_artifact("sec4b_large_fpga", table)
+    assert large < small
+    assert large < gpu
+
+
+def test_sec4b_crossover_benchmark(benchmark):
+    crossover = benchmark(max_unsegmented_elements)
+    assert crossover > 0

@@ -1,0 +1,78 @@
+"""Library throughput benchmarks (pytest-benchmark proper).
+
+Not a paper table — these time the reproduction's own hot paths so
+regressions in the simulation substrate are visible: the vectorized golden
+aligner, the streaming kernel, Smith-Waterman, the TBLASTN pipeline, and
+the LUT-level simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel.kernel import FabPKernel
+from repro.accel.rtl_kernel import RtlKernel
+from repro.baselines.smith_waterman import smith_waterman
+from repro.baselines.tblastn import Tblastn
+from repro.core.aligner import alignment_scores
+from repro.core.encoding import encode_query
+from repro.seq.generate import random_protein, random_rna
+from repro.seq.packing import codes_from_text
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(1)
+    query = random_protein(50, rng=rng)
+    reference = random_rna(100_000, rng=rng)
+    return query, reference
+
+
+def test_golden_aligner_throughput(benchmark, workload):
+    """Vectorized substitution-only scan: 100 knt x 150 elements."""
+    query, reference = workload
+    encoded = encode_query(query)
+    codes = codes_from_text(reference.letters)
+    scores = benchmark(alignment_scores, encoded, codes)
+    assert scores.size == codes.size - len(encoded) + 1
+
+
+def test_streaming_kernel_throughput(benchmark, workload):
+    """Beat-level functional kernel on the same scan."""
+    query, reference = workload
+    kernel = FabPKernel(query, min_identity=0.9)
+    run = benchmark(kernel.run, reference)
+    assert run.beats == -(-100_000 // 256)
+
+
+def test_encode_query_throughput(benchmark):
+    rng = np.random.default_rng(2)
+    query = random_protein(250, rng=rng)
+    encoded = benchmark(encode_query, query)
+    assert len(encoded) == 750
+
+
+def test_smith_waterman_throughput(benchmark):
+    rng = np.random.default_rng(3)
+    a = random_protein(100, rng=rng).letters
+    b = random_protein(400, rng=rng).letters
+    result = benchmark(smith_waterman, a, b)
+    assert result.score >= 0
+
+
+def test_tblastn_pipeline_throughput(benchmark):
+    rng = np.random.default_rng(4)
+    query = random_protein(50, rng=rng)
+    reference = random_rna(20_000, rng=rng)
+    searcher = Tblastn(query)
+    result = benchmark(searcher.search, reference)
+    assert result.word_hits > 0
+
+
+def test_rtl_simulation_throughput(benchmark):
+    """LUT-level array streaming a 200-nt reference (batch=1 cycle sim)."""
+    rng = np.random.default_rng(5)
+    query = random_protein(4, rng=rng)
+    reference = random_rna(200, rng=rng)
+    kernel = RtlKernel(query, instances=2, threshold=9)
+    scores, _ = benchmark(kernel.run, reference)
+    assert scores.size == 200 - 12 + 1

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Accuracy study: what does substitution-only alignment cost? (§IV-A)
+
+Sweeps substitution rates and indel counts on planted-homolog databases and
+compares recall of FabP (paper mode), FabP extended mode (full Serine codon
+set) and the indel-tolerant TBLASTN baseline.  Also reruns the paper's
+10,000-query indel-frequency statistic.
+
+Run:  python examples/accuracy_study.py        (takes ~1 minute)
+"""
+
+from repro.analysis.accuracy import format_accuracy_table, run_accuracy_study
+from repro.analysis.indels import run_indel_study
+
+
+def main() -> None:
+    print("Indel frequency study (paper: 'among 10,000 queries, only two of")
+    print("them involved indels (~0.02%)'):\n")
+    for residues in (50, 150, 250):
+        result = run_indel_study(num_queries=10_000, query_residues=residues)
+        print(
+            f"  {residues:>3} aa queries: {result.fraction_with_indels:6.2%} of "
+            f"regions contain an indel; {result.fraction_alignment_affected:6.3%} "
+            f"would change FabP's top-hit outcome"
+        )
+    print(
+        "\n(The cited distribution — mean 0.09 indels/kb — mathematically\n"
+        "implies percent-level region rates; the paper's 0.02% matches the\n"
+        "stricter outcome-changed reading.  See EXPERIMENTS.md.)\n"
+    )
+
+    print("Recall on planted homologs (8 cases per point, 40-aa queries):\n")
+    rows = run_accuracy_study(
+        substitution_rates=(0.0, 0.02, 0.05, 0.10),
+        indel_event_counts=(0, 1),
+        cases_per_point=8,
+        query_length=40,
+        reference_length=6_000,
+        min_identity=0.8,
+    )
+    print(format_accuracy_table(rows))
+    print(
+        "\nReading: with no indels, FabP matches the gapped baseline at every\n"
+        "substitution rate (the paper's 'negligible drop'); a planted indel\n"
+        "can break FabP's frame while TBLASTN's gapped extension absorbs it —\n"
+        "but such cases are rare in real coding regions (above)."
+    )
+
+
+if __name__ == "__main__":
+    main()

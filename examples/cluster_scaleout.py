@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Scale-out demo: multi-FPGA sharding and multi-query fabric sharing.
+
+Two ways this reproduction scales beyond one query on one board:
+
+1. **Database sharding** (`repro.host.cluster`): a pool of boards each
+   holds a slice of the references; the straggler sets the pace.
+2. **Multi-query fabric sharing** (`repro.accel.multi_query`): Table I's
+   idle LUTs at short query lengths host extra query arrays, so one
+   reference pass serves a whole batch.
+
+Run:  python examples/cluster_scaleout.py
+"""
+
+import numpy as np
+
+from repro.accel.multi_query import MultiQueryScheduler, queries_per_pass
+from repro.analysis.report import text_table
+from repro.host.cluster import FabPCluster
+from repro.seq.generate import random_protein, random_rna
+
+
+def show_cluster(rng) -> None:
+    references = [random_rna(256 * 100, rng=rng, name=f"shard_src_{i}") for i in range(8)]
+    query = random_protein(40, rng=rng)
+    print("Database sharding (8 references x 25.6 knt, 40-aa query):\n")
+    rows = []
+    for boards in (1, 2, 4, 8):
+        cluster = FabPCluster(boards)
+        cluster.add_references(references)
+        result = cluster.search(query, min_identity=0.9)
+        rows.append(
+            [
+                boards,
+                f"{result.elapsed_seconds * 1e3:.3f} ms",
+                f"{result.scaling_efficiency:.0%}",
+                f"{cluster.load_imbalance():.2f}",
+            ]
+        )
+    print(text_table(["boards", "elapsed", "efficiency", "imbalance"], rows))
+
+
+def show_multiquery(rng) -> None:
+    print("\nMulti-query fabric sharing (4-query batches, one 15.4-knt pass):\n")
+    reference = random_rna(256 * 60, rng=rng)
+    scheduler = MultiQueryScheduler()
+    rows = []
+    for residues in (20, 40, 80, 250):
+        queries = [random_protein(residues, rng=rng) for _ in range(4)]
+        _, summary = scheduler.search_all(queries, reference, min_identity=0.9)
+        rows.append(
+            [
+                residues,
+                queries_per_pass(3 * residues),
+                int(summary["passes"]),
+                f"{summary['speedup']:.2f}x",
+            ]
+        )
+    print(text_table(["query (aa)", "arrays/pass", "passes", "batch speedup"], rows))
+    print(
+        "\nShort queries leave most of the Kintex-7 idle (Table I: 57% LUTs"
+        "\nat 50 aa) — co-residency converts that slack into throughput; long"
+        "\nqueries already saturate the fabric, so they gain nothing."
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(6)
+    show_cluster(rng)
+    show_multiquery(rng)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Database search: FabP vs TBLASTN on a synthetic NCBI-style workload.
+
+Builds a synthetic nucleotide database with planted homologs (the
+reproduction's substitute for NCBI nt), then searches it with both the
+FabP accelerator model and the from-scratch TBLASTN pipeline, comparing
+hits and work done — the paper's central use case end to end.
+
+Run:  python examples/database_search.py
+"""
+
+import numpy as np
+
+from repro.accel.kernel import FabPKernel
+from repro.analysis.report import text_table
+from repro.baselines.tblastn import Tblastn
+from repro.workloads.builder import build_database, sample_queries
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    queries = sample_queries(3, length=40, rng=rng)
+    database = build_database(
+        queries,
+        num_references=3,
+        reference_length=30_000,
+        substitution_rate=0.02,  # mild divergence, like real homologs
+        codon_usage="paper",
+        rng=rng,
+    )
+    print(
+        f"Synthetic database: {len(database.references)} references, "
+        f"{database.total_nucleotides:,} nt, {len(database.planted)} planted homologs"
+    )
+
+    rows = []
+    for query, planting in zip(queries, database.planted):
+        reference = database.references[planting.reference_index]
+
+        # --- FabP: stream the reference through the accelerator model.
+        kernel = FabPKernel(query, min_identity=0.85)
+        run = kernel.run(reference)
+        fabp_found = any(
+            abs(h.position - planting.position) <= 2 for h in run.hits
+        )
+
+        # --- TBLASTN: six-frame translation + seeded extension.
+        result = Tblastn(query).search(reference)
+        tbl_found = any(
+            abs(h.nucleotide_start - planting.position) <= 6 for h in result.hsps
+        )
+
+        rows.append(
+            [
+                query.name,
+                planting.position,
+                "yes" if fabp_found else "NO",
+                f"{run.total_cycles:,}",
+                f"{run.effective_bandwidth / 1e9:.1f} GB/s",
+                "yes" if tbl_found else "NO",
+                f"{result.word_hits:,}",
+            ]
+        )
+
+    print()
+    print(
+        text_table(
+            [
+                "query",
+                "planted@",
+                "FabP hit",
+                "FPGA cycles",
+                "eff. BW",
+                "TBLASTN hit",
+                "word probes",
+            ],
+            rows,
+            title="FabP (sequential streaming) vs TBLASTN (random-access seeding)",
+        )
+    )
+    print(
+        "\nNote the contrast the paper draws: FabP's work is a fixed number of"
+        "\nstreaming beats, while TBLASTN's hash probes are data-dependent"
+        "\nrandom accesses (its CPU bottleneck, §II)."
+    )
+
+
+if __name__ == "__main__":
+    main()

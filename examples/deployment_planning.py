@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Deployment planning: what does FabP buy for *your* workload?
+
+Uses the calibrated platform models to compare a FabP installation
+(device choice, board count, multi-query fabric sharing) against the
+paper's GPU and CPU baselines for a realistic mixed query stream — the
+question a prospective adopter asks before buying hardware.
+
+Run:  python examples/deployment_planning.py
+(or interactively: python -m repro plan --queries 50x100 250x20 --boards 4)
+"""
+
+from repro.accel.device import KINTEX7, LARGE_FPGA
+from repro.analysis.planner import (
+    WorkloadMix,
+    compare_deployments,
+    format_deployment_table,
+    plan_fabp,
+)
+
+
+def main() -> None:
+    # A metagenomics-flavored batch: mostly short reads' ORFs, some long.
+    mix = WorkloadMix(
+        database_nucleotides=4_000_000_000,  # the paper's 1-GB database
+        query_counts={30: 500, 50: 300, 150: 150, 250: 50},
+    )
+    print(
+        f"Workload: {mix.total_queries} queries against "
+        f"{mix.database_nucleotides / 1e9:.0f} Gnt\n"
+    )
+    print(format_deployment_table(compare_deployments(mix)))
+
+    print("\nFabP configuration options:\n")
+    rows = []
+    for label, plan in [
+        ("1x Kintex-7, no sharing", plan_fabp(mix, share_fabric=False)),
+        ("1x Kintex-7, shared fabric", plan_fabp(mix)),
+        ("4x Kintex-7 cluster", plan_fabp(mix, boards=4)),
+        ("1x large FPGA", plan_fabp(mix, device=LARGE_FPGA)),
+    ]:
+        rows.append(
+            f"  {label:<28} {plan.batch_seconds:8.1f} s   "
+            f"{plan.queries_per_hour:>10,.0f} q/h   {plan.joules_per_query:6.2f} J/q"
+        )
+    print("\n".join(rows))
+    print(
+        "\nReading: fabric sharing helps the short-query bulk; boards divide"
+        "\nthe database; the larger device removes the long-query iteration"
+        "\npenalty (SEC IV-B's 'an FPGA with more LUTs')."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Regenerate every paper table and figure in one run.
+
+Prints Fig. 6(a), Fig. 6(b), Table I, the §IV-B crossover sweep and the
+§III-D pop-counter ablation, each alongside the paper's reported values.
+(The full experiment index lives in DESIGN.md; the bench suite under
+``benchmarks/`` writes the same artifacts with assertions.)
+
+Run:  python examples/reproduce_paper.py
+"""
+
+from repro.accel.resources import table1
+from repro.accel.scheduler import max_unsegmented_elements, plan_schedule
+from repro.analysis.report import ratio_summary, text_table
+from repro.perf.figures import PLATFORM_ORDER, figure6
+from repro.rtl.popcount import build_popcounter
+
+
+def show_fig6() -> None:
+    fig = figure6()
+    for metric, title, paper in [
+        ("speedup", "Fig. 6(a) speedup vs TBLASTN-1", ("1.081x GPU", "24.8x CPU-12")),
+        ("energy", "Fig. 6(b) energy efficiency vs TBLASTN-1", ("23.2x GPU", "266.8x CPU-12")),
+    ]:
+        rows = []
+        for index, length in enumerate(fig.lengths):
+            rows.append(
+                [length]
+                + [f"{fig.series(p, metric)[index]:.1f}" for p in PLATFORM_ORDER]
+            )
+        print(text_table(["len(aa)"] + list(PLATFORM_ORDER), rows, title=title))
+        print(f"  paper headline: {paper[0]}, {paper[1]}\n")
+    headline = fig.headline()
+    print(ratio_summary("  FabP vs GPU (perf)", 1.081, headline["speedup_vs_gpu"]))
+    print(ratio_summary("  FabP vs CPU-12 (perf)", 24.8, headline["speedup_vs_cpu12"]))
+    print(ratio_summary("  FabP vs GPU (energy)", 23.2, headline["energy_vs_gpu"]))
+    print(ratio_summary("  FabP vs CPU-12 (energy)", 266.8, headline["energy_vs_cpu12"]))
+
+
+def show_table1() -> None:
+    paper = {
+        50: ["58%", "16%", "19%", "31%", "12.2 GB/s"],
+        250: ["98%", "40%", "15%", "68%", "3.4 GB/s"],
+    }
+    rows = []
+    for length, report in table1().items():
+        measured = report.row()
+        rows.append([f"FabP-{length} paper"] + paper[length])
+        rows.append([f"FabP-{length} model"] + list(measured.values()))
+    print()
+    print(
+        text_table(
+            ["design", "LUT", "FF", "BRAM", "DSP", "DRAM BW"],
+            rows,
+            title="Table I: resource utilization",
+        )
+    )
+
+
+def show_crossover() -> None:
+    crossover = max_unsegmented_elements() // 3
+    print(f"\nSEC IV-B crossover: model {crossover} aa (paper ~70 aa)")
+    for residues in (50, crossover, 250):
+        plan = plan_schedule(3 * residues)
+        bound = "bandwidth" if plan.bandwidth_bound else "resources"
+        print(f"  {residues:>3} aa: {plan.segments} cycle(s)/beat, bound by {bound}")
+
+
+def show_popcounter() -> None:
+    fabp = build_popcounter(750, style="fabp")
+    tree = build_popcounter(750, style="tree")
+    saving = 1 - fabp.lut_count / tree.lut_count
+    print(
+        f"\nSEC III-D pop-counter: {fabp.lut_count} vs {tree.lut_count} LUTs "
+        f"({saving:.0%} saving; paper reports 20%)"
+    )
+
+
+def main() -> None:
+    show_fig6()
+    show_table1()
+    show_crossover()
+    show_popcounter()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro — reproduction of FabP (DATE 2021).
+
+FabP is an FPGA accelerator for aligning back-translated protein queries
+against DNA/RNA reference databases.  This library reproduces the full
+system in Python as a functional simulation:
+
+* :mod:`repro.core` — back-translation, 6-bit instruction encoding, the
+  custom-comparator semantics and the golden substitution-only aligner;
+* :mod:`repro.seq` — sequence substrate (alphabets, FASTA, packing,
+  generation, mutation, translation);
+* :mod:`repro.rtl` — LUT-level functional RTL simulation (LUT6/FF
+  primitives, comparator and pop-counter netlists, cycle simulator);
+* :mod:`repro.accel` — the full accelerator model (AXI streaming, stream
+  buffer, scheduler, Kintex-7 device/resource model);
+* :mod:`repro.perf` — calibrated performance and energy models for FPGA,
+  CPU (TBLASTN) and GPU platforms;
+* :mod:`repro.baselines` — Smith-Waterman and a TBLASTN-like pipeline;
+* :mod:`repro.workloads` / :mod:`repro.analysis` — synthetic NCBI-style
+  workloads and the paper's accuracy / indel studies.
+
+Quickstart::
+
+    from repro import align
+    result = align("MFSR*", "AUGUUUUCGCGAUGA", min_identity=0.9)
+    print(result.best_hit)
+"""
+
+from repro.core import (
+    AlignmentResult,
+    EncodedQuery,
+    Hit,
+    align,
+    alignment_scores,
+    back_translate,
+    encode_query,
+    pattern_string,
+    search_database,
+)
+from repro.seq import DnaSequence, ProteinSequence, RnaSequence
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlignmentResult",
+    "DnaSequence",
+    "EncodedQuery",
+    "Hit",
+    "ProteinSequence",
+    "RnaSequence",
+    "__version__",
+    "align",
+    "alignment_scores",
+    "back_translate",
+    "encode_query",
+    "pattern_string",
+    "search_database",
+]

@@ -1,0 +1,33 @@
+"""Accelerator model: device, AXI streaming, scheduling, kernel, resources.
+
+* :mod:`repro.accel.device` — FPGA capacity models (Kintex-7 per Table I);
+* :mod:`repro.accel.axi` — beat/stall-accurate reference streaming;
+* :mod:`repro.accel.scheduler` — segmentation of long queries onto the
+  fabric (the source of the bandwidth/resource crossover);
+* :mod:`repro.accel.kernel` — the cycle-level functional kernel;
+* :mod:`repro.accel.rtl_kernel` — a small-scale LUT-level kernel for
+  cross-validation;
+* :mod:`repro.accel.resources` — the Table I resource/utilization model.
+"""
+
+from repro.accel.device import KINTEX7, LARGE_FPGA, FpgaDevice
+from repro.accel.kernel import FabPKernel, KernelRun
+from repro.accel.multi_query import MultiQueryScheduler, queries_per_pass
+from repro.accel.resources import ResourceReport, resource_report, table1
+from repro.accel.scheduler import SchedulePlan, max_unsegmented_elements, plan_schedule
+
+__all__ = [
+    "FabPKernel",
+    "FpgaDevice",
+    "KINTEX7",
+    "KernelRun",
+    "LARGE_FPGA",
+    "MultiQueryScheduler",
+    "ResourceReport",
+    "SchedulePlan",
+    "max_unsegmented_elements",
+    "plan_schedule",
+    "queries_per_pass",
+    "resource_report",
+    "table1",
+]

@@ -1,0 +1,119 @@
+"""AXI stream model: beat-by-beat delivery of the packed reference.
+
+The paper's performance story is bandwidth-centric: the reference streams
+sequentially at up to one 512-bit beat per cycle, and "in clock cycles that
+the AXI port does not have valid data ... all the stages of FabP will be
+stalled".  This module models that valid/stall behaviour so the kernel can
+count cycles the way the hardware would.
+
+Two stall models:
+
+* ``efficiency`` — deterministic: one stall cycle is inserted whenever the
+  running valid-ratio would exceed the target efficiency (DRAM refresh,
+  controller overhead).  Table I's measured 12.2 of 12.8 GB/s corresponds
+  to ~95 % efficiency, the default.
+* ``stall_probability`` — seeded Bernoulli stalls, for stress-testing the
+  kernel's stall handling in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.seq import packing
+
+#: Sequential-read efficiency implied by Table I (12.2 / 12.8 GB/s).
+DEFAULT_EFFICIENCY = 12.2 / 12.8
+
+
+@dataclass(frozen=True)
+class Beat:
+    """One AXI transfer: up to 256 nucleotide codes, or a stall marker."""
+
+    valid: bool
+    codes: Optional[np.ndarray] = None  # uint8 codes, length <= 256
+    last: bool = False
+
+
+class AxiReferenceStream:
+    """Streams a packed reference as per-cycle beats with stalls.
+
+    ``codes`` is the unpacked 2-bit code array of the whole reference (the
+    packed DRAM image is reconstructed internally to keep the memory layout
+    honest — what is streamed is exactly what :mod:`repro.seq.packing`
+    stores).
+    """
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        *,
+        nucleotides_per_beat: int = packing.NUCLEOTIDES_PER_BEAT,
+        efficiency: float = DEFAULT_EFFICIENCY,
+        stall_probability: Optional[float] = None,
+        seed: Optional[int] = None,
+        trailer_beats: int = 0,
+    ):
+        if not 0.0 < efficiency <= 1.0:
+            raise ValueError("efficiency must be in (0, 1]")
+        if stall_probability is not None and not 0.0 <= stall_probability < 1.0:
+            raise ValueError("stall_probability must be in [0, 1)")
+        if trailer_beats < 0:
+            raise ValueError("trailer_beats cannot be negative")
+        self.codes = np.asarray(codes, dtype=np.uint8)
+        self.nucleotides_per_beat = nucleotides_per_beat
+        self.efficiency = efficiency
+        self.stall_probability = stall_probability
+        self.trailer_beats = trailer_beats
+        self._rng = np.random.default_rng(seed)
+        # Round-trip through the packed DRAM image: the stream reads what
+        # the host actually wrote, padding included.  Trailer beats extend
+        # the stream with zero data so padded (under-length) queries can
+        # drain alignment positions near the reference end.
+        packed = packing.pack(self.codes)
+        self.dram_image = packed
+        padded = packing.unpack(packed, packed.size * 4)
+        if trailer_beats:
+            padded = np.concatenate(
+                [padded, np.zeros(trailer_beats * nucleotides_per_beat, dtype=np.uint8)]
+            )
+        self._padded = padded
+
+    @property
+    def num_beats(self) -> int:
+        """Valid beats needed to deliver the whole reference (+ trailer)."""
+        return packing.beats_required(self.codes.size) + self.trailer_beats
+
+    def beats(self) -> Iterator[Beat]:
+        """Yield one :class:`Beat` per clock cycle, stalls included."""
+        delivered = 0
+        valid_count = 0
+        cycle = 0
+        total = self.num_beats
+        per_beat = self.nucleotides_per_beat
+        while delivered < total:
+            cycle += 1
+            if self._stall(valid_count, cycle):
+                yield Beat(valid=False)
+                continue
+            start = delivered * per_beat
+            chunk = self._padded[start : start + per_beat]
+            delivered += 1
+            valid_count += 1
+            yield Beat(valid=True, codes=chunk, last=delivered == total)
+
+    def _stall(self, valid_count: int, cycle: int) -> bool:
+        if self.stall_probability is not None:
+            return bool(self._rng.random() < self.stall_probability)
+        # Deterministic pacing: keep valid/cycle ratio at the target.
+        return (valid_count + 1) > self.efficiency * cycle
+
+    def total_cycles(self) -> int:
+        """Cycles to deliver all beats under the deterministic stall model."""
+        if self.stall_probability is not None:
+            raise ValueError("cycle count is only deterministic in efficiency mode")
+        # valid_count <= efficiency * cycles, minimal cycles achieving num_beats.
+        return int(np.ceil(self.num_beats / self.efficiency))

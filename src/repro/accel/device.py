@@ -1,0 +1,83 @@
+"""FPGA device models.
+
+Capacities for the paper's platform (a mid-range Kintex-7) come straight
+from Table I: 326 k LUTs, 407 k FFs, 16 Mb BRAM, 840 DSPs, and one DRAM
+channel delivering 12.8 GB/s over a 512-bit AXI interface.  12.8 GB/s at
+64 B/beat pins the kernel clock at 200 MHz, which is also a typical
+achievable frequency for this fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Static capacities and interface parameters of an FPGA platform."""
+
+    name: str
+    luts: int
+    ffs: int
+    bram_bits: int
+    dsps: int
+    memory_channels: int = 1
+    axi_width_bits: int = 512
+    clock_mhz: float = 200.0
+    #: Measured sustainable sequential-read bandwidth per channel, bytes/s.
+    channel_bandwidth: float = 12.8e9
+    #: Board power at high utilization, watts (mid-range Kintex-7 boards
+    #: draw ~10 W under load; calibrated against the paper's energy ratios).
+    power_watts: float = 10.0
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_mhz * 1e6
+
+    @property
+    def bytes_per_beat(self) -> int:
+        return self.axi_width_bits // 8
+
+    @property
+    def nucleotides_per_beat(self) -> int:
+        """2-bit packed nucleotides per AXI beat per channel."""
+        return self.axi_width_bits // 2
+
+    @property
+    def nominal_bandwidth(self) -> float:
+        """Nominal per-channel bandwidth = beat width x clock (paper §III-C)."""
+        return self.bytes_per_beat * self.clock_hz
+
+    @property
+    def total_bandwidth(self) -> float:
+        return self.channel_bandwidth * self.memory_channels
+
+
+#: The paper's evaluation platform (Table I "Available" row).
+KINTEX7 = FpgaDevice(
+    name="Kintex-7 (mid-range)",
+    luts=326_000,
+    ffs=407_000,
+    bram_bits=16_000_000,
+    dsps=840,
+    memory_channels=1,
+    axi_width_bits=512,
+    clock_mhz=200.0,
+    channel_bandwidth=12.8e9,
+    power_watts=10.0,
+)
+
+#: A larger device for the paper's "an FPGA with more LUTs can outperform
+#: the GPU" observation (§IV-B) — roughly a VU9P-class datacenter part.
+LARGE_FPGA = FpgaDevice(
+    name="Large datacenter FPGA",
+    luts=1_182_000,
+    ffs=2_364_000,
+    bram_bits=75_900_000,
+    dsps=6_840,
+    memory_channels=4,
+    axi_width_bits=512,
+    clock_mhz=250.0,
+    channel_bandwidth=16.0e9,
+    power_watts=35.0,
+)

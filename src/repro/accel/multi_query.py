@@ -1,0 +1,177 @@
+"""Multi-query fabric sharing: amortize one reference pass over k queries.
+
+Table I shows FabP-50 using only ~58 % of the Kintex-7's LUTs while being
+completely bandwidth-bound — nearly half the fabric idles.  The natural
+architecture extension (in the spirit of the paper's "FabP is able to
+utilize multiple channels as long as the FPGA has enough resources") is to
+instantiate *several queries' comparator arrays side by side* and score
+them all against the same AXI stream: k queries per pass means the
+database is read once instead of k times.
+
+This module plans how many query arrays fit (reusing the structural cost
+model of :mod:`repro.accel.scheduler`) and executes shared passes
+functionally (hits identical to per-query runs, cycle cost of a single
+pass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.accel.device import FpgaDevice, KINTEX7
+from repro.accel.kernel import FabPKernel, KernelRun
+from repro.accel.scheduler import (
+    FIXED_CONTROL_LUTS,
+    MAX_LUT_UTILIZATION,
+    _iteration_cost,
+    plan_schedule,
+)
+from repro.core.encoding import EncodedQuery, encode_query
+
+
+def queries_per_pass(query_elements: int, device: FpgaDevice = KINTEX7) -> int:
+    """How many arrays for ``query_elements``-element queries fit at once.
+
+    Only un-segmented arrays share usefully (a segmented array already
+    saturates the fabric), so the answer is 1 whenever a single query needs
+    segmentation.
+    """
+    plan = plan_schedule(query_elements, device)
+    if plan.segments > 1:
+        return 1
+    budget = int(device.luts * MAX_LUT_UTILIZATION)
+    instances = device.nucleotides_per_beat + 1
+    per_array_luts, _, _ = _iteration_cost(instances, query_elements, segmented=False)
+    per_array_luts -= FIXED_CONTROL_LUTS  # control is shared, count it once
+    if per_array_luts <= 0:
+        return 1
+    return max(1, (budget - FIXED_CONTROL_LUTS) // per_array_luts)
+
+
+@dataclass(frozen=True)
+class SharedPassResult:
+    """Outcome of one shared pass: per-query kernel runs, one stream cost."""
+
+    runs: Tuple[KernelRun, ...]
+    queries_in_pass: int
+
+    @property
+    def pass_cycles(self) -> int:
+        """Cycles of the single shared stream pass (not the per-query sum).
+
+        The shared arrays consume the same beats; load/drain/write-back of
+        all co-resident queries are included.
+        """
+        if not self.runs:
+            return 0
+        stream = max(r.compute_cycles + r.stall_cycles for r in self.runs)
+        overheads = sum(
+            r.load_cycles + r.writeback_cycles + r.drain_cycles for r in self.runs
+        )
+        return stream + overheads
+
+    @property
+    def serial_cycles(self) -> int:
+        """What the same searches would cost as separate passes."""
+        return sum(r.total_cycles for r in self.runs)
+
+    @property
+    def speedup(self) -> float:
+        if self.pass_cycles == 0:
+            return 1.0
+        return self.serial_cycles / self.pass_cycles
+
+
+class MultiQueryScheduler:
+    """Group queries into shared passes and execute them."""
+
+    def __init__(self, device: FpgaDevice = KINTEX7):
+        self.device = device
+
+    def plan_groups(self, queries: Sequence) -> List[List[EncodedQuery]]:
+        """Pack queries into passes.
+
+        Queries are padded to the longest member of their group (pad
+        instructions, §IV-A), so grouping by similar length wastes the
+        least fabric: sort by length descending, then first-fit by the
+        capacity of the group's longest query.
+        """
+        encoded = [
+            q if isinstance(q, EncodedQuery) else encode_query(q) for q in queries
+        ]
+        ordered = sorted(encoded, key=lambda q: -len(q))
+        groups: List[List[EncodedQuery]] = []
+        for query in ordered:
+            placed = False
+            for group in groups:
+                capacity = queries_per_pass(len(group[0]), self.device)
+                if len(group) < capacity:
+                    group.append(query)
+                    placed = True
+                    break
+            if not placed:
+                groups.append([query])
+        return groups
+
+    def run_pass(
+        self,
+        group: Sequence[EncodedQuery],
+        reference,
+        *,
+        threshold: Optional[int] = None,
+        min_identity: Optional[float] = None,
+    ) -> SharedPassResult:
+        """Execute one shared pass: all queries against one stream.
+
+        Functionally each query is scored independently (the hardware
+        arrays are independent); co-residents shorter than the group's
+        longest are pad-filled to its length so every array sees the same
+        beat cadence.
+        """
+        if not group:
+            raise ValueError("a pass needs at least one query")
+        group = [
+            q if isinstance(q, EncodedQuery) else encode_query(q) for q in group
+        ]
+        max_residues = max(q.num_residues for q in group)
+        runs = []
+        for query in group:
+            kernel = FabPKernel(
+                query,
+                device=self.device,
+                threshold=threshold,
+                min_identity=min_identity,
+                max_residues=max_residues,
+            )
+            runs.append(kernel.run(reference))
+        return SharedPassResult(runs=tuple(runs), queries_in_pass=len(group))
+
+    def search_all(
+        self,
+        queries: Sequence,
+        reference,
+        *,
+        threshold: Optional[int] = None,
+        min_identity: Optional[float] = None,
+    ) -> Tuple[List[SharedPassResult], Dict[str, float]]:
+        """Run every query, shared where possible; returns passes + summary."""
+        groups = self.plan_groups(queries)
+        passes = [
+            self.run_pass(
+                group, reference, threshold=threshold, min_identity=min_identity
+            )
+            for group in groups
+        ]
+        shared = sum(p.pass_cycles for p in passes)
+        serial = sum(p.serial_cycles for p in passes)
+        summary = {
+            "passes": float(len(passes)),
+            "queries": float(len(queries)),
+            "shared_cycles": float(shared),
+            "serial_cycles": float(serial),
+            "speedup": serial / shared if shared else 1.0,
+        }
+        return passes, summary

@@ -1,0 +1,109 @@
+"""Whole-accelerator resource model — the Table I reproduction.
+
+Combines the structural scheduler plan (LUT/FF, netlist-derived) with the
+remaining resource classes:
+
+* **DSP** — the paper uses DSP slices for the threshold comparison "to save
+  the LUTs for the custom comparators and pop-counters": one DSP per
+  alignment instance, plus one more per instance for the partial-score
+  accumulate when the design is segmented.
+* **BRAM** — FabP deliberately keeps query and stream buffers in FFs; BRAM
+  holds the AXI input FIFOs and the write-back buffer.  The write-back
+  buffer is sized to the peak hit rate (positions per cycle), which *drops*
+  with segmentation — reproducing Table I's counter-intuitive BRAM decrease
+  from FabP-50 to FabP-250.
+* **DRAM bandwidth** — nominal channel bandwidth divided by cycles/beat,
+  scaled by the sequential-access efficiency implied by Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.accel.axi import DEFAULT_EFFICIENCY
+from repro.accel.device import FpgaDevice, KINTEX7
+from repro.accel.scheduler import SchedulePlan, plan_schedule
+
+#: BRAM bits of AXI input FIFOs + host command queue (fixed).
+FIXED_BRAM_BITS = 1_600_000
+
+#: Write-back record width: 32-bit position + 10-bit score, padded to the
+#: AXI-friendly 42 bits used throughout the write-back path.
+WRITEBACK_RECORD_BITS = 42
+
+#: Write-back FIFO depth per concurrent hit lane.
+WRITEBACK_FIFO_DEPTH = 128
+
+#: DSPs per alignment instance (threshold compare), plus accumulation DSP
+#: when segmented.
+DSP_PER_INSTANCE = 1
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Utilization of every Table I resource class for one design point."""
+
+    device: FpgaDevice
+    plan: SchedulePlan
+    luts: int
+    ffs: int
+    bram_bits: int
+    dsps: int
+    effective_bandwidth: float  # bytes/s
+
+    @property
+    def utilization(self) -> Dict[str, float]:
+        return {
+            "LUT": self.luts / self.device.luts,
+            "FF": self.ffs / self.device.ffs,
+            "BRAM": self.bram_bits / self.device.bram_bits,
+            "DSP": self.dsps / self.device.dsps,
+        }
+
+    def row(self) -> Dict[str, str]:
+        """Render as a Table I row (percentages + GB/s)."""
+        util = self.utilization
+        return {
+            "LUT": f"{util['LUT']:.0%}",
+            "FF": f"{util['FF']:.0%}",
+            "BRAM": f"{util['BRAM']:.0%}",
+            "DSP": f"{util['DSP']:.0%}",
+            "DRAM BW": f"{self.effective_bandwidth / 1e9:.1f} GB/s",
+        }
+
+
+def resource_report(
+    query_residues: int, device: FpgaDevice = KINTEX7
+) -> ResourceReport:
+    """Model the full accelerator for a protein query of ``query_residues``.
+
+    The paper reports query length in amino acids (50..250); encoded
+    elements are three per residue.
+    """
+    if query_residues < 1:
+        raise ValueError("query must have at least one residue")
+    plan = plan_schedule(3 * query_residues, device)
+    dsps = plan.instances * DSP_PER_INSTANCE
+    if plan.segments > 1:
+        dsps += plan.instances  # partial-score accumulators
+    dsps = min(dsps, device.dsps)
+    hit_lanes = max(1, device.nucleotides_per_beat // plan.segments)
+    bram_bits = FIXED_BRAM_BITS + hit_lanes * WRITEBACK_RECORD_BITS * WRITEBACK_FIFO_DEPTH
+    effective_bw = (
+        device.channel_bandwidth * DEFAULT_EFFICIENCY / plan.segments
+    ) * device.memory_channels
+    return ResourceReport(
+        device=device,
+        plan=plan,
+        luts=plan.luts_used,
+        ffs=plan.ffs_used,
+        bram_bits=bram_bits,
+        dsps=dsps,
+        effective_bandwidth=effective_bw,
+    )
+
+
+def table1(device: FpgaDevice = KINTEX7, lengths=(50, 250)) -> Dict[int, ResourceReport]:
+    """The two Table I design points (FabP-50 and FabP-250) by default."""
+    return {length: resource_report(length, device) for length in lengths}

@@ -1,0 +1,172 @@
+"""Segmentation scheduler: fit the comparator array into the fabric.
+
+§III-C: "Due to FPGA resource limitation, for long query sizes, there are
+not enough resources to perform all the operations in one cycle.  FabP uses
+a set of multiplexers to divide Query Seq. and Reference Stream into
+multiple segments and process each segment in a cycle."
+
+This module decides, for a query of ``E = 3 * L_q`` encoded elements on a
+given device, how many **segments** (cycles per beat) the datapath needs,
+and what one iteration's hardware costs.  The cost model is structural —
+comparator and pop-counter LUT counts come from elaborating the actual
+netlists in :mod:`repro.rtl` — plus three documented calibration constants
+for what we cannot elaborate (routing/pipelining overhead, control logic).
+
+Calibration targets (Table I): FabP-50 fits un-segmented at ~58 % LUTs;
+FabP-250 needs multiple iterations (effective bandwidth 12.2 -> 3.4 GB/s)
+at near-full LUT utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.accel.device import FpgaDevice, KINTEX7
+from repro.rtl.comparator import LUTS_PER_ELEMENT
+
+#: Routing / retiming overhead multiplier on datapath LUTs.  Real placement
+#: duplicates logic and spends LUTs as route-throughs at high utilization;
+#: 1.2 calibrates FabP-50's un-segmented footprint near Table I's 58 %.
+ROUTING_FACTOR = 1.2
+
+#: LUTs of control logic outside the datapath array: AXI masters, write-back
+#: engine, host command FSM.  Calibrated with ROUTING_FACTOR (above).
+FIXED_CONTROL_LUTS = 30_000
+
+#: FFs of the same control logic.
+FIXED_CONTROL_FFS = 15_000
+
+#: Segment-select multiplexing cost per query element per instance, LUTs
+#: (only paid when the design is segmented).
+SEG_MUX_LUTS_PER_ELEMENT = 1
+
+#: Score-accumulator register cost per instance when segmented (the 10-bit
+#: partial alignment score must persist across segment cycles).
+ACCUMULATOR_FFS = 10
+ACCUMULATOR_LUTS = 10
+
+#: Fraction of device LUTs the placer can actually fill.
+MAX_LUT_UTILIZATION = 0.985
+
+#: Pipeline registers: the comparator match vector is registered before the
+#: pop-counter (one FF per element) plus a small threshold/write-back stage.
+THRESHOLD_PIPELINE_FFS = 12
+
+
+@lru_cache(maxsize=None)
+def _popcounter_resources(width: int, style: str = "fabp"):
+    from repro.rtl.popcount import build_popcounter
+
+    block = build_popcounter(width, style=style, pipelined=True)
+    return block.lut_count, block.ff_count, block.latency
+
+
+@dataclass(frozen=True)
+class SchedulePlan:
+    """How one query maps onto the device."""
+
+    device: FpgaDevice
+    query_elements: int
+    #: Alignment instances instantiated (r - q + 1 over the stream buffer,
+    #: i.e. nucleotides-per-beat + 1).
+    instances: int
+    #: Cycles per AXI beat — 1 when the whole query fits, else > 1.
+    segments: int
+    #: Query elements processed per segment cycle.
+    segment_elements: int
+    #: One iteration's datapath LUTs (all instances, control included).
+    luts_used: int
+    ffs_used: int
+    #: Pop-counter pipeline latency in cycles (drain time).
+    pipeline_latency: int
+
+    @property
+    def lut_utilization(self) -> float:
+        return self.luts_used / self.device.luts
+
+    @property
+    def ff_utilization(self) -> float:
+        return self.ffs_used / self.device.ffs
+
+    @property
+    def bandwidth_bound(self) -> bool:
+        """True when memory bandwidth, not fabric, limits throughput (§IV-B)."""
+        return self.segments == 1
+
+    @property
+    def cycles_per_beat(self) -> int:
+        return self.segments
+
+
+def _iteration_cost(instances: int, segment_elements: int, segmented: bool):
+    """LUT/FF cost of one full iteration's datapath + control."""
+    cmp_luts = LUTS_PER_ELEMENT * segment_elements
+    pc_luts, pc_ffs, pc_latency = _popcounter_resources(segment_elements)
+    extra_luts = 0
+    extra_ffs = 0
+    if segmented:
+        extra_luts = SEG_MUX_LUTS_PER_ELEMENT * segment_elements + ACCUMULATOR_LUTS
+        extra_ffs = ACCUMULATOR_FFS
+    per_instance_luts = int(round(ROUTING_FACTOR * (cmp_luts + pc_luts + extra_luts)))
+    per_instance_ffs = (
+        segment_elements  # registered match vector
+        + pc_ffs
+        + THRESHOLD_PIPELINE_FFS
+        + extra_ffs
+    )
+    luts = instances * per_instance_luts + FIXED_CONTROL_LUTS
+    ffs = instances * per_instance_ffs + FIXED_CONTROL_FFS
+    return luts, ffs, pc_latency
+
+
+def plan_schedule(query_elements: int, device: FpgaDevice = KINTEX7) -> SchedulePlan:
+    """Choose the smallest segment count that fits the device.
+
+    Raises ``ValueError`` if even fully segmented (one element per cycle)
+    the design cannot fit — which does not happen for any device we model,
+    but keeps the search total.
+    """
+    if query_elements < 1:
+        raise ValueError("query must have at least one encoded element")
+    instances = device.nucleotides_per_beat + 1
+    budget = int(device.luts * MAX_LUT_UTILIZATION)
+    for segments in range(1, query_elements + 1):
+        segment_elements = -(-query_elements // segments)
+        luts, ffs, pc_latency = _iteration_cost(
+            instances, segment_elements, segmented=segments > 1
+        )
+        if luts <= budget and ffs <= device.ffs:
+            # Stream-buffer and query storage FFs are global, not per segment.
+            query_ffs = 6 * query_elements
+            buffer_ffs = 2 * (query_elements + device.nucleotides_per_beat)
+            return SchedulePlan(
+                device=device,
+                query_elements=query_elements,
+                instances=instances,
+                segments=segments,
+                segment_elements=segment_elements,
+                luts_used=luts,
+                ffs_used=ffs + query_ffs + buffer_ffs,
+                pipeline_latency=pc_latency + 2,  # +compare and threshold stages
+            )
+    raise ValueError(
+        f"query of {query_elements} elements cannot be scheduled on {device.name}"
+    )
+
+
+def max_unsegmented_elements(device: FpgaDevice = KINTEX7) -> int:
+    """Largest query (in encoded elements) that runs at one cycle per beat.
+
+    §IV-B observes the bandwidth/resource crossover near 70 amino acids
+    (~210 elements) on the Kintex-7; this function computes where the model
+    puts it.
+    """
+    low, high = 1, 6000
+    while low < high:
+        mid = (low + high + 1) // 2
+        if plan_schedule(mid, device).segments == 1:
+            low = mid
+        else:
+            high = mid - 1
+    return low

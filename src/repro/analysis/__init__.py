@@ -1,0 +1,53 @@
+"""Analysis studies: §IV-A reproductions, statistics, ROC, composition."""
+
+from repro.analysis.accuracy import (
+    AccuracyRow,
+    format_accuracy_table,
+    run_accuracy_study,
+)
+from repro.analysis.composition import (
+    all_residue_profiles,
+    background_match_probability,
+    format_composition_table,
+    query_composition,
+    residue_profile,
+)
+from repro.analysis.indels import IndelStudyResult, run_indel_study
+from repro.analysis.report import markdown_table, paper_vs_measured, text_table
+from repro.analysis.roc import RocCurve, RocPoint, format_roc, roc_curve
+from repro.analysis.sensitivity import (
+    DetectionModel,
+    detection_model,
+    operating_curve,
+)
+from repro.analysis.statistics import (
+    NullScoreModel,
+    empirical_null,
+    null_score_model,
+)
+
+__all__ = [
+    "AccuracyRow",
+    "DetectionModel",
+    "IndelStudyResult",
+    "NullScoreModel",
+    "RocCurve",
+    "RocPoint",
+    "all_residue_profiles",
+    "background_match_probability",
+    "detection_model",
+    "empirical_null",
+    "format_accuracy_table",
+    "format_composition_table",
+    "format_roc",
+    "markdown_table",
+    "null_score_model",
+    "operating_curve",
+    "paper_vs_measured",
+    "query_composition",
+    "residue_profile",
+    "roc_curve",
+    "run_accuracy_study",
+    "run_indel_study",
+    "text_table",
+]

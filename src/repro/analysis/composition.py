@@ -1,0 +1,141 @@
+"""Pattern composition analytics: degeneracy and information content.
+
+Back-translation degeneracy is not uniform across amino acids — Met/Trp
+patterns pin all three nucleotides while four-codon boxes leave their third
+position completely free.  These analytics quantify that structure:
+
+* per-residue **random-match probability** (the chance a random codon
+  satisfies the full pattern) and **information content** in bits;
+* per-query aggregates, which explain why two queries of equal length can
+  have very different null-score distributions (see
+  :mod:`repro.analysis.statistics`) and therefore need different
+  thresholds;
+* the composition-weighted average over a background distribution — a
+  single number summarizing how discriminative FabP's encoding is on
+  realistic sequence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.statistics import element_match_probabilities
+from repro.core import backtranslate as bt
+from repro.seq import alphabet
+from repro.seq.generate import UNIPROT_AA_FREQUENCIES
+from repro.seq.sequence import as_protein
+
+
+@dataclass(frozen=True)
+class ResidueProfile:
+    """Pattern statistics for one amino acid (or stop)."""
+
+    amino: str
+    pattern: str
+    codons_admitted: int
+    element_probabilities: tuple
+    match_probability: float  # P(random codon fully matches)
+    information_bits: float  # -log2(match_probability)
+
+
+def residue_profile(amino: str) -> ResidueProfile:
+    """Build the profile of one residue's paper-mode pattern."""
+    pattern = bt.BACK_TRANSLATION_TABLE[amino]
+    probabilities = tuple(float(p) for p in element_match_probabilities(amino))
+    admitted = len(pattern.matched_codons())
+    match_probability = admitted / 64.0
+    return ResidueProfile(
+        amino=amino,
+        pattern=str(pattern),
+        codons_admitted=admitted,
+        element_probabilities=probabilities,
+        match_probability=match_probability,
+        information_bits=-math.log2(match_probability),
+    )
+
+
+def all_residue_profiles() -> Dict[str, ResidueProfile]:
+    """Profiles for all twenty amino acids plus stop."""
+    return {aa: residue_profile(aa) for aa in alphabet.AMINO_ACIDS_WITH_STOP}
+
+
+@dataclass(frozen=True)
+class QueryComposition:
+    """Aggregate pattern statistics for one query."""
+
+    residues: int
+    mean_match_probability: float
+    total_information_bits: float
+    expected_null_score: float
+    max_score: int
+
+    @property
+    def discrimination_margin(self) -> float:
+        """Perfect score minus expected random score, in elements —
+        the 'headroom' available for threshold placement."""
+        return self.max_score - self.expected_null_score
+
+
+def query_composition(query) -> QueryComposition:
+    """Aggregate the per-residue profiles over one query."""
+    sequence = as_protein(query)
+    if not len(sequence):
+        raise ValueError("query must contain at least one residue")
+    profiles = [residue_profile(aa) for aa in sequence.letters]
+    element_p = element_match_probabilities(sequence)
+    return QueryComposition(
+        residues=len(sequence),
+        mean_match_probability=float(
+            np.mean([p.match_probability for p in profiles])
+        ),
+        total_information_bits=float(sum(p.information_bits for p in profiles)),
+        expected_null_score=float(element_p.sum()),
+        max_score=3 * len(sequence),
+    )
+
+
+def background_match_probability(
+    frequencies: Optional[Dict[str, float]] = None,
+) -> float:
+    """Composition-weighted mean codon-level match probability.
+
+    With the Swiss-Prot background this summarizes how often a random
+    codon satisfies a random residue's pattern — the paper's encoding keeps
+    this low (~0.1) despite the degeneracy it must preserve.
+    """
+    frequencies = frequencies if frequencies is not None else UNIPROT_AA_FREQUENCIES
+    total_weight = sum(frequencies.values())
+    return (
+        sum(
+            weight * residue_profile(aa).match_probability
+            for aa, weight in frequencies.items()
+        )
+        / total_weight
+    )
+
+
+def format_composition_table() -> str:
+    """The full residue table, for documentation and the examples."""
+    from repro.analysis.report import text_table
+
+    rows = []
+    for amino in alphabet.AMINO_ACIDS_WITH_STOP:
+        profile = residue_profile(amino)
+        rows.append(
+            [
+                f"{alphabet.THREE_LETTER[amino]} ({amino})",
+                profile.pattern,
+                profile.codons_admitted,
+                f"{profile.match_probability:.3f}",
+                f"{profile.information_bits:.2f}",
+            ]
+        )
+    return text_table(
+        ["residue", "pattern", "codons", "P(match)", "bits"],
+        rows,
+        title="Back-translation pattern composition (paper mode)",
+    )

@@ -1,0 +1,103 @@
+"""§IV-A indel-frequency study.
+
+The paper's statistical justification for substitution-only scoring cites
+Neininger et al. (2019): indel frequency in protein-coding regions has
+median 0, mean 0.09/kb, sd 0.36/kb, and reports that "among 10,000 queries,
+only two of them involved indels (~0.02 %)".
+
+Two statistics matter and this module computes both:
+
+* :func:`fraction_with_indels` — the fraction of query-sized coding regions
+  containing at least one indel event under the cited distribution.  (Note:
+  for 250-residue queries this is mathematically a few percent, not 0.02 %
+  — see EXPERIMENTS.md; the paper's 0.02 % can only refer to the stricter
+  statistic below.)
+* :func:`fraction_alignment_affected` — the fraction of queries whose
+  *top-hit outcome changes* because of an indel: the region contains an
+  indel **and** FabP's best achievable (frame-shifted) score falls below
+  the search threshold while an indel-tolerant aligner still reports it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.seq.mutate import sample_indel_events
+
+
+@dataclass(frozen=True)
+class IndelStudyResult:
+    """Outcome of one indel-frequency simulation."""
+
+    num_queries: int
+    query_length_nt: int
+    queries_with_indels: int
+    queries_alignment_affected: int
+    mean_events_per_kb: float
+
+    @property
+    def fraction_with_indels(self) -> float:
+        return self.queries_with_indels / self.num_queries
+
+    @property
+    def fraction_alignment_affected(self) -> float:
+        return self.queries_alignment_affected / self.num_queries
+
+    def __str__(self) -> str:
+        return (
+            f"IndelStudy(n={self.num_queries}, with_indels="
+            f"{self.fraction_with_indels:.2%}, affected="
+            f"{self.fraction_alignment_affected:.4%})"
+        )
+
+
+def run_indel_study(
+    *,
+    num_queries: int = 10_000,
+    query_residues: int = 150,
+    min_identity: float = 0.8,
+    mean_per_kb: float = 0.09,
+    sd_per_kb: float = 0.36,
+    rng: Optional[np.random.Generator] = None,
+    seed: int = 2021,
+) -> IndelStudyResult:
+    """Monte-Carlo reproduction of the 10,000-query statistic.
+
+    For each query-sized coding region, draw an indel event count from the
+    cited zero-inflated empirical distribution.  A query's *alignment* is
+    affected when an indel lands such that the larger unshifted fragment
+    falls below the identity threshold: a single indel at relative position
+    ``p`` leaves fragments of relative size ``p`` and ``1 - p`` matching in
+    frame, so FabP's best score fraction is ``max(p, 1 - p)`` (substitutions
+    aside).  With more events the fragments shrink accordingly.
+    """
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    length_nt = 3 * query_residues
+    with_indels = 0
+    affected = 0
+    total_events = 0
+    for _ in range(num_queries):
+        events = sample_indel_events(
+            length_nt, mean_per_kb=mean_per_kb, sd_per_kb=sd_per_kb, rng=rng
+        )
+        total_events += events
+        if events == 0:
+            continue
+        with_indels += 1
+        # Break positions partition the region; the best in-frame fragment
+        # bounds FabP's achievable identity.
+        breaks = np.sort(rng.random(events))
+        fragments = np.diff(np.concatenate([[0.0], breaks, [1.0]]))
+        if fragments.max() < min_identity:
+            affected += 1
+    mean_rate = total_events / (num_queries * length_nt / 1000.0)
+    return IndelStudyResult(
+        num_queries=num_queries,
+        query_length_nt=length_nt,
+        queries_with_indels=with_indels,
+        queries_alignment_affected=affected,
+        mean_events_per_kb=mean_rate,
+    )

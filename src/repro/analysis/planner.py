@@ -1,0 +1,160 @@
+"""Deployment planner: sizing a FabP installation for a workload.
+
+The adoption question a paper reader actually has: *given my database and
+query stream, what does a FabP deployment buy me over my CPU cluster or a
+GPU box?*  This module composes the reproduction's models into one
+calculator: per-platform batch time, energy, and throughput for a workload
+(database size x query batch x length mix), with FPGA options (device,
+boards, multi-query sharing) applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.accel.device import FpgaDevice, KINTEX7
+from repro.accel.multi_query import queries_per_pass
+from repro.perf import cpu as cpu_model
+from repro.perf import fpga as fpga_model
+from repro.perf import gpu as gpu_model
+from repro.perf.platforms import GTX_1080TI, I7_8700K
+from repro.perf.workload import Workload
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A query stream against one database."""
+
+    database_nucleotides: int
+    #: ``{query_residues: count}`` — the batch's length histogram.
+    query_counts: Dict[int, int]
+
+    @property
+    def total_queries(self) -> int:
+        return sum(self.query_counts.values())
+
+    def workloads(self) -> List[Tuple[Workload, int]]:
+        return [
+            (Workload(residues, self.database_nucleotides), count)
+            for residues, count in sorted(self.query_counts.items())
+        ]
+
+
+@dataclass(frozen=True)
+class PlatformPlan:
+    """One platform's cost for the whole mix."""
+
+    platform: str
+    batch_seconds: float
+    batch_joules: float
+    total_queries: int
+
+    @property
+    def queries_per_hour(self) -> float:
+        if self.batch_seconds == 0:
+            return float("inf")
+        return 3600.0 * self.total_queries / self.batch_seconds
+
+    @property
+    def joules_per_query(self) -> float:
+        if self.total_queries == 0:
+            return 0.0
+        return self.batch_joules / self.total_queries
+
+
+def plan_fabp(
+    mix: WorkloadMix,
+    *,
+    device: FpgaDevice = KINTEX7,
+    boards: int = 1,
+    share_fabric: bool = True,
+) -> PlatformPlan:
+    """FabP deployment: optional multi-board sharding + fabric sharing.
+
+    Sharding divides the database ``boards`` ways (idealized balance);
+    fabric sharing batches same-length queries ``queries_per_pass`` deep so
+    they amortize one reference pass.
+    """
+    if boards < 1:
+        raise ValueError("need at least one board")
+    shard_nt = -(-mix.database_nucleotides // boards)
+    seconds = 0.0
+    for residues, count in sorted(mix.query_counts.items()):
+        workload = Workload(residues, shard_nt)
+        per_pass = queries_per_pass(3 * residues, device) if share_fabric else 1
+        passes = -(-count // per_pass)
+        seconds += passes * fpga_model.fabp_seconds(workload, device)
+    joules = seconds * device.power_watts * boards
+    return PlatformPlan(
+        platform=f"FabP x{boards} ({device.name})",
+        batch_seconds=seconds,
+        batch_joules=joules,
+        total_queries=mix.total_queries,
+    )
+
+
+def plan_gpu(mix: WorkloadMix, gpu=GTX_1080TI) -> PlatformPlan:
+    seconds = sum(
+        count * gpu_model.gpu_seconds(workload, gpu)
+        for workload, count in mix.workloads()
+    )
+    return PlatformPlan(
+        platform=gpu.name,
+        batch_seconds=seconds,
+        batch_joules=seconds * gpu.power_watts,
+        total_queries=mix.total_queries,
+    )
+
+
+def plan_cpu(mix: WorkloadMix, cpu=I7_8700K, *, threads: int = 12) -> PlatformPlan:
+    seconds = sum(
+        count * cpu_model.cpu_seconds(workload, cpu, threads=threads)
+        for workload, count in mix.workloads()
+    )
+    watts = cpu.power_all_watts if threads > 1 else cpu.power_1t_watts
+    return PlatformPlan(
+        platform=f"{cpu.name} (TBLASTN-{threads})",
+        batch_seconds=seconds,
+        batch_joules=seconds * watts,
+        total_queries=mix.total_queries,
+    )
+
+
+def compare_deployments(
+    mix: WorkloadMix,
+    *,
+    device: FpgaDevice = KINTEX7,
+    boards: int = 1,
+    share_fabric: bool = True,
+) -> List[PlatformPlan]:
+    """All platforms on one mix, FabP first."""
+    return [
+        plan_fabp(mix, device=device, boards=boards, share_fabric=share_fabric),
+        plan_gpu(mix),
+        plan_cpu(mix, threads=12),
+        plan_cpu(mix, threads=1),
+    ]
+
+
+def format_deployment_table(plans: Sequence[PlatformPlan]) -> str:
+    """Aligned comparison table."""
+    from repro.analysis.report import text_table
+
+    rows = [
+        [
+            plan.platform,
+            f"{plan.batch_seconds:.1f} s",
+            f"{plan.queries_per_hour:,.0f}",
+            f"{plan.batch_joules / 1e3:.2f} kJ",
+            f"{plan.joules_per_query:.1f} J",
+        ]
+        for plan in plans
+    ]
+    return text_table(
+        ["platform", "batch time", "queries/hour", "energy", "J/query"],
+        rows,
+        title=f"Deployment comparison ({plans[0].total_queries} queries)",
+    )

@@ -1,0 +1,58 @@
+"""Table/report formatting shared by examples and benchmarks.
+
+Everything the benches print goes through these helpers so paper-vs-measured
+comparisons look the same everywhere (and EXPERIMENTS.md can paste them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def text_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as a GitHub-flavored markdown table."""
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(str(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def paper_vs_measured(
+    rows: Mapping[str, Sequence[object]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Standard two-column comparison: ``{metric: (paper, measured)}``."""
+    table_rows = [
+        (metric, paper, measured) for metric, (paper, measured) in rows.items()
+    ]
+    return text_table(["metric", "paper", "measured"], table_rows, title=title)
+
+
+def ratio_summary(name: str, paper: float, measured: float) -> str:
+    """One-line paper-vs-measured ratio with relative deviation."""
+    deviation = (measured - paper) / paper if paper else float("nan")
+    return f"{name}: paper={paper:g} measured={measured:.3g} ({deviation:+.1%})"

@@ -1,0 +1,136 @@
+"""ROC analysis: sensitivity/specificity of FabP thresholds.
+
+The paper's threshold is "user-defined"; this module characterizes the
+trade-off empirically.  On a planted-homolog database with known mutation
+pressure, sweep the threshold and measure:
+
+* **TPR** (sensitivity/recall) — planted homologs recovered;
+* **FP density** — spurious hits per megabase of background.
+
+Combined with :mod:`repro.analysis.statistics` (the analytic null model),
+a user can pick an operating point before committing FPGA time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.aligner import alignment_scores
+from repro.core.encoding import EncodedQuery, encode_query
+from repro.workloads.builder import SyntheticDatabase, build_database, sample_queries
+
+#: Tolerance (nt) for matching a hit to its planting site.
+POSITION_TOLERANCE = 6
+
+
+@dataclass(frozen=True)
+class RocPoint:
+    """One threshold's operating characteristics."""
+
+    threshold: int
+    identity: float
+    true_positive_rate: float
+    false_positives_per_mb: float
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """A full threshold sweep for one workload."""
+
+    points: Tuple[RocPoint, ...]
+    cases: int
+    background_nucleotides: int
+
+    def best_threshold(self, max_fp_per_mb: float = 1.0) -> Optional[RocPoint]:
+        """Most sensitive point whose FP density is acceptable."""
+        viable = [p for p in self.points if p.false_positives_per_mb <= max_fp_per_mb]
+        return max(viable, key=lambda p: p.true_positive_rate, default=None)
+
+    def auc_like(self) -> float:
+        """Mean TPR over the sweep (a scalar summary for comparisons)."""
+        if not self.points:
+            return 0.0
+        return float(np.mean([p.true_positive_rate for p in self.points]))
+
+
+def roc_curve(
+    *,
+    cases: int = 10,
+    query_length: int = 40,
+    reference_length: int = 8_000,
+    substitution_rate: float = 0.05,
+    indel_events: int = 0,
+    thresholds: Optional[Sequence[int]] = None,
+    rng: Optional[np.random.Generator] = None,
+    seed: int = 2021,
+) -> RocCurve:
+    """Sweep thresholds on a planted workload; returns the ROC curve.
+
+    Scores are computed once per (query, reference) pair and re-thresholded,
+    so wide sweeps cost the same as narrow ones.
+    """
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    queries = sample_queries(cases, length=query_length, rng=rng)
+    database = build_database(
+        queries,
+        num_references=cases,
+        reference_length=reference_length,
+        substitution_rate=substitution_rate,
+        indel_events=indel_events,
+        codon_usage="paper",
+        rng=rng,
+    )
+    elements = 3 * query_length
+    if thresholds is None:
+        thresholds = [int(f * elements) for f in np.arange(0.5, 1.01, 0.05)]
+    all_scores: List[Tuple[np.ndarray, int]] = []
+    for query, planting in zip(queries, database.planted):
+        reference = database.references[planting.reference_index]
+        scores = alignment_scores(query, reference)
+        all_scores.append((scores, planting.position))
+
+    background_nt = cases * reference_length
+    points: List[RocPoint] = []
+    for threshold in sorted(set(thresholds)):
+        recovered = 0
+        false_positives = 0
+        for scores, position in all_scores:
+            hit_positions = np.nonzero(scores >= threshold)[0]
+            near = np.abs(hit_positions - position) <= POSITION_TOLERANCE
+            if near.any():
+                recovered += 1
+            false_positives += int((~near).sum())
+        points.append(
+            RocPoint(
+                threshold=threshold,
+                identity=threshold / elements,
+                true_positive_rate=recovered / cases,
+                false_positives_per_mb=false_positives / (background_nt / 1e6),
+            )
+        )
+    return RocCurve(
+        points=tuple(points), cases=cases, background_nucleotides=background_nt
+    )
+
+
+def format_roc(curve: RocCurve) -> str:
+    """Aligned text rendering of a ROC sweep."""
+    from repro.analysis.report import text_table
+
+    rows = [
+        [
+            p.threshold,
+            f"{p.identity:.0%}",
+            f"{p.true_positive_rate:.2f}",
+            f"{p.false_positives_per_mb:.2f}",
+        ]
+        for p in curve.points
+    ]
+    return text_table(
+        ["threshold", "identity", "TPR", "FP/Mb"],
+        rows,
+        title=f"ROC sweep ({curve.cases} planted cases)",
+    )

@@ -1,0 +1,148 @@
+"""Analytic detection model: threshold vs mutation tolerance.
+
+The ROC module measures sensitivity empirically; this module predicts it.
+For a homolog diverged from the query by per-nucleotide substitution rate
+``p``, each query element independently still matches with probability
+
+    q_i = (1 - p) + p * r_i
+
+where ``r_i`` is that element's probability of matching a random *wrong*
+nucleotide (degenerate elements often absorb substitutions: a D position
+matches anything, a U/C position survives half the substitutions away from
+its set... all computed exactly from the instruction tables).  The hit
+score is then Poisson-binomial and detection probability at a threshold is
+its upper tail — compared against the planted-workload measurements by the
+test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core import comparator as cmp
+from repro.core.encoding import EncodedQuery, encode_query
+
+
+def element_survival_probabilities(query, substitution_rate: float) -> np.ndarray:
+    """Per-element match probability against a homolog at rate ``p``.
+
+    Model: the homolog region was generated from a codon that matches the
+    pattern perfectly, then each nucleotide independently substituted with
+    probability ``p`` to a uniformly chosen *different* nucleotide.  An
+    element survives if unsubstituted, or if the substituted nucleotide
+    still falls in its admissible set.  Dependency context (Type III) is
+    averaged over the S coin, as in the null model — exact for independent
+    positions, a tight approximation for the three dependent ones.
+    """
+    if not 0.0 <= substitution_rate <= 1.0:
+        raise ValueError("substitution rate must be within [0, 1]")
+    encoded = query if isinstance(query, EncodedQuery) else encode_query(query)
+    tables, configs = cmp.instruction_tables(encoded.as_array())
+    p = substitution_rate
+    out = np.zeros(len(encoded))
+    for i in range(len(encoded)):
+        if configs[i] == 0:
+            x = (int(encoded.instructions[i]) >> 3) & 1
+            row = tables[i, x].astype(float)
+        else:
+            row = tables[i].mean(axis=0)
+        # Admissible-set size m (possibly fractional after S-averaging):
+        # the original nucleotide matches; a substitution lands on one of
+        # the 3 other nucleotides uniformly, of which (m - 1) still match
+        # on average (the original was one of the m admissible).
+        m = float(row.sum())
+        survive_if_substituted = max(0.0, (m - 1.0)) / 3.0
+        out[i] = (1 - p) + p * survive_if_substituted
+    return out
+
+
+@dataclass(frozen=True)
+class DetectionModel:
+    """Analytic detection probability for one query at one divergence."""
+
+    query: EncodedQuery
+    substitution_rate: float
+    probabilities: np.ndarray
+    pmf: np.ndarray
+
+    @property
+    def expected_score(self) -> float:
+        return float(self.probabilities.sum())
+
+    def detection_probability(self, threshold: int) -> float:
+        """P(homolog score >= threshold)."""
+        if threshold <= 0:
+            return 1.0
+        if threshold >= self.pmf.size:
+            return 0.0
+        return float(self.pmf[threshold:].sum())
+
+    def max_threshold_for_recall(self, recall: float) -> int:
+        """Largest threshold whose detection probability is >= ``recall``."""
+        if not 0.0 < recall <= 1.0:
+            raise ValueError("recall must be in (0, 1]")
+        best = 0
+        for threshold in range(self.pmf.size + 1):
+            if self.detection_probability(threshold) >= recall:
+                best = threshold
+        return best
+
+
+def detection_model(query, substitution_rate: float) -> DetectionModel:
+    """Build the exact Poisson-binomial detection model."""
+    encoded = query if isinstance(query, EncodedQuery) else encode_query(query)
+    probabilities = element_survival_probabilities(encoded, substitution_rate)
+    pmf = np.zeros(len(encoded) + 1)
+    pmf[0] = 1.0
+    for p in probabilities:
+        pmf[1:] = pmf[1:] * (1 - p) + pmf[:-1] * p
+        pmf[0] *= 1 - p
+    return DetectionModel(
+        query=encoded,
+        substitution_rate=substitution_rate,
+        probabilities=probabilities,
+        pmf=pmf,
+    )
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A threshold with its two analytic error rates."""
+
+    threshold: int
+    detection_probability: float
+    expected_false_hits: float
+
+
+def operating_curve(
+    query,
+    *,
+    substitution_rate: float,
+    reference_length: int,
+    thresholds: Optional[Sequence[int]] = None,
+) -> List[OperatingPoint]:
+    """Analytic ROC: detection probability vs expected random hits.
+
+    Combines the detection model (signal side) with the null model of
+    :mod:`repro.analysis.statistics` (noise side) — the closed-form
+    counterpart of :func:`repro.analysis.roc.roc_curve`.
+    """
+    from repro.analysis.statistics import null_score_model
+
+    encoded = query if isinstance(query, EncodedQuery) else encode_query(query)
+    signal = detection_model(encoded, substitution_rate)
+    noise = null_score_model(encoded)
+    elements = len(encoded)
+    if thresholds is None:
+        thresholds = list(range(elements // 2, elements + 1, max(1, elements // 20)))
+    return [
+        OperatingPoint(
+            threshold=threshold,
+            detection_probability=signal.detection_probability(threshold),
+            expected_false_hits=noise.expected_hits(threshold, reference_length),
+        )
+        for threshold in thresholds
+    ]

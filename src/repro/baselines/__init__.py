@@ -1,0 +1,48 @@
+"""Baseline aligners the paper compares FabP against.
+
+* :mod:`repro.baselines.smith_waterman` — optimal DP local alignment
+  (linear/affine/ungapped), the accuracy ground truth;
+* :mod:`repro.baselines.tblastn` — a from-scratch TBLASTN-like pipeline
+  (six-frame translation, k-mer neighborhood seeding, two-hit filter,
+  X-drop and gapped extension);
+* :mod:`repro.baselines.scoring` — BLOSUM62 and nucleotide scoring.
+"""
+
+from repro.baselines.kmer_index import KmerIndex, WordHit
+from repro.baselines.scoring import (
+    BLOSUM62,
+    GapPenalty,
+    NucleotideScoring,
+    ProteinScoring,
+)
+from repro.baselines.smith_waterman import (
+    LocalAlignment,
+    smith_waterman,
+    sw_score,
+    ungapped_extend,
+)
+from repro.baselines.tblastn import (
+    Tblastn,
+    TblastnHsp,
+    TblastnParams,
+    TblastnResult,
+    tblastn_search,
+)
+
+__all__ = [
+    "BLOSUM62",
+    "GapPenalty",
+    "KmerIndex",
+    "LocalAlignment",
+    "NucleotideScoring",
+    "ProteinScoring",
+    "Tblastn",
+    "TblastnHsp",
+    "TblastnParams",
+    "TblastnResult",
+    "WordHit",
+    "smith_waterman",
+    "sw_score",
+    "tblastn_search",
+    "ungapped_extend",
+]

@@ -1,0 +1,132 @@
+"""BLAST-style k-mer neighborhood index over a protein query.
+
+BLAST's seeding stage (§II of the paper) puts every query k-mer — plus its
+*neighborhood*: all words scoring at least ``threshold`` against it under
+the substitution matrix — into a hash table, then streams database words
+through the table.  The hash probes are random accesses, which the paper
+identifies as the CPU pipeline's bottleneck; our performance model charges
+for them and this module implements them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, Iterator, List, Tuple
+
+from repro.baselines.scoring import BLOSUM62, ProteinScoring
+from repro.seq import alphabet
+
+
+@dataclass(frozen=True)
+class WordHit:
+    """One seeding event: a subject word matched a query k-mer neighborhood."""
+
+    query_pos: int
+    subject_pos: int
+    word: str
+
+    @property
+    def diagonal(self) -> int:
+        """Subject minus query position — BLAST groups hits per diagonal."""
+        return self.subject_pos - self.query_pos
+
+
+class KmerIndex:
+    """Neighborhood word table for one protein query.
+
+    ``k`` and ``threshold`` default to NCBI TBLASTN's word size 3 and a
+    neighborhood threshold in its usual range (T=13 keeps tables small; we
+    default slightly lower for sensitivity on short synthetic queries).
+    """
+
+    def __init__(
+        self,
+        query: str,
+        *,
+        k: int = 3,
+        threshold: int = 11,
+        scoring: ProteinScoring = None,
+    ):
+        if k < 1:
+            raise ValueError("k must be positive")
+        query = str(query)
+        if len(query) < k:
+            raise ValueError(f"query shorter than word size {k}")
+        self.query = query
+        self.k = k
+        self.threshold = threshold
+        self.scoring = scoring if scoring is not None else ProteinScoring()
+        self._table: Dict[str, List[int]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        # Exact-word self scores first; prune neighborhood enumeration by
+        # best-remaining bound to keep the 20^k expansion tractable.
+        residues = alphabet.AMINO_ACIDS
+        score = self.scoring.score
+        for pos in range(len(self.query) - self.k + 1):
+            word = self.query[pos : pos + self.k]
+            if "*" in word:
+                continue  # stops never seed
+            # Per-position score ceilings for pruning.
+            ceilings = []
+            for wc in word:
+                ceilings.append(max(score(wc, r) for r in residues))
+            suffix_best = [0] * (self.k + 1)
+            for i in range(self.k - 1, -1, -1):
+                suffix_best[i] = suffix_best[i + 1] + ceilings[i]
+            self._expand(word, pos, 0, 0, [], suffix_best)
+
+    def _expand(
+        self,
+        word: str,
+        pos: int,
+        depth: int,
+        running: int,
+        prefix: List[str],
+        suffix_best: List[int],
+    ) -> None:
+        if depth == self.k:
+            if running >= self.threshold:
+                self._table.setdefault("".join(prefix), []).append(pos)
+            return
+        for residue in alphabet.AMINO_ACIDS:
+            gained = self.scoring.score(word[depth], residue)
+            if running + gained + suffix_best[depth + 1] < self.threshold:
+                continue
+            prefix.append(residue)
+            self._expand(word, pos, depth + 1, running + gained, prefix, suffix_best)
+            prefix.pop()
+
+    def __len__(self) -> int:
+        """Number of distinct neighborhood words."""
+        return len(self._table)
+
+    def lookup(self, word: str) -> List[int]:
+        """Query positions whose neighborhood contains ``word``."""
+        return self._table.get(word, [])
+
+    def scan(self, subject: str) -> Iterator[WordHit]:
+        """Stream a subject protein through the table, yielding word hits.
+
+        Yields one :class:`WordHit` per (subject word, matching query
+        position) pair — exactly the random-access probe stream the paper's
+        CPU bottleneck argument is about.
+        """
+        k = self.k
+        table = self._table
+        for j in range(len(subject) - k + 1):
+            word = subject[j : j + k]
+            positions = table.get(word)
+            if positions:
+                for pos in positions:
+                    yield WordHit(query_pos=pos, subject_pos=j, word=word)
+
+    def stats(self) -> Dict[str, int]:
+        """Table statistics (used by the performance-model cross-check)."""
+        return {
+            "words": len(self._table),
+            "entries": sum(len(v) for v in self._table.values()),
+            "query_kmers": len(self.query) - self.k + 1,
+        }

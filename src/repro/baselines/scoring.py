@@ -1,0 +1,136 @@
+"""Scoring schemes for the baseline aligners.
+
+* :data:`BLOSUM62` — the standard protein substitution matrix (the default
+  of NCBI BLASTP/TBLASTN, which the paper benchmarks against);
+* :class:`NucleotideScoring` / :class:`ProteinScoring` — match/mismatch and
+  matrix-based scorers with affine gap penalties, shared by the
+  Smith-Waterman implementations and the TBLASTN extension stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.seq import alphabet
+
+#: The standard BLOSUM62 matrix, NCBI ordering, including * (stop) rows.
+_BLOSUM62_ALPHABET = "ARNDCQEGHILKMFPSTWYV*"
+_BLOSUM62_ROWS = """
+ 4 -1 -2 -2  0 -1 -1  0 -2 -1 -1 -1 -1 -2 -1  1  0 -3 -2  0 -4
+-1  5  0 -2 -3  1  0 -2  0 -3 -2  2 -1 -3 -2 -1 -1 -3 -2 -3 -4
+-2  0  6  1 -3  0  0  0  1 -3 -3  0 -2 -3 -2  1  0 -4 -2 -3 -4
+-2 -2  1  6 -3  0  2 -1 -1 -3 -4 -1 -3 -3 -1  0 -1 -4 -3 -3 -4
+ 0 -3 -3 -3  9 -3 -4 -3 -3 -1 -1 -3 -1 -2 -3 -1 -1 -2 -2 -1 -4
+-1  1  0  0 -3  5  2 -2  0 -3 -2  1  0 -3 -1  0 -1 -2 -1 -2 -4
+-1  0  0  2 -4  2  5 -2  0 -3 -3  1 -2 -3 -1  0 -1 -3 -2 -2 -4
+ 0 -2  0 -1 -3 -2 -2  6 -2 -4 -4 -2 -3 -3 -2  0 -2 -2 -3 -3 -4
+-2  0  1 -1 -3  0  0 -2  8 -3 -3 -1 -2 -1 -2 -1 -2 -2  2 -3 -4
+-1 -3 -3 -3 -1 -3 -3 -4 -3  4  2 -3  1  0 -3 -2 -1 -3 -1  3 -4
+-1 -2 -3 -4 -1 -2 -3 -4 -3  2  4 -2  2  0 -3 -2 -1 -2 -1  1 -4
+-1  2  0 -1 -3  1  1 -2 -1 -3 -2  5 -1 -3 -1  0 -1 -3 -2 -2 -4
+-1 -1 -2 -3 -1  0 -2 -3 -2  1  2 -1  5  0 -2 -1 -1 -1 -1  1 -4
+-2 -3 -3 -3 -2 -3 -3 -3 -1  0  0 -3  0  6 -4 -2 -2  1  3 -1 -4
+-1 -2 -2 -1 -3 -1 -1 -2 -2 -3 -3 -1 -2 -4  7 -1 -1 -4 -3 -2 -4
+ 1 -1  1  0 -1  0  0  0 -1 -2 -2  0 -1 -2 -1  4  1 -3 -2 -2 -4
+ 0 -1  0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -2 -1  1  5 -2 -2  0 -4
+-3 -3 -4 -4 -2 -2 -3 -2 -2 -3 -2 -3 -1  1 -4 -3 -2 11  2 -3 -4
+-2 -2 -2 -3 -2 -1 -2 -3  2 -1 -1 -2 -1  3 -3 -2 -2  2  7 -1 -4
+ 0 -3 -3 -3 -1 -2 -2 -3 -3  3  1 -2  1 -1 -2 -2  0 -3 -1  4 -4
+-4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4  1
+"""
+
+
+def _parse_blosum() -> Dict[Tuple[str, str], int]:
+    matrix: Dict[Tuple[str, str], int] = {}
+    rows = [line.split() for line in _BLOSUM62_ROWS.strip().splitlines()]
+    for i, row in enumerate(rows):
+        for j, value in enumerate(row):
+            matrix[(_BLOSUM62_ALPHABET[i], _BLOSUM62_ALPHABET[j])] = int(value)
+    return matrix
+
+
+#: ``BLOSUM62[(a, b)]`` — substitution score of residues a, b.
+BLOSUM62: Dict[Tuple[str, str], int] = _parse_blosum()
+
+
+@dataclass(frozen=True)
+class GapPenalty:
+    """Affine gap penalty: ``open + extend * length`` (positive costs)."""
+
+    open: int = 11
+    extend: int = 1
+
+    def __post_init__(self) -> None:
+        if self.open < 0 or self.extend < 0:
+            raise ValueError("gap penalties are costs and must be non-negative")
+
+    def cost(self, length: int) -> int:
+        if length <= 0:
+            return 0
+        return self.open + self.extend * length
+
+
+class ProteinScoring:
+    """Matrix-based protein scorer (defaults: BLOSUM62, BLAST gap costs)."""
+
+    def __init__(
+        self,
+        matrix: Dict[Tuple[str, str], int] = BLOSUM62,
+        gap: GapPenalty = GapPenalty(11, 1),
+    ):
+        self.matrix = matrix
+        self.gap = gap
+        letters = alphabet.AMINO_ACIDS_WITH_STOP
+        self._index = {aa: i for i, aa in enumerate(letters)}
+        size = len(letters)
+        self._table = np.zeros((size, size), dtype=np.int32)
+        for a, i in self._index.items():
+            for b, j in self._index.items():
+                self._table[i, j] = matrix.get((a, b), matrix.get((b, a), -4))
+
+    def score(self, a: str, b: str) -> int:
+        """Substitution score of two residues."""
+        return int(self._table[self._index[a], self._index[b]])
+
+    def encode(self, sequence: str) -> np.ndarray:
+        """Residues to matrix row indices (vectorized DP uses these)."""
+        return np.array([self._index[aa] for aa in sequence], dtype=np.int16)
+
+    @property
+    def table(self) -> np.ndarray:
+        return self._table
+
+
+class NucleotideScoring:
+    """Match/mismatch nucleotide scorer (BLASTN-style defaults)."""
+
+    def __init__(self, match: int = 2, mismatch: int = -3, gap: GapPenalty = GapPenalty(5, 2)):
+        if match <= 0:
+            raise ValueError("match score must be positive")
+        if mismatch >= 0:
+            raise ValueError("mismatch score must be negative")
+        self.match = match
+        self.mismatch = mismatch
+        self.gap = gap
+        size = len(alphabet.RNA_NUCLEOTIDES)
+        self._table = np.full((size, size), mismatch, dtype=np.int32)
+        np.fill_diagonal(self._table, match)
+        # Accept both RNA and DNA letters (T aliases U), so mixed inputs
+        # from auto-detection or user files score sensibly.
+        self._index = dict(alphabet.RNA_CODE)
+        self._index.update(alphabet.DNA_CODE)
+
+    def score(self, a: str, b: str) -> int:
+        if a in self._index and b in self._index:
+            return self.match if self._index[a] == self._index[b] else self.mismatch
+        return self.match if a == b else self.mismatch
+
+    def encode(self, sequence: str) -> np.ndarray:
+        return np.array([self._index[nt] for nt in sequence], dtype=np.int16)
+
+    @property
+    def table(self) -> np.ndarray:
+        return self._table

@@ -1,0 +1,355 @@
+"""Smith-Waterman local alignment (linear and affine gap penalties).
+
+This is the paper's DP reference point (§II): optimal local alignment
+supporting substitutions *and* indels, O(L_a * L_b) time.  Three roles in
+the reproduction:
+
+* ground truth for the §IV-A accuracy study (does FabP's substitution-only
+  scoring lose hits that a full aligner finds?);
+* the rescoring stage of the TBLASTN pipeline;
+* the complexity baseline quoted in the paper's motivation.
+
+Implementation notes: plain row-by-row DP with numpy row storage.  The
+affine recurrence follows Gotoh:
+
+    E[i][j] = max(E[i][j-1] - extend, H[i][j-1] - open - extend)   (gap in A)
+    F[i][j] = max(F[i-1][j] - extend, H[i-1][j] - open - extend)   (gap in B)
+    H[i][j] = max(0, H[i-1][j-1] + s(a_i, b_j), E[i][j], F[i][j])
+
+with local-alignment clamping at zero.  Traceback keeps uint8 pointer
+matrices (memory: 3 bytes/cell), so use ``traceback=False`` for large
+score-only scans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.scoring import NucleotideScoring, ProteinScoring
+from repro.seq import alphabet
+
+_STOP, _DIAG, _LEFT, _UP = 0, 1, 2, 3
+
+
+@dataclass(frozen=True)
+class LocalAlignment:
+    """Result of a local alignment.
+
+    ``a_start/a_end`` and ``b_start/b_end`` are half-open ranges into the
+    two input strings; ``aligned_a``/``aligned_b`` are the gapped alignment
+    rows (empty when traceback was disabled).
+    """
+
+    score: int
+    a_start: int
+    a_end: int
+    b_start: int
+    b_end: int
+    aligned_a: str = ""
+    aligned_b: str = ""
+
+    @property
+    def length(self) -> int:
+        """Alignment columns (including gap columns)."""
+        return len(self.aligned_a)
+
+    @property
+    def identity(self) -> float:
+        """Fraction of identical columns (0 when traceback was disabled)."""
+        if not self.aligned_a:
+            return 0.0
+        same = sum(1 for x, y in zip(self.aligned_a, self.aligned_b) if x == y)
+        return same / len(self.aligned_a)
+
+    @property
+    def gaps(self) -> int:
+        """Total gap characters across both rows."""
+        return self.aligned_a.count("-") + self.aligned_b.count("-")
+
+    def __str__(self) -> str:
+        return (
+            f"LocalAlignment(score={self.score}, a[{self.a_start}:{self.a_end}], "
+            f"b[{self.b_start}:{self.b_end}], id={self.identity:.0%})"
+        )
+
+
+def _default_scoring(a: str, b: str):
+    """Pick a scorer from content: nucleotide if both look like RNA/DNA."""
+    a_rna = alphabet.is_rna(a) or alphabet.is_dna(a)
+    b_rna = alphabet.is_rna(b) or alphabet.is_dna(b)
+    if a_rna and b_rna:
+        return NucleotideScoring()
+    return ProteinScoring()
+
+
+def smith_waterman(
+    a: str,
+    b: str,
+    scoring=None,
+    *,
+    mode: str = "affine",
+    traceback: bool = True,
+) -> LocalAlignment:
+    """Optimal local alignment of strings ``a`` and ``b``.
+
+    ``mode`` is ``"affine"`` (Gotoh, default), ``"linear"`` (gap cost =
+    extend per residue; ``open`` ignored) or ``"ungapped"`` (substitutions
+    only — the DP analogue of FabP's scoring model).
+    """
+    a = str(a)
+    b = str(b)
+    if scoring is None:
+        scoring = _default_scoring(a, b)
+    if mode not in ("affine", "linear", "ungapped"):
+        raise ValueError(f"unknown mode {mode!r}")
+    if not a or not b:
+        return LocalAlignment(0, 0, 0, 0, 0)
+    codes_a = scoring.encode(a)
+    codes_b = scoring.encode(b)
+    table = scoring.table
+    gap_open = scoring.gap.open if mode == "affine" else 0
+    gap_extend = scoring.gap.extend
+
+    n, m = len(a), len(b)
+    neg_inf = np.int32(-(10**9))
+    h_prev = np.zeros(m + 1, dtype=np.int32)
+    f_prev = np.full(m + 1, neg_inf, dtype=np.int32)
+    best = 0
+    best_pos = (0, 0)
+    # Three pointer planes (Gotoh state machine): the H plane records where
+    # each cell's max came from; the E/F planes record whether the gap run
+    # continues (1) or opens from H (0).
+    ptr_h = np.zeros((n + 1, m + 1), dtype=np.uint8) if traceback else None
+    ptr_e = np.zeros((n + 1, m + 1), dtype=np.uint8) if traceback else None
+    ptr_f = np.zeros((n + 1, m + 1), dtype=np.uint8) if traceback else None
+
+    for i in range(1, n + 1):
+        h_row = np.zeros(m + 1, dtype=np.int32)
+        f_row = np.full(m + 1, neg_inf, dtype=np.int32)
+        e = neg_inf
+        row_scores = table[codes_a[i - 1], codes_b]
+        for j in range(1, m + 1):
+            diag = h_prev[j - 1] + row_scores[j - 1]
+            if mode == "ungapped":
+                h = diag if diag > 0 else 0
+                ptr = _DIAG if h > 0 else _STOP
+            else:
+                e_extend = e - gap_extend
+                e_open = h_row[j - 1] - gap_open - gap_extend
+                e = max(e_extend, e_open)
+                f_extend = f_prev[j] - gap_extend
+                f_open = h_prev[j] - gap_open - gap_extend
+                f = max(f_extend, f_open)
+                f_row[j] = f
+                h = max(0, diag, e, f)
+                if h == 0:
+                    ptr = _STOP
+                elif h == diag:
+                    ptr = _DIAG
+                elif h == e:
+                    ptr = _LEFT
+                else:
+                    ptr = _UP
+                if traceback:
+                    ptr_e[i, j] = 1 if e_extend >= e_open else 0
+                    ptr_f[i, j] = 1 if f_extend >= f_open else 0
+            h_row[j] = h
+            if traceback:
+                ptr_h[i, j] = ptr
+            if h > best:
+                best = int(h)
+                best_pos = (i, j)
+        h_prev = h_row
+        f_prev = f_row
+
+    if not traceback:
+        i, j = best_pos
+        return LocalAlignment(best, 0, i, 0, j)
+    return _traceback(a, b, ptr_h, ptr_e, ptr_f, best, best_pos)
+
+
+def _traceback(
+    a: str,
+    b: str,
+    ptr_h: np.ndarray,
+    ptr_e: np.ndarray,
+    ptr_f: np.ndarray,
+    best: int,
+    best_pos: Tuple[int, int],
+) -> LocalAlignment:
+    """Walk the three-state (H/E/F) pointer planes from the best cell."""
+    i, j = best_pos
+    end_a, end_b = i, j
+    out_a = []
+    out_b = []
+    state = "H"
+    while i > 0 and j > 0:
+        if state == "H":
+            ptr = ptr_h[i, j]
+            if ptr == _STOP:
+                break
+            if ptr == _DIAG:
+                out_a.append(a[i - 1])
+                out_b.append(b[j - 1])
+                i -= 1
+                j -= 1
+            elif ptr == _LEFT:
+                state = "E"
+            else:
+                state = "F"
+        elif state == "E":
+            # Gap in A, consuming b[j-1]; continue the run or close into H.
+            out_a.append("-")
+            out_b.append(b[j - 1])
+            continues = ptr_e[i, j]
+            j -= 1
+            if not continues:
+                state = "H"
+        else:  # state == "F"
+            out_a.append(a[i - 1])
+            out_b.append("-")
+            continues = ptr_f[i, j]
+            i -= 1
+            if not continues:
+                state = "H"
+    return LocalAlignment(
+        score=best,
+        a_start=i,
+        a_end=end_a,
+        b_start=j,
+        b_end=end_b,
+        aligned_a="".join(reversed(out_a)),
+        aligned_b="".join(reversed(out_b)),
+    )
+
+
+def sw_score(a: str, b: str, scoring=None, *, mode: str = "affine") -> int:
+    """Score-only Smith-Waterman (no pointer matrices)."""
+    return smith_waterman(a, b, scoring, mode=mode, traceback=False).score
+
+
+def smith_waterman_banded(
+    a: str,
+    b: str,
+    scoring=None,
+    *,
+    band: int = 16,
+    diagonal: int = 0,
+    mode: str = "affine",
+) -> int:
+    """Score-only banded Smith-Waterman.
+
+    Restricts the DP to cells with ``|(j - i) - diagonal| <= band`` — the
+    standard trick when a seed fixes the alignment's diagonal (the TBLASTN
+    gapped stage, or rescoring a FabP hit whose position pins the
+    diagonal).  Runs in ``O(len(a) * band)``; with a band covering the whole
+    matrix it equals the full :func:`sw_score`.
+    """
+    a = str(a)
+    b = str(b)
+    if band < 0:
+        raise ValueError("band must be non-negative")
+    if scoring is None:
+        scoring = _default_scoring(a, b)
+    if mode not in ("affine", "linear", "ungapped"):
+        raise ValueError(f"unknown mode {mode!r}")
+    if not a or not b:
+        return 0
+    codes_a = scoring.encode(a)
+    codes_b = scoring.encode(b)
+    table = scoring.table
+    gap_open = scoring.gap.open if mode == "affine" else 0
+    gap_extend = scoring.gap.extend
+
+    n, m = len(a), len(b)
+    neg_inf = -(10**9)
+    h_prev = {0: 0}
+    f_prev: dict = {}
+    # Virtual row-0 cells inside the band score 0 (local alignment).
+    for j in range(max(1, diagonal - band), min(m, diagonal + band) + 1):
+        h_prev[j] = 0
+    best = 0
+    for i in range(1, n + 1):
+        j_lo = max(1, i + diagonal - band)
+        j_hi = min(m, i + diagonal + band)
+        if j_lo > j_hi:
+            h_prev, f_prev = {}, {}
+            continue
+        h_row: dict = {}
+        f_row: dict = {}
+        e = neg_inf
+        for j in range(j_lo, j_hi + 1):
+            # Out-of-band predecessors read 0: equivalent to starting a new
+            # local alignment at this cell, which is always legal.
+            diag = h_prev.get(j - 1, 0) + int(table[codes_a[i - 1], codes_b[j - 1]])
+            if mode == "ungapped":
+                h = diag if diag > 0 else 0
+            else:
+                e = max(e - gap_extend, h_row.get(j - 1, neg_inf) - gap_open - gap_extend)
+                f = max(
+                    f_prev.get(j, neg_inf) - gap_extend,
+                    h_prev.get(j, neg_inf) - gap_open - gap_extend,
+                )
+                f_row[j] = f
+                h = max(0, diag, e, f)
+            h_row[j] = h
+            if h > best:
+                best = h
+        h_prev, f_prev = h_row, f_row
+    return best
+
+
+def ungapped_extend(
+    a: str,
+    b: str,
+    a_pos: int,
+    b_pos: int,
+    seed_len: int,
+    scoring,
+    *,
+    x_drop: int = 16,
+) -> Tuple[int, int, int]:
+    """BLAST-style X-drop ungapped extension around a seed match.
+
+    Extends the seed ``a[a_pos : a_pos + seed_len] ~ b[b_pos : ...]`` in
+    both directions, abandoning a direction when the running score falls
+    ``x_drop`` below its maximum.  Returns ``(score, a_start, a_end)`` of
+    the best-scoring extension (coordinates into ``a``; the ``b`` range has
+    the same length at offset ``b_pos - a_pos``).
+    """
+    if seed_len <= 0:
+        raise ValueError("seed length must be positive")
+    score = 0
+    for k in range(seed_len):
+        score += scoring.score(a[a_pos + k], b[b_pos + k])
+    best = score
+    # Right extension.
+    best_right = a_pos + seed_len
+    run = score
+    i, j = a_pos + seed_len, b_pos + seed_len
+    while i < len(a) and j < len(b):
+        run += scoring.score(a[i], b[j])
+        if run > best:
+            best = run
+            best_right = i + 1
+        if run <= best - x_drop:
+            break
+        i += 1
+        j += 1
+    # Left extension.
+    best_left = a_pos
+    run = best
+    i, j = a_pos - 1, b_pos - 1
+    while i >= 0 and j >= 0:
+        run += scoring.score(a[i], b[j])
+        if run > best:
+            best = run
+            best_left = i
+        if run <= best - x_drop:
+            break
+        i -= 1
+        j -= 1
+    return best, best_left, best_right

@@ -1,0 +1,266 @@
+"""A from-scratch TBLASTN-like pipeline (the paper's CPU baseline).
+
+NCBI TBLASTN aligns a *protein* query against a *nucleotide* database by
+translating every subject in all six reading frames and running the protein
+BLAST pipeline against the translations.  This module implements that
+pipeline end to end:
+
+1. **six-frame translation** of each reference (:mod:`repro.seq.translate`);
+2. **seeding** — k-mer neighborhood word hits (:class:`KmerIndex`);
+3. **two-hit filtering** — a diagonal must collect two non-overlapping word
+   hits within a window before extension is attempted (BLAST's default
+   strategy; cuts extension work by an order of magnitude);
+4. **ungapped X-drop extension** around the second hit;
+5. **gapped Smith-Waterman rescoring** of extensions that clear the
+   trigger score, in a band around the ungapped HSP;
+6. hit reporting with nucleotide coordinates mapped back through the frame.
+
+This gives the reproduction a semantically faithful heuristic baseline: it
+finds (approximately) the same homologies FabP does, with the algorithmic
+structure whose random-access seeding behaviour the paper contrasts with
+FabP's sequential streaming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.kmer_index import KmerIndex, WordHit
+from repro.baselines.scoring import ProteinScoring
+from repro.baselines.smith_waterman import smith_waterman, ungapped_extend
+from repro.seq.sequence import as_protein, as_rna
+from repro.seq.translate import frame_to_nucleotide, translate_six_frames
+
+
+@dataclass(frozen=True)
+class TblastnHsp:
+    """A high-scoring segment pair from the TBLASTN pipeline."""
+
+    reference_name: str
+    frame: int
+    #: Protein-coordinate range in the translated frame.
+    subject_start: int
+    subject_end: int
+    #: Query protein range.
+    query_start: int
+    query_end: int
+    ungapped_score: int
+    gapped_score: int
+    identity: float
+    #: Forward-strand nucleotide coordinate where the HSP begins.
+    nucleotide_start: int
+
+    @property
+    def score(self) -> int:
+        return max(self.gapped_score, self.ungapped_score)
+
+    def __str__(self) -> str:
+        return (
+            f"HSP(frame={self.frame}, nt={self.nucleotide_start}, "
+            f"score={self.score}, id={self.identity:.0%})"
+        )
+
+
+@dataclass(frozen=True)
+class TblastnResult:
+    """All HSPs for one query against one reference."""
+
+    reference_name: str
+    hsps: Tuple[TblastnHsp, ...]
+    #: Pipeline work counters (feed the performance-model cross-check).
+    word_hits: int
+    two_hit_seeds: int
+    ungapped_extensions: int
+    gapped_extensions: int
+
+    @property
+    def best(self) -> Optional[TblastnHsp]:
+        return max(self.hsps, key=lambda h: h.score, default=None)
+
+    def ranked_by_evalue(self, query_length: int, database_length: int, params=None):
+        """HSPs annotated with Karlin-Altschul E-values, most significant
+        first — the ranking NCBI TBLASTN users actually see.
+
+        ``database_length`` is in nucleotides (converted to translated
+        residues internally, matching the search space the pipeline scans).
+        """
+        from repro.baselines.evalue import rank_hsps
+
+        # Six frames of length ~n/3 each: 2n translated residues.
+        translated_residues = max(1, 2 * database_length)
+        return rank_hsps(self.hsps, query_length, translated_residues, params)
+
+
+@dataclass
+class TblastnParams:
+    """Pipeline knobs, NCBI-flavored defaults scaled for synthetic data."""
+
+    k: int = 3
+    neighborhood_threshold: int = 11
+    two_hit_window: int = 40
+    x_drop: int = 16
+    gapped_trigger: int = 22
+    #: Band half-width (residues) around the ungapped HSP for gapped SW.
+    gapped_pad: int = 24
+    #: Report HSPs at or above this gapped score.
+    min_score: int = 30
+    #: Use the two-hit heuristic (disable for maximum sensitivity).
+    two_hit: bool = True
+
+
+class Tblastn:
+    """A reusable searcher: index once per query, scan many references."""
+
+    def __init__(
+        self,
+        query,
+        params: Optional[TblastnParams] = None,
+        scoring: Optional[ProteinScoring] = None,
+    ):
+        self.query = as_protein(query).letters
+        self.params = params if params is not None else TblastnParams()
+        self.scoring = scoring if scoring is not None else ProteinScoring()
+        self.index = KmerIndex(
+            self.query,
+            k=self.params.k,
+            threshold=self.params.neighborhood_threshold,
+            scoring=self.scoring,
+        )
+
+    def search(self, reference) -> TblastnResult:
+        """Run the full pipeline against one nucleotide reference."""
+        rna = as_rna(reference)
+        params = self.params
+        hsps: List[TblastnHsp] = []
+        word_hits = 0
+        seeds = 0
+        ungapped_runs = 0
+        gapped_runs = 0
+        for frame, protein in translate_six_frames(rna):
+            subject = protein.letters
+            if len(subject) < params.k:
+                continue
+            last_hit_on_diag: Dict[int, int] = {}
+            extended: Dict[int, int] = {}  # diagonal -> subject end covered
+            for hit in self.index.scan(subject):
+                word_hits += 1
+                if not self._seed_accepted(hit, last_hit_on_diag, extended):
+                    continue
+                seeds += 1
+                ungapped_runs += 1
+                hsp = self._extend(hit, subject, frame, rna, params)
+                if hsp is None:
+                    continue
+                if hsp.gapped_score != hsp.ungapped_score:
+                    gapped_runs += 1
+                extended[hit.diagonal] = hsp.subject_end
+                if hsp.score >= params.min_score:
+                    hsps.append(hsp)
+        unique = _deduplicate(hsps)
+        return TblastnResult(
+            reference_name=rna.name,
+            hsps=tuple(sorted(unique, key=lambda h: -h.score)),
+            word_hits=word_hits,
+            two_hit_seeds=seeds,
+            ungapped_extensions=ungapped_runs,
+            gapped_extensions=gapped_runs,
+        )
+
+    def search_database(self, references: Sequence) -> List[TblastnResult]:
+        """Scan a whole database; results in input order."""
+        return [self.search(reference) for reference in references]
+
+    # -- internals ------------------------------------------------------------
+
+    def _seed_accepted(
+        self,
+        hit: WordHit,
+        last_hit_on_diag: Dict[int, int],
+        extended: Dict[int, int],
+    ) -> bool:
+        """Apply the two-hit criterion and skip already-extended diagonals."""
+        diagonal = hit.diagonal
+        covered_to = extended.get(diagonal)
+        if covered_to is not None and hit.subject_pos < covered_to:
+            return False
+        if not self.params.two_hit:
+            return True
+        previous = last_hit_on_diag.get(diagonal)
+        if previous is None:
+            last_hit_on_diag[diagonal] = hit.subject_pos
+            return False
+        distance = hit.subject_pos - previous
+        if distance < self.params.k:
+            # Overlaps the stored hit; keep the older one (NCBI behaviour) so
+            # a later non-overlapping word can still pair with it.
+            return False
+        last_hit_on_diag[diagonal] = hit.subject_pos
+        return distance <= self.params.two_hit_window
+
+    def _extend(
+        self,
+        hit: WordHit,
+        subject: str,
+        frame: int,
+        rna,
+        params: TblastnParams,
+    ) -> Optional[TblastnHsp]:
+        score, q_start, q_end = ungapped_extend(
+            self.query,
+            subject,
+            hit.query_pos,
+            hit.subject_pos,
+            params.k,
+            self.scoring,
+            x_drop=params.x_drop,
+        )
+        diagonal = hit.diagonal
+        s_start, s_end = q_start + diagonal, q_end + diagonal
+        gapped_score = score
+        identity = 0.0
+        if score >= params.gapped_trigger:
+            pad = params.gapped_pad
+            window_q = self.query[max(0, q_start - pad) : q_end + pad]
+            window_s = subject[max(0, s_start - pad) : s_end + pad]
+            alignment = smith_waterman(window_q, window_s, self.scoring)
+            gapped_score = max(gapped_score, alignment.score)
+            identity = alignment.identity
+        elif q_end > q_start:
+            same = sum(
+                1
+                for qq, ss in zip(self.query[q_start:q_end], subject[s_start:s_end])
+                if qq == ss
+            )
+            identity = same / (q_end - q_start)
+        if max(score, gapped_score) < min(params.gapped_trigger, params.min_score):
+            return None
+        return TblastnHsp(
+            reference_name=getattr(rna, "name", ""),
+            frame=frame,
+            subject_start=s_start,
+            subject_end=s_end,
+            query_start=q_start,
+            query_end=q_end,
+            ungapped_score=score,
+            gapped_score=gapped_score,
+            identity=identity,
+            nucleotide_start=frame_to_nucleotide(frame, s_start, len(rna.letters)),
+        )
+
+
+def _deduplicate(hsps: List[TblastnHsp]) -> List[TblastnHsp]:
+    """Collapse HSPs that cover the same (frame, subject range) region."""
+    best: Dict[Tuple[int, int], TblastnHsp] = {}
+    for hsp in hsps:
+        key = (hsp.frame, hsp.subject_start)
+        kept = best.get(key)
+        if kept is None or hsp.score > kept.score:
+            best[key] = hsp
+    return list(best.values())
+
+
+def tblastn_search(query, reference, **params) -> TblastnResult:
+    """One-call convenience: search one reference with default params."""
+    options = TblastnParams(**params) if params else None
+    return Tblastn(query, options).search(reference)

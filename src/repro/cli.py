@@ -1,0 +1,418 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Subcommands:
+
+* ``encode``    — back-translate and encode protein queries (FASTA or inline)
+* ``search``    — align queries against a reference database (FASTA)
+* ``generate``  — build a synthetic database with planted homologs
+* ``table1``    — print the Table I resource model
+* ``fig6``      — print the Fig. 6 performance/energy sweep
+* ``crossover`` — print the §IV-B bandwidth/resource crossover sweep
+* ``stats``     — null-score statistics and threshold suggestion for a query
+
+Everything is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.accel.device import KINTEX7, LARGE_FPGA, FpgaDevice
+
+DEVICES = {"kintex7": KINTEX7, "large": LARGE_FPGA}
+
+
+def _device(name: str) -> FpgaDevice:
+    return DEVICES[name]
+
+
+def _load_queries(args) -> List:
+    from repro.seq import fasta
+    from repro.seq.sequence import ProteinSequence
+
+    if args.query_file:
+        return fasta.read_proteins(args.query_file)
+    if args.query:
+        return [ProteinSequence(q, name=f"query_{i}") for i, q in enumerate(args.query)]
+    raise SystemExit("provide --query SEQ... or --query-file FASTA")
+
+
+def cmd_encode(args) -> int:
+    from repro.core import pattern_string
+    from repro.core.encoding import encode_query, instruction_bit_string
+
+    for query in _load_queries(args):
+        encoded = encode_query(query)
+        print(f">{query.name or 'query'}  ({len(query)} aa, "
+              f"{encoded.storage_bits()} bits)")
+        print(f"  pattern: {pattern_string(query)}")
+        if args.bits:
+            bits = " ".join(instruction_bit_string(i) for i in encoded.instructions)
+            print(f"  instructions: {bits}")
+        else:
+            hex_str = "".join(f"{i:02x}" for i in encoded.instructions)
+            print(f"  instructions (hex bytes): {hex_str}")
+    return 0
+
+
+def cmd_search(args) -> int:
+    from repro.analysis.report import text_table
+    from repro.host.session import FabPHost
+    from repro.seq import fasta
+
+    host = FabPHost(_device(args.device))
+    count = host.load_fasta(args.database)
+    print(f"database: {count} references, {host.database_nucleotides:,} nt "
+          f"({host.database_bytes:,} packed bytes) on {host.device.name}")
+    reference_texts = None
+    if args.rescore:
+        reference_texts = {
+            header: sequence for header, sequence in fasta.read_fasta(args.database)
+        }
+    rows = []
+    for query in _load_queries(args):
+        result = host.search(
+            query,
+            min_identity=args.min_identity,
+            both_strands=args.both_strands,
+        )
+        if args.rescore:
+            from repro.host.rescore import rescore_search_result
+
+            report = rescore_search_result(
+                result, reference_texts, max_evalue=args.max_evalue
+            )
+            for rescored in report.hits[: args.max_hits]:
+                rows.append(
+                    [
+                        query.name or "query",
+                        rescored.hit.reference,
+                        rescored.hit.position,
+                        rescored.hit.strand,
+                        rescored.alignment.score,
+                        f"{rescored.evalue:.2g}",
+                    ]
+                )
+            print(
+                f"{query.name}: {len(result.hits)} raw hits -> "
+                f"{len(report.hits)} verified (E <= {args.max_evalue})"
+            )
+            continue
+        shown = result.hits[: args.max_hits]
+        for hit in shown:
+            rows.append(
+                [
+                    query.name or "query",
+                    hit.reference,
+                    hit.position,
+                    hit.strand,
+                    hit.score,
+                    f"{hit.score / len(result.query):.0%}",
+                ]
+            )
+        if not shown:
+            rows.append([query.name or "query", "-", "-", "-", "-", "-"])
+        print(
+            f"{query.name}: {len(result.hits)} hits >= {result.threshold}, "
+            f"{result.total_seconds * 1e3:.2f} ms modeled "
+            f"({result.kernel_seconds * 1e3:.2f} ms kernel)"
+        )
+    print()
+    last_column = "E-value" if args.rescore else "identity"
+    print(
+        text_table(
+            ["query", "reference", "position", "strand", "score", last_column], rows
+        )
+    )
+    return 0
+
+
+def cmd_generate(args) -> int:
+    from repro.seq import fasta
+    from repro.workloads.builder import build_database, sample_queries
+
+    rng = np.random.default_rng(args.seed)
+    queries = sample_queries(args.queries, length=args.length, rng=rng)
+    database = build_database(
+        queries,
+        num_references=args.references,
+        reference_length=args.reference_length,
+        substitution_rate=args.substitution_rate,
+        indel_events=args.indels,
+        codon_usage=args.codon_usage,
+        rng=rng,
+    )
+    fasta.write_fasta(
+        args.out_db, [(r.name, r.letters) for r in database.references]
+    )
+    fasta.write_fasta(args.out_queries, [(q.name, q.letters) for q in queries])
+    print(f"wrote {args.references} references -> {args.out_db}")
+    print(f"wrote {args.queries} queries -> {args.out_queries}")
+    for planting in database.planted:
+        print(
+            f"  planted {planting.query.name} in ref {planting.reference_index} "
+            f"@ {planting.position} (subs={planting.substitutions}, "
+            f"indels={planting.indels})"
+        )
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from repro.accel.resources import table1
+    from repro.analysis.report import text_table
+
+    rows = []
+    for length, report in table1(_device(args.device)).items():
+        row = report.row()
+        rows.append([f"FabP-{length}", report.plan.segments] + list(row.values()))
+    print(
+        text_table(
+            ["design", "cycles/beat", "LUT", "FF", "BRAM", "DSP", "DRAM BW"],
+            rows,
+            title=f"Table I model on {_device(args.device).name}",
+        )
+    )
+    return 0
+
+
+def cmd_fig6(args) -> int:
+    from repro.perf.figures import figure6
+
+    fig = figure6(device=_device(args.device))
+    print(fig.table("speedup"))
+    print()
+    print(fig.table("energy"))
+    print()
+    for key, value in fig.headline().items():
+        print(f"{key}: {value:.2f}")
+    return 0
+
+
+def cmd_crossover(args) -> int:
+    from repro.accel.scheduler import max_unsegmented_elements, plan_schedule
+    from repro.analysis.report import text_table
+
+    device = _device(args.device)
+    rows = []
+    for residues in (25, 50, 75, 100, 150, 200, 250):
+        plan = plan_schedule(3 * residues, device)
+        rows.append(
+            [
+                residues,
+                plan.segments,
+                "BW" if plan.bandwidth_bound else "LUTs",
+                f"{plan.lut_utilization:.0%}",
+            ]
+        )
+    crossover = max_unsegmented_elements(device) // 3
+    print(
+        text_table(
+            ["query(aa)", "cycles/beat", "bound", "LUT util"],
+            rows,
+            title=f"{device.name}: crossover at {crossover} aa",
+        )
+    )
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from repro.analysis.statistics import null_score_model
+
+    for query in _load_queries(args):
+        model = null_score_model(query)
+        elements = len(model.query)
+        print(f">{query.name or 'query'} ({len(query)} aa, {elements} elements)")
+        print(f"  null score: mean {model.mean:.2f}, sd {model.variance ** 0.5:.2f}")
+        for identity in (0.7, 0.8, 0.9):
+            threshold = int(np.ceil(identity * elements))
+            expected = model.expected_hits(threshold, args.reference_length)
+            print(
+                f"  identity >= {identity:.0%} (threshold {threshold}): "
+                f"{expected:.3g} expected random hits / {args.reference_length:,} nt"
+            )
+        suggested = model.threshold_for_fpr(args.target_fpr, args.reference_length)
+        print(
+            f"  suggested threshold for <= {args.target_fpr} random hits: "
+            f"{suggested} ({suggested / elements:.0%} identity)"
+        )
+    return 0
+
+
+def cmd_export_rtl(args) -> int:
+    import pathlib
+
+    from repro.accel.rtl_kernel import build_alignment_array
+    from repro.rtl.timing import analyze
+    from repro.rtl.verilog import write_verilog
+
+    queries = _load_queries(args)
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for query in queries:
+        array = build_alignment_array(
+            query, instances=args.instances, threshold=args.threshold,
+            loadable=args.loadable,
+        )
+        name = (query.name or "query").replace(" ", "_")
+        path = out_dir / f"fabp_{name}.v"
+        lines = write_verilog(array.netlist, path, f"fabp_{name}")
+        report = analyze(array.netlist)
+        stats = array.netlist.stats()
+        print(
+            f"{path}: {lines} lines, {stats['luts']} LUTs, {stats['ffs']} FFs, "
+            f"fmax ~{report.fmax_mhz:.0f} MHz"
+        )
+    return 0
+
+
+def cmd_compose(args) -> int:
+    from repro.analysis.composition import (
+        format_composition_table,
+        query_composition,
+    )
+
+    print(format_composition_table())
+    for query in _load_queries(args) if (args.query or args.query_file) else []:
+        composition = query_composition(query)
+        print(
+            f"\n>{query.name or 'query'}: {composition.residues} aa, "
+            f"{composition.total_information_bits:.0f} bits, expected null "
+            f"{composition.expected_null_score:.1f}/{composition.max_score}"
+        )
+    return 0
+
+
+def cmd_plan(args) -> int:
+    from repro.analysis.planner import (
+        WorkloadMix,
+        compare_deployments,
+        format_deployment_table,
+    )
+
+    counts = {}
+    for spec in args.queries:
+        try:
+            length, count = spec.lower().split("x")
+            counts[int(length)] = counts.get(int(length), 0) + int(count)
+        except ValueError:
+            raise SystemExit(f"bad query spec {spec!r}; expected LENxCOUNT like 50x60")
+    mix = WorkloadMix(args.database_nt, counts)
+    plans = compare_deployments(
+        mix,
+        device=_device(args.device),
+        boards=args.boards,
+        share_fabric=not args.no_share,
+    )
+    print(format_deployment_table(plans))
+    fabp, gpu, cpu12 = plans[0], plans[1], plans[2]
+    print(
+        f"\nFabP vs GPU: {gpu.batch_seconds / fabp.batch_seconds:.2f}x faster, "
+        f"{gpu.joules_per_query / fabp.joules_per_query:.1f}x less energy/query"
+    )
+    print(
+        f"FabP vs TBLASTN-12: {cpu12.batch_seconds / fabp.batch_seconds:.1f}x faster, "
+        f"{cpu12.joules_per_query / fabp.joules_per_query:.1f}x less energy/query"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FabP reproduction command-line interface"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_query_args(p):
+        p.add_argument("--query", nargs="*", help="inline protein sequence(s)")
+        p.add_argument("--query-file", help="protein FASTA file")
+
+    p = sub.add_parser("encode", help="back-translate and encode queries")
+    add_query_args(p)
+    p.add_argument("--bits", action="store_true", help="print raw bit strings")
+    p.set_defaults(func=cmd_encode)
+
+    p = sub.add_parser("search", help="search queries against a FASTA database")
+    add_query_args(p)
+    p.add_argument("--database", required=True, help="nucleotide FASTA (.gz ok)")
+    p.add_argument("--min-identity", type=float, default=0.9)
+    p.add_argument("--max-hits", type=int, default=20)
+    p.add_argument("--both-strands", action="store_true",
+                   help="also search the reverse complement")
+    p.add_argument("--rescore", action="store_true",
+                   help="verify hits with gapped SW and rank by E-value")
+    p.add_argument("--max-evalue", type=float, default=1e-3)
+    p.add_argument("--device", choices=sorted(DEVICES), default="kintex7")
+    p.set_defaults(func=cmd_search)
+
+    p = sub.add_parser("generate", help="build a synthetic planted database")
+    p.add_argument("--queries", type=int, default=3)
+    p.add_argument("--length", type=int, default=40)
+    p.add_argument("--references", type=int, default=2)
+    p.add_argument("--reference-length", type=int, default=20_000)
+    p.add_argument("--substitution-rate", type=float, default=0.0)
+    p.add_argument("--indels", type=int, default=0)
+    p.add_argument("--codon-usage", choices=("uniform", "paper", "first"),
+                   default="paper")
+    p.add_argument("--seed", type=int, default=2021)
+    p.add_argument("--out-db", default="synthetic_db.fasta")
+    p.add_argument("--out-queries", default="synthetic_queries.fasta")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("table1", help="print the Table I resource model")
+    p.add_argument("--device", choices=sorted(DEVICES), default="kintex7")
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("fig6", help="print the Fig. 6 sweep")
+    p.add_argument("--device", choices=sorted(DEVICES), default="kintex7")
+    p.set_defaults(func=cmd_fig6)
+
+    p = sub.add_parser("crossover", help="print the SEC IV-B crossover sweep")
+    p.add_argument("--device", choices=sorted(DEVICES), default="kintex7")
+    p.set_defaults(func=cmd_crossover)
+
+    p = sub.add_parser("export-rtl", help="export query datapaths as Verilog")
+    add_query_args(p)
+    p.add_argument("--out", default="rtl_export")
+    p.add_argument("--instances", type=int, default=2)
+    p.add_argument("--threshold", type=int, default=8)
+    p.add_argument("--loadable", action="store_true",
+                   help="build the FF query memory instead of constants")
+    p.set_defaults(func=cmd_export_rtl)
+
+    p = sub.add_parser("compose", help="pattern composition table / query info")
+    add_query_args(p)
+    p.set_defaults(func=cmd_compose)
+
+    p = sub.add_parser("plan", help="deployment planning: time/energy per platform")
+    p.add_argument("--database-nt", type=int, default=4_000_000_000,
+                   help="database size in nucleotides")
+    p.add_argument("--queries", nargs="+", default=["50x60", "150x30", "250x10"],
+                   metavar="LENxCOUNT", help="query mix, e.g. 50x60 250x10")
+    p.add_argument("--boards", type=int, default=1)
+    p.add_argument("--no-share", action="store_true",
+                   help="disable multi-query fabric sharing")
+    p.add_argument("--device", choices=sorted(DEVICES), default="kintex7")
+    p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("stats", help="null-score statistics for queries")
+    add_query_args(p)
+    p.add_argument("--reference-length", type=int, default=4_000_000_000)
+    p.add_argument("--target-fpr", type=float, default=1.0,
+                   help="acceptable expected random hits over the reference")
+    p.set_defaults(func=cmd_stats)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""FabP core: back-translation, instruction encoding, comparator, aligner.
+
+This package is the paper's primary contribution in software form:
+
+* :mod:`repro.core.codons` — the standard codon table (Fig. 2);
+* :mod:`repro.core.backtranslate` — Type I/II/III degenerate patterns;
+* :mod:`repro.core.encoding` — the 6-bit instruction set;
+* :mod:`repro.core.comparator` — normative comparator semantics and LUT
+  INIT derivation (Fig. 5);
+* :mod:`repro.core.aligner` — the golden substitution-only aligner.
+"""
+
+from repro.core.aligner import (
+    AlignmentResult,
+    Hit,
+    align,
+    alignment_scores,
+    alignment_scores_extended,
+    search_database,
+)
+from repro.core.backtranslate import (
+    BACK_TRANSLATION_TABLE,
+    CodonPattern,
+    back_translate,
+    pattern_string,
+)
+from repro.core.encoding import EncodedQuery, encode_query
+
+__all__ = [
+    "AlignmentResult",
+    "BACK_TRANSLATION_TABLE",
+    "CodonPattern",
+    "EncodedQuery",
+    "Hit",
+    "align",
+    "alignment_scores",
+    "alignment_scores_extended",
+    "back_translate",
+    "encode_query",
+    "pattern_string",
+    "search_database",
+]

@@ -1,0 +1,275 @@
+"""Software golden model of FabP alignment (§III-C).
+
+FabP slides the encoded query over the reference and, for each of the
+``L_r - L_q + 1`` alignment positions, counts how many query elements match
+(substitution-only scoring; no indels).  This module computes exactly the
+scores the hardware produces, in two implementations:
+
+* :func:`alignment_scores` — vectorized numpy, used by benches and examples;
+* :func:`alignment_scores_naive` — straight-line Python, used as a
+  cross-check oracle in tests (and it is the easiest version to read against
+  the paper).
+
+The LUT-level netlist model in :mod:`repro.accel` is verified against this
+module on randomized inputs, so all three implementations agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core import backtranslate as bt
+from repro.core import comparator as cmp
+from repro.core.encoding import EncodedQuery, encode_query
+from repro.seq import packing
+from repro.seq.sequence import RnaSequence, as_rna
+
+
+@dataclass(frozen=True)
+class Hit:
+    """One alignment position whose score cleared the threshold."""
+
+    position: int
+    score: int
+
+    def __str__(self) -> str:
+        return f"pos={self.position} score={self.score}"
+
+
+@dataclass(frozen=True)
+class AlignmentResult:
+    """Result of aligning one encoded query against one reference."""
+
+    query: EncodedQuery
+    reference_name: str
+    reference_length: int
+    threshold: int
+    hits: Tuple[Hit, ...]
+    scores: Optional[np.ndarray] = field(default=None, compare=False)
+
+    @property
+    def max_score(self) -> int:
+        """Best score over all positions (0 when the query does not fit)."""
+        if self.scores is not None and self.scores.size:
+            return int(self.scores.max())
+        if self.hits:
+            return max(h.score for h in self.hits)
+        return 0
+
+    @property
+    def best_hit(self) -> Optional[Hit]:
+        return max(self.hits, key=lambda h: (h.score, -h.position), default=None)
+
+    @property
+    def perfect_score(self) -> int:
+        """The maximum achievable score, one per encoded element."""
+        return len(self.query)
+
+    def __str__(self) -> str:
+        return (
+            f"AlignmentResult({self.reference_name or '<ref>'}: "
+            f"{len(self.hits)} hits >= {self.threshold}, max={self.max_score}/"
+            f"{self.perfect_score})"
+        )
+
+
+def _coerce_query(query: Union[EncodedQuery, str, "object"]) -> EncodedQuery:
+    if isinstance(query, EncodedQuery):
+        return query
+    return encode_query(query)
+
+
+def _reference_codes(reference) -> Tuple[np.ndarray, str]:
+    if isinstance(reference, np.ndarray):
+        return np.asarray(reference, dtype=np.uint8), ""
+    rna = as_rna(reference)
+    return packing.codes_from_text(rna.letters), rna.name
+
+
+def resolve_threshold(
+    query: EncodedQuery,
+    threshold: Optional[int] = None,
+    min_identity: Optional[float] = None,
+) -> int:
+    """Turn a user threshold spec into an absolute score.
+
+    Exactly one of ``threshold`` (absolute element count) or ``min_identity``
+    (fraction of the perfect score, 0..1) may be given; with neither, the
+    default asks for 90 % identity, a sensible "high similarity" cut for the
+    paper's use case.
+    """
+    if threshold is not None and min_identity is not None:
+        raise ValueError("give either threshold or min_identity, not both")
+    perfect = len(query)
+    if threshold is not None:
+        if not 0 <= threshold <= perfect:
+            raise ValueError(
+                f"threshold {threshold} outside [0, {perfect}] for this query"
+            )
+        return int(threshold)
+    identity = 0.9 if min_identity is None else min_identity
+    if not 0.0 <= identity <= 1.0:
+        raise ValueError("min_identity must be within [0, 1]")
+    return int(np.ceil(identity * perfect))
+
+
+def _x_bit_arrays(ref_codes: np.ndarray) -> np.ndarray:
+    """Per-position X-source bit arrays, indexed by config code.
+
+    Returns an array of shape ``(4, L_r)``: row ``config`` holds the X bit at
+    every reference position for that source.  Row 0 (CONFIG_SELF) is a
+    placeholder (the aligner substitutes the instruction's own b3).  Missing
+    look-back positions read as nucleotide ``A`` (code 0), matching hardware.
+    """
+    length = ref_codes.size
+    prev1 = np.zeros(length, dtype=np.uint8)
+    prev2 = np.zeros(length, dtype=np.uint8)
+    if length > 1:
+        prev1[1:] = ref_codes[:-1]
+    if length > 2:
+        prev2[2:] = ref_codes[:-2]
+    rows = np.zeros((4, length), dtype=np.uint8)
+    rows[1] = (prev1 >> 1) & 1  # CONFIG_PREV1_HI
+    rows[2] = prev2 & 1  # CONFIG_PREV2_LO
+    rows[3] = (prev2 >> 1) & 1  # CONFIG_PREV2_HI
+    return rows
+
+
+def alignment_scores(query, reference) -> np.ndarray:
+    """Scores of all ``L_r - L_q + 1`` alignment positions (vectorized).
+
+    ``query`` is an :class:`EncodedQuery`, protein sequence or string;
+    ``reference`` is an RNA/DNA sequence, string, or a 2-bit code array.
+    Returns an empty array when the query is longer than the reference.
+    """
+    encoded = _coerce_query(query)
+    ref_codes, _ = _reference_codes(reference)
+    num_elements = len(encoded)
+    num_positions = ref_codes.size - num_elements + 1
+    if num_positions <= 0:
+        return np.zeros(0, dtype=np.int32)
+    instructions = encoded.as_array()
+    tables, configs = cmp.instruction_tables(instructions)
+    x_rows = _x_bit_arrays(ref_codes)
+    scores = np.zeros(num_positions, dtype=np.int32)
+    for i in range(num_elements):
+        window = ref_codes[i : i + num_positions]
+        config = int(configs[i])
+        if config == 0:
+            x = (instructions[i] >> 3) & 1
+            scores += tables[i, x, window]
+        else:
+            x_bits = x_rows[config, i : i + num_positions]
+            scores += tables[i, x_bits, window]
+    return scores
+
+
+def alignment_scores_naive(query, reference) -> np.ndarray:
+    """Reference implementation with explicit loops (test oracle)."""
+    encoded = _coerce_query(query)
+    ref_codes, _ = _reference_codes(reference)
+    instructions = list(encoded.instructions)
+    num_positions = ref_codes.size - len(instructions) + 1
+    if num_positions <= 0:
+        return np.zeros(0, dtype=np.int32)
+    scores = np.zeros(num_positions, dtype=np.int32)
+    codes = [int(c) for c in ref_codes]
+    for k in range(num_positions):
+        total = 0
+        for i, instruction in enumerate(instructions):
+            pos = k + i
+            prev1 = codes[pos - 1] if pos >= 1 else 0
+            prev2 = codes[pos - 2] if pos >= 2 else 0
+            if cmp.instruction_matches(instruction, codes[pos], prev1, prev2):
+                total += 1
+        scores[k] = total
+    return scores
+
+
+def alignment_scores_extended(protein, reference) -> np.ndarray:
+    """Extended-mode scores: per residue, the best of *all* its patterns.
+
+    This removes the paper's Serine approximation (see DESIGN.md).  It is a
+    software-only extension: per residue the score contribution is the
+    maximum over that residue's patterns, so six-codon amino acids get full
+    sensitivity.  Hardware cost of this mode is estimated in
+    :mod:`repro.accel.resources`.
+    """
+    ref_codes, _ = _reference_codes(reference)
+    pattern_groups = bt.back_translate_extended(protein)
+    num_elements = 3 * len(pattern_groups)
+    num_positions = ref_codes.size - num_elements + 1
+    if num_positions <= 0:
+        return np.zeros(0, dtype=np.int32)
+    x_rows = _x_bit_arrays(ref_codes)
+    scores = np.zeros(num_positions, dtype=np.int32)
+    from repro.core.encoding import encode_pattern
+
+    for residue_index, patterns in enumerate(pattern_groups):
+        best = np.zeros(num_positions, dtype=np.int32)
+        for pattern in patterns:
+            instrs = np.asarray(encode_pattern(pattern), dtype=np.uint8)
+            tables, configs = cmp.instruction_tables(instrs)
+            partial = np.zeros(num_positions, dtype=np.int32)
+            for j in range(3):
+                i = 3 * residue_index + j
+                window = ref_codes[i : i + num_positions]
+                config = int(configs[j])
+                if config == 0:
+                    x = (int(instrs[j]) >> 3) & 1
+                    partial += tables[j, x, window]
+                else:
+                    x_bits = x_rows[config, i : i + num_positions]
+                    partial += tables[j, x_bits, window]
+            np.maximum(best, partial, out=best)
+        scores += best
+    return scores
+
+
+def align(
+    query,
+    reference,
+    *,
+    threshold: Optional[int] = None,
+    min_identity: Optional[float] = None,
+    keep_scores: bool = False,
+) -> AlignmentResult:
+    """Align a protein query against one reference; return thresholded hits.
+
+    This is the library's primary one-call API — back-translation, encoding,
+    scoring and thresholding in one step, mirroring the accelerator's
+    end-to-end behaviour (the hardware writes back exactly the positions
+    whose score clears the threshold).
+    """
+    encoded = _coerce_query(query)
+    ref_codes, ref_name = _reference_codes(reference)
+    resolved = resolve_threshold(encoded, threshold, min_identity)
+    scores = alignment_scores(encoded, ref_codes)
+    positions = np.nonzero(scores >= resolved)[0]
+    hits = tuple(Hit(int(p), int(scores[p])) for p in positions)
+    return AlignmentResult(
+        query=encoded,
+        reference_name=ref_name,
+        reference_length=int(ref_codes.size),
+        threshold=resolved,
+        hits=hits,
+        scores=scores if keep_scores else None,
+    )
+
+
+def search_database(
+    query,
+    references,
+    *,
+    threshold: Optional[int] = None,
+    min_identity: Optional[float] = None,
+) -> List[AlignmentResult]:
+    """Align one query against many references; results in input order."""
+    encoded = _coerce_query(query)
+    return [
+        align(encoded, reference, threshold=threshold, min_identity=min_identity)
+        for reference in references
+    ]

@@ -1,0 +1,389 @@
+"""Back-translation of amino acids into degenerate codon patterns.
+
+This implements §III-A of the paper.  Each amino acid (and the stop symbol)
+is expanded into a three-position pattern whose elements are one of:
+
+* **Type I** (:class:`ExactElement`) — the position is the same nucleotide in
+  every codon of the amino acid;
+* **Type II** (:class:`ConditionalElement`) — the admissible nucleotide set
+  does not depend on the other positions (conditions ``U/C``, ``A/G``,
+  ``not-G``, ``A/C`` as observed in the codon table);
+* **Type III** (:class:`DependentElement`) — the admissible set depends on an
+  *earlier* nucleotide of the same codon **in the reference**.  The standard
+  table needs exactly three dependency functions (Stop, Leu, Arg); the
+  always-match condition ``D`` is folded in as a fourth function, exactly as
+  the paper does "for the sake of hardware simplicity".
+
+The patterns are not hard-coded: :func:`derive_pattern` computes them from a
+codon set, and module-level tables apply it to the whole codon table.  A key
+hardware constraint is enforced during derivation — a Type III element's
+dependency must be decidable from a **single bit** of a single earlier
+nucleotide, because the FPGA comparator has exactly one spare LUT input (the
+``S`` bit produced by the mux LUT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, FrozenSet, Optional, Tuple, Union
+
+from repro.core import codons as codon_mod
+from repro.seq import alphabet
+from repro.seq.sequence import ProteinSequence, as_protein
+
+#: Every nucleotide — the ``D`` condition of the paper.
+ALL_NUCLEOTIDES: FrozenSet[str] = frozenset(alphabet.RNA_NUCLEOTIDES)
+
+
+class PatternError(ValueError):
+    """Raised when a codon set cannot be expressed as a FabP pattern."""
+
+
+@dataclass(frozen=True)
+class DependentFunction:
+    """A Type III dependency function (paper §III-B, functions F:00..F:11).
+
+    ``source_offset`` counts reference elements backwards from the dependent
+    position (1 = previous nucleotide, 2 = two back); ``source_bit`` selects
+    the high or low bit of that nucleotide's 2-bit code.  The selected bit is
+    the hardware ``S`` input: the admissible set is ``when0`` if it is 0 and
+    ``when1`` if it is 1.  For the always-match function (``D``) the source is
+    irrelevant and both sets cover all nucleotides.
+    """
+
+    name: str
+    code: int  # the 2-bit F field value
+    source_offset: int  # 1 or 2; 0 means "unused" (the D function)
+    source_bit: str  # "hi" or "lo"; ignored when source_offset == 0
+    when0: FrozenSet[str]
+    when1: FrozenSet[str]
+
+    def select_bit(self, prev1: str, prev2: str) -> int:
+        """Compute the S bit from the two preceding reference nucleotides."""
+        if self.source_offset == 0:
+            return 0
+        source = prev1 if self.source_offset == 1 else prev2
+        hi, lo = alphabet.nucleotide_bits(source)
+        return hi if self.source_bit == "hi" else lo
+
+    def admissible(self, prev1: str, prev2: str) -> FrozenSet[str]:
+        """The admissible nucleotide set given the preceding reference bases."""
+        return self.when1 if self.select_bit(prev1, prev2) else self.when0
+
+
+#: F:00 — third position of Stop (UAA/UAG vs UGA; keyed on hi bit of prev base).
+FUNCTION_STOP = DependentFunction(
+    name="STOP",
+    code=0b00,
+    source_offset=1,
+    source_bit="hi",
+    when0=frozenset({"A", "G"}),  # second base A -> third in {A, G}
+    when1=frozenset({"A"}),  # second base G -> third must be A
+)
+
+#: F:01 — third position of Leu (UUR vs CUN; keyed on hi bit of first base).
+FUNCTION_LEU = DependentFunction(
+    name="LEU",
+    code=0b01,
+    source_offset=2,
+    source_bit="hi",
+    when0=ALL_NUCLEOTIDES,  # first base C -> any third
+    when1=frozenset({"A", "G"}),  # first base U -> third in {A, G}
+)
+
+#: F:10 — third position of Arg (CGN vs AGR; keyed on lo bit of first base).
+FUNCTION_ARG = DependentFunction(
+    name="ARG",
+    code=0b10,
+    source_offset=2,
+    source_bit="lo",
+    when0=frozenset({"A", "G"}),  # first base A -> third in {A, G}
+    when1=ALL_NUCLEOTIDES,  # first base C -> any third
+)
+
+#: F:11 — the D condition (any nucleotide), folded into Type III by the paper.
+FUNCTION_ANY = DependentFunction(
+    name="ANY",
+    code=0b11,
+    source_offset=0,
+    source_bit="hi",
+    when0=ALL_NUCLEOTIDES,
+    when1=ALL_NUCLEOTIDES,
+)
+
+#: All four functions, indexed by their 2-bit F code.
+FUNCTIONS_BY_CODE: Tuple[DependentFunction, ...] = (
+    FUNCTION_STOP,
+    FUNCTION_LEU,
+    FUNCTION_ARG,
+    FUNCTION_ANY,
+)
+
+#: The Type II conditions the paper supports, with their 2-bit encoding
+#: (Fig. 5 caption: U/C=00, A/G=01, G-bar=10, A/C=11).
+CONDITION_CODES: Dict[FrozenSet[str], int] = {
+    frozenset({"U", "C"}): 0b00,
+    frozenset({"A", "G"}): 0b01,
+    frozenset({"A", "C", "U"}): 0b10,  # "not G", written G-bar in the paper
+    frozenset({"A", "C"}): 0b11,
+}
+
+CONDITIONS_BY_CODE: Dict[int, FrozenSet[str]] = {
+    code: letters for letters, code in CONDITION_CODES.items()
+}
+
+
+@dataclass(frozen=True)
+class ExactElement:
+    """Type I: the reference nucleotide must equal ``nucleotide``."""
+
+    nucleotide: str
+
+    def matches(self, ref: str, prev1: str = "A", prev2: str = "A") -> bool:
+        return ref == self.nucleotide
+
+    def admissible(self, prev1: str = "A", prev2: str = "A") -> FrozenSet[str]:
+        return frozenset({self.nucleotide})
+
+    def __str__(self) -> str:
+        return self.nucleotide
+
+
+@dataclass(frozen=True)
+class ConditionalElement:
+    """Type II: the reference nucleotide must be in ``letters``."""
+
+    letters: FrozenSet[str]
+
+    def __post_init__(self) -> None:
+        if self.letters not in CONDITION_CODES:
+            raise PatternError(
+                f"condition {sorted(self.letters)} is not one of the paper's "
+                "supported Type II conditions"
+            )
+
+    def matches(self, ref: str, prev1: str = "A", prev2: str = "A") -> bool:
+        return ref in self.letters
+
+    def admissible(self, prev1: str = "A", prev2: str = "A") -> FrozenSet[str]:
+        return self.letters
+
+    def __str__(self) -> str:
+        if self.letters == frozenset({"A", "C", "U"}):
+            return "~G"
+        return "/".join(sorted(self.letters))
+
+
+@dataclass(frozen=True)
+class DependentElement:
+    """Type III: admissible set depends on earlier reference nucleotides."""
+
+    function: DependentFunction
+
+    def matches(self, ref: str, prev1: str = "A", prev2: str = "A") -> bool:
+        return ref in self.function.admissible(prev1, prev2)
+
+    def admissible(self, prev1: str = "A", prev2: str = "A") -> FrozenSet[str]:
+        return self.function.admissible(prev1, prev2)
+
+    def __str__(self) -> str:
+        if self.function is FUNCTION_ANY:
+            return "D"
+        return f"F:{self.function.code:02b}"
+
+
+PatternElement = Union[ExactElement, ConditionalElement, DependentElement]
+
+
+@dataclass(frozen=True)
+class CodonPattern:
+    """A three-element degenerate codon pattern for one amino acid."""
+
+    amino: str
+    elements: Tuple[PatternElement, PatternElement, PatternElement]
+
+    def matches_codon(self, codon: str) -> bool:
+        """True if ``codon`` is admitted by this pattern.
+
+        Within-codon context: the dependent third position sees the codon's
+        own second base as ``prev1`` and first base as ``prev2``.
+        """
+        if len(codon) != 3:
+            raise ValueError("a codon has exactly three nucleotides")
+        first = self.elements[0].matches(codon[0])
+        second = self.elements[1].matches(codon[1], prev1=codon[0])
+        third = self.elements[2].matches(codon[2], prev1=codon[1], prev2=codon[0])
+        return first and second and third
+
+    def matched_codons(self) -> FrozenSet[str]:
+        """Every codon (of all 64) this pattern admits."""
+        return frozenset(c for c in codon_mod.all_codons() if self.matches_codon(c))
+
+    def __str__(self) -> str:
+        return "".join(
+            str(e) if isinstance(e, ExactElement) else f"({e})" for e in self.elements
+        )
+
+
+def _independent_element(letters: FrozenSet[str]) -> PatternElement:
+    """Build the element for a position whose letter set is context-free."""
+    if len(letters) == 1:
+        return ExactElement(next(iter(letters)))
+    if letters == ALL_NUCLEOTIDES:
+        # The paper folds D into Type III (function F:11) to keep only four
+        # Type II condition codes.
+        return DependentElement(FUNCTION_ANY)
+    if letters in CONDITION_CODES:
+        return ConditionalElement(letters)
+    raise PatternError(
+        f"letter set {sorted(letters)} is not representable as a Type II condition"
+    )
+
+
+def _find_dependency(
+    codons: Tuple[str, ...],
+) -> Tuple[PatternElement, PatternElement, DependentFunction]:
+    """Resolve a non-product codon set into two leading elements + a function.
+
+    The third position's admissible set must be a function of a *single bit*
+    of either the first or the second base — the hardware has exactly one
+    spare LUT input for the dependency.  Raises :class:`PatternError` when no
+    such single-bit discriminator exists.
+    """
+    first_letters = codon_mod.position_letters(codons, 0)
+    second_letters = codon_mod.position_letters(codons, 1)
+    prefixes = {codon[:2] for codon in codons}
+    expected_prefixes = {a + b for a, b in product(sorted(first_letters), sorted(second_letters))}
+    if prefixes != expected_prefixes:
+        raise PatternError(
+            "first two positions are not independent; FabP patterns cannot "
+            f"express codon set {codons}"
+        )
+    thirds_by_prefix: Dict[str, FrozenSet[str]] = {
+        prefix: frozenset(c[2] for c in codons if c[:2] == prefix) for prefix in prefixes
+    }
+
+    for source_offset, position in ((2, 0), (1, 1)):
+        # Does the third-position set depend only on this source position?
+        by_source: Dict[str, FrozenSet[str]] = {}
+        consistent = True
+        for prefix, thirds in thirds_by_prefix.items():
+            key = prefix[position]
+            if key in by_source and by_source[key] != thirds:
+                consistent = False
+                break
+            by_source[key] = thirds
+        if not consistent:
+            continue
+        for source_bit in ("hi", "lo"):
+            groups: Dict[int, FrozenSet[str]] = {}
+            ok = True
+            for letter, thirds in by_source.items():
+                hi, lo = alphabet.nucleotide_bits(letter)
+                bit = hi if source_bit == "hi" else lo
+                if bit in groups and groups[bit] != thirds:
+                    ok = False
+                    break
+                groups[bit] = thirds
+            if not ok:
+                continue
+            when0 = groups.get(0, ALL_NUCLEOTIDES)
+            when1 = groups.get(1, ALL_NUCLEOTIDES)
+            function = _match_known_function(source_offset, source_bit, when0, when1)
+            if function is None:
+                continue
+            return (
+                _independent_element(first_letters),
+                _independent_element(second_letters),
+                function,
+            )
+    raise PatternError(
+        f"no single-bit dependency discriminates codon set {codons}; "
+        "the paper's three Type III functions cannot express it"
+    )
+
+
+def _match_known_function(
+    source_offset: int, source_bit: str, when0: FrozenSet[str], when1: FrozenSet[str]
+) -> Optional[DependentFunction]:
+    """Map a derived dependency onto one of the paper's fixed functions."""
+    for function in (FUNCTION_STOP, FUNCTION_LEU, FUNCTION_ARG):
+        if (
+            function.source_offset == source_offset
+            and function.source_bit == source_bit
+            and function.when0 == when0
+            and function.when1 == when1
+        ):
+            return function
+    return None
+
+
+def derive_pattern(amino: str, codons: Tuple[str, ...]) -> CodonPattern:
+    """Derive the FabP pattern for an amino acid from its codon set."""
+    if not codons:
+        raise PatternError(f"amino acid {amino!r} has no codons")
+    letter_sets = [codon_mod.position_letters(codons, p) for p in range(3)]
+    expected = len(letter_sets[0]) * len(letter_sets[1]) * len(letter_sets[2])
+    if len(set(codons)) == expected:
+        elements = tuple(_independent_element(s) for s in letter_sets)
+    else:
+        first, second, function = _find_dependency(codons)
+        elements = (first, second, DependentElement(function))
+    pattern = CodonPattern(amino, elements)  # type: ignore[arg-type]
+    admitted = pattern.matched_codons()
+    if admitted != frozenset(codons):
+        raise PatternError(
+            f"derived pattern {pattern} for {amino!r} admits {sorted(admitted)} "
+            f"but the codon set is {sorted(codons)}"
+        )
+    return pattern
+
+
+def _build_tables():
+    paper: Dict[str, CodonPattern] = {}
+    extended: Dict[str, Tuple[CodonPattern, ...]] = {}
+    for amino in alphabet.AMINO_ACIDS_WITH_STOP:
+        paper[amino] = derive_pattern(amino, codon_mod.paper_codons_for(amino))
+        full = codon_mod.codons_for(amino)
+        if frozenset(full) == paper[amino].matched_codons():
+            extended[amino] = (paper[amino],)
+        else:
+            # Split the remainder into its own pattern (Ser: the AGU/AGC box).
+            remainder = tuple(sorted(set(full) - paper[amino].matched_codons()))
+            extended[amino] = (paper[amino], derive_pattern(amino, remainder))
+    return paper, extended
+
+
+#: Paper-faithful pattern per amino acid (Ser drops AGU/AGC, see codons.py).
+BACK_TRANSLATION_TABLE: Dict[str, CodonPattern]
+
+#: Extended mode: tuple of patterns whose union covers *all* codons.
+EXTENDED_TABLE: Dict[str, Tuple[CodonPattern, ...]]
+
+BACK_TRANSLATION_TABLE, EXTENDED_TABLE = _build_tables()
+
+
+def back_translate(protein, *, table: Optional[Dict[str, CodonPattern]] = None) -> Tuple[CodonPattern, ...]:
+    """Back-translate a protein into a tuple of codon patterns (paper mode).
+
+    This is the symbolic stage of the pipeline — the encoder in
+    :mod:`repro.core.encoding` turns the result into 6-bit instructions.
+    """
+    sequence = as_protein(protein)
+    table = table if table is not None else BACK_TRANSLATION_TABLE
+    try:
+        return tuple(table[aa] for aa in sequence.letters)
+    except KeyError as exc:
+        raise KeyError(f"no back-translation pattern for residue {exc}") from None
+
+
+def back_translate_extended(protein) -> Tuple[Tuple[CodonPattern, ...], ...]:
+    """Extended back-translation: per residue, *all* patterns (union = all codons)."""
+    sequence = as_protein(protein)
+    return tuple(EXTENDED_TABLE[aa] for aa in sequence.letters)
+
+
+def pattern_string(protein) -> str:
+    """Human-readable degenerate pattern, paper notation (e.g. ``UU(U/C)``)."""
+    return "-".join(str(p) for p in back_translate(protein))

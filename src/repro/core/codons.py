@@ -1,0 +1,105 @@
+"""The standard codon table and derived degeneracy structure.
+
+This is Figure 2 of the paper in code form.  Everything FabP does — the
+Type I/II/III classification, the Type II condition set, the Type III
+dependency functions — is a consequence of the *shape* of this table, so the
+back-translation module derives its patterns from here rather than hard-
+coding them, and a test asserts the derivation matches the paper's examples.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, FrozenSet, Tuple
+
+from repro.seq import alphabet
+
+#: The standard (NCBI transl_table=1) codon table, RNA letters.
+CODON_TABLE: Dict[str, str] = {}
+
+
+def _fill(prefix: str, thirds: str, amino: str) -> None:
+    for third in thirds:
+        CODON_TABLE[prefix + third] = amino
+
+
+_fill("UU", "UC", "F")
+_fill("UU", "AG", "L")
+_fill("CU", "ACGU", "L")
+_fill("AU", "UCA", "I")
+_fill("AU", "G", "M")
+_fill("GU", "ACGU", "V")
+_fill("UC", "ACGU", "S")
+_fill("CC", "ACGU", "P")
+_fill("AC", "ACGU", "T")
+_fill("GC", "ACGU", "A")
+_fill("UA", "UC", "Y")
+_fill("UA", "AG", "*")
+_fill("CA", "UC", "H")
+_fill("CA", "AG", "Q")
+_fill("AA", "UC", "N")
+_fill("AA", "AG", "K")
+_fill("GA", "UC", "D")
+_fill("GA", "AG", "E")
+_fill("UG", "UC", "C")
+_fill("UG", "A", "*")
+_fill("UG", "G", "W")
+_fill("CG", "ACGU", "R")
+_fill("AG", "UC", "S")
+_fill("AG", "AG", "R")
+_fill("GG", "ACGU", "G")
+
+assert len(CODON_TABLE) == 64, "codon table must cover all 64 codons"
+
+#: The three stop codons.
+STOP_CODONS: FrozenSet[str] = frozenset(
+    codon for codon, amino in CODON_TABLE.items() if amino == alphabet.STOP_SYMBOL
+)
+
+#: Codons per amino acid (and stop), sorted for determinism.
+CODONS_FOR: Dict[str, Tuple[str, ...]] = {}
+for _codon in sorted(CODON_TABLE):
+    CODONS_FOR.setdefault(CODON_TABLE[_codon], tuple())
+CODONS_FOR = {
+    amino: tuple(sorted(c for c, a in CODON_TABLE.items() if a == amino))
+    for amino in CODONS_FOR
+}
+
+#: Degeneracy (codon count) per amino acid / stop.
+DEGENERACY: Dict[str, int] = {amino: len(codons) for amino, codons in CODONS_FOR.items()}
+
+
+def codons_for(amino: str) -> Tuple[str, ...]:
+    """All codons encoding ``amino`` (one-letter code; ``*`` for stop)."""
+    try:
+        return CODONS_FOR[amino]
+    except KeyError:
+        raise KeyError(f"unknown amino acid {amino!r}") from None
+
+
+def paper_codons_for(amino: str) -> Tuple[str, ...]:
+    """The codon set *as the paper uses it*.
+
+    The paper's Fig. 2 discussion treats Serine as the four-codon ``UCN`` box
+    only, silently dropping ``AGU``/``AGC`` (its three special Type III
+    functions cover exactly Stop, Leu and Arg, and a six-codon Ser spanning
+    two first-position letters cannot be expressed without a fourth
+    function).  This helper returns that reduced set so the default encoder
+    is bit-faithful to the paper; :func:`codons_for` keeps the biologically
+    complete table for the extended mode and the baselines.
+    """
+    if amino == "S":
+        return tuple(c for c in CODONS_FOR["S"] if c.startswith("UC"))
+    return codons_for(amino)
+
+
+def position_letters(codons: Tuple[str, ...], position: int) -> FrozenSet[str]:
+    """The set of letters that appear at ``position`` across ``codons``."""
+    if position not in (0, 1, 2):
+        raise ValueError("codon position must be 0, 1 or 2")
+    return frozenset(codon[position] for codon in codons)
+
+
+def all_codons() -> Tuple[str, ...]:
+    """All 64 codons in lexicographic order."""
+    return tuple("".join(p) for p in product("ACGU", repeat=3))

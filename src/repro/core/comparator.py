@@ -1,0 +1,190 @@
+"""Golden (normative) semantics of the FabP custom comparator.
+
+The hardware comparator is two LUT6s per query element (§III-D):
+
+* a **mux LUT** that produces the spare input ``X`` — either the
+  instruction's own bit ``b3`` (Types I/II and the D function) or a single
+  bit of an earlier reference nucleotide (Type III), selected by the two
+  configuration bits;
+* a **comparison LUT** over ``(b0, b1, b2, X, ref_hi, ref_lo)`` programmed
+  with the matching function (Fig. 5b).
+
+This module defines those two functions in pure Python.  They are the single
+source of truth: the RTL model derives its LUT INIT vectors by enumerating
+them, the vectorized aligner derives its lookup tables from them, and tests
+cross-check all three representations against the codon table.
+
+Boundary convention: when a dependent element looks back past the start of
+the reference, the missing nucleotide reads as ``A`` (code 0) — matching the
+hardware, whose stream buffer resets to zero.  Back-translated queries never
+hit this case for *meaningful* bits (dependent elements sit at codon position
+2, so their sources are inside the aligned window), but raw instruction
+streams may.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core import backtranslate as bt
+from repro.core import encoding as enc
+from repro.seq import alphabet
+
+
+def mux_output(instruction: int, prev1_code: int, prev2_code: int) -> int:
+    """The mux LUT: compute the X bit for one instruction.
+
+    ``prev1_code``/``prev2_code`` are the 2-bit codes of the reference
+    nucleotides one and two positions before the one under comparison.
+    """
+    b3 = (instruction >> 3) & 1
+    config = ((instruction >> 4) & 1) | (((instruction >> 5) & 1) << 1)
+    if config == enc.CONFIG_SELF:
+        return b3
+    if config == enc.CONFIG_PREV1_HI:
+        return (prev1_code >> 1) & 1
+    if config == enc.CONFIG_PREV2_LO:
+        return prev2_code & 1
+    return (prev2_code >> 1) & 1  # CONFIG_PREV2_HI
+
+
+def comparison_lut_output(
+    b0: int, b1: int, b2: int, x: int, ref_hi: int, ref_lo: int
+) -> int:
+    """The comparison LUT: one output bit from its six inputs (Fig. 5b).
+
+    This is a *pure* function of six bits; the RTL LUT INIT is its
+    enumeration.  ``(b0, b1, b2)`` are the instruction's first three bits,
+    ``x`` is the mux output, ``(ref_hi, ref_lo)`` the reference nucleotide.
+    """
+    ref_letter = alphabet.RNA_NUCLEOTIDES[(ref_hi << 1) | ref_lo]
+    if b0 == 0:
+        code = (b2 << 1) | x
+        if b1 == 0:
+            # Type I: exact match against the nucleotide (b2=hi, x carries b3=lo).
+            return int(code == ((ref_hi << 1) | ref_lo))
+        # Type II: conditional match.
+        return int(ref_letter in bt.CONDITIONS_BY_CODE[code])
+    # Type III: dependent match; F code is (b1, b2), S is x.
+    function = bt.FUNCTIONS_BY_CODE[(b1 << 1) | b2]
+    admissible = function.when1 if x else function.when0
+    return int(ref_letter in admissible)
+
+
+def instruction_matches(
+    instruction: int, ref_code: int, prev1_code: int = 0, prev2_code: int = 0
+) -> bool:
+    """Full comparator: does the reference nucleotide satisfy the instruction?
+
+    Composes the mux LUT and the comparison LUT exactly like the hardware.
+    """
+    if not 0 <= instruction < 64:
+        raise enc.EncodingError(f"instruction {instruction!r} is not a 6-bit value")
+    if not 0 <= ref_code < 4:
+        raise ValueError(f"reference code {ref_code!r} is not a 2-bit value")
+    x = mux_output(instruction, prev1_code, prev2_code)
+    b0 = instruction & 1
+    b1 = (instruction >> 1) & 1
+    b2 = (instruction >> 2) & 1
+    return bool(
+        comparison_lut_output(b0, b1, b2, x, (ref_code >> 1) & 1, ref_code & 1)
+    )
+
+
+def comparison_lut_init() -> int:
+    """The 64-bit INIT vector of the comparison LUT.
+
+    Input-to-address mapping (the RTL model uses the same): address bit 0 is
+    ``b0``, then ``b1``, ``b2``, ``x``, ``ref_hi``; address bit 5 is
+    ``ref_lo``.  Returned as an integer whose bit ``a`` is the output for
+    address ``a`` — the Xilinx ``LUT6 #(.INIT(...))`` convention.
+    """
+    init = 0
+    for address in range(64):
+        b0 = address & 1
+        b1 = (address >> 1) & 1
+        b2 = (address >> 2) & 1
+        x = (address >> 3) & 1
+        ref_hi = (address >> 4) & 1
+        ref_lo = (address >> 5) & 1
+        if comparison_lut_output(b0, b1, b2, x, ref_hi, ref_lo):
+            init |= 1 << address
+    return init
+
+
+def mux_lut_init() -> int:
+    """The 64-bit INIT vector of the mux LUT.
+
+    Inputs: address bit 0 is ``b3``, bit 1 ``prev1_hi``, bit 2 ``prev2_lo``,
+    bit 3 ``prev2_hi``, bits 4-5 the config code (b4, b5).
+    """
+    init = 0
+    for address in range(64):
+        b3 = address & 1
+        prev1_hi = (address >> 1) & 1
+        prev2_lo = (address >> 2) & 1
+        prev2_hi = (address >> 3) & 1
+        config = (address >> 4) & 3
+        if config == enc.CONFIG_SELF:
+            x = b3
+        elif config == enc.CONFIG_PREV1_HI:
+            x = prev1_hi
+        elif config == enc.CONFIG_PREV2_LO:
+            x = prev2_lo
+        else:
+            x = prev2_hi
+        if x:
+            init |= 1 << address
+    return init
+
+
+def instruction_tables(instructions: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-instruction lookup tables for the vectorized aligner.
+
+    Returns ``(tables, configs)`` where ``tables[i, x, ref]`` is the match
+    bit for instruction ``i`` given mux output ``x`` and reference code
+    ``ref``, and ``configs[i]`` is the instruction's 2-bit config field
+    (which X source to use).
+    """
+    instructions = np.asarray(instructions, dtype=np.uint8)
+    tables = np.zeros((len(instructions), 2, 4), dtype=np.uint8)
+    configs = np.zeros(len(instructions), dtype=np.uint8)
+    for i, instr in enumerate(instructions):
+        instr = int(instr)
+        b0, b1, b2 = instr & 1, (instr >> 1) & 1, (instr >> 2) & 1
+        configs[i] = ((instr >> 4) & 1) | (((instr >> 5) & 1) << 1)
+        for x in (0, 1):
+            for ref in range(4):
+                tables[i, x, ref] = comparison_lut_output(
+                    b0, b1, b2, x, (ref >> 1) & 1, ref & 1
+                )
+    return tables, configs
+
+
+def truth_table_rows():
+    """Enumerate the comparison LUT as human-readable rows (Fig. 5b).
+
+    Yields ``(column_label, ref_letter, output)`` for every populated column
+    of the paper's figure: the four Type I nucleotides, four Type II
+    conditions, and the four Type III (function, S) combinations.
+    """
+    for code, letter in enumerate(alphabet.RNA_NUCLEOTIDES):
+        for ref in range(4):
+            hi, lo = (code >> 1) & 1, code & 1
+            out = comparison_lut_output(0, 0, hi, lo, (ref >> 1) & 1, ref & 1)
+            yield f"00-{letter}", alphabet.RNA_NUCLEOTIDES[ref], out
+    for code in range(4):
+        letters = bt.CONDITIONS_BY_CODE[code]
+        label = "~G" if letters == frozenset({"A", "C", "U"}) else "/".join(sorted(letters))
+        for ref in range(4):
+            hi, lo = (code >> 1) & 1, code & 1
+            out = comparison_lut_output(0, 1, hi, lo, (ref >> 1) & 1, ref & 1)
+            yield f"01-{label}", alphabet.RNA_NUCLEOTIDES[ref], out
+    for function in bt.FUNCTIONS_BY_CODE:
+        hi, lo = (function.code >> 1) & 1, function.code & 1
+        for s in (0, 1):
+            for ref in range(4):
+                out = comparison_lut_output(1, hi, lo, s, (ref >> 1) & 1, ref & 1)
+                yield f"1-{function.code:02b}-{s}", alphabet.RNA_NUCLEOTIDES[ref], out

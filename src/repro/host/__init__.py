@@ -1,0 +1,25 @@
+"""Host-side runtime (the paper's OpenCL host program, in model form)."""
+
+from repro.host.cluster import ClusterSearchResult, FabPCluster
+from repro.host.rescore import RescoreReport, RescoredHit, rescore_hits, rescore_search_result
+from repro.host.session import (
+    DatabaseEntry,
+    FabPHost,
+    HostSearchResult,
+    NamedHit,
+    PCIE_BANDWIDTH,
+)
+
+__all__ = [
+    "ClusterSearchResult",
+    "DatabaseEntry",
+    "FabPCluster",
+    "FabPHost",
+    "HostSearchResult",
+    "NamedHit",
+    "PCIE_BANDWIDTH",
+    "RescoreReport",
+    "RescoredHit",
+    "rescore_hits",
+    "rescore_search_result",
+]

@@ -1,0 +1,121 @@
+"""Multi-FPGA cluster model: sharding a database across accelerators.
+
+The paper's group deploys FPGAs in multi-board platforms (its ref. [14]);
+genomics databases outgrow a single board's DRAM, so the natural scale-out
+is *database sharding*: every board holds a slice of the references and
+runs the same query; the host merges hit lists.  This module models that
+deployment — shard assignment, per-board timing, merge — and reports the
+scaling efficiency (stragglers bound the speedup, so balanced sharding
+matters and is tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.accel.device import FpgaDevice, KINTEX7
+from repro.host.session import FabPHost, HostSearchResult, NamedHit
+
+
+@dataclass(frozen=True)
+class ClusterSearchResult:
+    """Merged outcome of one query over all shards."""
+
+    per_board: Tuple[HostSearchResult, ...]
+    hits: Tuple[NamedHit, ...]
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Boards run concurrently; the straggler sets the pace."""
+        return max(r.total_seconds for r in self.per_board)
+
+    @property
+    def total_board_seconds(self) -> float:
+        """Aggregate busy time (cost/energy accounting)."""
+        return sum(r.total_seconds for r in self.per_board)
+
+    @property
+    def scaling_efficiency(self) -> float:
+        """Parallel efficiency: ideal/actual = mean/max board time."""
+        times = [r.total_seconds for r in self.per_board]
+        if not times or max(times) == 0:
+            return 1.0
+        return (sum(times) / len(times)) / max(times)
+
+
+class FabPCluster:
+    """A pool of FabP boards with a sharded reference database."""
+
+    def __init__(self, num_boards: int, device: FpgaDevice = KINTEX7):
+        if num_boards < 1:
+            raise ValueError("a cluster needs at least one board")
+        self.device = device
+        self.boards: List[FabPHost] = [FabPHost(device) for _ in range(num_boards)]
+        self._board_nucleotides = [0] * num_boards
+
+    @property
+    def num_boards(self) -> int:
+        return len(self.boards)
+
+    def add_reference(self, reference, name: str = "") -> int:
+        """Shard a reference to the least-loaded board; returns board index."""
+        board_index = int(np.argmin(self._board_nucleotides))
+        entry = self.boards[board_index].add_reference(reference, name)
+        self._board_nucleotides[board_index] += entry.length
+        return board_index
+
+    def add_references(self, references: Sequence) -> List[int]:
+        return [self.add_reference(reference) for reference in references]
+
+    @property
+    def database_nucleotides(self) -> int:
+        return sum(self._board_nucleotides)
+
+    def load_imbalance(self) -> float:
+        """max/mean shard size — 1.0 is perfectly balanced."""
+        sizes = [s for s in self._board_nucleotides if s] or [0]
+        if not any(sizes):
+            return 1.0
+        return max(sizes) / (sum(sizes) / len(sizes))
+
+    def search(
+        self,
+        query,
+        *,
+        threshold: Optional[int] = None,
+        min_identity: Optional[float] = None,
+        both_strands: bool = False,
+    ) -> ClusterSearchResult:
+        """Run one query on every board; merge and rank the hits."""
+        occupied = [b for b in self.boards if b.num_references]
+        if not occupied:
+            raise ValueError("the cluster database is empty")
+        results = [
+            board.search(
+                query,
+                threshold=threshold,
+                min_identity=min_identity,
+                both_strands=both_strands,
+            )
+            for board in occupied
+        ]
+        merged: List[NamedHit] = []
+        for result in results:
+            merged.extend(result.hits)
+        merged.sort(key=lambda h: (-h.score, h.reference, h.position))
+        return ClusterSearchResult(per_board=tuple(results), hits=tuple(merged))
+
+    def speedup_vs_single_board(self, query, **options) -> float:
+        """Measured scale-out speedup for one query on this database."""
+        single = FabPHost(self.device)
+        for board in self.boards:
+            for entry in board._entries:
+                single.add_reference(entry.codes, entry.name)
+        single_time = single.search(query, **options).total_seconds
+        cluster_time = self.search(query, **options).elapsed_seconds
+        if cluster_time == 0:
+            return float(self.num_boards)
+        return single_time / cluster_time

@@ -1,0 +1,141 @@
+"""Host-side rescoring: verify FabP hits with gapped Smith-Waterman.
+
+This is the deployment pattern the paper's architecture implies but leaves
+to the host: the FPGA is a massively parallel *filter* that reduces a
+gigabyte-scale database to a handful of candidate positions; the host then
+spends CPU time only on those, running a full gapped protein alignment (and
+Karlin-Altschul statistics) on a small window around each hit.  The
+combination restores indel tolerance and E-value ranking at negligible
+cost — exactly what substitution-only scoring gives up.
+
+Pipeline: hit position -> translate the window in the hit's frame ->
+gapped Smith-Waterman (BLOSUM62) against the query -> E-value -> rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.evalue import KarlinAltschulParams, default_protein_params
+from repro.baselines.scoring import ProteinScoring
+from repro.baselines.smith_waterman import LocalAlignment, smith_waterman
+from repro.core.encoding import EncodedQuery, encode_query
+from repro.host.session import HostSearchResult, NamedHit
+from repro.seq.sequence import RnaSequence
+from repro.seq.translate import translate
+
+
+@dataclass(frozen=True)
+class RescoredHit:
+    """A FabP hit after gapped verification on the host."""
+
+    hit: NamedHit
+    alignment: LocalAlignment
+    evalue: float
+    bit_score: float
+
+    @property
+    def accepted(self) -> bool:
+        """Convenience: did the gapped alignment confirm the hit at all?"""
+        return self.alignment.score > 0
+
+    def __str__(self) -> str:
+        return (
+            f"RescoredHit({self.hit}, sw={self.alignment.score}, "
+            f"E={self.evalue:.2g})"
+        )
+
+
+@dataclass(frozen=True)
+class RescoreReport:
+    """Ranked, verified hits for one query."""
+
+    query: EncodedQuery
+    hits: Tuple[RescoredHit, ...]
+    max_evalue: float
+
+    @property
+    def best(self) -> Optional[RescoredHit]:
+        return self.hits[0] if self.hits else None
+
+    def __str__(self) -> str:
+        return f"RescoreReport({len(self.hits)} verified hits)"
+
+
+def rescore_hits(
+    query,
+    hits: Sequence[NamedHit],
+    references: Dict[str, str],
+    *,
+    window_margin_codons: int = 10,
+    max_evalue: float = 1e-3,
+    scoring: Optional[ProteinScoring] = None,
+    params: Optional[KarlinAltschulParams] = None,
+) -> RescoreReport:
+    """Verify FabP hits with gapped SW and rank by E-value.
+
+    ``references`` maps reference names to their RNA/DNA text.  Each hit's
+    window (the aligned span ± ``window_margin_codons`` codons) is extracted
+    in the hit's reading frame and strand, translated, and aligned to the
+    protein query; hits above ``max_evalue`` are dropped.
+    """
+    encoded = query if isinstance(query, EncodedQuery) else encode_query(query)
+    protein = encoded.protein.letters
+    scoring = scoring if scoring is not None else ProteinScoring()
+    params = params if params is not None else default_protein_params()
+    database_len = sum(len(text) for text in references.values()) // 3 or 1
+
+    rescored: List[RescoredHit] = []
+    for hit in hits:
+        text = references.get(hit.reference)
+        if text is None:
+            raise KeyError(f"hit references unknown sequence {hit.reference!r}")
+        window = _extract_window(
+            text, hit, len(encoded), margin=3 * window_margin_codons
+        )
+        subject = translate(window).letters
+        alignment = smith_waterman(protein, subject, scoring)
+        evalue = params.evalue(alignment.score, len(protein), database_len)
+        if evalue <= max_evalue:
+            rescored.append(
+                RescoredHit(
+                    hit=hit,
+                    alignment=alignment,
+                    evalue=evalue,
+                    bit_score=params.bit_score(alignment.score),
+                )
+            )
+    rescored.sort(key=lambda r: (r.evalue, -r.alignment.score))
+    return RescoreReport(query=encoded, hits=tuple(rescored), max_evalue=max_evalue)
+
+
+def rescore_search_result(
+    result: HostSearchResult,
+    references: Dict[str, str],
+    **options,
+) -> RescoreReport:
+    """Rescore everything a :meth:`FabPHost.search` call returned."""
+    return rescore_hits(result.query, result.hits, references, **options)
+
+
+def _extract_window(text: str, hit: NamedHit, span: int, margin: int) -> RnaSequence:
+    """The hit's aligned region ± margin, oriented to the hit's strand.
+
+    Kept frame-aligned to the hit position: the returned window starts an
+    exact multiple of 3 before the hit so frame-0 translation matches the
+    hit's codon boundaries.
+    """
+    from repro.seq.sequence import as_rna
+
+    rna = as_rna(text)
+    if hit.strand == "-":
+        rna = rna.reverse_complement()
+        start = len(rna.letters) - hit.position - span
+    else:
+        start = hit.position
+    margin = (margin // 3) * 3
+    lo = max(0, start - margin)
+    lo += (start - lo) % 3  # stay frame-aligned with the hit
+    hi = min(len(rna.letters), start + span + margin)
+    return RnaSequence(rna.letters[lo:hi])

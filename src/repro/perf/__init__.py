@@ -1,0 +1,21 @@
+"""Performance and energy models for the paper's three platforms.
+
+* :mod:`repro.perf.fpga` — FabP beat/segment arithmetic (validated against
+  the streaming kernel);
+* :mod:`repro.perf.gpu` — SIMT model of the paper's custom CUDA scan;
+* :mod:`repro.perf.cpu` — TBLASTN cost model on the i7-8700K;
+* :mod:`repro.perf.energy` — load-power composition (joules);
+* :mod:`repro.perf.figures` — the Fig. 6 sweep and headline averages.
+"""
+
+from repro.perf.figures import Fig6Data, Fig6Point, figure6
+from repro.perf.workload import FIG6_QUERY_LENGTHS, REFERENCE_NUCLEOTIDES, Workload
+
+__all__ = [
+    "FIG6_QUERY_LENGTHS",
+    "Fig6Data",
+    "Fig6Point",
+    "REFERENCE_NUCLEOTIDES",
+    "Workload",
+    "figure6",
+]

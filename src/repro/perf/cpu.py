@@ -1,0 +1,80 @@
+"""CPU baseline performance model: NCBI TBLASTN on an i7-8700K.
+
+TBLASTN translates the nucleotide database in all six frames and runs the
+protein BLAST pipeline against the translations.  Its cost decomposes as
+
+* a **scan** term — per translated residue: translation itself plus the
+  k-mer hash-table probe (the paper singles these random accesses out as
+  the CPU bottleneck), independent of query length;
+* a **seed/extension** term — the number of seed hits grows with query
+  length (more query k-mers in the neighborhood table), and each surviving
+  two-hit seed pays an ungapped X-drop extension and occasionally a gapped
+  Smith-Waterman.
+
+which yields ``time_1t = residues * (C_SCAN + C_SEED * query_residues)``.
+The two constants are calibrated against published TBLASTN throughput on
+Coffee-Lake-class cores and pinned so the FabP-vs-CPU-12 mean speedup lands
+near the paper's 24.8x (EXPERIMENTS.md records paper vs measured).  Our
+from-scratch TBLASTN implementation in :mod:`repro.baselines.tblastn` has
+the same asymptotic shape; a bench checks its measured scaling against this
+model's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.platforms import I7_8700K, CpuSpec
+from repro.perf.workload import Workload
+
+#: Per translated residue: six-frame translation + hash probe, seconds
+#: (single thread).  ~2 Gresidue/s scan rate.
+C_SCAN = 5.0e-10
+
+#: Per translated residue per query residue: seed processing + extensions,
+#: seconds (single thread).
+C_SEED = 2.55e-11
+
+
+@dataclass(frozen=True)
+class CpuEstimate:
+    """Execution estimate for TBLASTN on one workload."""
+
+    workload: Workload
+    cpu: CpuSpec
+    threads: int
+    scan_seconds: float
+    seed_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        scaling = self.cpu.thread_scaling if self.threads > 1 else 1.0
+        return (self.scan_seconds + self.seed_seconds) / scaling
+
+
+def estimate(
+    workload: Workload, cpu: CpuSpec = I7_8700K, *, threads: int = 1
+) -> CpuEstimate:
+    """Model TBLASTN's execution time for one workload.
+
+    ``threads=1`` is the paper's normalization baseline; ``threads=12`` is
+    its "TBLASTN-12" configuration (any ``threads > 1`` applies the spec's
+    measured full-machine scaling).
+    """
+    if threads not in (1, cpu.threads):
+        raise ValueError(
+            f"model is calibrated for 1 or {cpu.threads} threads, got {threads}"
+        )
+    translated_residues = 2 * workload.reference_nucleotides  # 6 frames x nt/3
+    scan = translated_residues * C_SCAN
+    seed = translated_residues * C_SEED * workload.query_residues
+    return CpuEstimate(
+        workload=workload, cpu=cpu, threads=threads, scan_seconds=scan, seed_seconds=seed
+    )
+
+
+def cpu_seconds(
+    workload: Workload, cpu: CpuSpec = I7_8700K, *, threads: int = 1
+) -> float:
+    """Convenience: end-to-end seconds for one workload."""
+    return estimate(workload, cpu, threads=threads).seconds

@@ -1,0 +1,75 @@
+"""Energy models: joules per workload, per platform.
+
+Energy is load power x execution time.  Load powers live in the platform
+specs (:mod:`repro.perf.platforms` and :mod:`repro.accel.device`) with
+their calibration notes; this module only composes them with the timing
+models, so Fig. 6(b) is fully determined by Fig. 6(a) plus the power
+constants — the same structure the paper's evaluation has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.device import FpgaDevice, KINTEX7
+from repro.perf import cpu as cpu_model
+from repro.perf import fpga as fpga_model
+from repro.perf import gpu as gpu_model
+from repro.perf.platforms import GTX_1080TI, I7_8700K, CpuSpec, GpuSpec
+from repro.perf.workload import Workload
+
+
+@dataclass(frozen=True)
+class PlatformRun:
+    """Time + energy of one platform executing one workload."""
+
+    platform: str
+    workload: Workload
+    seconds: float
+    watts: float
+
+    @property
+    def joules(self) -> float:
+        return self.seconds * self.watts
+
+    @property
+    def throughput(self) -> float:
+        """Alignments (reference positions) per second."""
+        positions = self.workload.reference_nucleotides - self.workload.query_elements + 1
+        return positions / self.seconds
+
+
+def fabp_run(workload: Workload, device: FpgaDevice = KINTEX7) -> PlatformRun:
+    return PlatformRun(
+        platform="FabP",
+        workload=workload,
+        seconds=fpga_model.fabp_seconds(workload, device),
+        watts=device.power_watts,
+    )
+
+
+def gpu_run(workload: Workload, gpu: GpuSpec = GTX_1080TI) -> PlatformRun:
+    return PlatformRun(
+        platform="GPU",
+        workload=workload,
+        seconds=gpu_model.gpu_seconds(workload, gpu),
+        watts=gpu.power_watts,
+    )
+
+
+def cpu_run(
+    workload: Workload, cpu: CpuSpec = I7_8700K, *, threads: int = 1
+) -> PlatformRun:
+    watts = cpu.power_all_watts if threads > 1 else cpu.power_1t_watts
+    label = f"TBLASTN-{threads}" if threads > 1 else "TBLASTN-1"
+    return PlatformRun(
+        platform=label,
+        workload=workload,
+        seconds=cpu_model.cpu_seconds(workload, cpu, threads=threads),
+        watts=watts,
+    )
+
+
+def energy_efficiency_ratio(reference: PlatformRun, other: PlatformRun) -> float:
+    """How many times more energy-efficient ``reference`` is than ``other``."""
+    return other.joules / reference.joules

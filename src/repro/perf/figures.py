@@ -1,0 +1,121 @@
+"""Figure 6 generator: normalized performance and energy efficiency.
+
+Reproduces both panels of the paper's Fig. 6.  For every query length in
+{50..250} and every platform (TBLASTN-1, TBLASTN-12, GPU, FabP):
+
+* **Fig. 6(a)** — performance normalized to single-threaded TBLASTN:
+  ``speedup = t_cpu1 / t_platform``;
+* **Fig. 6(b)** — energy efficiency normalized the same way:
+  ``eff = E_cpu1 / E_platform``.
+
+Also computes the paper's headline averages: FabP vs GPU (paper: 8.1 %
+faster, 23.2x energy) and FabP vs TBLASTN-12 (paper: 24.8x faster, 266.8x
+energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.accel.device import FpgaDevice, KINTEX7
+from repro.perf.energy import PlatformRun, cpu_run, fabp_run, gpu_run
+from repro.perf.workload import FIG6_QUERY_LENGTHS, REFERENCE_NUCLEOTIDES, Workload
+
+PLATFORM_ORDER: Tuple[str, ...] = ("TBLASTN-1", "TBLASTN-12", "GPU", "FabP")
+
+
+@dataclass(frozen=True)
+class Fig6Point:
+    """One (query length, platform) cell of Fig. 6."""
+
+    query_residues: int
+    platform: str
+    seconds: float
+    joules: float
+    speedup_vs_cpu1: float
+    energy_eff_vs_cpu1: float
+
+
+@dataclass(frozen=True)
+class Fig6Data:
+    """Both panels of Fig. 6 plus the headline averages."""
+
+    points: Tuple[Fig6Point, ...]
+    lengths: Tuple[int, ...]
+
+    def series(self, platform: str, metric: str = "speedup") -> List[float]:
+        """One plotted line: values per query length for a platform."""
+        key = {
+            "speedup": lambda p: p.speedup_vs_cpu1,
+            "energy": lambda p: p.energy_eff_vs_cpu1,
+            "seconds": lambda p: p.seconds,
+            "joules": lambda p: p.joules,
+        }[metric]
+        return [
+            key(p)
+            for length in self.lengths
+            for p in self.points
+            if p.platform == platform and p.query_residues == length
+        ]
+
+    def mean_ratio(self, platform_a: str, platform_b: str, metric: str = "speedup") -> float:
+        """Mean of per-length ratios A/B — the paper's averaging convention."""
+        a = self.series(platform_a, metric)
+        b = self.series(platform_b, metric)
+        return sum(x / y for x, y in zip(a, b)) / len(a)
+
+    def headline(self) -> Dict[str, float]:
+        """The four numbers the abstract quotes."""
+        return {
+            "speedup_vs_gpu": self.mean_ratio("FabP", "GPU"),
+            "speedup_vs_cpu12": self.mean_ratio("FabP", "TBLASTN-12"),
+            "energy_vs_gpu": self.mean_ratio("FabP", "GPU", "energy"),
+            "energy_vs_cpu12": self.mean_ratio("FabP", "TBLASTN-12", "energy"),
+        }
+
+    def table(self, metric: str = "speedup") -> str:
+        """Render one panel as an aligned text table."""
+        header = "len(aa)  " + "  ".join(f"{p:>11}" for p in PLATFORM_ORDER)
+        lines = [header]
+        for length in self.lengths:
+            row = [f"{length:>7}"]
+            for platform in PLATFORM_ORDER:
+                (value,) = [
+                    (p.speedup_vs_cpu1 if metric == "speedup" else p.energy_eff_vs_cpu1,)
+                    for p in self.points
+                    if p.platform == platform and p.query_residues == length
+                ][0]
+                row.append(f"{value:>11.2f}")
+            lines.append("  ".join(row))
+        return "\n".join(lines)
+
+
+def figure6(
+    lengths: Sequence[int] = FIG6_QUERY_LENGTHS,
+    reference_nucleotides: int = REFERENCE_NUCLEOTIDES,
+    device: FpgaDevice = KINTEX7,
+) -> Fig6Data:
+    """Evaluate all platforms over the Fig. 6 sweep."""
+    points: List[Fig6Point] = []
+    for length in lengths:
+        workload = Workload(length, reference_nucleotides)
+        runs: List[PlatformRun] = [
+            cpu_run(workload, threads=1),
+            cpu_run(workload, threads=12),
+            gpu_run(workload),
+            fabp_run(workload, device),
+        ]
+        baseline = runs[0]
+        for run in runs:
+            points.append(
+                Fig6Point(
+                    query_residues=length,
+                    platform=run.platform,
+                    seconds=run.seconds,
+                    joules=run.joules,
+                    speedup_vs_cpu1=baseline.seconds / run.seconds,
+                    energy_eff_vs_cpu1=baseline.joules / run.joules,
+                )
+            )
+    return Fig6Data(points=tuple(points), lengths=tuple(lengths))

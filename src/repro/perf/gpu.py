@@ -1,0 +1,60 @@
+"""GPU baseline performance model (the paper's custom CUDA kernel).
+
+The paper compares against "our highly optimized GPU implementation" of the
+same substitution-only scan on a GTX 1080 Ti.  We model it as a SIMT
+executor running the identical algorithm:
+
+* every alignment position performs ``3 * L_q`` element comparisons;
+* the packed reference is read once from global memory (tiles staged in
+  shared memory, so DRAM traffic ~= reference bytes);
+* throughput is the minimum of compute and memory rates; compute dominates
+  for every Fig. 6 point (the scan is arithmetic-bound).
+
+The single free constant — comparisons retired per core-cycle — lives in
+:data:`repro.perf.platforms.GTX_1080TI` with its calibration note.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.platforms import GTX_1080TI, GpuSpec
+from repro.perf.workload import Workload
+
+
+@dataclass(frozen=True)
+class GpuEstimate:
+    """Execution estimate for the CUDA scan on one workload."""
+
+    workload: Workload
+    gpu: GpuSpec
+    compute_seconds: float
+    memory_seconds: float
+    overhead_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        return max(self.compute_seconds, self.memory_seconds) + self.overhead_seconds
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.compute_seconds >= self.memory_seconds else "memory"
+
+
+def estimate(workload: Workload, gpu: GpuSpec = GTX_1080TI) -> GpuEstimate:
+    """Model the CUDA kernel's execution time for one workload."""
+    comparison_rate = gpu.cuda_cores * gpu.clock_ghz * 1e9 * gpu.comparisons_per_core_cycle
+    compute_seconds = workload.comparisons / comparison_rate
+    memory_seconds = workload.reference_bytes / gpu.memory_bandwidth
+    return GpuEstimate(
+        workload=workload,
+        gpu=gpu,
+        compute_seconds=compute_seconds,
+        memory_seconds=memory_seconds,
+        overhead_seconds=gpu.launch_overhead_s,
+    )
+
+
+def gpu_seconds(workload: Workload, gpu: GpuSpec = GTX_1080TI) -> float:
+    """Convenience: end-to-end seconds for one workload."""
+    return estimate(workload, gpu).seconds

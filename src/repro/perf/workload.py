@@ -1,0 +1,52 @@
+"""The evaluation workload of §IV.
+
+The paper aligns protein queries (50..250 residues, sampled from NCBI nr)
+against "1 GByte of reference sequences" from NCBI nt.  One gigabyte of
+2-bit-packed nucleotides is 4x10^9 bases, which is the figure the bandwidth
+arithmetic in §III-C/Table I is consistent with; this module pins that
+workload so every model and bench sweeps the same axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Query lengths (amino acids) swept in Fig. 6.
+FIG6_QUERY_LENGTHS: Tuple[int, ...] = (50, 100, 150, 200, 250)
+
+#: Reference size: 1 GByte of packed 2-bit nucleotides.
+REFERENCE_NUCLEOTIDES: int = 4_000_000_000
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One evaluation point: a query length against a reference size."""
+
+    query_residues: int
+    reference_nucleotides: int = REFERENCE_NUCLEOTIDES
+
+    @property
+    def query_elements(self) -> int:
+        """Encoded query elements after back-translation (3 per residue)."""
+        return 3 * self.query_residues
+
+    @property
+    def reference_bytes(self) -> int:
+        """Packed DRAM footprint of the reference."""
+        return -(-self.reference_nucleotides // 4)
+
+    @property
+    def comparisons(self) -> int:
+        """Element-wise comparisons the substitution-only scan performs."""
+        positions = self.reference_nucleotides - self.query_elements + 1
+        return max(positions, 0) * self.query_elements
+
+
+def fig6_workloads(
+    reference_nucleotides: int = REFERENCE_NUCLEOTIDES,
+) -> Tuple[Workload, ...]:
+    """The five Fig. 6 design points."""
+    return tuple(
+        Workload(length, reference_nucleotides) for length in FIG6_QUERY_LENGTHS
+    )

@@ -1,0 +1,20 @@
+"""LUT-level functional RTL substrate.
+
+Models the FPGA primitives FabP instantiates directly (LUT6, fractured
+LUT6_2, flip-flops), a structural netlist, a batched cycle simulator, and
+the two paper-specified datapath blocks: the custom comparator
+(:mod:`repro.rtl.comparator`) and the Pop36-based pop-counter
+(:mod:`repro.rtl.popcount`).
+"""
+
+from repro.rtl.netlist import GND, VCC, Netlist, NetlistError
+from repro.rtl.simulator import CombinationalLoopError, Simulator
+
+__all__ = [
+    "GND",
+    "VCC",
+    "CombinationalLoopError",
+    "Netlist",
+    "NetlistError",
+    "Simulator",
+]

@@ -1,0 +1,149 @@
+"""Netlist builders for the FabP custom comparator (§III-D, Fig. 5).
+
+One query element costs exactly **two physical LUTs**:
+
+* the *mux LUT* selects the comparison LUT's spare input ``X`` from
+  ``{b3, Ref[i-1].hi, Ref[i-2].lo, Ref[i-2].hi}`` under control of the
+  instruction's two configuration bits;
+* the *comparison LUT* evaluates the match over
+  ``(b0, b1, b2, X, ref_hi, ref_lo)``.
+
+Both INIT vectors are derived by enumerating the normative semantic
+functions in :mod:`repro.core.comparator` — the netlist cannot drift from
+the golden model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core import comparator as golden
+from repro.rtl.netlist import GND, Netlist
+
+#: Cached INIT vectors (pure functions of the instruction set definition).
+COMPARISON_LUT_INIT = golden.comparison_lut_init()
+MUX_LUT_INIT = golden.mux_lut_init()
+
+#: Physical LUTs per query element — the paper's headline resource figure.
+LUTS_PER_ELEMENT = 2
+
+
+def add_element_comparator(
+    netlist: Netlist,
+    q_bits: Sequence[int],
+    ref_bits: Tuple[int, int],
+    prev1_hi: int,
+    prev2_lo: int,
+    prev2_hi: int,
+    name: str = "cmp",
+) -> int:
+    """Instantiate one element comparator; returns the match net.
+
+    ``q_bits`` are the six instruction nets in transmission order (b0..b5);
+    ``ref_bits`` is ``(hi, lo)`` of the reference nucleotide under test;
+    the three ``prev*`` nets are the dependency-source bits of the one- and
+    two-back reference nucleotides (GND at the stream head, matching the
+    hardware's zero-initialized buffer).
+    """
+    if len(q_bits) != 6:
+        raise ValueError(f"an instruction has 6 bits, got {len(q_bits)}")
+    b0, b1, b2, b3, b4, b5 = q_bits
+    ref_hi, ref_lo = ref_bits
+    # Mux LUT input order matches golden.mux_lut_init's address mapping.
+    x = netlist.add_lut(
+        (b3, prev1_hi, prev2_lo, prev2_hi, b4, b5),
+        MUX_LUT_INIT,
+        name=f"{name}.mux",
+    )
+    match = netlist.add_lut(
+        (b0, b1, b2, x, ref_hi, ref_lo),
+        COMPARISON_LUT_INIT,
+        name=f"{name}.cmp",
+    )
+    return match
+
+
+def build_element_comparator() -> Netlist:
+    """A standalone single-element comparator block (for exhaustive tests).
+
+    Inputs: ``q[0..5]``, ``ref[0..1]`` (bit 0 = lo, bit 1 = hi), ``prev1``
+    and ``prev2`` 2-bit buses in the same order.  Output: ``match[0]``.
+    """
+    netlist = Netlist(name="element_comparator")
+    q = netlist.add_input_bus("q", 6)
+    ref = netlist.add_input_bus("ref", 2)
+    prev1 = netlist.add_input_bus("prev1", 2)
+    prev2 = netlist.add_input_bus("prev2", 2)
+    match = add_element_comparator(
+        netlist,
+        q,
+        (ref[1], ref[0]),
+        prev1_hi=prev1[1],
+        prev2_lo=prev2[0],
+        prev2_hi=prev2[1],
+    )
+    netlist.set_output_bus("match", [match])
+    return netlist
+
+
+def add_instance_comparator(
+    netlist: Netlist,
+    q_element_bits: Sequence[Sequence[int]],
+    ref_element_bits: Sequence[Tuple[int, int]],
+    name: str = "inst",
+) -> List[int]:
+    """Instantiate a full alignment-instance comparator.
+
+    ``q_element_bits`` holds the six instruction nets of each of the ``n``
+    query elements.  ``ref_element_bits`` holds ``(hi, lo)`` net pairs for
+    ``n + 2`` consecutive reference nucleotides: entry ``i + 2`` is the
+    nucleotide element ``i`` compares against, and entries ``i + 1`` / ``i``
+    are its one- and two-back dependency sources.  Callers at the stream
+    head pass GND pairs for the first two entries.
+
+    Returns the ``n`` match nets (one per element, paper Fig. 3: the custom
+    comparator output is ``L_q`` bits).
+    """
+    n = len(q_element_bits)
+    if len(ref_element_bits) != n + 2:
+        raise ValueError(
+            f"need {n + 2} reference elements for {n} query elements, "
+            f"got {len(ref_element_bits)}"
+        )
+    matches: List[int] = []
+    for i, q_bits in enumerate(q_element_bits):
+        hi, lo = ref_element_bits[i + 2]
+        prev1_hi = ref_element_bits[i + 1][0]
+        prev2_hi, prev2_lo = ref_element_bits[i]
+        matches.append(
+            add_element_comparator(
+                netlist,
+                q_bits,
+                (hi, lo),
+                prev1_hi=prev1_hi,
+                prev2_lo=prev2_lo,
+                prev2_hi=prev2_hi,
+                name=f"{name}.e{i}",
+            )
+        )
+    return matches
+
+
+def build_instance_comparator(num_elements: int) -> Netlist:
+    """A standalone instance comparator for ``num_elements`` query elements.
+
+    Inputs: ``q{i}[0..5]`` per element and ``ref{j}[0..1]`` for ``j`` in
+    ``0 .. num_elements + 1`` (j=0,1 are the two look-back slots; element
+    ``i`` is compared against ``ref{i+2}``).  Outputs: ``match[0..n-1]``.
+    """
+    if num_elements < 1:
+        raise ValueError("an instance needs at least one query element")
+    netlist = Netlist(name=f"instance_comparator_{num_elements}")
+    q_bits = [netlist.add_input_bus(f"q{i}", 6) for i in range(num_elements)]
+    ref_bits: List[Tuple[int, int]] = []
+    for j in range(num_elements + 2):
+        bus = netlist.add_input_bus(f"ref{j}", 2)
+        ref_bits.append((bus[1], bus[0]))  # (hi, lo)
+    matches = add_instance_comparator(netlist, q_bits, ref_bits)
+    netlist.set_output_bus("match", matches)
+    return netlist

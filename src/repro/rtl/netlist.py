@@ -1,0 +1,240 @@
+"""A small structural netlist model of FPGA primitives.
+
+The paper's key hardware claims are LUT-level: the custom comparator is
+*exactly two* LUT6s per query element, and the hand-crafted Pop36-based
+pop-counter is ~20 % smaller than a naive tree adder.  To reproduce those
+claims honestly we build the actual netlists out of primitive models and
+count them, instead of asserting numbers.
+
+Primitives modeled (the subset FabP instantiates directly, §III-D):
+
+* :class:`Lut6` — any 6-input/1-output function, programmed by a 64-bit
+  ``INIT`` vector (Xilinx ``LUT6`` convention: output for input vector ``a``
+  is bit ``a`` of ``INIT``, address bit ``i`` driven by input ``i``).
+* :class:`Lut6_2` — the fractured dual-output LUT: two functions of the same
+  ≤5 inputs (``O5``/``O6``), costing a single physical LUT.  Used for full
+  adders in ripple-carry chains.
+* :class:`FlipFlop` — a D flip-flop (``FDRE``-style: synchronous, reset to
+  ``init``).
+
+Nets are integer handles.  Net 0 is constant 0 and net 1 is constant 1.
+The netlist is purely structural; evaluation lives in
+:mod:`repro.rtl.simulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Constant-zero and constant-one net handles, present in every netlist.
+GND = 0
+VCC = 1
+
+
+class NetlistError(ValueError):
+    """Raised on structural errors (bad arity, duplicate drivers, ...)."""
+
+
+@dataclass(frozen=True)
+class Lut6:
+    """A 6-input LUT.  ``inputs`` may be shorter than 6; missing inputs are GND."""
+
+    inputs: Tuple[int, ...]
+    output: int
+    init: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) > 6:
+            raise NetlistError(f"LUT6 {self.name!r} has {len(self.inputs)} inputs")
+        if not 0 <= self.init < (1 << 64):
+            raise NetlistError(f"LUT6 {self.name!r} INIT out of 64-bit range")
+
+
+@dataclass(frozen=True)
+class Lut6_2:
+    """A fractured LUT: two outputs (O5, O6) from the same ≤5 inputs.
+
+    ``init5``/``init6`` are 32-bit INIT vectors over the shared inputs.
+    Physically this is one LUT6 in dual-output mode, so it counts as one LUT.
+    """
+
+    inputs: Tuple[int, ...]
+    output5: int
+    output6: int
+    init5: int
+    init6: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) > 5:
+            raise NetlistError(f"LUT6_2 {self.name!r} has {len(self.inputs)} inputs")
+        for init in (self.init5, self.init6):
+            if not 0 <= init < (1 << 32):
+                raise NetlistError(f"LUT6_2 {self.name!r} INIT out of 32-bit range")
+
+
+@dataclass(frozen=True)
+class FlipFlop:
+    """A D flip-flop clocked by the single implicit clock."""
+
+    data: int
+    output: int
+    init: int = 0
+    name: str = ""
+
+
+@dataclass
+class Netlist:
+    """A flat netlist: nets, primitives, and named ports."""
+
+    name: str = "top"
+    num_nets: int = 2  # GND and VCC pre-exist
+    luts: List[Lut6] = field(default_factory=list)
+    luts2: List[Lut6_2] = field(default_factory=list)
+    flops: List[FlipFlop] = field(default_factory=list)
+    inputs: Dict[str, int] = field(default_factory=dict)
+    outputs: Dict[str, int] = field(default_factory=dict)
+    _drivers: Dict[int, str] = field(default_factory=dict)
+
+    # -- construction -----------------------------------------------------
+
+    def new_net(self, label: str = "") -> int:
+        """Allocate a fresh net and return its handle."""
+        handle = self.num_nets
+        self.num_nets += 1
+        return handle
+
+    def new_nets(self, count: int, label: str = "") -> List[int]:
+        """Allocate ``count`` fresh nets."""
+        return [self.new_net(label) for _ in range(count)]
+
+    def add_input(self, name: str) -> int:
+        """Declare a primary input; returns its net."""
+        if name in self.inputs:
+            raise NetlistError(f"duplicate input {name!r}")
+        net = self.new_net(name)
+        self.inputs[name] = net
+        self._claim(net, f"input {name}")
+        return net
+
+    def add_input_bus(self, name: str, width: int) -> List[int]:
+        """Declare a bus of inputs ``name[0..width-1]``."""
+        return [self.add_input(f"{name}[{i}]") for i in range(width)]
+
+    def set_output(self, name: str, net: int) -> None:
+        """Mark a net as a named primary output."""
+        if name in self.outputs:
+            raise NetlistError(f"duplicate output {name!r}")
+        self._check_net(net)
+        self.outputs[name] = net
+
+    def set_output_bus(self, name: str, nets: Sequence[int]) -> None:
+        """Mark a bus of nets as outputs ``name[0..]``."""
+        for i, net in enumerate(nets):
+            self.set_output(f"{name}[{i}]", net)
+
+    def add_lut(self, inputs: Sequence[int], init: int, name: str = "") -> int:
+        """Instantiate a LUT6; returns its output net."""
+        for net in inputs:
+            self._check_net(net)
+        output = self.new_net(name)
+        lut = Lut6(tuple(inputs), output, init, name)
+        self._claim(output, f"LUT {name or len(self.luts)}")
+        self.luts.append(lut)
+        return output
+
+    def add_lut62(
+        self, inputs: Sequence[int], init5: int, init6: int, name: str = ""
+    ) -> Tuple[int, int]:
+        """Instantiate a dual-output LUT6_2; returns ``(o5, o6)`` nets."""
+        for net in inputs:
+            self._check_net(net)
+        o5 = self.new_net(name + ".o5")
+        o6 = self.new_net(name + ".o6")
+        lut = Lut6_2(tuple(inputs), o5, o6, init5, init6, name)
+        self._claim(o5, f"LUT6_2 {name}.O5")
+        self._claim(o6, f"LUT6_2 {name}.O6")
+        self.luts2.append(lut)
+        return o5, o6
+
+    def add_lut_driving(
+        self, output: int, inputs: Sequence[int], init: int, name: str = ""
+    ) -> None:
+        """Instantiate a LUT6 driving a pre-allocated net.
+
+        Needed for sequential feedback (e.g. a clock-enable hold mux whose
+        inputs include the Q of the flip-flop it feeds): allocate the D net
+        with :meth:`new_net`, create the FF, then drive D here.
+        """
+        for net in inputs:
+            self._check_net(net)
+        self._check_net(output)
+        self._claim(output, f"LUT {name or len(self.luts)}")
+        self.luts.append(Lut6(tuple(inputs), output, init, name))
+
+    def add_ff(self, data: int, init: int = 0, name: str = "") -> int:
+        """Instantiate a flip-flop; returns its Q net."""
+        self._check_net(data)
+        output = self.new_net(name)
+        self._claim(output, f"FF {name or len(self.flops)}")
+        self.flops.append(FlipFlop(data, output, init, name))
+        return output
+
+    def add_ff_driving(self, output: int, data: int, init: int = 0, name: str = "") -> None:
+        """Instantiate a flip-flop whose Q drives a pre-allocated net.
+
+        Counterpart of :meth:`add_lut_driving`, used by netlist importers
+        that must honor existing net names.
+        """
+        self._check_net(data)
+        self._check_net(output)
+        self._claim(output, f"FF {name or len(self.flops)}")
+        self.flops.append(FlipFlop(data, output, init, name))
+
+    def add_ff_bus(self, data: Sequence[int], name: str = "") -> List[int]:
+        """Register a bus; returns the Q nets."""
+        return [self.add_ff(d, name=f"{name}[{i}]") for i, d in enumerate(data)]
+
+    # -- resource accounting ----------------------------------------------
+
+    @property
+    def lut_count(self) -> int:
+        """Physical LUTs used (LUT6_2 counts once)."""
+        return len(self.luts) + len(self.luts2)
+
+    @property
+    def ff_count(self) -> int:
+        return len(self.flops)
+
+    def stats(self) -> Dict[str, int]:
+        """Summary used by the resource model and by tests."""
+        return {
+            "luts": self.lut_count,
+            "ffs": self.ff_count,
+            "nets": self.num_nets,
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+        }
+
+    # -- helpers ------------------------------------------------------------
+
+    def _check_net(self, net: int) -> None:
+        if not 0 <= net < self.num_nets:
+            raise NetlistError(f"net {net} does not exist in {self.name!r}")
+
+    def _claim(self, net: int, driver: str) -> None:
+        if net in self._drivers:
+            raise NetlistError(
+                f"net {net} already driven by {self._drivers[net]}, "
+                f"cannot also drive from {driver}"
+            )
+        self._drivers[net] = driver
+
+
+def const_net(value: int) -> int:
+    """The net handle of a constant bit."""
+    if value not in (0, 1):
+        raise NetlistError(f"constant must be 0 or 1, got {value!r}")
+    return VCC if value else GND

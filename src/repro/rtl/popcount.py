@@ -1,0 +1,265 @@
+"""Pop-counter netlists (§III-D, Fig. 4).
+
+The alignment score is the population count of the comparator's match bits.
+Pop-counters dominate FabP's area (one per alignment instance), so the paper
+hand-crafts them around **Pop36**: a block that sums 36 bits into a 6-bit
+count.  Its first stage is six groups of three LUT6s sharing six inputs
+(each group = a 6-bit popcount emitting a 3-bit result); the groups' results
+are then "summed up together according to their bit order" — a column-wise
+compression reusing the same 3-LUT popcount trick — and a final ripple adder
+merges the shifted partial sums.
+
+Two construction styles are provided so the paper's 20 % area claim can be
+measured instead of asserted:
+
+* :func:`add_pop36` / ``style="fabp"`` — the hand-crafted compressor;
+* ``style="tree"`` — the "simple HDL description of a tree-adder-style
+  Pop-Counter": a binary tree of ripple-carry adders as a synthesizer would
+  emit from ``score = b0 + b1 + ... ;`` with plain single-output LUTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.rtl.netlist import GND, Netlist
+
+#: Bits summed by one Pop36 block.
+POP36_WIDTH = 36
+
+
+def lut_init(function: Callable[..., int], num_inputs: int) -> int:
+    """Build a LUT INIT vector by enumerating ``function`` over its inputs.
+
+    Address bit ``i`` carries input ``i``; unused high inputs (when the LUT
+    is wired with fewer than 6 nets) read 0, so only the low ``2**n``
+    addresses matter — we still fill all 64 for LUT6s by ignoring high bits.
+    """
+    init = 0
+    for address in range(1 << num_inputs):
+        bits = [(address >> i) & 1 for i in range(num_inputs)]
+        if function(*bits):
+            init |= 1 << address
+    return init
+
+
+def _popcount_bit(bit: int) -> Callable[..., int]:
+    def function(*inputs: int) -> int:
+        return (sum(inputs) >> bit) & 1
+
+    return function
+
+
+#: INIT vectors of the three shared-input popcount-of-6 LUTs.
+POPCOUNT6_INITS: Tuple[int, int, int] = (
+    lut_init(_popcount_bit(0), 6),
+    lut_init(_popcount_bit(1), 6),
+    lut_init(_popcount_bit(2), 6),
+)
+
+_FA_SUM_INIT5 = lut_init(lambda a, b, c: a ^ b ^ c, 3) & 0xFFFFFFFF
+_FA_CARRY_INIT5 = lut_init(lambda a, b, c: int(a + b + c >= 2), 3) & 0xFFFFFFFF
+_FA_SUM_INIT64 = lut_init(lambda a, b, c: a ^ b ^ c, 3)
+_FA_CARRY_INIT64 = lut_init(lambda a, b, c: int(a + b + c >= 2), 3)
+
+
+def add_popcount6(netlist: Netlist, inputs: Sequence[int], name: str = "pc6") -> List[int]:
+    """Sum up to six bits with three shared-input LUT6s; returns 3 count bits."""
+    if not 1 <= len(inputs) <= 6:
+        raise ValueError(f"popcount6 takes 1..6 inputs, got {len(inputs)}")
+    padded = list(inputs) + [GND] * (6 - len(inputs))
+    return [
+        netlist.add_lut(padded, POPCOUNT6_INITS[bit], name=f"{name}.b{bit}")
+        for bit in range(3)
+    ]
+
+
+def add_ripple_adder(
+    netlist: Netlist,
+    a_bits: Sequence[int],
+    b_bits: Sequence[int],
+    name: str = "add",
+    *,
+    fractured: bool = True,
+) -> List[int]:
+    """Add two unsigned bit vectors; returns ``max(len)+1`` sum bits.
+
+    ``fractured=True`` packs each full adder into one dual-output LUT6_2
+    (sum on O6, carry on O5) — the hand-optimized style.  ``fractured=False``
+    spends two single-output LUTs per bit — the naive HDL style.
+    """
+    width = max(len(a_bits), len(b_bits))
+    if width == 0:
+        raise ValueError("cannot add empty vectors")
+    a = list(a_bits) + [GND] * (width - len(a_bits))
+    b = list(b_bits) + [GND] * (width - len(b_bits))
+    carry = GND
+    sums: List[int] = []
+    for i in range(width):
+        if fractured:
+            cout, sum_bit = netlist.add_lut62(
+                (a[i], b[i], carry),
+                _FA_CARRY_INIT5,
+                _FA_SUM_INIT5,
+                name=f"{name}.fa{i}",
+            )
+        else:
+            sum_bit = netlist.add_lut(
+                (a[i], b[i], carry), _FA_SUM_INIT64, name=f"{name}.s{i}"
+            )
+            cout = netlist.add_lut(
+                (a[i], b[i], carry), _FA_CARRY_INIT64, name=f"{name}.c{i}"
+            )
+        sums.append(sum_bit)
+        carry = cout
+    sums.append(carry)
+    return sums
+
+
+def add_pop36(netlist: Netlist, inputs: Sequence[int], name: str = "pop36") -> List[int]:
+    """The hand-crafted Pop36 block; returns 6 count bits (Fig. 4).
+
+    Accepts 1..36 inputs (short tails are padded with constant zero, which
+    costs nothing in the LUT INIT).
+    """
+    if not 1 <= len(inputs) <= POP36_WIDTH:
+        raise ValueError(f"Pop36 takes 1..36 inputs, got {len(inputs)}")
+    padded = list(inputs) + [GND] * (POP36_WIDTH - len(inputs))
+    # Stage 1: six shared-input popcount6 groups -> six 3-bit counts (18 LUTs).
+    groups = [
+        add_popcount6(netlist, padded[g * 6 : (g + 1) * 6], name=f"{name}.g{g}")
+        for g in range(6)
+    ]
+    # Stage 2: column-wise compression "according to their bit order":
+    # the six weight-2^b bits of the group counts are themselves popcounted
+    # (9 LUTs), giving three 3-bit partial sums with weights 1, 2, 4.
+    partials = [
+        add_popcount6(netlist, [groups[g][bit] for g in range(6)], name=f"{name}.col{bit}")
+        for bit in range(3)
+    ]
+    # Stage 3: total = p0 + (p1 << 1) + (p2 << 2), two fractured ripple adders.
+    shifted1 = [GND] + partials[1]
+    first = add_ripple_adder(netlist, partials[0], shifted1, name=f"{name}.a0")
+    shifted2 = [GND, GND] + partials[2]
+    total = add_ripple_adder(netlist, first, shifted2, name=f"{name}.a1")
+    return total[:6]  # popcount of 36 fits in 6 bits
+
+
+def add_tree_adder_popcount(
+    netlist: Netlist, inputs: Sequence[int], name: str = "tree", *, fractured: bool = False
+) -> List[int]:
+    """Naive tree-adder popcount: binary tree of ripple-carry adders.
+
+    With ``fractured=False`` (default) every full adder costs two LUTs —
+    modelling the paper's "simple HDL description".
+    """
+    if not inputs:
+        raise ValueError("popcount of zero bits")
+    values: List[List[int]] = [[bit] for bit in inputs]
+    level = 0
+    while len(values) > 1:
+        next_values: List[List[int]] = []
+        for i in range(0, len(values) - 1, 2):
+            next_values.append(
+                add_ripple_adder(
+                    netlist,
+                    values[i],
+                    values[i + 1],
+                    name=f"{name}.l{level}.a{i // 2}",
+                    fractured=fractured,
+                )
+            )
+        if len(values) % 2:
+            next_values.append(values[-1])
+        values = next_values
+        level += 1
+    result = values[0]
+    max_count = len(inputs)
+    needed = max(1, max_count.bit_length())
+    return result[:needed]
+
+
+@dataclass(frozen=True)
+class PopCounterBlock:
+    """A built pop-counter: its netlist, I/O names and pipeline latency."""
+
+    netlist: Netlist
+    width: int
+    score_bits: int
+    latency: int
+    style: str
+
+    @property
+    def lut_count(self) -> int:
+        return self.netlist.lut_count
+
+    @property
+    def ff_count(self) -> int:
+        return self.netlist.ff_count
+
+
+def build_popcounter(
+    width: int, *, style: str = "fabp", pipelined: bool = True
+) -> PopCounterBlock:
+    """Build a full match-vector pop-counter for ``width`` input bits.
+
+    ``style="fabp"`` chunks the input into Pop36 blocks and merges their
+    6-bit counts with a fractured adder tree; ``style="tree"`` is the naive
+    single-output-LUT adder tree.  With ``pipelined=True`` a register stage
+    follows the Pop36 layer and every merge level (the paper's deep
+    pipeline); latency is the number of register stages.
+
+    Inputs: ``bits[0..width-1]``; outputs: ``score[0..]`` sized to hold
+    ``width`` (10 bits at the paper's maximum of 750 elements).
+    """
+    if width < 1:
+        raise ValueError("pop-counter width must be >= 1")
+    if style not in ("fabp", "tree"):
+        raise ValueError(f"unknown pop-counter style {style!r}")
+    netlist = Netlist(name=f"popcounter_{style}_{width}")
+    bits = netlist.add_input_bus("bits", width)
+    latency = 0
+
+    if style == "tree":
+        score = add_tree_adder_popcount(netlist, bits, fractured=False)
+        if pipelined:
+            score = netlist.add_ff_bus(score, name="score_ff")
+            latency = 1
+    else:
+        chunks = [bits[i : i + POP36_WIDTH] for i in range(0, width, POP36_WIDTH)]
+        counts = [add_pop36(netlist, chunk, name=f"pop36_{i}") for i, chunk in enumerate(chunks)]
+        if pipelined:
+            counts = [netlist.add_ff_bus(c, name=f"p36ff_{i}") for i, c in enumerate(counts)]
+            latency += 1
+        level = 0
+        while len(counts) > 1:
+            merged: List[List[int]] = []
+            for i in range(0, len(counts) - 1, 2):
+                merged.append(
+                    add_ripple_adder(
+                        netlist, counts[i], counts[i + 1], name=f"m{level}.a{i // 2}"
+                    )
+                )
+            if len(counts) % 2:
+                merged.append(counts[-1])
+            if pipelined:
+                merged = [
+                    netlist.add_ff_bus(value, name=f"m{level}ff_{i}")
+                    for i, value in enumerate(merged)
+                ]
+                latency += 1
+            counts = merged
+            level += 1
+        score = counts[0]
+
+    needed = max(1, width.bit_length())
+    score = score[:needed]
+    netlist.set_output_bus("score", score)
+    return PopCounterBlock(
+        netlist=netlist,
+        width=width,
+        score_bits=len(score),
+        latency=latency,
+        style=style,
+    )

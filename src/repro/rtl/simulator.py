@@ -1,0 +1,207 @@
+"""Cycle-driven functional simulator for :class:`repro.rtl.netlist.Netlist`.
+
+Evaluation model:
+
+* all combinational primitives (LUTs) are levelized once at construction —
+  a topological order over the net graph; combinational loops are rejected;
+* :meth:`Simulator.step` applies primary inputs, settles combinational
+  logic, samples outputs, then clocks every flip-flop — i.e. outputs
+  observed at cycle *t* are the pre-edge values, like a waveform viewer;
+* values are numpy ``uint8`` arrays, so a single pass can evaluate a whole
+  *batch* of input vectors in parallel (exhaustive LUT verification runs all
+  64 comparator input combinations in one step).
+
+This is a functional simulator: no timing, single implicit clock, no X
+propagation (undriven nets read 0, matching FPGA GND defaults).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.rtl.netlist import GND, VCC, Lut6, Lut6_2, Netlist, NetlistError
+
+Value = Union[int, np.ndarray]
+
+
+class CombinationalLoopError(NetlistError):
+    """Raised when the combinational netlist graph is cyclic."""
+
+
+class Simulator:
+    """Simulate a netlist cycle by cycle (optionally batched)."""
+
+    def __init__(self, netlist: Netlist, batch: int = 1):
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        self.netlist = netlist
+        self.batch = batch
+        self._order = self._levelize(netlist)
+        self._values = np.zeros((netlist.num_nets, batch), dtype=np.uint8)
+        self._values[VCC] = 1
+        for flop in netlist.flops:
+            self._values[flop.output] = flop.init
+        self._settled = False
+        # Precompute per-LUT init bit arrays for vectorized lookup.
+        self._init_bits: Dict[int, np.ndarray] = {}
+        for index, lut in enumerate(netlist.luts):
+            bits = np.array([(lut.init >> a) & 1 for a in range(64)], dtype=np.uint8)
+            self._init_bits[index] = bits
+        self._init_bits2: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        for index, lut in enumerate(netlist.luts2):
+            bits5 = np.array([(lut.init5 >> a) & 1 for a in range(32)], dtype=np.uint8)
+            bits6 = np.array([(lut.init6 >> a) & 1 for a in range(32)], dtype=np.uint8)
+            self._init_bits2[index] = (bits5, bits6)
+
+    # -- public API ---------------------------------------------------------
+
+    def step(self, inputs: Mapping[str, Value] = ()) -> Dict[str, np.ndarray]:
+        """Advance one clock cycle; returns the pre-edge output values."""
+        outputs = self.settle(inputs)
+        self._clock()
+        return outputs
+
+    def settle(self, inputs: Mapping[str, Value] = ()) -> Dict[str, np.ndarray]:
+        """Apply inputs and propagate combinationally (no clock edge)."""
+        if inputs:
+            self._apply_inputs(inputs)
+        self._evaluate()
+        self._settled = True
+        return self.read_outputs()
+
+    def run(
+        self, input_stream: Iterable[Mapping[str, Value]]
+    ) -> List[Dict[str, np.ndarray]]:
+        """Clock the design once per element of ``input_stream``."""
+        return [self.step(vector) for vector in input_stream]
+
+    def read_outputs(self) -> Dict[str, np.ndarray]:
+        """Current values of all declared outputs."""
+        return {
+            name: self._values[net].copy()
+            for name, net in self.netlist.outputs.items()
+        }
+
+    def output_bus(self, name: str) -> np.ndarray:
+        """Read output bus ``name[*]`` as integers (shape: batch)."""
+        values = np.zeros(self.batch, dtype=np.int64)
+        bit = 0
+        while f"{name}[{bit}]" in self.netlist.outputs:
+            net = self.netlist.outputs[f"{name}[{bit}]"]
+            values |= self._values[net].astype(np.int64) << bit
+            bit += 1
+        if bit == 0:
+            raise KeyError(f"no output bus named {name!r}")
+        return values
+
+    def set_input_bus(self, name: str, values: Value) -> Dict[str, Value]:
+        """Build the input mapping that drives bus ``name[*]`` with integers."""
+        values = np.asarray(values, dtype=np.int64)
+        mapping: Dict[str, Value] = {}
+        bit = 0
+        while f"{name}[{bit}]" in self.netlist.inputs:
+            mapping[f"{name}[{bit}]"] = ((values >> bit) & 1).astype(np.uint8)
+            bit += 1
+        if bit == 0:
+            raise KeyError(f"no input bus named {name!r}")
+        return mapping
+
+    def peek(self, net: int) -> np.ndarray:
+        """Read an arbitrary net (debug aid)."""
+        return self._values[net].copy()
+
+    # -- internals ----------------------------------------------------------
+
+    def _apply_inputs(self, inputs: Mapping[str, Value]) -> None:
+        for name, value in inputs.items():
+            try:
+                net = self.netlist.inputs[name]
+            except KeyError:
+                raise KeyError(f"no input named {name!r}") from None
+            arr = np.asarray(value, dtype=np.uint8)
+            if arr.ndim == 0:
+                arr = np.full(self.batch, int(arr), dtype=np.uint8)
+            if arr.shape != (self.batch,):
+                raise ValueError(
+                    f"input {name!r}: expected shape ({self.batch},), got {arr.shape}"
+                )
+            if arr.max(initial=0) > 1:
+                raise ValueError(f"input {name!r} carries non-binary values")
+            self._values[net] = arr
+
+    def _evaluate(self) -> None:
+        values = self._values
+        for kind, index in self._order:
+            if kind == 0:
+                lut = self.netlist.luts[index]
+                address = np.zeros(self.batch, dtype=np.uint8)
+                for bit, net in enumerate(lut.inputs):
+                    address |= values[net] << bit
+                values[lut.output] = self._init_bits[index][address]
+            else:
+                lut2 = self.netlist.luts2[index]
+                address = np.zeros(self.batch, dtype=np.uint8)
+                for bit, net in enumerate(lut2.inputs):
+                    address |= values[net] << bit
+                bits5, bits6 = self._init_bits2[index]
+                values[lut2.output5] = bits5[address]
+                values[lut2.output6] = bits6[address]
+
+    def _clock(self) -> None:
+        if not self._settled:
+            self._evaluate()
+        # Sample all D pins before updating any Q (two-phase, race-free).
+        sampled = [self._values[flop.data].copy() for flop in self.netlist.flops]
+        for flop, value in zip(self.netlist.flops, sampled):
+            self._values[flop.output] = value
+        self._settled = False
+
+    @staticmethod
+    def _levelize(netlist: Netlist) -> List[Tuple[int, int]]:
+        """Topologically order combinational primitives.
+
+        FF outputs, primary inputs and constants are level-0 sources; each
+        LUT is scheduled after all its input drivers.  Returns a list of
+        ``(kind, index)`` with kind 0 = Lut6, 1 = Lut6_2.
+        """
+        producers: Dict[int, Tuple[int, int]] = {}
+        for index, lut in enumerate(netlist.luts):
+            producers[lut.output] = (0, index)
+        for index, lut2 in enumerate(netlist.luts2):
+            producers[lut2.output5] = (1, index)
+            producers[lut2.output6] = (1, index)
+
+        nodes: List[Tuple[int, int]] = [(0, i) for i in range(len(netlist.luts))]
+        nodes += [(1, i) for i in range(len(netlist.luts2))]
+
+        def node_inputs(node: Tuple[int, int]) -> Sequence[int]:
+            kind, index = node
+            return (
+                netlist.luts[index].inputs if kind == 0 else netlist.luts2[index].inputs
+            )
+
+        # Kahn's algorithm (iterative: ripple-carry chains get very deep).
+        indegree: Dict[Tuple[int, int], int] = {}
+        dependents: Dict[Tuple[int, int], List[Tuple[int, int]]] = {n: [] for n in nodes}
+        for node in nodes:
+            deps = {producers[n] for n in node_inputs(node) if n in producers}
+            indegree[node] = len(deps)
+            for dep in deps:
+                dependents[dep].append(node)
+        ready = [node for node in nodes if indegree[node] == 0]
+        order: List[Tuple[int, int]] = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for dependent in dependents[node]:
+                indegree[dependent] -= 1
+                if indegree[dependent] == 0:
+                    ready.append(dependent)
+        if len(order) != len(nodes):
+            raise CombinationalLoopError(
+                f"combinational loop among {len(nodes) - len(order)} primitives "
+                f"in {netlist.name!r}"
+            )
+        return order

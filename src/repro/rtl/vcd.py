@@ -1,0 +1,115 @@
+"""VCD (Value Change Dump) waveform recording for the cycle simulator.
+
+Hardware debugging lives in the waveform viewer; this module gives the
+reproduction the same affordance: wrap a :class:`~repro.rtl.simulator.
+Simulator`, step it, and get a standard VCD file that GTKWave (or any EDA
+waveform tool) opens.  Used by the hardware walkthrough example and by
+tests that check stall behaviour cycle by cycle.
+
+Only batch-1 simulators can be traced (a waveform of a 4096-wide batch is
+not meaningful).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.rtl.simulator import Simulator
+
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """Compact VCD identifier codes (base-94)."""
+    out = []
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, len(_ID_CHARS))
+        out.append(_ID_CHARS[rem])
+    return "".join(out)
+
+
+class VcdTracer:
+    """Record named signals of a simulator into VCD text.
+
+    ``signals`` maps display names to net handles; by default every
+    declared input and output port is traced.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        signals: Optional[Mapping[str, int]] = None,
+        *,
+        timescale: str = "1 ns",
+        clock_period: int = 10,
+    ):
+        if simulator.batch != 1:
+            raise ValueError("VCD tracing requires a batch-1 simulator")
+        self.simulator = simulator
+        netlist = simulator.netlist
+        if signals is None:
+            signals = {}
+            signals.update(netlist.inputs)
+            for name, net in netlist.outputs.items():
+                signals.setdefault(name, net)
+        self.signals: Dict[str, int] = dict(signals)
+        self.timescale = timescale
+        self.clock_period = clock_period
+        self._ids = {
+            name: _identifier(i) for i, name in enumerate(self.signals)
+        }
+        self._clock_id = _identifier(len(self.signals))
+        self._time = 0
+        self._last: Dict[str, int] = {}
+        self._body = io.StringIO()
+
+    # -- recording ----------------------------------------------------------
+
+    def step(self, inputs: Mapping[str, int] = ()) -> None:
+        """Drive one clock cycle and record both clock phases."""
+        self.simulator.settle(inputs)
+        self._emit_sample(clock=1)
+        self.simulator.step()
+        self._time += self.clock_period // 2
+        self._body.write(f"#{self._time}\n0{self._clock_id}\n")
+        self._time += self.clock_period - self.clock_period // 2
+
+    def run(self, input_stream: Iterable[Mapping[str, int]]) -> None:
+        for inputs in input_stream:
+            self.step(inputs)
+
+    def _emit_sample(self, clock: int) -> None:
+        self._body.write(f"#{self._time}\n")
+        self._body.write(f"{clock}{self._clock_id}\n")
+        for name, net in self.signals.items():
+            value = int(self.simulator.peek(net)[0])
+            if self._last.get(name) != value:
+                self._body.write(f"{value}{self._ids[name]}\n")
+                self._last[name] = value
+
+    # -- output -------------------------------------------------------------
+
+    def header(self) -> str:
+        out = io.StringIO()
+        out.write("$date repro.rtl.vcd $end\n")
+        out.write(f"$timescale {self.timescale} $end\n")
+        out.write(f"$scope module {self.simulator.netlist.name or 'top'} $end\n")
+        out.write(f"$var wire 1 {self._clock_id} clk $end\n")
+        for name in self.signals:
+            safe = name.replace(" ", "_")
+            out.write(f"$var wire 1 {self._ids[name]} {safe} $end\n")
+        out.write("$upscope $end\n$enddefinitions $end\n")
+        return out.getvalue()
+
+    def dump(self) -> str:
+        """The complete VCD text recorded so far."""
+        return self.header() + self._body.getvalue()
+
+    def write(self, path) -> int:
+        """Write the VCD to ``path``; returns byte count."""
+        text = self.dump()
+        with open(path, "w", encoding="ascii") as handle:
+            handle.write(text)
+        return len(text)

@@ -1,0 +1,33 @@
+"""Sequence substrate: alphabets, sequence types, I/O, generation, mutation.
+
+This package stands in for the bioinformatics plumbing the paper takes for
+granted (NCBI FASTA databases, codon-level bookkeeping).  Public surface:
+
+* :mod:`repro.seq.alphabet` — nucleotide / amino-acid alphabets and the
+  normative FabP 2-bit nucleotide encoding.
+* :class:`repro.seq.DnaSequence` / :class:`repro.seq.RnaSequence` /
+  :class:`repro.seq.ProteinSequence` — validated immutable sequence types.
+* :mod:`repro.seq.fasta` — FASTA parsing and formatting.
+* :mod:`repro.seq.packing` — 2-bit DRAM packing and AXI beat accounting.
+* :mod:`repro.seq.generate` — seeded random sequences.
+* :mod:`repro.seq.mutate` — substitution / indel mutation models.
+* :mod:`repro.seq.translate` — forward translation incl. six-frame.
+"""
+
+from repro.seq.sequence import (
+    DnaSequence,
+    ProteinSequence,
+    RnaSequence,
+    SequenceError,
+    as_protein,
+    as_rna,
+)
+
+__all__ = [
+    "DnaSequence",
+    "ProteinSequence",
+    "RnaSequence",
+    "SequenceError",
+    "as_protein",
+    "as_rna",
+]

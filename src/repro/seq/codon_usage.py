@@ -1,0 +1,109 @@
+"""Organism codon-usage tables and biased codon sampling.
+
+Real coding sequence does not pick synonymous codons uniformly; codon usage
+bias is organism-specific and affects how often FabP's degenerate patterns
+see each codon variant.  This module ships two reference tables (human and
+E. coli, per-thousand frequencies from the Kazusa codon usage database,
+rounded) and a sampler the workload builders use for realistic databases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.codons import CODON_TABLE, CODONS_FOR
+
+#: Human codon usage, occurrences per thousand codons (Kazusa, rounded).
+HUMAN_USAGE_PER_THOUSAND: Dict[str, float] = {
+    "UUU": 17.6, "UUC": 20.3, "UUA": 7.7, "UUG": 12.9,
+    "CUU": 13.2, "CUC": 19.6, "CUA": 7.2, "CUG": 39.6,
+    "AUU": 16.0, "AUC": 20.8, "AUA": 7.5, "AUG": 22.0,
+    "GUU": 11.0, "GUC": 14.5, "GUA": 7.1, "GUG": 28.1,
+    "UCU": 15.2, "UCC": 17.7, "UCA": 12.2, "UCG": 4.4,
+    "CCU": 17.5, "CCC": 19.8, "CCA": 16.9, "CCG": 6.9,
+    "ACU": 13.1, "ACC": 18.9, "ACA": 15.1, "ACG": 6.1,
+    "GCU": 18.4, "GCC": 27.7, "GCA": 15.8, "GCG": 7.4,
+    "UAU": 12.2, "UAC": 15.3, "UAA": 1.0, "UAG": 0.8,
+    "CAU": 10.9, "CAC": 15.1, "CAA": 12.3, "CAG": 34.2,
+    "AAU": 17.0, "AAC": 19.1, "AAA": 24.4, "AAG": 31.9,
+    "GAU": 21.8, "GAC": 25.1, "GAA": 29.0, "GAG": 39.6,
+    "UGU": 10.6, "UGC": 12.6, "UGA": 1.6, "UGG": 13.2,
+    "CGU": 4.5, "CGC": 10.4, "CGA": 6.2, "CGG": 11.4,
+    "AGU": 12.1, "AGC": 19.5, "AGA": 12.2, "AGG": 12.0,
+    "GGU": 10.8, "GGC": 22.2, "GGA": 16.5, "GGG": 16.5,
+}
+
+#: E. coli K-12 codon usage, per thousand (Kazusa, rounded).
+ECOLI_USAGE_PER_THOUSAND: Dict[str, float] = {
+    "UUU": 22.2, "UUC": 16.6, "UUA": 13.9, "UUG": 13.7,
+    "CUU": 11.0, "CUC": 11.0, "CUA": 3.9, "CUG": 52.6,
+    "AUU": 30.3, "AUC": 25.1, "AUA": 4.4, "AUG": 27.9,
+    "GUU": 18.3, "GUC": 15.3, "GUA": 10.9, "GUG": 26.4,
+    "UCU": 8.5, "UCC": 8.6, "UCA": 7.2, "UCG": 8.9,
+    "CCU": 7.0, "CCC": 5.5, "CCA": 8.4, "CCG": 23.2,
+    "ACU": 9.0, "ACC": 23.4, "ACA": 7.1, "ACG": 14.4,
+    "GCU": 15.3, "GCC": 25.5, "GCA": 20.1, "GCG": 33.6,
+    "UAU": 16.2, "UAC": 12.2, "UAA": 2.0, "UAG": 0.2,
+    "CAU": 12.9, "CAC": 9.7, "CAA": 15.3, "CAG": 28.8,
+    "AAU": 17.7, "AAC": 21.7, "AAA": 33.6, "AAG": 10.3,
+    "GAU": 32.1, "GAC": 19.1, "GAA": 39.4, "GAG": 17.8,
+    "UGU": 5.2, "UGC": 6.4, "UGA": 0.9, "UGG": 15.2,
+    "CGU": 20.9, "CGC": 22.0, "CGA": 3.6, "CGG": 5.4,
+    "AGU": 8.8, "AGC": 16.1, "AGA": 2.1, "AGG": 1.2,
+    "GGU": 24.7, "GGC": 29.6, "GGA": 8.0, "GGG": 11.1,
+}
+
+USAGE_TABLES: Dict[str, Dict[str, float]] = {
+    "human": HUMAN_USAGE_PER_THOUSAND,
+    "ecoli": ECOLI_USAGE_PER_THOUSAND,
+}
+
+
+class CodonSampler:
+    """Sample synonymous codons for amino acids under a usage table."""
+
+    def __init__(self, usage: Dict[str, float]):
+        missing = set(CODON_TABLE) - set(usage)
+        if missing:
+            raise ValueError(f"usage table missing codons: {sorted(missing)[:4]}...")
+        self.usage = dict(usage)
+        self._choices: Dict[str, tuple] = {}
+        for amino, codons in CODONS_FOR.items():
+            weights = np.array([max(usage[c], 1e-9) for c in codons], dtype=float)
+            self._choices[amino] = (codons, weights / weights.sum())
+
+    def sample(self, amino: str, rng: np.random.Generator) -> str:
+        """Draw one codon for ``amino`` according to the usage bias."""
+        codons, probabilities = self._choices[amino]
+        return codons[int(rng.choice(len(codons), p=probabilities))]
+
+    def relative_usage(self, amino: str) -> Dict[str, float]:
+        """Normalized synonymous-codon frequencies for one amino acid."""
+        codons, probabilities = self._choices[amino]
+        return dict(zip(codons, probabilities.tolist()))
+
+
+def sampler(organism: str) -> CodonSampler:
+    """A :class:`CodonSampler` for a named organism table."""
+    try:
+        return CodonSampler(USAGE_TABLES[organism])
+    except KeyError:
+        raise KeyError(
+            f"unknown organism {organism!r}; available: {sorted(USAGE_TABLES)}"
+        ) from None
+
+
+def serine_agy_fraction(organism: str) -> float:
+    """Fraction of Ser codons in the AGU/AGC box for an organism.
+
+    Quantifies the real-world exposure of the paper's Ser reduction: the
+    higher this is, the more sensitivity paper-mode FabP loses on that
+    organism's transcripts.
+    """
+    usage = USAGE_TABLES[organism]
+    ser = CODONS_FOR["S"]
+    total = sum(usage[c] for c in ser)
+    agy = usage["AGU"] + usage["AGC"]
+    return agy / total

@@ -1,0 +1,109 @@
+"""Minimal FASTA reader/writer.
+
+The paper's workloads come from NCBI FASTA dumps (nr.gz / nt.gz).  We cannot
+ship those, but the synthetic workload builders in :mod:`repro.workloads`
+round-trip through this module so examples and benches exercise the same
+ingestion path a real deployment would.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, List, Tuple, Union
+
+from repro.seq.sequence import DnaSequence, ProteinSequence, RnaSequence
+
+Record = Tuple[str, str]
+PathLike = Union[str, Path]
+
+
+def _open_text(path: PathLike, mode: str):
+    """Open plain or gzip-compressed FASTA transparently (NCBI ships .gz)."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="ascii")
+    return open(path, mode, encoding="ascii")
+
+
+def parse_fasta(stream: Union[io.TextIOBase, str]) -> Iterator[Record]:
+    """Yield ``(header, sequence)`` records from FASTA text or a text stream.
+
+    Headers are returned without the leading ``>``.  Blank lines are ignored;
+    sequence lines are concatenated and upper-cased.  A record with an empty
+    sequence is still yielded (some NCBI dumps contain them) so callers can
+    decide how to treat it.
+    """
+    if isinstance(stream, str):
+        stream = io.StringIO(stream)
+    header = None
+    chunks: List[str] = []
+    for raw_line in stream:
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if header is not None:
+                yield header, "".join(chunks).upper()
+            header = line[1:].strip()
+            chunks = []
+        else:
+            if header is None:
+                raise ValueError("FASTA data does not start with a '>' header")
+            chunks.append(line)
+    if header is not None:
+        yield header, "".join(chunks).upper()
+
+
+def read_fasta(path: PathLike) -> List[Record]:
+    """Read every record of a FASTA file into memory."""
+    with _open_text(path, "r") as handle:
+        return list(parse_fasta(handle))
+
+
+def write_fasta(path: PathLike, records: Iterable[Record], width: int = 70) -> int:
+    """Write ``(header, sequence)`` records to ``path``; return record count.
+
+    ``width`` controls line wrapping of sequence data (<=0 disables wrapping).
+    """
+    count = 0
+    with _open_text(path, "w") as handle:
+        for header, sequence in records:
+            handle.write(f">{header}\n")
+            if width and width > 0:
+                for start in range(0, len(sequence), width):
+                    handle.write(sequence[start : start + width] + "\n")
+            else:
+                handle.write(sequence + "\n")
+            count += 1
+    return count
+
+
+def format_fasta(records: Iterable[Record], width: int = 70) -> str:
+    """Render records as a FASTA string (used by tests and examples)."""
+    out = io.StringIO()
+    for header, sequence in records:
+        out.write(f">{header}\n")
+        if width and width > 0:
+            for start in range(0, len(sequence), width):
+                out.write(sequence[start : start + width] + "\n")
+        else:
+            out.write(sequence + "\n")
+    return out.getvalue()
+
+
+def read_proteins(path: PathLike) -> List[ProteinSequence]:
+    """Read a FASTA file as protein sequences (validated)."""
+    return [ProteinSequence(seq, name=header) for header, seq in read_fasta(path)]
+
+
+def read_rna(path: PathLike) -> List[RnaSequence]:
+    """Read a FASTA file as RNA sequences; DNA letters are transcribed."""
+    records = read_fasta(path)
+    out: List[RnaSequence] = []
+    for header, seq in records:
+        if "T" in seq and "U" not in seq:
+            out.append(DnaSequence(seq, name=header).to_rna())
+        else:
+            out.append(RnaSequence(seq, name=header))
+    return out

@@ -1,0 +1,143 @@
+"""Seeded random sequence generation.
+
+Substitutes for the paper's NCBI query/reference sampling (nr.gz / nt.gz are
+not shippable).  Compositions default to uniform but can be biased — the
+accuracy benches use amino-acid frequencies close to the empirical UniProt
+background so that back-translation degeneracy statistics are realistic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.seq import alphabet
+from repro.seq.sequence import DnaSequence, ProteinSequence, RnaSequence
+
+#: Approximate background amino-acid frequencies (Swiss-Prot release stats),
+#: index-aligned with :data:`repro.seq.alphabet.AMINO_ACIDS`.
+UNIPROT_AA_FREQUENCIES = {
+    "A": 0.0826, "C": 0.0138, "D": 0.0546, "E": 0.0672, "F": 0.0387,
+    "G": 0.0708, "H": 0.0227, "I": 0.0593, "K": 0.0581, "L": 0.0965,
+    "M": 0.0241, "N": 0.0406, "P": 0.0473, "Q": 0.0393, "R": 0.0553,
+    "S": 0.0660, "T": 0.0535, "V": 0.0686, "W": 0.0110, "Y": 0.0292,
+}
+
+
+def _as_rng(rng: Optional[np.random.Generator], seed: Optional[int]) -> np.random.Generator:
+    if rng is not None:
+        return rng
+    return np.random.default_rng(seed)
+
+
+def _draw_letters(
+    letters: Sequence[str],
+    length: int,
+    rng: np.random.Generator,
+    probabilities: Optional[Sequence[float]] = None,
+) -> str:
+    if length < 0:
+        raise ValueError("length cannot be negative")
+    if probabilities is not None:
+        probabilities = np.asarray(probabilities, dtype=float)
+        probabilities = probabilities / probabilities.sum()
+    indices = rng.choice(len(letters), size=length, p=probabilities)
+    arr = np.frombuffer("".join(letters).encode(), dtype=np.uint8)
+    return arr[indices].tobytes().decode("ascii")
+
+
+def random_rna(
+    length: int,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    gc_content: Optional[float] = None,
+    name: str = "",
+) -> RnaSequence:
+    """Generate a random RNA sequence.
+
+    ``gc_content`` (0..1) biases G+C jointly; A/U and G/C are split evenly
+    within their groups, which matches how nt-database composition is usually
+    summarized.
+    """
+    rng = _as_rng(rng, seed)
+    probabilities = None
+    if gc_content is not None:
+        if not 0.0 <= gc_content <= 1.0:
+            raise ValueError("gc_content must be within [0, 1]")
+        at = (1.0 - gc_content) / 2.0
+        gc = gc_content / 2.0
+        probabilities = [at, gc, gc, at]  # A, C, G, U order
+    letters = _draw_letters(alphabet.RNA_NUCLEOTIDES, length, rng, probabilities)
+    return RnaSequence(letters, name=name)
+
+
+def random_dna(
+    length: int,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    gc_content: Optional[float] = None,
+    name: str = "",
+) -> DnaSequence:
+    """Generate a random DNA sequence (same model as :func:`random_rna`)."""
+    rna = random_rna(length, rng=rng, seed=seed, gc_content=gc_content, name=name)
+    return rna.to_dna()
+
+
+def random_protein(
+    length: int,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    composition: str = "uniprot",
+    include_stop: bool = False,
+    name: str = "",
+) -> ProteinSequence:
+    """Generate a random protein sequence.
+
+    ``composition`` is ``"uniprot"`` (empirical background, default) or
+    ``"uniform"``.  With ``include_stop=True`` a trailing ``*`` is appended,
+    mirroring full coding sequences (the paper's worked example ends in Stop).
+    """
+    rng = _as_rng(rng, seed)
+    if composition == "uniform":
+        probabilities = None
+    elif composition == "uniprot":
+        probabilities = [UNIPROT_AA_FREQUENCIES[aa] for aa in alphabet.AMINO_ACIDS]
+    else:
+        raise ValueError(f"unknown composition {composition!r}")
+    body_len = length - 1 if include_stop else length
+    if body_len < 0:
+        raise ValueError("length too short for include_stop")
+    letters = _draw_letters(alphabet.AMINO_ACIDS, body_len, rng, probabilities)
+    if include_stop:
+        letters += alphabet.STOP_SYMBOL
+    return ProteinSequence(letters, name=name)
+
+
+def random_coding_rna(
+    num_codons: int,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    name: str = "",
+) -> RnaSequence:
+    """Generate a random *coding* RNA: AUG start, random sense codons, stop.
+
+    Used by the indel-frequency study, which needs genuinely coding regions
+    (the paper's indel statistics are specific to protein-coding sequence).
+    The returned sequence has ``3 * num_codons`` nucleotides, of which the
+    first codon is ``AUG`` and the last is a random stop codon.
+    """
+    if num_codons < 2:
+        raise ValueError("a coding sequence needs at least start + stop codons")
+    from repro.core.codons import CODON_TABLE, STOP_CODONS  # local: avoid cycle
+
+    rng = _as_rng(rng, seed)
+    sense_codons = sorted(c for c in CODON_TABLE if c not in STOP_CODONS)
+    middle = rng.choice(len(sense_codons), size=num_codons - 2)
+    stop = sorted(STOP_CODONS)[int(rng.integers(len(STOP_CODONS)))]
+    body = "".join(sense_codons[i] for i in middle)
+    return RnaSequence("AUG" + body + stop, name=name)

@@ -1,0 +1,90 @@
+"""Sequence composition statistics.
+
+Small utilities the workload builders and analyses lean on: nucleotide /
+GC composition, codon counts over reading frames, k-mer spectra, and a
+chi-square-style uniformity score used to sanity-check synthetic
+generators against their target compositions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.seq import alphabet
+from repro.seq.sequence import as_rna
+
+
+def nucleotide_composition(sequence) -> Dict[str, float]:
+    """Fractional composition over ``A, C, G, U`` (RNA view of the input)."""
+    rna = as_rna(sequence)
+    if not len(rna):
+        return {letter: 0.0 for letter in alphabet.RNA_NUCLEOTIDES}
+    counts = Counter(rna.letters)
+    total = len(rna)
+    return {letter: counts.get(letter, 0) / total for letter in alphabet.RNA_NUCLEOTIDES}
+
+
+def gc_content(sequence) -> float:
+    """G+C fraction."""
+    composition = nucleotide_composition(sequence)
+    return composition["G"] + composition["C"]
+
+
+def codon_counts(sequence, frame: int = 0) -> Dict[str, int]:
+    """Codon occurrence counts in one reading frame."""
+    if frame not in (0, 1, 2):
+        raise ValueError("frame must be 0, 1 or 2")
+    rna = as_rna(sequence)
+    text = rna.letters
+    counts: Counter = Counter()
+    for start in range(frame, len(text) - 2, 3):
+        counts[text[start : start + 3]] += 1
+    return dict(counts)
+
+
+def kmer_spectrum(sequence, k: int = 3) -> Dict[str, int]:
+    """Overlapping k-mer counts (nucleotide space)."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    rna = as_rna(sequence)
+    text = rna.letters
+    counts: Counter = Counter()
+    for start in range(len(text) - k + 1):
+        counts[text[start : start + k]] += 1
+    return dict(counts)
+
+
+def composition_chi2(sequence, expected: Optional[Dict[str, float]] = None) -> float:
+    """Chi-square statistic of the nucleotide composition vs a target.
+
+    Default target is uniform (0.25 each).  Near 0 means the sequence
+    matches the target composition; the synthetic-generator tests bound it.
+    """
+    rna = as_rna(sequence)
+    n = len(rna)
+    if n == 0:
+        return 0.0
+    if expected is None:
+        expected = {letter: 0.25 for letter in alphabet.RNA_NUCLEOTIDES}
+    counts = Counter(rna.letters)
+    statistic = 0.0
+    for letter in alphabet.RNA_NUCLEOTIDES:
+        want = expected.get(letter, 0.0) * n
+        if want <= 0:
+            continue
+        got = counts.get(letter, 0)
+        statistic += (got - want) ** 2 / want
+    return statistic
+
+
+def shannon_entropy(sequence) -> float:
+    """Per-nucleotide Shannon entropy in bits (max 2.0 for uniform RNA)."""
+    composition = nucleotide_composition(sequence)
+    entropy = 0.0
+    for fraction in composition.values():
+        if fraction > 0:
+            entropy -= fraction * np.log2(fraction)
+    return float(entropy)

@@ -1,0 +1,108 @@
+"""Forward translation: RNA/DNA -> protein, including 6-frame translation.
+
+TBLASTN (the paper's CPU baseline) translates every reference sequence in all
+six reading frames and aligns the protein query against the translations.
+FabP avoids that entirely by back-translating the *query* instead — this
+module provides the forward direction so the baseline can be implemented
+faithfully.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.seq.sequence import DnaSequence, ProteinSequence, RnaSequence, as_rna
+
+
+def translate(rna, *, to_stop: bool = False, unknown: str = "X") -> ProteinSequence:
+    """Translate an RNA (or DNA) sequence in frame 0.
+
+    Trailing bases that do not fill a codon are dropped.  Stops render as
+    ``*`` unless ``to_stop`` is set, which truncates at the first stop.
+    Codons containing non-standard letters render as ``unknown`` — which the
+    protein alphabet rejects by default, so callers either pass clean input
+    or choose an ``unknown`` letter they will filter out.
+    """
+    from repro.core.codons import CODON_TABLE  # local import: codons sits in core
+
+    sequence = as_rna(rna)
+    letters: List[str] = []
+    text = sequence.letters
+    for start in range(0, len(text) - 2, 3):
+        codon = text[start : start + 3]
+        amino = CODON_TABLE.get(codon, unknown)
+        if amino == "*" and to_stop:
+            break
+        letters.append(amino)
+    return ProteinSequence("".join(letters), name=sequence.name)
+
+
+def translate_frames(rna) -> List[Tuple[int, ProteinSequence]]:
+    """Translate the three forward frames; returns ``[(frame, protein), ...]``."""
+    sequence = as_rna(rna)
+    out = []
+    for frame in range(3):
+        shifted = RnaSequence(sequence.letters[frame:], name=sequence.name)
+        out.append((frame, translate(shifted)))
+    return out
+
+
+def translate_six_frames(rna) -> List[Tuple[int, ProteinSequence]]:
+    """Translate all six frames.
+
+    Frames 0..2 are forward; frames 3..5 are the reverse complement's frames
+    0..2 (TBLASTN's convention, up to sign conventions that differ between
+    tools).  Frame index is returned alongside each protein so hit positions
+    can be mapped back to nucleotide coordinates.
+    """
+    sequence = as_rna(rna)
+    results = translate_frames(sequence)
+    reverse = sequence.reverse_complement()
+    for frame, protein in translate_frames(reverse):
+        results.append((frame + 3, protein))
+    return results
+
+
+def frame_to_nucleotide(frame: int, protein_pos: int, rna_length: int) -> int:
+    """Map a protein-coordinate hit back to a nucleotide start position.
+
+    For forward frames the result is the 0-based nucleotide index of the
+    codon's first base on the forward strand; for reverse frames it is the
+    forward-strand index of the codon's *last* base's complement, i.e. where
+    the aligned region starts when viewed on the forward strand.
+    """
+    if not 0 <= frame < 6:
+        raise ValueError("frame must be in 0..5")
+    if frame < 3:
+        return frame + 3 * protein_pos
+    # Reverse strand: position p in the revcomp's frame f corresponds to
+    # forward index L - 1 - (f + 3p) ... - 2 (codon spans three bases).
+    rev_index = (frame - 3) + 3 * protein_pos
+    return rna_length - rev_index - 3
+
+
+def open_reading_frames(rna, *, min_codons: int = 10) -> List[Tuple[int, int, ProteinSequence]]:
+    """Find ORFs (AUG..stop) on the forward strand; ``(start, end, protein)``.
+
+    ``start``/``end`` are nucleotide coordinates, end exclusive, including the
+    stop codon.  Used by workload builders to plant realistic coding regions.
+    """
+    sequence = as_rna(rna)
+    text = sequence.letters
+    found: List[Tuple[int, int, ProteinSequence]] = []
+    from repro.core.codons import CODON_TABLE, STOP_CODONS
+
+    for frame in range(3):
+        start = None
+        for pos in range(frame, len(text) - 2, 3):
+            codon = text[pos : pos + 3]
+            if start is None:
+                if codon == "AUG":
+                    start = pos
+            elif codon in STOP_CODONS:
+                codons = (pos + 3 - start) // 3
+                if codons >= min_codons:
+                    protein = translate(RnaSequence(text[start : pos + 3]))
+                    found.append((start, pos + 3, protein))
+                start = None
+    return sorted(found)

@@ -1,0 +1,19 @@
+"""Synthetic workload builders (the NCBI-database substitute)."""
+
+from repro.workloads.builder import (
+    PlantedHomolog,
+    SyntheticDatabase,
+    build_database,
+    encode_protein_as_rna,
+    plant_homolog,
+    sample_queries,
+)
+
+__all__ = [
+    "PlantedHomolog",
+    "SyntheticDatabase",
+    "build_database",
+    "encode_protein_as_rna",
+    "plant_homolog",
+    "sample_queries",
+]

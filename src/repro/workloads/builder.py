@@ -1,0 +1,189 @@
+"""Synthetic NCBI-style workloads with planted ground truth.
+
+The paper evaluates on queries sampled from NCBI nr and 1 GB of NCBI nt.
+Neither database ships with a reproduction, so these builders construct the
+synthetic equivalent: background references with *planted homologs* —
+coding regions derived from known protein queries through a controlled
+mutation channel (synonymous codon choice, substitutions, indels).  Every
+planting is recorded, so accuracy studies have exact ground truth instead
+of BLAST-derived pseudo-truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.codons import CODONS_FOR, paper_codons_for
+from repro.seq import alphabet
+from repro.seq.generate import random_protein, random_rna
+from repro.seq.mutate import MutationResult, mutate_rna
+from repro.seq.sequence import ProteinSequence, RnaSequence, as_protein
+
+
+@dataclass(frozen=True)
+class PlantedHomolog:
+    """Ground-truth record of one planted coding region."""
+
+    query: ProteinSequence
+    reference_index: int
+    position: int  # nucleotide offset of the region in the reference
+    region: str  # the planted (mutated) RNA as inserted
+    substitutions: int
+    indels: int
+
+    @property
+    def has_indel(self) -> bool:
+        return self.indels > 0
+
+
+@dataclass(frozen=True)
+class SyntheticDatabase:
+    """A set of references plus the full planting ledger."""
+
+    references: Tuple[RnaSequence, ...]
+    planted: Tuple[PlantedHomolog, ...]
+
+    @property
+    def total_nucleotides(self) -> int:
+        return sum(len(r) for r in self.references)
+
+    def planted_in(self, reference_index: int) -> List[PlantedHomolog]:
+        return [p for p in self.planted if p.reference_index == reference_index]
+
+
+def encode_protein_as_rna(
+    protein,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    codon_usage: str = "uniform",
+) -> RnaSequence:
+    """Generate a coding RNA for a protein by sampling synonymous codons.
+
+    ``codon_usage='uniform'`` samples uniformly among each residue's codons
+    (exercises the full back-translation degeneracy); ``'first'`` always
+    takes the lexicographically first codon (deterministic, useful in
+    tests); ``'paper'`` samples only from the paper's reduced codon sets
+    (Ser without AGU/AGC), producing regions FabP matches perfectly; an
+    organism name (``'human'``, ``'ecoli'``) samples with that organism's
+    codon-usage bias (:mod:`repro.seq.codon_usage`).
+    """
+    sequence = as_protein(protein)
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    biased = None
+    if codon_usage not in ("uniform", "first", "paper"):
+        from repro.seq.codon_usage import sampler
+
+        biased = sampler(codon_usage)
+    chosen: List[str] = []
+    for residue in sequence.letters:
+        if codon_usage == "first":
+            chosen.append(CODONS_FOR[residue][0])
+            continue
+        if biased is not None:
+            chosen.append(biased.sample(residue, rng))
+            continue
+        pool = (
+            paper_codons_for(residue) if codon_usage == "paper" else CODONS_FOR[residue]
+        )
+        chosen.append(pool[int(rng.integers(len(pool)))])
+    return RnaSequence("".join(chosen), name=f"cds:{sequence.name}" if sequence.name else "")
+
+
+def plant_homolog(
+    background: str,
+    region: str,
+    position: int,
+) -> str:
+    """Overwrite ``background`` with ``region`` at ``position`` (no resize)."""
+    if position < 0 or position + len(region) > len(background):
+        raise ValueError(
+            f"region of {len(region)} nt does not fit at {position} in a "
+            f"{len(background)} nt background"
+        )
+    return background[:position] + region + background[position + len(region) :]
+
+
+def build_database(
+    queries: Sequence,
+    *,
+    num_references: int = 4,
+    reference_length: int = 20_000,
+    substitution_rate: float = 0.0,
+    indel_events: int = 0,
+    gc_content: Optional[float] = None,
+    codon_usage: str = "uniform",
+    plants_per_query: int = 1,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> SyntheticDatabase:
+    """Build references with each query planted ``plants_per_query`` times.
+
+    Plantings are spread round-robin over references at random non-edge
+    positions.  Mutations are applied to the planted RNA *after* codon
+    sampling, so ``substitutions`` / ``indels`` in the ledger are exact.
+    """
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    backgrounds = [
+        random_rna(reference_length, rng=rng, gc_content=gc_content).letters
+        for _ in range(num_references)
+    ]
+    planted: List[PlantedHomolog] = []
+    ref_cursor = 0
+    for query in queries:
+        sequence = as_protein(query)
+        for _ in range(plants_per_query):
+            region_rna = encode_protein_as_rna(sequence, rng=rng, codon_usage=codon_usage)
+            mutated: MutationResult = mutate_rna(
+                region_rna,
+                substitution_rate=substitution_rate,
+                indel_events=indel_events,
+                rng=rng,
+            )
+            region = mutated.letters
+            ref_index = ref_cursor % num_references
+            ref_cursor += 1
+            margin = 10
+            high = reference_length - len(region) - margin
+            if high <= margin:
+                raise ValueError("reference too short for the planted region")
+            position = int(rng.integers(margin, high))
+            backgrounds[ref_index] = plant_homolog(
+                backgrounds[ref_index], region, position
+            )
+            planted.append(
+                PlantedHomolog(
+                    query=sequence,
+                    reference_index=ref_index,
+                    position=position,
+                    region=region,
+                    substitutions=mutated.num_substitutions,
+                    indels=mutated.num_indels,
+                )
+            )
+    references = tuple(
+        RnaSequence(text, name=f"synthetic_ref_{i}") for i, text in enumerate(backgrounds)
+    )
+    return SyntheticDatabase(references=references, planted=tuple(planted))
+
+
+def sample_queries(
+    count: int,
+    *,
+    length: int = 50,
+    length_jitter: int = 0,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> List[ProteinSequence]:
+    """Sample protein queries with realistic residue composition."""
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    queries = []
+    for index in range(count):
+        jitter = int(rng.integers(-length_jitter, length_jitter + 1)) if length_jitter else 0
+        queries.append(
+            random_protein(max(4, length + jitter), rng=rng, name=f"query_{index}")
+        )
+    return queries

@@ -1,0 +1,139 @@
+"""Gene-rich synthetic references: a more NCBI-like background.
+
+Random uniform nucleotides (the default background) understate the false-
+positive pressure a real search faces: genomes are full of *other genes*
+whose codon structure partially matches any query's degenerate patterns.
+This builder assembles references the way annotation views a genome —
+alternating intergenic spans and coding genes (start codon, organism-
+biased codon usage, stop codon, both strands) — with a ledger of every
+gene placed, so benches can measure FabP's background behaviour on
+realistic sequence instead of white noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.seq.codon_usage import sampler
+from repro.seq.generate import random_protein, random_rna
+from repro.seq.sequence import RnaSequence
+from repro.workloads.builder import encode_protein_as_rna
+
+
+@dataclass(frozen=True)
+class GeneAnnotation:
+    """One placed gene: coordinates and strand on the forward sequence."""
+
+    start: int
+    end: int  # exclusive, includes the stop codon
+    strand: str  # "+" or "-"
+    protein_length: int
+
+
+@dataclass(frozen=True)
+class GenomicReference:
+    """A gene-rich synthetic reference plus its annotation."""
+
+    sequence: RnaSequence
+    genes: Tuple[GeneAnnotation, ...]
+
+    @property
+    def coding_fraction(self) -> float:
+        coding = sum(g.end - g.start for g in self.genes)
+        return coding / max(1, len(self.sequence))
+
+
+def build_genomic_reference(
+    length: int,
+    *,
+    coding_fraction: float = 0.5,
+    mean_gene_residues: int = 120,
+    organism: str = "human",
+    gc_content: Optional[float] = None,
+    antisense_fraction: float = 0.4,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    name: str = "",
+) -> GenomicReference:
+    """Assemble a reference of alternating intergenic and gene spans.
+
+    ``coding_fraction`` is a target, met approximately (genes are whole).
+    Genes are real coding sequence: AUG + organism-codon-usage body + stop;
+    ``antisense_fraction`` of them are placed on the reverse strand.
+    """
+    if length < 100:
+        raise ValueError("genomic references shorter than 100 nt are pointless")
+    if not 0.0 <= coding_fraction < 1.0:
+        raise ValueError("coding_fraction must be in [0, 1)")
+    if not 0.0 <= antisense_fraction <= 1.0:
+        raise ValueError("antisense_fraction must be in [0, 1]")
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    codon_sampler = sampler(organism)
+
+    pieces: List[str] = []
+    genes: List[GeneAnnotation] = []
+    position = 0
+    while position < length:
+        remaining = length - position
+        if rng.random() < coding_fraction and remaining > 3 * 12 + 6:
+            residues = max(8, int(rng.normal(mean_gene_residues, mean_gene_residues / 3)))
+            residues = min(residues, (remaining - 6) // 3)
+            protein = random_protein(residues, rng=rng)
+            body = "".join(codon_sampler.sample(aa, rng) for aa in protein.letters)
+            stop = ("UAA", "UAG", "UGA")[int(rng.integers(3))]
+            gene = "AUG" + body + stop
+            strand = "-" if rng.random() < antisense_fraction else "+"
+            if strand == "-":
+                gene = RnaSequence(gene).reverse_complement().letters
+            pieces.append(gene)
+            genes.append(
+                GeneAnnotation(
+                    start=position,
+                    end=position + len(gene),
+                    strand=strand,
+                    protein_length=residues,
+                )
+            )
+            position += len(gene)
+        else:
+            span = min(remaining, max(20, int(rng.exponential(200))))
+            pieces.append(random_rna(span, rng=rng, gc_content=gc_content).letters)
+            position += span
+    text = "".join(pieces)[:length]
+    return GenomicReference(
+        sequence=RnaSequence(text, name=name or "genomic_ref"),
+        genes=tuple(g for g in genes if g.end <= length),
+    )
+
+
+def plant_query_gene(
+    reference: GenomicReference,
+    query,
+    *,
+    organism: str = "human",
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> Tuple[GenomicReference, int]:
+    """Overwrite an intergenic-ish position with the query's coding sequence.
+
+    Returns the new reference and the planting position.  The planted
+    region replaces whatever was there (like the plain builder), placed
+    away from the edges.
+    """
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    region = encode_protein_as_rna(query, rng=rng, codon_usage=organism).letters
+    text = reference.sequence.letters
+    if len(region) + 20 > len(text):
+        raise ValueError("reference too short for the query gene")
+    position = int(rng.integers(10, len(text) - len(region) - 10))
+    new_text = text[:position] + region + text[position + len(region) :]
+    return (
+        GenomicReference(
+            sequence=RnaSequence(new_text, name=reference.sequence.name),
+            genes=reference.genes,
+        ),
+        position,
+    )

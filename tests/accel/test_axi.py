@@ -1,0 +1,87 @@
+"""Tests for the AXI reference stream model."""
+
+import numpy as np
+import pytest
+
+from repro.accel.axi import DEFAULT_EFFICIENCY, AxiReferenceStream, Beat
+from repro.seq.generate import random_rna
+from repro.seq.packing import codes_from_text
+
+
+def _codes(n, rng):
+    return codes_from_text(random_rna(n, rng=rng).letters)
+
+
+class TestBeats:
+    def test_beat_count(self, rng):
+        stream = AxiReferenceStream(_codes(600, rng), efficiency=1.0)
+        beats = [b for b in stream.beats() if b.valid]
+        assert len(beats) == 3  # ceil(600/256)
+        assert stream.num_beats == 3
+
+    def test_beats_deliver_all_codes_in_order(self, rng):
+        codes = _codes(600, rng)
+        stream = AxiReferenceStream(codes, efficiency=1.0)
+        delivered = np.concatenate([b.codes for b in stream.beats() if b.valid])
+        assert np.array_equal(delivered[:600], codes)
+
+    def test_padding_is_code_zero(self, rng):
+        codes = _codes(300, rng)
+        stream = AxiReferenceStream(codes, efficiency=1.0)
+        beats = [b for b in stream.beats() if b.valid]
+        assert np.all(beats[-1].codes[300 - 256 :] == 0)
+
+    def test_last_flag(self, rng):
+        stream = AxiReferenceStream(_codes(600, rng), efficiency=1.0)
+        beats = [b for b in stream.beats() if b.valid]
+        assert [b.last for b in beats] == [False, False, True]
+
+    def test_full_efficiency_no_stalls(self, rng):
+        stream = AxiReferenceStream(_codes(1024, rng), efficiency=1.0)
+        assert all(b.valid for b in stream.beats())
+
+    def test_dram_image_matches_packing(self, rng):
+        from repro.seq.packing import pack
+
+        codes = _codes(333, rng)
+        stream = AxiReferenceStream(codes)
+        assert np.array_equal(stream.dram_image, pack(codes))
+
+
+class TestStallModels:
+    def test_deterministic_efficiency(self, rng):
+        codes = _codes(256 * 20, rng)
+        stream = AxiReferenceStream(codes, efficiency=0.8)
+        cycles = list(stream.beats())
+        valid = sum(b.valid for b in cycles)
+        assert valid == 20
+        ratio = valid / len(cycles)
+        assert 0.75 <= ratio <= 0.85
+
+    def test_total_cycles_formula(self, rng):
+        codes = _codes(256 * 20, rng)
+        stream = AxiReferenceStream(codes, efficiency=0.8)
+        assert stream.total_cycles() == len(list(stream.beats()))
+
+    def test_default_efficiency_from_table1(self):
+        # Table I: 12.2 of 12.8 GB/s achieved.
+        assert abs(DEFAULT_EFFICIENCY - 12.2 / 12.8) < 1e-9
+
+    def test_random_stalls_seeded(self, rng):
+        codes = _codes(256 * 5, rng)
+        a = [b.valid for b in AxiReferenceStream(codes, stall_probability=0.3, seed=1).beats()]
+        b = [b.valid for b in AxiReferenceStream(codes, stall_probability=0.3, seed=1).beats()]
+        assert a == b
+        assert not all(a)
+
+    def test_random_stall_mode_rejects_cycle_query(self, rng):
+        stream = AxiReferenceStream(_codes(256, rng), stall_probability=0.1, seed=0)
+        with pytest.raises(ValueError):
+            stream.total_cycles()
+
+    def test_validation(self, rng):
+        codes = _codes(10, rng)
+        with pytest.raises(ValueError):
+            AxiReferenceStream(codes, efficiency=0.0)
+        with pytest.raises(ValueError):
+            AxiReferenceStream(codes, stall_probability=1.0)

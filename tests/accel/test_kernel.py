@@ -1,0 +1,109 @@
+"""Tests for the streaming functional kernel (Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.accel.device import KINTEX7
+from repro.accel.kernel import FabPKernel
+from repro.core.aligner import align
+from repro.seq.generate import random_protein, random_rna
+from repro.workloads.builder import encode_protein_as_rna
+
+
+class TestFunctionalEquivalence:
+    """The kernel must produce exactly the golden aligner's hits."""
+
+    def test_randomized_equivalence(self, rng):
+        for _ in range(5):
+            query = random_protein(int(rng.integers(3, 25)), rng=rng)
+            reference = random_rna(int(rng.integers(300, 3000)), rng=rng)
+            kernel = FabPKernel(query, min_identity=0.55)
+            run = kernel.run(reference)
+            expected = align(query, reference, threshold=kernel.threshold)
+            assert run.hits == expected.hits
+
+    def test_hit_straddling_beat_boundary(self, rng):
+        """§III-C: the stream buffer keeps the last L_q elements so hits
+        spanning two beats are not lost."""
+        query = random_protein(20, rng=rng)  # 60 elements
+        region = encode_protein_as_rna(query, rng=rng, codon_usage="paper").letters
+        background = random_rna(1000, rng=rng).letters
+        # Plant so the 60-element window spans the 256-boundary.
+        position = 230
+        reference = background[:position] + region + background[position + len(region) :]
+        kernel = FabPKernel(query, min_identity=0.99)
+        run = kernel.run(reference)
+        assert any(h.position == position for h in run.hits)
+
+    def test_hit_at_reference_start_and_end(self, rng):
+        query = random_protein(8, rng=rng)
+        region = encode_protein_as_rna(query, rng=rng, codon_usage="paper").letters
+        tail = random_rna(300, rng=rng).letters
+        reference = region + tail[: 300 - len(region)] + region
+        kernel = FabPKernel(query, min_identity=0.99)
+        positions = {h.position for h in kernel.run(reference).hits}
+        assert 0 in positions
+        assert 300 in positions
+
+    def test_no_hits_in_padding(self, rng):
+        """Alignments must not extend into the final beat's padding."""
+        query = random_protein(4, rng=rng)
+        reference = random_rna(260, rng=rng)  # last beat heavily padded
+        kernel = FabPKernel(query, threshold=0)
+        run = kernel.run(reference)
+        max_position = max(h.position for h in run.hits)
+        assert max_position == 260 - 12  # L_r - L_q
+
+    def test_random_stalls_do_not_change_hits(self, rng):
+        query = random_protein(10, rng=rng)
+        reference = random_rna(1500, rng=rng)
+        clean = FabPKernel(query, min_identity=0.5).run(reference)
+        stalled = FabPKernel(
+            query, min_identity=0.5, stall_probability=0.3, seed=11
+        ).run(reference)
+        assert clean.hits == stalled.hits
+        assert stalled.stall_cycles > 0
+
+
+class TestCycleAccounting:
+    def test_compute_cycles_are_beats_times_segments(self, rng):
+        query = random_protein(10, rng=rng)
+        reference = random_rna(256 * 8, rng=rng)
+        kernel = FabPKernel(query, min_identity=0.9)
+        run = kernel.run(reference)
+        assert run.beats == 8
+        assert run.compute_cycles == 8 * kernel.plan.segments
+
+    def test_stall_cycles_match_efficiency(self, rng):
+        query = random_protein(5, rng=rng)
+        reference = random_rna(256 * 100, rng=rng)
+        kernel = FabPKernel(query, min_identity=0.9, axi_efficiency=0.8)
+        run = kernel.run(reference)
+        assert run.stall_cycles == pytest.approx(100 / 0.8 - 100, abs=2)
+
+    def test_effective_bandwidth_bounded_by_nominal(self, rng):
+        query = random_protein(5, rng=rng)
+        reference = random_rna(256 * 50, rng=rng)
+        run = FabPKernel(query, min_identity=0.9).run(reference)
+        assert run.effective_bandwidth < KINTEX7.nominal_bandwidth
+
+    def test_long_query_lowers_bandwidth(self, rng):
+        reference = random_rna(256 * 50, rng=rng)
+        short = FabPKernel(random_protein(20, rng=rng), min_identity=0.9).run(reference)
+        long_ = FabPKernel(random_protein(250, rng=rng), min_identity=0.9).run(reference)
+        assert long_.effective_bandwidth < short.effective_bandwidth
+
+    def test_writeback_cycles_scale_with_hits(self, rng):
+        query = random_protein(3, rng=rng)
+        reference = random_rna(2000, rng=rng)
+        generous = FabPKernel(query, threshold=2).run(reference)
+        strict = FabPKernel(query, threshold=9).run(reference)
+        assert generous.writeback_cycles >= strict.writeback_cycles
+        assert len(generous.hits) > len(strict.hits)
+
+    def test_elapsed_seconds_positive(self, rng):
+        run = FabPKernel(random_protein(5, rng=rng), min_identity=0.9).run(
+            random_rna(600, rng=rng)
+        )
+        assert run.elapsed_seconds > 0
+        assert "KernelRun" in str(run)

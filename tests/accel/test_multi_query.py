@@ -1,0 +1,83 @@
+"""Tests for multi-query fabric sharing."""
+
+import numpy as np
+import pytest
+
+from repro.accel.device import KINTEX7, LARGE_FPGA
+from repro.accel.multi_query import MultiQueryScheduler, queries_per_pass
+from repro.core.aligner import align
+from repro.seq.generate import random_protein, random_rna
+
+
+class TestCapacityPlanning:
+    def test_fabp50_fits_at_least_two(self):
+        # Table I: one 50-aa array uses ~58 % -> but control overhead means
+        # a second full array may or may not fit; at 40 aa it must.
+        assert queries_per_pass(3 * 40) >= 2
+
+    def test_long_queries_do_not_share(self):
+        assert queries_per_pass(750) == 1
+
+    def test_capacity_monotone_decreasing(self):
+        capacities = [queries_per_pass(3 * n) for n in (10, 20, 40, 80, 160)]
+        assert all(a >= b for a, b in zip(capacities, capacities[1:]))
+
+    def test_larger_device_fits_more(self):
+        small = queries_per_pass(150, KINTEX7)
+        large = queries_per_pass(150, LARGE_FPGA)
+        assert large > small
+
+
+class TestGrouping:
+    def test_groups_respect_capacity(self, rng):
+        scheduler = MultiQueryScheduler()
+        queries = [random_protein(20, rng=rng) for _ in range(7)]
+        groups = scheduler.plan_groups(queries)
+        for group in groups:
+            assert len(group) <= queries_per_pass(len(group[0]))
+        assert sum(len(g) for g in groups) == 7
+
+    def test_sorted_longest_first_within_groups(self, rng):
+        scheduler = MultiQueryScheduler()
+        queries = [random_protein(int(n), rng=rng) for n in (10, 30, 20, 15)]
+        groups = scheduler.plan_groups(queries)
+        for group in groups:
+            lengths = [len(q) for q in group]
+            assert lengths[0] == max(lengths)
+
+
+class TestSharedPass:
+    def test_hits_identical_to_individual_searches(self, rng):
+        scheduler = MultiQueryScheduler()
+        queries = [random_protein(12, rng=rng) for _ in range(3)]
+        reference = random_rna(2000, rng=rng)
+        result = scheduler.run_pass(queries, reference, min_identity=0.6)
+        for query, run in zip(queries, result.runs):
+            expected = align(query, reference, threshold=run.threshold)
+            assert run.hits == expected.hits
+
+    def test_shared_pass_speedup(self, rng):
+        scheduler = MultiQueryScheduler()
+        queries = [random_protein(20, rng=rng) for _ in range(3)]
+        reference = random_rna(256 * 40, rng=rng)
+        passes, summary = scheduler.search_all(queries, reference, min_identity=0.9)
+        # Three 20-aa queries share the fabric: ~one pass instead of three.
+        assert summary["speedup"] > 1.8
+        assert summary["queries"] == 3.0
+
+    def test_mixed_lengths_still_correct(self, rng):
+        scheduler = MultiQueryScheduler()
+        queries = [random_protein(n, rng=rng) for n in (8, 25, 15)]
+        reference = random_rna(1500, rng=rng)
+        passes, summary = scheduler.search_all(queries, reference, min_identity=0.7)
+        runs_by_residues = {
+            run.query.num_residues: run for p in passes for run in p.runs
+        }
+        for query in queries:
+            run = runs_by_residues[len(query)]
+            expected = align(query, reference, threshold=run.threshold)
+            assert run.hits == expected.hits
+
+    def test_empty_pass_rejected(self, rng):
+        with pytest.raises(ValueError):
+            MultiQueryScheduler().run_pass([], random_rna(100, rng=rng))

@@ -1,0 +1,80 @@
+"""Tests for under-length query support (pad instructions, §IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.accel.kernel import FabPKernel
+from repro.core.aligner import align
+from repro.core.encoding import decode_element, pad_instruction
+from repro.seq.generate import random_protein, random_rna
+from repro.workloads.builder import encode_protein_as_rna
+
+
+class TestPadInstruction:
+    def test_decodes_to_always_match(self):
+        from repro.core import backtranslate as bt
+
+        element = decode_element(pad_instruction())
+        assert isinstance(element, bt.DependentElement)
+        assert element.function is bt.FUNCTION_ANY
+
+    def test_matches_every_context(self):
+        from repro.core.comparator import instruction_matches
+
+        pad = pad_instruction()
+        for ref in range(4):
+            for prev1 in range(4):
+                for prev2 in range(4):
+                    assert instruction_matches(pad, ref, prev1, prev2)
+
+
+class TestPaddedKernel:
+    def test_padded_equals_exact(self, rng):
+        for _ in range(4):
+            query = random_protein(int(rng.integers(3, 20)), rng=rng)
+            reference = random_rna(int(rng.integers(200, 1200)), rng=rng)
+            exact = FabPKernel(query, min_identity=0.6)
+            padded = FabPKernel(query, min_identity=0.6, max_residues=60)
+            assert padded.run(reference).hits == exact.run(reference).hits
+
+    def test_padded_matches_golden(self, rng):
+        query = random_protein(10, rng=rng)
+        reference = random_rna(900, rng=rng)
+        kernel = FabPKernel(query, min_identity=0.55, max_residues=50)
+        expected = align(query, reference, threshold=kernel.threshold)
+        assert kernel.run(reference).hits == expected.hits
+
+    def test_scores_corrected_for_pads(self, rng):
+        query = random_protein(5, rng=rng)
+        reference = random_rna(400, rng=rng)
+        kernel = FabPKernel(query, threshold=0, max_residues=50)
+        run = kernel.run(reference)
+        perfect = 3 * len(query)
+        assert all(0 <= h.score <= perfect for h in run.hits)
+
+    def test_end_of_reference_hit_drains(self, rng):
+        """Trailer beats let padded windows drain at the reference end."""
+        query = random_protein(8, rng=rng)
+        region = encode_protein_as_rna(query, rng=rng, codon_usage="paper").letters
+        background = random_rna(500, rng=rng).letters
+        reference = background[: 500 - len(region)] + region
+        kernel = FabPKernel(query, min_identity=0.99, max_residues=120)
+        run = kernel.run(reference)
+        assert any(h.position == 500 - len(region) for h in run.hits)
+
+    def test_plan_sized_for_hardware_not_query(self, rng):
+        query = random_protein(10, rng=rng)
+        exact = FabPKernel(query, min_identity=0.9)
+        padded = FabPKernel(query, min_identity=0.9, max_residues=250)
+        assert padded.plan.query_elements == 750
+        assert padded.plan.segments >= exact.plan.segments
+
+    def test_oversized_query_rejected(self, rng):
+        query = random_protein(30, rng=rng)
+        with pytest.raises(ValueError, match="at most"):
+            FabPKernel(query, min_identity=0.9, max_residues=20)
+
+    def test_pad_count(self, rng):
+        query = random_protein(10, rng=rng)
+        kernel = FabPKernel(query, min_identity=0.9, max_residues=50)
+        assert kernel.pad_elements == 150 - 30

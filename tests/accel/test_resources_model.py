@@ -1,0 +1,87 @@
+"""Tests for the Table I resource model."""
+
+import pytest
+
+from repro.accel.device import KINTEX7, LARGE_FPGA
+from repro.accel.resources import resource_report, table1
+
+
+class TestTable1DesignPoints:
+    """Paper Table I: FabP-50 = 58/16/19/31 % + 12.2 GB/s;
+    FabP-250 = 98/40/15/68 % + 3.4 GB/s.  The model must land in the same
+    regime (exact placement overheads are not reproducible in simulation).
+    """
+
+    def test_fabp50_row(self):
+        report = resource_report(50)
+        util = report.utilization
+        assert 0.45 <= util["LUT"] <= 0.70  # paper: 58 %
+        assert 0.10 <= util["FF"] <= 0.30  # paper: 16 %
+        assert 0.10 <= util["BRAM"] <= 0.30  # paper: 19 %
+        assert 0.25 <= util["DSP"] <= 0.40  # paper: 31 %
+        assert report.effective_bandwidth == pytest.approx(12.2e9, rel=0.02)
+
+    def test_fabp250_row(self):
+        report = resource_report(250)
+        util = report.utilization
+        assert util["LUT"] >= 0.70  # paper: 98 %
+        assert util["FF"] > resource_report(50).utilization["FF"]
+        assert 0.40 <= util["DSP"] <= 0.80  # paper: 68 %
+        assert 2.5e9 <= report.effective_bandwidth <= 4.5e9  # paper: 3.4 GB/s
+
+    def test_bram_decreases_with_length(self):
+        """Table I's counter-intuitive row: BRAM drops from 19 % to 15 %."""
+        assert (
+            resource_report(250).utilization["BRAM"]
+            < resource_report(50).utilization["BRAM"]
+        )
+
+    def test_dsp_count_tracks_instances(self):
+        report = resource_report(50)
+        assert report.dsps == report.plan.instances  # one threshold DSP each
+
+    def test_segmented_design_doubles_dsps(self):
+        r50 = resource_report(50)
+        r250 = resource_report(250)
+        assert r250.dsps == 2 * r250.plan.instances
+        assert r250.dsps > r50.dsps
+
+    def test_table1_returns_both_points(self):
+        rows = table1()
+        assert set(rows) == {50, 250}
+
+    def test_row_rendering(self):
+        row = resource_report(50).row()
+        assert set(row) == {"LUT", "FF", "BRAM", "DSP", "DRAM BW"}
+        assert row["DRAM BW"].endswith("GB/s")
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            resource_report(0)
+
+
+class TestDeviceScaling:
+    def test_larger_device_less_utilized(self):
+        small = resource_report(250, KINTEX7)
+        large = resource_report(250, LARGE_FPGA)
+        assert large.utilization["LUT"] < small.utilization["LUT"]
+
+    def test_larger_device_higher_bandwidth(self):
+        """§IV-B: 'an FPGA with more LUTs can outperform the GPU'."""
+        small = resource_report(250, KINTEX7)
+        large = resource_report(250, LARGE_FPGA)
+        assert large.effective_bandwidth > small.effective_bandwidth
+
+
+class TestDeviceModel:
+    def test_kintex7_capacities_from_table1(self):
+        assert KINTEX7.luts == 326_000
+        assert KINTEX7.ffs == 407_000
+        assert KINTEX7.bram_bits == 16_000_000
+        assert KINTEX7.dsps == 840
+        assert KINTEX7.channel_bandwidth == 12.8e9
+
+    def test_nominal_bandwidth_formula(self):
+        # §III-C: BW = 512 bits x Freq.
+        assert KINTEX7.nominal_bandwidth == 64 * 200e6
+        assert KINTEX7.nucleotides_per_beat == 256

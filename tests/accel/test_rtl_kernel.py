@@ -1,0 +1,111 @@
+"""End-to-end LUT-level validation: RTL array vs golden aligner."""
+
+import numpy as np
+import pytest
+
+from repro.accel.rtl_kernel import RtlKernel, build_alignment_array
+from repro.core.aligner import align, alignment_scores
+from repro.seq.generate import random_protein, random_rna
+
+
+class TestArrayStructure:
+    def test_comparator_luts_dominate(self):
+        array = build_alignment_array("MFW", instances=1, threshold=5)
+        # 9 elements x 2 LUTs comparator; plus buffer muxes + pop36 + threshold.
+        assert array.netlist.lut_count > 18
+
+    def test_outputs_per_instance(self):
+        array = build_alignment_array("MF", instances=3, threshold=4)
+        for j in range(3):
+            assert f"score{j}[0]" in array.netlist.outputs
+            assert f"hit{j}[0]" in array.netlist.outputs
+
+    def test_invalid_instances(self):
+        with pytest.raises(ValueError):
+            build_alignment_array("MF", instances=0, threshold=1)
+
+
+class TestRtlVsGolden:
+    def test_scores_match_exactly(self, rng):
+        query = random_protein(4, rng=rng)
+        reference = random_rna(90, rng=rng)
+        kernel = RtlKernel(query, instances=2, threshold=7)
+        scores, _ = kernel.run(reference)
+        assert np.array_equal(scores, alignment_scores(query, reference))
+
+    def test_hits_match_threshold_logic(self, rng):
+        query = random_protein(3, rng=rng)
+        reference = random_rna(80, rng=rng)
+        threshold = 6
+        kernel = RtlKernel(query, instances=2, threshold=threshold)
+        _, hits = kernel.run(reference)
+        expected = align(query, reference, threshold=threshold)
+        assert tuple(hits) == expected.hits
+
+    def test_stalls_freeze_pipeline(self, rng):
+        """Invalid AXI cycles must not corrupt scores (§III-C)."""
+        query = random_protein(3, rng=rng)
+        reference = random_rna(60, rng=rng)
+        kernel = RtlKernel(query, instances=2, threshold=5)
+        clean, _ = kernel.run(reference)
+        stalled, _ = kernel.run(reference, stall_every=3)
+        assert np.array_equal(clean, stalled)
+
+    def test_dependent_functions_in_rtl(self, rng):
+        """Queries exercising every Type III function stay bit-exact."""
+        query = "LRS*"
+        reference = random_rna(70, rng=rng)
+        kernel = RtlKernel(query, instances=2, threshold=6)
+        scores, _ = kernel.run(reference)
+        assert np.array_equal(scores, alignment_scores(query, reference))
+
+    def test_loadable_query_memory(self, rng):
+        """The FF-based query memory (paper: query stored in FFs) produces
+        bit-exact results and supports query swap without a rebuild."""
+        query_a = random_protein(4, rng=rng)
+        query_b = random_protein(4, rng=rng)
+        reference = random_rna(90, rng=rng)
+        kernel = RtlKernel(query_a, instances=2, threshold=7, loadable=True)
+        scores_a, _ = kernel.run(reference)
+        assert np.array_equal(scores_a, alignment_scores(query_a, reference))
+        kernel.reload(query_b)
+        scores_b, hits_b = kernel.run(reference)
+        assert np.array_equal(scores_b, alignment_scores(query_b, reference))
+        assert tuple(hits_b) == align(query_b, reference, threshold=7).hits
+
+    def test_loadable_array_spends_query_ffs(self, rng):
+        query = random_protein(4, rng=rng)
+        constant = RtlKernel(query, instances=1, threshold=6)
+        loadable = RtlKernel(query, instances=1, threshold=6, loadable=True)
+        # 6 FFs per element of query memory.
+        extra = loadable.array.netlist.ff_count - constant.array.netlist.ff_count
+        assert extra == 6 * 12
+
+    def test_loadable_with_stalls(self, rng):
+        query = random_protein(3, rng=rng)
+        reference = random_rna(60, rng=rng)
+        kernel = RtlKernel(query, instances=2, threshold=5, loadable=True)
+        clean, _ = kernel.run(reference)
+        stalled, _ = kernel.run(reference, stall_every=4)
+        assert np.array_equal(clean, stalled)
+
+    def test_reload_validation(self, rng):
+        query = random_protein(4, rng=rng)
+        constant = RtlKernel(query, instances=1, threshold=6)
+        with pytest.raises(ValueError, match="constant query"):
+            constant.reload(query)
+        loadable = RtlKernel(query, instances=1, threshold=6, loadable=True)
+        with pytest.raises(ValueError, match="elements"):
+            loadable.reload(random_protein(5, rng=rng))
+
+    def test_planted_perfect_hit(self, rng):
+        from repro.workloads.builder import encode_protein_as_rna
+
+        query = random_protein(4, rng=rng)
+        region = encode_protein_as_rna(query, rng=rng, codon_usage="paper").letters
+        background = random_rna(60, rng=rng).letters
+        reference = background[:20] + region + background[20:]
+        kernel = RtlKernel(query, instances=2, threshold=12)
+        scores, hits = kernel.run(reference)
+        assert scores[20] == 12
+        assert any(h.position == 20 for h in hits)

@@ -1,0 +1,92 @@
+"""Tests for the constant-memory streaming kernel entry point."""
+
+import numpy as np
+import pytest
+
+from repro.accel.kernel import FabPKernel
+from repro.seq.generate import random_protein, random_rna
+from repro.seq.packing import codes_from_text
+
+
+def _chunked(text: str, sizes):
+    out = []
+    position = 0
+    index = 0
+    while position < len(text):
+        size = sizes[index % len(sizes)]
+        out.append(text[position : position + size])
+        position += size
+        index += 1
+    return out
+
+
+class TestRunStream:
+    def test_matches_run_on_same_data(self, rng):
+        query = random_protein(12, rng=rng)
+        reference = random_rna(3000, rng=rng)
+        kernel = FabPKernel(query, min_identity=0.55)
+        whole = kernel.run(reference)
+        streamed = kernel.run_stream(_chunked(reference.letters, [517, 123, 999]))
+        assert streamed.hits == whole.hits
+        assert streamed.beats == whole.beats
+        assert streamed.compute_cycles == whole.compute_cycles
+        assert streamed.stall_cycles == whole.stall_cycles
+
+    def test_chunk_size_invariance(self, rng):
+        query = random_protein(8, rng=rng)
+        reference = random_rna(2000, rng=rng)
+        kernel = FabPKernel(query, min_identity=0.6)
+        results = [
+            kernel.run_stream(_chunked(reference.letters, sizes)).hits
+            for sizes in ([1], [7, 13], [256], [2000], [3, 900, 50])
+        ]
+        assert all(hits == results[0] for hits in results)
+
+    def test_code_array_chunks(self, rng):
+        query = random_protein(6, rng=rng)
+        reference = random_rna(1200, rng=rng)
+        codes = codes_from_text(reference.letters)
+        kernel = FabPKernel(query, min_identity=0.6)
+        whole = kernel.run(codes)
+        streamed = kernel.run_stream([codes[:500], codes[500:]])
+        assert streamed.hits == whole.hits
+
+    def test_hit_straddling_chunk_boundary(self, rng):
+        from repro.workloads.builder import encode_protein_as_rna
+
+        query = random_protein(15, rng=rng)
+        region = encode_protein_as_rna(query, rng=rng, codon_usage="paper").letters
+        background = random_rna(1000, rng=rng).letters
+        position = 480  # straddles the 500 boundary below
+        reference = (
+            background[:position] + region + background[position + len(region) :]
+        )
+        kernel = FabPKernel(query, min_identity=0.99)
+        streamed = kernel.run_stream([reference[:500], reference[500:]])
+        assert any(h.position == position for h in streamed.hits)
+
+    def test_padded_query_stream_drains(self, rng):
+        from repro.workloads.builder import encode_protein_as_rna
+
+        query = random_protein(8, rng=rng)
+        region = encode_protein_as_rna(query, rng=rng, codon_usage="paper").letters
+        background = random_rna(400, rng=rng).letters
+        reference = background[: 400 - len(region)] + region  # hit at the end
+        kernel = FabPKernel(query, min_identity=0.99, max_residues=80)
+        whole = kernel.run(reference)
+        streamed = kernel.run_stream(_chunked(reference, [111]))
+        assert streamed.hits == whole.hits
+        assert any(h.position == 400 - len(region) for h in streamed.hits)
+
+    def test_empty_chunks_skipped(self, rng):
+        query = random_protein(5, rng=rng)
+        reference = random_rna(600, rng=rng)
+        kernel = FabPKernel(query, min_identity=0.6)
+        streamed = kernel.run_stream(["", reference.letters[:300], "", reference.letters[300:]])
+        assert streamed.hits == kernel.run(reference).hits
+
+    def test_empty_stream(self, rng):
+        kernel = FabPKernel(random_protein(5, rng=rng), min_identity=0.9)
+        run = kernel.run_stream([])
+        assert run.hits == ()
+        assert run.beats == 0

@@ -1,0 +1,90 @@
+"""Tests for the segmentation scheduler."""
+
+import pytest
+
+from repro.accel.device import KINTEX7, LARGE_FPGA
+from repro.accel.scheduler import (
+    max_unsegmented_elements,
+    plan_schedule,
+)
+
+
+class TestPlans:
+    def test_short_query_unsegmented(self):
+        # FabP-50 (150 elements) fits at one cycle per beat (Table I).
+        plan = plan_schedule(150)
+        assert plan.segments == 1
+        assert plan.bandwidth_bound
+
+    def test_long_query_segmented(self):
+        # FabP-250 (750 elements) needs multiple iterations (Table I).
+        plan = plan_schedule(750)
+        assert plan.segments > 1
+        assert not plan.bandwidth_bound
+
+    def test_segments_monotone_in_length(self):
+        previous = 0
+        for elements in (30, 150, 300, 450, 600, 750, 1200):
+            segments = plan_schedule(elements).segments
+            assert segments >= previous
+            previous = segments
+
+    def test_plan_fits_device(self):
+        for elements in (30, 150, 450, 750, 1500):
+            plan = plan_schedule(elements)
+            assert plan.luts_used <= KINTEX7.luts
+            assert plan.ffs_used <= KINTEX7.ffs
+
+    def test_instances_from_beat_width(self):
+        # r - q + 1 over the stream buffer: 256 + 1 instances (§III-C).
+        plan = plan_schedule(150)
+        assert plan.instances == KINTEX7.nucleotides_per_beat + 1 == 257
+
+    def test_segment_elements_cover_query(self):
+        plan = plan_schedule(750)
+        assert plan.segment_elements * plan.segments >= 750
+
+    def test_cycles_per_beat(self):
+        assert plan_schedule(150).cycles_per_beat == 1
+        assert plan_schedule(750).cycles_per_beat == plan_schedule(750).segments
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            plan_schedule(0)
+
+
+class TestUtilization:
+    def test_fabp50_utilization_near_paper(self):
+        """Table I: FabP-50 uses ~58 % of LUTs."""
+        plan = plan_schedule(150)
+        assert 0.45 <= plan.lut_utilization <= 0.70
+
+    def test_fabp250_high_utilization(self):
+        """Table I: FabP-250 is resource-bound (98 % LUTs in the paper)."""
+        plan = plan_schedule(750)
+        assert plan.lut_utilization >= 0.70
+
+    def test_ff_utilization_below_lut(self):
+        # Table I: FF utilization is well below LUT utilization at both points.
+        for elements in (150, 750):
+            plan = plan_schedule(elements)
+            assert plan.ff_utilization < plan.lut_utilization
+
+
+class TestCrossover:
+    def test_crossover_in_paper_region(self):
+        """§IV-B: bandwidth-bound below ~70 aa, resource-bound above.
+
+        Our structural model puts the crossover somewhat higher (~95 aa);
+        the invariant tested here is that it exists and sits between the
+        paper's two Table I design points.
+        """
+        crossover = max_unsegmented_elements()
+        assert 150 < crossover < 750
+        assert plan_schedule(crossover).segments == 1
+        assert plan_schedule(crossover + 1).segments == 2
+
+    def test_larger_device_moves_crossover_up(self):
+        small = max_unsegmented_elements(KINTEX7)
+        large = max_unsegmented_elements(LARGE_FPGA)
+        assert large > small

@@ -1,0 +1,110 @@
+"""Tests for the §IV-A studies and report helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import (
+    AccuracyRow,
+    format_accuracy_table,
+    run_accuracy_study,
+)
+from repro.analysis.indels import run_indel_study
+from repro.analysis.report import (
+    markdown_table,
+    paper_vs_measured,
+    ratio_summary,
+    text_table,
+)
+
+
+class TestAccuracyStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_accuracy_study(
+            substitution_rates=(0.0, 0.05),
+            indel_event_counts=(0, 1),
+            cases_per_point=5,
+            query_length=30,
+            reference_length=3000,
+            seed=7,
+        )
+
+    def test_row_count(self, rows):
+        assert len(rows) == 4
+
+    def test_clean_cases_fully_recovered(self, rows):
+        clean = [r for r in rows if r.substitution_rate == 0 and r.indel_events == 0]
+        assert clean[0].fabp_recall == 1.0
+        assert clean[0].tblastn_recall == 1.0
+
+    def test_substitutions_tolerated(self, rows):
+        """The paper's design premise: substitutions only lower the score."""
+        subbed = [r for r in rows if r.substitution_rate > 0 and r.indel_events == 0]
+        assert subbed[0].fabp_recall >= 0.8
+
+    def test_extended_at_least_paper_mode(self, rows):
+        for row in rows:
+            assert row.fabp_extended_recall >= row.fabp_recall - 1e-9
+
+    def test_drop_metric(self):
+        row = AccuracyRow(0.0, 1, 10, fabp_recall=0.8, fabp_extended_recall=0.8,
+                          tblastn_recall=0.9)
+        assert row.fabp_drop_vs_tblastn == pytest.approx(0.1)
+
+    def test_table_rendering(self, rows):
+        text = format_accuracy_table(rows)
+        assert "FabP" in text
+        assert len(text.splitlines()) == len(rows) + 1
+
+
+class TestIndelStudy:
+    def test_reproducible(self):
+        a = run_indel_study(num_queries=2000, seed=3)
+        b = run_indel_study(num_queries=2000, seed=3)
+        assert a == b
+
+    def test_fraction_small(self):
+        result = run_indel_study(num_queries=5000, query_residues=150, seed=1)
+        # The cited distribution implies a small but nonzero rate.
+        assert 0.0 < result.fraction_with_indels < 0.10
+
+    def test_affected_subset_of_with_indels(self):
+        result = run_indel_study(num_queries=5000, seed=2)
+        assert result.queries_alignment_affected <= result.queries_with_indels
+
+    def test_longer_queries_more_exposed(self):
+        short = run_indel_study(num_queries=5000, query_residues=50, seed=4)
+        long_ = run_indel_study(num_queries=5000, query_residues=250, seed=4)
+        assert long_.fraction_with_indels >= short.fraction_with_indels
+
+    def test_mean_rate_tracks_input(self):
+        result = run_indel_study(num_queries=20000, query_residues=333, seed=5)
+        assert result.mean_events_per_kb == pytest.approx(0.09, abs=0.04)
+
+    def test_str(self):
+        assert "IndelStudy" in str(run_indel_study(num_queries=100, seed=0))
+
+
+class TestReportHelpers:
+    def test_text_table_alignment(self):
+        table = text_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # rectangular
+
+    def test_text_table_title(self):
+        assert text_table(["x"], [[1]], title="T").startswith("T\n")
+
+    def test_markdown_table(self):
+        md = markdown_table(["a", "b"], [[1, 2]])
+        assert md.splitlines()[0] == "| a | b |"
+        assert "| 1 | 2 |" in md
+
+    def test_paper_vs_measured(self):
+        out = paper_vs_measured({"speedup": ("24.8x", "23.8x")})
+        assert "24.8x" in out and "23.8x" in out
+
+    def test_ratio_summary(self):
+        line = ratio_summary("speedup", 24.8, 23.79)
+        assert "paper=24.8" in line
+        assert "-4.1%" in line

@@ -1,0 +1,90 @@
+"""Tests for pattern-composition analytics."""
+
+import math
+
+import pytest
+
+from repro.analysis.composition import (
+    all_residue_profiles,
+    background_match_probability,
+    format_composition_table,
+    query_composition,
+    residue_profile,
+)
+from repro.core.codons import paper_codons_for
+from repro.seq import alphabet
+
+
+class TestResidueProfiles:
+    def test_match_probability_equals_codon_fraction(self):
+        for amino in alphabet.AMINO_ACIDS_WITH_STOP:
+            profile = residue_profile(amino)
+            assert profile.codons_admitted == len(paper_codons_for(amino))
+            assert profile.match_probability == profile.codons_admitted / 64
+
+    def test_met_trp_most_informative(self):
+        profiles = all_residue_profiles()
+        assert profiles["M"].information_bits == 6.0
+        assert profiles["W"].information_bits == 6.0
+        for amino, profile in profiles.items():
+            assert profile.information_bits <= 6.0
+
+    def test_leucine_least_informative(self):
+        profiles = all_residue_profiles()
+        # Six codons -> the most permissive pattern.
+        most_permissive = max(profiles.values(), key=lambda p: p.match_probability)
+        assert most_permissive.codons_admitted == 6
+        assert most_permissive.amino in ("L", "R")
+
+    def test_element_probability_product_bounds_codon_probability(self):
+        """Independent elements: product = codon fraction; dependent ones
+        make the product an upper bound."""
+        for amino in alphabet.AMINO_ACIDS_WITH_STOP:
+            profile = residue_profile(amino)
+            product = math.prod(profile.element_probabilities)
+            assert profile.match_probability <= product + 1e-12
+
+
+class TestQueryComposition:
+    def test_aggregates(self):
+        composition = query_composition("MW")
+        assert composition.residues == 2
+        assert composition.max_score == 6
+        assert composition.total_information_bits == 12.0
+        assert composition.expected_null_score == pytest.approx(6 * 0.25)
+
+    def test_margin_positive(self, rng):
+        from repro.seq.generate import random_protein
+
+        composition = query_composition(random_protein(30, rng=rng))
+        assert composition.discrimination_margin > 0
+
+    def test_permissive_queries_have_higher_null(self):
+        strict = query_composition("MWMW")
+        loose = query_composition("LLLL")
+        assert loose.expected_null_score > strict.expected_null_score
+        assert loose.total_information_bits < strict.total_information_bits
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            query_composition("")
+
+
+class TestBackground:
+    def test_background_probability_low(self):
+        """FabP's encoding stays discriminative on realistic composition."""
+        p = background_match_probability()
+        assert 0.03 < p < 0.10
+
+    def test_uniform_background(self):
+        uniform = {aa: 1.0 for aa in alphabet.AMINO_ACIDS}
+        p = background_match_probability(uniform)
+        expected = sum(
+            len(paper_codons_for(aa)) / 64 for aa in alphabet.AMINO_ACIDS
+        ) / 20
+        assert p == pytest.approx(expected)
+
+    def test_table_renders(self):
+        text = format_composition_table()
+        assert "Met (M)" in text
+        assert len(text.splitlines()) == 21 + 3

@@ -1,0 +1,91 @@
+"""Tests for the deployment planner."""
+
+import pytest
+
+from repro.accel.device import KINTEX7, LARGE_FPGA
+from repro.analysis.planner import (
+    PlatformPlan,
+    WorkloadMix,
+    compare_deployments,
+    format_deployment_table,
+    plan_cpu,
+    plan_fabp,
+    plan_gpu,
+)
+
+
+@pytest.fixture
+def mix():
+    """100 mixed-length queries against a 1-GB (4 Gnt) database."""
+    return WorkloadMix(
+        database_nucleotides=4_000_000_000,
+        query_counts={50: 60, 150: 30, 250: 10},
+    )
+
+
+class TestWorkloadMix:
+    def test_totals(self, mix):
+        assert mix.total_queries == 100
+        assert len(mix.workloads()) == 3
+
+
+class TestPlans:
+    def test_fabp_fastest_and_most_efficient(self, mix):
+        plans = compare_deployments(mix)
+        fabp, gpu, cpu12, cpu1 = plans
+        assert fabp.batch_seconds < cpu12.batch_seconds
+        assert fabp.joules_per_query < gpu.joules_per_query
+        assert fabp.joules_per_query < cpu12.joules_per_query
+
+    def test_fabric_sharing_helps_short_queries(self):
+        # Two 50-aa arrays don't fit a Kintex-7 (57 % each); 30-aa ones do.
+        short_mix = WorkloadMix(4_000_000_000, {30: 40, 250: 10})
+        shared = plan_fabp(short_mix, share_fabric=True)
+        unshared = plan_fabp(short_mix, share_fabric=False)
+        assert shared.batch_seconds < unshared.batch_seconds
+
+    def test_fabric_sharing_neutral_when_nothing_fits(self, mix):
+        # 50-aa and longer queries cannot co-reside on the Kintex-7.
+        shared = plan_fabp(mix, share_fabric=True)
+        unshared = plan_fabp(mix, share_fabric=False)
+        assert shared.batch_seconds == pytest.approx(unshared.batch_seconds)
+
+    def test_boards_scale_time_down_energy_flatish(self, mix):
+        one = plan_fabp(mix, boards=1)
+        four = plan_fabp(mix, boards=4)
+        assert four.batch_seconds == pytest.approx(one.batch_seconds / 4, rel=0.05)
+        assert four.batch_joules == pytest.approx(one.batch_joules, rel=0.05)
+
+    def test_larger_device_not_slower(self, mix):
+        small = plan_fabp(mix, device=KINTEX7)
+        large = plan_fabp(mix, device=LARGE_FPGA)
+        assert large.batch_seconds <= small.batch_seconds
+
+    def test_queries_per_hour(self, mix):
+        plan = plan_fabp(mix)
+        assert plan.queries_per_hour == pytest.approx(
+            3600 * 100 / plan.batch_seconds
+        )
+
+    def test_cpu_thread_options(self, mix):
+        fast = plan_cpu(mix, threads=12)
+        slow = plan_cpu(mix, threads=1)
+        assert fast.batch_seconds < slow.batch_seconds
+
+    def test_validation(self, mix):
+        with pytest.raises(ValueError):
+            plan_fabp(mix, boards=0)
+
+    def test_table_rendering(self, mix):
+        table = format_deployment_table(compare_deployments(mix))
+        assert "queries/hour" in table
+        assert "FabP" in table
+        assert len(table.splitlines()) == 4 + 3
+
+    def test_consistency_with_fig6_headlines(self, mix):
+        """Single-length mixes reduce to the Fig. 6 ratios."""
+        single = WorkloadMix(4_000_000_000, {250: 1})
+        fabp = plan_fabp(single, share_fabric=False)
+        cpu12 = plan_cpu(single, threads=12)
+        ratio = cpu12.batch_seconds / fabp.batch_seconds
+        assert 20 <= ratio <= 40  # paper's 24.8x regime

@@ -1,0 +1,66 @@
+"""Tests for ROC threshold analysis."""
+
+import pytest
+
+from repro.analysis.roc import RocCurve, RocPoint, format_roc, roc_curve
+
+
+@pytest.fixture(scope="module")
+def curve():
+    return roc_curve(
+        cases=6,
+        query_length=25,
+        reference_length=3000,
+        substitution_rate=0.05,
+        seed=11,
+    )
+
+
+class TestRocCurve:
+    def test_tpr_monotone_nonincreasing(self, curve):
+        tprs = [p.true_positive_rate for p in curve.points]
+        assert all(a >= b for a, b in zip(tprs, tprs[1:]))
+
+    def test_fp_monotone_nonincreasing(self, curve):
+        fps = [p.false_positives_per_mb for p in curve.points]
+        assert all(a >= b for a, b in zip(fps, fps[1:]))
+
+    def test_low_threshold_perfect_recall(self, curve):
+        assert curve.points[0].true_positive_rate == 1.0
+
+    def test_high_threshold_clean_background(self, curve):
+        assert curve.points[-1].false_positives_per_mb == 0.0
+
+    def test_best_threshold_constrained(self, curve):
+        best = curve.best_threshold(max_fp_per_mb=1.0)
+        assert best is not None
+        assert best.false_positives_per_mb <= 1.0
+        # It is the most sensitive viable point.
+        viable = [p for p in curve.points if p.false_positives_per_mb <= 1.0]
+        assert best.true_positive_rate == max(p.true_positive_rate for p in viable)
+
+    def test_auc_like_bounds(self, curve):
+        assert 0.0 < curve.auc_like() <= 1.0
+
+    def test_indels_hurt_high_identity_operating_points(self):
+        clean = roc_curve(
+            cases=6, query_length=25, reference_length=3000,
+            substitution_rate=0.0, indel_events=0, seed=4,
+        )
+        indel = roc_curve(
+            cases=6, query_length=25, reference_length=3000,
+            substitution_rate=0.0, indel_events=1, seed=4,
+        )
+        assert indel.points[-1].true_positive_rate <= clean.points[-1].true_positive_rate
+
+    def test_format(self, curve):
+        text = format_roc(curve)
+        assert "TPR" in text
+        assert len(text.splitlines()) == len(curve.points) + 3
+
+    def test_custom_thresholds(self):
+        curve = roc_curve(
+            cases=3, query_length=20, reference_length=2000,
+            thresholds=[30, 45, 60], seed=2,
+        )
+        assert [p.threshold for p in curve.points] == [30, 45, 60]

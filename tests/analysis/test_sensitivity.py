@@ -1,0 +1,126 @@
+"""Tests for the analytic detection/sensitivity model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import (
+    detection_model,
+    element_survival_probabilities,
+    operating_curve,
+)
+from repro.core.aligner import alignment_scores
+from repro.seq.generate import random_protein, random_rna
+from repro.seq.mutate import substitute
+from repro.seq import alphabet
+from repro.workloads.builder import encode_protein_as_rna
+
+
+class TestSurvivalProbabilities:
+    def test_zero_rate_all_one(self, rng):
+        probabilities = element_survival_probabilities(
+            random_protein(10, rng=rng), 0.0
+        )
+        assert np.allclose(probabilities, 1.0)
+
+    def test_d_elements_immune(self):
+        # Gly = GGD: the third position survives any substitution.
+        probabilities = element_survival_probabilities("G", 0.5)
+        assert probabilities[2] == pytest.approx(1.0)
+
+    def test_exact_elements_most_fragile(self):
+        # Met = AUG, all exact: survival = 1 - p.
+        probabilities = element_survival_probabilities("M", 0.3)
+        assert np.allclose(probabilities, 0.7)
+
+    def test_conditional_absorbs_some_substitutions(self):
+        # Phe third position (U/C): a U substituted lands on {A,C,G}
+        # uniformly; C still matches -> survive 1-p + p/3.
+        probabilities = element_survival_probabilities("F", 0.3)
+        assert probabilities[2] == pytest.approx(0.7 + 0.3 / 3)
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            element_survival_probabilities("M", 1.5)
+
+
+class TestDetectionModel:
+    def test_expected_score_decreases_with_rate(self, rng):
+        query = random_protein(20, rng=rng)
+        expectations = [
+            detection_model(query, rate).expected_score
+            for rate in (0.0, 0.05, 0.1, 0.2)
+        ]
+        assert expectations == sorted(expectations, reverse=True)
+
+    def test_zero_rate_certain_detection(self, rng):
+        query = random_protein(10, rng=rng)
+        model = detection_model(query, 0.0)
+        assert model.detection_probability(30) == pytest.approx(1.0)
+
+    def test_matches_monte_carlo(self, rng):
+        """Analytic detection probability vs simulated mutated homologs."""
+        query = random_protein(25, rng=rng)
+        rate = 0.06
+        model = detection_model(query, rate)
+        threshold = int(0.8 * 75)
+        trials = 400
+        detected = 0
+        for _ in range(trials):
+            region = encode_protein_as_rna(
+                query, rng=rng, codon_usage="paper"
+            ).letters
+            mutated = substitute(region, rate, alphabet.RNA_NUCLEOTIDES, rng=rng)
+            score = alignment_scores(query, mutated.letters)[0]
+            if score >= threshold:
+                detected += 1
+        predicted = model.detection_probability(threshold)
+        assert detected / trials == pytest.approx(predicted, abs=0.07)
+
+    def test_max_threshold_for_recall(self, rng):
+        query = random_protein(15, rng=rng)
+        model = detection_model(query, 0.05)
+        threshold = model.max_threshold_for_recall(0.95)
+        assert model.detection_probability(threshold) >= 0.95
+        assert model.detection_probability(threshold + 1) < 0.95
+
+    def test_recall_validated(self, rng):
+        model = detection_model(random_protein(5, rng=rng), 0.1)
+        with pytest.raises(ValueError):
+            model.max_threshold_for_recall(0.0)
+
+
+class TestOperatingCurve:
+    def test_tradeoff_shape(self, rng):
+        query = random_protein(30, rng=rng)
+        curve = operating_curve(
+            query, substitution_rate=0.05, reference_length=1_000_000
+        )
+        detections = [p.detection_probability for p in curve]
+        false_hits = [p.expected_false_hits for p in curve]
+        assert detections == sorted(detections, reverse=True)
+        assert false_hits == sorted(false_hits, reverse=True)
+
+    def test_usable_operating_point_exists(self, rng):
+        """For a 30-aa query at 5% divergence there is a threshold with
+        high recall AND almost no random hits — the regime the paper's
+        'high similarity' use case lives in."""
+        query = random_protein(30, rng=rng)
+        curve = operating_curve(
+            query, substitution_rate=0.05, reference_length=4_000_000_000
+        )
+        good = [
+            p
+            for p in curve
+            if p.detection_probability > 0.9 and p.expected_false_hits < 10
+        ]
+        assert good
+
+    def test_custom_thresholds(self, rng):
+        query = random_protein(10, rng=rng)
+        curve = operating_curve(
+            query,
+            substitution_rate=0.02,
+            reference_length=1000,
+            thresholds=[10, 20, 30],
+        )
+        assert [p.threshold for p in curve] == [10, 20, 30]

@@ -1,0 +1,92 @@
+"""Tests for the FabP null-score model and threshold selection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import (
+    element_match_probabilities,
+    empirical_null,
+    null_score_model,
+)
+from repro.seq.generate import random_protein
+
+
+class TestMatchProbabilities:
+    def test_type_i_quarter(self):
+        # Met = AUG, all Type I: each position matches 1 of 4 nucleotides.
+        probabilities = element_match_probabilities("M")
+        assert list(probabilities) == [0.25, 0.25, 0.25]
+
+    def test_conditional_half(self):
+        # Phe third position is U/C: probability 1/2.
+        probabilities = element_match_probabilities("F")
+        assert probabilities[2] == 0.5
+
+    def test_d_matches_always(self):
+        # Gly = GGD: third position always matches.
+        probabilities = element_match_probabilities("G")
+        assert probabilities[2] == 1.0
+
+    def test_ile_three_quarters(self):
+        probabilities = element_match_probabilities("I")
+        assert probabilities[2] == 0.75
+
+    def test_dependent_context_average(self):
+        # Stop third position: {A,G} after A (p=1/2), {A} after G (p=1/4),
+        # averaged over the S coin -> 3/8.
+        probabilities = element_match_probabilities("*")
+        assert probabilities[2] == pytest.approx(0.375)
+
+
+class TestNullModel:
+    def test_pmf_is_distribution(self, rng):
+        model = null_score_model(random_protein(10, rng=rng))
+        assert model.pmf.sum() == pytest.approx(1.0)
+        assert (model.pmf >= 0).all()
+        assert model.pmf.size == 31
+
+    def test_mean_variance_formulas(self, rng):
+        model = null_score_model(random_protein(8, rng=rng))
+        support = np.arange(model.pmf.size)
+        assert model.mean == pytest.approx((support * model.pmf).sum())
+        second = (support**2 * model.pmf).sum()
+        assert model.variance == pytest.approx(second - model.mean**2)
+
+    def test_survival_monotone(self, rng):
+        model = null_score_model(random_protein(6, rng=rng))
+        values = [model.survival(t) for t in range(20)]
+        assert values == sorted(values, reverse=True)
+        assert model.survival(0) == 1.0
+        assert model.survival(100) == 0.0
+
+    def test_matches_monte_carlo(self, rng):
+        query = random_protein(6, rng=rng)
+        model = null_score_model(query)
+        scores = empirical_null(query, samples=150_000, rng=rng)
+        assert scores.mean() == pytest.approx(model.mean, abs=0.05)
+        threshold = int(model.mean + 3 * model.variance**0.5)
+        empirical_tail = (scores >= threshold).mean()
+        assert empirical_tail == pytest.approx(model.survival(threshold), rel=0.5, abs=2e-4)
+
+    def test_expected_hits_scales(self, rng):
+        model = null_score_model(random_protein(5, rng=rng))
+        e1 = model.expected_hits(10, 10_000)
+        e2 = model.expected_hits(10, 20_000)
+        assert e2 > e1
+
+    def test_threshold_for_fpr(self, rng):
+        model = null_score_model(random_protein(10, rng=rng))
+        threshold = model.threshold_for_fpr(1.0, 1_000_000)
+        assert model.expected_hits(threshold, 1_000_000) <= 1.0
+        assert model.expected_hits(threshold - 1, 1_000_000) > 1.0
+
+    def test_threshold_validation(self, rng):
+        model = null_score_model(random_protein(4, rng=rng))
+        with pytest.raises(ValueError):
+            model.threshold_for_fpr(0.0, 100)
+
+    def test_zscore(self, rng):
+        model = null_score_model(random_protein(10, rng=rng))
+        perfect = 30
+        assert model.zscore(perfect) > 5
+        assert model.zscore(int(model.mean)) == pytest.approx(0.0, abs=0.6)

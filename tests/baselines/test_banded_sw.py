@@ -1,0 +1,74 @@
+"""Tests for banded Smith-Waterman."""
+
+import pytest
+
+from repro.baselines.scoring import NucleotideScoring, ProteinScoring
+from repro.baselines.smith_waterman import (
+    smith_waterman_banded,
+    sw_score,
+)
+from repro.seq.generate import random_protein, random_rna
+
+
+class TestBandedCorrectness:
+    def test_full_band_equals_full_sw(self, rng):
+        for _ in range(5):
+            a = random_protein(15, rng=rng).letters
+            b = random_protein(25, rng=rng).letters
+            full = sw_score(a, b)
+            banded = smith_waterman_banded(a, b, band=50)
+            assert banded == full
+
+    def test_band_is_lower_bound(self, rng):
+        scoring = ProteinScoring()
+        for _ in range(5):
+            a = random_protein(20, rng=rng).letters
+            b = random_protein(40, rng=rng).letters
+            full = sw_score(a, b, scoring)
+            for band in (0, 2, 5, 10):
+                assert smith_waterman_banded(a, b, scoring, band=band) <= full
+
+    def test_band_monotone(self, rng):
+        a = random_protein(20, rng=rng).letters
+        b = random_protein(40, rng=rng).letters
+        scores = [smith_waterman_banded(a, b, band=k) for k in (0, 2, 4, 8, 16, 64)]
+        assert scores == sorted(scores)
+
+    def test_anchored_diagonal_recovers_planted(self, rng):
+        """With the right diagonal, a narrow band finds the full score."""
+        a = random_protein(30, rng=rng).letters
+        prefix = random_protein(50, rng=rng).letters
+        b = prefix + a + random_protein(20, rng=rng).letters
+        full = sw_score(a, b)
+        anchored = smith_waterman_banded(a, b, band=3, diagonal=50)
+        assert anchored == full
+
+    def test_wrong_diagonal_misses(self, rng):
+        a = random_protein(30, rng=rng).letters
+        b = random_protein(50, rng=rng).letters + a
+        hit = smith_waterman_banded(a, b, band=2, diagonal=50)
+        miss = smith_waterman_banded(a, b, band=2, diagonal=0)
+        assert hit > miss
+
+    def test_nucleotide_mode(self, rng):
+        a = random_rna(30, rng=rng).letters
+        full = sw_score(a, a, NucleotideScoring())
+        banded = smith_waterman_banded(a, a, NucleotideScoring(), band=1)
+        assert banded == full  # self-alignment sits on the main diagonal
+
+    def test_ungapped_mode(self, rng):
+        a = random_rna(20, rng=rng).letters
+        b = random_rna(40, rng=rng).letters
+        banded = smith_waterman_banded(a, b, band=100, mode="ungapped")
+        from repro.baselines.smith_waterman import smith_waterman
+
+        assert banded == smith_waterman(a, b, mode="ungapped", traceback=False).score
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            smith_waterman_banded("AC", "AC", band=-1)
+        with pytest.raises(ValueError):
+            smith_waterman_banded("AC", "AC", mode="global")
+
+    def test_empty_inputs(self):
+        assert smith_waterman_banded("", "ACGU", band=3) == 0

@@ -1,0 +1,111 @@
+"""Tests for Karlin-Altschul statistics."""
+
+import math
+
+import pytest
+
+from repro.baselines.evalue import (
+    BLOSUM62_UNGAPPED_LAMBDA,
+    KarlinAltschulParams,
+    StatisticsError,
+    default_protein_params,
+    expected_score,
+    rank_hsps,
+    relative_entropy,
+    solve_lambda,
+)
+from repro.baselines.scoring import GapPenalty, ProteinScoring
+
+
+class TestLambda:
+    def test_matches_published_blosum62_value(self):
+        # NCBI reports lambda = 0.3176 for ungapped BLOSUM62.
+        assert solve_lambda() == pytest.approx(BLOSUM62_UNGAPPED_LAMBDA, rel=0.01)
+
+    def test_expected_score_negative(self):
+        assert expected_score() < 0
+
+    def test_lambda_satisfies_definition(self):
+        from repro.seq.generate import UNIPROT_AA_FREQUENCIES
+
+        scoring = ProteinScoring()
+        lam = solve_lambda(scoring)
+        total = sum(
+            pa * pb * math.exp(lam * scoring.score(a, b))
+            for a, pa in UNIPROT_AA_FREQUENCIES.items()
+            for b, pb in UNIPROT_AA_FREQUENCIES.items()
+        )
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_uniform_composition_also_solvable(self):
+        uniform = {aa: 0.05 for aa in "ACDEFGHIKLMNPQRSTVWY"}
+        lam = solve_lambda(frequencies=uniform)
+        assert 0.1 < lam < 0.6
+
+    def test_positive_expectation_rejected(self):
+        # A matrix with all-positive scores has no valid lambda.
+        cheerful = {(a, b): 1 for a in "ACDEFGHIKLMNPQRSTVWY*" for b in "ACDEFGHIKLMNPQRSTVWY*"}
+        scoring = ProteinScoring(matrix=cheerful)
+        with pytest.raises(StatisticsError):
+            solve_lambda(scoring)
+
+    def test_relative_entropy_positive(self):
+        assert relative_entropy() > 0
+
+
+class TestEvalues:
+    @pytest.fixture(scope="class")
+    def params(self):
+        return default_protein_params()
+
+    def test_evalue_decreases_with_score(self, params):
+        e1 = params.evalue(30, 100, 1_000_000)
+        e2 = params.evalue(60, 100, 1_000_000)
+        assert e2 < e1
+
+    def test_evalue_scales_with_search_space(self, params):
+        small = params.evalue(40, 100, 1_000_000)
+        big = params.evalue(40, 100, 2_000_000)
+        assert big == pytest.approx(2 * small)
+
+    def test_bit_score_monotone(self, params):
+        assert params.bit_score(60) > params.bit_score(30)
+
+    def test_pvalue_bounds(self, params):
+        p = params.pvalue(40, 100, 1_000_000)
+        assert 0.0 <= p <= 1.0
+
+    def test_pvalue_approximates_small_evalue(self, params):
+        e = params.evalue(80, 100, 1_000_000)
+        assert e < 0.01
+        assert params.pvalue(80, 100, 1_000_000) == pytest.approx(e, rel=0.01)
+
+    def test_score_for_evalue_roundtrip(self, params):
+        score = params.score_for_evalue(1e-3, 100, 1_000_000)
+        assert params.evalue(score, 100, 1_000_000) <= 1e-3
+        assert params.evalue(score - 1, 100, 1_000_000) > 1e-3
+
+    def test_input_validation(self, params):
+        with pytest.raises(ValueError):
+            params.evalue(40, 0, 100)
+        with pytest.raises(ValueError):
+            params.score_for_evalue(0.0, 100, 100)
+
+
+class TestRanking:
+    def test_rank_hsps_orders_by_evalue(self, rng):
+        from repro.baselines.tblastn import Tblastn
+        from repro.seq.generate import random_protein, random_rna
+        from repro.workloads.builder import encode_protein_as_rna
+
+        query = random_protein(40, rng=rng)
+        region = encode_protein_as_rna(query, rng=rng).letters
+        background = random_rna(4000, rng=rng).letters
+        reference = background[:2000] + region + background[2000:]
+        result = Tblastn(query).search(reference)
+        ranked = rank_hsps(result.hsps, len(query), len(reference))
+        evalues = [e for _, e in ranked]
+        assert evalues == sorted(evalues)
+        # The planted hit must be the most significant.
+        assert abs(ranked[0][0].nucleotide_start - 2000) <= 3
+        assert evalues[0] < 1e-6

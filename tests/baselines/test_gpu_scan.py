@@ -1,0 +1,94 @@
+"""Tests for the SIMT execution model of the CUDA baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gpu_scan import (
+    INSTRUCTIONS_PER_COMPARISON,
+    ISSUE_RATE,
+    GpuLaunchConfig,
+    GpuScanKernel,
+)
+from repro.core.aligner import align
+from repro.perf.platforms import GTX_1080TI
+from repro.seq.generate import random_protein, random_rna
+
+
+class TestFunctionalEquivalence:
+    def test_hits_match_golden(self, rng):
+        for _ in range(4):
+            query = random_protein(int(rng.integers(3, 15)), rng=rng)
+            reference = random_rna(int(rng.integers(500, 4000)), rng=rng)
+            kernel = GpuScanKernel(query, min_identity=0.6)
+            result = kernel.run(reference)
+            expected = align(query, reference, threshold=kernel.threshold)
+            assert result.hits == expected.hits
+
+    def test_tile_boundaries_covered(self, rng):
+        """A hit exactly at a block-tile boundary must not be lost."""
+        from repro.workloads.builder import encode_protein_as_rna
+
+        query = random_protein(10, rng=rng)
+        region = encode_protein_as_rna(query, rng=rng, codon_usage="paper").letters
+        config = GpuLaunchConfig(threads_per_block=64, positions_per_thread=2)
+        boundary = config.tile_positions  # position of the second tile start
+        background = random_rna(2000, rng=rng).letters
+        for position in (boundary - 1, boundary, boundary + 1):
+            reference = (
+                background[:position] + region + background[position + len(region) :]
+            )
+            kernel = GpuScanKernel(query, min_identity=0.99, config=config)
+            result = kernel.run(reference)
+            assert any(h.position == position for h in result.hits)
+
+    def test_small_reference(self, rng):
+        query = random_protein(5, rng=rng)
+        result = GpuScanKernel(query, threshold=0).run("ACGU" * 4)
+        assert result.blocks == 1
+        assert len(result.hits) == 16 - 15 + 1
+
+    def test_query_longer_than_reference(self, rng):
+        query = random_protein(10, rng=rng)
+        result = GpuScanKernel(query, threshold=0).run("ACGU")
+        assert result.blocks == 0
+        assert result.hits == ()
+
+
+class TestExecutionModel:
+    def test_instruction_count_scales(self, rng):
+        query = random_protein(10, rng=rng)
+        kernel = GpuScanKernel(query, min_identity=0.9)
+        short = kernel.run(random_rna(1000, rng=rng))
+        long_ = kernel.run(random_rna(4000, rng=rng))
+        assert long_.instructions > 3 * short.instructions
+
+    def test_global_traffic_near_reference_size(self, rng):
+        query = random_protein(5, rng=rng)
+        reference = random_rna(100_000, rng=rng)
+        result = GpuScanKernel(query, min_identity=0.9).run(reference)
+        packed = 100_000 // 4
+        # Tiling halo inflates traffic, but only by a small factor.
+        assert packed <= result.global_bytes <= 2 * packed
+
+    def test_constants_consistent_with_closed_form(self):
+        """The SIMT model and perf.gpu must encode the same machine."""
+        assert ISSUE_RATE / INSTRUCTIONS_PER_COMPARISON == pytest.approx(
+            GTX_1080TI.comparisons_per_core_cycle, rel=0.01
+        )
+
+    def test_estimate_matches_closed_form_model(self, rng):
+        """Two derivations of GPU time agree at scale (overhead-dominated
+        small cases excluded)."""
+        from repro.perf.gpu import gpu_seconds
+        from repro.perf.workload import Workload
+
+        query = random_protein(50, rng=rng)
+        reference = random_rna(200_000, rng=rng)
+        result = GpuScanKernel(query, min_identity=0.9).run(reference)
+        closed = gpu_seconds(Workload(50, 200_000))
+        assert result.estimated_seconds == pytest.approx(closed, rel=0.15)
+
+    def test_result_str(self, rng):
+        query = random_protein(5, rng=rng)
+        result = GpuScanKernel(query, min_identity=0.9).run(random_rna(500, rng=rng))
+        assert "GpuScanResult" in str(result)

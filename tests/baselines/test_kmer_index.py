@@ -1,0 +1,79 @@
+"""Tests for the BLAST-style k-mer neighborhood index."""
+
+import pytest
+
+from repro.baselines.kmer_index import KmerIndex, WordHit
+from repro.baselines.scoring import ProteinScoring
+from repro.seq.generate import random_protein
+
+
+class TestConstruction:
+    def test_exact_words_always_present(self, rng):
+        query = random_protein(20, rng=rng).letters
+        index = KmerIndex(query, k=3, threshold=11)
+        scorer = ProteinScoring()
+        for pos in range(len(query) - 2):
+            word = query[pos : pos + 3]
+            self_score = sum(scorer.score(c, c) for c in word)
+            if self_score >= 11:
+                assert pos in index.lookup(word)
+
+    def test_neighborhood_threshold_respected(self, rng):
+        query = random_protein(10, rng=rng).letters
+        index = KmerIndex(query, k=3, threshold=12)
+        scorer = ProteinScoring()
+        for word, positions in index._table.items():
+            for pos in positions:
+                kmer = query[pos : pos + 3]
+                score = sum(scorer.score(a, b) for a, b in zip(kmer, word))
+                assert score >= 12
+
+    def test_higher_threshold_smaller_table(self, rng):
+        query = random_protein(15, rng=rng).letters
+        low = KmerIndex(query, threshold=10)
+        high = KmerIndex(query, threshold=14)
+        assert len(high) <= len(low)
+
+    def test_stop_kmers_skipped(self):
+        index = KmerIndex("MF*WK", k=3)
+        # Words overlapping the stop contribute nothing.
+        for word, positions in index._table.items():
+            for pos in positions:
+                assert "*" not in "MF*WK"[pos : pos + 3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KmerIndex("MF", k=3)
+        with pytest.raises(ValueError):
+            KmerIndex("MFW", k=0)
+
+    def test_stats(self, rng):
+        query = random_protein(12, rng=rng).letters
+        stats = KmerIndex(query).stats()
+        assert stats["query_kmers"] == 10
+        assert stats["entries"] >= stats["query_kmers"] - query.count("*")
+
+
+class TestScan:
+    def test_self_scan_hits_diagonal_zero(self, rng):
+        query = random_protein(15, rng=rng).letters
+        index = KmerIndex(query, threshold=11)
+        hits = list(index.scan(query))
+        diagonal_zero = [h for h in hits if h.diagonal == 0]
+        assert len(diagonal_zero) >= 1
+
+    def test_scan_positions_valid(self, rng):
+        query = random_protein(12, rng=rng).letters
+        subject = random_protein(60, rng=rng).letters
+        index = KmerIndex(query)
+        for hit in index.scan(subject):
+            assert subject[hit.subject_pos : hit.subject_pos + 3] == hit.word
+            assert 0 <= hit.query_pos <= len(query) - 3
+
+    def test_no_hits_on_short_subject(self, rng):
+        index = KmerIndex(random_protein(10, rng=rng).letters)
+        assert list(index.scan("MF")) == []
+
+    def test_wordhit_diagonal(self):
+        hit = WordHit(query_pos=5, subject_pos=12, word="MFW")
+        assert hit.diagonal == 7

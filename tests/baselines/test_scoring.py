@@ -1,0 +1,92 @@
+"""Tests for the scoring schemes."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.scoring import (
+    BLOSUM62,
+    GapPenalty,
+    NucleotideScoring,
+    ProteinScoring,
+)
+from repro.seq import alphabet
+
+
+class TestBlosum62:
+    def test_symmetric(self):
+        table = ProteinScoring().table
+        assert np.array_equal(table, table.T)
+
+    def test_diagonal_positive(self):
+        table = ProteinScoring().table
+        assert (np.diag(table) > 0).all()
+
+    def test_known_values(self):
+        assert BLOSUM62[("W", "W")] == 11
+        assert BLOSUM62[("A", "A")] == 4
+        assert BLOSUM62[("I", "L")] == 2
+        assert BLOSUM62[("W", "F")] == 1
+        assert BLOSUM62[("E", "Q")] == 2
+        assert BLOSUM62[("C", "C")] == 9
+
+    def test_stop_penalized(self):
+        scorer = ProteinScoring()
+        assert scorer.score("*", "A") == -4
+        assert scorer.score("*", "*") == 1
+
+    def test_identity_scores_beat_substitutions(self):
+        scorer = ProteinScoring()
+        for aa in alphabet.AMINO_ACIDS:
+            self_score = scorer.score(aa, aa)
+            for other in alphabet.AMINO_ACIDS:
+                if other != aa:
+                    assert scorer.score(aa, other) < self_score
+
+    def test_encode(self):
+        scorer = ProteinScoring()
+        codes = scorer.encode("MFW")
+        assert codes.shape == (3,)
+        assert scorer.table[codes[0], codes[0]] == scorer.score("M", "M")
+
+
+class TestNucleotideScoring:
+    def test_match_mismatch(self):
+        scorer = NucleotideScoring(match=2, mismatch=-3)
+        assert scorer.score("A", "A") == 2
+        assert scorer.score("A", "G") == -3
+
+    def test_table_shape(self):
+        table = NucleotideScoring().table
+        assert table.shape == (4, 4)
+        assert (np.diag(table) == 2).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NucleotideScoring(match=0)
+        with pytest.raises(ValueError):
+            NucleotideScoring(mismatch=1)
+
+    def test_t_aliases_u(self):
+        """DNA letters score like their RNA counterparts (mixed inputs)."""
+        scorer = NucleotideScoring(match=2, mismatch=-3)
+        assert scorer.score("T", "U") == 2
+        assert scorer.score("U", "T") == 2
+        assert scorer.score("T", "A") == -3
+        assert list(scorer.encode("ACGT")) == list(scorer.encode("ACGU"))
+
+    def test_mixed_dna_rna_alignment(self):
+        from repro.baselines.smith_waterman import sw_score
+
+        assert sw_score("ACGU", "ACGT", NucleotideScoring()) == 8
+
+
+class TestGapPenalty:
+    def test_cost(self):
+        gap = GapPenalty(11, 1)
+        assert gap.cost(0) == 0
+        assert gap.cost(1) == 12
+        assert gap.cost(5) == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GapPenalty(-1, 1)

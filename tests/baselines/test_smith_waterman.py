@@ -1,0 +1,209 @@
+"""Tests for Smith-Waterman local alignment."""
+
+import pytest
+
+from repro.baselines.scoring import GapPenalty, NucleotideScoring, ProteinScoring
+from repro.baselines.smith_waterman import (
+    LocalAlignment,
+    smith_waterman,
+    sw_score,
+    ungapped_extend,
+)
+from repro.seq.generate import random_protein, random_rna
+
+
+def _brute_force_ungapped(a: str, b: str, scoring) -> int:
+    """Oracle: best ungapped local alignment by enumeration."""
+    best = 0
+    for i in range(len(a)):
+        for j in range(len(b)):
+            run = 0
+            for k in range(min(len(a) - i, len(b) - j)):
+                run += scoring.score(a[i + k], b[j + k])
+                best = max(best, run)
+                if run < 0:
+                    break
+    return best
+
+
+class TestBasics:
+    def test_identical_sequences(self):
+        result = smith_waterman("ACGU", "ACGU")
+        assert result.score == 8  # 4 matches x 2
+        assert result.identity == 1.0
+        assert result.aligned_a == "ACGU"
+
+    def test_empty_input(self):
+        assert smith_waterman("", "ACGU").score == 0
+
+    def test_no_similarity(self):
+        result = smith_waterman("AAAA", "GGGG", NucleotideScoring())
+        assert result.score == 0
+
+    def test_local_region_extraction(self):
+        result = smith_waterman("UUUUACGUACGUUUUU"[4:12], "ACGUACGU")
+        assert result.score == 16
+
+    def test_substring_found(self):
+        result = smith_waterman("ACGU", "UUACGUUU")
+        assert result.b_start == 2
+        assert result.b_end == 6
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            smith_waterman("AC", "AC", mode="global")
+
+    def test_score_only_skips_traceback(self):
+        full = smith_waterman("ACGUACGU", "ACGAACGU")
+        fast = smith_waterman("ACGUACGU", "ACGAACGU", traceback=False)
+        assert full.score == fast.score
+        assert fast.aligned_a == ""
+        assert sw_score("ACGUACGU", "ACGAACGU") == full.score
+
+
+class TestGaps:
+    def test_gap_recovered(self):
+        # One deletion in b; affine penalties make a single gap optimal.
+        a = "ACGUACGUAC"
+        b = "ACGUCGUAC"  # A deleted at position 4
+        result = smith_waterman(a, b, NucleotideScoring(match=2, mismatch=-3, gap=GapPenalty(3, 1)))
+        assert "-" in result.aligned_b
+        assert result.gaps == 1
+
+    def test_affine_prefers_one_long_gap(self):
+        a = "AAAAACCCCGGGGG"
+        b = "AAAAAGGGGG"
+        scoring = NucleotideScoring(match=2, mismatch=-3, gap=GapPenalty(4, 1))
+        result = smith_waterman(a, b, scoring)
+        # One 4-long gap: 10 matches x 2 - (4 + 4x1) = 12, beating the best
+        # ungapped segment (10).
+        assert result.score == 12
+        assert result.aligned_b.count("-") == 4
+
+    def test_linear_mode(self):
+        a = "AAAAACCCCGGGGG"
+        b = "AAAAAGGGGG"
+        scoring = NucleotideScoring(match=2, mismatch=-3, gap=GapPenalty(4, 1))
+        linear = smith_waterman(a, b, scoring, mode="linear")
+        affine = smith_waterman(a, b, scoring, mode="affine")
+        # Linear pays 1/gap residue: 20 - 4 = 16 > affine's 12.
+        assert linear.score == 16
+        assert linear.score > affine.score
+
+    def test_ungapped_mode_matches_oracle(self, rng):
+        scoring = ProteinScoring()
+        for _ in range(5):
+            a = random_protein(12, rng=rng).letters
+            b = random_protein(30, rng=rng).letters
+            got = smith_waterman(a, b, scoring, mode="ungapped").score
+            assert got == _brute_force_ungapped(a, b, scoring)
+
+    def test_gapped_at_least_ungapped(self, rng):
+        scoring = ProteinScoring()
+        for _ in range(5):
+            a = random_protein(10, rng=rng).letters
+            b = random_protein(40, rng=rng).letters
+            assert (
+                smith_waterman(a, b, scoring).score
+                >= smith_waterman(a, b, scoring, mode="ungapped").score
+            )
+
+
+class TestTracebackConsistency:
+    """The recovered path must actually achieve the reported score."""
+
+    @staticmethod
+    def _rescore(result, scoring, gap):
+        total = 0
+        run_a = run_b = 0
+        for x, y in zip(result.aligned_a, result.aligned_b):
+            if x == "-":
+                run_a += 1
+                if run_b:
+                    total -= gap.cost(run_b)
+                    run_b = 0
+            elif y == "-":
+                run_b += 1
+                if run_a:
+                    total -= gap.cost(run_a)
+                    run_a = 0
+            else:
+                if run_a:
+                    total -= gap.cost(run_a)
+                    run_a = 0
+                if run_b:
+                    total -= gap.cost(run_b)
+                    run_b = 0
+                total += scoring.score(x, y)
+        total -= gap.cost(run_a) + gap.cost(run_b)
+        return total
+
+    def test_affine_path_achieves_score(self, rng):
+        scoring = ProteinScoring()
+        for _ in range(10):
+            a = random_protein(20, rng=rng).letters
+            b = random_protein(50, rng=rng).letters
+            result = smith_waterman(a, b, scoring)
+            if result.score == 0:
+                continue
+            rescored = self._rescore(result, scoring, scoring.gap)
+            assert rescored == result.score, (result.aligned_a, result.aligned_b)
+
+    def test_nucleotide_path_achieves_score(self, rng):
+        scoring = NucleotideScoring(gap=GapPenalty(3, 1))
+        for _ in range(10):
+            a = random_rna(30, rng=rng).letters
+            b = random_rna(60, rng=rng).letters
+            result = smith_waterman(a, b, scoring)
+            if result.score == 0:
+                continue
+            assert self._rescore(result, scoring, scoring.gap) == result.score
+
+
+class TestProteinAlignment:
+    def test_blosum_self_alignment(self):
+        result = smith_waterman("MFWKL", "MFWKL")
+        expected = sum(ProteinScoring().score(aa, aa) for aa in "MFWKL")
+        assert result.score == expected
+
+    def test_default_scoring_picks_protein(self):
+        result = smith_waterman("MFWKLE", "MFWKLE")
+        assert result.score > 12  # BLOSUM identity scores, not match=2
+
+    def test_alignment_rows_equal_length(self, rng):
+        a = random_protein(15, rng=rng).letters
+        b = random_protein(40, rng=rng).letters
+        result = smith_waterman(a, b)
+        assert len(result.aligned_a) == len(result.aligned_b)
+
+    def test_alignment_consistent_with_ranges(self, rng):
+        a = random_protein(15, rng=rng).letters
+        b = random_protein(40, rng=rng).letters
+        result = smith_waterman(a, b)
+        assert result.aligned_a.replace("-", "") == a[result.a_start : result.a_end]
+        assert result.aligned_b.replace("-", "") == b[result.b_start : result.b_end]
+
+    def test_str(self):
+        assert "score" in str(smith_waterman("MF", "MF"))
+
+
+class TestUngappedExtend:
+    def test_extends_to_full_match(self):
+        scoring = NucleotideScoring()
+        a = "ACGUACGU"
+        b = "ACGUACGU"
+        score, start, end = ungapped_extend(a, b, 3, 3, 2, scoring)
+        assert (start, end) == (0, 8)
+        assert score == 16
+
+    def test_x_drop_stops_extension(self):
+        scoring = NucleotideScoring(match=2, mismatch=-3)
+        a = "ACGU" + "GGGG" * 3
+        b = "ACGU" + "CCCC" * 3
+        score, start, end = ungapped_extend(a, b, 0, 0, 4, scoring, x_drop=5)
+        assert end <= 7  # extension abandoned quickly
+        assert score == 8
+
+    def test_invalid_seed(self):
+        with pytest.raises(ValueError):
+            ungapped_extend("AC", "AC", 0, 0, 0, NucleotideScoring())

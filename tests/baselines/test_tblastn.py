@@ -1,0 +1,122 @@
+"""Tests for the TBLASTN-like pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.tblastn import Tblastn, TblastnParams, tblastn_search
+from repro.seq.generate import random_protein, random_rna
+from repro.workloads.builder import encode_protein_as_rna
+
+
+def _plant(query, rng, reference_length=3000, position=None, codon_usage="uniform"):
+    region = encode_protein_as_rna(query, rng=rng, codon_usage=codon_usage).letters
+    background = random_rna(reference_length, rng=rng).letters
+    if position is None:
+        position = reference_length // 2
+    reference = background[:position] + region + background[position + len(region) :]
+    return reference, position
+
+
+class TestPlantedRecovery:
+    def test_forward_frame_recovery(self, rng):
+        query = random_protein(40, rng=rng)
+        for frame_shift in (0, 1, 2):
+            reference, position = _plant(query, rng, position=900 + frame_shift)
+            result = Tblastn(query).search(reference)
+            assert result.best is not None
+            assert abs(result.best.nucleotide_start - (900 + frame_shift)) <= 3
+            assert result.best.frame == (900 + frame_shift) % 3
+
+    def test_reverse_strand_recovery(self, rng):
+        query = random_protein(40, rng=rng)
+        region = encode_protein_as_rna(query, rng=rng).letters
+        background = random_rna(2000, rng=rng).letters
+        from repro.seq.sequence import RnaSequence
+
+        rc = RnaSequence(region).reverse_complement().letters
+        reference = background[:700] + rc + background[700 + len(rc) :]
+        result = Tblastn(query).search(reference)
+        assert result.best is not None
+        assert result.best.frame >= 3  # reverse frame
+        hit_region = range(690, 700 + len(rc) + 10)
+        assert result.best.nucleotide_start in hit_region
+
+    def test_mutated_homolog_recovery(self, rng):
+        from repro.seq.mutate import mutate_protein
+
+        query = random_protein(50, rng=rng)
+        mutated = mutate_protein(query, substitution_rate=0.15, rng=rng)
+        from repro.seq.sequence import ProteinSequence
+
+        reference, position = _plant(ProteinSequence(mutated.letters), rng)
+        result = Tblastn(query).search(reference)
+        assert result.best is not None
+        assert abs(result.best.nucleotide_start - position) <= 6
+
+    def test_homolog_with_indel_recovered(self, rng):
+        """The gapped stage tolerates indels — FabP's key difference."""
+        from repro.seq.mutate import mutate_protein
+        from repro.seq.sequence import ProteinSequence
+
+        query = random_protein(60, rng=rng)
+        mutated = mutate_protein(query, indel_events=1, rng=rng)
+        reference, position = _plant(ProteinSequence(mutated.letters), rng)
+        result = Tblastn(query).search(reference)
+        assert result.best is not None
+        assert abs(result.best.nucleotide_start - position) <= 12
+
+    def test_identity_reported(self, rng):
+        query = random_protein(30, rng=rng)
+        reference, _ = _plant(query, rng)
+        result = Tblastn(query).search(reference)
+        assert result.best.identity > 0.9
+
+
+class TestPipelineBehaviour:
+    def test_counters_populated(self, rng):
+        query = random_protein(30, rng=rng)
+        reference, _ = _plant(query, rng)
+        result = Tblastn(query).search(reference)
+        assert result.word_hits > 0
+        assert result.two_hit_seeds > 0
+        assert result.ungapped_extensions >= result.two_hit_seeds * 0 + 1
+
+    def test_two_hit_reduces_extensions(self, rng):
+        query = random_protein(30, rng=rng)
+        reference, _ = _plant(query, rng)
+        strict = Tblastn(query, TblastnParams(two_hit=True)).search(reference)
+        loose = Tblastn(query, TblastnParams(two_hit=False)).search(reference)
+        assert strict.ungapped_extensions < loose.ungapped_extensions
+        # Sensitivity on the planted region must not be lost.
+        assert strict.best is not None and loose.best is not None
+
+    def test_random_reference_few_hits(self, rng):
+        query = random_protein(40, rng=rng)
+        reference = random_rna(3000, rng=rng)
+        result = Tblastn(query).search(reference)
+        # Background noise may produce a couple of weak HSPs, not a flood.
+        assert len(result.hsps) <= 4
+
+    def test_hsps_sorted_by_score(self, rng):
+        query = random_protein(40, rng=rng)
+        reference, _ = _plant(query, rng)
+        scores = [h.score for h in Tblastn(query).search(reference).hsps]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_search_database(self, rng):
+        query = random_protein(25, rng=rng)
+        references = [random_rna(1000, rng=rng) for _ in range(3)]
+        results = Tblastn(query).search_database(references)
+        assert len(results) == 3
+
+    def test_convenience_function(self, rng):
+        query = random_protein(25, rng=rng)
+        reference, _ = _plant(query, rng)
+        result = tblastn_search(query, reference, min_score=25)
+        assert result.best is not None
+
+    def test_str_rendering(self, rng):
+        query = random_protein(25, rng=rng)
+        reference, _ = _plant(query, rng)
+        best = Tblastn(query).search(reference).best
+        assert "HSP" in str(best)

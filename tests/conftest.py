@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.seq.generate import random_protein, random_rna
+
+
+@pytest.fixture
+def rng():
+    """A fresh seeded generator per test (determinism without coupling)."""
+    return np.random.default_rng(0xFAB9)
+
+
+@pytest.fixture
+def small_protein(rng):
+    """A 12-residue query with realistic composition."""
+    return random_protein(12, rng=rng)
+
+
+@pytest.fixture
+def small_reference(rng):
+    """A 600-nt RNA reference."""
+    return random_rna(600, rng=rng)

@@ -1,0 +1,146 @@
+"""Tests for back-translation pattern derivation (§III-A/III-B).
+
+The central faithfulness invariant: every derived pattern admits *exactly*
+the paper's codon set for its amino acid — no more, no less.
+"""
+
+import pytest
+
+from repro.core import backtranslate as bt
+from repro.core import codons
+from repro.seq import alphabet
+
+
+class TestDerivedPatternsMatchCodonTable:
+    @pytest.mark.parametrize("amino", alphabet.AMINO_ACIDS_WITH_STOP)
+    def test_pattern_admits_exactly_paper_codons(self, amino):
+        pattern = bt.BACK_TRANSLATION_TABLE[amino]
+        assert pattern.matched_codons() == set(codons.paper_codons_for(amino))
+
+    @pytest.mark.parametrize("amino", alphabet.AMINO_ACIDS_WITH_STOP)
+    def test_extended_patterns_cover_all_codons(self, amino):
+        union = set()
+        for pattern in bt.EXTENDED_TABLE[amino]:
+            union |= pattern.matched_codons()
+        assert union == set(codons.codons_for(amino))
+
+    def test_only_serine_needs_two_patterns(self):
+        multi = [a for a, ps in bt.EXTENDED_TABLE.items() if len(ps) > 1]
+        assert multi == ["S"]
+
+
+class TestPaperExamples:
+    """The worked examples from §III-A."""
+
+    def test_met_is_all_type_i(self):
+        pattern = bt.BACK_TRANSLATION_TABLE["M"]
+        assert all(isinstance(e, bt.ExactElement) for e in pattern.elements)
+        assert str(pattern) == "AUG"
+
+    def test_phe_is_uu_uc(self):
+        pattern = bt.BACK_TRANSLATION_TABLE["F"]
+        first, second, third = pattern.elements
+        assert isinstance(first, bt.ExactElement) and first.nucleotide == "U"
+        assert isinstance(second, bt.ExactElement) and second.nucleotide == "U"
+        assert isinstance(third, bt.ConditionalElement)
+        assert third.letters == {"U", "C"}
+
+    def test_ile_third_is_not_g(self):
+        pattern = bt.BACK_TRANSLATION_TABLE["I"]
+        third = pattern.elements[2]
+        assert isinstance(third, bt.ConditionalElement)
+        assert third.letters == {"A", "C", "U"}
+
+    def test_ser_is_ucd(self):
+        pattern = bt.BACK_TRANSLATION_TABLE["S"]
+        third = pattern.elements[2]
+        assert isinstance(third, bt.DependentElement)
+        assert third.function is bt.FUNCTION_ANY
+
+    def test_leu_uses_function_01(self):
+        pattern = bt.BACK_TRANSLATION_TABLE["L"]
+        first, second, third = pattern.elements
+        assert isinstance(first, bt.ConditionalElement) and first.letters == {"U", "C"}
+        assert isinstance(second, bt.ExactElement) and second.nucleotide == "U"
+        assert isinstance(third, bt.DependentElement)
+        assert third.function is bt.FUNCTION_LEU
+        assert third.function.code == 0b01
+
+    def test_arg_uses_function_10(self):
+        pattern = bt.BACK_TRANSLATION_TABLE["R"]
+        first, second, third = pattern.elements
+        assert isinstance(first, bt.ConditionalElement) and first.letters == {"A", "C"}
+        assert isinstance(second, bt.ExactElement) and second.nucleotide == "G"
+        assert third.function is bt.FUNCTION_ARG
+
+    def test_stop_uses_function_00(self):
+        pattern = bt.BACK_TRANSLATION_TABLE["*"]
+        first, second, third = pattern.elements
+        assert isinstance(first, bt.ExactElement) and first.nucleotide == "U"
+        assert isinstance(second, bt.ConditionalElement) and second.letters == {"A", "G"}
+        assert third.function is bt.FUNCTION_STOP
+
+    def test_exactly_four_functions(self):
+        codes = {f.code for f in bt.FUNCTIONS_BY_CODE}
+        assert codes == {0, 1, 2, 3}
+        names = {f.name for f in bt.FUNCTIONS_BY_CODE}
+        assert names == {"STOP", "LEU", "ARG", "ANY"}
+
+
+class TestDependentFunctions:
+    def test_stop_semantics(self):
+        # UAA/UAG allowed after A; only UGA after G.
+        assert bt.FUNCTION_STOP.admissible(prev1="A", prev2="U") == {"A", "G"}
+        assert bt.FUNCTION_STOP.admissible(prev1="G", prev2="U") == {"A"}
+
+    def test_leu_semantics(self):
+        assert bt.FUNCTION_LEU.admissible(prev1="U", prev2="C") == bt.ALL_NUCLEOTIDES
+        assert bt.FUNCTION_LEU.admissible(prev1="U", prev2="U") == {"A", "G"}
+
+    def test_arg_semantics(self):
+        assert bt.FUNCTION_ARG.admissible(prev1="G", prev2="C") == bt.ALL_NUCLEOTIDES
+        assert bt.FUNCTION_ARG.admissible(prev1="G", prev2="A") == {"A", "G"}
+
+    def test_any_ignores_context(self):
+        for prev1 in "ACGU":
+            for prev2 in "ACGU":
+                assert bt.FUNCTION_ANY.admissible(prev1, prev2) == bt.ALL_NUCLEOTIDES
+
+
+class TestDerivation:
+    def test_derive_rejects_inexpressible_set(self):
+        # A codon set needing a dependency the hardware lacks.
+        with pytest.raises(bt.PatternError):
+            bt.derive_pattern("X", ("AUG", "GAU"))
+
+    def test_derive_rejects_empty(self):
+        with pytest.raises(bt.PatternError):
+            bt.derive_pattern("X", ())
+
+    def test_full_serine_is_inexpressible(self):
+        # The reason the paper drops AGU/AGC: six codons over two boxes.
+        with pytest.raises(bt.PatternError):
+            bt.derive_pattern("S", codons.codons_for("S"))
+
+    def test_conditional_element_validates_letter_set(self):
+        with pytest.raises(bt.PatternError):
+            bt.ConditionalElement(frozenset({"A", "U"}))
+
+
+class TestBackTranslateApi:
+    def test_paper_worked_query(self):
+        # Q = Met-Phe-Ser-Arg-Stop (§III-B).
+        rendered = bt.pattern_string("MFSR*")
+        assert rendered == "AUG-UU(C/U)-UC(D)-(A/C)G(F:10)-U(A/G)(F:00)"
+
+    def test_back_translate_length(self):
+        assert len(bt.back_translate("MFW")) == 3
+
+    def test_unknown_residue_raises(self):
+        with pytest.raises(KeyError):
+            bt.back_translate_extended("M")  # valid
+            bt.BACK_TRANSLATION_TABLE["B"]
+
+    def test_matches_codon_validates_length(self):
+        with pytest.raises(ValueError):
+            bt.BACK_TRANSLATION_TABLE["M"].matches_codon("AU")

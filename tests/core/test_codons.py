@@ -1,0 +1,87 @@
+"""Tests for the codon table (paper Fig. 2)."""
+
+import pytest
+
+from repro.core import codons
+from repro.seq import alphabet
+
+
+class TestTableShape:
+    def test_sixty_four_codons(self):
+        assert len(codons.CODON_TABLE) == 64
+        assert set(codons.CODON_TABLE) == set(codons.all_codons())
+
+    def test_three_stop_codons(self):
+        assert codons.STOP_CODONS == {"UAA", "UAG", "UGA"}
+
+    def test_every_amino_acid_covered(self):
+        encoded = set(codons.CODON_TABLE.values())
+        assert encoded == set(alphabet.AMINO_ACIDS_WITH_STOP)
+
+    def test_degeneracy_totals(self):
+        assert sum(codons.DEGENERACY.values()) == 64
+
+    def test_known_degeneracies(self):
+        assert codons.DEGENERACY["M"] == 1  # Met: AUG only
+        assert codons.DEGENERACY["W"] == 1  # Trp: UGG only
+        assert codons.DEGENERACY["L"] == 6
+        assert codons.DEGENERACY["R"] == 6
+        assert codons.DEGENERACY["S"] == 6
+        assert codons.DEGENERACY["*"] == 3
+
+
+class TestKnownCodons:
+    @pytest.mark.parametrize(
+        "codon,amino",
+        [
+            ("AUG", "M"),
+            ("UGG", "W"),
+            ("UUU", "F"),
+            ("UUC", "F"),
+            ("UUA", "L"),
+            ("CUG", "L"),
+            ("AUA", "I"),
+            ("AGA", "R"),
+            ("CGC", "R"),
+            ("AGC", "S"),
+            ("UCA", "S"),
+            ("UAA", "*"),
+            ("GGG", "G"),
+        ],
+    )
+    def test_codon_assignment(self, codon, amino):
+        assert codons.CODON_TABLE[codon] == amino
+
+    def test_codons_for_sorted_and_consistent(self):
+        for amino, codon_list in codons.CODONS_FOR.items():
+            assert list(codon_list) == sorted(codon_list)
+            for codon in codon_list:
+                assert codons.CODON_TABLE[codon] == amino
+
+    def test_codons_for_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown amino acid"):
+            codons.codons_for("B")
+
+
+class TestPaperCodonSets:
+    def test_serine_reduced_to_ucn_box(self):
+        # The paper's Fig. 2 discussion drops AGU/AGC for Ser.
+        assert codons.paper_codons_for("S") == ("UCA", "UCC", "UCG", "UCU")
+
+    def test_other_amino_acids_unchanged(self):
+        for amino in alphabet.AMINO_ACIDS_WITH_STOP:
+            if amino == "S":
+                continue
+            assert codons.paper_codons_for(amino) == codons.codons_for(amino)
+
+
+class TestPositionLetters:
+    def test_leucine_first_positions(self):
+        assert codons.position_letters(codons.codons_for("L"), 0) == {"U", "C"}
+
+    def test_stop_second_positions(self):
+        assert codons.position_letters(codons.codons_for("*"), 1) == {"A", "G"}
+
+    def test_invalid_position(self):
+        with pytest.raises(ValueError):
+            codons.position_letters(("AUG",), 3)

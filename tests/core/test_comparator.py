@@ -1,0 +1,189 @@
+"""Tests for the comparator semantics and LUT INIT derivation (Fig. 5)."""
+
+import pytest
+
+from repro.core import backtranslate as bt
+from repro.core import comparator as cmp
+from repro.core import encoding as enc
+from repro.core.codons import all_codons, paper_codons_for
+from repro.seq import alphabet
+
+
+def _code(letter: str) -> int:
+    return alphabet.RNA_CODE[letter]
+
+
+class TestInstructionMatches:
+    def test_exact_match(self):
+        instruction = enc.encode_element(bt.ExactElement("G"))
+        for letter in "ACGU":
+            expected = letter == "G"
+            assert cmp.instruction_matches(instruction, _code(letter)) == expected
+
+    def test_conditional_uc(self):
+        element = bt.ConditionalElement(frozenset({"U", "C"}))
+        instruction = enc.encode_element(element)
+        results = {
+            letter: cmp.instruction_matches(instruction, _code(letter))
+            for letter in "ACGU"
+        }
+        assert results == {"A": False, "C": True, "G": False, "U": True}
+
+    def test_conditional_not_g(self):
+        element = bt.ConditionalElement(frozenset({"A", "C", "U"}))
+        instruction = enc.encode_element(element)
+        assert not cmp.instruction_matches(instruction, _code("G"))
+        for letter in "ACU":
+            assert cmp.instruction_matches(instruction, _code(letter))
+
+    def test_dependent_stop(self):
+        instruction = enc.encode_element(bt.DependentElement(bt.FUNCTION_STOP))
+        # prev1 = A -> {A, G}; prev1 = G -> {A} only.
+        assert cmp.instruction_matches(instruction, _code("G"), prev1_code=_code("A"))
+        assert not cmp.instruction_matches(instruction, _code("G"), prev1_code=_code("G"))
+        assert cmp.instruction_matches(instruction, _code("A"), prev1_code=_code("G"))
+
+    def test_dependent_leu(self):
+        instruction = enc.encode_element(bt.DependentElement(bt.FUNCTION_LEU))
+        # prev2 = C -> any; prev2 = U -> {A, G}.
+        assert cmp.instruction_matches(instruction, _code("C"), prev2_code=_code("C"))
+        assert not cmp.instruction_matches(instruction, _code("C"), prev2_code=_code("U"))
+
+    def test_dependent_arg(self):
+        instruction = enc.encode_element(bt.DependentElement(bt.FUNCTION_ARG))
+        # prev2 = C -> any; prev2 = A -> {A, G}.
+        assert cmp.instruction_matches(instruction, _code("U"), prev2_code=_code("C"))
+        assert not cmp.instruction_matches(instruction, _code("U"), prev2_code=_code("A"))
+
+    def test_d_matches_everything(self):
+        instruction = enc.encode_element(bt.DependentElement(bt.FUNCTION_ANY))
+        for ref in range(4):
+            for prev1 in range(4):
+                for prev2 in range(4):
+                    assert cmp.instruction_matches(instruction, ref, prev1, prev2)
+
+    def test_validates_inputs(self):
+        with pytest.raises(enc.EncodingError):
+            cmp.instruction_matches(64, 0)
+        with pytest.raises(ValueError):
+            cmp.instruction_matches(0, 4)
+
+
+class TestAgainstPatternSemantics:
+    """The comparator must agree with the symbolic pattern elements."""
+
+    @pytest.mark.parametrize("amino", alphabet.AMINO_ACIDS_WITH_STOP)
+    def test_full_context_agreement(self, amino):
+        pattern = bt.BACK_TRANSLATION_TABLE[amino]
+        instructions = enc.encode_pattern(pattern)
+        letters = alphabet.RNA_NUCLEOTIDES
+        for ref in letters:
+            for prev1 in letters:
+                for prev2 in letters:
+                    for element, instruction in zip(pattern.elements, instructions):
+                        expected = element.matches(ref, prev1=prev1, prev2=prev2)
+                        got = cmp.instruction_matches(
+                            instruction, _code(ref), _code(prev1), _code(prev2)
+                        )
+                        assert got == expected, (amino, element, ref, prev1, prev2)
+
+    @pytest.mark.parametrize("amino", alphabet.AMINO_ACIDS_WITH_STOP)
+    def test_codon_level_agreement(self, amino):
+        """Sliding a codon through the comparator recovers the codon set."""
+        instructions = enc.encode_pattern(bt.BACK_TRANSLATION_TABLE[amino])
+        admitted = set()
+        for codon in all_codons():
+            codes = [_code(c) for c in codon]
+            ok = (
+                cmp.instruction_matches(instructions[0], codes[0], 0, 0)
+                and cmp.instruction_matches(instructions[1], codes[1], codes[0], 0)
+                and cmp.instruction_matches(instructions[2], codes[2], codes[1], codes[0])
+            )
+            if ok:
+                admitted.add(codon)
+        assert admitted == set(paper_codons_for(amino))
+
+
+class TestLutInits:
+    def test_comparison_init_is_64_bit(self):
+        init = cmp.comparison_lut_init()
+        assert 0 < init < (1 << 64)
+
+    def test_comparison_init_matches_function(self):
+        init = cmp.comparison_lut_init()
+        for address in range(64):
+            b0 = address & 1
+            b1 = (address >> 1) & 1
+            b2 = (address >> 2) & 1
+            x = (address >> 3) & 1
+            hi = (address >> 4) & 1
+            lo = (address >> 5) & 1
+            assert ((init >> address) & 1) == cmp.comparison_lut_output(
+                b0, b1, b2, x, hi, lo
+            )
+
+    def test_mux_init_selects_correctly(self):
+        init = cmp.mux_lut_init()
+        # config 00 -> b3; config 01 -> prev1_hi; 10 -> prev2_lo; 11 -> prev2_hi.
+        for address in range(64):
+            b3 = address & 1
+            prev1_hi = (address >> 1) & 1
+            prev2_lo = (address >> 2) & 1
+            prev2_hi = (address >> 3) & 1
+            config = (address >> 4) & 3
+            expected = [b3, prev1_hi, prev2_lo, prev2_hi][config]
+            assert ((init >> address) & 1) == expected
+
+    def test_paper_figure_5b_type_ii_column(self):
+        """Fig. 5(b): the 01-U/C column matches only C and U."""
+        rows = {
+            (label, ref): out
+            for label, ref, out in cmp.truth_table_rows()
+        }
+        assert rows[("01-C/U", "A")] == 0
+        assert rows[("01-C/U", "C")] == 1
+        assert rows[("01-C/U", "G")] == 0
+        assert rows[("01-C/U", "U")] == 1
+
+    def test_paper_figure_5b_not_g_column(self):
+        rows = {(label, ref): out for label, ref, out in cmp.truth_table_rows()}
+        assert rows[("01-~G", "A")] == 1
+        assert rows[("01-~G", "C")] == 1
+        assert rows[("01-~G", "G")] == 0
+        assert rows[("01-~G", "U")] == 1
+
+    def test_paper_figure_5b_dependent_columns(self):
+        rows = {(label, ref): out for label, ref, out in cmp.truth_table_rows()}
+        # Stop (F:00): S=0 -> {A,G}; S=1 -> {A}.
+        assert rows[("1-00-0", "A")] == 1 and rows[("1-00-0", "G")] == 1
+        assert rows[("1-00-0", "C")] == 0 and rows[("1-00-0", "U")] == 0
+        assert rows[("1-00-1", "A")] == 1 and rows[("1-00-1", "G")] == 0
+        # Leu (F:01): S=0 -> all; S=1 -> {A,G}.
+        assert all(rows[("1-01-0", r)] == 1 for r in "ACGU")
+        assert rows[("1-01-1", "A")] == 1 and rows[("1-01-1", "C")] == 0
+        # Arg (F:10): S=0 -> {A,G}; S=1 -> all.
+        assert rows[("1-10-0", "G")] == 1 and rows[("1-10-0", "U")] == 0
+        assert all(rows[("1-10-1", r)] == 1 for r in "ACGU")
+        # D (F:11): all ones regardless of S.
+        assert all(rows[("1-11-0", r)] == 1 for r in "ACGU")
+        assert all(rows[("1-11-1", r)] == 1 for r in "ACGU")
+
+
+class TestInstructionTables:
+    def test_tables_shape(self, rng):
+        from repro.core.encoding import encode_query
+        from repro.seq.generate import random_protein
+
+        encoded = encode_query(random_protein(10, rng=rng))
+        tables, configs = cmp.instruction_tables(encoded.as_array())
+        assert tables.shape == (30, 2, 4)
+        assert configs.shape == (30,)
+        assert tables.max() <= 1
+
+    def test_tables_agree_with_matches(self):
+        instruction = enc.encode_element(bt.DependentElement(bt.FUNCTION_STOP))
+        tables, configs = cmp.instruction_tables([instruction])
+        assert configs[0] == enc.CONFIG_PREV1_HI
+        # S = hi(prev1): table row 0 is {A, G}, row 1 is {A}.
+        assert list(tables[0, 0]) == [1, 0, 1, 0]
+        assert list(tables[0, 1]) == [1, 0, 0, 0]

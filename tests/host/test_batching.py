@@ -1,0 +1,82 @@
+"""Tests for pipelined batch timing and E-value-ranked TBLASTN results."""
+
+import numpy as np
+import pytest
+
+from repro.host.session import FabPHost, batch_seconds
+from repro.seq.generate import random_protein, random_rna
+
+
+class TestBatchSeconds:
+    @pytest.fixture
+    def results(self, rng):
+        host = FabPHost()
+        host.add_references([random_rna(256 * 20, rng=rng) for _ in range(2)])
+        queries = [random_protein(10, rng=rng) for _ in range(4)]
+        return host.search_many(queries, min_identity=0.9)
+
+    def test_pipelined_not_slower(self, results):
+        assert batch_seconds(results, pipelined=True) <= batch_seconds(
+            results, pipelined=False
+        )
+
+    def test_serial_is_sum(self, results):
+        expected = sum(r.total_seconds for r in results)
+        assert batch_seconds(results, pipelined=False) == pytest.approx(expected)
+
+    def test_pipelined_bounded_below_by_compute(self, results):
+        kernel_total = sum(r.kernel_seconds for r in results)
+        assert batch_seconds(results, pipelined=True) >= kernel_total
+
+    def test_empty_batch(self):
+        assert batch_seconds([]) == 0.0
+
+
+class TestTblastnEvalueRanking:
+    def test_planted_hit_most_significant(self, rng):
+        from repro.baselines.tblastn import Tblastn
+        from repro.workloads.builder import encode_protein_as_rna
+
+        query = random_protein(40, rng=rng)
+        region = encode_protein_as_rna(query, rng=rng).letters
+        background = random_rna(5000, rng=rng).letters
+        reference = background[:2500] + region + background[2500:]
+        result = Tblastn(query).search(reference)
+        ranked = result.ranked_by_evalue(len(query), len(reference))
+        assert ranked
+        top_hsp, top_evalue = ranked[0]
+        assert abs(top_hsp.nucleotide_start - 2500) <= 3
+        assert top_evalue < 1e-10
+        evalues = [e for _, e in ranked]
+        assert evalues == sorted(evalues)
+
+    def test_empty_result_ranks_empty(self, rng):
+        from repro.baselines.tblastn import Tblastn
+
+        query = random_protein(30, rng=rng)
+        result = Tblastn(query).search(random_rna(1500, rng=rng))
+        ranked = result.ranked_by_evalue(len(query), 1500)
+        assert len(ranked) == len(result.hsps)
+
+
+class TestGzipFasta:
+    def test_roundtrip(self, tmp_path, rng):
+        from repro.seq import fasta
+
+        path = tmp_path / "db.fasta.gz"
+        records = [("r1", random_rna(500, rng=rng).letters), ("r2", "ACGU")]
+        fasta.write_fasta(path, records)
+        assert fasta.read_fasta(path) == records
+        # It really is gzip on disk.
+        import gzip
+
+        with gzip.open(path, "rt") as handle:
+            assert handle.read(3) == ">r1"
+
+    def test_host_loads_gzip(self, tmp_path, rng):
+        from repro.seq import fasta
+
+        path = tmp_path / "db.fasta.gz"
+        fasta.write_fasta(path, [("r", random_rna(400, rng=rng).letters)])
+        host = FabPHost()
+        assert host.load_fasta(path) == 1

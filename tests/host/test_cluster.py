@@ -1,0 +1,89 @@
+"""Tests for the multi-FPGA cluster model."""
+
+import numpy as np
+import pytest
+
+from repro.host.cluster import FabPCluster
+from repro.host.session import FabPHost
+from repro.seq.generate import random_protein, random_rna
+from repro.workloads.builder import build_database, sample_queries
+
+
+class TestSharding:
+    def test_round_robin_by_load(self, rng):
+        cluster = FabPCluster(3)
+        for _ in range(6):
+            cluster.add_reference(random_rna(1000, rng=rng))
+        assert cluster.load_imbalance() == pytest.approx(1.0)
+
+    def test_unequal_references_balanced(self, rng):
+        cluster = FabPCluster(2)
+        cluster.add_reference(random_rna(4000, rng=rng))
+        cluster.add_reference(random_rna(1000, rng=rng))
+        cluster.add_reference(random_rna(1000, rng=rng))
+        cluster.add_reference(random_rna(1000, rng=rng))
+        # The three small ones should pile onto the second board.
+        assert cluster.load_imbalance() < 1.4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FabPCluster(0)
+        with pytest.raises(ValueError, match="empty"):
+            FabPCluster(2).search("MFW")
+
+
+class TestClusterSearch:
+    def test_merged_hits_match_single_board(self, rng):
+        references = [random_rna(1500, rng=rng, name=f"r{i}") for i in range(4)]
+        query = random_protein(6, rng=rng)
+
+        cluster = FabPCluster(2)
+        cluster.add_references(references)
+        single = FabPHost()
+        single.add_references(references)
+
+        merged = cluster.search(query, threshold=12)
+        expected = single.search(query, threshold=12)
+        assert {(h.reference, h.position, h.score) for h in merged.hits} == {
+            (h.reference, h.position, h.score) for h in expected.hits
+        }
+
+    def test_planted_found_across_shards(self, rng):
+        queries = sample_queries(3, length=20, rng=rng)
+        database = build_database(
+            queries, num_references=3, reference_length=3000,
+            codon_usage="paper", rng=rng,
+        )
+        cluster = FabPCluster(3)
+        cluster.add_references(list(database.references))
+        for query, planting in zip(queries, database.planted):
+            result = cluster.search(query, min_identity=0.95)
+            expected = database.references[planting.reference_index].name
+            assert any(
+                h.reference == expected and h.position == planting.position
+                for h in result.hits
+            )
+
+    def test_speedup_near_board_count(self, rng):
+        references = [random_rna(256 * 40, rng=rng, name=f"r{i}") for i in range(4)]
+        query = random_protein(10, rng=rng)
+        cluster = FabPCluster(4)
+        cluster.add_references(references)
+        speedup = cluster.speedup_vs_single_board(query, min_identity=0.9)
+        assert 3.0 < speedup <= 4.2
+
+    def test_straggler_bounds_elapsed(self, rng):
+        cluster = FabPCluster(2)
+        cluster.add_reference(random_rna(256 * 60, rng=rng))  # big shard
+        cluster.add_reference(random_rna(256 * 10, rng=rng))  # small shard
+        result = cluster.search(random_protein(8, rng=rng), min_identity=0.9)
+        times = [r.total_seconds for r in result.per_board]
+        assert result.elapsed_seconds == max(times)
+        assert result.scaling_efficiency < 0.8  # visibly imbalanced
+
+    def test_hits_ranked_by_score(self, rng):
+        cluster = FabPCluster(2)
+        cluster.add_references([random_rna(2000, rng=rng) for _ in range(2)])
+        result = cluster.search(random_protein(4, rng=rng), threshold=6)
+        scores = [h.score for h in result.hits]
+        assert scores == sorted(scores, reverse=True)

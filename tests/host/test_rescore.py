@@ -1,0 +1,115 @@
+"""Tests for both-strand search and host-side rescoring."""
+
+import numpy as np
+import pytest
+
+from repro.host import FabPHost, rescore_hits, rescore_search_result
+from repro.host.session import NamedHit
+from repro.seq.generate import random_protein, random_rna
+from repro.seq.mutate import mutate_protein
+from repro.seq.sequence import ProteinSequence, RnaSequence
+from repro.workloads.builder import encode_protein_as_rna
+
+
+@pytest.fixture
+def planted(rng):
+    """A forward and a reverse-strand planting of the same query."""
+    query = random_protein(25, rng=rng)
+    region = encode_protein_as_rna(query, rng=rng, codon_usage="paper").letters
+    background = random_rna(3000, rng=rng).letters
+    fwd = background[:1000] + region + background[1000 + len(region) :]
+    rc = RnaSequence(region).reverse_complement().letters
+    rev = background[:500] + rc + background[500 + len(rc) :]
+    return query, fwd, rev, len(region)
+
+
+class TestBothStrands:
+    def test_forward_and_reverse_found(self, planted):
+        query, fwd, rev, span = planted
+        host = FabPHost()
+        host.add_reference(fwd, "fwd")
+        host.add_reference(rev, "rev")
+        result = host.search(query, min_identity=0.95, both_strands=True)
+        strands = {(h.reference, h.position, h.strand) for h in result.hits}
+        assert ("fwd", 1000, "+") in strands
+        assert ("rev", 500, "-") in strands
+
+    def test_forward_only_misses_reverse(self, planted):
+        query, fwd, rev, span = planted
+        host = FabPHost()
+        host.add_reference(rev, "rev")
+        result = host.search(query, min_identity=0.95, both_strands=False)
+        assert not result.hits
+
+    def test_both_strands_doubles_work(self, planted):
+        query, fwd, _, _ = planted
+        host = FabPHost()
+        host.add_reference(fwd, "fwd")
+        single = host.search(query, min_identity=0.95)
+        double = host.search(query, min_identity=0.95, both_strands=True)
+        single_compute = sum(r.compute_cycles for r in single.runs)
+        double_compute = sum(r.compute_cycles for r in double.runs)
+        assert double_compute == 2 * single_compute
+
+    def test_max_residues_passthrough(self, planted):
+        query, fwd, _, _ = planted
+        host = FabPHost()
+        host.add_reference(fwd, "fwd")
+        result = host.search(query, min_identity=0.95, max_residues=100)
+        assert any(h.position == 1000 for h in result.hits)
+
+
+class TestRescore:
+    def test_perfect_hit_confirmed(self, planted):
+        query, fwd, rev, span = planted
+        host = FabPHost()
+        host.add_reference(fwd, "fwd")
+        host.add_reference(rev, "rev")
+        result = host.search(query, min_identity=0.95, both_strands=True)
+        report = rescore_search_result(result, {"fwd": fwd, "rev": rev})
+        assert len(report.hits) == 2
+        for rescored in report.hits:
+            assert rescored.alignment.identity == 1.0
+            assert rescored.evalue < 1e-8
+            assert rescored.bit_score > 30
+
+    def test_evalue_filter_drops_noise(self, planted, rng):
+        query, fwd, _, _ = planted
+        noise = NamedHit("fwd", int(rng.integers(0, 2000)), 40)
+        report = rescore_hits(query, [noise], {"fwd": fwd}, max_evalue=1e-6)
+        assert all(r.hit is not noise or r.evalue <= 1e-6 for r in report.hits)
+
+    def test_indel_homolog_recovered_by_rescoring(self, rng):
+        """The hybrid pipeline restores indel tolerance (a loose FabP
+        threshold finds the fragment; gapped SW confirms it)."""
+        query = random_protein(40, rng=rng)
+        mutated = mutate_protein(query, indel_events=1, rng=rng)
+        region = encode_protein_as_rna(
+            ProteinSequence(mutated.letters), rng=rng, codon_usage="paper"
+        ).letters
+        background = random_rna(4000, rng=rng).letters
+        reference = background[:1500] + region + background[1500 + len(region) :]
+        host = FabPHost()
+        host.add_reference(reference, "r")
+        result = host.search(query, min_identity=0.45)  # loose filter
+        assert result.hits, "loose threshold should catch the fragment"
+        report = rescore_search_result(
+            result, {"r": reference}, max_evalue=1e-4, window_margin_codons=20
+        )
+        assert report.best is not None
+        assert report.best.alignment.score > 60
+
+    def test_unknown_reference_rejected(self, planted):
+        query, fwd, _, _ = planted
+        hit = NamedHit("ghost", 10, 50)
+        with pytest.raises(KeyError, match="ghost"):
+            rescore_hits(query, [hit], {"fwd": fwd})
+
+    def test_ranking_by_evalue(self, planted, rng):
+        query, fwd, _, span = planted
+        strong = NamedHit("fwd", 1000, 75)
+        weak = NamedHit("fwd", 200, 40)
+        report = rescore_hits(query, [weak, strong], {"fwd": fwd}, max_evalue=10.0)
+        if len(report.hits) == 2:
+            assert report.hits[0].evalue <= report.hits[1].evalue
+        assert report.best.hit.position == 1000

@@ -1,0 +1,97 @@
+"""Unit tests for rescore window extraction (frame/strand arithmetic)."""
+
+import numpy as np
+import pytest
+
+from repro.host.rescore import _extract_window
+from repro.host.session import NamedHit
+from repro.seq.generate import random_rna
+from repro.seq.sequence import RnaSequence
+from repro.seq.translate import translate
+from repro.workloads.builder import encode_protein_as_rna
+
+
+class TestWindowExtraction:
+    def test_forward_window_contains_region_in_frame(self, rng):
+        from repro.seq.generate import random_protein
+
+        query = random_protein(10, rng=rng)
+        region = encode_protein_as_rna(query, rng=rng, codon_usage="first").letters
+        background = random_rna(600, rng=rng).letters
+        position = 123  # deliberately not a multiple of 3
+        text = background[:position] + region + background[position + len(region) :]
+        hit = NamedHit("r", position, 30, "+")
+        window = _extract_window(text, hit, len(region), margin=30)
+        # Frame-0 translation of the window must contain the query.
+        assert query.letters in translate(window).letters
+
+    def test_reverse_window_contains_region_in_frame(self, rng):
+        from repro.seq.generate import random_protein
+
+        query = random_protein(10, rng=rng)
+        region = encode_protein_as_rna(query, rng=rng, codon_usage="first").letters
+        rc = RnaSequence(region).reverse_complement().letters
+        background = random_rna(600, rng=rng).letters
+        position = 217
+        text = background[:position] + rc + background[position + len(rc) :]
+        # The host reports reverse hits at the forward-strand start.
+        hit = NamedHit("r", position, 30, "-")
+        window = _extract_window(text, hit, len(region), margin=30)
+        assert query.letters in translate(window).letters
+
+    def test_window_at_reference_head(self, rng):
+        text = random_rna(100, rng=rng).letters
+        hit = NamedHit("r", 0, 10, "+")
+        window = _extract_window(text, hit, 30, margin=60)
+        assert window.letters == text[: 30 + 60]
+
+    def test_window_clipped_at_tail(self, rng):
+        text = random_rna(100, rng=rng).letters
+        hit = NamedHit("r", 90, 10, "+")
+        window = _extract_window(text, hit, 9, margin=30)
+        assert window.letters.endswith(text[-1])
+        assert len(window) <= 9 + 60
+
+
+class TestCliGenerateOptions:
+    def test_generate_with_mutations(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "generate",
+                "--queries", "1",
+                "--length", "25",
+                "--references", "1",
+                "--reference-length", "3000",
+                "--substitution-rate", "0.1",
+                "--indels", "1",
+                "--codon-usage", "uniform",
+                "--seed", "3",
+                "--out-db", str(tmp_path / "db.fasta"),
+                "--out-queries", str(tmp_path / "q.fasta"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "indels=1" in out
+        assert "subs=" in out
+
+    def test_generate_organism_usage(self, tmp_path):
+        from repro.cli import main
+        from repro.seq import fasta
+
+        code = main(
+            [
+                "generate",
+                "--queries", "1",
+                "--length", "20",
+                "--references", "1",
+                "--reference-length", "2000",
+                "--codon-usage", "paper",
+                "--out-db", str(tmp_path / "db.fasta"),
+                "--out-queries", str(tmp_path / "q.fasta"),
+            ]
+        )
+        assert code == 0
+        assert len(fasta.read_fasta(tmp_path / "db.fasta")) == 1

@@ -1,0 +1,138 @@
+"""Tests for the host runtime (database management, multi-channel search)."""
+
+import numpy as np
+import pytest
+
+from repro.accel.device import KINTEX7, LARGE_FPGA
+from repro.core.aligner import align
+from repro.host.session import FabPHost
+from repro.seq import fasta
+from repro.seq.generate import random_protein, random_rna
+from repro.workloads.builder import build_database, sample_queries
+
+
+class TestDatabaseManagement:
+    def test_add_reference_from_types(self, rng):
+        host = FabPHost()
+        host.add_reference(random_rna(500, rng=rng, name="r0"))
+        host.add_reference("ACGU" * 100)
+        host.add_reference(np.zeros(256, dtype=np.uint8), name="zeros")
+        assert host.num_references == 3
+        assert host.database_nucleotides == 500 + 400 + 256
+
+    def test_names_default_and_explicit(self, rng):
+        host = FabPHost()
+        entry1 = host.add_reference(random_rna(100, rng=rng))
+        entry2 = host.add_reference(random_rna(100, rng=rng, name="named"))
+        assert entry1.name == "ref_0"
+        assert entry2.name == "named"
+
+    def test_load_fasta(self, tmp_path, rng):
+        path = tmp_path / "db.fasta"
+        fasta.write_fasta(
+            path,
+            [("a", random_rna(300, rng=rng).letters), ("b", "ACGT" * 50)],
+        )
+        host = FabPHost()
+        assert host.load_fasta(path) == 2
+        assert host.num_references == 2
+
+    def test_channel_striping_balances_bytes(self, rng):
+        host = FabPHost(LARGE_FPGA)  # 4 channels
+        for _ in range(8):
+            host.add_reference(random_rna(1000, rng=rng))
+        channels = [e.channel for e in host._entries]
+        assert set(channels) == {0, 1, 2, 3}
+
+    def test_upload_time_positive(self, rng):
+        host = FabPHost()
+        host.add_reference(random_rna(4000, rng=rng))
+        assert host.database_upload_seconds() > 0
+
+    def test_empty_database_rejected(self, rng):
+        host = FabPHost()
+        with pytest.raises(ValueError, match="empty"):
+            host.search(random_protein(5, rng=rng))
+
+
+class TestSearch:
+    def test_hits_match_golden_aligner(self, rng):
+        host = FabPHost()
+        references = [random_rna(800, rng=rng, name=f"r{i}") for i in range(3)]
+        host.add_references(references)
+        query = random_protein(6, rng=rng)
+        result = host.search(query, threshold=12)
+        expected = set()
+        for reference in references:
+            for hit in align(query, reference, threshold=12).hits:
+                expected.add((reference.name, hit.position, hit.score))
+        got = {(h.reference, h.position, h.score) for h in result.hits}
+        assert got == expected
+
+    def test_hits_sorted_by_score(self, rng):
+        host = FabPHost()
+        host.add_references([random_rna(2000, rng=rng, name="r")])
+        result = host.search(random_protein(4, rng=rng), threshold=6)
+        scores = [h.score for h in result.hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_planted_workload_end_to_end(self, rng):
+        queries = sample_queries(2, length=25, rng=rng)
+        database = build_database(
+            queries,
+            num_references=2,
+            reference_length=4000,
+            codon_usage="paper",
+            rng=rng,
+        )
+        host = FabPHost()
+        host.add_references(list(database.references))
+        for query, planting in zip(queries, database.planted):
+            result = host.search(query, min_identity=0.95)
+            names = {
+                (h.reference, h.position)
+                for h in result.hits
+            }
+            expected_name = database.references[planting.reference_index].name
+            assert (expected_name, planting.position) in names
+
+    def test_multichannel_faster_than_single(self, rng):
+        references = [random_rna(256 * 30, rng=rng, name=f"r{i}") for i in range(4)]
+        query = random_protein(10, rng=rng)
+        single = FabPHost(KINTEX7)
+        single.add_references(references)
+        multi = FabPHost(LARGE_FPGA)
+        multi.add_references(references)
+        t_single = single.search(query, min_identity=0.9).kernel_seconds
+        t_multi = multi.search(query, min_identity=0.9).kernel_seconds
+        assert t_multi < t_single
+
+    def test_channel_cycles_accounting(self, rng):
+        host = FabPHost(LARGE_FPGA)
+        host.add_references([random_rna(2000, rng=rng) for _ in range(4)])
+        result = host.search(random_protein(8, rng=rng), min_identity=0.9)
+        assert len(result.channel_cycles) == 4
+        assert sum(result.channel_cycles) == result.total_cycles
+
+    def test_search_many(self, rng):
+        host = FabPHost()
+        host.add_references([random_rna(600, rng=rng)])
+        queries = [random_protein(5, rng=rng) for _ in range(3)]
+        results = host.search_many(queries, threshold=10)
+        assert len(results) == 3
+
+    def test_transfer_time_in_total(self, rng):
+        host = FabPHost()
+        host.add_references([random_rna(600, rng=rng)])
+        result = host.search(random_protein(5, rng=rng), threshold=10)
+        assert result.total_seconds >= result.kernel_seconds
+        assert result.transfer_seconds > 0
+
+    def test_best_hit_and_str(self, rng):
+        host = FabPHost()
+        host.add_references([random_rna(600, rng=rng, name="r")])
+        result = host.search(random_protein(4, rng=rng), threshold=4)
+        assert result.best_hit is not None
+        assert result.best_hit.score == max(h.score for h in result.hits)
+        assert "HostSearchResult" in str(result)
+        assert "r:" in str(result.best_hit)

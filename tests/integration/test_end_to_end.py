@@ -1,0 +1,111 @@
+"""Integration tests: the full pipeline across module boundaries."""
+
+import numpy as np
+import pytest
+
+from repro import align, encode_query, search_database
+from repro.accel.kernel import FabPKernel
+from repro.accel.rtl_kernel import RtlKernel
+from repro.baselines.tblastn import Tblastn
+from repro.core.aligner import alignment_scores
+from repro.seq import fasta
+from repro.seq.generate import random_protein, random_rna
+from repro.workloads.builder import build_database, sample_queries
+
+
+class TestDatabaseSearchFlow:
+    """FASTA -> queries/references -> FabP search -> hits, like a real user."""
+
+    def test_fasta_roundtrip_search(self, tmp_path, rng):
+        queries = sample_queries(2, length=25, rng=rng)
+        database = build_database(
+            queries,
+            num_references=3,
+            reference_length=4000,
+            codon_usage="paper",
+            rng=rng,
+        )
+        db_path = tmp_path / "refs.fasta"
+        fasta.write_fasta(
+            db_path, [(r.name, r.letters) for r in database.references]
+        )
+        references = fasta.read_rna(db_path)
+        for query, planting in zip(queries, database.planted):
+            results = search_database(query, references, min_identity=0.95)
+            hits = [
+                (i, h.position)
+                for i, result in enumerate(results)
+                for h in result.hits
+            ]
+            assert (planting.reference_index, planting.position) in hits
+
+    def test_three_implementations_agree(self, rng):
+        """Golden aligner, streaming kernel, and LUT-level RTL all agree."""
+        query = random_protein(5, rng=rng)
+        reference = random_rna(400, rng=rng)
+        threshold = 9
+        golden = align(query, reference, threshold=threshold)
+        kernel = FabPKernel(query, threshold=threshold)
+        streamed = kernel.run(reference)
+        rtl = RtlKernel(query, instances=2, threshold=threshold)
+        rtl_scores, rtl_hits = rtl.run(reference)
+        assert streamed.hits == golden.hits
+        assert tuple(rtl_hits) == golden.hits
+        assert np.array_equal(rtl_scores, alignment_scores(query, reference))
+
+
+class TestFabPVsTblastn:
+    """Cross-tool agreement on planted homologs (the paper's accuracy story)."""
+
+    def test_both_find_clean_homolog(self, rng):
+        queries = sample_queries(3, length=35, rng=rng)
+        database = build_database(
+            queries,
+            num_references=3,
+            reference_length=5000,
+            codon_usage="paper",
+            rng=rng,
+        )
+        for query, planting in zip(queries, database.planted):
+            reference = database.references[planting.reference_index]
+            fabp = align(query, reference, min_identity=0.9)
+            assert any(h.position == planting.position for h in fabp.hits)
+            tbl = Tblastn(query).search(reference)
+            assert any(
+                abs(h.nucleotide_start - planting.position) <= 3 for h in tbl.hsps
+            )
+
+    def test_fabp_finds_what_substitutions_leave(self, rng):
+        queries = sample_queries(3, length=40, rng=rng)
+        database = build_database(
+            queries,
+            num_references=3,
+            reference_length=5000,
+            substitution_rate=0.03,
+            codon_usage="paper",
+            rng=rng,
+        )
+        found = 0
+        for query, planting in zip(queries, database.planted):
+            reference = database.references[planting.reference_index]
+            result = align(query, reference, min_identity=0.8)
+            if any(abs(h.position - planting.position) <= 2 for h in result.hits):
+                found += 1
+        assert found == len(queries)
+
+
+class TestThresholdSemantics:
+    def test_kernel_threshold_equals_golden_threshold(self, rng):
+        query = random_protein(10, rng=rng)
+        kernel = FabPKernel(query, min_identity=0.7)
+        from repro.core.aligner import resolve_threshold
+
+        assert kernel.threshold == resolve_threshold(encode_query(query), None, 0.7)
+
+    def test_stricter_threshold_subset(self, rng):
+        query = random_protein(6, rng=rng)
+        reference = random_rna(2000, rng=rng)
+        loose = align(query, reference, threshold=10)
+        strict = align(query, reference, threshold=14)
+        loose_set = {(h.position, h.score) for h in loose.hits}
+        assert {(h.position, h.score) for h in strict.hits} <= loose_set

@@ -1,0 +1,88 @@
+"""Integration: the full deployment stack in one scenario.
+
+A multi-board cluster holds a sharded synthetic database with homologs
+planted on both strands at realistic (human) codon usage and mild
+divergence; short queries share fabric passes; raw FabP hits are verified
+and E-value-ranked by the host rescoring pipeline.  Everything a
+production user would chain together, in one test.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel.multi_query import MultiQueryScheduler
+from repro.host import FabPCluster, FabPHost
+from repro.seq.generate import random_protein, random_rna
+from repro.seq.sequence import RnaSequence
+from repro.workloads.builder import encode_protein_as_rna, sample_queries
+
+
+@pytest.fixture
+def deployment(rng):
+    """3 references, 3 queries; one planting per query (one on - strand)."""
+    queries = sample_queries(3, length=30, rng=rng)
+    references = {}
+    plantings = {}
+    for index, query in enumerate(queries):
+        region = encode_protein_as_rna(query, rng=rng, codon_usage="human").letters
+        background = random_rna(6000, rng=rng).letters
+        position = int(rng.integers(500, 5000))
+        if index == 2:  # plant the third on the reverse strand
+            region = RnaSequence(region).reverse_complement().letters
+        text = background[:position] + region + background[position + len(region) :]
+        name = f"chr{index}"
+        references[name] = text
+        plantings[query.name] = (name, position, "-" if index == 2 else "+")
+    return queries, references, plantings
+
+
+class TestFullDeployment:
+    def test_cluster_search_with_rescoring(self, deployment):
+        queries, references, plantings = deployment
+        cluster = FabPCluster(2)
+        for name, text in references.items():
+            cluster.add_reference(text, name)
+
+        for query in queries:
+            name, position, strand = plantings[query.name]
+            # Human codon usage can put Ser in the AGY box -> allow slack.
+            merged = cluster.search(query, min_identity=0.85, both_strands=True)
+            assert merged.hits, f"no hits for {query.name}"
+            raw = [
+                h
+                for h in merged.hits
+                if h.reference == name
+                and abs(h.position - position) <= 2
+                and h.strand == strand
+            ]
+            assert raw, f"planting missed for {query.name}"
+
+            from repro.host.rescore import rescore_hits
+
+            verified = rescore_hits(query, merged.hits, references, max_evalue=1e-4)
+            assert verified.best is not None
+            assert verified.best.hit.reference == name
+            assert verified.best.alignment.identity > 0.9
+
+    def test_multiquery_passes_cover_batch(self, deployment):
+        queries, references, plantings = deployment
+        scheduler = MultiQueryScheduler()
+        reference = RnaSequence("".join(references.values()))
+        passes, summary = scheduler.search_all(
+            queries, reference, min_identity=0.85
+        )
+        assert summary["queries"] == 3.0
+        assert summary["passes"] <= 2  # 30-aa queries co-reside
+        assert summary["speedup"] > 1.4
+
+    def test_host_pipeline_timing_composition(self, deployment, rng):
+        from repro.host.session import batch_seconds
+
+        queries, references, _ = deployment
+        host = FabPHost()
+        for name, text in references.items():
+            host.add_reference(text, name)
+        results = host.search_many(queries, min_identity=0.85)
+        pipelined = batch_seconds(results, pipelined=True)
+        serial = batch_seconds(results, pipelined=False)
+        assert 0 < pipelined <= serial

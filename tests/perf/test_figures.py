@@ -1,0 +1,78 @@
+"""Tests for the Fig. 6 generator and its headline numbers."""
+
+import pytest
+
+from repro.perf.figures import PLATFORM_ORDER, figure6
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return figure6()
+
+
+class TestStructure:
+    def test_all_cells_present(self, fig6):
+        assert len(fig6.points) == 5 * 4
+        for platform in PLATFORM_ORDER:
+            assert len(fig6.series(platform)) == 5
+
+    def test_baseline_normalized_to_one(self, fig6):
+        assert fig6.series("TBLASTN-1") == pytest.approx([1.0] * 5)
+        assert fig6.series("TBLASTN-1", "energy") == pytest.approx([1.0] * 5)
+
+    def test_table_rendering(self, fig6):
+        text = fig6.table("speedup")
+        assert "FabP" in text
+        assert len(text.splitlines()) == 6
+
+
+class TestShapes:
+    """Fig. 6's qualitative claims."""
+
+    def test_multithread_speedup_constant(self, fig6):
+        series = fig6.series("TBLASTN-12")
+        assert all(abs(v - series[0]) < 1e-9 for v in series)
+
+    def test_fabp_and_gpu_dominate_cpu(self, fig6):
+        for platform in ("GPU", "FabP"):
+            for value in fig6.series(platform):
+                assert value > fig6.series("TBLASTN-12")[0]
+
+    def test_execution_time_rises_with_length(self, fig6):
+        """§IV-A: 'increasing the number of query elements increases the
+        execution time' — for every platform."""
+        for platform in PLATFORM_ORDER:
+            seconds = fig6.series(platform, "seconds")
+            assert seconds[-1] > seconds[0]
+
+    def test_fabp_energy_efficiency_dominates(self, fig6):
+        fabp = fig6.series("FabP", "energy")
+        gpu = fig6.series("GPU", "energy")
+        assert all(f > g for f, g in zip(fabp, gpu))
+
+
+class TestHeadlines:
+    """The abstract's four numbers, paper vs model (see EXPERIMENTS.md)."""
+
+    def test_speedup_vs_gpu(self, fig6):
+        # Paper: 8.1 % (1.081x) average speedup over the GTX 1080 Ti.
+        value = fig6.headline()["speedup_vs_gpu"]
+        assert 1.0 <= value <= 1.25
+
+    def test_speedup_vs_cpu12(self, fig6):
+        # Paper: 24.8x over 12-thread TBLASTN.
+        value = fig6.headline()["speedup_vs_cpu12"]
+        assert 18 <= value <= 32
+
+    def test_energy_vs_gpu(self, fig6):
+        # Paper: 23.2x more energy-efficient than the GPU.
+        value = fig6.headline()["energy_vs_gpu"]
+        assert 18 <= value <= 30
+
+    def test_energy_vs_cpu12(self, fig6):
+        # Paper: 266.8x more energy-efficient than 12-thread TBLASTN.
+        value = fig6.headline()["energy_vs_cpu12"]
+        assert 200 <= value <= 330
+
+    def test_mean_ratio_identity(self, fig6):
+        assert fig6.mean_ratio("FabP", "FabP") == pytest.approx(1.0)

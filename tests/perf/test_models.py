@@ -1,0 +1,127 @@
+"""Tests for the FPGA/CPU/GPU performance and energy models."""
+
+import numpy as np
+import pytest
+
+from repro.accel.device import KINTEX7, LARGE_FPGA
+from repro.accel.kernel import FabPKernel
+from repro.perf import cpu as cpu_model
+from repro.perf import fpga as fpga_model
+from repro.perf import gpu as gpu_model
+from repro.perf.energy import cpu_run, energy_efficiency_ratio, fabp_run, gpu_run
+from repro.perf.platforms import GTX_1080TI, I7_8700K
+from repro.perf.workload import Workload, fig6_workloads
+from repro.seq.generate import random_protein, random_rna
+
+
+class TestWorkload:
+    def test_elements(self):
+        assert Workload(50).query_elements == 150
+
+    def test_reference_bytes(self):
+        assert Workload(50, 4_000_000_000).reference_bytes == 1_000_000_000
+
+    def test_comparisons(self):
+        w = Workload(50, 10_000)
+        assert w.comparisons == (10_000 - 150 + 1) * 150
+
+    def test_fig6_sweep(self):
+        lengths = [w.query_residues for w in fig6_workloads()]
+        assert lengths == [50, 100, 150, 200, 250]
+
+
+class TestFpgaModel:
+    def test_closed_form_matches_streaming_kernel(self, rng):
+        """The Fig. 6 arithmetic and the cycle-level kernel must agree."""
+        query = random_protein(20, rng=rng)
+        reference = random_rna(256 * 40, rng=rng)
+        kernel = FabPKernel(query, min_identity=0.95)
+        run = kernel.run(reference)
+        workload = Workload(20, 256 * 40)
+        estimate = fpga_model.estimate(workload, expected_hits=len(run.hits))
+        assert estimate.beats == run.beats
+        assert estimate.compute_cycles == run.compute_cycles
+        assert estimate.stall_cycles == run.stall_cycles
+        assert estimate.load_cycles == run.load_cycles
+        assert estimate.total_cycles == pytest.approx(run.total_cycles, abs=2)
+
+    def test_bandwidth_bound_time(self):
+        # FabP-50 on 1 GB: limited by 12.2 GB/s -> ~82 ms.
+        estimate = fpga_model.estimate(Workload(50))
+        assert estimate.seconds == pytest.approx(1e9 / 12.2e9, rel=0.01)
+        assert estimate.effective_bandwidth == pytest.approx(12.2e9, rel=0.01)
+
+    def test_resource_bound_time_scales_with_segments(self):
+        short = fpga_model.estimate(Workload(50))
+        long_ = fpga_model.estimate(Workload(250))
+        assert long_.seconds / short.seconds == pytest.approx(
+            long_.plan.segments, rel=0.05
+        )
+
+    def test_multi_channel_device_faster(self):
+        small = fpga_model.estimate(Workload(250), KINTEX7)
+        large = fpga_model.estimate(Workload(250), LARGE_FPGA)
+        assert large.seconds < small.seconds
+
+
+class TestGpuModel:
+    def test_compute_bound_everywhere(self):
+        for workload in fig6_workloads():
+            estimate = gpu_model.estimate(workload)
+            assert estimate.bound == "compute"
+
+    def test_time_scales_linearly_with_query(self):
+        t50 = gpu_model.gpu_seconds(Workload(50))
+        t250 = gpu_model.gpu_seconds(Workload(250))
+        assert t250 / t50 == pytest.approx(5.0, rel=0.05)
+
+    def test_memory_floor(self):
+        # A trivial query makes the scan memory-bound.
+        estimate = gpu_model.estimate(Workload(1))
+        assert estimate.memory_seconds == pytest.approx(
+            Workload(1).reference_bytes / GTX_1080TI.memory_bandwidth
+        )
+
+
+class TestCpuModel:
+    def test_thread_scaling(self):
+        w = Workload(100)
+        t1 = cpu_model.cpu_seconds(w, threads=1)
+        t12 = cpu_model.cpu_seconds(w, threads=12)
+        assert t1 / t12 == pytest.approx(I7_8700K.thread_scaling)
+
+    def test_time_grows_with_query_length(self):
+        times = [cpu_model.cpu_seconds(w) for w in fig6_workloads()]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_unsupported_thread_count(self):
+        with pytest.raises(ValueError):
+            cpu_model.cpu_seconds(Workload(100), threads=4)
+
+    def test_estimate_decomposition(self):
+        estimate = cpu_model.estimate(Workload(100))
+        assert estimate.scan_seconds > 0
+        assert estimate.seed_seconds > 0
+        assert estimate.seconds == pytest.approx(
+            estimate.scan_seconds + estimate.seed_seconds
+        )
+
+
+class TestEnergy:
+    def test_joules_composition(self):
+        run = fabp_run(Workload(50))
+        assert run.joules == pytest.approx(run.seconds * KINTEX7.power_watts)
+
+    def test_platform_labels(self):
+        assert cpu_run(Workload(50), threads=1).platform == "TBLASTN-1"
+        assert cpu_run(Workload(50), threads=12).platform == "TBLASTN-12"
+        assert gpu_run(Workload(50)).platform == "GPU"
+
+    def test_fabp_most_efficient(self):
+        w = Workload(150)
+        fabp = fabp_run(w)
+        for other in (gpu_run(w), cpu_run(w, threads=12), cpu_run(w, threads=1)):
+            assert energy_efficiency_ratio(fabp, other) > 1
+
+    def test_throughput_positive(self):
+        assert fabp_run(Workload(50)).throughput > 0

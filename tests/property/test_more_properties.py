@@ -1,0 +1,136 @@
+"""Additional hypothesis property tests: baselines, statistics, RTL blocks."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.evalue import default_protein_params
+from repro.baselines.scoring import NucleotideScoring, ProteinScoring
+from repro.baselines.smith_waterman import smith_waterman, sw_score
+from repro.seq import alphabet
+
+proteins = st.text(alphabet=sorted(alphabet.AMINO_ACIDS), min_size=1, max_size=18)
+rna_strings = st.text(alphabet=sorted(alphabet.RNA_NUCLEOTIDES), min_size=1, max_size=40)
+
+
+class TestSmithWatermanProperties:
+    @given(a=proteins, b=proteins)
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry(self, a, b):
+        """BLOSUM62 is symmetric, so local alignment is too.
+
+        Scoring is pinned explicitly: short strings over {A,C,G,T,U} are
+        ambiguous between residues and nucleotides, and the auto-detection
+        heuristic may classify `a` and `b` differently.
+        """
+        scoring = ProteinScoring()
+        assert sw_score(a, b, scoring) == sw_score(b, a, scoring)
+
+    @given(a=proteins)
+    @settings(max_examples=30, deadline=None)
+    def test_self_alignment_is_identity_sum(self, a):
+        scoring = ProteinScoring()
+        expected = sum(scoring.score(c, c) for c in a)
+        assert sw_score(a, a, scoring) == expected
+
+    @given(a=proteins, b=proteins, c=proteins)
+    @settings(max_examples=30, deadline=None)
+    def test_concatenation_monotone(self, a, b, c):
+        """Appending subject sequence can only help a local alignment."""
+        scoring = ProteinScoring()
+        assert sw_score(a, b + c, scoring) >= sw_score(a, b, scoring)
+
+    @given(a=rna_strings, b=rna_strings)
+    @settings(max_examples=30, deadline=None)
+    def test_score_nonnegative_and_bounded(self, a, b):
+        scoring = NucleotideScoring(match=2, mismatch=-3)
+        score = sw_score(a, b, scoring)
+        assert 0 <= score <= 2 * min(len(a), len(b))
+
+    @given(a=proteins, b=proteins)
+    @settings(max_examples=20, deadline=None)
+    def test_traceback_ranges_within_inputs(self, a, b):
+        result = smith_waterman(a, b)
+        assert 0 <= result.a_start <= result.a_end <= len(a)
+        assert 0 <= result.b_start <= result.b_end <= len(b)
+        assert result.aligned_a.replace("-", "") == a[result.a_start : result.a_end]
+        assert result.aligned_b.replace("-", "") == b[result.b_start : result.b_end]
+
+
+class TestEvalueProperties:
+    @given(
+        score=st.integers(1, 200),
+        extra=st.integers(1, 50),
+        m=st.integers(10, 1000),
+        n=st.integers(1000, 10**7),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotonicity(self, score, extra, m, n):
+        params = default_protein_params()
+        assert params.evalue(score + extra, m, n) < params.evalue(score, m, n)
+        assert params.bit_score(score + extra) > params.bit_score(score)
+        assert 0.0 <= params.pvalue(score, m, n) <= 1.0
+
+
+class TestNullModelProperties:
+    @given(protein=proteins)
+    @settings(max_examples=25, deadline=None)
+    def test_pmf_is_distribution_with_matching_moments(self, protein):
+        from repro.analysis.statistics import null_score_model
+
+        model = null_score_model(protein)
+        assert model.pmf.sum() == np.float64(1.0) or abs(model.pmf.sum() - 1) < 1e-9
+        support = np.arange(model.pmf.size)
+        assert abs((support * model.pmf).sum() - model.mean) < 1e-9
+        assert 0 <= model.mean <= 3 * len(protein)
+
+    @given(protein=proteins, rate=st.floats(0.0, 0.5))
+    @settings(max_examples=25, deadline=None)
+    def test_detection_dominates_null(self, protein, rate):
+        """A homolog at any divergence scores at least as well as noise, in
+        distribution (stochastic dominance of the survival functions)."""
+        from repro.analysis.sensitivity import detection_model
+        from repro.analysis.statistics import null_score_model
+
+        signal = detection_model(protein, rate)
+        noise = null_score_model(protein)
+        for threshold in range(0, 3 * len(protein) + 1, max(1, len(protein))):
+            assert (
+                signal.detection_probability(threshold)
+                >= noise.survival(threshold) - 1e-9
+            )
+
+
+class TestRtlBlockProperties:
+    @given(values=st.lists(st.integers(0, 1), min_size=1, max_size=36))
+    @settings(max_examples=30, deadline=None)
+    def test_pop36_counts_anything(self, values):
+        from repro.rtl.netlist import Netlist
+        from repro.rtl.popcount import add_pop36
+        from repro.rtl.simulator import Simulator
+
+        netlist = Netlist()
+        bits = netlist.add_input_bus("bits", len(values))
+        netlist.set_output_bus("count", add_pop36(netlist, bits))
+        sim = Simulator(netlist)
+        inputs = {f"bits[{i}]": v for i, v in enumerate(values)}
+        sim.settle(inputs)
+        assert sim.output_bus("count")[0] == sum(values)
+
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    @settings(max_examples=50, deadline=None)
+    def test_ripple_adder_adds(self, a, b):
+        from repro.rtl.netlist import Netlist
+        from repro.rtl.popcount import add_ripple_adder
+        from repro.rtl.simulator import Simulator
+
+        netlist = Netlist()
+        a_bits = netlist.add_input_bus("a", 8)
+        b_bits = netlist.add_input_bus("b", 8)
+        netlist.set_output_bus("s", add_ripple_adder(netlist, a_bits, b_bits))
+        sim = Simulator(netlist)
+        inputs = {}
+        inputs.update(sim.set_input_bus("a", a))
+        inputs.update(sim.set_input_bus("b", b))
+        sim.settle(inputs)
+        assert sim.output_bus("s")[0] == a + b

@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import backtranslate as bt
+from repro.core import comparator as cmp
+from repro.core.aligner import alignment_scores, alignment_scores_naive, align
+from repro.core.codons import CODON_TABLE, paper_codons_for
+from repro.core.encoding import encode_query
+from repro.seq import alphabet
+from repro.seq.mutate import apply_indels, substitute
+from repro.seq.packing import codes_from_text, pack, unpack
+
+proteins = st.text(alphabet=sorted(alphabet.AMINO_ACIDS), min_size=1, max_size=12)
+proteins_with_stop = st.text(
+    alphabet=sorted(alphabet.AMINO_ACIDS_WITH_STOP), min_size=1, max_size=12
+)
+rna_strings = st.text(alphabet=sorted(alphabet.RNA_NUCLEOTIDES), min_size=1, max_size=400)
+codons = st.text(alphabet=sorted(alphabet.RNA_NUCLEOTIDES), min_size=3, max_size=3)
+
+
+class TestBackTranslationProperties:
+    @given(codon=codons)
+    @settings(max_examples=200, deadline=None)
+    def test_pattern_admits_codon_iff_it_encodes_the_amino(self, codon):
+        """For every codon c and amino a: pattern(a) admits c <=> c encodes a
+        (modulo the paper's Ser reduction)."""
+        amino = CODON_TABLE[codon]
+        for candidate in alphabet.AMINO_ACIDS_WITH_STOP:
+            pattern = bt.BACK_TRANSLATION_TABLE[candidate]
+            admitted = pattern.matches_codon(codon)
+            encodes = codon in paper_codons_for(candidate)
+            assert admitted == encodes
+
+    @given(protein=proteins_with_stop)
+    @settings(max_examples=100, deadline=None)
+    def test_encoding_roundtrip(self, protein):
+        encoded = encode_query(protein)
+        assert len(encoded) == 3 * len(protein)
+        decoded = encoded.decode()
+        expected = tuple(
+            element
+            for pattern in bt.back_translate(protein)
+            for element in pattern.elements
+        )
+        assert decoded == expected
+
+    @given(protein=proteins_with_stop)
+    @settings(max_examples=50, deadline=None)
+    def test_instructions_are_six_bit(self, protein):
+        encoded = encode_query(protein)
+        assert all(0 <= i < 64 for i in encoded.instructions)
+
+
+class TestAlignerProperties:
+    @given(protein=proteins, reference=rna_strings)
+    @settings(max_examples=40, deadline=None)
+    def test_vectorized_equals_naive(self, protein, reference):
+        fast = alignment_scores(protein, reference)
+        slow = alignment_scores_naive(protein, reference)
+        assert np.array_equal(fast, slow)
+
+    @given(protein=proteins, reference=rna_strings)
+    @settings(max_examples=40, deadline=None)
+    def test_score_bounds_and_position_count(self, protein, reference):
+        scores = alignment_scores(protein, reference)
+        elements = 3 * len(protein)
+        expected_positions = max(0, len(reference) - elements + 1)
+        assert scores.size == expected_positions
+        if scores.size:
+            assert scores.min() >= 0
+            assert scores.max() <= elements
+
+    @given(protein=proteins)
+    @settings(max_examples=50, deadline=None)
+    def test_self_alignment_of_any_synonymous_coding_is_perfect(self, protein):
+        """Every synonymous coding (from the paper codon sets) scores full."""
+        rng = np.random.default_rng(len(protein))
+        rna = "".join(
+            paper_codons_for(aa)[rng.integers(len(paper_codons_for(aa)))]
+            for aa in protein
+        )
+        scores = alignment_scores(protein, rna)
+        assert scores[0] == 3 * len(protein)
+
+    @given(protein=proteins, reference=rna_strings, threshold=st.integers(0, 36))
+    @settings(max_examples=40, deadline=None)
+    def test_hits_are_exactly_scores_above_threshold(self, protein, reference, threshold):
+        elements = 3 * len(protein)
+        threshold = min(threshold, elements)
+        result = align(protein, reference, threshold=threshold, keep_scores=True)
+        if result.scores is None or result.scores.size == 0:
+            assert result.hits == ()
+            return
+        expected = {
+            (int(i), int(s))
+            for i, s in enumerate(result.scores)
+            if s >= threshold
+        }
+        assert {(h.position, h.score) for h in result.hits} == expected
+
+
+class TestComparatorProperties:
+    @given(
+        instruction=st.integers(0, 63),
+        ref=st.integers(0, 3),
+        prev1=st.integers(0, 3),
+        prev2=st.integers(0, 3),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_lut_init_agrees_with_semantics(self, instruction, ref, prev1, prev2):
+        """The derived INIT vectors compute instruction_matches for every
+        instruction, including invalid encodings (hardware doesn't trap)."""
+        init = cmp.comparison_lut_init()
+        x = cmp.mux_output(instruction, prev1, prev2)
+        address = (
+            (instruction & 0b111)
+            | (x << 3)
+            | (((ref >> 1) & 1) << 4)
+            | ((ref & 1) << 5)
+        )
+        assert ((init >> address) & 1) == int(
+            cmp.instruction_matches(instruction, ref, prev1, prev2)
+        )
+
+
+class TestSequenceProperties:
+    @given(rna=rna_strings)
+    @settings(max_examples=100, deadline=None)
+    def test_pack_roundtrip(self, rna):
+        codes = codes_from_text(rna)
+        assert np.array_equal(unpack(pack(codes), codes.size), codes)
+
+    @given(rna=rna_strings, rate=st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_substitution_preserves_length_and_alphabet(self, rna, rate):
+        result = substitute(rna, rate, alphabet.RNA_NUCLEOTIDES, seed=1)
+        assert len(result.letters) == len(rna)
+        assert set(result.letters) <= set(alphabet.RNA_NUCLEOTIDES)
+
+    @given(rna=rna_strings, events=st.integers(0, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_indel_count_recorded(self, rna, events):
+        result = apply_indels(rna, events, alphabet.RNA_NUCLEOTIDES, seed=2)
+        assert result.num_indels == events

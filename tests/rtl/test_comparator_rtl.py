@@ -1,0 +1,103 @@
+"""Exhaustive verification of the two-LUT comparator netlist (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import comparator as golden
+from repro.core.encoding import encode_query
+from repro.rtl.comparator import (
+    LUTS_PER_ELEMENT,
+    build_element_comparator,
+    build_instance_comparator,
+)
+from repro.rtl.simulator import Simulator
+from repro.seq.generate import random_protein, random_rna
+from repro.seq.packing import codes_from_text
+
+
+class TestElementComparator:
+    def test_exactly_two_luts(self):
+        # §III-D: "FabP uses only two Lookup Tables" per element.
+        netlist = build_element_comparator()
+        assert netlist.lut_count == LUTS_PER_ELEMENT == 2
+        assert netlist.ff_count == 0
+
+    def test_exhaustive_against_golden(self):
+        """All 64 x 4 x 4 x 4 input combinations match the golden model."""
+        netlist = build_element_comparator()
+        batch = 64 * 4 * 4 * 4
+        sim = Simulator(netlist, batch=batch)
+        index = np.arange(batch)
+        q = index % 64
+        ref = (index // 64) % 4
+        prev1 = (index // 256) % 4
+        prev2 = (index // 1024) % 4
+        inputs = {}
+        inputs.update(sim.set_input_bus("q", q))
+        inputs.update(sim.set_input_bus("ref", ref))
+        inputs.update(sim.set_input_bus("prev1", prev1))
+        inputs.update(sim.set_input_bus("prev2", prev2))
+        sim.settle(inputs)
+        got = sim.output_bus("match")
+        expected = np.array(
+            [
+                int(golden.instruction_matches(int(a), int(b), int(c), int(d)))
+                for a, b, c, d in zip(q, ref, prev1, prev2)
+            ]
+        )
+        assert np.array_equal(got, expected)
+
+
+class TestInstanceComparator:
+    def test_lut_budget_scales_linearly(self):
+        for n in (1, 3, 9):
+            netlist = build_instance_comparator(n)
+            assert netlist.lut_count == 2 * n
+
+    def test_match_vector_width(self):
+        # Fig. 3: "The output of a Custom comparator is L_q bits".
+        netlist = build_instance_comparator(6)
+        assert len([k for k in netlist.outputs if k.startswith("match")]) == 6
+
+    def test_instance_against_golden_scores(self, rng):
+        """A full instance's popcount equals the golden score at offset 0."""
+        from repro.core.aligner import alignment_scores
+
+        query = random_protein(4, rng=rng)
+        encoded = encode_query(query)
+        n = len(encoded)
+        netlist = build_instance_comparator(n)
+        reference = random_rna(n, rng=rng)
+        codes = codes_from_text(reference.letters)
+        sim = Simulator(netlist)
+        inputs = {}
+        for i, instruction in enumerate(encoded.instructions):
+            inputs.update(sim.set_input_bus(f"q{i}", int(instruction)))
+        inputs.update(sim.set_input_bus("ref0", 0))
+        inputs.update(sim.set_input_bus("ref1", 0))
+        for j, code in enumerate(codes):
+            inputs.update(sim.set_input_bus(f"ref{j + 2}", int(code)))
+        sim.settle(inputs)
+        total = 0
+        bit = 0
+        while f"match[{bit}]" in netlist.outputs:
+            net = netlist.outputs[f"match[{bit}]"]
+            total += int(sim.peek(net)[0])
+            bit += 1
+        expected = alignment_scores(encoded, codes)
+        assert total == int(expected[0])
+
+    def test_reference_arity_validated(self):
+        netlist = build_instance_comparator(3)
+        from repro.rtl.comparator import add_instance_comparator
+        from repro.rtl.netlist import Netlist
+
+        fresh = Netlist()
+        q = [fresh.add_input_bus(f"q{i}", 6) for i in range(2)]
+        refs = [(0, 0)] * 3  # needs 4
+        with pytest.raises(ValueError, match="reference elements"):
+            add_instance_comparator(fresh, q, refs)
+
+    def test_zero_elements_rejected(self):
+        with pytest.raises(ValueError):
+            build_instance_comparator(0)

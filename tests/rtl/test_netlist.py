@@ -1,0 +1,97 @@
+"""Tests for the structural netlist model."""
+
+import pytest
+
+from repro.rtl.netlist import GND, VCC, Netlist, NetlistError, const_net
+
+
+class TestConstruction:
+    def test_constants_preexist(self):
+        netlist = Netlist()
+        assert netlist.num_nets == 2
+        assert const_net(0) == GND
+        assert const_net(1) == VCC
+
+    def test_const_net_validates(self):
+        with pytest.raises(NetlistError):
+            const_net(2)
+
+    def test_new_nets_unique(self):
+        netlist = Netlist()
+        nets = netlist.new_nets(5)
+        assert len(set(nets)) == 5
+
+    def test_add_input_bus(self):
+        netlist = Netlist()
+        bus = netlist.add_input_bus("a", 3)
+        assert len(bus) == 3
+        assert set(netlist.inputs) == {"a[0]", "a[1]", "a[2]"}
+
+    def test_duplicate_input_rejected(self):
+        netlist = Netlist()
+        netlist.add_input("x")
+        with pytest.raises(NetlistError, match="duplicate"):
+            netlist.add_input("x")
+
+    def test_duplicate_output_rejected(self):
+        netlist = Netlist()
+        net = netlist.add_input("x")
+        netlist.set_output("y", net)
+        with pytest.raises(NetlistError, match="duplicate"):
+            netlist.set_output("y", net)
+
+    def test_unknown_net_rejected(self):
+        netlist = Netlist()
+        with pytest.raises(NetlistError, match="does not exist"):
+            netlist.add_lut((99,), 1)
+
+
+class TestPrimitives:
+    def test_lut_arity_limit(self):
+        netlist = Netlist()
+        inputs = netlist.add_input_bus("a", 7)
+        with pytest.raises(NetlistError, match="7 inputs"):
+            netlist.add_lut(inputs, 0)
+
+    def test_lut_init_range(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        with pytest.raises(NetlistError, match="INIT"):
+            netlist.add_lut((a,), 1 << 64)
+
+    def test_lut62_arity_limit(self):
+        netlist = Netlist()
+        inputs = netlist.add_input_bus("a", 6)
+        with pytest.raises(NetlistError):
+            netlist.add_lut62(inputs, 0, 0)
+
+    def test_double_drive_rejected(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        out = netlist.add_lut((a,), 0b10)
+        with pytest.raises(NetlistError, match="already driven"):
+            netlist.add_lut_driving(out, (a,), 0b10)
+
+    def test_lut_counting(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        netlist.add_lut((a,), 0b10)
+        netlist.add_lut62((a,), 1, 2)
+        assert netlist.lut_count == 2  # LUT6_2 counts once (one physical LUT)
+
+    def test_ff_counting(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        netlist.add_ff(a)
+        netlist.add_ff_bus([a, a, a][0:1])
+        assert netlist.ff_count == 2
+
+    def test_stats(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        out = netlist.add_lut((a,), 0b10)
+        netlist.set_output("y", out)
+        stats = netlist.stats()
+        assert stats["luts"] == 1
+        assert stats["inputs"] == 1
+        assert stats["outputs"] == 1

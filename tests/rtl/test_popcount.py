@@ -1,0 +1,212 @@
+"""Tests for Pop36 and the pop-counter builders (Fig. 4, §III-D)."""
+
+import numpy as np
+import pytest
+
+from repro.rtl.netlist import Netlist
+from repro.rtl.popcount import (
+    POPCOUNT6_INITS,
+    add_pop36,
+    add_popcount6,
+    add_ripple_adder,
+    add_tree_adder_popcount,
+    build_popcounter,
+    lut_init,
+)
+from repro.rtl.simulator import Simulator
+
+
+def _evaluate_block(builder, width, vectors):
+    """Build inputs->block->outputs and evaluate a batch of bit vectors."""
+    netlist = Netlist()
+    bits = netlist.add_input_bus("bits", width)
+    out = builder(netlist, bits)
+    netlist.set_output_bus("out", out)
+    sim = Simulator(netlist, batch=len(vectors))
+    inputs = {
+        f"bits[{i}]": np.array([v[i] for v in vectors], dtype=np.uint8)
+        for i in range(width)
+    }
+    sim.settle(inputs)
+    return netlist, sim.output_bus("out")
+
+
+class TestLutInit:
+    def test_parity_init(self):
+        init = lut_init(lambda a, b: a ^ b, 2)
+        assert init == 0b0110
+
+    def test_enumeration_order(self):
+        # Address bit i carries input i.
+        init = lut_init(lambda a, b: a, 2)
+        assert init == 0b1010
+
+
+class TestPopcount6:
+    def test_inits_are_shared_function_bits(self):
+        for address in range(64):
+            count = bin(address).count("1")
+            for bit in range(3):
+                assert ((POPCOUNT6_INITS[bit] >> address) & 1) == ((count >> bit) & 1)
+
+    def test_exhaustive(self):
+        vectors = [[(a >> i) & 1 for i in range(6)] for a in range(64)]
+        netlist, out = _evaluate_block(add_popcount6, 6, vectors)
+        assert netlist.lut_count == 3
+        expected = [bin(a).count("1") for a in range(64)]
+        assert list(out) == expected
+
+    def test_partial_inputs_padded(self):
+        vectors = [[1, 1, 1]]
+        _, out = _evaluate_block(add_popcount6, 3, vectors)
+        assert out[0] == 3
+
+    def test_arity_validated(self):
+        netlist = Netlist()
+        bits = netlist.add_input_bus("b", 7)
+        with pytest.raises(ValueError):
+            add_popcount6(netlist, bits)
+
+
+class TestRippleAdder:
+    @pytest.mark.parametrize("fractured", [True, False])
+    def test_addition_exhaustive_4bit(self, fractured):
+        pairs = [(a, b) for a in range(16) for b in range(16)]
+        netlist = Netlist()
+        a_bits = netlist.add_input_bus("a", 4)
+        b_bits = netlist.add_input_bus("b", 4)
+        out = add_ripple_adder(netlist, a_bits, b_bits, fractured=fractured)
+        netlist.set_output_bus("s", out)
+        sim = Simulator(netlist, batch=len(pairs))
+        inputs = {}
+        inputs.update(sim.set_input_bus("a", np.array([p[0] for p in pairs])))
+        inputs.update(sim.set_input_bus("b", np.array([p[1] for p in pairs])))
+        sim.settle(inputs)
+        got = sim.output_bus("s")
+        assert list(got) == [a + b for a, b in pairs]
+
+    def test_fractured_costs_one_lut_per_bit(self):
+        netlist = Netlist()
+        a = netlist.add_input_bus("a", 4)
+        b = netlist.add_input_bus("b", 4)
+        add_ripple_adder(netlist, a, b, fractured=True)
+        assert netlist.lut_count == 4
+
+    def test_plain_costs_two_luts_per_bit(self):
+        netlist = Netlist()
+        a = netlist.add_input_bus("a", 4)
+        b = netlist.add_input_bus("b", 4)
+        add_ripple_adder(netlist, a, b, fractured=False)
+        assert netlist.lut_count == 8
+
+    def test_unequal_widths(self):
+        netlist = Netlist()
+        a = netlist.add_input_bus("a", 3)
+        b = netlist.add_input_bus("b", 1)
+        out = add_ripple_adder(netlist, a, b)
+        netlist.set_output_bus("s", out)
+        sim = Simulator(netlist)
+        inputs = {}
+        inputs.update(sim.set_input_bus("a", 7))
+        inputs.update(sim.set_input_bus("b", 1))
+        sim.settle(inputs)
+        assert sim.output_bus("s")[0] == 8
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            add_ripple_adder(Netlist(), [], [])
+
+
+class TestPop36:
+    def test_randomized_against_popcount(self, rng):
+        vectors = rng.integers(0, 2, size=(500, 36)).tolist()
+        netlist, out = _evaluate_block(add_pop36, 36, vectors)
+        expected = [sum(v) for v in vectors]
+        assert list(out) == expected
+
+    def test_structure_stage1_is_18_luts(self):
+        """Fig. 4: six groups of three shared-input LUTs, then compression."""
+        netlist = Netlist()
+        bits = netlist.add_input_bus("bits", 36)
+        add_pop36(netlist, bits)
+        # 18 (stage 1) + 9 (column compress) + 9 (two ripple adds) = 36 LUTs.
+        assert netlist.lut_count == 36
+
+    def test_short_input_padded(self):
+        vectors = [[1] * 10]
+        _, out = _evaluate_block(add_pop36, 10, vectors)
+        assert out[0] == 10
+
+    def test_arity_validated(self):
+        netlist = Netlist()
+        bits = netlist.add_input_bus("b", 37)
+        with pytest.raises(ValueError):
+            add_pop36(netlist, bits)
+
+    def test_corner_values(self):
+        vectors = [[0] * 36, [1] * 36]
+        _, out = _evaluate_block(add_pop36, 36, vectors)
+        assert list(out) == [0, 36]
+
+
+class TestTreeAdderPopcount:
+    def test_randomized(self, rng):
+        width = 27
+        vectors = rng.integers(0, 2, size=(200, width)).tolist()
+        netlist, out = _evaluate_block(
+            lambda nl, bits: add_tree_adder_popcount(nl, bits), width, vectors
+        )
+        assert list(out) == [sum(v) for v in vectors]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            add_tree_adder_popcount(Netlist(), [])
+
+
+class TestBuildPopcounter:
+    @pytest.mark.parametrize("style", ["fabp", "tree"])
+    @pytest.mark.parametrize("width", [7, 36, 100])
+    def test_functional(self, style, width, rng):
+        block = build_popcounter(width, style=style, pipelined=False)
+        vectors = rng.integers(0, 2, size=(100, width))
+        sim = Simulator(block.netlist, batch=100)
+        inputs = {f"bits[{i}]": vectors[:, i].astype(np.uint8) for i in range(width)}
+        sim.settle(inputs)
+        assert np.array_equal(sim.output_bus("score"), vectors.sum(axis=1))
+
+    def test_pipelined_latency(self, rng):
+        block = build_popcounter(100, style="fabp", pipelined=True)
+        assert block.latency >= 2  # pop36 stage + at least one merge level
+        width = 100
+        vectors = rng.integers(0, 2, size=(1, width))
+        sim = Simulator(block.netlist)
+        inputs = {
+            f"bits[{i}]": np.array([vectors[0, i]], dtype=np.uint8)
+            for i in range(width)
+        }
+        for _ in range(block.latency):
+            sim.step(inputs)
+        sim.settle(inputs)
+        assert sim.output_bus("score")[0] == vectors.sum()
+
+    def test_fabp_smaller_than_tree(self):
+        """§III-D: the hand-crafted pop-counter beats the naive tree adder."""
+        for width in (36, 150, 750):
+            fabp = build_popcounter(width, style="fabp")
+            tree = build_popcounter(width, style="tree")
+            assert fabp.lut_count < tree.lut_count
+            reduction = 1 - fabp.lut_count / tree.lut_count
+            assert reduction > 0.20  # at least the paper's claimed saving
+
+    def test_score_bits_ten_at_750(self):
+        # Table I discussion: "The alignment score is a 10-bit number".
+        block = build_popcounter(750, style="fabp")
+        assert block.score_bits == 10
+
+    def test_invalid_style(self):
+        with pytest.raises(ValueError):
+            build_popcounter(10, style="magic")
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            build_popcounter(0)

@@ -1,0 +1,86 @@
+"""Tests for static timing analysis."""
+
+import pytest
+
+from repro.rtl.comparator import build_element_comparator
+from repro.rtl.netlist import Netlist
+from repro.rtl.popcount import add_ripple_adder, build_popcounter, lut_init
+from repro.rtl.timing import analyze, logic_depths, stage_depths
+
+
+class TestLogicDepth:
+    def test_sources_are_depth_zero(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        q = netlist.add_ff(a)
+        netlist.set_output("q", q)
+        depth = logic_depths(netlist)
+        assert depth[a] == 0
+        assert depth[q] == 0
+
+    def test_chain_depth(self):
+        netlist = Netlist()
+        net = netlist.add_input("a")
+        identity = lut_init(lambda x: x, 1)
+        for _ in range(5):
+            net = netlist.add_lut((net,), identity)
+        netlist.set_output("y", net)
+        assert analyze(netlist).critical_depth == 5
+
+    def test_ripple_adder_depth_linear(self):
+        depths = []
+        for width in (4, 8, 16):
+            netlist = Netlist()
+            a = netlist.add_input_bus("a", width)
+            b = netlist.add_input_bus("b", width)
+            out = add_ripple_adder(netlist, a, b)
+            netlist.set_output_bus("s", out)
+            depths.append(analyze(netlist).critical_depth)
+        assert depths == [4, 8, 16]  # carry chain: one LUT level per bit
+
+    def test_comparator_is_two_levels(self):
+        # Fig. 5: mux LUT feeding the comparison LUT.
+        report = analyze(build_element_comparator())
+        assert report.critical_depth == 2
+
+    def test_deep_chain_no_recursion_error(self):
+        netlist = Netlist()
+        net = netlist.add_input("a")
+        identity = lut_init(lambda x: x, 1)
+        for _ in range(5000):
+            net = netlist.add_lut((net,), identity)
+        netlist.set_output("y", net)
+        assert analyze(netlist).critical_depth == 5000
+
+
+class TestFmax:
+    def test_pipelined_popcounter_meets_200mhz(self):
+        """The paper's 200 MHz clock needs shallow pipeline stages."""
+        block = build_popcounter(150, style="fabp", pipelined=True)
+        report = analyze(block.netlist)
+        assert report.meets(200.0), report
+
+    def test_unpipelined_wide_popcounter_slower(self):
+        pipelined = analyze(build_popcounter(750, style="fabp", pipelined=True).netlist)
+        flat = analyze(build_popcounter(750, style="fabp", pipelined=False).netlist)
+        assert flat.critical_depth > pipelined.critical_depth
+        assert flat.fmax_mhz < pipelined.fmax_mhz
+
+    def test_fmax_formula(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        out = netlist.add_lut((a,), lut_init(lambda x: x, 1))
+        netlist.set_output("y", out)
+        report = analyze(netlist)
+        assert report.critical_path_ns == pytest.approx(0.60 + 1.0)
+        assert report.fmax_mhz == pytest.approx(625.0)
+
+    def test_stage_profile(self):
+        block = build_popcounter(72, style="fabp", pipelined=True)
+        profile = stage_depths(block.netlist)
+        assert len(profile) == block.ff_count
+        assert profile[0] == max(profile)
+
+    def test_report_str(self):
+        report = analyze(build_element_comparator())
+        assert "fmax" in str(report)

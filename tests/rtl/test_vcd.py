@@ -1,0 +1,80 @@
+"""Tests for VCD waveform recording."""
+
+import pytest
+
+from repro.rtl.netlist import Netlist
+from repro.rtl.popcount import lut_init
+from repro.rtl.simulator import Simulator
+from repro.rtl.vcd import VcdTracer
+
+
+def _toggle_design():
+    netlist = Netlist("toggler")
+    a = netlist.add_input("a")
+    q = netlist.add_ff(a)
+    netlist.set_output("q", q)
+    return netlist
+
+
+class TestVcd:
+    def test_header_declares_signals(self):
+        tracer = VcdTracer(Simulator(_toggle_design()))
+        header = tracer.header()
+        assert "$timescale 1 ns $end" in header
+        assert "clk" in header
+        assert "$enddefinitions $end" in header
+        # input a + output q + clock.
+        assert header.count("$var wire 1") == 3
+
+    def test_value_changes_recorded(self):
+        sim = Simulator(_toggle_design())
+        tracer = VcdTracer(sim)
+        tracer.run([{"a": 1}, {"a": 0}, {"a": 1}])
+        dump = tracer.dump()
+        assert "#0" in dump
+        # q follows a with one cycle delay; both edges present.
+        assert dump.count("\n1") >= 2  # some rising values recorded
+
+    def test_only_changes_emitted(self):
+        sim = Simulator(_toggle_design())
+        tracer = VcdTracer(sim)
+        tracer.run([{"a": 1}] * 5)  # constant input after first cycle
+        body = tracer.dump().split("$enddefinitions $end")[1]
+        # 'a' changes once (0->1); it must not be re-emitted every cycle.
+        a_id = tracer._ids["a"]
+        assert body.count(f"1{a_id}") == 1
+
+    def test_clock_toggles_every_cycle(self):
+        sim = Simulator(_toggle_design())
+        tracer = VcdTracer(sim)
+        tracer.run([{"a": 0}] * 4)
+        body = tracer.dump().split("$enddefinitions $end")[1]
+        clock = tracer._clock_id
+        assert body.count(f"1{clock}") == 4
+        assert body.count(f"0{clock}") == 4
+
+    def test_batch_simulator_rejected(self):
+        with pytest.raises(ValueError, match="batch-1"):
+            VcdTracer(Simulator(_toggle_design(), batch=4))
+
+    def test_custom_signals(self):
+        netlist = _toggle_design()
+        sim = Simulator(netlist)
+        tracer = VcdTracer(sim, signals={"only_q": netlist.outputs["q"]})
+        assert "only_q" in tracer.header()
+        assert "$var wire 1" in tracer.header()
+
+    def test_write_file(self, tmp_path):
+        sim = Simulator(_toggle_design())
+        tracer = VcdTracer(sim)
+        tracer.run([{"a": 1}, {"a": 0}])
+        path = tmp_path / "wave.vcd"
+        size = tracer.write(path)
+        assert size == len(path.read_text())
+
+    def test_identifier_compactness(self):
+        from repro.rtl.vcd import _identifier
+
+        ids = {_identifier(i) for i in range(500)}
+        assert len(ids) == 500
+        assert all(1 <= len(i) <= 2 for i in ids)

@@ -1,0 +1,92 @@
+"""Tests for repro.seq.alphabet — the normative encoding tables."""
+
+import pytest
+
+from repro.seq import alphabet
+
+
+class TestEncoding:
+    def test_rna_codes_match_paper(self):
+        # §III-B: A=00, C=01, G=10, U=11.
+        assert alphabet.RNA_CODE == {"A": 0, "C": 1, "G": 2, "U": 3}
+
+    def test_dna_codes_mirror_rna(self):
+        assert alphabet.DNA_CODE["T"] == alphabet.RNA_CODE["U"]
+        for letter in "ACG":
+            assert alphabet.DNA_CODE[letter] == alphabet.RNA_CODE[letter]
+
+    def test_encode_decode_roundtrip(self):
+        text = "ACGUUGCA"
+        assert alphabet.decode_rna(alphabet.encode_rna(text)) == text
+
+    def test_encode_rejects_bad_letters(self):
+        with pytest.raises(KeyError):
+            list(alphabet.encode_rna("ACGT"))  # T is not RNA
+
+    def test_nucleotide_bits(self):
+        assert alphabet.nucleotide_bits("A") == (0, 0)
+        assert alphabet.nucleotide_bits("C") == (0, 1)
+        assert alphabet.nucleotide_bits("G") == (1, 0)
+        assert alphabet.nucleotide_bits("U") == (1, 1)
+
+    def test_bits_reconstruct_code(self):
+        for letter, code in alphabet.RNA_CODE.items():
+            hi, lo = alphabet.nucleotide_bits(letter)
+            assert (hi << 1) | lo == code
+
+
+class TestAlphabets:
+    def test_twenty_amino_acids(self):
+        assert len(alphabet.AMINO_ACIDS) == 20
+        assert len(set(alphabet.AMINO_ACIDS)) == 20
+
+    def test_stop_in_extended_alphabet(self):
+        assert alphabet.STOP_SYMBOL in alphabet.AMINO_ACIDS_WITH_STOP
+        assert len(alphabet.AMINO_ACIDS_WITH_STOP) == 21
+
+    def test_three_letter_names_cover_alphabet(self):
+        for aa in alphabet.AMINO_ACIDS_WITH_STOP:
+            assert aa in alphabet.THREE_LETTER
+        assert alphabet.THREE_LETTER["F"] == "Phe"
+        assert alphabet.THREE_LETTER["*"] == "Stop"
+
+    def test_one_letter_inverse(self):
+        for one, three in alphabet.THREE_LETTER.items():
+            assert alphabet.ONE_LETTER[three] == one
+
+    def test_is_rna_dna_protein(self):
+        assert alphabet.is_rna("ACGU")
+        assert not alphabet.is_rna("ACGT")
+        assert alphabet.is_dna("ACGT")
+        assert not alphabet.is_dna("ACGU")
+        assert alphabet.is_protein("MFW*")
+        assert not alphabet.is_protein("MFB")
+
+    def test_empty_strings_are_valid(self):
+        assert alphabet.is_rna("")
+        assert alphabet.is_dna("")
+        assert alphabet.is_protein("")
+
+
+class TestTranscription:
+    def test_dna_to_rna(self):
+        assert alphabet.dna_to_rna("ACGT") == "ACGU"
+
+    def test_rna_to_dna(self):
+        assert alphabet.rna_to_dna("ACGU") == "ACGT"
+
+    def test_roundtrip(self):
+        assert alphabet.rna_to_dna(alphabet.dna_to_rna("GATTACA")) == "GATTACA"
+
+    def test_complement_dna(self):
+        assert alphabet.complement_dna("ACGT") == "TGCA"
+
+    def test_reverse_complement_dna(self):
+        assert alphabet.reverse_complement_dna("AACG") == "CGTT"
+
+    def test_reverse_complement_rna(self):
+        assert alphabet.reverse_complement_rna("AACG") == "CGUU"
+
+    def test_reverse_complement_involution(self):
+        seq = "ACGTTGCAAT"
+        assert alphabet.reverse_complement_dna(alphabet.reverse_complement_dna(seq)) == seq

@@ -1,0 +1,79 @@
+"""Tests for organism codon-usage tables and biased sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.codons import CODON_TABLE, CODONS_FOR
+from repro.seq.codon_usage import (
+    ECOLI_USAGE_PER_THOUSAND,
+    HUMAN_USAGE_PER_THOUSAND,
+    CodonSampler,
+    sampler,
+    serine_agy_fraction,
+)
+
+
+class TestTables:
+    @pytest.mark.parametrize("table", [HUMAN_USAGE_PER_THOUSAND, ECOLI_USAGE_PER_THOUSAND])
+    def test_covers_all_codons(self, table):
+        assert set(table) == set(CODON_TABLE)
+
+    @pytest.mark.parametrize("table", [HUMAN_USAGE_PER_THOUSAND, ECOLI_USAGE_PER_THOUSAND])
+    def test_totals_near_thousand(self, table):
+        assert sum(table.values()) == pytest.approx(1000, rel=0.03)
+
+    def test_known_biases(self):
+        # CUG is the dominant Leu codon in both organisms.
+        assert HUMAN_USAGE_PER_THOUSAND["CUG"] > HUMAN_USAGE_PER_THOUSAND["CUA"]
+        assert ECOLI_USAGE_PER_THOUSAND["CUG"] > ECOLI_USAGE_PER_THOUSAND["CUA"]
+        # E. coli strongly avoids AGG arginine; humans do not.
+        assert ECOLI_USAGE_PER_THOUSAND["AGG"] < 2
+        assert HUMAN_USAGE_PER_THOUSAND["AGG"] > 10
+
+
+class TestSampler:
+    def test_samples_only_synonymous_codons(self, rng):
+        s = sampler("human")
+        for amino in "LSRAG":
+            for _ in range(20):
+                codon = s.sample(amino, rng)
+                assert CODON_TABLE[codon] == amino
+
+    def test_relative_usage_normalized(self):
+        s = sampler("human")
+        for amino, codons in CODONS_FOR.items():
+            usage = s.relative_usage(amino)
+            assert set(usage) == set(codons)
+            assert sum(usage.values()) == pytest.approx(1.0)
+
+    def test_bias_observable(self, rng):
+        s = sampler("ecoli")
+        draws = [s.sample("L", rng) for _ in range(3000)]
+        cug = draws.count("CUG") / len(draws)
+        expected = s.relative_usage("L")["CUG"]
+        assert cug == pytest.approx(expected, abs=0.05)
+        assert cug > 0.3  # E. coli's CUG dominance
+
+    def test_unknown_organism(self):
+        with pytest.raises(KeyError, match="unknown organism"):
+            sampler("yeti")
+
+    def test_incomplete_table_rejected(self):
+        with pytest.raises(ValueError, match="missing codons"):
+            CodonSampler({"AUG": 1.0})
+
+
+class TestSerineExposure:
+    def test_agy_fraction_substantial(self):
+        """The paper's dropped AGU/AGC box carries a real share of Ser."""
+        human = serine_agy_fraction("human")
+        ecoli = serine_agy_fraction("ecoli")
+        assert 0.25 < human < 0.55
+        assert 0.25 < ecoli < 0.55
+
+    def test_builder_supports_organism_usage(self, rng):
+        from repro.seq.translate import translate
+        from repro.workloads.builder import encode_protein_as_rna
+
+        rna = encode_protein_as_rna("MLSRAG", rng=rng, codon_usage="human")
+        assert translate(rna).letters == "MLSRAG"

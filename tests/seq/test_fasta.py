@@ -1,0 +1,74 @@
+"""Tests for FASTA parsing/formatting."""
+
+import pytest
+
+from repro.seq import fasta
+
+
+SAMPLE = """>seq1 first record
+ACGU
+ACGU
+>seq2
+GGGG
+
+>seq3 empty
+"""
+
+
+class TestParsing:
+    def test_parse_records(self):
+        records = list(fasta.parse_fasta(SAMPLE))
+        assert records == [
+            ("seq1 first record", "ACGUACGU"),
+            ("seq2", "GGGG"),
+            ("seq3 empty", ""),
+        ]
+
+    def test_parse_uppercases(self):
+        records = list(fasta.parse_fasta(">x\nacgu\n"))
+        assert records == [("x", "ACGU")]
+
+    def test_parse_requires_header(self):
+        with pytest.raises(ValueError, match="header"):
+            list(fasta.parse_fasta("ACGU\n"))
+
+    def test_parse_empty_input(self):
+        assert list(fasta.parse_fasta("")) == []
+
+    def test_blank_lines_ignored(self):
+        records = list(fasta.parse_fasta(">a\n\nAC\n\nGU\n"))
+        assert records == [("a", "ACGU")]
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path):
+        path = tmp_path / "db.fasta"
+        records = [("r1", "ACGU" * 30), ("r2", "GG")]
+        count = fasta.write_fasta(path, records)
+        assert count == 2
+        assert fasta.read_fasta(path) == records
+
+    def test_wrapping(self):
+        text = fasta.format_fasta([("x", "A" * 150)], width=70)
+        lines = text.splitlines()
+        assert lines[0] == ">x"
+        assert len(lines[1]) == 70
+        assert len(lines[2]) == 70
+        assert len(lines[3]) == 10
+
+    def test_no_wrapping(self):
+        text = fasta.format_fasta([("x", "A" * 150)], width=0)
+        assert text.splitlines()[1] == "A" * 150
+
+    def test_read_proteins(self, tmp_path):
+        path = tmp_path / "q.fasta"
+        fasta.write_fasta(path, [("q1", "MFW"), ("q2", "ACDE")])
+        proteins = fasta.read_proteins(path)
+        assert [p.letters for p in proteins] == ["MFW", "ACDE"]
+        assert proteins[0].name == "q1"
+
+    def test_read_rna_transcribes_dna(self, tmp_path):
+        path = tmp_path / "r.fasta"
+        fasta.write_fasta(path, [("d", "ACGT"), ("r", "ACGU")])
+        sequences = fasta.read_rna(path)
+        assert [s.letters for s in sequences] == ["ACGU", "ACGU"]

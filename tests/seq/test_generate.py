@@ -1,0 +1,106 @@
+"""Tests for seeded random sequence generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.codons import CODON_TABLE, STOP_CODONS
+from repro.seq import alphabet
+from repro.seq.generate import (
+    UNIPROT_AA_FREQUENCIES,
+    random_coding_rna,
+    random_dna,
+    random_protein,
+    random_rna,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        assert random_rna(100, seed=7).letters == random_rna(100, seed=7).letters
+        assert random_protein(50, seed=7).letters == random_protein(50, seed=7).letters
+
+    def test_different_seeds_differ(self):
+        assert random_rna(100, seed=1).letters != random_rna(100, seed=2).letters
+
+    def test_rng_object_advances(self, rng):
+        a = random_rna(50, rng=rng)
+        b = random_rna(50, rng=rng)
+        assert a.letters != b.letters
+
+
+class TestRna:
+    def test_length(self):
+        assert len(random_rna(123, seed=0)) == 123
+
+    def test_alphabet(self):
+        letters = set(random_rna(500, seed=0).letters)
+        assert letters <= set(alphabet.RNA_NUCLEOTIDES)
+
+    def test_zero_length(self):
+        assert len(random_rna(0, seed=0)) == 0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            random_rna(-1, seed=0)
+
+    def test_gc_content_bias(self):
+        seq = random_rna(20_000, seed=0, gc_content=0.8).letters
+        gc = (seq.count("G") + seq.count("C")) / len(seq)
+        assert 0.77 < gc < 0.83
+
+    def test_gc_content_validated(self):
+        with pytest.raises(ValueError):
+            random_rna(10, seed=0, gc_content=1.5)
+
+    def test_dna_variant(self):
+        seq = random_dna(200, seed=0)
+        assert set(seq.letters) <= set(alphabet.DNA_NUCLEOTIDES)
+
+
+class TestProtein:
+    def test_length_and_alphabet(self):
+        seq = random_protein(200, seed=0)
+        assert len(seq) == 200
+        assert set(seq.letters) <= set(alphabet.AMINO_ACIDS)
+
+    def test_include_stop(self):
+        seq = random_protein(10, seed=0, include_stop=True)
+        assert len(seq) == 10
+        assert seq.letters.endswith("*")
+        assert "*" not in seq.letters[:-1]
+
+    def test_uniprot_composition_biases_leucine(self):
+        # Leu is the most common residue (~9.7 %); Trp the rarest (~1.1 %).
+        seq = random_protein(50_000, seed=0, composition="uniprot").letters
+        assert seq.count("L") / len(seq) > 0.07
+        assert seq.count("W") / len(seq) < 0.03
+
+    def test_uniform_composition(self):
+        seq = random_protein(50_000, seed=0, composition="uniform").letters
+        freq_l = seq.count("L") / len(seq)
+        assert 0.03 < freq_l < 0.07  # ~1/20
+
+    def test_unknown_composition_rejected(self):
+        with pytest.raises(ValueError, match="composition"):
+            random_protein(10, seed=0, composition="martian")
+
+    def test_frequencies_sum_to_one(self):
+        assert abs(sum(UNIPROT_AA_FREQUENCIES.values()) - 1.0) < 0.01
+
+
+class TestCodingRna:
+    def test_structure(self):
+        seq = random_coding_rna(10, seed=0)
+        assert len(seq) == 30
+        assert seq.letters[:3] == "AUG"
+        assert seq.letters[-3:] in STOP_CODONS
+
+    def test_no_internal_stops(self):
+        seq = random_coding_rna(50, seed=1).letters
+        internal = [seq[i : i + 3] for i in range(3, len(seq) - 3, 3)]
+        assert all(codon not in STOP_CODONS for codon in internal)
+        assert all(codon in CODON_TABLE for codon in internal)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            random_coding_rna(1, seed=0)

@@ -1,0 +1,134 @@
+"""Tests for the mutation models."""
+
+import numpy as np
+import pytest
+
+from repro.seq import alphabet
+from repro.seq.generate import random_protein, random_rna
+from repro.seq.mutate import (
+    apply_indels,
+    mutate_protein,
+    mutate_rna,
+    sample_indel_events,
+    substitute,
+)
+
+
+class TestSubstitute:
+    def test_rate_zero_is_identity(self, rng):
+        seq = random_rna(500, rng=rng)
+        result = substitute(seq.letters, 0.0, alphabet.RNA_NUCLEOTIDES, rng=rng)
+        assert result.letters == seq.letters
+        assert result.mutations == ()
+
+    def test_rate_one_changes_everything(self, rng):
+        seq = random_rna(200, rng=rng)
+        result = substitute(seq.letters, 1.0, alphabet.RNA_NUCLEOTIDES, rng=rng)
+        assert all(a != b for a, b in zip(seq.letters, result.letters))
+        assert result.num_substitutions == 200
+
+    def test_substitution_never_self(self, rng):
+        seq = random_rna(300, rng=rng)
+        result = substitute(seq.letters, 0.5, alphabet.RNA_NUCLEOTIDES, rng=rng)
+        for record in result.mutations:
+            assert record.payload != seq.letters[record.position]
+
+    def test_length_preserved(self, rng):
+        seq = random_rna(100, rng=rng)
+        result = substitute(seq.letters, 0.3, alphabet.RNA_NUCLEOTIDES, rng=rng)
+        assert len(result.letters) == 100
+
+    def test_rate_validated(self, rng):
+        with pytest.raises(ValueError):
+            substitute("ACGU", 1.5, alphabet.RNA_NUCLEOTIDES, rng=rng)
+
+    def test_records_report_positions(self, rng):
+        seq = random_rna(100, rng=rng)
+        result = substitute(seq.letters, 0.2, alphabet.RNA_NUCLEOTIDES, rng=rng)
+        rebuilt = list(seq.letters)
+        for record in result.mutations:
+            rebuilt[record.position] = record.payload
+        assert "".join(rebuilt) == result.letters
+
+
+class TestIndels:
+    def test_zero_events_identity(self, rng):
+        seq = random_rna(100, rng=rng)
+        result = apply_indels(seq.letters, 0, alphabet.RNA_NUCLEOTIDES, rng=rng)
+        assert result.letters == seq.letters
+
+    def test_event_count_recorded(self, rng):
+        seq = random_rna(500, rng=rng)
+        result = apply_indels(seq.letters, 5, alphabet.RNA_NUCLEOTIDES, rng=rng)
+        assert result.num_indels == 5
+
+    def test_indels_change_length_or_content(self, rng):
+        seq = random_rna(300, rng=rng)
+        result = apply_indels(seq.letters, 3, alphabet.RNA_NUCLEOTIDES, rng=rng)
+        assert result.letters != seq.letters
+
+    def test_negative_events_rejected(self, rng):
+        with pytest.raises(ValueError):
+            apply_indels("ACGU", -1, alphabet.RNA_NUCLEOTIDES, rng=rng)
+
+    def test_alphabet_respected(self, rng):
+        seq = random_rna(200, rng=rng)
+        result = apply_indels(seq.letters, 10, alphabet.RNA_NUCLEOTIDES, rng=rng)
+        assert set(result.letters) <= set(alphabet.RNA_NUCLEOTIDES)
+
+    def test_frame_preserving_blocks_multiple_of_three(self, rng):
+        seq = random_rna(600, rng=rng)
+        result = apply_indels(
+            seq.letters, 12, alphabet.RNA_NUCLEOTIDES, rng=rng, frame_preserving=True
+        )
+        for record in result.mutations:
+            assert len(record.payload) % 3 == 0
+
+    def test_frame_preserving_keeps_length_mod_three(self, rng):
+        seq = random_rna(300, rng=rng)
+        result = apply_indels(
+            seq.letters, 6, alphabet.RNA_NUCLEOTIDES, rng=rng, frame_preserving=True
+        )
+        assert len(result.letters) % 3 == len(seq.letters) % 3
+
+
+class TestConvenienceWrappers:
+    def test_mutate_rna_combines(self, rng):
+        seq = random_rna(400, rng=rng)
+        result = mutate_rna(seq, substitution_rate=0.1, indel_events=2, rng=rng)
+        assert result.num_indels == 2
+        assert result.num_substitutions > 0
+
+    def test_mutate_protein_alphabet(self, rng):
+        seq = random_protein(100, rng=rng)
+        result = mutate_protein(seq, substitution_rate=0.2, indel_events=1, rng=rng)
+        assert set(result.letters) <= set(alphabet.AMINO_ACIDS)
+
+    def test_seeded_reproducibility(self):
+        seq = random_rna(200, seed=5)
+        a = mutate_rna(seq, substitution_rate=0.1, indel_events=1, seed=9)
+        b = mutate_rna(seq, substitution_rate=0.1, indel_events=1, seed=9)
+        assert a == b
+
+
+class TestIndelDistribution:
+    """The zero-inflated empirical model behind the §IV-A statistic."""
+
+    def test_median_is_zero(self, rng):
+        samples = [sample_indel_events(750, rng=rng) for _ in range(2000)]
+        assert sorted(samples)[len(samples) // 2] == 0
+
+    def test_mean_rate_near_cited_value(self, rng):
+        # Neininger et al.: mean 0.09 indels/kb.
+        n = 30_000
+        length = 1000
+        total = sum(sample_indel_events(length, rng=rng) for _ in range(n))
+        mean_per_kb = total / n
+        assert 0.06 < mean_per_kb < 0.12
+
+    def test_zero_mean_yields_zero(self, rng):
+        assert sample_indel_events(1000, mean_per_kb=0.0, rng=rng) == 0
+
+    def test_short_regions_rarely_hit(self, rng):
+        hits = sum(sample_indel_events(150, rng=rng) > 0 for _ in range(5000))
+        assert hits / 5000 < 0.05

@@ -1,0 +1,116 @@
+"""Tests for the validated sequence types."""
+
+import pytest
+
+from repro.seq import DnaSequence, ProteinSequence, RnaSequence, SequenceError
+from repro.seq.sequence import as_protein, as_rna
+
+
+class TestValidation:
+    def test_rna_accepts_valid(self):
+        assert RnaSequence("ACGU").letters == "ACGU"
+
+    def test_rna_rejects_thymine(self):
+        with pytest.raises(SequenceError):
+            RnaSequence("ACGT")
+
+    def test_dna_rejects_uracil(self):
+        with pytest.raises(SequenceError):
+            DnaSequence("ACGU")
+
+    def test_protein_accepts_stop(self):
+        assert ProteinSequence("MFW*").letters == "MFW*"
+
+    def test_protein_rejects_invalid_letter(self):
+        with pytest.raises(SequenceError):
+            ProteinSequence("MFB")
+
+    def test_error_names_offending_letters(self):
+        with pytest.raises(SequenceError, match="X"):
+            ProteinSequence("MXW")
+
+    def test_empty_sequences_allowed(self):
+        assert len(RnaSequence("")) == 0
+        assert len(ProteinSequence("")) == 0
+
+
+class TestBehaviour:
+    def test_len_iter_index(self):
+        seq = RnaSequence("ACGU")
+        assert len(seq) == 4
+        assert list(seq) == ["A", "C", "G", "U"]
+        assert seq[1] == "C"
+
+    def test_slice_preserves_type_and_name(self):
+        seq = RnaSequence("ACGUACGU", name="r1")
+        piece = seq[2:6]
+        assert isinstance(piece, RnaSequence)
+        assert piece.letters == "GUAC"
+        assert piece.name == "r1"
+
+    def test_equality_ignores_name(self):
+        assert RnaSequence("ACG", name="a") == RnaSequence("ACG", name="b")
+
+    def test_repr_truncates_long_sequences(self):
+        seq = RnaSequence("A" * 100)
+        assert "..." in repr(seq)
+        assert "len=100" in repr(seq)
+
+    def test_str_is_letters(self):
+        assert str(ProteinSequence("MFW")) == "MFW"
+
+    def test_hashable(self):
+        assert {RnaSequence("ACG")} == {RnaSequence("ACG")}
+
+
+class TestConversions:
+    def test_dna_to_rna(self):
+        assert DnaSequence("ACGT").to_rna() == RnaSequence("ACGU")
+
+    def test_rna_to_dna(self):
+        assert RnaSequence("ACGU").to_dna() == DnaSequence("ACGT")
+
+    def test_reverse_complement_rna(self):
+        assert RnaSequence("AACG").reverse_complement() == RnaSequence("CGUU")
+
+    def test_reverse_complement_dna(self):
+        assert DnaSequence("AACG").reverse_complement() == DnaSequence("CGTT")
+
+    def test_codes(self):
+        assert RnaSequence("ACGU").codes() == [0, 1, 2, 3]
+
+    def test_three_letter_rendering(self):
+        assert ProteinSequence("MF*").three_letter() == "Met-Phe-Stop"
+
+
+class TestCoercions:
+    def test_as_rna_passthrough(self):
+        seq = RnaSequence("ACGU")
+        assert as_rna(seq) is seq
+
+    def test_as_rna_from_dna(self):
+        assert as_rna(DnaSequence("ACGT")).letters == "ACGU"
+
+    def test_as_rna_from_string_rna(self):
+        assert as_rna("ACGU").letters == "ACGU"
+
+    def test_as_rna_from_string_dna(self):
+        assert as_rna("ACGT").letters == "ACGU"
+
+    def test_as_rna_ambiguous_prefers_rna(self):
+        assert isinstance(as_rna("ACCA"), RnaSequence)
+
+    def test_as_rna_rejects_garbage(self):
+        with pytest.raises(SequenceError):
+            as_rna("HELLO WORLD")
+
+    def test_as_rna_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            as_rna(42)
+
+    def test_as_protein_from_string(self):
+        assert as_protein("MFW").letters == "MFW"
+
+    def test_as_protein_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            as_protein(3.14)

@@ -1,0 +1,83 @@
+"""Tests for sequence composition statistics."""
+
+import pytest
+
+from repro.seq.generate import random_rna
+from repro.seq.stats import (
+    codon_counts,
+    composition_chi2,
+    gc_content,
+    kmer_spectrum,
+    nucleotide_composition,
+    shannon_entropy,
+)
+
+
+class TestComposition:
+    def test_fractions_sum_to_one(self, rng):
+        composition = nucleotide_composition(random_rna(400, rng=rng))
+        assert sum(composition.values()) == pytest.approx(1.0)
+
+    def test_known_sequence(self):
+        composition = nucleotide_composition("AACG")
+        assert composition == {"A": 0.5, "C": 0.25, "G": 0.25, "U": 0.0}
+
+    def test_empty(self):
+        assert sum(nucleotide_composition("").values()) == 0.0
+        assert shannon_entropy("") == 0.0
+
+    def test_gc_content(self):
+        assert gc_content("GGCC") == 1.0
+        assert gc_content("AAUU") == 0.0
+        assert gc_content("ACGU") == 0.5
+
+    def test_gc_matches_generator_bias(self, rng):
+        sequence = random_rna(30_000, rng=rng, gc_content=0.7)
+        assert gc_content(sequence) == pytest.approx(0.7, abs=0.02)
+
+    def test_dna_input_accepted(self):
+        assert gc_content("GGCCAATT") == 0.5
+
+
+class TestCodonsAndKmers:
+    def test_codon_counts_frames(self):
+        counts0 = codon_counts("AUGUUU")
+        assert counts0 == {"AUG": 1, "UUU": 1}
+        counts1 = codon_counts("AAUGUUU", frame=1)
+        assert counts1 == {"AUG": 1, "UUU": 1}
+
+    def test_codon_counts_frame_validated(self):
+        with pytest.raises(ValueError):
+            codon_counts("AUG", frame=3)
+
+    def test_kmer_spectrum_total(self, rng):
+        sequence = random_rna(200, rng=rng)
+        spectrum = kmer_spectrum(sequence, k=4)
+        assert sum(spectrum.values()) == 200 - 4 + 1
+
+    def test_kmer_validated(self):
+        with pytest.raises(ValueError):
+            kmer_spectrum("ACGU", k=0)
+
+    def test_kmer_known(self):
+        assert kmer_spectrum("AAAA", k=2) == {"AA": 3}
+
+
+class TestScalars:
+    def test_chi2_small_for_uniform_generator(self, rng):
+        sequence = random_rna(40_000, rng=rng)
+        # 3 degrees of freedom: chi2 above ~16 would be p < 0.001.
+        assert composition_chi2(sequence) < 16.0
+
+    def test_chi2_large_for_biased_sequence(self):
+        assert composition_chi2("G" * 1000) > 100
+
+    def test_chi2_against_matching_target(self, rng):
+        sequence = random_rna(40_000, rng=rng, gc_content=0.7)
+        target = {"A": 0.15, "C": 0.35, "G": 0.35, "U": 0.15}
+        assert composition_chi2(sequence, target) < 16.0
+
+    def test_entropy_bounds(self, rng):
+        assert shannon_entropy("AAAA") == 0.0
+        assert shannon_entropy("ACGU") == pytest.approx(2.0)
+        assert 1.9 < shannon_entropy(random_rna(20_000, rng=rng)) <= 2.0

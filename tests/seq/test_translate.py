@@ -1,0 +1,94 @@
+"""Tests for forward translation (the TBLASTN substrate)."""
+
+import pytest
+
+from repro.seq.sequence import RnaSequence
+from repro.seq.translate import (
+    frame_to_nucleotide,
+    open_reading_frames,
+    translate,
+    translate_frames,
+    translate_six_frames,
+)
+
+
+class TestTranslate:
+    def test_basic(self):
+        assert translate("AUGUUUUGG").letters == "MFW"
+
+    def test_dna_input_transcribed(self):
+        assert translate("ATGTTTTGG").letters == "MFW"
+
+    def test_stop_rendering(self):
+        assert translate("AUGUAA").letters == "M*"
+
+    def test_to_stop_truncates(self):
+        assert translate("AUGUAAUUU", to_stop=True).letters == "M"
+
+    def test_partial_codon_dropped(self):
+        assert translate("AUGUU").letters == "M"
+
+    def test_empty(self):
+        assert translate("").letters == ""
+
+    def test_paper_example(self):
+        # The paper's worked query: Met-Phe-Ser-Arg-Stop.
+        assert translate("AUGUUUUCGCGAUGA").letters == "MFSR*"
+
+
+class TestFrames:
+    def test_three_forward_frames(self):
+        frames = translate_frames("AAUGUUU")
+        assert [f for f, _ in frames] == [0, 1, 2]
+        assert frames[1][1].letters == "MF"  # AUG UUU starting at offset 1
+
+    def test_six_frames_count(self):
+        frames = translate_six_frames("AUGGCUUAA")
+        assert [f for f, _ in frames] == [0, 1, 2, 3, 4, 5]
+
+    def test_reverse_frames_use_reverse_complement(self):
+        rna = RnaSequence("AUGUUU")
+        frames = dict(translate_six_frames(rna))
+        # revcomp(AUGUUU) = AAACAU -> frame 3 translates AAA CAU = KH.
+        assert frames[3].letters == "KH"
+
+    def test_frame_to_nucleotide_forward(self):
+        assert frame_to_nucleotide(0, 0, 30) == 0
+        assert frame_to_nucleotide(1, 2, 30) == 7
+        assert frame_to_nucleotide(2, 0, 30) == 2
+
+    def test_frame_to_nucleotide_reverse(self):
+        # Reverse frame 3, protein position 0: last codon of forward strand.
+        assert frame_to_nucleotide(3, 0, 30) == 27
+
+    def test_frame_to_nucleotide_validates(self):
+        with pytest.raises(ValueError):
+            frame_to_nucleotide(6, 0, 30)
+
+    def test_forward_frame_mapping_consistent_with_translation(self):
+        rna = "CCAUGUUUUAG"
+        for frame, protein in translate_frames(rna):
+            for pos, aa in enumerate(protein.letters):
+                nt = frame_to_nucleotide(frame, pos, len(rna))
+                codon = rna[nt : nt + 3]
+                assert translate(codon).letters == aa
+
+
+class TestOrfs:
+    def test_finds_planted_orf(self):
+        orf_rna = "AUG" + "UUU" * 12 + "UAA"
+        background = "CC" + orf_rna + "GGGG"
+        orfs = open_reading_frames(background, min_codons=10)
+        assert len(orfs) == 1
+        start, end, protein = orfs[0]
+        assert start == 2
+        assert end == 2 + len(orf_rna)
+        assert protein.letters == "M" + "F" * 12 + "*"
+
+    def test_min_codons_filters(self):
+        short = "CCAUGUUUUAAGG"
+        assert open_reading_frames(short, min_codons=10) == []
+        assert len(open_reading_frames(short, min_codons=2)) == 1
+
+    def test_no_orfs_in_stop_free_sequence(self):
+        assert open_reading_frames("AUGUUUUUC", min_codons=1) == []

@@ -1,0 +1,161 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def synthetic_files(tmp_path):
+    db = tmp_path / "db.fasta"
+    queries = tmp_path / "q.fasta"
+    code = main(
+        [
+            "generate",
+            "--queries", "2",
+            "--length", "20",
+            "--references", "2",
+            "--reference-length", "4000",
+            "--seed", "5",
+            "--out-db", str(db),
+            "--out-queries", str(queries),
+        ]
+    )
+    assert code == 0
+    return db, queries
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--device", "asic"])
+
+
+class TestEncode:
+    def test_inline_query(self, capsys):
+        assert main(["encode", "--query", "MFSR*"]) == 0
+        out = capsys.readouterr().out
+        assert "AUG-UU(C/U)" in out
+        assert "hex bytes" in out
+
+    def test_bits_flag(self, capsys):
+        assert main(["encode", "--query", "M", "--bits"]) == 0
+        out = capsys.readouterr().out
+        assert "000000 001100 001000" in out
+
+    def test_missing_query_errors(self):
+        with pytest.raises(SystemExit):
+            main(["encode"])
+
+
+class TestSearch:
+    def test_finds_planted(self, synthetic_files, capsys):
+        db, queries = synthetic_files
+        code = main(
+            [
+                "search",
+                "--query-file", str(queries),
+                "--database", str(db),
+                "--min-identity", "0.9",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 hits >=" in out
+        assert "synthetic_ref_" in out
+
+    def test_generate_reports_plantings(self, synthetic_files, capsys):
+        # (fixture already ran generate; re-run to capture output)
+        db, queries = synthetic_files
+        assert db.exists() and queries.exists()
+
+    def test_both_strands_flag(self, synthetic_files, capsys):
+        db, queries = synthetic_files
+        code = main(
+            [
+                "search",
+                "--query-file", str(queries),
+                "--database", str(db),
+                "--both-strands",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "strand" in out
+
+    def test_rescore_flag(self, synthetic_files, capsys):
+        db, queries = synthetic_files
+        code = main(
+            [
+                "search",
+                "--query-file", str(queries),
+                "--database", str(db),
+                "--rescore",
+                "--max-evalue", "1e-2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
+        assert "E-value" in out
+
+
+class TestModelCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "FabP-50" in out and "FabP-250" in out
+        assert "GB/s" in out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup_vs_cpu12" in out
+
+    def test_crossover(self, capsys):
+        assert main(["crossover"]) == 0
+        out = capsys.readouterr().out
+        assert "crossover at" in out
+
+    def test_crossover_large_device(self, capsys):
+        assert main(["crossover", "--device", "large"]) == 0
+        out = capsys.readouterr().out
+        assert "Large" in out
+
+    def test_stats(self, capsys):
+        assert main(["stats", "--query", "MFWKLE", "--reference-length", "1000000"]) == 0
+        out = capsys.readouterr().out
+        assert "null score" in out
+        assert "suggested threshold" in out
+
+    def test_export_rtl(self, tmp_path, capsys):
+        code = main(
+            ["export-rtl", "--query", "MFW", "--out", str(tmp_path), "--loadable"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fmax" in out
+        files = list(tmp_path.glob("*.v"))
+        assert len(files) == 1
+        assert "FDRE" in files[0].read_text()
+
+    def test_compose(self, capsys):
+        assert main(["compose", "--query", "MFW"]) == 0
+        out = capsys.readouterr().out
+        assert "Met (M)" in out
+        assert "expected null" in out
+
+    def test_plan(self, capsys):
+        code = main(["plan", "--queries", "30x10", "250x2", "--boards", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "queries/hour" in out
+        assert "FabP vs GPU" in out
+
+    def test_plan_bad_spec(self):
+        with pytest.raises(SystemExit, match="LENxCOUNT"):
+            main(["plan", "--queries", "banana"])

@@ -1,0 +1,76 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that must not rot; each is executed as a
+subprocess (fast parameters where scripts allow) and checked for a zero
+exit code and its signature output.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = _run("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "AUG-UU(C/U)" in result.stdout
+        assert "hits" in result.stdout
+
+    def test_database_search(self):
+        result = _run("database_search.py")
+        assert result.returncode == 0, result.stderr
+        assert "FabP" in result.stdout
+        assert "NO" not in result.stdout.split("query")[0]  # header clean
+
+    def test_hardware_walkthrough(self):
+        result = _run("hardware_walkthrough.py")
+        assert result.returncode == 0, result.stderr
+        assert "physical LUTs: 2" in result.stdout
+        assert "FabP-250" in result.stdout
+
+    def test_reproduce_paper(self):
+        result = _run("reproduce_paper.py")
+        assert result.returncode == 0, result.stderr
+        assert "Table I" in result.stdout
+        assert "crossover" in result.stdout
+
+    def test_export_rtl(self, tmp_path):
+        result = _run("export_rtl.py", str(tmp_path))
+        assert result.returncode == 0, result.stderr
+        assert (tmp_path / "fabp_comparator.v").exists()
+        assert (tmp_path / "fabp_array.vcd").exists()
+
+    def test_threshold_tuning(self):
+        result = _run("threshold_tuning.py")
+        assert result.returncode == 0, result.stderr
+        assert "Operating point" in result.stdout
+
+    def test_cluster_scaleout(self):
+        result = _run("cluster_scaleout.py")
+        assert result.returncode == 0, result.stderr
+        assert "batch speedup" in result.stdout
+
+    def test_deployment_planning(self):
+        result = _run("deployment_planning.py")
+        assert result.returncode == 0, result.stderr
+        assert "queries/hour" in result.stdout
+
+    @pytest.mark.slow
+    def test_accuracy_study(self):
+        result = _run("accuracy_study.py", timeout=600)
+        assert result.returncode == 0, result.stderr
+        assert "Recall on planted homologs" in result.stdout

@@ -1,0 +1,143 @@
+"""Tests for synthetic workload builders."""
+
+import numpy as np
+import pytest
+
+from repro.core.aligner import align
+from repro.core.codons import CODON_TABLE, CODONS_FOR
+from repro.seq.translate import translate
+from repro.workloads.builder import (
+    build_database,
+    encode_protein_as_rna,
+    plant_homolog,
+    sample_queries,
+)
+
+
+class TestEncodeProteinAsRna:
+    def test_translates_back_to_protein(self, rng):
+        queries = sample_queries(5, length=30, rng=rng)
+        for query in queries:
+            rna = encode_protein_as_rna(query, rng=rng)
+            assert translate(rna).letters == query.letters
+
+    def test_first_mode_deterministic(self):
+        a = encode_protein_as_rna("MFW", codon_usage="first")
+        b = encode_protein_as_rna("MFW", codon_usage="first")
+        assert a == b
+        assert a.letters == CODONS_FOR["M"][0] + CODONS_FOR["F"][0] + CODONS_FOR["W"][0]
+
+    def test_uniform_mode_varies_codons(self, rng):
+        rnas = {encode_protein_as_rna("LLLLLLLL", rng=rng).letters for _ in range(20)}
+        assert len(rnas) > 1  # Leu has six codons; variety expected
+
+    def test_paper_mode_avoids_agy_serine(self, rng):
+        for _ in range(30):
+            rna = encode_protein_as_rna("SSSS", rng=rng, codon_usage="paper").letters
+            for start in range(0, 12, 3):
+                assert rna[start : start + 3].startswith("UC")
+
+    def test_paper_mode_regions_score_perfectly(self, rng):
+        query = sample_queries(1, length=20, rng=rng)[0]
+        rna = encode_protein_as_rna(query, rng=rng, codon_usage="paper")
+        result = align(query, rna, threshold=60)
+        assert len(result.hits) == 1
+
+
+class TestPlantHomolog:
+    def test_overwrite_semantics(self):
+        assert plant_homolog("AAAAAAAA", "GGG", 2) == "AAGGGAAA"
+
+    def test_length_preserved(self):
+        assert len(plant_homolog("A" * 100, "G" * 10, 50)) == 100
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            plant_homolog("AAAA", "GGG", 3)
+        with pytest.raises(ValueError):
+            plant_homolog("AAAA", "GGG", -1)
+
+
+class TestBuildDatabase:
+    def test_ledger_matches_references(self, rng):
+        queries = sample_queries(4, length=20, rng=rng)
+        database = build_database(
+            queries, num_references=2, reference_length=2000, rng=rng
+        )
+        assert len(database.planted) == 4
+        for planting in database.planted:
+            reference = database.references[planting.reference_index]
+            region = reference.letters[
+                planting.position : planting.position + len(planting.region)
+            ]
+            assert region == planting.region
+
+    def test_clean_plantings_align_perfectly(self, rng):
+        queries = sample_queries(3, length=15, rng=rng)
+        database = build_database(
+            queries,
+            num_references=3,
+            reference_length=2000,
+            codon_usage="paper",
+            rng=rng,
+        )
+        for query, planting in zip(queries, database.planted):
+            result = align(query, database.references[planting.reference_index],
+                           min_identity=0.99)
+            assert any(h.position == planting.position for h in result.hits)
+
+    def test_mutation_counters(self, rng):
+        queries = sample_queries(2, length=30, rng=rng)
+        database = build_database(
+            queries,
+            reference_length=3000,
+            substitution_rate=0.2,
+            indel_events=2,
+            rng=rng,
+        )
+        for planting in database.planted:
+            assert planting.indels == 2
+            assert planting.has_indel
+            assert planting.substitutions > 0
+
+    def test_plants_per_query(self, rng):
+        queries = sample_queries(2, length=10, rng=rng)
+        database = build_database(
+            queries, plants_per_query=3, reference_length=2000, rng=rng
+        )
+        assert len(database.planted) == 6
+
+    def test_reference_too_short_rejected(self, rng):
+        queries = sample_queries(1, length=100, rng=rng)
+        with pytest.raises(ValueError, match="too short"):
+            build_database(queries, reference_length=200, rng=rng)
+
+    def test_planted_in_lookup(self, rng):
+        queries = sample_queries(4, length=10, rng=rng)
+        database = build_database(queries, num_references=2, reference_length=1500, rng=rng)
+        by_ref = [database.planted_in(i) for i in range(2)]
+        assert sum(len(p) for p in by_ref) == 4
+
+    def test_total_nucleotides(self, rng):
+        queries = sample_queries(1, length=10, rng=rng)
+        database = build_database(
+            queries, num_references=3, reference_length=1000, rng=rng
+        )
+        assert database.total_nucleotides == 3000
+
+
+class TestSampleQueries:
+    def test_count_and_length(self, rng):
+        queries = sample_queries(5, length=25, rng=rng)
+        assert len(queries) == 5
+        assert all(len(q) == 25 for q in queries)
+
+    def test_jitter(self, rng):
+        queries = sample_queries(20, length=25, length_jitter=5, rng=rng)
+        lengths = {len(q) for q in queries}
+        assert len(lengths) > 1
+        assert all(20 <= n <= 30 for n in lengths)
+
+    def test_names_assigned(self, rng):
+        queries = sample_queries(3, length=10, rng=rng)
+        assert [q.name for q in queries] == ["query_0", "query_1", "query_2"]

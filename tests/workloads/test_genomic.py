@@ -1,0 +1,91 @@
+"""Tests for the gene-rich reference builder."""
+
+import numpy as np
+import pytest
+
+from repro.core.codons import STOP_CODONS
+from repro.seq.sequence import RnaSequence
+from repro.seq.translate import translate
+from repro.workloads.genomic import (
+    GenomicReference,
+    build_genomic_reference,
+    plant_query_gene,
+)
+
+
+@pytest.fixture
+def genome(rng):
+    return build_genomic_reference(
+        20_000, coding_fraction=0.5, organism="human", rng=rng
+    )
+
+
+class TestBuilder:
+    def test_length_exact(self, genome):
+        assert len(genome.sequence) == 20_000
+
+    def test_coding_fraction_near_target(self, genome):
+        assert 0.3 <= genome.coding_fraction <= 0.75
+
+    def test_genes_annotated_correctly(self, genome):
+        """Every + strand gene starts AUG and ends at a stop codon; every
+        - strand gene does after reverse complementing."""
+        text = genome.sequence.letters
+        for gene in genome.genes:
+            segment = text[gene.start : gene.end]
+            assert len(segment) % 3 == 0
+            if gene.strand == "-":
+                segment = RnaSequence(segment).reverse_complement().letters
+            assert segment.startswith("AUG")
+            assert segment[-3:] in STOP_CODONS
+            protein = translate(segment)
+            assert len(protein) == gene.protein_length + 2  # start + stop
+
+    def test_no_internal_stops_in_genes(self, genome):
+        text = genome.sequence.letters
+        for gene in genome.genes[:20]:
+            segment = text[gene.start : gene.end]
+            if gene.strand == "-":
+                segment = RnaSequence(segment).reverse_complement().letters
+            body = translate(segment).letters[:-1]
+            assert "*" not in body
+
+    def test_both_strands_used(self, genome):
+        strands = {g.strand for g in genome.genes}
+        assert strands == {"+", "-"}
+
+    def test_deterministic(self):
+        a = build_genomic_reference(5000, seed=9)
+        b = build_genomic_reference(5000, seed=9)
+        assert a.sequence == b.sequence
+        assert a.genes == b.genes
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            build_genomic_reference(50, rng=rng)
+        with pytest.raises(ValueError):
+            build_genomic_reference(1000, coding_fraction=1.0, rng=rng)
+        with pytest.raises(ValueError):
+            build_genomic_reference(1000, antisense_fraction=2.0, rng=rng)
+
+    def test_zero_coding(self, rng):
+        genome = build_genomic_reference(3000, coding_fraction=0.0, rng=rng)
+        assert genome.genes == ()
+
+
+class TestPlanting:
+    def test_planted_gene_recovered(self, genome, rng):
+        from repro.core.aligner import align
+        from repro.seq.generate import random_protein
+
+        query = random_protein(30, rng=rng)
+        planted, position = plant_query_gene(genome, query, rng=rng)
+        result = align(query, planted.sequence, min_identity=0.85)
+        assert any(abs(h.position - position) <= 2 for h in result.hits)
+
+    def test_reference_too_short(self, rng):
+        tiny = build_genomic_reference(150, coding_fraction=0.0, rng=rng)
+        from repro.seq.generate import random_protein
+
+        with pytest.raises(ValueError, match="too short"):
+            plant_query_gene(tiny, random_protein(100, rng=rng), rng=rng)
