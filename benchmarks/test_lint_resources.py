@@ -1,0 +1,70 @@
+"""Lint + resource regression tracking for the generated netlists.
+
+Runs the full static-analysis pass (the same one ``fabp-repro lint`` and CI
+execute) over every demo design, asserts the paper's structural budgets
+(§III-D: two LUTs per element; Fig. 4: 36 LUTs per Pop36), and writes the
+machine-readable report to ``benchmarks/out/lint_resources.json`` so LUT/FF
+counts can be diffed across revisions.
+"""
+
+import json
+
+from repro.core.encoding import encode_query
+from repro.core.instr_lint import lint_query
+from repro.lint import render_json
+from repro.rtl.lint import demo_designs, lint_netlist
+
+#: Exact structural budgets from the paper (None = tracked, not pinned).
+LUT_BUDGETS = {
+    "element_comparator": 2,  # §III-D: two physical LUTs per query element
+    "instance_comparator_4": 8,  # 2 LUTs x 4 elements
+    "popcounter_fabp_36": 36,  # Fig. 4: one Pop36 block
+    "popcounter_fabp_72": None,
+    "popcounter_fabp_750": None,
+    "popcounter_tree_36": None,
+}
+
+
+def test_lint_resources(artifact_dir):
+    designs = dict(demo_designs())
+    reports = []
+    resources = {}
+    for name, netlist in designs.items():
+        reports.append(lint_netlist(netlist))
+        resources[name] = netlist.stats()
+    reports.append(lint_query(encode_query("ACDEFGHIKLMNPQRSTVWY")))
+
+    # Acceptance bar: the shipped generators and the default encoder carry
+    # zero lint errors.
+    for report in reports:
+        assert report.ok, [str(f) for f in report.errors]
+
+    for name, budget in LUT_BUDGETS.items():
+        assert name in resources, f"demo design {name} disappeared"
+        if budget is not None:
+            assert resources[name]["luts"] == budget, (
+                f"{name}: {resources[name]['luts']} LUTs, paper budget {budget}"
+            )
+
+    # The §III-D area claim, restated as a budget: the hand-crafted
+    # pop-counter must beat the naive tree adder at equal width.
+    assert (
+        resources["popcounter_fabp_36"]["luts"]
+        < resources["popcounter_tree_36"]["luts"]
+    )
+
+    payload = render_json(
+        reports,
+        extra={
+            "resources": resources,
+            "budgets": {k: v for k, v in LUT_BUDGETS.items() if v is not None},
+        },
+    )
+    path = artifact_dir / "lint_resources.json"
+    path.write_text(payload + "\n", encoding="utf-8")
+    print(f"\n[written to {path}]")
+
+    # The artifact must round-trip and keep the summary consistent.
+    parsed = json.loads(payload)
+    assert parsed["summary"]["errors"] == 0
+    assert set(parsed["resources"]) == set(designs)

@@ -19,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.accel.device import FpgaDevice, KINTEX7
 from repro.accel.kernel import FabPKernel, KernelRun

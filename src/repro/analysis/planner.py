@@ -10,10 +10,9 @@ boards, multi-query sharing) applied.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
 
 from repro.accel.device import FpgaDevice, KINTEX7
 from repro.accel.multi_query import queries_per_pass

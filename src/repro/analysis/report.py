@@ -6,7 +6,7 @@ comparisons look the same everywhere (and EXPERIMENTS.md can paste them).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 
 def text_table(

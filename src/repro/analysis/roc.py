@@ -19,8 +19,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.aligner import alignment_scores
-from repro.core.encoding import EncodedQuery, encode_query
-from repro.workloads.builder import SyntheticDatabase, build_database, sample_queries
+from repro.workloads.builder import build_database, sample_queries
 
 #: Tolerance (nt) for matching a hit to its planting site.
 POSITION_TOLERANCE = 6

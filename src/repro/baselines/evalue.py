@@ -20,10 +20,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
-from repro.baselines.scoring import BLOSUM62, ProteinScoring
-from repro.seq import alphabet
+from repro.baselines.scoring import ProteinScoring
 from repro.seq.generate import UNIPROT_AA_FREQUENCIES
 
 #: Published NCBI value of K for ungapped BLOSUM62 / standard composition.

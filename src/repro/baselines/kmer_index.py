@@ -11,10 +11,9 @@ for them and this module implements them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import product
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List
 
-from repro.baselines.scoring import BLOSUM62, ProteinScoring
+from repro.baselines.scoring import ProteinScoring
 from repro.seq import alphabet
 
 

@@ -23,7 +23,7 @@ FabP's sequential streaming.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.kmer_index import KmerIndex, WordHit

@@ -9,6 +9,7 @@ Subcommands:
 * ``fig6``      — print the Fig. 6 performance/energy sweep
 * ``crossover`` — print the §IV-B bandwidth/resource crossover sweep
 * ``stats``     — null-score statistics and threshold suggestion for a query
+* ``lint``      — static lint of generated netlists and instruction streams
 
 Everything is deterministic given ``--seed``.
 """
@@ -17,7 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -320,6 +321,47 @@ def cmd_plan(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.core.encoding import encode_query
+    from repro.core.instr_lint import lint_query
+    from repro.lint import render_json, render_text
+    from repro.rtl.lint import demo_designs, lint_netlist
+    from repro.seq.sequence import ProteinSequence
+
+    ignore = [r for spec in args.ignore for r in spec.split(",") if r]
+    reports = []
+    resources = {}
+    for name, netlist in demo_designs():
+        reports.append(lint_netlist(netlist, ignore=ignore))
+        resources[name] = netlist.stats()
+    if args.query or args.query_file:
+        queries = _load_queries(args)
+    else:
+        # Default: the full amino-acid alphabet exercises every opcode.
+        queries = [ProteinSequence("ACDEFGHIKLMNPQRSTVWY", name="alphabet")]
+    for query in queries:
+        reports.append(lint_query(encode_query(query), ignore=ignore))
+
+    if args.format == "json":
+        text = render_json(reports, extra={"resources": resources})
+    else:
+        text = render_text(reports)
+    if args.out:
+        import pathlib
+
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+        print(f"wrote {path}")
+    else:
+        print(text)
+
+    failed = any(not r.ok for r in reports)
+    if args.strict:
+        failed = failed or any(r.warnings for r in reports)
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="FabP reproduction command-line interface"
@@ -397,6 +439,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable multi-query fabric sharing")
     p.add_argument("--device", choices=sorted(DEVICES), default="kintex7")
     p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser(
+        "lint", help="static lint of generated netlists and instruction streams"
+    )
+    add_query_args(p)
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--out", help="write the report to a file instead of stdout")
+    p.add_argument("--ignore", action="append", default=[], metavar="RULES",
+                   help="comma-separated rule ids to suppress (repeatable)")
+    p.add_argument("--strict", action="store_true",
+                   help="treat warnings as failures")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("stats", help="null-score statistics for queries")
     add_query_args(p)

@@ -7,7 +7,8 @@ This package is the paper's primary contribution in software form:
 * :mod:`repro.core.encoding` — the 6-bit instruction set;
 * :mod:`repro.core.comparator` — normative comparator semantics and LUT
   INIT derivation (Fig. 5);
-* :mod:`repro.core.aligner` — the golden substitution-only aligner.
+* :mod:`repro.core.aligner` — the golden substitution-only aligner;
+* :mod:`repro.core.instr_lint` — static lint over instruction streams.
 """
 
 from repro.core.aligner import (
@@ -25,8 +26,10 @@ from repro.core.backtranslate import (
     pattern_string,
 )
 from repro.core.encoding import EncodedQuery, encode_query
+from repro.core.instr_lint import INSTRUCTION_RULES, lint_instructions, lint_query
 
 __all__ = [
+    "INSTRUCTION_RULES",
     "AlignmentResult",
     "BACK_TRANSLATION_TABLE",
     "CodonPattern",
@@ -37,6 +40,8 @@ __all__ = [
     "alignment_scores_extended",
     "back_translate",
     "encode_query",
+    "lint_instructions",
+    "lint_query",
     "pattern_string",
     "search_database",
 ]

@@ -17,7 +17,7 @@ module on randomized inputs, so all three implementations agree.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -25,7 +25,12 @@ from repro.core import backtranslate as bt
 from repro.core import comparator as cmp
 from repro.core.encoding import EncodedQuery, encode_query
 from repro.seq import packing
-from repro.seq.sequence import RnaSequence, as_rna
+from repro.seq.sequence import DnaSequence, ProteinSequence, RnaSequence, as_rna
+
+#: Anything the aligner accepts as a query: pre-encoded, protein, or letters.
+QueryLike = Union[EncodedQuery, ProteinSequence, str]
+#: Anything accepted as a reference: letters, sequence objects, or 2-bit codes.
+ReferenceLike = Union[str, DnaSequence, RnaSequence, np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -76,13 +81,13 @@ class AlignmentResult:
         )
 
 
-def _coerce_query(query: Union[EncodedQuery, str, "object"]) -> EncodedQuery:
+def _coerce_query(query: QueryLike) -> EncodedQuery:
     if isinstance(query, EncodedQuery):
         return query
     return encode_query(query)
 
 
-def _reference_codes(reference) -> Tuple[np.ndarray, str]:
+def _reference_codes(reference: ReferenceLike) -> Tuple[np.ndarray, str]:
     if isinstance(reference, np.ndarray):
         return np.asarray(reference, dtype=np.uint8), ""
     rna = as_rna(reference)
@@ -138,7 +143,7 @@ def _x_bit_arrays(ref_codes: np.ndarray) -> np.ndarray:
     return rows
 
 
-def alignment_scores(query, reference) -> np.ndarray:
+def alignment_scores(query: QueryLike, reference: ReferenceLike) -> np.ndarray:
     """Scores of all ``L_r - L_q + 1`` alignment positions (vectorized).
 
     ``query`` is an :class:`EncodedQuery`, protein sequence or string;
@@ -167,7 +172,7 @@ def alignment_scores(query, reference) -> np.ndarray:
     return scores
 
 
-def alignment_scores_naive(query, reference) -> np.ndarray:
+def alignment_scores_naive(query: QueryLike, reference: ReferenceLike) -> np.ndarray:
     """Reference implementation with explicit loops (test oracle)."""
     encoded = _coerce_query(query)
     ref_codes, _ = _reference_codes(reference)
@@ -189,7 +194,9 @@ def alignment_scores_naive(query, reference) -> np.ndarray:
     return scores
 
 
-def alignment_scores_extended(protein, reference) -> np.ndarray:
+def alignment_scores_extended(
+    protein: Union[ProteinSequence, str], reference: ReferenceLike
+) -> np.ndarray:
     """Extended-mode scores: per residue, the best of *all* its patterns.
 
     This removes the paper's Serine approximation (see DESIGN.md).  It is a
@@ -230,8 +237,8 @@ def alignment_scores_extended(protein, reference) -> np.ndarray:
 
 
 def align(
-    query,
-    reference,
+    query: QueryLike,
+    reference: ReferenceLike,
     *,
     threshold: Optional[int] = None,
     min_identity: Optional[float] = None,
@@ -261,8 +268,8 @@ def align(
 
 
 def search_database(
-    query,
-    references,
+    query: QueryLike,
+    references: Iterable[ReferenceLike],
     *,
     threshold: Optional[int] = None,
     min_identity: Optional[float] = None,

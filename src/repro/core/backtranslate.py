@@ -340,7 +340,7 @@ def derive_pattern(amino: str, codons: Tuple[str, ...]) -> CodonPattern:
     return pattern
 
 
-def _build_tables():
+def _build_tables() -> Tuple[Dict[str, CodonPattern], Dict[str, Tuple[CodonPattern, ...]]]:
     paper: Dict[str, CodonPattern] = {}
     extended: Dict[str, Tuple[CodonPattern, ...]] = {}
     for amino in alphabet.AMINO_ACIDS_WITH_STOP:
@@ -364,7 +364,7 @@ EXTENDED_TABLE: Dict[str, Tuple[CodonPattern, ...]]
 BACK_TRANSLATION_TABLE, EXTENDED_TABLE = _build_tables()
 
 
-def back_translate(protein, *, table: Optional[Dict[str, CodonPattern]] = None) -> Tuple[CodonPattern, ...]:
+def back_translate(protein: Union[ProteinSequence, str], *, table: Optional[Dict[str, CodonPattern]] = None) -> Tuple[CodonPattern, ...]:
     """Back-translate a protein into a tuple of codon patterns (paper mode).
 
     This is the symbolic stage of the pipeline — the encoder in
@@ -378,12 +378,12 @@ def back_translate(protein, *, table: Optional[Dict[str, CodonPattern]] = None) 
         raise KeyError(f"no back-translation pattern for residue {exc}") from None
 
 
-def back_translate_extended(protein) -> Tuple[Tuple[CodonPattern, ...], ...]:
+def back_translate_extended(protein: Union[ProteinSequence, str]) -> Tuple[Tuple[CodonPattern, ...], ...]:
     """Extended back-translation: per residue, *all* patterns (union = all codons)."""
     sequence = as_protein(protein)
     return tuple(EXTENDED_TABLE[aa] for aa in sequence.letters)
 
 
-def pattern_string(protein) -> str:
+def pattern_string(protein: Union[ProteinSequence, str]) -> str:
     """Human-readable degenerate pattern, paper notation (e.g. ``UU(U/C)``)."""
     return "-".join(str(p) for p in back_translate(protein))

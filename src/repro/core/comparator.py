@@ -24,7 +24,7 @@ streams may.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Iterator, Tuple
 
 import numpy as np
 
@@ -163,7 +163,7 @@ def instruction_tables(instructions: np.ndarray) -> Tuple[np.ndarray, np.ndarray
     return tables, configs
 
 
-def truth_table_rows():
+def truth_table_rows() -> Iterator[Tuple[str, str, int]]:
     """Enumerate the comparison LUT as human-readable rows (Fig. 5b).
 
     Yields ``(column_label, ref_letter, output)`` for every populated column

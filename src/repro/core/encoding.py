@@ -38,7 +38,7 @@ every consumer derives from this module.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -183,7 +183,7 @@ def encode_pattern(pattern: bt.CodonPattern) -> Tuple[int, int, int]:
     return (encode_element(first), encode_element(second), encode_element(third))
 
 
-def encode_query(protein) -> EncodedQuery:
+def encode_query(protein: Union[ProteinSequence, str]) -> EncodedQuery:
     """Back-translate and encode a protein query (paper mode).
 
     This is the host-side preprocessing step of the paper's pipeline: the

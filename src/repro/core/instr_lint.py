@@ -1,0 +1,229 @@
+"""Static lint passes over FabP 6-bit instruction streams (§III-B).
+
+The encoder in :mod:`repro.core.encoding` can only *produce* well-formed
+streams, but instruction memories also come from files, DMA payloads and
+tests — these passes validate any raw stream against the invariants the
+hardware silently assumes:
+
+======  ========================  ========  =====================================
+Rule    Name                      Severity  Guards
+======  ========================  ========  =====================================
+IS001   instruction-range         error     every word is a 6-bit value
+IS002   undecodable               error     every word is a legal encoding
+                                            (opcode validity, config/b3 rules)
+IS003   cross-codon-dependency    error     Type III config bits reference only
+                                            *earlier nucleotides of the same
+                                            codon* (§III-B / Fig. 5a)
+IS004   interior-pad              warning   all-match pad codons appear only as
+                                            a suffix (§IV-A padding contract)
+IS005   roundtrip-mismatch        error     encode(decode(w)) == w — the encoder
+                                            and decoder cannot drift apart
+IS006   ragged-stream             error     stream length is a multiple of 3
+                                            (three instructions per residue)
+======  ========================  ========  =====================================
+
+Entry points: :func:`lint_instructions` for raw streams and
+:func:`lint_query` for :class:`repro.core.encoding.EncodedQuery` objects.
+See ``docs/lint_rules.md`` for the catalogue and suppression guidance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core import backtranslate as bt
+from repro.core import encoding as enc
+from repro.lint import Finding, LintReport, Rule, RuleRegistry, Severity
+
+#: The instruction-domain rule registry.
+INSTRUCTION_RULES = RuleRegistry("instruction-stream")
+
+
+def _location(index: int) -> str:
+    return f"instr[{index}] (codon {index // 3}, pos {index % 3})"
+
+
+def _in_range(value: object) -> bool:
+    return isinstance(value, int) and 0 <= value < 64
+
+
+def _decode(value: int) -> Optional[bt.PatternElement]:
+    try:
+        return enc.decode_element(value)
+    except enc.EncodingError:
+        return None
+
+
+@INSTRUCTION_RULES.register(
+    "IS001",
+    "instruction-range",
+    Severity.ERROR,
+    "every instruction word fits the 6-bit memory layout "
+    "(INSTRUCTION_BITS); wider words would be silently truncated by the "
+    "hardware's distributed memory",
+)
+def _check_range(*, rule: Rule, instructions: Sequence[int]) -> Iterator[Finding]:
+    for index, value in enumerate(instructions):
+        if not _in_range(value):
+            yield rule.finding(
+                _location(index),
+                f"value {value!r} is not a 6-bit instruction",
+                suggested_fix="mask or re-encode the stream",
+            )
+
+
+@INSTRUCTION_RULES.register(
+    "IS002",
+    "undecodable",
+    Severity.ERROR,
+    "every word is a legal §III-B encoding: valid opcode, config bits 00 "
+    "for Types I/II, b3 = 0 and function-consistent config for Type III — "
+    "the hardware would silently mis-compare on illegal words",
+)
+def _check_undecodable(*, rule: Rule, instructions: Sequence[int]) -> Iterator[Finding]:
+    for index, value in enumerate(instructions):
+        if not _in_range(value):
+            continue  # IS001's finding
+        try:
+            enc.decode_element(value)
+        except enc.EncodingError as error:
+            yield rule.finding(
+                _location(index),
+                str(error),
+                suggested_fix="regenerate the word with encode_element()",
+            )
+
+
+@INSTRUCTION_RULES.register(
+    "IS003",
+    "cross-codon-dependency",
+    Severity.ERROR,
+    "Type III config bits may only reference earlier nucleotides of the "
+    "same codon (§III-B): a dependency reaching past the codon boundary "
+    "reads another residue's nucleotides",
+)
+def _check_cross_codon(*, rule: Rule, instructions: Sequence[int]) -> Iterator[Finding]:
+    for index, value in enumerate(instructions):
+        if not _in_range(value):
+            continue
+        element = _decode(value)
+        if not isinstance(element, bt.DependentElement):
+            continue
+        offset = element.function.source_offset
+        codon_position = index % 3
+        if offset > codon_position:
+            yield rule.finding(
+                _location(index),
+                f"function {element.function.name} reads {offset} "
+                f"position(s) back, crossing the codon boundary at "
+                f"position {codon_position}",
+                suggested_fix="dependent elements belong at codon position "
+                ">= their source offset (the back-translator only emits "
+                "them at position 2)",
+            )
+
+
+@INSTRUCTION_RULES.register(
+    "IS004",
+    "interior-pad",
+    Severity.WARNING,
+    "all-match pad codons (three D instructions) are only meaningful as a "
+    "suffix: §IV-A's threshold-offset correction assumes a contiguous pad "
+    "tail, so an interior pad codon skews every downstream score",
+)
+def _check_interior_pad(*, rule: Rule, instructions: Sequence[int]) -> Iterator[Finding]:
+    pad = enc.pad_instruction()
+    codons: List[Tuple[int, ...]] = [
+        tuple(instructions[start : start + 3])
+        for start in range(0, len(instructions) - len(instructions) % 3, 3)
+    ]
+    is_pad = [codon == (pad, pad, pad) for codon in codons]
+    last_real = -1
+    for codon_index, pad_codon in enumerate(is_pad):
+        if not pad_codon:
+            last_real = codon_index
+    for codon_index, pad_codon in enumerate(is_pad):
+        if pad_codon and codon_index < last_real:
+            yield rule.finding(
+                f"codon {codon_index}",
+                "pad codon (D D D) appears before non-pad codon "
+                f"{last_real}",
+                suggested_fix="move padding to the stream tail and adjust "
+                "the threshold offset",
+            )
+
+
+@INSTRUCTION_RULES.register(
+    "IS005",
+    "roundtrip-mismatch",
+    Severity.ERROR,
+    "encode_element(decode_element(w)) == w for every legal word — the "
+    "software encoder and the decoder (and therefore the hardware tables "
+    "derived from them) cannot drift apart",
+)
+def _check_roundtrip(*, rule: Rule, instructions: Sequence[int]) -> Iterator[Finding]:
+    for index, value in enumerate(instructions):
+        if not _in_range(value):
+            continue
+        element = _decode(value)
+        if element is None:
+            continue  # IS002's finding
+        recoded = enc.encode_element(element)
+        if recoded != value:
+            yield rule.finding(
+                _location(index),
+                f"decodes to {element} but re-encodes to {recoded:#04x} "
+                f"instead of {value:#04x}",
+                suggested_fix="encoder/decoder tables have drifted; "
+                "re-derive both from the same layout",
+            )
+
+
+@INSTRUCTION_RULES.register(
+    "IS006",
+    "ragged-stream",
+    Severity.ERROR,
+    "a stream encodes whole residues: three instructions per codon "
+    "(a ragged tail means the query memory is misaligned)",
+)
+def _check_ragged(*, rule: Rule, instructions: Sequence[int]) -> Iterator[Finding]:
+    remainder = len(instructions) % 3
+    if remainder:
+        yield rule.finding(
+            f"stream of {len(instructions)} instructions",
+            f"length is not a multiple of 3 ({remainder} trailing "
+            "instruction(s) do not form a codon)",
+            suggested_fix="pad with pad_instruction() to a codon boundary",
+        )
+
+
+def lint_instructions(
+    instructions: Sequence[int],
+    *,
+    subject: str = "instruction-stream",
+    ignore: Sequence[str] = (),
+    rules: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Run the instruction rule set over a raw stream of 6-bit words."""
+    return INSTRUCTION_RULES.run(
+        subject,
+        ignore=ignore,
+        rules=rules,
+        instructions=tuple(instructions),
+    )
+
+
+def lint_query(
+    query: enc.EncodedQuery,
+    *,
+    ignore: Sequence[str] = (),
+    rules: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint an :class:`~repro.core.encoding.EncodedQuery`'s stream."""
+    name = query.protein.name or "query"
+    return lint_instructions(
+        query.instructions,
+        subject=f"encoded:{name}",
+        ignore=ignore,
+        rules=rules,
+    )

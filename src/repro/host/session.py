@@ -16,17 +16,16 @@ cycle over a whole database:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.accel.device import FpgaDevice, KINTEX7
 from repro.accel.kernel import FabPKernel, KernelRun
-from repro.core.aligner import Hit
 from repro.core.encoding import EncodedQuery, encode_query
 from repro.seq import fasta, packing
-from repro.seq.sequence import RnaSequence, as_rna
+from repro.seq.sequence import as_rna
 
 #: Host-to-FPGA transfer bandwidth (PCIe gen3 x8 effective), bytes/s.
 PCIE_BANDWIDTH = 6.0e9

@@ -1,0 +1,293 @@
+"""Static-analysis framework shared by the netlist and instruction linters.
+
+The paper's headline hardware claims are *structural* — exactly two LUT6s
+per query element (§III-D), a Pop36-based pop-counter whose score fits 10
+bits at 750 elements (Table I), and 6-bit instructions whose config bits
+only reference earlier nucleotides of the same codon (§III-B).  The passes
+in :mod:`repro.rtl.lint` and :mod:`repro.core.instr_lint` prove or refute
+those invariants on every generated design without running a single
+simulation vector; this module provides the machinery they share:
+
+* :class:`Severity` / :class:`Finding` — one typed record per defect, with
+  a stable rule id, a location, a message and an optional suggested fix;
+* :class:`Rule` — a registered pass: metadata (severity, the paper claim it
+  guards) plus the checking callable;
+* :class:`LintReport` — the findings of one subject, with severity rollups;
+* :func:`render_text` / :func:`render_json` — the two reporter backends
+  behind ``fabp-repro lint --format {text,json}``.
+
+Suppression: every entry point takes ``ignore`` (an iterable of rule ids);
+findings from ignored rules are dropped before the report is built.  See
+``docs/lint_rules.md`` for the rule catalogue.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+
+class Severity(enum.IntEnum):
+    """Finding severity, ordered so comparisons read naturally."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect located by a lint rule."""
+
+    rule_id: str
+    severity: Severity
+    location: str
+    message: str
+    suggested_fix: Optional[str] = None
+
+    def __str__(self) -> str:
+        text = f"{self.rule_id} [{self.severity}] {self.location}: {self.message}"
+        if self.suggested_fix:
+            text += f"  (fix: {self.suggested_fix})"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "location": self.location,
+            "message": self.message,
+            "suggested_fix": self.suggested_fix,
+        }
+
+
+#: A rule's checking callable: subject plus keyword context, yielding findings.
+CheckFunction = Callable[..., Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint pass.
+
+    ``guards`` names the paper claim (or engineering invariant) the rule
+    protects — surfaced in reports and in ``docs/lint_rules.md`` so a
+    finding can always be traced back to why it matters.
+    """
+
+    rule_id: str
+    name: str
+    severity: Severity
+    guards: str
+    check: CheckFunction
+
+    def finding(
+        self,
+        location: str,
+        message: str,
+        *,
+        suggested_fix: Optional[str] = None,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        """Build a finding attributed to this rule (severity overridable)."""
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity if severity is None else severity,
+            location=location,
+            message=message,
+            suggested_fix=suggested_fix,
+        )
+
+
+class RuleRegistry:
+    """An ordered, id-unique collection of rules (one per lint domain)."""
+
+    def __init__(self, domain: str) -> None:
+        self.domain = domain
+        self._rules: Dict[str, Rule] = {}
+
+    def register(
+        self, rule_id: str, name: str, severity: Severity, guards: str
+    ) -> Callable[[CheckFunction], CheckFunction]:
+        """Decorator: register ``check`` under ``rule_id``."""
+
+        def decorate(check: CheckFunction) -> CheckFunction:
+            if rule_id in self._rules:
+                raise ValueError(f"duplicate rule id {rule_id!r} in {self.domain}")
+            self._rules[rule_id] = Rule(rule_id, name, severity, guards, check)
+            return check
+
+        return decorate
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules.values())
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def get(self, rule_id: str) -> Rule:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise KeyError(
+                f"no rule {rule_id!r} in {self.domain} "
+                f"(known: {', '.join(sorted(self._rules))})"
+            ) from None
+
+    def ids(self) -> Tuple[str, ...]:
+        return tuple(self._rules)
+
+    def run(
+        self,
+        subject_name: str,
+        *,
+        ignore: Iterable[str] = (),
+        rules: Optional[Sequence[str]] = None,
+        **context: object,
+    ) -> "LintReport":
+        """Run every (non-ignored) rule and collect findings into a report."""
+        ignored = _normalize_ignore(ignore)
+        selected = [self.get(r) for r in rules] if rules is not None else list(self)
+        findings: List[Finding] = []
+        for rule in selected:
+            if rule.rule_id in ignored:
+                continue
+            findings.extend(rule.check(rule=rule, **context))
+        return LintReport(subject=subject_name, findings=tuple(findings))
+
+
+def _normalize_ignore(ignore: Iterable[str]) -> FrozenSet[str]:
+    if isinstance(ignore, str):
+        ignore = [ignore]
+    return frozenset(r.strip() for r in ignore if r and r.strip())
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """All findings for one linted subject (a netlist or a stream)."""
+
+    subject: str
+    findings: Tuple[Finding, ...] = field(default_factory=tuple)
+
+    @property
+    def errors(self) -> Tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.severity >= Severity.ERROR)
+
+    @property
+    def warnings(self) -> Tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.severity == Severity.WARNING)
+
+    @property
+    def infos(self) -> Tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.severity == Severity.INFO)
+
+    @property
+    def ok(self) -> bool:
+        """True when the subject carries no error-level findings."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """True when the subject carries no findings at all."""
+        return not self.findings
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for f in self.findings if f.severity == severity)
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "counts": {
+                "error": len(self.errors),
+                "warning": len(self.warnings),
+                "info": len(self.infos),
+            },
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def merge_reports(subject: str, reports: Iterable[LintReport]) -> LintReport:
+    """Concatenate several reports under one subject (prefixing locations)."""
+    findings: List[Finding] = []
+    for report in reports:
+        for finding in report.findings:
+            findings.append(
+                Finding(
+                    rule_id=finding.rule_id,
+                    severity=finding.severity,
+                    location=f"{report.subject}:{finding.location}",
+                    message=finding.message,
+                    suggested_fix=finding.suggested_fix,
+                )
+            )
+    return LintReport(subject=subject, findings=tuple(findings))
+
+
+def render_text(reports: Sequence[LintReport], *, verbose: bool = True) -> str:
+    """Human-readable report: one block per subject plus a summary line."""
+    lines: List[str] = []
+    total_by_severity = {Severity.ERROR: 0, Severity.WARNING: 0, Severity.INFO: 0}
+    for report in reports:
+        status = "clean" if report.clean else ("ok" if report.ok else "FAIL")
+        lines.append(f"{report.subject}: {status} ({len(report.findings)} findings)")
+        for finding in report.findings if verbose else report.errors:
+            lines.append(f"  {finding}")
+        for severity in total_by_severity:
+            total_by_severity[severity] += report.count(severity)
+    lines.append(
+        "summary: {} subjects, {} errors, {} warnings, {} infos".format(
+            len(reports),
+            total_by_severity[Severity.ERROR],
+            total_by_severity[Severity.WARNING],
+            total_by_severity[Severity.INFO],
+        )
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    reports: Sequence[LintReport],
+    *,
+    extra: Optional[Dict[str, object]] = None,
+    indent: int = 2,
+) -> str:
+    """Machine-readable report (``fabp-repro lint --format json``).
+
+    ``extra`` lets callers attach resource-budget payloads (LUT/FF counts
+    per design) so the JSON dropped into ``benchmarks/out/`` doubles as a
+    resource-regression artifact.
+    """
+    payload: Dict[str, object] = {
+        "subjects": [r.to_dict() for r in reports],
+        "summary": {
+            "subjects": len(reports),
+            "errors": sum(len(r.errors) for r in reports),
+            "warnings": sum(len(r.warnings) for r in reports),
+            "infos": sum(len(r.infos) for r in reports),
+            "ok": all(r.ok for r in reports),
+        },
+    }
+    if extra:
+        payload.update(extra)
+    return json.dumps(payload, indent=indent, sort_keys=False)

@@ -4,17 +4,22 @@ Models the FPGA primitives FabP instantiates directly (LUT6, fractured
 LUT6_2, flip-flops), a structural netlist, a batched cycle simulator, and
 the two paper-specified datapath blocks: the custom comparator
 (:mod:`repro.rtl.comparator`) and the Pop36-based pop-counter
-(:mod:`repro.rtl.popcount`).
+(:mod:`repro.rtl.popcount`), plus static lint passes over generated
+netlists (:mod:`repro.rtl.lint`).
 """
 
+from repro.rtl.lint import NETLIST_RULES, NetlistLintConfig, lint_netlist
 from repro.rtl.netlist import GND, VCC, Netlist, NetlistError
 from repro.rtl.simulator import CombinationalLoopError, Simulator
 
 __all__ = [
     "GND",
     "VCC",
+    "NETLIST_RULES",
     "CombinationalLoopError",
     "Netlist",
     "NetlistError",
+    "NetlistLintConfig",
     "Simulator",
+    "lint_netlist",
 ]

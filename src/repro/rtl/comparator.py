@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from repro.core import comparator as golden
-from repro.rtl.netlist import GND, Netlist
+from repro.rtl.netlist import Netlist
 
 #: Cached INIT vectors (pure functions of the instruction set definition).
 COMPARISON_LUT_INIT = golden.comparison_lut_init()

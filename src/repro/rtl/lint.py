@@ -1,0 +1,508 @@
+"""Static netlist lint passes over :class:`repro.rtl.netlist.Netlist`.
+
+These passes prove the paper's structural claims — and catch the classic
+netlist-construction bugs — without simulating a single vector:
+
+======  ====================  ========  =============================================
+Rule    Name                  Severity  Guards
+======  ====================  ========  =============================================
+NL001   undriven-net          error     every read net has a driver (no X sources)
+NL002   multiply-driven       error     single-driver discipline (no bus contention)
+NL003   floating-input        warning   every declared port is actually used
+NL004   dead-logic            warning   all primitives reach a primary output
+NL005   combinational-loop    error     the LUT graph is acyclic (simulable, timable)
+NL006   degenerate-init       warning   no LUT wastes a connected input (§III-D
+                                        two-LUT budget: wasted inputs should be
+                                        fractured into a LUT6_2)
+NL007   constant-lut          info      no LUT computes a constant (fold it away)
+NL008   score-width           error     pop-counter score width fits its input count
+                                        (Table I: 10-bit score at 750 elements)
+NL009   comparator-budget     error     exactly 2 LUT6s per query element (§III-D)
+======  ====================  ========  =============================================
+
+Rules NL008/NL009 are *interface-triggered*: they only run when the netlist
+exposes the conventional buses (``bits``/``score`` for pop-counters,
+``match`` outputs for comparators) and are silent otherwise, so a generic
+netlist can always be linted with the full registry.
+
+Entry point: :func:`lint_netlist`.  See ``docs/lint_rules.md`` for the
+catalogue and suppression guidance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Set, Tuple
+
+from repro.lint import Finding, LintReport, Rule, RuleRegistry, Severity
+from repro.rtl.netlist import GND, VCC, Netlist
+
+#: The netlist-domain rule registry (import-time populated, read-only after).
+NETLIST_RULES = RuleRegistry("netlist")
+
+
+@dataclass(frozen=True)
+class NetlistLintConfig:
+    """Tunables for the interface-triggered rules.
+
+    ``luts_per_element=None`` defers to the paper constant
+    :data:`repro.rtl.comparator.LUTS_PER_ELEMENT` at check time.
+    """
+
+    count_input_bus: str = "bits"
+    score_output_bus: str = "score"
+    match_output_bus: str = "match"
+    luts_per_element: Optional[int] = None
+
+
+class _Primitive(NamedTuple):
+    """Uniform view of one primitive for graph-style passes."""
+
+    kind: str  # "LUT6" | "LUT6_2" | "FF"
+    index: int
+    name: str
+    inputs: Tuple[int, ...]
+    outputs: Tuple[int, ...]
+
+
+def _primitives(netlist: Netlist) -> Iterator[_Primitive]:
+    for index, lut in enumerate(netlist.luts):
+        name = lut.name or f"LUT6#{index}"
+        yield _Primitive("LUT6", index, name, lut.inputs, (lut.output,))
+    for index, lut2 in enumerate(netlist.luts2):
+        name = lut2.name or f"LUT6_2#{index}"
+        yield _Primitive(
+            "LUT6_2", index, name, lut2.inputs, (lut2.output5, lut2.output6)
+        )
+    for index, flop in enumerate(netlist.flops):
+        name = flop.name or f"FF#{index}"
+        yield _Primitive("FF", index, name, (flop.data,), (flop.output,))
+
+
+def _driver_map(netlist: Netlist) -> Dict[int, List[str]]:
+    """Recompute net drivers from the primitive lists themselves.
+
+    Independent of the construction-time ``_drivers`` bookkeeping, so
+    netlists assembled by direct list manipulation (importers, fault
+    injectors) are checked honestly.
+    """
+    drivers: Dict[int, List[str]] = {GND: ["const GND"], VCC: ["const VCC"]}
+    for name, net in netlist.inputs.items():
+        drivers.setdefault(net, []).append(f"input {name}")
+    for prim in _primitives(netlist):
+        for net in prim.outputs:
+            drivers.setdefault(net, []).append(f"{prim.kind} {prim.name}")
+    return drivers
+
+
+def _bus_width(ports: Dict[str, int], name: str) -> int:
+    """Width of a contiguous ``name[0..k-1]`` bus (0 when absent)."""
+    width = 0
+    while f"{name}[{width}]" in ports:
+        width += 1
+    return width
+
+
+# -- functional LUT analysis -------------------------------------------------
+
+
+def _lut_profiles(
+    inputs: Tuple[int, ...], tables: Sequence[Sequence[int]]
+) -> Tuple[bool, List[int]]:
+    """Analyze one LUT's function under its actual wiring.
+
+    ``tables[k][address]`` is output ``k``'s bit for ``address`` (addresses
+    over the *connected* input positions; unconnected high positions read 0,
+    matching the simulator).  Constant nets (GND/VCC) and duplicate nets
+    restrict the reachable address set; the analysis enumerates assignments
+    of the distinct non-constant nets only.
+
+    Returns ``(is_constant, insensitive_positions)`` where the positions
+    index ``inputs`` and name connected, non-constant inputs that affect no
+    output under any reachable assignment.
+    """
+    free_nets: List[int] = []
+    for net in inputs:
+        if net not in (GND, VCC) and net not in free_nets:
+            free_nets.append(net)
+
+    def address_for(assignment: Dict[int, int]) -> int:
+        address = 0
+        for position, net in enumerate(inputs):
+            bit = 1 if net == VCC else 0 if net == GND else assignment[net]
+            address |= bit << position
+        return address
+
+    outputs_seen: Set[Tuple[int, ...]] = set()
+    sensitive: Set[int] = set()
+    for bits in product((0, 1), repeat=len(free_nets)):
+        assignment = dict(zip(free_nets, bits))
+        address = address_for(assignment)
+        outputs = tuple(table[address] for table in tables)
+        outputs_seen.add(outputs)
+        for net in free_nets:
+            flipped = dict(assignment)
+            flipped[net] = 1 - assignment[net]
+            flipped_outputs = tuple(
+                table[address_for(flipped)] for table in tables
+            )
+            if flipped_outputs != outputs:
+                sensitive.add(net)
+    is_constant = len(outputs_seen) <= 1
+    insensitive = [
+        position
+        for position, net in enumerate(inputs)
+        if net not in (GND, VCC)
+        and net not in sensitive
+        # report each distinct net once, at its first position
+        and inputs.index(net) == position
+    ]
+    return is_constant, insensitive
+
+
+def _init_table(init: int, width: int) -> List[int]:
+    return [(init >> address) & 1 for address in range(1 << width)]
+
+
+# -- rules -------------------------------------------------------------------
+
+
+@NETLIST_RULES.register(
+    "NL001",
+    "undriven-net",
+    Severity.ERROR,
+    "every net read by a primitive or exported as an output has a driver "
+    "(the hardware would float; the simulator silently reads 0)",
+)
+def _check_undriven(*, rule: Rule, netlist: Netlist, config: NetlistLintConfig) -> Iterator[Finding]:
+    drivers = _driver_map(netlist)
+    reported: Set[int] = set()
+    for prim in _primitives(netlist):
+        for net in prim.inputs:
+            if net not in drivers and net not in reported:
+                reported.add(net)
+                yield rule.finding(
+                    prim.name,
+                    f"net {net} is read but has no driver",
+                    suggested_fix="drive the net or wire the pin to GND/VCC",
+                )
+    for name, net in netlist.outputs.items():
+        if net not in drivers and net not in reported:
+            reported.add(net)
+            yield rule.finding(
+                f"output {name}",
+                f"output net {net} has no driver",
+                suggested_fix="drive the net before exporting it as a port",
+            )
+
+
+@NETLIST_RULES.register(
+    "NL002",
+    "multiply-driven",
+    Severity.ERROR,
+    "single-driver discipline: two primitives driving one net short their "
+    "outputs together on real fabric",
+)
+def _check_multiply_driven(*, rule: Rule, netlist: Netlist, config: NetlistLintConfig) -> Iterator[Finding]:
+    for net, sources in sorted(_driver_map(netlist).items()):
+        if len(sources) > 1:
+            yield rule.finding(
+                f"net {net}",
+                f"driven by {len(sources)} sources: {', '.join(sources)}",
+                suggested_fix="keep one driver; mux the others explicitly",
+            )
+
+
+@NETLIST_RULES.register(
+    "NL003",
+    "floating-input",
+    Severity.WARNING,
+    "every declared primary input feeds logic (a floating port is almost "
+    "always a wiring bug in the generator)",
+)
+def _check_floating_input(*, rule: Rule, netlist: Netlist, config: NetlistLintConfig) -> Iterator[Finding]:
+    used: Set[int] = set()
+    for prim in _primitives(netlist):
+        used.update(prim.inputs)
+    used.update(netlist.outputs.values())
+    for name, net in netlist.inputs.items():
+        if net not in used:
+            yield rule.finding(
+                f"input {name}",
+                "primary input drives nothing",
+                suggested_fix="wire the input or drop the port",
+            )
+
+
+@NETLIST_RULES.register(
+    "NL004",
+    "dead-logic",
+    Severity.WARNING,
+    "every primitive lies in the fan-in cone of a primary output (dead "
+    "logic silently inflates the resource counts the Table I model scales)",
+)
+def _check_dead_logic(*, rule: Rule, netlist: Netlist, config: NetlistLintConfig) -> Iterator[Finding]:
+    prims = list(_primitives(netlist))
+    if not netlist.outputs:
+        if prims:
+            yield rule.finding(
+                netlist.name,
+                "netlist declares no primary outputs; every primitive is dead",
+                suggested_fix="export the result nets with set_output()",
+            )
+        return
+    producer: Dict[int, _Primitive] = {}
+    for prim in prims:
+        for net in prim.outputs:
+            producer[net] = prim
+    live: Set[Tuple[str, int]] = set()
+    stack: List[int] = list(netlist.outputs.values())
+    seen_nets: Set[int] = set()
+    while stack:
+        net = stack.pop()
+        if net in seen_nets:
+            continue
+        seen_nets.add(net)
+        prim = producer.get(net)
+        if prim is None:
+            continue
+        key = (prim.kind, prim.index)
+        if key in live:
+            continue
+        live.add(key)
+        stack.extend(prim.inputs)
+    for prim in prims:
+        if (prim.kind, prim.index) not in live:
+            yield rule.finding(
+                prim.name,
+                f"{prim.kind} output reaches no primary output",
+                suggested_fix="remove the primitive or export its cone",
+            )
+
+
+@NETLIST_RULES.register(
+    "NL005",
+    "combinational-loop",
+    Severity.ERROR,
+    "the LUT graph is acyclic — loops are unsimulable and untimable "
+    "(sequential feedback must pass through a flip-flop)",
+)
+def _check_combinational_loop(*, rule: Rule, netlist: Netlist, config: NetlistLintConfig) -> Iterator[Finding]:
+    prims = [p for p in _primitives(netlist) if p.kind != "FF"]
+    producer: Dict[int, Tuple[str, int]] = {}
+    for prim in prims:
+        for net in prim.outputs:
+            producer[net] = (prim.kind, prim.index)
+    by_key = {(p.kind, p.index): p for p in prims}
+    indegree: Dict[Tuple[str, int], int] = {}
+    dependents: Dict[Tuple[str, int], List[Tuple[str, int]]] = {
+        key: [] for key in by_key
+    }
+    for key, prim in by_key.items():
+        deps = {producer[n] for n in prim.inputs if n in producer}
+        deps.discard(key)  # self-loop handled by the leftover count below
+        if any(n in prim.outputs for n in prim.inputs):
+            deps.add(key)  # direct self-loop: make the node unschedulable
+        indegree[key] = len(deps)
+        for dep in deps:
+            if dep != key:
+                dependents[dep].append(key)
+    ready = [key for key, degree in indegree.items() if degree == 0]
+    scheduled = 0
+    while ready:
+        key = ready.pop()
+        scheduled += 1
+        for dependent in dependents[key]:
+            indegree[dependent] -= 1
+            if indegree[dependent] == 0:
+                ready.append(dependent)
+    if scheduled < len(by_key):
+        stuck = [key for key, degree in indegree.items() if degree > 0]
+        names = ", ".join(by_key[key].name for key in stuck[:6])
+        if len(stuck) > 6:
+            names += ", ..."
+        yield rule.finding(
+            netlist.name,
+            f"combinational loop involving {len(stuck)} primitives ({names})",
+            suggested_fix="break the cycle with a flip-flop",
+        )
+
+
+@NETLIST_RULES.register(
+    "NL006",
+    "degenerate-init",
+    Severity.WARNING,
+    "no LUT ignores a connected input — a wasted input means the function "
+    "fits a smaller LUT and could be fractured into a LUT6_2 (§III-D keeps "
+    "the comparator at exactly two LUTs by packing functions tightly)",
+)
+def _check_degenerate_init(*, rule: Rule, netlist: Netlist, config: NetlistLintConfig) -> Iterator[Finding]:
+    for prim in _primitives(netlist):
+        if prim.kind == "FF":
+            continue
+        if prim.kind == "LUT6":
+            lut = netlist.luts[prim.index]
+            tables: List[List[int]] = [_init_table(lut.init, len(lut.inputs))]
+        else:
+            lut2 = netlist.luts2[prim.index]
+            tables = [
+                _init_table(lut2.init5, len(lut2.inputs)),
+                _init_table(lut2.init6, len(lut2.inputs)),
+            ]
+        is_constant, insensitive = _lut_profiles(prim.inputs, tables)
+        if is_constant:
+            continue  # NL007's finding; don't double-report
+        for position in insensitive:
+            yield rule.finding(
+                prim.name,
+                f"INIT ignores connected input {position} (net "
+                f"{prim.inputs[position]})",
+                suggested_fix="disconnect the input, or fracture the LUT "
+                "into a LUT6_2 to reuse the wasted capacity",
+            )
+
+
+@NETLIST_RULES.register(
+    "NL007",
+    "constant-lut",
+    Severity.INFO,
+    "no LUT computes a constant under its wiring — constants should fold "
+    "to GND/VCC instead of burning a LUT (generator padding shows up here)",
+)
+def _check_constant_lut(*, rule: Rule, netlist: Netlist, config: NetlistLintConfig) -> Iterator[Finding]:
+    for prim in _primitives(netlist):
+        if prim.kind == "FF":
+            continue
+        if prim.kind == "LUT6":
+            lut = netlist.luts[prim.index]
+            tables = [_init_table(lut.init, len(lut.inputs))]
+        else:
+            lut2 = netlist.luts2[prim.index]
+            tables = [
+                _init_table(lut2.init5, len(lut2.inputs)),
+                _init_table(lut2.init6, len(lut2.inputs)),
+            ]
+        is_constant, _ = _lut_profiles(prim.inputs, tables)
+        if is_constant:
+            yield rule.finding(
+                prim.name,
+                "output is constant under the LUT's wiring",
+                suggested_fix="replace the LUT output with GND/VCC",
+            )
+
+
+@NETLIST_RULES.register(
+    "NL008",
+    "score-width",
+    Severity.ERROR,
+    "a pop-counter's score bus holds its maximum count: ceil(log2(W+1)) "
+    "bits for W inputs — the Table I claim that 750 elements score in 10 "
+    "bits is an instance of this bound",
+)
+def _check_score_width(*, rule: Rule, netlist: Netlist, config: NetlistLintConfig) -> Iterator[Finding]:
+    in_width = _bus_width(netlist.inputs, config.count_input_bus)
+    out_width = _bus_width(netlist.outputs, config.score_output_bus)
+    if not in_width or not out_width:
+        return  # interface-triggered rule: silent without both buses
+    needed = max(1, in_width.bit_length())
+    location = f"output bus {config.score_output_bus}"
+    if out_width < needed:
+        yield rule.finding(
+            location,
+            f"score bus is {out_width} bits but a population count of "
+            f"{in_width} inputs needs {needed} bits — overflow possible",
+            suggested_fix=f"widen the score bus to {needed} bits",
+        )
+    elif out_width > needed:
+        yield rule.finding(
+            location,
+            f"score bus is {out_width} bits but {needed} suffice for "
+            f"{in_width} inputs — the extra bits waste registers",
+            suggested_fix=f"truncate the score bus to {needed} bits",
+            severity=Severity.INFO,
+        )
+
+
+@NETLIST_RULES.register(
+    "NL009",
+    "comparator-budget",
+    Severity.ERROR,
+    "the custom comparator costs exactly LUTS_PER_ELEMENT (= 2) physical "
+    "LUTs per query element — the paper's headline §III-D resource claim",
+)
+def _check_comparator_budget(*, rule: Rule, netlist: Netlist, config: NetlistLintConfig) -> Iterator[Finding]:
+    elements = _bus_width(netlist.outputs, config.match_output_bus)
+    if not elements:
+        return  # interface-triggered rule: silent without a match bus
+    per_element = config.luts_per_element
+    if per_element is None:
+        from repro.rtl.comparator import LUTS_PER_ELEMENT
+
+        per_element = LUTS_PER_ELEMENT
+    budget = per_element * elements
+    actual = netlist.lut_count
+    location = f"{elements}-element comparator"
+    if actual > budget:
+        yield rule.finding(
+            location,
+            f"uses {actual} LUTs; the paper budget is {per_element}/element "
+            f"= {budget}",
+            suggested_fix="re-pack the comparison into the two-LUT form of "
+            "Fig. 5 (mux LUT + comparison LUT)",
+        )
+    elif actual < budget:
+        yield rule.finding(
+            location,
+            f"uses {actual} LUTs, under the {budget}-LUT paper budget — "
+            "update the resource model if this is intentional",
+            severity=Severity.INFO,
+        )
+
+
+# -- entry points ------------------------------------------------------------
+
+
+def lint_netlist(
+    netlist: Netlist,
+    *,
+    config: Optional[NetlistLintConfig] = None,
+    ignore: Sequence[str] = (),
+    rules: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Run the netlist rule set; returns a :class:`repro.lint.LintReport`.
+
+    ``ignore`` drops rules by id (suppression); ``rules`` restricts the run
+    to an explicit subset.
+    """
+    return NETLIST_RULES.run(
+        netlist.name,
+        ignore=ignore,
+        rules=rules,
+        netlist=netlist,
+        config=config or NetlistLintConfig(),
+    )
+
+
+def demo_designs() -> List[Tuple[str, Netlist]]:
+    """The built-in design points ``fabp-repro lint`` checks by default.
+
+    Element and instance comparators (the §III-D two-LUT claim), fabp-style
+    pop-counters at 36/72/750 inputs (the Table I 10-bit score bound at the
+    paper's maximum query length) and the naive tree-adder baseline.
+    """
+    from repro.rtl.comparator import build_element_comparator, build_instance_comparator
+    from repro.rtl.popcount import build_popcounter
+
+    designs: List[Tuple[str, Netlist]] = [
+        ("element_comparator", build_element_comparator()),
+        ("instance_comparator_4", build_instance_comparator(4)),
+    ]
+    for width in (36, 72, 750):
+        designs.append(
+            (f"popcounter_fabp_{width}", build_popcounter(width, style="fabp").netlist)
+        )
+    designs.append(
+        ("popcounter_tree_36", build_popcounter(36, style="tree").netlist)
+    )
+    return designs

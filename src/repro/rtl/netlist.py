@@ -24,8 +24,9 @@ The netlist is purely structural; evaluation lives in
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 #: Constant-zero and constant-one net handles, present in every netlist.
 GND = 0
@@ -50,6 +51,7 @@ class Lut6:
             raise NetlistError(f"LUT6 {self.name!r} has {len(self.inputs)} inputs")
         if not 0 <= self.init < (1 << 64):
             raise NetlistError(f"LUT6 {self.name!r} INIT out of 64-bit range")
+        _check_net_handles(self.name, "LUT6", (*self.inputs, self.output))
 
 
 @dataclass(frozen=True)
@@ -73,6 +75,9 @@ class Lut6_2:
         for init in (self.init5, self.init6):
             if not 0 <= init < (1 << 32):
                 raise NetlistError(f"LUT6_2 {self.name!r} INIT out of 32-bit range")
+        _check_net_handles(
+            self.name, "LUT6_2", (*self.inputs, self.output5, self.output6)
+        )
 
 
 @dataclass(frozen=True)
@@ -83,6 +88,32 @@ class FlipFlop:
     output: int
     init: int = 0
     name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.init not in (0, 1):
+            # A non-binary init would silently corrupt the simulator's
+            # uint8 value planes; reject it at construction.
+            raise NetlistError(
+                f"FF {self.name!r} init must be 0 or 1, got {self.init!r}"
+            )
+        _check_net_handles(self.name, "FF", (self.data, self.output))
+
+
+def _check_net_handles(name: str, kind: str, nets: Tuple[int, ...]) -> None:
+    """Primitive-level sanity: net handles are non-negative integers.
+
+    Upper-bound checks against ``num_nets`` need the owning netlist and
+    happen in :meth:`Netlist.validate` (and in the ``add_*`` helpers).
+    """
+    for net in nets:
+        try:
+            handle = operator.index(net)
+        except TypeError:
+            raise NetlistError(
+                f"{kind} {name!r} has non-integer net handle {net!r}"
+            ) from None
+        if handle < 0:
+            raise NetlistError(f"{kind} {name!r} has negative net handle {net!r}")
 
 
 @dataclass
@@ -196,6 +227,49 @@ class Netlist:
     def add_ff_bus(self, data: Sequence[int], name: str = "") -> List[int]:
         """Register a bus; returns the Q nets."""
         return [self.add_ff(d, name=f"{name}[{i}]") for i, d in enumerate(data)]
+
+    # -- structural audit ---------------------------------------------------
+
+    def validate(self) -> None:
+        """Full structural audit; raises :class:`NetlistError` on the first defect.
+
+        The ``add_*`` helpers keep incrementally-built netlists consistent,
+        but importers and fault-injection tests append primitives directly to
+        the ``luts``/``luts2``/``flops`` lists.  This recomputes everything
+        from the primitive lists: net handles in range, exactly one driver
+        per driven net, and port nets that exist.
+        """
+        drivers: Dict[int, str] = {}
+
+        def claim(net: int, driver: str) -> None:
+            self._check_net(net)
+            if net in (GND, VCC):
+                raise NetlistError(
+                    f"{driver} drives constant net {net} in {self.name!r}"
+                )
+            if net in drivers:
+                raise NetlistError(
+                    f"net {net} driven by both {drivers[net]} and {driver} "
+                    f"in {self.name!r}"
+                )
+            drivers[net] = driver
+
+        for name, net in self.inputs.items():
+            claim(net, f"input {name}")
+        for index, lut in enumerate(self.luts):
+            for net in lut.inputs:
+                self._check_net(net)
+            claim(lut.output, f"LUT6 {lut.name or index}")
+        for index, lut2 in enumerate(self.luts2):
+            for net in lut2.inputs:
+                self._check_net(net)
+            claim(lut2.output5, f"LUT6_2 {lut2.name or index}.O5")
+            claim(lut2.output6, f"LUT6_2 {lut2.name or index}.O6")
+        for index, ff in enumerate(self.flops):
+            self._check_net(ff.data)
+            claim(ff.output, f"FF {ff.name or index}")
+        for name, net in self.outputs.items():
+            self._check_net(net)
 
     # -- resource accounting ----------------------------------------------
 

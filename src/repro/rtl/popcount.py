@@ -21,7 +21,7 @@ measured instead of asserted:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.rtl.netlist import GND, Netlist
 
@@ -64,14 +64,28 @@ _FA_SUM_INIT64 = lut_init(lambda a, b, c: a ^ b ^ c, 3)
 _FA_CARRY_INIT64 = lut_init(lambda a, b, c: int(a + b + c >= 2), 3)
 
 
-def add_popcount6(netlist: Netlist, inputs: Sequence[int], name: str = "pc6") -> List[int]:
-    """Sum up to six bits with three shared-input LUT6s; returns 3 count bits."""
+def add_popcount6(
+    netlist: Netlist, inputs: Sequence[int], name: str = "pc6", *, max_bits: int = 3
+) -> List[int]:
+    """Sum up to six bits with shared-input LUT6s; returns up to 3 count bits.
+
+    Count bit ``b`` can only be non-zero when at least ``2**b`` inputs are
+    real (non-GND) nets, so provably-zero bits are returned as ``GND``
+    instead of spending a constant LUT; ``max_bits`` lets the caller trim
+    further when it can bound the total (lint rules NL004/NL007 keep this
+    honest).  The full-width case still costs exactly three LUTs.
+    """
     if not 1 <= len(inputs) <= 6:
         raise ValueError(f"popcount6 takes 1..6 inputs, got {len(inputs)}")
+    if max_bits < 1:
+        raise ValueError(f"max_bits must be >= 1, got {max_bits}")
     padded = list(inputs) + [GND] * (6 - len(inputs))
+    real = sum(1 for net in inputs if net != GND)
     return [
         netlist.add_lut(padded, POPCOUNT6_INITS[bit], name=f"{name}.b{bit}")
-        for bit in range(3)
+        if real >= (1 << bit)
+        else GND
+        for bit in range(min(3, max_bits))
     ]
 
 
@@ -82,21 +96,33 @@ def add_ripple_adder(
     name: str = "add",
     *,
     fractured: bool = True,
+    max_bits: Optional[int] = None,
 ) -> List[int]:
     """Add two unsigned bit vectors; returns ``max(len)+1`` sum bits.
 
     ``fractured=True`` packs each full adder into one dual-output LUT6_2
     (sum on O6, carry on O5) — the hand-optimized style.  ``fractured=False``
     spends two single-output LUTs per bit — the naive HDL style.
+
+    ``max_bits`` caps the result width when the *caller* can prove the sum
+    fits (e.g. a pop-counter partial sum bounded by its input count): sum
+    bits past the cap are never built, and in the naive style the final
+    carry LUT is skipped when its carry-out is unused — so provably-dead
+    logic is never instantiated (lint rule NL004 keeps this honest).
     """
     width = max(len(a_bits), len(b_bits))
     if width == 0:
         raise ValueError("cannot add empty vectors")
+    if max_bits is not None and max_bits < 1:
+        raise ValueError(f"max_bits must be >= 1, got {max_bits}")
+    out_width = width + 1 if max_bits is None else min(width + 1, max_bits)
     a = list(a_bits) + [GND] * (width - len(a_bits))
     b = list(b_bits) + [GND] * (width - len(b_bits))
     carry = GND
     sums: List[int] = []
-    for i in range(width):
+    produce = min(width, out_width)
+    for i in range(produce):
+        need_carry = i < produce - 1 or out_width > width
         if fractured:
             cout, sum_bit = netlist.add_lut62(
                 (a[i], b[i], carry),
@@ -108,42 +134,69 @@ def add_ripple_adder(
             sum_bit = netlist.add_lut(
                 (a[i], b[i], carry), _FA_SUM_INIT64, name=f"{name}.s{i}"
             )
-            cout = netlist.add_lut(
-                (a[i], b[i], carry), _FA_CARRY_INIT64, name=f"{name}.c{i}"
+            cout = (
+                netlist.add_lut(
+                    (a[i], b[i], carry), _FA_CARRY_INIT64, name=f"{name}.c{i}"
+                )
+                if need_carry
+                else GND
             )
         sums.append(sum_bit)
         carry = cout
-    sums.append(carry)
+    if out_width > width:
+        sums.append(carry)
     return sums
 
 
-def add_pop36(netlist: Netlist, inputs: Sequence[int], name: str = "pop36") -> List[int]:
-    """The hand-crafted Pop36 block; returns 6 count bits (Fig. 4).
+def add_pop36(
+    netlist: Netlist, inputs: Sequence[int], name: str = "pop36", *, max_bits: int = 6
+) -> List[int]:
+    """The hand-crafted Pop36 block; returns up to 6 count bits (Fig. 4).
 
     Accepts 1..36 inputs (short tails are padded with constant zero, which
-    costs nothing in the LUT INIT).
+    costs nothing in the LUT INIT).  Short tails never instantiate logic
+    for provably-zero count bits: empty groups and columns fold to ``GND``
+    (via :func:`add_popcount6`), and ``max_bits`` caps the whole block when
+    the caller can bound the count — the full 36-input block is bit-for-bit
+    the paper's 36-LUT structure.
     """
     if not 1 <= len(inputs) <= POP36_WIDTH:
         raise ValueError(f"Pop36 takes 1..36 inputs, got {len(inputs)}")
+    if max_bits < 1:
+        raise ValueError(f"max_bits must be >= 1, got {max_bits}")
+    cap = min(6, max_bits)
     padded = list(inputs) + [GND] * (POP36_WIDTH - len(inputs))
     # Stage 1: six shared-input popcount6 groups -> six 3-bit counts (18 LUTs).
     groups = [
-        add_popcount6(netlist, padded[g * 6 : (g + 1) * 6], name=f"{name}.g{g}")
+        add_popcount6(
+            netlist, padded[g * 6 : (g + 1) * 6], name=f"{name}.g{g}", max_bits=min(3, cap)
+        )
         for g in range(6)
     ]
     # Stage 2: column-wise compression "according to their bit order":
     # the six weight-2^b bits of the group counts are themselves popcounted
-    # (9 LUTs), giving three 3-bit partial sums with weights 1, 2, 4.
+    # (9 LUTs), giving three 3-bit partial sums with weights 1, 2, 4.  A
+    # weight-2^b partial is bounded by total/2^b, so its width caps too.
     partials = [
-        add_popcount6(netlist, [groups[g][bit] for g in range(6)], name=f"{name}.col{bit}")
-        for bit in range(3)
+        add_popcount6(
+            netlist,
+            [groups[g][bit] for g in range(6)],
+            name=f"{name}.col{bit}",
+            max_bits=cap - bit,
+        )
+        for bit in range(min(3, cap))
     ]
     # Stage 3: total = p0 + (p1 << 1) + (p2 << 2), two fractured ripple adders.
-    shifted1 = [GND] + partials[1]
-    first = add_ripple_adder(netlist, partials[0], shifted1, name=f"{name}.a0")
-    shifted2 = [GND, GND] + partials[2]
-    total = add_ripple_adder(netlist, first, shifted2, name=f"{name}.a1")
-    return total[:6]  # popcount of 36 fits in 6 bits
+    # All-GND partials (possible on short tails) contribute nothing and are
+    # skipped outright rather than fed through a degenerate adder.
+    total = partials[0]
+    for bit in (1, 2):
+        if bit < len(partials) and any(net != GND for net in partials[bit]):
+            shifted = [GND] * bit + list(partials[bit])
+            total = add_ripple_adder(
+                netlist, total, shifted, name=f"{name}.a{bit - 1}", max_bits=cap
+            )
+    return total[:cap]
 
 
 def add_tree_adder_popcount(
@@ -156,6 +209,10 @@ def add_tree_adder_popcount(
     """
     if not inputs:
         raise ValueError("popcount of zero bits")
+    # Any partial sum is bounded by the total input count, so every adder
+    # can be capped at the final score width — a synthesizer would likewise
+    # trim the provably-zero high bits.
+    needed = max(1, len(inputs).bit_length())
     values: List[List[int]] = [[bit] for bit in inputs]
     level = 0
     while len(values) > 1:
@@ -168,6 +225,7 @@ def add_tree_adder_popcount(
                     values[i + 1],
                     name=f"{name}.l{level}.a{i // 2}",
                     fractured=fractured,
+                    max_bits=needed,
                 )
             )
         if len(values) % 2:
@@ -220,6 +278,7 @@ def build_popcounter(
     netlist = Netlist(name=f"popcounter_{style}_{width}")
     bits = netlist.add_input_bus("bits", width)
     latency = 0
+    needed = max(1, width.bit_length())
 
     if style == "tree":
         score = add_tree_adder_popcount(netlist, bits, fractured=False)
@@ -228,7 +287,18 @@ def build_popcounter(
             latency = 1
     else:
         chunks = [bits[i : i + POP36_WIDTH] for i in range(0, width, POP36_WIDTH)]
-        counts = [add_pop36(netlist, chunk, name=f"pop36_{i}") for i, chunk in enumerate(chunks)]
+        # Chunk counts and every merge level are capped at the final score
+        # width (a partial popcount can never exceed the total input count),
+        # so the pipeline registers no provably-dead bits.
+        counts = [
+            add_pop36(
+                netlist,
+                chunk,
+                name=f"pop36_{i}",
+                max_bits=min(needed, max(1, len(chunk).bit_length())),
+            )
+            for i, chunk in enumerate(chunks)
+        ]
         if pipelined:
             counts = [netlist.add_ff_bus(c, name=f"p36ff_{i}") for i, c in enumerate(counts)]
             latency += 1
@@ -238,7 +308,11 @@ def build_popcounter(
             for i in range(0, len(counts) - 1, 2):
                 merged.append(
                     add_ripple_adder(
-                        netlist, counts[i], counts[i + 1], name=f"m{level}.a{i // 2}"
+                        netlist,
+                        counts[i],
+                        counts[i + 1],
+                        name=f"m{level}.a{i // 2}",
+                        max_bits=needed,
                     )
                 )
             if len(counts) % 2:
@@ -253,7 +327,6 @@ def build_popcounter(
             level += 1
         score = counts[0]
 
-    needed = max(1, width.bit_length())
     score = score[:needed]
     netlist.set_output_bus("score", score)
     return PopCounterBlock(

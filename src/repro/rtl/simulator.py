@@ -21,7 +21,7 @@ from typing import Dict, Iterable, List, Mapping, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.rtl.netlist import GND, VCC, Lut6, Lut6_2, Netlist, NetlistError
+from repro.rtl.netlist import VCC, Netlist, NetlistError
 
 Value = Union[int, np.ndarray]
 
@@ -33,7 +33,7 @@ class CombinationalLoopError(NetlistError):
 class Simulator:
     """Simulate a netlist cycle by cycle (optionally batched)."""
 
-    def __init__(self, netlist: Netlist, batch: int = 1):
+    def __init__(self, netlist: Netlist, batch: int = 1) -> None:
         if batch < 1:
             raise ValueError("batch must be >= 1")
         self.netlist = netlist

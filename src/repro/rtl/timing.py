@@ -22,7 +22,7 @@ popcounts — the structural checks the test suite pins.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.rtl.netlist import Netlist
 
@@ -75,7 +75,12 @@ def _producers(netlist: Netlist) -> Dict[int, Tuple[str, int]]:
     return producers
 
 
-def _walk(netlist: Netlist, combine):
+def _walk(
+    netlist: Netlist,
+    combine: Callable[
+        [str, Sequence[int], Dict[int, float], Dict[int, Tuple[str, int]]], float
+    ],
+) -> Dict[int, float]:
     """Shared iterative DFS over combinational logic.
 
     ``combine(kind, input_values, input_nets, producers)`` computes a net's

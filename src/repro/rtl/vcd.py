@@ -13,7 +13,8 @@ not meaningful).
 from __future__ import annotations
 
 import io
-from typing import Dict, Iterable, Mapping, Optional
+import os
+from typing import Dict, Iterable, Mapping, Optional, Union
 
 from repro.rtl.simulator import Simulator
 
@@ -44,7 +45,7 @@ class VcdTracer:
         *,
         timescale: str = "1 ns",
         clock_period: int = 10,
-    ):
+    ) -> None:
         if simulator.batch != 1:
             raise ValueError("VCD tracing requires a batch-1 simulator")
         self.simulator = simulator
@@ -107,7 +108,7 @@ class VcdTracer:
         """The complete VCD text recorded so far."""
         return self.header() + self._body.getvalue()
 
-    def write(self, path) -> int:
+    def write(self, path: Union[str, "os.PathLike[str]"]) -> int:
         """Write the VCD to ``path``; returns byte count."""
         text = self.dump()
         with open(path, "w", encoding="ascii") as handle:

@@ -15,7 +15,8 @@ else raises :class:`VerilogParseError` loudly.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple
+import os
+from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.rtl.netlist import GND, VCC, Netlist
 
@@ -46,7 +47,7 @@ def _statements(text: str) -> str:
 
 
 class _Importer:
-    def __init__(self, text: str):
+    def __init__(self, text: str) -> None:
         self.text = _statements(text)
         self.netlist = Netlist()
         self._by_name: Dict[str, int] = {"1'b0": GND, "1'b1": VCC}
@@ -133,7 +134,15 @@ class _Importer:
                 output = self._resolve(pins["Q"])
                 self.netlist.add_ff_driving(output, data, init=init, name=inst)
 
-    def _add_lut62_driving(self, inputs, o5, o6, init5, init6, name) -> None:
+    def _add_lut62_driving(
+        self,
+        inputs: Sequence[int],
+        o5: int,
+        o6: int,
+        init5: int,
+        init6: int,
+        name: str,
+    ) -> None:
         from repro.rtl.netlist import Lut6_2
 
         netlist = self.netlist
@@ -177,7 +186,7 @@ def parse_verilog(text: str) -> Netlist:
     return _Importer(text).run()
 
 
-def read_verilog(path) -> Netlist:
+def read_verilog(path: Union[str, "os.PathLike[str]"]) -> Netlist:
     """Parse a Verilog file written by :func:`repro.rtl.verilog.write_verilog`."""
     with open(path, "r", encoding="ascii") as handle:
         return parse_verilog(handle.read())

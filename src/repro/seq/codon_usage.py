@@ -9,7 +9,7 @@ rounded) and a sampler the workload builders use for realistic databases.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

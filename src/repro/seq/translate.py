@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from repro.seq.sequence import DnaSequence, ProteinSequence, RnaSequence, as_rna
+from repro.seq.sequence import ProteinSequence, RnaSequence, as_rna
 
 
 def translate(rna, *, to_stop: bool = False, unknown: str = "X") -> ProteinSequence:

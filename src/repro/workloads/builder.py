@@ -11,13 +11,12 @@ of BLAST-derived pseudo-truth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.codons import CODONS_FOR, paper_codons_for
-from repro.seq import alphabet
 from repro.seq.generate import random_protein, random_rna
 from repro.seq.mutate import MutationResult, mutate_rna
 from repro.seq.sequence import ProteinSequence, RnaSequence, as_protein

@@ -19,6 +19,23 @@ def small_protein(rng):
 
 
 @pytest.fixture
+def encoded_small_protein(small_protein):
+    """``small_protein`` encoded to its instruction stream, lint-clean.
+
+    Guards every consumer of the fixture against encoder regressions: a
+    stream that trips the instruction linter would silently skew any test
+    built on top of it.
+    """
+    from repro.core.encoding import encode_query
+    from repro.core.instr_lint import lint_query
+
+    query = encode_query(small_protein)
+    report = lint_query(query)
+    assert report.clean, [str(f) for f in report.findings]
+    return query
+
+
+@pytest.fixture
 def small_reference(rng):
     """A 600-nt RNA reference."""
     return random_rna(600, rng=rng)

@@ -1,0 +1,169 @@
+"""Per-rule tests of the instruction-stream lint passes (repro.core.instr_lint).
+
+Same discipline as tests/rtl/test_lint.py: every defect stream is built so
+that exactly one rule fires, pinning detection and isolation.
+"""
+
+import pytest
+
+from repro.core import backtranslate as bt
+from repro.core import encoding as enc
+from repro.core.instr_lint import INSTRUCTION_RULES, lint_instructions, lint_query
+from repro.lint import Severity
+
+PAD = enc.pad_instruction()
+
+
+def rule_ids(report):
+    return sorted(set(report.by_rule()))
+
+
+def encoded_codon(amino):
+    """The three instruction words of one residue."""
+    return list(enc.encode_query(amino).instructions)
+
+
+def first_undecodable_word():
+    for value in range(64):
+        try:
+            enc.decode_element(value)
+        except enc.EncodingError:
+            return value
+    pytest.skip("every 6-bit word decodes; IS002 cannot be exercised")
+
+
+def dependent_word(offset):
+    """An encodable Type III word whose function reads ``offset`` back."""
+    for pattern in bt.BACK_TRANSLATION_TABLE.values():
+        element = pattern.elements[2]
+        if (
+            isinstance(element, bt.DependentElement)
+            and element.function.source_offset == offset
+        ):
+            return enc.encode_element(element)
+    raise AssertionError(f"no table entry depends {offset} back")
+
+
+def test_registry_has_all_documented_rules():
+    expected = [f"IS00{i}" for i in range(1, 7)]
+    assert list(INSTRUCTION_RULES.ids()) == expected
+
+
+class TestCleanStreams:
+    def test_encoded_queries_are_clean(self):
+        for protein in ("M", "MFSR*", "ACDEFGHIKLMNPQRSTVWY", "W" * 30):
+            report = lint_query(enc.encode_query(protein))
+            assert report.clean, [str(f) for f in report.findings]
+
+    def test_padded_tail_is_clean(self):
+        stream = encoded_codon("MF") + [PAD] * 6
+        assert lint_instructions(stream).clean
+
+    def test_all_pad_stream_is_clean(self):
+        # A stream of only pad codons has no "last real codon" to precede.
+        assert lint_instructions([PAD] * 9).clean
+
+    def test_encoded_small_protein_fixture_is_clean(self, encoded_small_protein):
+        assert lint_query(encoded_small_protein).clean
+
+    def test_lint_query_subject_names_the_protein(self):
+        from repro.seq.sequence import ProteinSequence
+
+        report = lint_query(enc.encode_query(ProteinSequence("MF", name="demo")))
+        assert report.subject == "encoded:demo"
+
+
+class TestIS001Range:
+    @pytest.mark.parametrize("bad", [64, -1, 1 << 10])
+    def test_out_of_range_word(self, bad):
+        report = lint_instructions([bad, PAD, PAD])
+        assert rule_ids(report) == ["IS001"]
+        assert "instr[0]" in report.findings[0].location
+
+
+class TestIS002Undecodable:
+    def test_illegal_encoding(self):
+        word = first_undecodable_word()
+        report = lint_instructions([word, PAD, PAD])
+        assert rule_ids(report) == ["IS002"]
+
+    def test_out_of_range_not_double_reported(self):
+        report = lint_instructions([64, PAD, PAD])
+        assert "IS002" not in report.by_rule()
+
+
+class TestIS003CrossCodon:
+    def test_two_back_dependency_at_position_one(self):
+        word = dependent_word(2)
+        report = lint_instructions([PAD, word, PAD])
+        assert rule_ids(report) == ["IS003"]
+        assert "codon boundary" in report.findings[0].message
+
+    def test_one_back_dependency_at_position_zero(self):
+        word = dependent_word(1)
+        report = lint_instructions([word, PAD, PAD])
+        assert rule_ids(report) == ["IS003"]
+
+    def test_dependencies_legal_at_position_two(self):
+        stream = [PAD, PAD, dependent_word(2), PAD, PAD, dependent_word(1)]
+        assert lint_instructions(stream).clean
+
+    def test_always_match_function_is_position_free(self):
+        # The D (FUNCTION_ANY) element reads nothing; it pads position 0.
+        assert lint_instructions([PAD, PAD, PAD]).clean
+
+
+class TestIS004InteriorPad:
+    def test_pad_codon_before_real_codon(self):
+        stream = [PAD] * 3 + encoded_codon("M")
+        report = lint_instructions(stream)
+        assert rule_ids(report) == ["IS004"]
+        assert report.findings[0].severity == Severity.WARNING
+
+    def test_trailing_pad_is_fine(self):
+        stream = encoded_codon("M") + [PAD] * 3
+        assert lint_instructions(stream).clean
+
+
+class TestIS005Roundtrip:
+    def test_encoder_drift_detected(self, monkeypatch):
+        stream = encoded_codon("M")
+        # Simulate encoder/decoder drift: re-encoding flips a bit.
+        real = enc.encode_element
+        monkeypatch.setattr(
+            "repro.core.instr_lint.enc.encode_element",
+            lambda element: real(element) ^ 0b100000,
+        )
+        report = lint_instructions(stream)
+        assert rule_ids(report) == ["IS005"]
+        assert len(report.findings) == len(stream)
+
+    def test_no_drift_today(self):
+        for value in range(64):
+            try:
+                element = enc.decode_element(value)
+            except enc.EncodingError:
+                continue
+            assert enc.encode_element(element) == value
+
+
+class TestIS006Ragged:
+    def test_partial_codon_tail(self):
+        stream = encoded_codon("M") + [encoded_codon("M")[0]]
+        report = lint_instructions(stream)
+        assert rule_ids(report) == ["IS006"]
+        assert "multiple of 3" in report.findings[0].message
+
+    def test_suggests_padding(self):
+        report = lint_instructions([PAD])
+        assert "pad_instruction" in report.findings[0].suggested_fix
+
+
+class TestSuppression:
+    def test_ignore(self):
+        stream = [PAD] * 3 + encoded_codon("M")
+        assert lint_instructions(stream, ignore=("IS004",)).clean
+
+    def test_rules_subset(self):
+        report = lint_instructions([64], rules=["IS006"])
+        assert rule_ids(report) == ["IS006"]

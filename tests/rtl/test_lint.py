@@ -1,0 +1,354 @@
+"""Per-rule tests of the netlist lint passes (repro.rtl.lint).
+
+Each defect test builds the smallest netlist whose corruption triggers the
+rule under test — and *only* that rule — so the assertions pin both the
+detection and the isolation of every pass.
+"""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Finding,
+    LintReport,
+    Severity,
+    merge_reports,
+    render_json,
+    render_text,
+)
+from repro.rtl.comparator import add_element_comparator, build_element_comparator
+from repro.rtl.lint import NETLIST_RULES, NetlistLintConfig, demo_designs, lint_netlist
+from repro.rtl.netlist import GND, FlipFlop, Lut6, Netlist, NetlistError
+from repro.rtl.popcount import add_popcount6, add_ripple_adder, lut_init
+
+BUFFER_INIT = lut_init(lambda a: a, 1)
+AND2_INIT = lut_init(lambda a, b: a & b, 2)
+XOR2_INIT = lut_init(lambda a, b: a ^ b, 2)
+
+
+def rule_ids(report: LintReport):
+    return sorted(set(report.by_rule()))
+
+
+def test_registry_has_all_documented_rules():
+    expected = [f"NL00{i}" for i in range(1, 10)]
+    assert list(NETLIST_RULES.ids()) == expected
+
+
+class TestShippedGeneratorsAreClean:
+    """Acceptance: zero errors on every shipped design point."""
+
+    def test_no_errors_on_any_demo_design(self):
+        for name, netlist in demo_designs():
+            report = lint_netlist(netlist)
+            assert report.ok, f"{name}: {[str(f) for f in report.errors]}"
+
+    def test_element_comparator_known_warning_only(self):
+        # prev1[0] is deliberately declared-but-unused (the mux reads only
+        # the hi bit; the 2-bit bus keeps exhaustive sweeps symmetric).
+        report = lint_netlist(build_element_comparator())
+        assert rule_ids(report) == ["NL003"]
+        assert "prev1[0]" in report.findings[0].location
+
+    def test_popcounters_have_no_warnings(self):
+        for name, netlist in demo_designs():
+            if not name.startswith("popcounter"):
+                continue
+            report = lint_netlist(netlist)
+            assert not report.warnings, f"{name}: {[str(f) for f in report.warnings]}"
+
+
+class TestNL001Undriven:
+    def test_lut_reading_undriven_net(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        phantom = netlist.new_net("phantom")  # allocated, never driven
+        out = netlist.add_lut((a, phantom), AND2_INIT, name="and")
+        netlist.set_output("y", out)
+        report = lint_netlist(netlist)
+        assert rule_ids(report) == ["NL001"]
+        assert f"net {phantom}" in report.findings[0].message
+
+    def test_undriven_output_port(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        out = netlist.add_lut((a,), BUFFER_INIT, name="buf")
+        netlist.set_output("y", out)
+        netlist.set_output("z", netlist.new_net("floating"))
+        report = lint_netlist(netlist)
+        assert rule_ids(report) == ["NL001"]
+
+
+class TestNL002MultiplyDriven:
+    def test_lut_shorting_an_input(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        netlist.set_output("y", netlist.add_lut((a,), BUFFER_INIT, name="buf"))
+        # The add_* helpers enforce single drivers, so corrupt directly:
+        # a LUT driving the net the input port already drives.
+        netlist.luts.append(Lut6((b,), a, BUFFER_INIT, "clash"))
+        report = lint_netlist(netlist)
+        assert rule_ids(report) == ["NL002"]
+        assert "2 sources" in report.findings[0].message
+
+
+class TestNL003FloatingInput:
+    def test_unused_primary_input(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        netlist.add_input("unused")
+        netlist.set_output("y", netlist.add_lut((a,), BUFFER_INIT, name="buf"))
+        report = lint_netlist(netlist)
+        assert rule_ids(report) == ["NL003"]
+        assert "unused" in report.findings[0].location
+
+
+class TestNL004DeadLogic:
+    def test_unconsumed_lut(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        netlist.set_output("y", netlist.add_lut((a, b), AND2_INIT, name="live"))
+        netlist.add_lut((a, b), XOR2_INIT, name="dead")  # output goes nowhere
+        report = lint_netlist(netlist)
+        assert rule_ids(report) == ["NL004"]
+        assert report.findings[0].location == "dead"
+
+    def test_no_outputs_at_all(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        netlist.add_lut((a,), BUFFER_INIT, name="buf")
+        report = lint_netlist(netlist, rules=["NL004"])
+        assert rule_ids(report) == ["NL004"]
+        assert "no primary outputs" in report.findings[0].message
+
+    def test_ff_cone_is_traversed(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        lut = netlist.add_lut((a,), BUFFER_INIT, name="buf")
+        q = netlist.add_ff(lut, name="reg")
+        netlist.set_output("y", q)
+        assert lint_netlist(netlist).clean
+
+
+class TestNL005CombinationalLoop:
+    def test_two_lut_cycle(self):
+        netlist = Netlist()
+        n1 = netlist.new_net("n1")
+        n2 = netlist.new_net("n2")
+        netlist.luts.append(Lut6((n2,), n1, BUFFER_INIT, "loop_a"))
+        netlist.luts.append(Lut6((n1,), n2, BUFFER_INIT, "loop_b"))
+        netlist.set_output("y", n1)
+        report = lint_netlist(netlist)
+        assert rule_ids(report) == ["NL005"]
+        assert "loop_a" in report.findings[0].message
+
+    def test_self_loop(self):
+        netlist = Netlist()
+        n = netlist.new_net("n")
+        netlist.luts.append(Lut6((n,), n, BUFFER_INIT, "self"))
+        netlist.set_output("y", n)
+        report = lint_netlist(netlist, rules=["NL005"])
+        assert len(report.findings) == 1
+
+    def test_ff_feedback_is_legal(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        d = netlist.new_net("d")
+        q = netlist.add_ff(d, name="reg")
+        netlist.add_lut_driving(d, (a, q), XOR2_INIT, name="toggle")
+        netlist.set_output("y", q)
+        assert lint_netlist(netlist).clean
+
+
+class TestNL006DegenerateInit:
+    def test_ignored_connected_input(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        c = netlist.add_input("c")
+        init = lut_init(lambda a, b, c: a ^ b, 3)  # c wired but ignored
+        netlist.set_output("y", netlist.add_lut((a, b, c), init, name="waste"))
+        report = lint_netlist(netlist)
+        assert rule_ids(report) == ["NL006"]
+        assert "input 2" in report.findings[0].message
+
+    def test_constant_wiring_can_mask_sensitivity(self):
+        # AND with one leg tied to GND: the other leg can no longer affect
+        # the output, but the whole LUT is constant -> NL007, not NL006.
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        netlist.set_output("y", netlist.add_lut((a, GND), AND2_INIT, name="gnd_and"))
+        report = lint_netlist(netlist)
+        assert rule_ids(report) == ["NL007"]
+
+
+class TestNL007ConstantLut:
+    def test_lut_wired_to_constants_only(self):
+        netlist = Netlist()
+        netlist.set_output("y", netlist.add_lut((GND,), BUFFER_INIT, name="zero"))
+        report = lint_netlist(netlist)
+        assert rule_ids(report) == ["NL007"]
+        assert report.findings[0].severity == Severity.INFO
+
+    def test_duplicate_net_constant(self):
+        # XOR of a net with itself is constant 0 regardless of the net.
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        netlist.set_output("y", netlist.add_lut((a, a), XOR2_INIT, name="x"))
+        report = lint_netlist(netlist)
+        assert rule_ids(report) == ["NL007"]
+
+
+class TestNL008ScoreWidth:
+    @staticmethod
+    def _popcount8(truncate_to):
+        netlist = Netlist(name="pc8")
+        bits = netlist.add_input_bus("bits", 8)
+        low = add_popcount6(netlist, bits[:4], name="lo")
+        high = add_popcount6(netlist, bits[4:], name="hi")
+        score = add_ripple_adder(netlist, low, high, name="sum")
+        netlist.set_output_bus("score", score[:truncate_to])
+        return netlist
+
+    def test_overflow_possible_is_error(self):
+        report = lint_netlist(self._popcount8(3))  # 8 inputs need 4 bits
+        assert rule_ids(report) == ["NL008"]
+        assert report.errors and "overflow" in report.errors[0].message
+
+    def test_exact_width_is_silent(self):
+        assert lint_netlist(self._popcount8(4)).clean
+
+    def test_overprovisioned_is_info(self):
+        netlist = Netlist(name="wide")
+        bits = netlist.add_input_bus("bits", 2)
+        score = add_ripple_adder(netlist, [bits[0]], [bits[1]], name="sum")
+        netlist.set_output_bus("score", [score[0], score[1], score[1]])
+        report = lint_netlist(netlist)
+        assert rule_ids(report) == ["NL008"]
+        assert report.findings[0].severity == Severity.INFO
+
+    def test_bus_names_configurable(self):
+        netlist = self._popcount8(3)
+        config = NetlistLintConfig(count_input_bus="nonexistent")
+        assert lint_netlist(netlist, config=config, rules=["NL008"]).clean
+
+
+class TestNL009ComparatorBudget:
+    @staticmethod
+    def _comparator(extra_buffer):
+        netlist = Netlist(name="cmp1")
+        q = netlist.add_input_bus("q", 6)
+        ref = netlist.add_input_bus("ref", 2)
+        p1h = netlist.add_input("p1h")
+        p2l = netlist.add_input("p2l")
+        p2h = netlist.add_input("p2h")
+        match = add_element_comparator(
+            netlist, q, (ref[1], ref[0]), prev1_hi=p1h, prev2_lo=p2l, prev2_hi=p2h
+        )
+        if extra_buffer:
+            match = netlist.add_lut((match,), BUFFER_INIT, name="extra")
+        netlist.set_output_bus("match", [match])
+        return netlist
+
+    def test_exact_budget_is_silent(self):
+        assert lint_netlist(self._comparator(False)).clean
+
+    def test_over_budget_is_error(self):
+        report = lint_netlist(self._comparator(True))
+        assert rule_ids(report) == ["NL009"]
+        assert report.errors and "3 LUTs" in report.errors[0].message
+
+    def test_under_budget_is_info(self):
+        netlist = Netlist(name="tiny")
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        netlist.set_output_bus("match", [netlist.add_lut((a, b), AND2_INIT, "m")])
+        report = lint_netlist(netlist, rules=["NL009"])
+        assert report.findings and report.findings[0].severity == Severity.INFO
+
+    def test_budget_override(self):
+        config = NetlistLintConfig(luts_per_element=3)
+        report = lint_netlist(self._comparator(True), config=config, rules=["NL009"])
+        assert report.clean
+
+
+class TestSuppressionAndSelection:
+    def test_ignore_drops_rule(self):
+        report = lint_netlist(build_element_comparator(), ignore=("NL003",))
+        assert report.clean
+
+    def test_rules_subset(self):
+        netlist = Netlist()
+        netlist.add_input("unused")
+        report = lint_netlist(netlist, rules=["NL001", "NL002"])
+        assert report.clean  # NL003 not selected
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError, match="NL999"):
+            lint_netlist(Netlist(), rules=["NL999"])
+
+
+class TestReporters:
+    def test_render_text_summary(self):
+        reports = [lint_netlist(n) for _, n in demo_designs()]
+        text = render_text(reports)
+        assert "summary:" in text and "0 errors" in text
+
+    def test_render_json_roundtrip(self):
+        reports = [lint_netlist(build_element_comparator())]
+        payload = json.loads(render_json(reports, extra={"resources": {"x": 1}}))
+        assert payload["summary"]["ok"] is True
+        assert payload["summary"]["warnings"] == 1
+        assert payload["resources"] == {"x": 1}
+        assert payload["subjects"][0]["findings"][0]["rule"] == "NL003"
+
+    def test_merge_reports_prefixes_locations(self):
+        merged = merge_reports(
+            "all", [lint_netlist(build_element_comparator())]
+        )
+        assert merged.findings[0].location.startswith("element_comparator:")
+
+    def test_finding_str_includes_fix(self):
+        finding = Finding("XX001", Severity.ERROR, "here", "broken", "fix it")
+        assert "fix it" in str(finding) and "[error]" in str(finding)
+
+
+class TestNetlistValidate:
+    def test_clean_netlist_validates(self):
+        for _, netlist in demo_designs():
+            netlist.validate()
+
+    def test_duplicate_driver_caught(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        shared = netlist.new_net()
+        netlist.luts.append(Lut6((a,), shared, BUFFER_INIT, "one"))
+        netlist.luts.append(Lut6((a,), shared, BUFFER_INIT, "two"))
+        with pytest.raises(NetlistError, match="driven by both"):
+            netlist.validate()
+
+    def test_out_of_range_net_caught(self):
+        netlist = Netlist()
+        netlist.luts.append(Lut6((99,), netlist.new_net(), BUFFER_INIT, "bad"))
+        with pytest.raises(NetlistError, match="does not exist"):
+            netlist.validate()
+
+    def test_constant_net_driver_caught(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        netlist.luts.append(Lut6((a,), GND, BUFFER_INIT, "drives_gnd"))
+        with pytest.raises(NetlistError, match="constant"):
+            netlist.validate()
+
+    def test_primitive_handle_validation(self):
+        with pytest.raises(NetlistError, match="non-integer"):
+            Lut6(("x",), 2, BUFFER_INIT, "bad")
+        with pytest.raises(NetlistError, match="negative"):
+            Lut6((-1,), 2, BUFFER_INIT, "bad")
+
+    def test_ff_init_validated(self):
+        with pytest.raises(NetlistError, match="init must be 0 or 1"):
+            FlipFlop(data=2, output=3, init=7)
