@@ -3,8 +3,9 @@
 Runs the full static-analysis pass (the same one ``fabp-repro lint`` and CI
 execute) over every demo design, asserts the paper's structural budgets
 (§III-D: two LUTs per element; Fig. 4: 36 LUTs per Pop36), and writes the
-machine-readable report to ``benchmarks/out/lint_resources.json`` so LUT/FF
-counts can be diffed across revisions.
+machine-readable report — lint findings plus per-design resource and timing
+records — to ``benchmarks/out/lint_resources.json`` so LUT/FF counts and
+fmax can be diffed across revisions.
 """
 
 import json
@@ -13,6 +14,7 @@ from repro.core.encoding import encode_query
 from repro.core.instr_lint import lint_query
 from repro.lint import render_json
 from repro.rtl.lint import demo_designs, lint_netlist
+from repro.rtl.timing import analyze
 
 #: Exact structural budgets from the paper (None = tracked, not pinned).
 LUT_BUDGETS = {
@@ -29,9 +31,11 @@ def test_lint_resources(artifact_dir):
     designs = dict(demo_designs())
     reports = []
     resources = {}
+    timing = {}
     for name, netlist in designs.items():
         reports.append(lint_netlist(netlist))
         resources[name] = netlist.stats()
+        timing[name] = analyze(netlist).to_dict()
     reports.append(lint_query(encode_query("ACDEFGHIKLMNPQRSTVWY")))
 
     # Acceptance bar: the shipped generators and the default encoder carry
@@ -57,6 +61,7 @@ def test_lint_resources(artifact_dir):
         reports,
         extra={
             "resources": resources,
+            "timing": timing,
             "budgets": {k: v for k, v in LUT_BUDGETS.items() if v is not None},
         },
     )
@@ -68,3 +73,6 @@ def test_lint_resources(artifact_dir):
     parsed = json.loads(payload)
     assert parsed["summary"]["errors"] == 0
     assert set(parsed["resources"]) == set(designs)
+    assert set(parsed["timing"]) == set(designs)
+    for record in parsed["timing"].values():
+        assert record["fmax_mhz"] > 0

@@ -10,15 +10,18 @@ Subcommands:
 * ``crossover`` — print the §IV-B bandwidth/resource crossover sweep
 * ``stats``     — null-score statistics and threshold suggestion for a query
 * ``lint``      — static lint of generated netlists and instruction streams
+* ``prove``     — symbolic proofs: comparator/reference equivalence per
+  amino acid, popcount score-range bounds, block equivalence
 
-Everything is deterministic given ``--seed``.
+Exit codes follow lint convention: 0 clean, 1 findings/refutations, 2
+usage error (argparse).  Everything is deterministic given ``--seed``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -326,14 +329,19 @@ def cmd_lint(args) -> int:
     from repro.core.instr_lint import lint_query
     from repro.lint import render_json, render_text
     from repro.rtl.lint import demo_designs, lint_netlist
+    from repro.rtl.timing import analyze
     from repro.seq.sequence import ProteinSequence
 
     ignore = [r for spec in args.ignore for r in spec.split(",") if r]
     reports = []
     resources = {}
+    timing = {}
     for name, netlist in demo_designs():
-        reports.append(lint_netlist(netlist, ignore=ignore))
+        reports.append(lint_netlist(netlist, ignore=ignore, symbolic=args.symbolic))
         resources[name] = netlist.stats()
+        timing[name] = analyze(
+            netlist, exclude_false_paths=args.symbolic
+        ).to_dict()
     if args.query or args.query_file:
         queries = _load_queries(args)
     else:
@@ -343,7 +351,7 @@ def cmd_lint(args) -> int:
         reports.append(lint_query(encode_query(query), ignore=ignore))
 
     if args.format == "json":
-        text = render_json(reports, extra={"resources": resources})
+        text = render_json(reports, extra={"resources": resources, "timing": timing})
     else:
         text = render_text(reports)
     if args.out:
@@ -360,6 +368,142 @@ def cmd_lint(args) -> int:
     if args.strict:
         failed = failed or any(r.warnings for r in reports)
     return 1 if failed else 0
+
+
+def _prove_popcounter(width: int, style: str):
+    from repro.rtl.netlist import Netlist
+    from repro.rtl.popcount import add_pop36, add_tree_adder_popcount
+
+    netlist = Netlist(f"pc_{style}_{width}")
+    bits = netlist.add_input_bus("bits", width)
+    if style == "fabp":
+        out = add_pop36(netlist, bits)[: max(1, width.bit_length())]
+    else:
+        out = add_tree_adder_popcount(netlist, bits)
+    netlist.set_output_bus("score", out)
+    return netlist
+
+
+def _prove_self_test() -> Dict[str, object]:
+    """Refute two seeded single-bit mutations; both must yield witnesses."""
+    import dataclasses
+
+    from repro.core.absint import check_comparator_netlist
+    from repro.rtl.comparator import build_instance_comparator
+    from repro.rtl.equivalence import check_equivalence
+
+    # One flipped INIT bit in element 1's comparison LUT.
+    mutated = build_instance_comparator(3)
+    lut = mutated.luts[2]
+    mutated.luts[2] = dataclasses.replace(lut, init=lut.init ^ (1 << 7))
+    divergences = check_comparator_netlist(mutated, 3)
+    comparator_refuted = len(divergences) == 1 and divergences[0].element == 1
+
+    # One flipped INIT bit in the first popcount LUT of an 18-bit block.
+    broken = _prove_popcounter(18, "fabp")
+    lut = broken.luts[0]
+    broken.luts[0] = dataclasses.replace(lut, init=lut.init ^ 1)
+    result = check_equivalence(_prove_popcounter(18, "tree"), broken, mode="symbolic")
+    popcount_refuted = result.proven and not result.equivalent
+
+    return {
+        "ok": comparator_refuted and popcount_refuted,
+        "comparator_mutation": {
+            "refuted": comparator_refuted,
+            "counterexamples": [d.to_dict() for d in divergences],
+        },
+        "popcount_mutation": {
+            "refuted": popcount_refuted,
+            "result": result.to_dict(),
+        },
+    }
+
+
+def cmd_prove(args) -> int:
+    import json
+
+    from repro.core.absint import verify_all_amino_acids
+    from repro.rtl.equivalence import check_equivalence
+    from repro.rtl.popcount import build_popcounter
+    from repro.rtl.ranges import prove_count_range
+
+    payload: Dict[str, object] = {}
+    lines: List[str] = []
+    ok = True
+
+    # 1. Cross-layer: every amino acid's generated comparator == the §III-B
+    #    reference semantics, exact over all 2^11 combinations per element.
+    reports = verify_all_amino_acids()
+    payload["comparators"] = {aa: r.to_dict() for aa, r in reports.items()}
+    failed = sorted(aa for aa, report in reports.items() if not report.ok)
+    ok = ok and not failed
+    if failed:
+        lines.append(f"comparators: FAILED for {', '.join(failed)}")
+        for aa in failed:
+            for divergence in reports[aa].divergences:
+                lines.append(f"  {aa}: {divergence.describe()}")
+            for mismatch in reports[aa].codon_mismatches:
+                lines.append(f"  {aa}: {mismatch}")
+    else:
+        lines.append(
+            f"comparators: {len(reports)} amino acids verified against the "
+            "reference semantics (symbolic, no vectors)"
+        )
+
+    # 2. Word-level score-range proofs at the Table I design points.
+    ranges: List[Dict[str, object]] = []
+    for width in args.widths:
+        proof = prove_count_range(build_popcounter(width, style="fabp").netlist)
+        ranges.append(proof.to_dict())
+        ok = ok and proof.width_ok
+        status = "exact" if proof.exact else ("bound" if proof.proven else "FAILED")
+        lines.append(
+            f"range: fabp_{width} score in [{proof.min_value}, "
+            f"{proof.max_value}] fits {proof.out_width} bits [{status}]"
+            + ("" if proof.width_ok else f" — {proof.reason}")
+        )
+    payload["ranges"] = ranges
+
+    # 3. Symbolic block equivalence: hand-optimized Pop36 compressor vs the
+    #    naive tree adder, proven per output cone at a tractable width.
+    result = check_equivalence(
+        _prove_popcounter(args.equivalence_width, "fabp"),
+        _prove_popcounter(args.equivalence_width, "tree"),
+        mode="symbolic",
+    )
+    payload["equivalence"] = result.to_dict()
+    ok = ok and result.equivalent
+    lines.append(
+        f"equivalence: fabp vs tree popcount at {args.equivalence_width} bits "
+        + ("proven equivalent (symbolic)" if result else f"REFUTED: {result.counterexample}")
+    )
+
+    # 4. Optional negative control: seeded mutations must be refuted.
+    if args.self_test:
+        self_test = _prove_self_test()
+        payload["self_test"] = self_test
+        ok = ok and bool(self_test["ok"])
+        lines.append(
+            "self-test: seeded single-bit mutations "
+            + ("refuted with counterexamples" if self_test["ok"] else "NOT refuted")
+        )
+
+    payload["ok"] = ok
+    lines.append(f"verdict: {'all proofs hold' if ok else 'REFUTED'}")
+
+    text = json.dumps(payload, indent=2) if args.format == "json" else "\n".join(lines)
+    if args.out:
+        import pathlib
+
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+        print(f"wrote {path}")
+        if args.format != "json":
+            print("\n".join(lines))
+    else:
+        print(text)
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -449,8 +593,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ignore", action="append", default=[], metavar="RULES",
                    help="comma-separated rule ids to suppress (repeatable)")
     p.add_argument("--strict", action="store_true",
-                   help="treat warnings as failures")
+                   help="treat warnings as failures (exit codes: 0 clean, "
+                   "1 findings, 2 usage error)")
+    p.add_argument("--symbolic", action="store_true",
+                   help="append the SA-family symbolic proofs (comparator "
+                   "divergence, score-range, false paths) and exclude "
+                   "proven false paths from the timing payload")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "prove",
+        help="symbolic verification: comparator semantics per amino acid, "
+        "score-range bounds at the Table I design points, block equivalence",
+    )
+    p.add_argument("--widths", type=int, nargs="+",
+                   default=[150, 300, 450, 600, 750],
+                   help="popcount widths (elements) to range-prove")
+    p.add_argument("--equivalence-width", type=int, default=18,
+                   help="input width for the symbolic fabp-vs-tree "
+                   "equivalence proof (per-output cones must stay within "
+                   "the truth-table limit)")
+    p.add_argument("--self-test", action="store_true",
+                   help="also refute seeded single-bit LUT mutations "
+                   "(negative control: each must produce a counterexample)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--out", help="write the report/artifact to a file")
+    p.set_defaults(func=cmd_prove)
 
     p = sub.add_parser("stats", help="null-score statistics for queries")
     add_query_args(p)

@@ -1,0 +1,531 @@
+"""Cross-layer abstract interpretation of the 6-bit instruction stream.
+
+The encoder (:mod:`repro.core.encoding`), the golden comparator semantics
+(:mod:`repro.core.comparator`) and the generated netlist
+(:mod:`repro.rtl.comparator`) are three representations of the same §III-B
+matching machine.  PR 1's lint rules check each layer *structurally*; this
+module checks that they **agree semantically**, element by element, with no
+simulation vectors:
+
+* :func:`interpret_stream` executes an instruction stream over the abstract
+  nucleotide domain (sets of the four codes, encoded as 4-bit masks) and
+  derives per-element facts: which reference nucleotides *may* match (under
+  some dependency context) and which *must* match (under every context).
+* :func:`score_bounds` folds the facts into a query-specific score interval
+  — a tighter, semantic companion to the structural 10-bit range proof in
+  :mod:`repro.rtl.ranges`.
+* :func:`codon_facts` reassembles per-codon accept sets (dependent elements
+  resolve against their own codon's earlier positions) and cross-checks them
+  against the codon table: back-translation round-trips through the
+  instruction encoding.
+* :func:`check_comparator_netlist` / :func:`verify_encoded_query` compare,
+  per query element, the generated comparator netlist's exact symbolic
+  function (via :mod:`repro.rtl.symbolic`) with the golden semantics over
+  the full 2^11 (instruction, reference, context) space — any encoder/
+  netlist divergence surfaces at build time with a minimized counterexample.
+
+``fabp-repro prove`` drives these checks over every amino acid's generated
+comparator; lint rule SA001 runs the netlist agreement check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import codons as codon_mod
+from repro.core import comparator as golden
+from repro.core import encoding as enc
+from repro.rtl.comparator import build_instance_comparator
+from repro.rtl.netlist import Netlist
+from repro.rtl.symbolic import (
+    DEFAULT_MAX_SUPPORT,
+    Space,
+    SymbolicEvaluator,
+    SymbolicFunction,
+)
+from repro.seq import alphabet
+
+#: The abstract nucleotide domain: bit ``c`` set means code ``c`` is possible.
+TOP = 0b1111
+
+#: Canonical variable roles of one element comparator cone, LSB first.  The
+#: golden mask and every netlist cone are evaluated in this order, so
+#: equality is a single integer comparison of 2^11-bit truth tables.
+ELEMENT_ROLES: Tuple[str, ...] = (
+    "b0",
+    "b1",
+    "b2",
+    "b3",
+    "b4",
+    "b5",
+    "ref_lo",
+    "ref_hi",
+    "prev1_hi",
+    "prev2_lo",
+    "prev2_hi",
+)
+
+_GOLDEN_MASK: Optional[int] = None
+
+
+def golden_element_mask() -> int:
+    """The golden comparator as one truth table over :data:`ELEMENT_ROLES`.
+
+    Bit ``a`` is :func:`repro.core.comparator.instruction_matches` evaluated
+    at the assignment minterm ``a`` decodes to — the reference semantics of
+    *every* instruction at once, in netlist-comparable form.
+    """
+    global _GOLDEN_MASK
+    if _GOLDEN_MASK is None:
+        mask = 0
+        for address in range(1 << len(ELEMENT_ROLES)):
+            bits = [(address >> i) & 1 for i in range(len(ELEMENT_ROLES))]
+            instruction = sum(bits[i] << i for i in range(6))
+            ref_code = bits[6] | (bits[7] << 1)
+            prev1_code = bits[8] << 1
+            prev2_code = bits[9] | (bits[10] << 1)
+            if golden.instruction_matches(instruction, ref_code, prev1_code, prev2_code):
+                mask |= 1 << address
+        _GOLDEN_MASK = mask
+    return _GOLDEN_MASK
+
+
+@dataclass(frozen=True)
+class ElementFact:
+    """Abstract facts about one instruction of the stream."""
+
+    index: int
+    instruction: int
+    kind: str  # "exact" | "conditional" | "dependent" | "invalid"
+    valid: bool  # decodes to a pattern element under the normative layout
+    may_match: int  # nucleotide mask: matches under SOME (prev1, prev2)
+    must_match: int  # nucleotide mask: matches under EVERY (prev1, prev2)
+    uses_prev1: bool
+    uses_prev2: bool
+    error: Optional[str] = None
+
+    @property
+    def always_matches(self) -> bool:
+        """True when every reference window satisfies this element."""
+        return self.must_match == TOP
+
+    @property
+    def never_matches(self) -> bool:
+        return self.may_match == 0
+
+    def to_dict(self) -> Dict[str, object]:
+        def letters(mask: int) -> str:
+            return "".join(
+                alphabet.RNA_NUCLEOTIDES[c] for c in range(4) if (mask >> c) & 1
+            )
+
+        return {
+            "index": self.index,
+            "instruction": enc.instruction_bit_string(self.instruction),
+            "kind": self.kind,
+            "valid": self.valid,
+            "may_match": letters(self.may_match),
+            "must_match": letters(self.must_match),
+            "uses_prev1": self.uses_prev1,
+            "uses_prev2": self.uses_prev2,
+            "error": self.error,
+        }
+
+
+def _element_kind(instruction: int) -> str:
+    if instruction & 1:
+        return "dependent"
+    return "conditional" if (instruction >> 1) & 1 else "exact"
+
+
+def interpret_element(index: int, instruction: int) -> ElementFact:
+    """Abstractly execute one instruction over the nucleotide domain."""
+    valid = True
+    error: Optional[str] = None
+    try:
+        enc.decode_element(instruction)
+    except enc.EncodingError as exc:
+        valid = False
+        error = str(exc)
+    may = 0
+    must = TOP
+    uses_prev1 = False
+    uses_prev2 = False
+    for ref_code in range(4):
+        outcomes = set()
+        for prev1 in range(4):
+            for prev2 in range(4):
+                outcomes.add(
+                    golden.instruction_matches(instruction, ref_code, prev1, prev2)
+                )
+        if True in outcomes:
+            may |= 1 << ref_code
+        if False in outcomes:
+            must &= ~(1 << ref_code)
+    # Context sensitivity: does the outcome depend on either look-back?
+    for ref_code in range(4):
+        for prev1 in range(4):
+            for prev2 in range(4):
+                base = golden.instruction_matches(instruction, ref_code, prev1, prev2)
+                if not uses_prev1 and any(
+                    golden.instruction_matches(instruction, ref_code, p, prev2) != base
+                    for p in range(4)
+                ):
+                    uses_prev1 = True
+                if not uses_prev2 and any(
+                    golden.instruction_matches(instruction, ref_code, prev1, p) != base
+                    for p in range(4)
+                ):
+                    uses_prev2 = True
+    return ElementFact(
+        index=index,
+        instruction=instruction,
+        kind=_element_kind(instruction),
+        valid=valid,
+        may_match=may,
+        must_match=must,
+        uses_prev1=uses_prev1,
+        uses_prev2=uses_prev2,
+        error=error,
+    )
+
+
+def interpret_stream(instructions: Sequence[int]) -> List[ElementFact]:
+    """Abstract execution of a whole instruction stream."""
+    return [
+        interpret_element(index, int(instruction))
+        for index, instruction in enumerate(instructions)
+    ]
+
+
+def score_bounds(facts: Sequence[ElementFact]) -> Tuple[int, int]:
+    """Provable score interval for any reference window.
+
+    An element scores +1 on every window iff it matches under all contexts
+    and nucleotides; it can score at all iff some (nucleotide, context)
+    matches.  The interval is exact per element but ignores cross-element
+    correlation, so it is a sound over-approximation of the reachable set.
+    """
+    lo = sum(1 for fact in facts if fact.always_matches)
+    hi = sum(1 for fact in facts if not fact.never_matches)
+    return lo, hi
+
+
+@dataclass(frozen=True)
+class CodonFact:
+    """Accepted codons for one instruction triple (one query residue)."""
+
+    residue_index: int
+    accepted: Tuple[str, ...]  # RNA codon strings, sorted
+    exact: bool  # False when a position-0/1 element needed its context
+
+
+def codon_facts(facts: Sequence[ElementFact]) -> List[CodonFact]:
+    """Per-codon accept sets, resolving in-codon dependencies exactly.
+
+    Elements at codon positions 0 and 1 may not look outside the codon
+    window (back-translated streams never do); if one does, its look-back is
+    treated as unconstrained and the set is flagged inexact (still sound:
+    an over-approximation).
+    """
+    if len(facts) % 3:
+        raise ValueError(f"stream length {len(facts)} is not a multiple of 3")
+    results: List[CodonFact] = []
+    for residue in range(len(facts) // 3):
+        e0, e1, e2 = facts[3 * residue : 3 * residue + 3]
+        exact = not (e0.uses_prev1 or e0.uses_prev2 or e1.uses_prev2)
+        accepted: List[str] = []
+        for codon_value in range(64):
+            n0 = (codon_value >> 4) & 3
+            n1 = (codon_value >> 2) & 3
+            n2 = codon_value & 3
+            # Position 0's look-backs leave the codon; quantify over them.
+            ok0 = any(
+                golden.instruction_matches(e0.instruction, n0, p1, p2)
+                for p1 in range(4)
+                for p2 in range(4)
+            )
+            ok1 = any(
+                golden.instruction_matches(e1.instruction, n1, n0, p2)
+                for p2 in range(4)
+            )
+            ok2 = golden.instruction_matches(e2.instruction, n2, n1, n0)
+            if ok0 and ok1 and ok2:
+                accepted.append(
+                    alphabet.RNA_NUCLEOTIDES[n0]
+                    + alphabet.RNA_NUCLEOTIDES[n1]
+                    + alphabet.RNA_NUCLEOTIDES[n2]
+                )
+        results.append(
+            CodonFact(residue_index=residue, accepted=tuple(sorted(accepted)), exact=exact)
+        )
+    return results
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """A proven mismatch between netlist and reference semantics."""
+
+    element: int
+    assignment: Dict[str, int]  # minimized: only roles the diff depends on
+    expected: int  # golden output at the counterexample
+    actual: int  # netlist output at the counterexample
+
+    def describe(self) -> str:
+        bits = ", ".join(f"{k}={v}" for k, v in sorted(self.assignment.items()))
+        return (
+            f"element {self.element}: netlist={self.actual} but "
+            f"reference={self.expected} at {bits}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "element": self.element,
+            "assignment": dict(self.assignment),
+            "expected": self.expected,
+            "actual": self.actual,
+        }
+
+
+def _element_space(element: int) -> Tuple[Space, Dict[str, str]]:
+    """The canonical symbolic space of one instance-comparator element.
+
+    Variables are the element's actual net names, ordered by
+    :data:`ELEMENT_ROLES`; the returned map translates net name -> role.
+    """
+    names = [f"q{element}[{bit}]" for bit in range(6)]
+    names += [
+        f"ref{element + 2}[0]",  # ref_lo
+        f"ref{element + 2}[1]",  # ref_hi
+        f"ref{element + 1}[1]",  # prev1_hi
+        f"ref{element}[0]",  # prev2_lo
+        f"ref{element}[1]",  # prev2_hi
+    ]
+    roles = dict(zip(names, ELEMENT_ROLES))
+    return Space(names), roles
+
+
+def _divergence_from_diff(
+    element: int, space: Space, roles: Dict[str, str], diff: int, golden_mask: int
+) -> Divergence:
+    """Build a minimized counterexample from a non-zero XOR truth table."""
+    diff_function = SymbolicFunction(space, diff)
+    relevant = set(diff_function.support())
+    minterm = diff_function.satisfying_minterm()
+    assert minterm is not None
+    assignment = space.assignment_of(minterm)
+    minimized = {
+        roles[name]: value for name, value in assignment.items() if name in relevant
+    }
+    expected = (golden_mask >> minterm) & 1
+    return Divergence(
+        element=element,
+        assignment=minimized,
+        expected=expected,
+        actual=expected ^ 1,
+    )
+
+
+def check_comparator_netlist(
+    netlist: Netlist,
+    num_elements: int,
+    *,
+    max_support: int = DEFAULT_MAX_SUPPORT,
+) -> List[Divergence]:
+    """Prove or refute, per element, netlist == reference semantics.
+
+    ``netlist`` must follow :func:`repro.rtl.comparator.build_instance_comparator`'s
+    port naming.  Each element's ``match[i]`` cone is evaluated symbolically
+    in the canonical role order and integer-compared against
+    :func:`golden_element_mask` — exact over all 2^11 (instruction,
+    reference, context) combinations, no vectors enumerated.
+    """
+    evaluator = SymbolicEvaluator(netlist, max_support=max_support)
+    golden_mask = golden_element_mask()
+    divergences: List[Divergence] = []
+    for element in range(num_elements):
+        space, roles = _element_space(element)
+        net = netlist.outputs[f"match[{element}]"]
+        function = evaluator.functions([net], space)[0]
+        diff = function.mask ^ golden_mask
+        if diff:
+            divergences.append(
+                _divergence_from_diff(element, space, roles, diff, golden_mask)
+            )
+    return divergences
+
+
+@dataclass
+class AbsintReport:
+    """Everything the abstract interpreter proved about one encoded query."""
+
+    query: str
+    num_elements: int
+    facts: List[ElementFact]
+    score_lo: int
+    score_hi: int
+    codons: List[CodonFact]
+    codon_mismatches: List[str] = field(default_factory=list)
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.divergences
+            and not self.codon_mismatches
+            and all(fact.valid for fact in self.facts)
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "query": self.query,
+            "num_elements": self.num_elements,
+            "score_range": [self.score_lo, self.score_hi],
+            "invalid_elements": [
+                fact.to_dict() for fact in self.facts if not fact.valid
+            ],
+            "codon_mismatches": list(self.codon_mismatches),
+            "divergences": [divergence.to_dict() for divergence in self.divergences],
+            "ok": self.ok,
+        }
+
+
+def verify_encoded_query(
+    encoded: enc.EncodedQuery,
+    *,
+    netlist: Optional[Netlist] = None,
+    max_support: int = DEFAULT_MAX_SUPPORT,
+) -> AbsintReport:
+    """The full cross-layer check for one back-translated query.
+
+    1. Abstract execution of the instruction stream (validity + match facts).
+    2. Codon accept sets vs the codon table: every residue's reassembled
+       set must equal the codons that translate to it.
+    3. Symbolic netlist agreement, per element, against the golden mask.
+       ``netlist`` defaults to a freshly generated instance comparator; pass
+       one explicitly to verify a hand-modified or deserialized design.
+    """
+    instructions = list(encoded.instructions)
+    facts = interpret_stream(instructions)
+    lo, hi = score_bounds(facts)
+    codons = codon_facts(facts)
+    mismatches: List[str] = []
+    for residue_index, fact in enumerate(codons):
+        residue = str(encoded.protein)[residue_index]
+        # The default encoder is paper-faithful: Ser covers the UCN box only
+        # (see codons.paper_codons_for), so that is the normative target.
+        expected = tuple(sorted(codon_mod.paper_codons_for(residue)))
+        if fact.accepted != expected:
+            mismatches.append(
+                f"residue {residue_index} ({residue}): instruction triple accepts "
+                f"{'/'.join(fact.accepted) or 'nothing'}, codon table says "
+                f"{'/'.join(expected)}"
+            )
+    if netlist is None:
+        netlist = build_instance_comparator(len(instructions))
+    divergences = check_comparator_netlist(
+        netlist, len(instructions), max_support=max_support
+    )
+    return AbsintReport(
+        query=str(encoded.protein),
+        num_elements=len(instructions),
+        facts=facts,
+        score_lo=lo,
+        score_hi=hi,
+        codons=codons,
+        codon_mismatches=mismatches,
+        divergences=divergences,
+    )
+
+
+def verify_amino_acid(
+    amino: str, *, max_support: int = DEFAULT_MAX_SUPPORT
+) -> AbsintReport:
+    """Cross-layer verification of one amino acid's generated comparator."""
+    return verify_encoded_query(enc.encode_query(amino), max_support=max_support)
+
+
+def verify_all_amino_acids(
+    *, max_support: int = DEFAULT_MAX_SUPPORT
+) -> Dict[str, AbsintReport]:
+    """Run :func:`verify_amino_acid` for the full alphabet (the `prove` CLI)."""
+    return {
+        amino: verify_amino_acid(amino, max_support=max_support)
+        for amino in alphabet.AMINO_ACIDS
+    }
+
+
+def instruction_stream_findings(
+    instructions: Sequence[int],
+) -> List[Tuple[int, str]]:
+    """Semantic findings over a raw stream, for the IS lint family.
+
+    Returns ``(index, message)`` pairs:
+
+    * invalid encodings (also IS002's structural domain);
+    * elements that can never match (dead columns silently zeroing every
+      alignment score) — vacuous under the current ISA, kept as a
+      soundness net should the encoding grow;
+    * look-back misplacement: an element at codon position 0 (or 1) whose
+      outcome depends on ``prev1``/``prev2`` (or ``prev2``) reads across
+      the codon boundary.  The back-translation encoder never emits such
+      streams, so this flags hand-assembled or corrupted programs whose
+      matches silently couple adjacent residues.
+
+    Valid always-match elements are normal (the paper's padding), so they
+    are not reported.
+    """
+    findings: List[Tuple[int, str]] = []
+    for fact in interpret_stream(instructions):
+        if not fact.valid:
+            findings.append(
+                (fact.index, f"invalid encoding: {fact.error or 'undecodable'}")
+            )
+            continue
+        if fact.never_matches:
+            findings.append(
+                (
+                    fact.index,
+                    "element can never match any reference nucleotide "
+                    "(dead column: every window loses one score point)",
+                )
+            )
+            continue
+        position = fact.index % 3
+        crossing = []
+        if position == 0 and fact.uses_prev1:
+            crossing.append("prev1")
+        if position in (0, 1) and fact.uses_prev2:
+            crossing.append("prev2")
+        if crossing:
+            findings.append(
+                (
+                    fact.index,
+                    f"{fact.kind} element at codon position {position} "
+                    f"depends on {' and '.join(crossing)} outside its codon "
+                    "window — back-translated streams never look across the "
+                    "codon boundary",
+                )
+            )
+    return findings
+
+
+__all__ = [
+    "TOP",
+    "ELEMENT_ROLES",
+    "AbsintReport",
+    "CodonFact",
+    "Divergence",
+    "ElementFact",
+    "check_comparator_netlist",
+    "codon_facts",
+    "golden_element_mask",
+    "instruction_stream_findings",
+    "interpret_element",
+    "interpret_stream",
+    "score_bounds",
+    "verify_all_amino_acids",
+    "verify_amino_acid",
+    "verify_encoded_query",
+]

@@ -20,6 +20,12 @@ IS005   roundtrip-mismatch        error     encode(decode(w)) == w — the encod
                                             and decoder cannot drift apart
 IS006   ragged-stream             error     stream length is a multiple of 3
                                             (three instructions per residue)
+IS007   semantic-element          warning   abstract interpretation over the
+                                            nucleotide domain: no dead
+                                            columns (an element that can
+                                            never match costs every window
+                                            one score point) and no look-back
+                                            across a codon boundary
 ======  ========================  ========  =====================================
 
 Entry points: :func:`lint_instructions` for raw streams and
@@ -194,6 +200,34 @@ def _check_ragged(*, rule: Rule, instructions: Sequence[int]) -> Iterator[Findin
             f"length is not a multiple of 3 ({remainder} trailing "
             "instruction(s) do not form a codon)",
             suggested_fix="pad with pad_instruction() to a codon boundary",
+        )
+
+
+@INSTRUCTION_RULES.register(
+    "IS007",
+    "semantic-element",
+    Severity.WARNING,
+    "semantic pass via the abstract interpreter: every element can match "
+    "at least one reference nucleotide in some context (a dead column "
+    "silently subtracts one point from every window's score), and no "
+    "element's outcome depends on a look-back outside its codon window — "
+    "neither has any structural symptom the other IS rules would catch",
+)
+def _check_semantic_element(*, rule: Rule, instructions: Sequence[int]) -> Iterator[Finding]:
+    if any(not _in_range(value) for value in instructions):
+        return  # IS001's domain: the stream is not even well-formed
+    # Imported lazily: absint pulls in the symbolic engine, which the
+    # purely structural IS rules do not need.
+    from repro.core import absint
+
+    for index, message in absint.instruction_stream_findings(instructions):
+        if message.startswith("invalid encoding"):
+            continue  # IS002's finding
+        yield rule.finding(
+            _location(index),
+            message,
+            suggested_fix="re-encode the element (use pad_instruction() for "
+            "intentional all-match padding)",
         )
 
 

@@ -52,13 +52,19 @@ class Severity(enum.IntEnum):
 
 @dataclass(frozen=True)
 class Finding:
-    """One defect located by a lint rule."""
+    """One defect located by a lint rule.
+
+    ``data`` carries an optional machine-readable payload (a proof record,
+    a minimized counterexample) for the JSON reporter; it is excluded from
+    equality/hashing so findings stay usable in sets.
+    """
 
     rule_id: str
     severity: Severity
     location: str
     message: str
     suggested_fix: Optional[str] = None
+    data: Optional[Dict[str, object]] = field(default=None, compare=False)
 
     def __str__(self) -> str:
         text = f"{self.rule_id} [{self.severity}] {self.location}: {self.message}"
@@ -67,13 +73,16 @@ class Finding:
         return text
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        record: Dict[str, object] = {
             "rule": self.rule_id,
             "severity": str(self.severity),
             "location": self.location,
             "message": self.message,
             "suggested_fix": self.suggested_fix,
         }
+        if self.data is not None:
+            record["data"] = dict(self.data)
+        return record
 
 
 #: A rule's checking callable: subject plus keyword context, yielding findings.
@@ -102,6 +111,7 @@ class Rule:
         *,
         suggested_fix: Optional[str] = None,
         severity: Optional[Severity] = None,
+        data: Optional[Dict[str, object]] = None,
     ) -> Finding:
         """Build a finding attributed to this rule (severity overridable)."""
         return Finding(
@@ -110,6 +120,7 @@ class Rule:
             location=location,
             message=message,
             suggested_fix=suggested_fix,
+            data=data,
         )
 
 
@@ -239,6 +250,7 @@ def merge_reports(subject: str, reports: Iterable[LintReport]) -> LintReport:
                     location=f"{report.subject}:{finding.location}",
                     message=finding.message,
                     suggested_fix=finding.suggested_fix,
+                    data=finding.data,
                 )
             )
     return LintReport(subject=subject, findings=tuple(findings))

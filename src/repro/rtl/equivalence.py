@@ -2,24 +2,37 @@
 
 The hardware-team workflow this reproduces: after hand-optimizing a block
 (the Pop36 compressor vs the naive tree adder, or a re-encoded comparator),
-prove the replacement computes the same function.  Two modes:
+prove the replacement computes the same function.  Three modes:
 
 * **exhaustive** — enumerate all input vectors (feasible to ~22 inputs);
-* **random** — seeded sampling for wider blocks, with the sample count
-  chosen from a target miss probability for single-minterm bugs.
+* **symbolic** — per-output cone extraction and truth-table comparison via
+  :mod:`repro.rtl.symbolic`: a *proof* for arbitrary input widths as long
+  as each shared output's combined cone stays within ``max_support``
+  variables, refutations come with a minimized counterexample;
+* **random** — seeded sampling for blocks no proof mode can close, with
+  duplicate vectors removed and the *achieved* miss-probability bound
+  (from the effective, deduplicated sample count) reported.
 
-Both run on the batched simulator, so checks are vectorized.
+``mode="auto"`` picks the strongest feasible mode in that order.  The
+sampling modes run on the batched simulator, so checks are vectorized.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.rtl.netlist import Netlist
 from repro.rtl.simulator import Simulator
+from repro.rtl.symbolic import (
+    DEFAULT_MAX_SUPPORT,
+    Space,
+    SymbolicEvaluator,
+    SymbolicFunction,
+    SymbolicLimitError,
+)
 
 #: Input-width ceiling for exhaustive checking (2^22 vectors, batched).
 EXHAUSTIVE_LIMIT = 22
@@ -34,11 +47,17 @@ class EquivalenceError(ValueError):
 
 @dataclass(frozen=True)
 class Counterexample:
-    """A distinguishing input vector."""
+    """A distinguishing input vector.
+
+    ``essential`` (symbolic mode only) names the inputs the mismatch
+    actually depends on — every other input is a don't-care, so the
+    counterexample generalizes to 2^(width - len(essential)) vectors.
+    """
 
     inputs: Dict[str, int]
     outputs_a: Dict[str, int]
     outputs_b: Dict[str, int]
+    essential: Optional[Tuple[str, ...]] = None
 
     def __str__(self) -> str:
         diff = {
@@ -46,20 +65,53 @@ class Counterexample:
             for name in self.outputs_a
             if self.outputs_a[name] != self.outputs_b[name]
         }
-        return f"Counterexample(inputs={self.inputs}, differs={diff})"
+        text = f"Counterexample(inputs={self.inputs}, differs={diff}"
+        if self.essential is not None:
+            text += f", essential={list(self.essential)}"
+        return text + ")"
 
 
 @dataclass(frozen=True)
 class EquivalenceResult:
-    """Outcome of one equivalence check."""
+    """Outcome of one equivalence check.
+
+    ``proven`` is True for the exhaustive and symbolic modes (the verdict
+    covers the whole input space).  For random mode, ``unique_vectors`` is
+    the deduplicated sample count actually simulated, and
+    ``miss_probability_bound`` is the achieved probability that a
+    single-minterm bug escaped: ``1 - unique_vectors / 2^width``.
+    """
 
     equivalent: bool
     vectors_checked: int
     mode: str
     counterexample: Optional[Counterexample] = None
+    proven: bool = False
+    unique_vectors: int = 0
+    miss_probability_bound: Optional[float] = None
 
     def __bool__(self) -> bool:
         return self.equivalent
+
+    def to_dict(self) -> Dict[str, object]:
+        example: Optional[Dict[str, object]] = None
+        if self.counterexample is not None:
+            example = {
+                "inputs": dict(self.counterexample.inputs),
+                "outputs_a": dict(self.counterexample.outputs_a),
+                "outputs_b": dict(self.counterexample.outputs_b),
+            }
+            if self.counterexample.essential is not None:
+                example["essential"] = list(self.counterexample.essential)
+        return {
+            "equivalent": self.equivalent,
+            "proven": self.proven,
+            "mode": self.mode,
+            "vectors_checked": self.vectors_checked,
+            "unique_vectors": self.unique_vectors,
+            "miss_probability_bound": self.miss_probability_bound,
+            "counterexample": example,
+        }
 
 
 def _check_ports(a: Netlist, b: Netlist) -> Tuple[List[str], List[str]]:
@@ -89,6 +141,72 @@ def _run_batch(
     return sim.settle(inputs)
 
 
+def _symbolic_check(
+    a: Netlist,
+    b: Netlist,
+    input_names: List[str],
+    output_names: List[str],
+    max_support: int,
+) -> EquivalenceResult:
+    """Prove or refute equivalence per shared output, no vectors enumerated.
+
+    Raises :class:`~repro.rtl.symbolic.SymbolicLimitError` when some
+    output's combined cone exceeds ``max_support`` variables.
+    """
+    eval_a = SymbolicEvaluator(a, max_support=max_support)
+    eval_b = SymbolicEvaluator(b, max_support=max_support)
+    for name in output_names:
+        net_a = a.outputs[name]
+        net_b = b.outputs[name]
+        support = sorted(
+            set(eval_a.cone_support([net_a])) | set(eval_b.cone_support([net_b]))
+        )
+        if len(support) > max_support:
+            raise SymbolicLimitError(
+                f"combined cone of output {name!r} spans {len(support)} "
+                f"variables, over the {max_support}-variable limit",
+                support=len(support),
+                limit=max_support,
+            )
+        space = Space(support)
+        function_a = eval_a.functions([net_a], space)[0]
+        function_b = eval_b.functions([net_b], space)[0]
+        diff = function_a.mask ^ function_b.mask
+        if not diff:
+            continue
+        diff_function = SymbolicFunction(space, diff)
+        minterm = diff_function.satisfying_minterm()
+        assert minterm is not None  # diff != 0 guarantees a witness
+        assignment = space.assignment_of(minterm)
+        inputs = {port: 0 for port in input_names}
+        inputs.update(assignment)
+        vector = np.array(
+            [[inputs[port] for port in input_names]], dtype=np.uint8
+        )
+        out_a = _run_batch(a, input_names, vector)
+        out_b = _run_batch(b, input_names, vector)
+        example = Counterexample(
+            inputs=inputs,
+            outputs_a={n: int(out_a[n][0]) for n in output_names},
+            outputs_b={n: int(out_b[n][0]) for n in output_names},
+            essential=tuple(sorted(diff_function.support())),
+        )
+        return EquivalenceResult(
+            equivalent=False,
+            vectors_checked=0,
+            mode="symbolic",
+            counterexample=example,
+            proven=True,
+        )
+    return EquivalenceResult(
+        equivalent=True,
+        vectors_checked=0,
+        mode="symbolic",
+        proven=True,
+        miss_probability_bound=0.0,
+    )
+
+
 def check_equivalence(
     a: Netlist,
     b: Netlist,
@@ -96,36 +214,63 @@ def check_equivalence(
     mode: str = "auto",
     random_vectors: int = 50_000,
     seed: int = 0,
+    max_support: int = DEFAULT_MAX_SUPPORT,
 ) -> EquivalenceResult:
     """Compare two netlists over their shared outputs.
 
-    ``mode`` is ``"exhaustive"``, ``"random"``, or ``"auto"`` (exhaustive
-    when the input count permits).  Returns a result whose truthiness is
-    the verdict; on mismatch the first counterexample is attached.
+    ``mode`` is ``"exhaustive"``, ``"symbolic"``, ``"random"``, or
+    ``"auto"`` — auto proves exhaustively when the input count permits,
+    then symbolically when every shared output's cone fits ``max_support``
+    variables, and only then falls back to seeded random sampling.
+    Returns a result whose truthiness is the verdict; on mismatch the
+    first counterexample is attached (minimized, in symbolic mode, to the
+    inputs the difference depends on).
     """
     input_names, output_names = _check_ports(a, b)
     width = len(input_names)
     if mode == "auto":
-        mode = "exhaustive" if width <= EXHAUSTIVE_LIMIT else "random"
+        if width <= EXHAUSTIVE_LIMIT:
+            mode = "exhaustive"
+        else:
+            try:
+                return _symbolic_check(
+                    a, b, input_names, output_names, max_support
+                )
+            except SymbolicLimitError:
+                mode = "random"
+    if mode == "symbolic":
+        return _symbolic_check(a, b, input_names, output_names, max_support)
     if mode not in ("exhaustive", "random"):
         raise ValueError(f"unknown mode {mode!r}")
 
     rng = np.random.default_rng(seed)
+    seen: Set[bytes] = set()
     total_checked = 0
-    if mode == "exhaustive":
-        total = 1 << width
-        starts = range(0, total, _BATCH)
-    else:
-        total = random_vectors
-        starts = range(0, total, _BATCH)
+    unique_checked = 0
+    total = (1 << width) if mode == "exhaustive" else random_vectors
 
-    for start in starts:
+    def bound() -> Optional[float]:
+        if mode == "exhaustive":
+            return 0.0
+        return max(0.0, 1.0 - unique_checked * (0.5**width))
+
+    for start in range(0, total, _BATCH):
         count = min(_BATCH, total - start)
         if mode == "exhaustive":
             indices = np.arange(start, start + count, dtype=np.int64)
             vectors = ((indices[:, None] >> np.arange(width)) & 1).astype(np.uint8)
         else:
-            vectors = rng.integers(0, 2, size=(count, width), dtype=np.uint8)
+            drawn = rng.integers(0, 2, size=(count, width), dtype=np.uint8)
+            fresh: List[int] = []
+            for row in range(count):
+                key = drawn[row].tobytes()
+                if key not in seen:
+                    seen.add(key)
+                    fresh.append(row)
+            if not fresh:
+                total_checked += count
+                continue
+            vectors = drawn[np.array(fresh, dtype=np.int64)]
         out_a = _run_batch(a, input_names, vectors)
         out_b = _run_batch(b, input_names, vectors)
         for name in output_names:
@@ -140,11 +285,23 @@ def check_equivalence(
                     outputs_a={n: int(out_a[n][row]) for n in output_names},
                     outputs_b={n: int(out_b[n][row]) for n in output_names},
                 )
+                unique_checked += row + 1
                 return EquivalenceResult(
                     equivalent=False,
                     vectors_checked=total_checked + row + 1,
                     mode=mode,
                     counterexample=example,
+                    proven=mode == "exhaustive",
+                    unique_vectors=unique_checked,
+                    miss_probability_bound=bound(),
                 )
         total_checked += count
-    return EquivalenceResult(equivalent=True, vectors_checked=total_checked, mode=mode)
+        unique_checked += vectors.shape[0]
+    return EquivalenceResult(
+        equivalent=True,
+        vectors_checked=total_checked,
+        mode=mode,
+        proven=mode == "exhaustive",
+        unique_vectors=unique_checked,
+        miss_probability_bound=bound(),
+    )

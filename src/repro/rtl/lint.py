@@ -25,8 +25,9 @@ exposes the conventional buses (``bits``/``score`` for pop-counters,
 ``match`` outputs for comparators) and are silent otherwise, so a generic
 netlist can always be linted with the full registry.
 
-Entry point: :func:`lint_netlist`.  See ``docs/lint_rules.md`` for the
-catalogue and suppression guidance.
+Entry point: :func:`lint_netlist`.  Pass ``symbolic=True`` to append the
+SA-family semantic proofs from :mod:`repro.rtl.symbolic_lint`.  See
+``docs/lint_rules.md`` for the catalogue and suppression guidance.
 """
 
 from __future__ import annotations
@@ -469,19 +470,40 @@ def lint_netlist(
     config: Optional[NetlistLintConfig] = None,
     ignore: Sequence[str] = (),
     rules: Optional[Sequence[str]] = None,
+    symbolic: bool = False,
 ) -> LintReport:
     """Run the netlist rule set; returns a :class:`repro.lint.LintReport`.
 
     ``ignore`` drops rules by id (suppression); ``rules`` restricts the run
-    to an explicit subset.
+    to an explicit subset (``NL*`` and, with ``symbolic=True``, ``SA*``
+    ids).  ``symbolic=True`` appends the SA-family proofs from
+    :mod:`repro.rtl.symbolic_lint` to the structural findings.
     """
-    return NETLIST_RULES.run(
+    nl_rules = rules
+    sa_rules = None
+    if rules is not None:
+        nl_rules = [r for r in rules if not r.upper().startswith("SA")]
+        sa_rules = [r for r in rules if r.upper().startswith("SA")]
+    report = NETLIST_RULES.run(
         netlist.name,
         ignore=ignore,
-        rules=rules,
+        rules=nl_rules,
         netlist=netlist,
         config=config or NetlistLintConfig(),
     )
+    if symbolic:
+        # Imported lazily: the symbolic engines are heavier than the
+        # structural passes and only needed behind the --symbolic flag.
+        from repro.rtl.symbolic_lint import lint_netlist_symbolic
+
+        symbolic_report = lint_netlist_symbolic(
+            netlist, ignore=ignore, rules=sa_rules
+        )
+        report = LintReport(
+            subject=report.subject,
+            findings=report.findings + symbolic_report.findings,
+        )
+    return report
 
 
 def demo_designs() -> List[Tuple[str, Netlist]]:

@@ -1,0 +1,575 @@
+"""Word-level value-range proofs for counting datapaths.
+
+Table I's claim that 750 query elements score in **10 bits** is, in lint
+rule NL008, a width *heuristic*: ``ceil(log2(W+1))`` bits for ``W`` inputs.
+This module turns it into a *proof*: the score word a pop-counter netlist
+computes equals the population count of its input bus, hence lies in
+``[0, W]`` — established compositionally, without enumerating a single
+input vector (2^750 of them at the paper's maximum query length).
+
+The proof system is a small word-level theory over the netlist:
+
+1. **Cluster extraction** — primitives are grouped into *sum clusters*:
+   LUT6s sharing one input tuple (the Pop36 shared-input popcount groups,
+   or a naive adder's sum/carry LUT pair), each fractured ``LUT6_2`` full
+   adder, and each flip-flop (a word-level identity).  For every cluster the
+   engine *verifies by 2^k-row local enumeration* (k ≤ 6 free nets — cluster
+   inputs, never primary input vectors) a weighted-sum identity::
+
+       sum_k  w_k * out_k  =  const + sum_j in_j        (w_k a power of two)
+
+   When a carry output was never built (``max_bits`` truncation), a
+   *virtual* output is synthesized so the identity still closes; virtual
+   and dead outputs become *slack* terms tracked separately.
+
+2. **Forward range pass** — input bits lie in [0,1]; a cluster's word is
+   bounded by the sum of its input bounds, and an output bit whose weight
+   exceeds the word bound is provably 0.
+
+3. **Backward elimination** — starting from the score word
+   ``sum_i 2^i * score[i]``, cluster identities are substituted in reverse
+   topological order until only primary inputs remain.  A successful
+   elimination yields ``score_word + sum_k s_k*c_k = count_word`` with every
+   slack coefficient ``s_k`` positive, so ``score_word <= count_word <= W``
+   — the range bound.  When every slack weight also exceeds ``W`` (true for
+   the shipped builders: a dropped carry weighs ``2^10 = 1024 > 750``), each
+   slack bit is forced to 0 and the score **equals** the popcount exactly.
+
+Entry point: :func:`prove_count_range`.  Lint rule SA002
+(:mod:`repro.rtl.symbolic_lint`) and ``fabp-repro prove`` run it over the
+generated pop-counters; ``docs/symbolic.md`` documents the theory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.rtl.netlist import GND, VCC, Netlist
+
+#: Candidate weights tried for cluster outputs (LUT counts fit 6 bits).
+_WEIGHTS = (1, 2, 4, 8, 16, 32, 64)
+
+#: Largest cluster (outputs) for which weights are brute-force solved.
+_MAX_CLUSTER_OUTPUTS = 4
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """One verified word-level identity: ``sum w_k*out_k = const + sum in_j``.
+
+    ``outputs``/``weights`` include synthesized *virtual* outputs (negative
+    pseudo-net handles) for carries the builder provably never needed;
+    ``virtual_zero`` marks virtual outputs whose table is constant 0 (no
+    slack at all).
+    """
+
+    name: str
+    outputs: Tuple[int, ...]
+    weights: Tuple[int, ...]
+    inputs: Tuple[int, ...]  # free input nets, with multiplicity
+    const: int  # contribution of VCC-tied pins
+    virtual: Tuple[int, ...] = ()  # synthesized outputs (subset of outputs)
+    virtual_zero: Tuple[int, ...] = ()  # virtual outputs proven constant 0
+    const_zero: Tuple[int, ...] = ()  # real outputs proven constant 0
+
+
+@dataclass(frozen=True)
+class WordProof:
+    """Outcome of :func:`prove_count_range` on one netlist."""
+
+    netlist_name: str
+    out_bus: str
+    in_bus: str
+    proven: bool  # the range bound [min_value, max_value] is proven
+    exact: bool  # the word provably *equals* the popcount of the input bus
+    max_value: int
+    min_value: int
+    width: int  # input bus width W
+    out_width: int  # score bus width in bits
+    needed_bits: int  # bits required for max_value
+    slack_terms: int  # dangling carries the proof had to bound
+    reason: str  # human-readable proof summary or failure cause
+
+    @property
+    def width_ok(self) -> bool:
+        """True when the proven range fits the declared output bus."""
+        return self.proven and self.max_value < (1 << self.out_width)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "netlist": self.netlist_name,
+            "out_bus": self.out_bus,
+            "in_bus": self.in_bus,
+            "proven": self.proven,
+            "exact": self.exact,
+            "max_value": self.max_value,
+            "min_value": self.min_value,
+            "width": self.width,
+            "out_width": self.out_width,
+            "needed_bits": self.needed_bits,
+            "slack_terms": self.slack_terms,
+            "width_ok": self.width_ok,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class _Extraction:
+    clusters: List[Cluster] = field(default_factory=list)
+    producer: Dict[int, int] = field(default_factory=dict)  # net -> cluster index
+    opaque: Dict[int, str] = field(default_factory=dict)  # unclustered LUT outputs
+
+
+def _bus_nets(ports: Dict[str, int], name: str) -> List[int]:
+    nets: List[int] = []
+    while f"{name}[{len(nets)}]" in ports:
+        nets.append(ports[f"{name}[{len(nets)}]"])
+    return nets
+
+
+def _table(init: int, width: int) -> List[int]:
+    return [(init >> a) & 1 for a in range(1 << width)]
+
+
+def _solve_cluster(
+    name: str,
+    inputs: Tuple[int, ...],
+    outputs: Tuple[int, ...],
+    tables: Sequence[List[int]],
+) -> Optional[Cluster]:
+    """Verify a weighted-sum identity for one candidate cluster.
+
+    Enumerates the ≤ 2^6 assignments of the distinct free input nets and
+    solves for power-of-two weights; if no exact solution exists, tries to
+    synthesize one *virtual* output (a dropped carry) whose 0/1 table makes
+    the identity close.  Returns None when the primitives are not sum-like.
+    """
+    free: List[int] = []
+    for net in inputs:
+        if net not in (GND, VCC) and net not in free:
+            free.append(net)
+    rows: List[Tuple[Tuple[int, ...], int]] = []  # (per-output bits, target)
+    const = sum(1 for net in inputs if net == VCC)
+    for bits in product((0, 1), repeat=len(free)):
+        assignment = dict(zip(free, bits))
+        address = 0
+        target = 0
+        for position, net in enumerate(inputs):
+            bit = 1 if net == VCC else 0 if net == GND else assignment[net]
+            address |= bit << position
+            target += bit
+        rows.append((tuple(t[address] for t in tables), target))
+
+    free_inputs = tuple(net for net in inputs if net not in (GND, VCC))
+    # Outputs whose table is 0 at every reachable address are provably
+    # constant 0 — their weight is degenerate, so mark them for the range
+    # pass instead of trusting whichever weight the search happens to pick.
+    const_zero = tuple(
+        net
+        for k, net in enumerate(outputs)
+        if all(outs[k] == 0 for outs, _ in rows)
+    )
+
+    if len(outputs) > _MAX_CLUSTER_OUTPUTS:
+        return None
+    for weights in product(_WEIGHTS, repeat=len(outputs)):
+        if all(sum(w * o for w, o in zip(weights, outs)) == t for outs, t in rows):
+            return Cluster(
+                name, outputs, weights, free_inputs, const, const_zero=const_zero
+            )
+    # Retry with one synthesized (virtual) output — a carry the builder
+    # provably never materialized.  Its table must come out 0/1 everywhere.
+    for weights in product(_WEIGHTS, repeat=len(outputs)):
+        for virtual_weight in _WEIGHTS:
+            virtual_bits: List[int] = []
+            for outs, target in rows:
+                rem = target - sum(w * o for w, o in zip(weights, outs))
+                if rem == 0:
+                    virtual_bits.append(0)
+                elif rem == virtual_weight:
+                    virtual_bits.append(1)
+                else:
+                    virtual_bits.append(-1)
+                    break
+            if virtual_bits and virtual_bits[-1] != -1:
+                virtual_net = -(1 + len(_WEIGHTS))  # placeholder, fixed by caller
+                zero = tuple([virtual_net]) if not any(virtual_bits) else ()
+                return Cluster(
+                    name,
+                    outputs + (virtual_net,),
+                    weights + (virtual_weight,),
+                    free_inputs,
+                    const,
+                    virtual=(virtual_net,),
+                    virtual_zero=zero,
+                    const_zero=const_zero,
+                )
+    return None
+
+
+def _extract_clusters(netlist: Netlist) -> _Extraction:
+    """Group the netlist's primitives into verified sum clusters."""
+    result = _Extraction()
+    next_virtual = -1
+
+    def add(cluster: Optional[Cluster], outputs: Tuple[int, ...], label: str) -> None:
+        nonlocal next_virtual
+        if cluster is None:
+            for net in outputs:
+                result.opaque[net] = label
+            return
+        if cluster.virtual:
+            # Re-home the placeholder virtual net to a unique negative handle.
+            placeholder = cluster.virtual[0]
+            renamed = tuple(
+                next_virtual if net == placeholder else net for net in cluster.outputs
+            )
+            cluster = Cluster(
+                cluster.name,
+                renamed,
+                cluster.weights,
+                cluster.inputs,
+                cluster.const,
+                virtual=(next_virtual,),
+                virtual_zero=(next_virtual,) if cluster.virtual_zero else (),
+                const_zero=cluster.const_zero,
+            )
+            next_virtual -= 1
+        index = len(result.clusters)
+        result.clusters.append(cluster)
+        for net in cluster.outputs:
+            result.producer[net] = index
+
+    # Fractured full adders: one cluster per LUT6_2.
+    for index, lut2 in enumerate(netlist.luts2):
+        name = lut2.name or f"LUT6_2#{index}"
+        outputs = (lut2.output5, lut2.output6)
+        tables = [
+            _table(lut2.init5, len(lut2.inputs)),
+            _table(lut2.init6, len(lut2.inputs)),
+        ]
+        add(_solve_cluster(name, lut2.inputs, outputs, tables), outputs, name)
+
+    # Single-output LUTs sharing an identical input tuple form one cluster
+    # (Pop36 shared-input groups; a naive adder's sum/carry pair).
+    by_inputs: Dict[Tuple[int, ...], List[int]] = {}
+    for index, lut in enumerate(netlist.luts):
+        by_inputs.setdefault(lut.inputs, []).append(index)
+    for inputs, members in by_inputs.items():
+        outputs = tuple(netlist.luts[i].output for i in members)
+        tables = [_table(netlist.luts[i].init, len(inputs)) for i in members]
+        name = netlist.luts[members[0]].name or f"LUT6#{members[0]}"
+        add(_solve_cluster(name, inputs, outputs, tables), outputs, name)
+
+    # Flip-flops: word-level identities (steady-state q = d).
+    for index, flop in enumerate(netlist.flops):
+        name = flop.name or f"FF#{index}"
+        cluster = Cluster(name, (flop.output,), (1,), (flop.data,), 0)
+        result.producer[flop.output] = len(result.clusters)
+        result.clusters.append(cluster)
+
+    return result
+
+
+def _topo_order(extraction: _Extraction) -> Optional[List[int]]:
+    """Topological order of cluster indices (None on a cycle)."""
+    clusters = extraction.clusters
+    indegree = [0] * len(clusters)
+    dependents: List[List[int]] = [[] for _ in clusters]
+    for index, cluster in enumerate(clusters):
+        deps = {
+            extraction.producer[net]
+            for net in cluster.inputs
+            if net in extraction.producer
+        }
+        deps.discard(index)
+        indegree[index] = len(deps)
+        for dep in deps:
+            dependents[dep].append(index)
+    ready = [i for i, d in enumerate(indegree) if d == 0]
+    order: List[int] = []
+    while ready:
+        index = ready.pop()
+        order.append(index)
+        for dependent in dependents[index]:
+            indegree[dependent] -= 1
+            if indegree[dependent] == 0:
+                ready.append(dependent)
+    return order if len(order) == len(clusters) else None
+
+
+def _cone_forces_zero(
+    extraction: _Extraction,
+    order: Sequence[int],
+    target: int,
+    cluster_index: int,
+) -> bool:
+    """Prove a dangling cluster output is constant 0 from its *cone-local*
+    word identity.
+
+    A dropped carry can be unresolvable globally (its coefficient is below
+    the whole-design count bound) yet trivially zero locally: the tail
+    Pop36 of a 300-bit counter only ever sums 12 bits, so its weight-16
+    carry cannot fire.  This derives exactly that bound: starting from the
+    producing cluster's identity (kept as a signed form ``sum coef*net =
+    const``, outputs positive, inputs negative), producer identities are
+    substituted in reverse topological order until only primary inputs
+    remain negative.  Every net is a bit in [0,1], so::
+
+        w_t * target  <=  const + sum |negative coef|
+
+    and when that bound is below ``w_t`` the carry is forced to 0.  All
+    cluster identities were verified by local enumeration, so this is a
+    proof, not a heuristic.
+    """
+    position = {index: rank for rank, index in enumerate(order)}
+    # Transitive fan-in cluster set of the target's producer.
+    cone = set()
+    stack = [cluster_index]
+    while stack:
+        index = stack.pop()
+        if index in cone:
+            continue
+        cone.add(index)
+        for net in extraction.clusters[index].inputs:
+            producer = extraction.producer.get(net)
+            if producer is not None:
+                stack.append(producer)
+
+    # Outputs proven constant 0 by local enumeration are literal zeros:
+    # keeping them in the form would manufacture demands on their cones.
+    zeros = set()
+    for index in cone:
+        member = extraction.clusters[index]
+        zeros.update(member.const_zero)
+        zeros.update(member.virtual_zero)
+    if target in zeros:
+        return True
+
+    cluster = extraction.clusters[cluster_index]
+    zero = Fraction(0)
+    form: Dict[int, Fraction] = {}
+    for net, weight in zip(cluster.outputs, cluster.weights):
+        form[net] = form.get(net, zero) + weight
+    for net in cluster.inputs:
+        form[net] = form.get(net, zero) - 1
+    const = Fraction(cluster.const)
+
+    def settle() -> None:
+        nonlocal const
+        if VCC in form:
+            const -= form.pop(VCC)
+        form.pop(GND, None)
+        for net in zeros.intersection(form):
+            del form[net]
+
+    settle()
+    # One reverse-topological sweep: each producer identity is added exactly
+    # once, scaled to cancel every demand on its outputs accumulated so far
+    # (consumers all sit later in the order, so demands are complete).  On a
+    # consistent counting network the cancellation is exact and the form
+    # telescopes to the cone's word identity over primary inputs; partial
+    # overshoot only leaves non-negative residue, which the bound drops.
+    for index in sorted(cone - {cluster_index}, key=lambda i: -position[i]):
+        producer = extraction.clusters[index]
+        demands = [
+            -form.get(net, zero) / weight
+            for net, weight in zip(producer.outputs, producer.weights)
+            if form.get(net, zero) < 0
+        ]
+        if not demands:
+            continue
+        lam = max(demands)
+        for net, weight in zip(producer.outputs, producer.weights):
+            form[net] = form.get(net, zero) + lam * weight
+        for net in producer.inputs:
+            form[net] = form.get(net, zero) - lam
+        const += lam * producer.const
+        settle()
+
+    target_weight = form.get(target, zero)
+    if target_weight <= 0:
+        return False
+    bound = const + sum(-c for c in form.values() if c < 0)
+    return bound < target_weight
+
+
+def prove_count_range(
+    netlist: Netlist,
+    *,
+    in_bus: str = "bits",
+    out_bus: str = "score",
+) -> WordProof:
+    """Prove the range (and, where possible, the exact function) of a
+    counting datapath's output word.  See the module docstring for the
+    proof system; the result is sound in every field — ``proven`` is only
+    set when the elimination closed over primary inputs.
+    """
+    in_nets = _bus_nets(netlist.inputs, in_bus)
+    out_nets = _bus_nets(netlist.outputs, out_bus)
+    width = len(in_nets)
+    out_width = len(out_nets)
+
+    def fail(reason: str) -> WordProof:
+        return WordProof(
+            netlist_name=netlist.name,
+            out_bus=out_bus,
+            in_bus=in_bus,
+            proven=False,
+            exact=False,
+            max_value=(1 << out_width) - 1 if out_width else 0,
+            min_value=0,
+            width=width,
+            out_width=out_width,
+            needed_bits=out_width,
+            slack_terms=0,
+            reason=reason,
+        )
+
+    if not in_nets:
+        return fail(f"netlist exposes no {in_bus!r} input bus")
+    if not out_nets:
+        return fail(f"netlist exposes no {out_bus!r} output bus")
+
+    extraction = _extract_clusters(netlist)
+    order = _topo_order(extraction)
+    if order is None:
+        return fail("cluster graph is cyclic (sequential feedback)")
+
+    # -- forward range pass -------------------------------------------------
+    hi: Dict[int, int] = {GND: 0, VCC: 1}
+    for net in netlist.inputs.values():
+        hi[net] = 1
+    for net in extraction.opaque:
+        hi[net] = 1  # unclustered logic: sound 1-bit bound
+    for index in order:
+        cluster = extraction.clusters[index]
+        word_hi = cluster.const + sum(hi.get(net, 1) for net in cluster.inputs)
+        for net, weight in zip(cluster.outputs, cluster.weights):
+            if net in cluster.virtual_zero or net in cluster.const_zero:
+                hi[net] = 0
+            else:
+                hi[net] = 0 if weight > word_hi else 1
+
+    # -- backward elimination -----------------------------------------------
+    form: Dict[int, int] = {}
+    for bit, net in enumerate(out_nets):
+        form[net] = form.get(net, 0) + (1 << bit)
+    const_acc = 0
+    slack: List[Tuple[int, int, str]] = []  # (net, coefficient, cluster name)
+
+    for index in reversed(order):
+        cluster = extraction.clusters[index]
+        present = [
+            (net, weight)
+            for net, weight in zip(cluster.outputs, cluster.weights)
+            if form.get(net)
+        ]
+        if not present:
+            continue
+        lam: Optional[int] = None
+        for net, weight in present:
+            coefficient = form[net]
+            if coefficient % weight:
+                lam = None
+                break
+            candidate = coefficient // weight
+            if lam is None:
+                lam = candidate
+            elif lam != candidate:
+                # Mixed scale: only tolerable on provably-zero outputs.
+                if hi.get(net, 1) == 0:
+                    continue
+                lam = None
+                break
+        if lam is None:
+            # Outputs with range 0 can simply be deleted; retry without them.
+            zeroed = [net for net, _ in present if hi.get(net, 1) == 0]
+            for net in zeroed:
+                del form[net]
+            present = [(n, w) for n, w in present if n not in zeroed]
+            if not present:
+                continue
+            lams = {form[n] // w for n, w in present if form[n] % w == 0}
+            if len(lams) != 1 or any(form[n] % w for n, w in present):
+                bad = extraction.clusters[index].name
+                return fail(
+                    f"cluster {bad!r}: output coefficients are not proportional "
+                    "to the verified weights"
+                )
+            lam = lams.pop()
+        for net, weight in zip(cluster.outputs, cluster.weights):
+            if net in form:
+                del form[net]
+            elif hi.get(net, 1) != 0:
+                # Dangling (dead or virtual) output: becomes a slack term.
+                slack.append((net, lam * weight, cluster.name))
+        const_acc += lam * cluster.const
+        for net in cluster.inputs:
+            form[net] = form.get(net, 0) + lam
+
+    # -- close over primary inputs ------------------------------------------
+    input_nets = set(netlist.inputs.values())
+    leftovers = [net for net in form if net not in input_nets]
+    if leftovers:
+        labels = ", ".join(
+            extraction.opaque.get(net, f"net {net}") for net in leftovers[:4]
+        )
+        return fail(f"elimination stuck on non-input terms ({labels})")
+
+    count_hi = const_acc + sum(form.values())
+    count_lo = const_acc
+    in_set = set(in_nets)
+    counts_exactly_bus = (
+        set(form) == in_set and all(c == 1 for c in form.values()) and const_acc == 0
+    )
+
+    # score_word = count_word - sum(slack_k * c_k):  the upper bound holds
+    # regardless of the slack bits; exactness needs each one forced to 0 —
+    # either its coefficient exceeds the count bound outright, or its own
+    # cone's word identity bounds it (a tail chunk sums far fewer bits).
+    unresolved: List[Tuple[int, int, str]] = []
+    for entry in slack:
+        net, coefficient, _ = entry
+        if coefficient > count_hi:
+            continue
+        producer_index = extraction.producer.get(net)
+        if producer_index is not None and _cone_forces_zero(
+            extraction, order, net, producer_index
+        ):
+            continue
+        unresolved.append(entry)
+    exact = counts_exactly_bus and not unresolved
+    if exact:
+        reason = (
+            f"score = popcount({in_bus}[0..{width - 1}]) exactly; "
+            f"range [0, {width}]"
+            + (f" ({len(slack)} dropped carries proven 0)" if slack else "")
+        )
+    elif counts_exactly_bus:
+        reason = (
+            f"score <= popcount({in_bus}) <= {count_hi} proven, but "
+            f"{len(unresolved)} slack term(s) keep equality open"
+        )
+    else:
+        reason = (
+            f"score word proven within [{count_lo}, {count_hi}] "
+            "(not a pure popcount of the input bus)"
+        )
+    return WordProof(
+        netlist_name=netlist.name,
+        out_bus=out_bus,
+        in_bus=in_bus,
+        proven=True,
+        exact=exact,
+        max_value=count_hi,
+        min_value=0,
+        width=width,
+        out_width=out_width,
+        needed_bits=max(1, count_hi.bit_length()),
+        slack_terms=len(slack),
+        reason=reason,
+    )

@@ -1,0 +1,594 @@
+"""Symbolic evaluation of netlists: exact functions, no simulation vectors.
+
+:mod:`repro.rtl.equivalence` can only *sample* blocks wider than ~22 inputs,
+and the lint passes in :mod:`repro.rtl.lint` reason about one LUT at a time.
+This module closes the gap between the two with a small symbolic engine:
+
+* :class:`Space` — an ordered set of Boolean variables.  A function over the
+  space is a *bit-parallel truth table*: a Python integer whose bit ``a`` is
+  the function's output for input minterm ``a`` (the same convention as a
+  LUT ``INIT`` vector, generalized to any variable count).  AND/OR/NOT/XOR
+  are plain integer bit operations over all ``2^n`` minterms at once, and
+  ITE/cofactor/sensitivity are shift-and-mask tricks — this is a
+  reduced-*ordered* representation like a BDD, but flat rather than shared.
+* :class:`SymbolicFunction` — a truth table bound to its space, with the
+  derived queries the checkers need (support, cofactors, satisfying
+  minterms, evaluation).
+* :class:`SymbolicEvaluator` — computes the exact function of any net of a
+  :class:`~repro.rtl.netlist.Netlist` by composing LUT truth tables over the
+  net's input cone.  Cone extraction is per output, so a 4500-LUT
+  comparator array whose individual match cones span 12 inputs is checked
+  exactly even though the whole netlist has thousands of inputs.  Flip-flop
+  outputs become free *state* variables (``ff:<name>``), which analyzes one
+  pipeline stage at a time.
+* :func:`ternary_settle` — 0/1/X constant propagation: evaluate the netlist
+  with only some inputs bound and the rest unknown.  A LUT output is 0 or 1
+  only when every completion of its unknown inputs agrees.
+* :func:`false_fanin_positions` — per-LUT don't-care analysis: input pins
+  the LUT's function provably ignores under its actual wiring (INIT
+  insensitivity, constant pins, duplicated nets).  :mod:`repro.rtl.timing`
+  excludes these *false paths* from the critical path.
+
+Tractability: a function over ``n`` variables is a ``2^n``-bit integer, so
+cones are capped (:data:`DEFAULT_MAX_SUPPORT`, 20 ≈ 128 KiB per function).
+:class:`SymbolicLimitError` signals the caller to fall back to sampling —
+``docs/symbolic.md`` has the decision table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.rtl.netlist import GND, VCC, Netlist, NetlistError
+
+#: Default ceiling on cone support (2^20-bit truth tables, ~128 KiB each).
+DEFAULT_MAX_SUPPORT = 20
+
+#: Ternary "unknown" value for :func:`ternary_settle`.
+X = 2
+
+
+class SymbolicLimitError(ValueError):
+    """A cone's support exceeds the configured truth-table limit."""
+
+    def __init__(self, message: str, support: int, limit: int) -> None:
+        super().__init__(message)
+        self.support = support
+        self.limit = limit
+
+
+class Space:
+    """An ordered tuple of Boolean variables and the masks to compute over it.
+
+    Variable ``i`` corresponds to address bit ``i`` of every truth table in
+    the space; the table of the bare variable is precomputed
+    (:meth:`variable`), and every composite function is built from those
+    masks with integer bit operations.
+    """
+
+    def __init__(self, names: Sequence[str]) -> None:
+        ordered = tuple(names)
+        if len(set(ordered)) != len(ordered):
+            raise ValueError(f"duplicate variable names in space: {ordered!r}")
+        self.names: Tuple[str, ...] = ordered
+        self.size = 1 << len(ordered)
+        self.full = (1 << self.size) - 1
+        self._index = {name: i for i, name in enumerate(ordered)}
+        self._var_masks: List[int] = [
+            self._pattern(i) for i in range(len(ordered))
+        ]
+
+    def _pattern(self, position: int) -> int:
+        """Truth table of bare variable ``position``: 0^(2^p) 1^(2^p) repeated."""
+        block = 1 << position
+        period = block << 1
+        one_period = ((1 << block) - 1) << block
+        repeats = self.size // period
+        # Repunit trick: repeat ``one_period`` every ``period`` bits.
+        repunit = ((1 << (period * repeats)) - 1) // ((1 << period) - 1)
+        return one_period * repunit
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def index(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(f"no variable {name!r} in space {self.names!r}") from None
+
+    def variable(self, name: str) -> "SymbolicFunction":
+        return SymbolicFunction(self, self._var_masks[self.index(name)])
+
+    def constant(self, value: int) -> "SymbolicFunction":
+        if value not in (0, 1):
+            raise ValueError(f"constant must be 0 or 1, got {value!r}")
+        return SymbolicFunction(self, self.full if value else 0)
+
+    def variable_mask(self, position: int) -> int:
+        return self._var_masks[position]
+
+    def lut(self, init: int, inputs: Sequence["SymbolicFunction"]) -> "SymbolicFunction":
+        """Compose a LUT: output truth table from its INIT and input functions.
+
+        Shannon-expands the INIT over the input functions: fold each input
+        in as an if-then-else between the two half tables.
+        """
+        if len(inputs) > 6:
+            raise ValueError(f"a LUT has at most 6 inputs, got {len(inputs)}")
+        for function in inputs:
+            if function.space is not self:
+                raise ValueError("LUT inputs must live in the same space")
+        width = len(inputs)
+        # Leaves: one constant per INIT address over the connected inputs.
+        tables = [
+            self.full if (init >> address) & 1 else 0
+            for address in range(1 << width)
+        ]
+        for position in range(width):
+            selector = inputs[position].mask
+            inv = ~selector & self.full
+            tables = [
+                (tables[2 * k] & inv) | (tables[2 * k + 1] & selector)
+                for k in range(len(tables) // 2)
+            ]
+        return SymbolicFunction(self, tables[0])
+
+    def assignment_of(self, minterm: int) -> Dict[str, int]:
+        """Decode a minterm index into a variable assignment."""
+        return {
+            name: (minterm >> i) & 1 for i, name in enumerate(self.names)
+        }
+
+
+@dataclass(frozen=True)
+class SymbolicFunction:
+    """A Boolean function: a truth-table integer bound to its :class:`Space`."""
+
+    space: Space
+    mask: int
+
+    def _check(self, other: "SymbolicFunction") -> None:
+        if other.space is not self.space:
+            raise ValueError("functions live in different spaces")
+
+    # -- composition --------------------------------------------------------
+
+    def __and__(self, other: "SymbolicFunction") -> "SymbolicFunction":
+        self._check(other)
+        return SymbolicFunction(self.space, self.mask & other.mask)
+
+    def __or__(self, other: "SymbolicFunction") -> "SymbolicFunction":
+        self._check(other)
+        return SymbolicFunction(self.space, self.mask | other.mask)
+
+    def __xor__(self, other: "SymbolicFunction") -> "SymbolicFunction":
+        self._check(other)
+        return SymbolicFunction(self.space, self.mask ^ other.mask)
+
+    def __invert__(self) -> "SymbolicFunction":
+        return SymbolicFunction(self.space, ~self.mask & self.space.full)
+
+    def ite(self, then: "SymbolicFunction", other: "SymbolicFunction") -> "SymbolicFunction":
+        """If-then-else with ``self`` as the selector."""
+        self._check(then)
+        self._check(other)
+        mask = (self.mask & then.mask) | (~self.mask & self.space.full & other.mask)
+        return SymbolicFunction(self.space, mask)
+
+    # -- queries ------------------------------------------------------------
+
+    def is_constant(self) -> bool:
+        return self.mask in (0, self.space.full)
+
+    def constant_value(self) -> Optional[int]:
+        if self.mask == 0:
+            return 0
+        if self.mask == self.space.full:
+            return 1
+        return None
+
+    def cofactor(self, name: str, value: int) -> "SymbolicFunction":
+        """Restrict variable ``name`` to ``value`` (result stays full-width)."""
+        position = self.space.index(name)
+        pattern = self.space.variable_mask(position)
+        shift = 1 << position  # address distance between the paired halves
+        if value:
+            half = self.mask & pattern
+            mask = half | (half >> shift)
+        else:
+            half = self.mask & ~pattern & self.space.full
+            mask = half | (half << shift)
+        return SymbolicFunction(self.space, mask)
+
+    def depends_on(self, name: str) -> bool:
+        return self.cofactor(name, 0).mask != self.cofactor(name, 1).mask
+
+    def support(self) -> Tuple[str, ...]:
+        """The variables the function actually depends on."""
+        return tuple(name for name in self.space.names if self.depends_on(name))
+
+    def restrict(self, assignment: Mapping[str, int]) -> "SymbolicFunction":
+        """Cofactor several variables at once."""
+        function = self
+        for name, value in assignment.items():
+            function = function.cofactor(name, value)
+        return function
+
+    def value_at(self, assignment: Mapping[str, int]) -> int:
+        """Evaluate at a full (or covering) assignment.
+
+        Variables absent from ``assignment`` default to 0; that is only
+        sound when the function does not depend on them, which callers
+        ensure by passing every support variable.
+        """
+        minterm = 0
+        for name, value in assignment.items():
+            if name in self.space and value:
+                minterm |= 1 << self.space.index(name)
+        return (self.mask >> minterm) & 1
+
+    def count_minterms(self) -> int:
+        """Number of satisfying assignments (over the full space)."""
+        return bin(self.mask).count("1")
+
+    def satisfying_minterm(self) -> Optional[int]:
+        """The lowest satisfying minterm index, or None if unsatisfiable."""
+        if self.mask == 0:
+            return None
+        return (self.mask & -self.mask).bit_length() - 1
+
+    def satisfying_assignment(self) -> Optional[Dict[str, int]]:
+        minterm = self.satisfying_minterm()
+        if minterm is None:
+            return None
+        return self.space.assignment_of(minterm)
+
+    def equivalent(self, other: "SymbolicFunction") -> bool:
+        self._check(other)
+        return self.mask == other.mask
+
+
+# -- cone-based netlist evaluation --------------------------------------------
+
+
+def state_variable(netlist: Netlist, flop_index: int) -> str:
+    """The symbolic variable name of a flip-flop's Q output."""
+    flop = netlist.flops[flop_index]
+    return f"ff:{flop.name or flop_index}"
+
+
+class SymbolicEvaluator:
+    """Exact per-net functions of a netlist, one input cone at a time.
+
+    Primary inputs become variables named by their port name; flip-flop
+    outputs become free state variables (``ff:<name>``), so combinational
+    logic is analyzed per pipeline stage.  Undriven nets read constant 0,
+    matching :class:`repro.rtl.simulator.Simulator`.
+    """
+
+    def __init__(self, netlist: Netlist, *, max_support: int = DEFAULT_MAX_SUPPORT) -> None:
+        self.netlist = netlist
+        self.max_support = max_support
+        self._producers: Dict[int, Tuple[str, int]] = {}
+        for index, lut in enumerate(netlist.luts):
+            self._producers[lut.output] = ("lut", index)
+        for index, lut2 in enumerate(netlist.luts2):
+            self._producers[lut2.output5] = ("lut2", index)
+            self._producers[lut2.output6] = ("lut2", index)
+        self._source_names: Dict[int, str] = {}
+        for name, net in netlist.inputs.items():
+            self._source_names[net] = name
+        for index, flop in enumerate(netlist.flops):
+            self._source_names.setdefault(flop.output, state_variable(netlist, index))
+
+    # -- cone extraction ----------------------------------------------------
+
+    def cone_support(self, nets: Iterable[int]) -> Tuple[str, ...]:
+        """Variable names feeding the combined cone of ``nets`` (source order)."""
+        support: List[str] = []
+        seen_vars: Set[int] = set()
+        seen: Set[int] = set()
+        stack = list(nets)
+        while stack:
+            net = stack.pop()
+            if net in seen or net in (GND, VCC):
+                continue
+            seen.add(net)
+            producer = self._producers.get(net)
+            if producer is None or net in self._source_names:
+                # Primary input, FF output, or undriven (constant 0).
+                if net in self._source_names and net not in seen_vars:
+                    seen_vars.add(net)
+                    support.append(self._source_names[net])
+                continue
+            kind, index = producer
+            inputs = (
+                self.netlist.luts[index].inputs
+                if kind == "lut"
+                else self.netlist.luts2[index].inputs
+            )
+            stack.extend(inputs)
+        return tuple(sorted(support))
+
+    def space_for(self, nets: Iterable[int]) -> Space:
+        """A :class:`Space` over the combined cone support of ``nets``."""
+        support = self.cone_support(nets)
+        if len(support) > self.max_support:
+            raise SymbolicLimitError(
+                f"cone support of {len(support)} variables exceeds the "
+                f"{self.max_support}-variable truth-table limit in "
+                f"{self.netlist.name!r}",
+                support=len(support),
+                limit=self.max_support,
+            )
+        return Space(support)
+
+    # -- evaluation ---------------------------------------------------------
+
+    def functions(
+        self, nets: Sequence[int], space: Optional[Space] = None
+    ) -> List[SymbolicFunction]:
+        """Exact functions of ``nets``, all bound to one shared space.
+
+        ``space`` may be supplied to fix the variable order (it must cover
+        the cone support); otherwise one is built from the combined cone.
+        """
+        if space is None:
+            space = self.space_for(nets)
+        cache: Dict[int, SymbolicFunction] = {
+            GND: space.constant(0),
+            VCC: space.constant(1),
+        }
+
+        def source(net: int) -> Optional[SymbolicFunction]:
+            name = self._source_names.get(net)
+            if name is not None:
+                if name not in space:
+                    raise KeyError(
+                        f"space does not cover cone variable {name!r} "
+                        f"(net {net}) in {self.netlist.name!r}"
+                    )
+                return space.variable(name)
+            if net not in self._producers:
+                return space.constant(0)  # undriven: simulator reads 0
+            return None
+
+        for target in nets:
+            if target in cache:
+                continue
+            stack = [target]
+            while stack:
+                net = stack[-1]
+                if net in cache:
+                    stack.pop()
+                    continue
+                value = source(net)
+                if value is not None:
+                    cache[net] = value
+                    stack.pop()
+                    continue
+                kind, index = self._producers[net]
+                inputs = (
+                    self.netlist.luts[index].inputs
+                    if kind == "lut"
+                    else self.netlist.luts2[index].inputs
+                )
+                pending = [n for n in inputs if n not in cache]
+                if pending:
+                    stack.extend(pending)
+                    continue
+                resolved = [cache[n] for n in inputs]
+                if kind == "lut":
+                    lut = self.netlist.luts[index]
+                    cache[lut.output] = space.lut(lut.init, resolved)
+                else:
+                    lut2 = self.netlist.luts2[index]
+                    cache[lut2.output5] = space.lut(lut2.init5, resolved)
+                    cache[lut2.output6] = space.lut(lut2.init6, resolved)
+                stack.pop()
+        return [cache[net] for net in nets]
+
+    def function(self, net: int, space: Optional[Space] = None) -> SymbolicFunction:
+        return self.functions([net], space)[0]
+
+    def output_function(self, name: str, space: Optional[Space] = None) -> SymbolicFunction:
+        """Exact function of a named primary output."""
+        try:
+            net = self.netlist.outputs[name]
+        except KeyError:
+            raise KeyError(f"no output named {name!r} in {self.netlist.name!r}") from None
+        return self.function(net, space)
+
+    def output_bus_functions(self, name: str) -> Tuple[Space, List[SymbolicFunction]]:
+        """Functions of bus ``name[0..]``, sharing one space."""
+        nets: List[int] = []
+        bit = 0
+        while f"{name}[{bit}]" in self.netlist.outputs:
+            nets.append(self.netlist.outputs[f"{name}[{bit}]"])
+            bit += 1
+        if not nets:
+            raise KeyError(f"no output bus named {name!r} in {self.netlist.name!r}")
+        space = self.space_for(nets)
+        return space, self.functions(nets, space)
+
+
+# -- ternary (0/1/X) propagation ----------------------------------------------
+
+
+def _ternary_lut(init: int, values: Sequence[int]) -> int:
+    """Evaluate one LUT over ternary inputs.
+
+    Enumerate completions of the X inputs only; the output is known when
+    every completion agrees.
+    """
+    unknown = [i for i, v in enumerate(values) if v == X]
+    base = 0
+    for i, v in enumerate(values):
+        if v == 1:
+            base |= 1 << i
+    result = -1
+    for combo in range(1 << len(unknown)):
+        address = base
+        for k, position in enumerate(unknown):
+            if (combo >> k) & 1:
+                address |= 1 << position
+        bit = (init >> address) & 1
+        if result == -1:
+            result = bit
+        elif result != bit:
+            return X
+    return result
+
+
+def ternary_settle(
+    netlist: Netlist,
+    inputs: Optional[Mapping[str, int]] = None,
+    *,
+    state: Optional[Mapping[str, int]] = None,
+) -> Dict[int, int]:
+    """Propagate 0/1/X through the combinational logic; returns net values.
+
+    ``inputs`` maps primary-input names to 0, 1 or :data:`X` (unlisted
+    inputs are X); ``state`` does the same for flip-flop variables (named as
+    in :func:`state_variable`).  Undriven nets read 0, like the simulator.
+    Raises :class:`~repro.rtl.netlist.NetlistError` on combinational loops.
+    """
+    bound = dict(inputs or {})
+    state_bound = dict(state or {})
+    for mapping, label in ((bound, "input"), (state_bound, "state")):
+        for name, value in mapping.items():
+            if value not in (0, 1, X):
+                raise ValueError(f"{label} {name!r} must be 0, 1 or X, got {value!r}")
+    values: Dict[int, int] = {GND: 0, VCC: 1}
+    for name, net in netlist.inputs.items():
+        values[net] = bound.get(name, X)
+    for index, flop in enumerate(netlist.flops):
+        values.setdefault(flop.output, state_bound.get(state_variable(netlist, index), X))
+
+    # Topological sweep (Kahn) over the combinational primitives.
+    producers: Dict[int, Tuple[str, int]] = {}
+    for index, lut in enumerate(netlist.luts):
+        producers[lut.output] = ("lut", index)
+    for index, lut2 in enumerate(netlist.luts2):
+        producers[lut2.output5] = ("lut2", index)
+        producers[lut2.output6] = ("lut2", index)
+
+    def prim_inputs(kind: str, index: int) -> Tuple[int, ...]:
+        return netlist.luts[index].inputs if kind == "lut" else netlist.luts2[index].inputs
+
+    nodes = [("lut", i) for i in range(len(netlist.luts))]
+    nodes += [("lut2", i) for i in range(len(netlist.luts2))]
+    indegree: Dict[Tuple[str, int], int] = {}
+    dependents: Dict[Tuple[str, int], List[Tuple[str, int]]] = {n: [] for n in nodes}
+    for node in nodes:
+        deps = {
+            producers[n]
+            for n in prim_inputs(*node)
+            if n in producers and n not in values
+        }
+        deps.discard(node)
+        indegree[node] = len(deps)
+        for dep in deps:
+            dependents[dep].append(node)
+    ready = [node for node in nodes if indegree[node] == 0]
+    done = 0
+    while ready:
+        kind, index = ready.pop()
+        done += 1
+        ins = [values.get(n, 0) for n in prim_inputs(kind, index)]
+        if kind == "lut":
+            lut = netlist.luts[index]
+            values[lut.output] = _ternary_lut(lut.init, ins)
+        else:
+            lut2 = netlist.luts2[index]
+            values[lut2.output5] = _ternary_lut(lut2.init5, ins)
+            values[lut2.output6] = _ternary_lut(lut2.init6, ins)
+        for dependent in dependents[(kind, index)]:
+            indegree[dependent] -= 1
+            if indegree[dependent] == 0:
+                ready.append(dependent)
+    if done != len(nodes):
+        raise NetlistError(
+            f"combinational loop: {len(nodes) - done} primitives unresolved "
+            f"in {netlist.name!r}"
+        )
+    return values
+
+
+def ternary_outputs(
+    netlist: Netlist,
+    inputs: Optional[Mapping[str, int]] = None,
+    *,
+    state: Optional[Mapping[str, int]] = None,
+) -> Dict[str, int]:
+    """:func:`ternary_settle`, projected onto the named primary outputs."""
+    values = ternary_settle(netlist, inputs, state=state)
+    return {name: values.get(net, 0) for name, net in netlist.outputs.items()}
+
+
+# -- false-path (don't-care) analysis -----------------------------------------
+
+
+def _local_insensitive_nets(
+    inputs: Tuple[int, ...], inits: Sequence[int]
+) -> FrozenSet[int]:
+    """Distinct free input nets none of the LUT's outputs depend on.
+
+    Wiring-aware: constant pins restrict the reachable addresses and a
+    duplicated net toggles every pin it drives at once.
+    """
+    free: List[int] = []
+    for net in inputs:
+        if net not in (GND, VCC) and net not in free:
+            free.append(net)
+    if not free:
+        return frozenset()
+    space = Space([f"n{net}" for net in free])
+    pin_functions = [
+        space.constant(1)
+        if net == VCC
+        else space.constant(0)
+        if net == GND
+        else space.variable(f"n{net}")
+        for net in inputs
+    ]
+    insensitive = set(free)
+    for init in inits:
+        function = space.lut(init, pin_functions)
+        for net in list(insensitive):
+            if function.depends_on(f"n{net}"):
+                insensitive.discard(net)
+        if not insensitive:
+            break
+    return frozenset(insensitive)
+
+
+def false_fanin_positions(netlist: Netlist) -> Dict[Tuple[str, int], FrozenSet[int]]:
+    """Per-LUT input *positions* that are provably false paths.
+
+    Returns ``{(kind, index): positions}`` where ``kind`` is ``"lut"`` or
+    ``"lut2"`` and each position indexes the primitive's ``inputs`` tuple.
+    A position is false when no output of the primitive depends on its net
+    under the actual wiring — a transition arriving there can never
+    propagate, so timing analysis may ignore the edge.  Constant pins
+    (GND/VCC) are not reported: they carry no timing path to begin with.
+    """
+    false: Dict[Tuple[str, int], FrozenSet[int]] = {}
+    for index, lut in enumerate(netlist.luts):
+        nets = _local_insensitive_nets(lut.inputs, (lut.init,))
+        if nets:
+            false[("lut", index)] = frozenset(
+                pos for pos, net in enumerate(lut.inputs) if net in nets
+            )
+    for index, lut2 in enumerate(netlist.luts2):
+        nets = _local_insensitive_nets(lut2.inputs, (lut2.init5, lut2.init6))
+        if nets:
+            false[("lut2", index)] = frozenset(
+                pos for pos, net in enumerate(lut2.inputs) if net in nets
+            )
+    return false

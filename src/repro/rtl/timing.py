@@ -22,9 +22,12 @@ popcounts — the structural checks the test suite pins.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from repro.rtl.netlist import Netlist
+
+#: ``{(kind, index): positions}`` of primitive input pins to ignore.
+FalsePathMap = Mapping[Tuple[str, int], FrozenSet[int]]
 
 #: Routed LUT6 level delay, ns (logic + average routing).
 LUT_LEVEL_NS = 1.0
@@ -45,6 +48,7 @@ class TimingReport:
     critical_ns: float  # carry-aware arrival time of the worst stage
     mean_depth: float
     endpoints: int
+    excluded_false_pins: int = 0  # LUT input pins dropped as proven false paths
 
     @property
     def critical_path_ns(self) -> float:
@@ -57,6 +61,19 @@ class TimingReport:
 
     def meets(self, clock_mhz: float) -> bool:
         return self.fmax_mhz >= clock_mhz
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready record (the lint resource payload and CI artifacts)."""
+        return {
+            "netlist": self.netlist_name,
+            "critical_depth": self.critical_depth,
+            "critical_ns": round(self.critical_ns, 4),
+            "critical_path_ns": round(self.critical_path_ns, 4),
+            "fmax_mhz": round(self.fmax_mhz, 2),
+            "mean_depth": round(self.mean_depth, 4),
+            "endpoints": self.endpoints,
+            "excluded_false_pins": self.excluded_false_pins,
+        }
 
     def __str__(self) -> str:
         return (
@@ -78,13 +95,15 @@ def _producers(netlist: Netlist) -> Dict[int, Tuple[str, int]]:
 def _walk(
     netlist: Netlist,
     combine: Callable[
-        [str, Sequence[int], Dict[int, float], Dict[int, Tuple[str, int]]], float
+        [str, int, Sequence[int], Dict[int, float], Dict[int, Tuple[str, int]]],
+        float,
     ],
 ) -> Dict[int, float]:
     """Shared iterative DFS over combinational logic.
 
-    ``combine(kind, input_values, input_nets, producers)`` computes a net's
-    value from its resolved inputs.
+    ``combine(kind, index, input_nets, values, producers)`` computes a
+    net's value from its resolved inputs; ``(kind, index)`` identifies the
+    producing primitive so delay models can consult per-pin facts.
     """
     producers = _producers(netlist)
     values: Dict[int, float] = {0: 0.0, 1: 0.0}
@@ -117,26 +136,54 @@ def _walk(
             if pending:
                 stack.extend(pending)
             else:
-                values[current] = combine(kind, inputs, values, producers)
+                values[current] = combine(kind, index, inputs, values, producers)
                 stack.pop()
     return values
 
 
-def logic_depths(netlist: Netlist) -> Dict[int, int]:
-    """Structural LUT-level depth of every net (sources are depth 0)."""
+def _live_positions(
+    kind: str,
+    index: int,
+    inputs: Sequence[int],
+    false_paths: Optional[FalsePathMap],
+) -> Sequence[int]:
+    if not false_paths:
+        return range(len(inputs))
+    excluded = false_paths.get((kind, index))
+    if not excluded:
+        return range(len(inputs))
+    return [p for p in range(len(inputs)) if p not in excluded]
 
-    def combine(kind, inputs, values, producers):
-        return 1 + max((values[n] for n in inputs), default=0)
+
+def logic_depths(
+    netlist: Netlist, *, false_paths: Optional[FalsePathMap] = None
+) -> Dict[int, int]:
+    """Structural LUT-level depth of every net (sources are depth 0).
+
+    ``false_paths`` drops the listed input pins from the walk: a
+    transition arriving on a proven-false pin can never propagate, so it
+    contributes no depth.
+    """
+
+    def combine(kind, index, inputs, values, producers):
+        live = _live_positions(kind, index, inputs, false_paths)
+        return 1 + max((values[inputs[p]] for p in live), default=0)
 
     return {net: int(v) for net, v in _walk(netlist, combine).items()}
 
 
-def arrival_times(netlist: Netlist) -> Dict[int, float]:
-    """Carry-aware arrival time (ns) of every net."""
+def arrival_times(
+    netlist: Netlist, *, false_paths: Optional[FalsePathMap] = None
+) -> Dict[int, float]:
+    """Carry-aware arrival time (ns) of every net.
 
-    def combine(kind, inputs, values, producers):
+    ``false_paths`` excludes the listed pins, as in :func:`logic_depths`.
+    """
+
+    def combine(kind, index, inputs, values, producers):
         worst = 0.0
-        for net in inputs:
+        for position in _live_positions(kind, index, inputs, false_paths):
+            net = inputs[position]
             producer = producers.get(net)
             if kind == "lut2" and producer is not None and producer[0] == "lut2":
                 edge = CARRY_HOP_NS  # carry chain hop
@@ -148,10 +195,23 @@ def arrival_times(netlist: Netlist) -> Dict[int, float]:
     return _walk(netlist, combine)
 
 
-def analyze(netlist: Netlist) -> TimingReport:
-    """Time every sequential/output endpoint; return the report."""
-    depth = logic_depths(netlist)
-    arrival = arrival_times(netlist)
+def analyze(netlist: Netlist, *, exclude_false_paths: bool = False) -> TimingReport:
+    """Time every sequential/output endpoint; return the report.
+
+    ``exclude_false_paths=True`` first proves, per LUT, which input pins no
+    output depends on under the actual wiring (don't-care analysis in
+    :func:`repro.rtl.symbolic.false_fanin_positions`) and drops those edges
+    from the walk — the symbolic upgrade of the plain structural analysis.
+    """
+    false_paths: Optional[FalsePathMap] = None
+    excluded_pins = 0
+    if exclude_false_paths:
+        from repro.rtl.symbolic import false_fanin_positions
+
+        false_paths = false_fanin_positions(netlist)
+        excluded_pins = sum(len(positions) for positions in false_paths.values())
+    depth = logic_depths(netlist, false_paths=false_paths)
+    arrival = arrival_times(netlist, false_paths=false_paths)
     endpoint_nets: List[int] = [flop.data for flop in netlist.flops]
     endpoint_nets += list(netlist.outputs.values())
     if not endpoint_nets:
@@ -164,6 +224,7 @@ def analyze(netlist: Netlist) -> TimingReport:
         critical_ns=max(times),
         mean_depth=sum(depths) / len(depths),
         endpoints=len(endpoint_nets),
+        excluded_false_pins=excluded_pins,
     )
 
 

@@ -1,0 +1,123 @@
+"""Tests for the cross-layer abstract interpreter."""
+
+import dataclasses
+
+from repro.core import absint
+from repro.core.comparator import instruction_matches
+from repro.core.encoding import encode_query, pad_instruction
+from repro.rtl.comparator import build_instance_comparator
+from repro.seq import alphabet
+
+
+class TestGoldenMask:
+    def test_mask_agrees_with_reference_semantics(self):
+        mask = absint.golden_element_mask()
+        for minterm in range(1 << 11):
+            instruction = minterm & 0x3F
+            ref_code = (minterm >> 6) & 1 | (((minterm >> 7) & 1) << 1)
+            prev1_code = ((minterm >> 8) & 1) << 1
+            prev2_code = (minterm >> 9) & 1 | (((minterm >> 10) & 1) << 1)
+            expected = instruction_matches(
+                instruction, ref_code, prev1_code, prev2_code
+            )
+            assert (mask >> minterm) & 1 == int(expected)
+
+
+class TestElementFacts:
+    def test_pad_always_matches(self):
+        fact = absint.interpret_element(0, pad_instruction())
+        assert fact.valid
+        assert fact.always_matches
+        assert fact.must_match == absint.TOP
+
+    def test_fixed_nucleotide(self):
+        encoded = encode_query("M")  # AUG: three fixed nucleotides
+        facts = absint.interpret_stream(encoded.instructions)
+        assert all(fact.valid for fact in facts)
+        for fact in facts:
+            assert bin(fact.may_match).count("1") == 1
+            assert fact.may_match == fact.must_match
+
+    def test_invalid_word_is_flagged(self):
+        fact = absint.interpret_element(0, 0x01)  # illegal STOP config
+        assert not fact.valid
+        assert fact.error
+
+    def test_score_bounds(self):
+        facts = absint.interpret_stream(encode_query("MW").instructions)
+        lo, hi = absint.score_bounds(facts)
+        assert (lo, hi) == (0, 6)  # fixed elements: tight only per element
+
+
+class TestCodonFacts:
+    def test_methionine_exact(self):
+        facts = absint.interpret_stream(encode_query("M").instructions)
+        (codon,) = absint.codon_facts(facts)
+        assert codon.accepted == ("AUG",)
+        assert codon.exact
+
+    def test_leucine_covers_its_box(self):
+        facts = absint.interpret_stream(encode_query("L").instructions)
+        (codon,) = absint.codon_facts(facts)
+        assert set(codon.accepted) == {
+            "UUA", "UUG", "CUU", "CUC", "CUA", "CUG",
+        }
+
+
+class TestFullVerification:
+    def test_every_amino_acid_verifies(self):
+        reports = absint.verify_all_amino_acids()
+        assert set(reports) == set(alphabet.AMINO_ACIDS)
+        for amino, report in reports.items():
+            assert report.ok, (amino, report.to_dict())
+            assert not report.divergences
+            assert not report.codon_mismatches
+            # Per-element score contributes exactly [0, num_elements].
+            assert report.score_hi == report.num_elements
+
+    def test_mutated_netlist_diverges_with_counterexample(self):
+        encoded = encode_query("MSW")
+        netlist = build_instance_comparator(len(encoded.instructions))
+        lut = netlist.luts[2]  # element 1's comparison LUT
+        netlist.luts[2] = dataclasses.replace(lut, init=lut.init ^ (1 << 7))
+        report = absint.verify_encoded_query(encoded, netlist=netlist)
+        assert not report.ok
+        (divergence,) = report.divergences
+        assert divergence.element == 1
+        assert divergence.expected != divergence.actual
+        # The counterexample is minimized: only roles the diff depends on.
+        assert set(divergence.assignment) <= set(absint.ELEMENT_ROLES)
+        assert divergence.assignment  # non-empty witness
+        assert "element 1" in divergence.describe()
+
+    def test_divergence_roles_decode_reference_semantics(self):
+        """Re-play the counterexample through the reference model."""
+        encoded = encode_query("Y")
+        netlist = build_instance_comparator(3)
+        lut = netlist.luts[0]
+        netlist.luts[0] = dataclasses.replace(lut, init=lut.init ^ (1 << 3))
+        report = absint.verify_encoded_query(encoded, netlist=netlist)
+        for divergence in report.divergences:
+            roles = {role: 0 for role in absint.ELEMENT_ROLES}
+            roles.update(divergence.assignment)
+            instruction = sum(roles[f"b{i}"] << i for i in range(6))
+            ref = roles["ref_lo"] | (roles["ref_hi"] << 1)
+            prev1 = roles["prev1_hi"] << 1
+            prev2 = roles["prev2_lo"] | (roles["prev2_hi"] << 1)
+            assert (
+                int(instruction_matches(instruction, ref, prev1, prev2))
+                == divergence.expected
+            )
+
+
+class TestStreamFindings:
+    def test_clean_stream(self):
+        instructions = encode_query("ACD").instructions
+        assert absint.instruction_stream_findings(instructions) == []
+
+    def test_invalid_word_reported(self):
+        findings = absint.instruction_stream_findings([0x01])
+        assert len(findings) == 1
+        index, message = findings[0]
+        assert index == 0
+        assert "invalid" in message

@@ -45,7 +45,7 @@ def dependent_word(offset):
 
 
 def test_registry_has_all_documented_rules():
-    expected = [f"IS00{i}" for i in range(1, 7)]
+    expected = [f"IS00{i}" for i in range(1, 8)]
     assert list(INSTRUCTION_RULES.ids()) == expected
 
 
@@ -96,13 +96,14 @@ class TestIS003CrossCodon:
     def test_two_back_dependency_at_position_one(self):
         word = dependent_word(2)
         report = lint_instructions([PAD, word, PAD])
-        assert rule_ids(report) == ["IS003"]
+        # The semantic pass (IS007) independently corroborates IS003.
+        assert rule_ids(report) == ["IS003", "IS007"]
         assert "codon boundary" in report.findings[0].message
 
     def test_one_back_dependency_at_position_zero(self):
         word = dependent_word(1)
         report = lint_instructions([word, PAD, PAD])
-        assert rule_ids(report) == ["IS003"]
+        assert rule_ids(report) == ["IS003", "IS007"]
 
     def test_dependencies_legal_at_position_two(self):
         stream = [PAD, PAD, dependent_word(2), PAD, PAD, dependent_word(1)]
@@ -157,6 +158,43 @@ class TestIS006Ragged:
     def test_suggests_padding(self):
         report = lint_instructions([PAD])
         assert "pad_instruction" in report.findings[0].suggested_fix
+
+
+class TestIS007SemanticElement:
+    """IS003 reads the *declared* source offset; IS007 re-derives the
+    dependency from the golden matching semantics via the abstract
+    interpreter.  On today's ISA they corroborate each other — drift
+    between the declared and actual look-back would split them."""
+
+    def test_prev1_at_codon_position_zero(self):
+        stream = encoded_codon("M") + [dependent_word(1), PAD, PAD]
+        report = lint_instructions(stream, rules=["IS007"])
+        (finding,) = report.findings
+        assert finding.severity == Severity.WARNING
+        assert "codon position 0" in finding.message
+        assert "prev1" in finding.message
+
+    def test_prev2_at_codon_position_one(self):
+        stream = encoded_codon("M")
+        stream[1] = dependent_word(2)
+        report = lint_instructions(stream, rules=["IS007"])
+        (finding,) = report.findings
+        assert "prev2" in finding.message
+
+    def test_corroborates_structural_is003(self):
+        stream = encoded_codon("M") + [dependent_word(1), PAD, PAD]
+        assert rule_ids(lint_instructions(stream)) == ["IS003", "IS007"]
+
+    def test_encoder_output_is_silent(self):
+        stream = encoded_codon("ACDEFGHIKLMNPQRSTVWY")
+        assert lint_instructions(stream, rules=["IS007"]).clean
+
+    def test_out_of_range_left_to_is001(self):
+        assert lint_instructions([64, 65, 66], rules=["IS007"]).clean
+
+    def test_invalid_encoding_left_to_is002(self):
+        word = first_undecodable_word()
+        assert lint_instructions([word] * 3, rules=["IS007"]).clean
 
 
 class TestSuppression:

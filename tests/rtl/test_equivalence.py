@@ -1,11 +1,14 @@
 """Tests for the combinational equivalence checker."""
 
+import dataclasses
+
 import pytest
 
 from repro.rtl.equivalence import (
     EquivalenceError,
     check_equivalence,
 )
+from repro.rtl.symbolic import SymbolicLimitError
 from repro.rtl.netlist import Netlist
 from repro.rtl.popcount import (
     add_pop36,
@@ -48,6 +51,91 @@ class TestEquivalent:
         a = _popcount_netlist(8, "fabp")
         b = _popcount_netlist(8, "fabp")
         assert check_equivalence(a, b)
+
+
+class TestSymbolicMode:
+    def test_proof_without_vectors(self):
+        """18 inputs is beyond comfortable exhaustion but every score
+        cone fits the truth-table limit: symbolic mode proves it."""
+        a = _popcount_netlist(18, "fabp")
+        b = _popcount_netlist(18, "tree")
+        result = check_equivalence(a, b, mode="symbolic")
+        assert result
+        assert result.mode == "symbolic"
+        assert result.proven
+        assert result.vectors_checked == 0
+        assert result.miss_probability_bound == 0.0
+
+    def test_exhaustive_agreement(self):
+        a = _popcount_netlist(10, "fabp")
+        b = _popcount_netlist(10, "tree")
+        assert check_equivalence(a, b, mode="symbolic")
+        assert check_equivalence(a, b, mode="exhaustive")
+
+    def test_mutation_refuted_with_minimized_counterexample(self):
+        a = _popcount_netlist(18, "tree")
+        b = _popcount_netlist(18, "fabp")
+        lut = b.luts[0]
+        b.luts[0] = dataclasses.replace(lut, init=lut.init ^ (1 << 5))
+        result = check_equivalence(a, b, mode="symbolic")
+        assert not result
+        assert result.proven  # a refutation is still a proof
+        example = result.counterexample
+        assert example is not None
+        assert example.essential is not None
+        # Only the mutated LUT's 6-input cone matters; the other 12
+        # inputs are reported as don't-cares.
+        assert len(example.essential) <= 6
+        assert set(example.essential) <= set(example.inputs)
+        # The witness is concrete: re-simulation confirms the mismatch.
+        assert example.outputs_a != example.outputs_b
+
+    def test_intractable_cone_raises(self):
+        a = _popcount_netlist(30, "fabp")
+        b = _popcount_netlist(30, "tree")
+        with pytest.raises(SymbolicLimitError):
+            check_equivalence(a, b, mode="symbolic")
+
+    def test_auto_prefers_symbolic_over_random(self):
+        a = _popcount_netlist(18, "fabp")
+        b = _popcount_netlist(18, "tree")
+        # Widen past EXHAUSTIVE_LIMIT by padding unused inputs so auto
+        # cannot exhaust, then check it lands on the symbolic proof.
+        for netlist in (a, b):
+            netlist.add_input_bus("pad", 8)
+        result = check_equivalence(a, b)
+        assert result.mode == "symbolic"
+        assert result.proven
+
+    def test_to_dict_payload(self):
+        a = _popcount_netlist(8, "fabp")
+        b = _popcount_netlist(8, "tree")
+        record = check_equivalence(a, b, mode="symbolic").to_dict()
+        assert record["equivalent"] is True
+        assert record["proven"] is True
+        assert record["counterexample"] is None
+
+
+class TestRandomModeBound:
+    def test_duplicates_removed_and_bound_reported(self):
+        """At width 2 a 1000-vector request collapses to <= 4 unique
+        vectors, and the bound comes from the effective count."""
+        a = _popcount_netlist(2, "fabp")
+        b = _popcount_netlist(2, "tree")
+        result = check_equivalence(a, b, mode="random", random_vectors=1000)
+        assert result
+        assert result.vectors_checked == 1000  # requested samples drawn
+        assert result.unique_vectors == 4  # effective, deduplicated
+        assert result.miss_probability_bound == 0.0  # 4/4 minterms covered
+        assert not result.proven  # sampling never claims a proof
+
+    def test_wide_block_bound_uses_unique_count(self):
+        a = _popcount_netlist(30, "fabp")
+        b = _popcount_netlist(30, "tree")
+        result = check_equivalence(a, b, mode="random", random_vectors=2000, seed=7)
+        assert result.unique_vectors <= 2000
+        expected = 1.0 - result.unique_vectors * (0.5**30)
+        assert result.miss_probability_bound == pytest.approx(expected)
 
 
 class TestInequivalent:

@@ -1,0 +1,96 @@
+"""Tests for the word-level value-range prover."""
+
+import dataclasses
+
+import pytest
+
+from repro.rtl.comparator import build_instance_comparator
+from repro.rtl.netlist import Netlist
+from repro.rtl.popcount import add_pop36, build_popcounter
+from repro.rtl.ranges import prove_count_range
+
+
+def _fabp(width: int) -> Netlist:
+    return build_popcounter(width, style="fabp").netlist
+
+
+class TestProvenExact:
+    @pytest.mark.parametrize("width", [6, 12, 36, 72, 150])
+    def test_small_and_medium_widths(self, width):
+        proof = prove_count_range(_fabp(width))
+        assert proof.proven and proof.exact, proof.reason
+        assert (proof.min_value, proof.max_value) == (0, width)
+        assert proof.width_ok
+
+    def test_tree_style(self):
+        proof = prove_count_range(
+            build_popcounter(36, style="tree").netlist
+        )
+        assert proof.proven and proof.exact, proof.reason
+        assert proof.max_value == 36
+
+    def test_table1_bound_at_750(self):
+        """The acceptance claim: 750 elements provably score in 10 bits,
+        without enumerating a single input vector."""
+        proof = prove_count_range(_fabp(750))
+        assert proof.proven and proof.exact, proof.reason
+        assert proof.max_value == 750
+        assert proof.out_width == 10
+        assert proof.needed_bits == 10
+        assert proof.width_ok
+        # The tail chunk leaves dangling ripple carries the proof must
+        # discharge with the cone-local argument.
+        assert proof.slack_terms > 0
+
+    def test_unpipelined_variant(self):
+        proof = prove_count_range(
+            build_popcounter(36, style="fabp", pipelined=False).netlist
+        )
+        assert proof.proven and proof.exact, proof.reason
+
+
+class TestRefutation:
+    def test_flipped_lut_bit_breaks_the_proof(self):
+        netlist = _fabp(72)
+        lut = netlist.luts[0]
+        netlist.luts[0] = dataclasses.replace(lut, init=lut.init ^ 1)
+        proof = prove_count_range(netlist)
+        assert not proof.proven
+        assert not proof.width_ok
+
+    def test_truncated_score_bus_fails_width(self):
+        """A 36-input counter exported on 5 bits can overflow."""
+        netlist = Netlist("truncated")
+        bits = netlist.add_input_bus("bits", 36)
+        out = add_pop36(netlist, bits)
+        netlist.set_output_bus("score", out[:5])  # needs 6 bits
+        proof = prove_count_range(netlist)
+        # The dropped top bit leaves an undischargeable slack term: the
+        # bound [0, 36] still holds, equality does not, and 36 >= 2^5.
+        assert proof.proven and not proof.exact
+        assert not proof.width_ok
+
+
+class TestGracefulFailure:
+    def test_non_popcount_netlist(self):
+        netlist = build_instance_comparator(2)
+        proof = prove_count_range(netlist)
+        assert not proof.proven
+        assert proof.reason
+
+    def test_missing_buses(self):
+        netlist = Netlist("empty")
+        a = netlist.add_input("a")
+        netlist.set_output("y", a)
+        proof = prove_count_range(netlist)
+        assert not proof.proven
+
+
+class TestProofRecord:
+    def test_to_dict_round_trips_key_fields(self):
+        proof = prove_count_range(_fabp(36))
+        record = proof.to_dict()
+        assert record["netlist"] == proof.netlist_name
+        assert record["max_value"] == 36
+        assert record["width_ok"] is True
+        assert record["exact"] is True

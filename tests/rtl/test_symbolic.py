@@ -1,0 +1,183 @@
+"""Tests for the bit-parallel symbolic evaluation engine."""
+
+import pytest
+
+from repro.core.comparator import instruction_matches
+from repro.core.encoding import encode_query
+from repro.rtl.comparator import build_element_comparator, build_instance_comparator
+from repro.rtl.netlist import GND, VCC, Netlist
+from repro.rtl.popcount import build_popcounter, lut_init
+from repro.rtl.simulator import Simulator
+from repro.rtl.symbolic import (
+    X,
+    Space,
+    SymbolicEvaluator,
+    SymbolicFunction,
+    SymbolicLimitError,
+    false_fanin_positions,
+    ternary_outputs,
+    ternary_settle,
+)
+
+
+class TestSpace:
+    def test_variable_truth_tables(self):
+        space = Space(["a", "b"])
+        assert space.variable("a").mask == 0b1010
+        assert space.variable("b").mask == 0b1100
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Space(["a", "a"])
+
+    def test_lut_composition_equals_enumeration(self):
+        space = Space(["a", "b", "c"])
+        init = lut_init(lambda p, q, r: (p & q) | r, 3)
+        function = space.lut(
+            init, [space.variable(n) for n in ("a", "b", "c")]
+        )
+        for minterm in range(8):
+            a, b, c = minterm & 1, (minterm >> 1) & 1, (minterm >> 2) & 1
+            assert (function.mask >> minterm) & 1 == ((a & b) | c)
+
+
+class TestSymbolicFunction:
+    def _space(self):
+        return Space(["a", "b", "c"])
+
+    def test_operators(self):
+        space = self._space()
+        a, b = space.variable("a"), space.variable("b")
+        assert (a & b).mask == a.mask & b.mask
+        assert (a | b).mask == a.mask | b.mask
+        assert (a ^ a).is_constant()
+        assert (~a).mask == ~a.mask & space.full
+
+    def test_cofactor_and_support(self):
+        space = self._space()
+        a, b = space.variable("a"), space.variable("b")
+        f = a & b
+        assert f.cofactor("a", 1).equivalent(b)
+        assert f.cofactor("a", 0).is_constant()
+        assert f.support() == ("a", "b")
+        assert not f.depends_on("c")
+
+    def test_satisfying_minterm_minimization(self):
+        space = self._space()
+        f = space.variable("b")
+        minterm = f.satisfying_minterm()
+        assert minterm == 0b010
+        assert space.assignment_of(minterm) == {"a": 0, "b": 1, "c": 0}
+
+    def test_value_at(self):
+        space = self._space()
+        f = space.variable("a") ^ space.variable("c")
+        assert f.value_at({"a": 1, "b": 0, "c": 0}) == 1
+        assert f.value_at({"a": 1, "b": 1, "c": 1}) == 0
+
+
+class TestSymbolicEvaluator:
+    def test_matches_simulator_on_element_comparator(self):
+        netlist = build_element_comparator()
+        evaluator = SymbolicEvaluator(netlist)
+        function = evaluator.output_function("match[0]")
+        simulator = Simulator(netlist)
+        names = sorted(netlist.inputs)
+        # Exhaust the cone support only; other inputs are don't-cares.
+        support = function.support()
+        for minterm in range(1 << len(support)):
+            assignment = {
+                name: (minterm >> i) & 1 for i, name in enumerate(support)
+            }
+            inputs = {name: 0 for name in names}
+            inputs.update(assignment)
+            sim_out = simulator.settle(
+                {k: [v] for k, v in inputs.items()}
+            )["match[0]"][0]
+            assert function.value_at(inputs) == int(sim_out)
+
+    def test_golden_semantics_per_instruction(self):
+        """The symbolic cone reproduces instruction_matches() exactly."""
+        netlist = build_element_comparator()
+        evaluator = SymbolicEvaluator(netlist)
+        function = evaluator.output_function("match[0]")
+        encoded = encode_query("W")  # UGG: fixed nucleotides, no deps
+        for position, instruction in enumerate(encoded.instructions):
+            for ref_code in range(4):
+                assignment = {f"q[{b}]": (instruction >> b) & 1 for b in range(6)}
+                assignment["ref[0]"] = ref_code & 1
+                assignment["ref[1]"] = (ref_code >> 1) & 1
+                assignment["prev1[1]"] = 0
+                assignment["prev2[0]"] = 0
+                assignment["prev2[1]"] = 0
+                expected = instruction_matches(instruction, ref_code, 0, 0)
+                assert function.value_at(assignment) == int(expected)
+
+    def test_cone_limit_raises(self):
+        netlist = build_popcounter(36, style="fabp", pipelined=False).netlist
+        evaluator = SymbolicEvaluator(netlist, max_support=8)
+        with pytest.raises(SymbolicLimitError) as info:
+            evaluator.output_bus_functions("score")
+        assert info.value.support == 36
+        assert info.value.limit == 8
+
+    def test_popcount_score_bit_functions(self):
+        """score[k] of a small popcounter == bit k of the popcount."""
+        netlist = build_popcounter(6, style="fabp", pipelined=False).netlist
+        evaluator = SymbolicEvaluator(netlist)
+        space, functions = evaluator.output_bus_functions("score")
+        for minterm in range(1 << 6):
+            count = bin(minterm).count("1")
+            assignment = space.assignment_of(minterm)
+            for k, function in enumerate(functions):
+                assert function.value_at(assignment) == (count >> k) & 1
+
+
+class TestTernary:
+    def test_known_inputs_propagate(self):
+        netlist = Netlist()
+        a, b = netlist.add_input("a"), netlist.add_input("b")
+        out = netlist.add_lut((a, b), lut_init(lambda p, q: p & q, 2))
+        netlist.set_output("y", out)
+        assert ternary_outputs(netlist, {"a": 1, "b": 1})["y"] == 1
+        assert ternary_outputs(netlist, {"a": 0})["y"] == 0  # 0 & X == 0
+        assert ternary_outputs(netlist, {"a": 1})["y"] == X
+
+    def test_all_unknown_inputs_yield_x(self):
+        netlist = build_element_comparator()
+        values = ternary_settle(netlist)
+        assert values[netlist.outputs["match[0]"]] == X
+
+
+class TestFalsePaths:
+    def test_ignored_pin_reported(self):
+        netlist = Netlist()
+        a, b = netlist.add_input("a"), netlist.add_input("b")
+        # INIT depends only on address bit 1 (input b).
+        out = netlist.add_lut((a, b), 0b1100, name="ignores_a")
+        netlist.set_output("y", out)
+        false = false_fanin_positions(netlist)
+        assert false == {("lut", 0): frozenset({0})}
+
+    def test_constant_pins_not_reported(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        out = netlist.add_lut((a, GND, VCC), 0b10101010, name="padded")
+        netlist.set_output("y", out)
+        assert false_fanin_positions(netlist) == {}
+
+    def test_clean_designs_have_none(self):
+        for netlist in (
+            build_instance_comparator(2),
+            build_popcounter(36, style="fabp").netlist,
+        ):
+            assert false_fanin_positions(netlist) == {}
+
+
+class TestDiffMinimization:
+    def test_diff_support_is_minimal(self):
+        space = Space(["a", "b", "c", "d"])
+        f = space.variable("a") & space.variable("b")
+        g = space.variable("a")
+        diff = SymbolicFunction(space, f.mask ^ g.mask)
+        assert diff.support() == ("a", "b")  # c, d are don't-cares

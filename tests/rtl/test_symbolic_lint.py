@@ -1,0 +1,128 @@
+"""Tests for the SA-family symbolic lint rules."""
+
+import dataclasses
+
+from repro.rtl.comparator import build_instance_comparator
+from repro.rtl.lint import demo_designs, lint_netlist
+from repro.rtl.netlist import Netlist
+from repro.rtl.popcount import add_pop36, build_popcounter
+from repro.rtl.symbolic_lint import lint_netlist_symbolic
+
+
+def rule_ids(report):
+    return sorted({f.rule_id for f in report.findings})
+
+
+class TestCleanDesigns:
+    def test_demo_designs_carry_no_symbolic_findings(self):
+        for name, netlist in demo_designs():
+            report = lint_netlist_symbolic(netlist)
+            assert report.clean, (name, [str(f) for f in report.findings])
+
+
+class TestSA001ComparatorDivergence:
+    def _mutated(self):
+        netlist = build_instance_comparator(3)
+        lut = netlist.luts[2]
+        netlist.luts[2] = dataclasses.replace(lut, init=lut.init ^ (1 << 7))
+        return netlist
+
+    def test_mutation_refuted(self):
+        report = lint_netlist_symbolic(self._mutated())
+        assert rule_ids(report) == ["SA001"]
+        (finding,) = report.findings
+        assert "match[1]" in finding.location
+        assert finding.data is not None
+        assert finding.data["element"] == 1
+        assert finding.data["expected"] != finding.data["actual"]
+
+    def test_silent_without_port_contract(self):
+        # The single-element comparator uses q/prev buses, not q0/ref0.
+        from repro.rtl.comparator import build_element_comparator
+
+        report = lint_netlist_symbolic(build_element_comparator())
+        assert "SA001" not in rule_ids(report)
+
+    def test_reaches_combined_lint_entry_point(self):
+        report = lint_netlist(self._mutated(), symbolic=True)
+        assert "SA001" in rule_ids(report)
+        assert not report.ok
+
+    def test_not_run_without_symbolic_flag(self):
+        report = lint_netlist(self._mutated())
+        assert "SA001" not in rule_ids(report)
+
+
+class TestSA002ScoreRange:
+    def test_truncated_bus_is_an_error(self):
+        netlist = Netlist("truncated")
+        bits = netlist.add_input_bus("bits", 36)
+        out = add_pop36(netlist, bits)
+        netlist.set_output_bus("score", out[:5])
+        report = lint_netlist_symbolic(netlist, rules=["SA002"])
+        (finding,) = report.findings
+        assert finding.rule_id == "SA002"
+        assert not report.ok
+        assert finding.data is not None
+        assert finding.data["max_value"] == 36
+
+    def test_proof_closes_on_table1_point(self):
+        netlist = build_popcounter(750, style="fabp").netlist
+        report = lint_netlist_symbolic(netlist, rules=["SA002"])
+        assert report.clean
+
+
+class TestSA003FalsePath:
+    def test_false_pin_reported_as_info(self):
+        netlist = Netlist("fp")
+        a, b = netlist.add_input("a"), netlist.add_input("b")
+        netlist.set_output("y", netlist.add_lut((a, b), 0b1100, name="dead_a"))
+        report = lint_netlist_symbolic(netlist, rules=["SA003"])
+        (finding,) = report.findings
+        assert finding.rule_id == "SA003"
+        assert report.ok  # info severity: never a failure
+        assert "dead_a" in finding.location
+
+
+class TestSA004ConstantOutput:
+    def test_reconvergent_constant_needs_symbolic(self):
+        # a XOR a: per-pin ternary enumeration cannot correlate the
+        # duplicated net, so only the exact symbolic pass catches this.
+        netlist = Netlist("const")
+        a = netlist.add_input("a")
+        xor_self = netlist.add_lut((a, a), 0b0110, name="a_xor_a")
+        netlist.set_output("y", xor_self)
+        report = lint_netlist_symbolic(netlist, rules=["SA004"])
+        (finding,) = report.findings
+        assert finding.rule_id == "SA004"
+        assert "constant 0" in finding.message
+
+    def test_constant_init_caught_by_ternary(self):
+        netlist = Netlist("const")
+        a, b = netlist.add_input("a"), netlist.add_input("b")
+        netlist.set_output("y", netlist.add_lut((a, b), 0b1111, name="one"))
+        report = lint_netlist_symbolic(netlist, rules=["SA004"])
+        (finding,) = report.findings
+        assert "constant 1" in finding.message
+
+    def test_folded_gnd_port_not_flagged(self):
+        from repro.rtl.netlist import GND
+
+        netlist = Netlist("folded")
+        a = netlist.add_input("a")
+        netlist.set_output("y", netlist.add_lut((a,), 0b10))
+        netlist.set_output("zero", GND)
+        assert lint_netlist_symbolic(netlist, rules=["SA004"]).clean
+
+
+class TestRuleSelection:
+    def test_ignore_suppresses(self):
+        netlist = build_instance_comparator(2)
+        lut = netlist.luts[0]
+        netlist.luts[0] = dataclasses.replace(lut, init=lut.init ^ 1)
+        assert lint_netlist_symbolic(netlist, ignore=("SA001",)).clean
+
+    def test_combined_rules_split_by_family(self):
+        netlist = build_popcounter(36, style="fabp").netlist
+        report = lint_netlist(netlist, rules=["NL008", "SA002"], symbolic=True)
+        assert report.clean  # both families ran without KeyError

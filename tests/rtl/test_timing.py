@@ -84,3 +84,48 @@ class TestFmax:
     def test_report_str(self):
         report = analyze(build_element_comparator())
         assert "fmax" in str(report)
+
+
+class TestFalsePathExclusion:
+    def _false_path_netlist(self):
+        """A depth-2 chain where the deep arrival feeds a provably dead pin."""
+        netlist = Netlist("fp")
+        a, b, c = (netlist.add_input(n) for n in "abc")
+        deep = netlist.add_lut((a, b), 0b1000, name="and")
+        # Reads (deep, c) but the INIT only depends on position 1 (c).
+        netlist.set_output("y", netlist.add_lut((deep, c), 0b1100, name="buf_c"))
+        return netlist
+
+    def test_false_path_dropped_from_critical_path(self):
+        netlist = self._false_path_netlist()
+        plain = analyze(netlist)
+        aware = analyze(netlist, exclude_false_paths=True)
+        assert plain.critical_depth == 2
+        assert aware.critical_depth == 1
+        assert aware.critical_ns < plain.critical_ns
+        assert aware.excluded_false_pins == 1
+        assert aware.fmax_mhz > plain.fmax_mhz
+
+    def test_clean_design_unchanged(self):
+        netlist = build_popcounter(72, style="fabp", pipelined=True).netlist
+        plain = analyze(netlist)
+        aware = analyze(netlist, exclude_false_paths=True)
+        assert aware.excluded_false_pins == 0
+        assert aware.critical_ns == plain.critical_ns
+        assert aware.critical_depth == plain.critical_depth
+
+
+class TestReportDict:
+    def test_to_dict_fields(self):
+        record = analyze(build_element_comparator()).to_dict()
+        assert record["critical_depth"] == 2
+        assert record["critical_path_ns"] == pytest.approx(
+            0.60 + record["critical_ns"]
+        )
+        assert record["fmax_mhz"] == pytest.approx(
+            1000.0 / record["critical_path_ns"], rel=1e-3
+        )
+        assert record["excluded_false_pins"] == 0
+        import json
+
+        json.dumps(record)  # JSON-serializable as claimed

@@ -159,3 +159,87 @@ class TestModelCommands:
     def test_plan_bad_spec(self):
         with pytest.raises(SystemExit, match="LENxCOUNT"):
             main(["plan", "--queries", "banana"])
+
+
+class TestLintExitCodes:
+    """The documented lint contract: 0 clean, 1 findings, 2 usage error."""
+
+    def test_clean_run_exits_zero(self, capsys):
+        # Demo designs carry a known benign warning; without --strict,
+        # warnings do not fail the run.
+        assert main(["lint"]) == 0
+        assert "0 errors" in capsys.readouterr().out
+
+    def test_strict_promotes_warnings_to_exit_one(self, capsys):
+        assert main(["lint", "--strict"]) == 1
+        capsys.readouterr()
+
+    def test_strict_clean_after_suppression_exits_zero(self, capsys):
+        # Suppressing the one known warning restores a clean strict run.
+        assert main(["lint", "--strict", "--ignore", "NL003"]) == 0
+        capsys.readouterr()
+
+    def test_usage_error_exits_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "--no-such-flag"])
+        assert excinfo.value.code == 2
+
+    def test_symbolic_json_carries_timing_payload(self, capsys):
+        import json
+
+        assert main(["lint", "--symbolic", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        timing = payload["timing"]
+        assert "fabp_popcount_750" in timing or any(
+            "750" in name for name in timing
+        ), sorted(timing)
+        record = next(iter(timing.values()))
+        assert "fmax_mhz" in record
+        assert "excluded_false_pins" in record
+
+
+class TestProve:
+    def test_proofs_hold(self, capsys):
+        code = main(["prove", "--widths", "36", "--equivalence-width", "12"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "20 amino acids verified" in out
+        assert "proven equivalent (symbolic)" in out
+        assert "verdict: all proofs hold" in out
+
+    def test_self_test_refutes_seeded_mutations(self, capsys):
+        code = main(
+            [
+                "prove",
+                "--widths", "36",
+                "--equivalence-width", "12",
+                "--self-test",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "refuted with counterexamples" in out
+
+    def test_json_artifact(self, tmp_path, capsys):
+        import json
+
+        artifact = tmp_path / "proofs.json"
+        code = main(
+            [
+                "prove",
+                "--widths", "36", "72",
+                "--equivalence-width", "12",
+                "--format", "json",
+                "--out", str(artifact),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads(artifact.read_text())
+        assert payload["ok"] is True
+        assert len(payload["comparators"]) == 20
+        assert [r["netlist"] for r in payload["ranges"]] == [
+            "popcounter_fabp_36",
+            "popcounter_fabp_72",
+        ]
+        assert payload["equivalence"]["proven"] is True
