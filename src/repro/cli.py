@@ -9,6 +9,8 @@ Subcommands:
 * ``fig6``      — print the Fig. 6 performance/energy sweep
 * ``crossover`` — print the §IV-B bandwidth/resource crossover sweep
 * ``stats``     — null-score statistics and threshold suggestion for a query
+* ``bench``     — score-engine benchmark (naive/vectorized/bitscore/parallel
+  scan) writing the ``BENCH_scoring.json`` perf artifact
 * ``lint``      — static lint of generated netlists and instruction streams
 * ``prove``     — symbolic proofs: comparator/reference equivalence per
   amino acid, popcount score-range bounds, block equivalence
@@ -324,6 +326,44 @@ def cmd_plan(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.perf.scorebench import (
+        format_report,
+        quick_benchmark,
+        run_score_benchmark,
+    )
+
+    if args.quick:
+        report = quick_benchmark(seed=args.seed)
+    else:
+        report = run_score_benchmark(
+            residues=args.residues,
+            reference_length=args.reference_length,
+            scan_references=args.scan_references,
+            scan_reference_length=args.scan_reference_length,
+            workers_sweep=tuple(args.workers),
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+    print(format_report(report))
+    if args.out:
+        path = report.write(args.out)
+        print(f"\nwrote {path}")
+    if args.min_speedup > 0:
+        achieved = report.speedups.get("bitscore_vs_naive", 0.0)
+        if achieved < args.min_speedup:
+            print(
+                f"FAIL: bitscore is {achieved:.2f}x the naive path, "
+                f"required >= {args.min_speedup:.2f}x"
+            )
+            return 1
+        print(
+            f"bitscore speedup gate: {achieved:.1f}x >= "
+            f"{args.min_speedup:.1f}x required"
+        )
+    return 0
+
+
 def cmd_lint(args) -> int:
     from repro.core.encoding import encode_query
     from repro.core.instr_lint import lint_query
@@ -583,6 +623,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable multi-query fabric sharing")
     p.add_argument("--device", choices=sorted(DEVICES), default="kintex7")
     p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser(
+        "bench",
+        help="score-engine benchmark: naive vs vectorized vs bitscore vs "
+        "the chunked multi-process database scan",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="CI-sized workload (seconds, not minutes)")
+    p.add_argument("--residues", type=int, default=250,
+                   help="query residues (L_q = 3x this, elements)")
+    p.add_argument("--reference-length", type=int, default=1_000_000,
+                   help="single-reference workload length (nt)")
+    p.add_argument("--scan-references", type=int, default=8)
+    p.add_argument("--scan-reference-length", type=int, default=250_000)
+    p.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4],
+                   help="worker counts for the parallel-scan sweep")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="best-of repeats per vectorized measurement")
+    p.add_argument("--seed", type=int, default=2021)
+    p.add_argument("--out", default="BENCH_scoring.json",
+                   help="artifact path ('' to skip writing)")
+    p.add_argument("--min-speedup", type=float, default=0.0,
+                   help="exit 1 unless bitscore >= this multiple of the "
+                   "naive path (CI regression gate)")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
         "lint", help="static lint of generated netlists and instruction streams"

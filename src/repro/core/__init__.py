@@ -8,10 +8,13 @@ This package is the paper's primary contribution in software form:
 * :mod:`repro.core.comparator` — normative comparator semantics and LUT
   INIT derivation (Fig. 5);
 * :mod:`repro.core.aligner` — the golden substitution-only aligner;
+* :mod:`repro.core.bitscore` — the bit-parallel SWAR scoring engine;
 * :mod:`repro.core.instr_lint` — static lint over instruction streams.
 """
 
 from repro.core.aligner import (
+    DEFAULT_ENGINE,
+    ENGINES,
     AlignmentResult,
     Hit,
     align,
@@ -29,6 +32,8 @@ from repro.core.encoding import EncodedQuery, encode_query
 from repro.core.instr_lint import INSTRUCTION_RULES, lint_instructions, lint_query
 
 __all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINES",
     "INSTRUCTION_RULES",
     "AlignmentResult",
     "BACK_TRANSLATION_TABLE",

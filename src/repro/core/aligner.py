@@ -3,29 +3,42 @@
 FabP slides the encoded query over the reference and, for each of the
 ``L_r - L_q + 1`` alignment positions, counts how many query elements match
 (substitution-only scoring; no indels).  This module computes exactly the
-scores the hardware produces, in two implementations:
+scores the hardware produces, through several interchangeable engines:
 
-* :func:`alignment_scores` — vectorized numpy, used by benches and examples;
-* :func:`alignment_scores_naive` — straight-line Python, used as a
-  cross-check oracle in tests (and it is the easiest version to read against
-  the paper).
+* ``engine="bitscore"`` (default) — the bit-parallel SWAR engine of
+  :mod:`repro.core.bitscore`: packed match bitplanes summed by a carry-save
+  vertical-counter popcount, the software analog of the hardware's Pop36
+  tree, with a strided-diagonal fallback for short references;
+* ``engine="vectorized"`` — per-element numpy table gathers (the previous
+  default, kept as an independent mid-speed implementation);
+* ``engine="naive"`` — straight-line Python, used as a cross-check oracle
+  in tests (and the easiest version to read against the paper).
 
-The LUT-level netlist model in :mod:`repro.accel` is verified against this
-module on randomized inputs, so all three implementations agree.
+All engines are bit-identical (enforced by the property-test suite); the
+LUT-level netlist model in :mod:`repro.accel` is verified against this
+module on randomized inputs, so every representation agrees.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple, Union
+from functools import lru_cache
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core import backtranslate as bt
+from repro.core import bitscore
 from repro.core import comparator as cmp
-from repro.core.encoding import EncodedQuery, encode_query
+from repro.core.encoding import EncodedQuery, encode_pattern, encode_query
 from repro.seq import packing
-from repro.seq.sequence import DnaSequence, ProteinSequence, RnaSequence, as_rna
+from repro.seq.sequence import (
+    DnaSequence,
+    ProteinSequence,
+    RnaSequence,
+    as_protein,
+    as_rna,
+)
 
 #: Anything the aligner accepts as a query: pre-encoded, protein, or letters.
 QueryLike = Union[EncodedQuery, ProteinSequence, str]
@@ -121,42 +134,22 @@ def resolve_threshold(
     return int(np.ceil(identity * perfect))
 
 
-def _x_bit_arrays(ref_codes: np.ndarray) -> np.ndarray:
-    """Per-position X-source bit arrays, indexed by config code.
+#: Per-position X-source bit arrays (shared with the SWAR engine).
+_x_bit_arrays = bitscore.x_bit_rows
 
-    Returns an array of shape ``(4, L_r)``: row ``config`` holds the X bit at
-    every reference position for that source.  Row 0 (CONFIG_SELF) is a
-    placeholder (the aligner substitutes the instruction's own b3).  Missing
-    look-back positions read as nucleotide ``A`` (code 0), matching hardware.
-    """
-    length = ref_codes.size
-    prev1 = np.zeros(length, dtype=np.uint8)
-    prev2 = np.zeros(length, dtype=np.uint8)
-    if length > 1:
-        prev1[1:] = ref_codes[:-1]
-    if length > 2:
-        prev2[2:] = ref_codes[:-2]
-    rows = np.zeros((4, length), dtype=np.uint8)
-    rows[1] = (prev1 >> 1) & 1  # CONFIG_PREV1_HI
-    rows[2] = prev2 & 1  # CONFIG_PREV2_LO
-    rows[3] = (prev2 >> 1) & 1  # CONFIG_PREV2_HI
-    return rows
+#: Engine names accepted by :func:`alignment_scores` and friends.
+ENGINES = ("bitscore", "packed", "diagonal", "vectorized", "naive")
+
+#: The default scoring engine (the mandatory fast path).
+DEFAULT_ENGINE = "bitscore"
 
 
-def alignment_scores(query: QueryLike, reference: ReferenceLike) -> np.ndarray:
-    """Scores of all ``L_r - L_q + 1`` alignment positions (vectorized).
-
-    ``query`` is an :class:`EncodedQuery`, protein sequence or string;
-    ``reference`` is an RNA/DNA sequence, string, or a 2-bit code array.
-    Returns an empty array when the query is longer than the reference.
-    """
-    encoded = _coerce_query(query)
-    ref_codes, _ = _reference_codes(reference)
-    num_elements = len(encoded)
+def _vectorized_scores(instructions: np.ndarray, ref_codes: np.ndarray) -> np.ndarray:
+    """Per-element table-gather scoring (the pre-SWAR vectorized engine)."""
+    num_elements = instructions.size
     num_positions = ref_codes.size - num_elements + 1
     if num_positions <= 0:
         return np.zeros(0, dtype=np.int32)
-    instructions = encoded.as_array()
     tables, configs = cmp.instruction_tables(instructions)
     x_rows = _x_bit_arrays(ref_codes)
     scores = np.zeros(num_positions, dtype=np.int32)
@@ -172,19 +165,17 @@ def alignment_scores(query: QueryLike, reference: ReferenceLike) -> np.ndarray:
     return scores
 
 
-def alignment_scores_naive(query: QueryLike, reference: ReferenceLike) -> np.ndarray:
-    """Reference implementation with explicit loops (test oracle)."""
-    encoded = _coerce_query(query)
-    ref_codes, _ = _reference_codes(reference)
-    instructions = list(encoded.instructions)
-    num_positions = ref_codes.size - len(instructions) + 1
+def _naive_scores(instructions: np.ndarray, ref_codes: np.ndarray) -> np.ndarray:
+    """Straight-line Python scoring (the test oracle)."""
+    instruction_list = [int(i) for i in instructions]
+    num_positions = ref_codes.size - len(instruction_list) + 1
     if num_positions <= 0:
         return np.zeros(0, dtype=np.int32)
     scores = np.zeros(num_positions, dtype=np.int32)
     codes = [int(c) for c in ref_codes]
     for k in range(num_positions):
         total = 0
-        for i, instruction in enumerate(instructions):
+        for i, instruction in enumerate(instruction_list):
             pos = k + i
             prev1 = codes[pos - 1] if pos >= 1 else 0
             prev2 = codes[pos - 2] if pos >= 2 else 0
@@ -192,6 +183,74 @@ def alignment_scores_naive(query: QueryLike, reference: ReferenceLike) -> np.nda
                 total += 1
         scores[k] = total
     return scores
+
+
+def scores_from_codes(
+    instructions: np.ndarray, ref_codes: np.ndarray, engine: str = DEFAULT_ENGINE
+) -> np.ndarray:
+    """Dispatch scoring of a raw instruction array over a code array.
+
+    This is the single entry point every engine routes through —
+    :mod:`repro.host.scan` workers call it directly on pre-packed codes.
+    """
+    if engine == "bitscore":
+        return bitscore.scores(instructions, ref_codes)
+    if engine == "packed":
+        return bitscore.packed_scores(instructions, ref_codes)
+    if engine == "diagonal":
+        return bitscore.diagonal_scores(instructions, ref_codes)
+    if engine == "vectorized":
+        return _vectorized_scores(instructions, ref_codes)
+    if engine == "naive":
+        return _naive_scores(instructions, ref_codes)
+    raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+
+
+def alignment_scores(
+    query: QueryLike, reference: ReferenceLike, *, engine: str = DEFAULT_ENGINE
+) -> np.ndarray:
+    """Scores of all ``L_r - L_q + 1`` alignment positions.
+
+    ``query`` is an :class:`EncodedQuery`, protein sequence or string;
+    ``reference`` is an RNA/DNA sequence, string, or a 2-bit code array.
+    Returns an empty array when the query is longer than the reference.
+    ``engine`` selects the implementation (:data:`ENGINES`); the default
+    bit-parallel engine is bit-identical to every other.
+    """
+    encoded = _coerce_query(query)
+    ref_codes, _ = _reference_codes(reference)
+    return scores_from_codes(encoded.as_array(), ref_codes, engine)
+
+
+def alignment_scores_naive(query: QueryLike, reference: ReferenceLike) -> np.ndarray:
+    """Reference implementation with explicit loops (test oracle)."""
+    encoded = _coerce_query(query)
+    ref_codes, _ = _reference_codes(reference)
+    return _naive_scores(encoded.as_array(), ref_codes)
+
+
+@lru_cache(maxsize=None)
+def _extended_residue_tables(
+    residue: str,
+) -> Tuple[Tuple[np.ndarray, np.ndarray, np.ndarray], ...]:
+    """Per-amino-acid extended-mode tables, computed once per process.
+
+    For each of the residue's patterns: ``(instructions, tables, configs)``
+    as produced by :func:`repro.core.encoding.encode_pattern` and
+    :func:`repro.core.comparator.instruction_tables`.  Extended mode used to
+    re-encode and re-tabulate every pattern per residue *per call*; the
+    alphabet has 21 letters, so this cache removes that constant work.
+    """
+    patterns = bt.EXTENDED_TABLE[residue]
+    entries = []
+    for pattern in patterns:
+        instrs = np.asarray(encode_pattern(pattern), dtype=np.uint8)
+        tables, configs = cmp.instruction_tables(instrs)
+        instrs.setflags(write=False)
+        tables.setflags(write=False)
+        configs.setflags(write=False)
+        entries.append((instrs, tables, configs))
+    return tuple(entries)
 
 
 def alignment_scores_extended(
@@ -206,20 +265,16 @@ def alignment_scores_extended(
     :mod:`repro.accel.resources`.
     """
     ref_codes, _ = _reference_codes(reference)
-    pattern_groups = bt.back_translate_extended(protein)
-    num_elements = 3 * len(pattern_groups)
+    sequence = as_protein(protein)
+    num_elements = 3 * len(sequence)
     num_positions = ref_codes.size - num_elements + 1
     if num_positions <= 0:
         return np.zeros(0, dtype=np.int32)
     x_rows = _x_bit_arrays(ref_codes)
     scores = np.zeros(num_positions, dtype=np.int32)
-    from repro.core.encoding import encode_pattern
-
-    for residue_index, patterns in enumerate(pattern_groups):
+    for residue_index, residue in enumerate(sequence.letters):
         best = np.zeros(num_positions, dtype=np.int32)
-        for pattern in patterns:
-            instrs = np.asarray(encode_pattern(pattern), dtype=np.uint8)
-            tables, configs = cmp.instruction_tables(instrs)
+        for instrs, tables, configs in _extended_residue_tables(residue):
             partial = np.zeros(num_positions, dtype=np.int32)
             for j in range(3):
                 i = 3 * residue_index + j
@@ -236,6 +291,34 @@ def alignment_scores_extended(
     return scores
 
 
+def align_prepared(
+    encoded: EncodedQuery,
+    ref_codes: np.ndarray,
+    resolved_threshold: int,
+    *,
+    reference_name: str = "",
+    keep_scores: bool = False,
+    engine: str = DEFAULT_ENGINE,
+) -> AlignmentResult:
+    """Score + threshold with everything pre-resolved (the scan hot loop).
+
+    Callers that already hold an :class:`EncodedQuery`, a 2-bit code array
+    and an absolute threshold (database scanners, workers) come in here and
+    skip re-coercion entirely.
+    """
+    scores = scores_from_codes(encoded.as_array(), ref_codes, engine)
+    positions = np.nonzero(scores >= resolved_threshold)[0]
+    hits = tuple(Hit(int(p), int(scores[p])) for p in positions)
+    return AlignmentResult(
+        query=encoded,
+        reference_name=reference_name,
+        reference_length=int(ref_codes.size),
+        threshold=resolved_threshold,
+        hits=hits,
+        scores=scores if keep_scores else None,
+    )
+
+
 def align(
     query: QueryLike,
     reference: ReferenceLike,
@@ -243,28 +326,38 @@ def align(
     threshold: Optional[int] = None,
     min_identity: Optional[float] = None,
     keep_scores: bool = False,
+    engine: str = DEFAULT_ENGINE,
 ) -> AlignmentResult:
     """Align a protein query against one reference; return thresholded hits.
 
     This is the library's primary one-call API — back-translation, encoding,
     scoring and thresholding in one step, mirroring the accelerator's
     end-to-end behaviour (the hardware writes back exactly the positions
-    whose score clears the threshold).
+    whose score clears the threshold).  ``engine`` selects the scoring
+    implementation (:data:`ENGINES`); all of them are bit-identical.
     """
     encoded = _coerce_query(query)
     ref_codes, ref_name = _reference_codes(reference)
     resolved = resolve_threshold(encoded, threshold, min_identity)
-    scores = alignment_scores(encoded, ref_codes)
-    positions = np.nonzero(scores >= resolved)[0]
-    hits = tuple(Hit(int(p), int(scores[p])) for p in positions)
-    return AlignmentResult(
-        query=encoded,
+    return align_prepared(
+        encoded,
+        ref_codes,
+        resolved,
         reference_name=ref_name,
-        reference_length=int(ref_codes.size),
-        threshold=resolved,
-        hits=hits,
-        scores=scores if keep_scores else None,
+        keep_scores=keep_scores,
+        engine=engine,
     )
+
+
+def iter_reference_codes(
+    references: Iterable[ReferenceLike],
+) -> Iterator[Tuple[np.ndarray, str]]:
+    """Coerce references to ``(codes, name)`` pairs, parsing each only once.
+
+    Pre-packed 2-bit code arrays pass through without any re-parsing.
+    """
+    for reference in references:
+        yield _reference_codes(reference)
 
 
 def search_database(
@@ -273,10 +366,42 @@ def search_database(
     *,
     threshold: Optional[int] = None,
     min_identity: Optional[float] = None,
+    keep_scores: bool = False,
+    engine: str = DEFAULT_ENGINE,
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> List[AlignmentResult]:
-    """Align one query against many references; results in input order."""
+    """Align one query against many references; results in input order.
+
+    The query is encoded and the threshold resolved exactly once, and
+    pre-packed code arrays are accepted without re-parsing.  With
+    ``workers > 1`` the scan fans out over a process pool via
+    :func:`repro.host.scan.scan_database` (chunked shared-memory scan with
+    an ordered merge); ``chunk_size`` tunes references per work item.
+    """
     encoded = _coerce_query(query)
+    resolved = resolve_threshold(encoded, threshold, min_identity)
+    if workers > 1:
+        # Local import: repro.host sits above repro.core in the layering.
+        from repro.host.scan import scan_database
+
+        return scan_database(
+            encoded,
+            references,
+            threshold=resolved,
+            keep_scores=keep_scores,
+            engine=engine,
+            workers=workers,
+            chunk_size=chunk_size,
+        )
     return [
-        align(encoded, reference, threshold=threshold, min_identity=min_identity)
-        for reference in references
+        align_prepared(
+            encoded,
+            codes,
+            resolved,
+            reference_name=name,
+            keep_scores=keep_scores,
+            engine=engine,
+        )
+        for codes, name in iter_reference_codes(references)
     ]

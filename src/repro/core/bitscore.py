@@ -1,0 +1,261 @@
+"""Bit-parallel SWAR scoring engine — the Pop36 datapath, in software.
+
+The FPGA scores 256 nucleotides per beat because each query element owns a
+two-LUT comparator producing *one bit*, and a carry-save Pop36 tree counts
+the bits (§III-C/D).  The software counterpart of that datapath is SWAR
+(SIMD-within-a-register) bit-parallelism over 64-bit words:
+
+1. **Match bitplanes.**  A query of ``L_q`` elements carries at most 64
+   *distinct* 6-bit instructions (in practice ~20).  For each distinct
+   instruction we evaluate the comparator once over every reference
+   position — the match bit depends only on ``(instruction, Ref[p],
+   Ref[p-1], Ref[p-2])`` — and pack the resulting 0/1 vector into uint64
+   words, LSB-first (bit ``p % 64`` of word ``p // 64`` is position ``p``).
+   The Type-III X-bit lanes (:func:`x_bit_rows`) are folded into this pass,
+   exactly as the hardware mux LUT feeds the comparison LUT.
+
+2. **Diagonal accumulation with CSA vertical counters.**  The score of
+   alignment position ``k`` is ``sum_i match_i[k + i]``, so element ``i``
+   contributes its bitplane *shifted right by i bits*.  Rows are summed
+   with a carry-save-adder vertical counter: counter plane ``c_l`` holds
+   bit ``l`` of every position's running count, and adding a row is
+   ``carry = c_l & row; c_l ^= row`` rippled upward — the direct software
+   analog of the Pop36 carry-save tree (each 64-bit word is 64 independent
+   one-bit adders working in parallel).  Rows are fed pairwise through a
+   3:2 compressor step (``ones = a ^ b``, ``twos = a & b``) to halve
+   low-plane traffic, mirroring the hardware's 6:3 compression stage.
+
+For short references the fixed cost of packing dominates, so
+:func:`diagonal_scores` provides a strided-diagonal uint8 path: the
+per-element match matrix is viewed along alignment diagonals with stride
+tricks and summed by a single einsum reduction.  :func:`scores` picks the
+winner by workload size.
+
+Both paths are bit-identical to :func:`repro.core.aligner.alignment_scores_naive`
+(enforced by the property-test suite in ``tests/property``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import comparator as cmp
+
+#: Bits per SWAR word (the software "beat" width).
+WORD_BITS = 64
+
+#: Below this many score cells (positions x elements) the strided-diagonal
+#: uint8 path beats the packed path (packing overhead is not amortized).
+DIAGONAL_MAX_CELLS = 1 << 21
+
+_WORD_DTYPE = np.dtype("<u8")
+
+
+def x_bit_rows(ref_codes: np.ndarray) -> np.ndarray:
+    """Per-position X-source bit arrays, indexed by config code.
+
+    Returns an array of shape ``(4, L_r)``: row ``config`` holds the X bit
+    at every reference position for that source.  Row 0 (CONFIG_SELF) is a
+    placeholder (the caller substitutes the instruction's own b3).  Missing
+    look-back positions read as nucleotide ``A`` (code 0), matching the
+    hardware stream buffer reset.
+    """
+    length = ref_codes.size
+    prev1 = np.zeros(length, dtype=np.uint8)
+    prev2 = np.zeros(length, dtype=np.uint8)
+    if length > 1:
+        prev1[1:] = ref_codes[:-1]
+    if length > 2:
+        prev2[2:] = ref_codes[:-2]
+    rows = np.zeros((4, length), dtype=np.uint8)
+    rows[1] = (prev1 >> 1) & 1  # CONFIG_PREV1_HI
+    rows[2] = prev2 & 1  # CONFIG_PREV2_LO
+    rows[3] = (prev2 >> 1) & 1  # CONFIG_PREV2_HI
+    return rows
+
+
+def match_bytes(
+    instructions: np.ndarray, ref_codes: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Match bit (as uint8 0/1) of every *distinct* instruction at every position.
+
+    Returns ``(rows, element_rows)``: ``rows[j, p]`` is the comparator
+    output of distinct instruction ``j`` at reference position ``p``, and
+    ``element_rows[i]`` maps query element ``i`` to its row.  Evaluating
+    per distinct instruction turns ``L_q`` table gathers into at most 64.
+    """
+    instructions = np.asarray(instructions, dtype=np.uint8)
+    ref_codes = np.asarray(ref_codes, dtype=np.uint8)
+    distinct, element_rows = np.unique(instructions, return_inverse=True)
+    tables, configs = cmp.instruction_tables(distinct)
+    x_rows = x_bit_rows(ref_codes)
+    rows = np.empty((distinct.size, ref_codes.size), dtype=np.uint8)
+    for j in range(distinct.size):
+        config = int(configs[j])
+        if config == 0:
+            x = (int(distinct[j]) >> 3) & 1
+            rows[j] = tables[j, x, ref_codes]
+        else:
+            rows[j] = tables[j, x_rows[config], ref_codes]
+    return rows, np.asarray(element_rows, dtype=np.intp).ravel()
+
+
+def pack_row(bits: np.ndarray, pad_words: int = 1) -> np.ndarray:
+    """Pack a uint8 0/1 vector into little-endian uint64 words.
+
+    Bit ``p % 64`` of word ``p // 64`` is position ``p``.  ``pad_words``
+    zero words are appended so shifted reads never index past the end.
+    """
+    packed = np.packbits(bits, bitorder="little")
+    num_words = (bits.size + WORD_BITS - 1) // WORD_BITS + pad_words
+    buffer = np.zeros(num_words * 8, dtype=np.uint8)
+    buffer[: packed.size] = packed
+    return buffer.view(_WORD_DTYPE)
+
+
+def shifted_row(words: np.ndarray, shift: int, num_words: int) -> np.ndarray:
+    """``num_words`` words of ``words`` right-shifted by ``shift`` bits.
+
+    Output bit ``k`` equals input bit ``k + shift`` — this aligns element
+    ``i``'s match bitplane onto the alignment-position axis.
+    """
+    offset, remainder = divmod(shift, WORD_BITS)
+    low = words[offset : offset + num_words]
+    if remainder == 0:
+        return low.copy()
+    high = words[offset + 1 : offset + 1 + num_words]
+    return (low >> np.uint64(remainder)) | (high << np.uint64(WORD_BITS - remainder))
+
+
+class VerticalCounter:
+    """Carry-save vertical counter: per-bit-column counts over packed words.
+
+    Plane ``l`` holds bit ``l`` of each position's running count.  This is
+    the software analog of the paper's Pop36 carry-save pop-counter: one
+    64-bit AND/XOR pair performs 64 independent single-bit additions.
+    """
+
+    def __init__(self, num_words: int) -> None:
+        self._num_words = num_words
+        self.planes: List[np.ndarray] = []
+
+    def _add_at(self, row: np.ndarray, level: int) -> None:
+        """Add ``row * 2**level``; ``row`` is consumed (may be mutated)."""
+        carry = row
+        while level < len(self.planes):
+            plane = self.planes[level]
+            carry_out = plane & carry
+            np.bitwise_xor(plane, carry, out=plane)
+            if not carry_out.any():
+                return
+            carry = carry_out
+            level += 1
+        while level > len(self.planes):
+            self.planes.append(np.zeros(self._num_words, dtype=_WORD_DTYPE))
+        self.planes.append(carry)
+
+    def add(self, row: np.ndarray) -> None:
+        """Add one match row (weight 1) to every position's count."""
+        self._add_at(row, 0)
+
+    def add_pair(self, first: np.ndarray, second: np.ndarray) -> None:
+        """Add two rows via one 3:2 compressor step (``a + b = ones + 2*twos``)."""
+        twos = first & second
+        ones = first ^ second
+        self._add_at(ones, 0)
+        if twos.any():
+            self._add_at(twos, 1)
+
+    def decode(self, num_positions: int) -> np.ndarray:
+        """Materialize the counts as an int32 array of ``num_positions``."""
+        scores = np.zeros(num_positions, dtype=np.int32)
+        for level, plane in enumerate(self.planes):
+            bits = np.unpackbits(
+                plane.view(np.uint8), bitorder="little", count=num_positions
+            )
+            scores += bits.astype(np.int32) << level
+        return scores
+
+
+def packed_scores(instructions: np.ndarray, ref_codes: np.ndarray) -> np.ndarray:
+    """All alignment-position scores via packed bitplanes + CSA popcount."""
+    instructions = np.asarray(instructions, dtype=np.uint8)
+    ref_codes = np.asarray(ref_codes, dtype=np.uint8)
+    num_elements = instructions.size
+    num_positions = ref_codes.size - num_elements + 1
+    if num_positions <= 0:
+        return np.zeros(0, dtype=np.int32)
+    if num_elements == 0:
+        return np.zeros(num_positions, dtype=np.int32)
+    rows, element_rows = match_bytes(instructions, ref_codes)
+    # One extra pad word lets shifted_row read its high half at any offset.
+    pad = 1 + (num_elements - 1) // WORD_BITS
+    planes = [pack_row(rows[j], pad_words=pad) for j in range(rows.shape[0])]
+    num_words = (num_positions + WORD_BITS - 1) // WORD_BITS
+    counter = VerticalCounter(num_words)
+    for i in range(0, num_elements - 1, 2):
+        counter.add_pair(
+            shifted_row(planes[element_rows[i]], i, num_words),
+            shifted_row(planes[element_rows[i + 1]], i + 1, num_words),
+        )
+    if num_elements % 2:
+        i = num_elements - 1
+        counter.add(shifted_row(planes[element_rows[i]], i, num_words))
+    return counter.decode(num_positions)
+
+
+def diagonal_scores(instructions: np.ndarray, ref_codes: np.ndarray) -> np.ndarray:
+    """All alignment-position scores via a strided-diagonal uint8 reduction.
+
+    Builds the per-element match matrix ``M[i, p]`` and sums its alignment
+    diagonals ``score[k] = sum_i M[i, k + i]`` through a zero-copy stride
+    view — element ``[k, i]`` lives at byte offset ``k*s_p + i*(s_e + s_p)``
+    — reduced by one einsum.  Wins when ``positions * elements`` is small.
+    """
+    instructions = np.asarray(instructions, dtype=np.uint8)
+    ref_codes = np.asarray(ref_codes, dtype=np.uint8)
+    num_elements = instructions.size
+    num_positions = ref_codes.size - num_elements + 1
+    if num_positions <= 0:
+        return np.zeros(0, dtype=np.int32)
+    if num_elements == 0:
+        return np.zeros(num_positions, dtype=np.int32)
+    rows, element_rows = match_bytes(instructions, ref_codes)
+    matrix = np.ascontiguousarray(rows[element_rows])
+    stride_e, stride_p = matrix.strides
+    diagonals = np.lib.stride_tricks.as_strided(
+        matrix,
+        shape=(num_positions, num_elements),
+        strides=(stride_p, stride_e + stride_p),
+    )
+    return np.einsum("ki->k", diagonals, dtype=np.int32, casting="unsafe")
+
+
+def scores(
+    instructions: np.ndarray,
+    ref_codes: np.ndarray,
+    *,
+    method: Optional[str] = None,
+) -> np.ndarray:
+    """Bit-parallel scores with automatic path selection.
+
+    ``method`` forces ``"packed"`` or ``"diagonal"``; by default short
+    workloads (fewer than :data:`DIAGONAL_MAX_CELLS` score cells) take the
+    diagonal path and everything else the packed CSA path.
+    """
+    if method == "packed":
+        return packed_scores(instructions, ref_codes)
+    if method == "diagonal":
+        return diagonal_scores(instructions, ref_codes)
+    if method is not None:
+        raise ValueError(f"unknown bitscore method {method!r}")
+    instructions = np.asarray(instructions, dtype=np.uint8)
+    ref_codes = np.asarray(ref_codes, dtype=np.uint8)
+    num_positions = ref_codes.size - instructions.size + 1
+    if num_positions <= 0:
+        return np.zeros(0, dtype=np.int32)
+    if num_positions * max(instructions.size, 1) <= DIAGONAL_MAX_CELLS:
+        return diagonal_scores(instructions, ref_codes)
+    return packed_scores(instructions, ref_codes)

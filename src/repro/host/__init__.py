@@ -2,6 +2,7 @@
 
 from repro.host.cluster import ClusterSearchResult, FabPCluster
 from repro.host.rescore import RescoreReport, RescoredHit, rescore_hits, rescore_search_result
+from repro.host.scan import PackedDatabase, scan_database
 from repro.host.session import (
     DatabaseEntry,
     FabPHost,
@@ -18,8 +19,10 @@ __all__ = [
     "HostSearchResult",
     "NamedHit",
     "PCIE_BANDWIDTH",
+    "PackedDatabase",
     "RescoreReport",
     "RescoredHit",
     "rescore_hits",
     "rescore_search_result",
+    "scan_database",
 ]

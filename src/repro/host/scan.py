@@ -1,0 +1,360 @@
+"""Chunked, multi-process database scan over shared-memory packed references.
+
+The paper's host program keeps the database resident in FPGA DRAM as a dense
+2-bit array and streams it through parallel kernel instances; the software
+counterpart is one packed buffer in POSIX shared memory scanned by a pool of
+worker processes:
+
+* :class:`PackedDatabase` packs every reference once (2 bits/nt, the FabP
+  DRAM layout from :mod:`repro.seq.packing`) into a single byte buffer with
+  an offset table — the in-memory database image;
+* :func:`scan_database` splits the reference list into chunks, publishes the
+  packed image in a :class:`multiprocessing.shared_memory.SharedMemory`
+  segment (workers attach zero-copy; nothing is pickled per task beyond the
+  chunk bounds), scores each chunk with the selected engine, thresholds
+  worker-side so only hits travel back, and merges results in input order;
+* ``workers`` / ``chunk_size`` are the scaling knobs; ``workers <= 1`` (or a
+  tiny database) runs serially in-process, so the scanner degrades cleanly
+  on single-core machines and under restricted multiprocessing.
+
+Results are plain :class:`repro.core.aligner.AlignmentResult` objects, so a
+parallel scan is a drop-in replacement for the serial ``search_database``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.aligner import (
+    DEFAULT_ENGINE,
+    AlignmentResult,
+    Hit,
+    QueryLike,
+    ReferenceLike,
+    iter_reference_codes,
+    resolve_threshold,
+    scores_from_codes,
+)
+from repro.core.encoding import EncodedQuery, encode_query
+from repro.seq import packing
+
+#: Default references per work item (small enough to load-balance, large
+#: enough that task dispatch does not dominate).
+DEFAULT_CHUNK_SIZE = 8
+
+#: Databases smaller than this many nucleotides are scanned serially even
+#: when workers are requested — pool startup would cost more than the scan.
+MIN_PARALLEL_NUCLEOTIDES = 1 << 18
+
+
+@dataclass(frozen=True)
+class PackedDatabase:
+    """Many references packed into one contiguous 2-bit buffer.
+
+    ``buffer[byte_offsets[i] : byte_offsets[i + 1]]`` is reference ``i``
+    packed at 2 bits per nucleotide; ``lengths[i]`` its nucleotide count.
+    This is the image :func:`scan_database` publishes in shared memory.
+    """
+
+    names: Tuple[str, ...]
+    lengths: np.ndarray
+    byte_offsets: np.ndarray
+    buffer: np.ndarray
+
+    @classmethod
+    def from_references(
+        cls,
+        references: Iterable[ReferenceLike],
+        names: Optional[Sequence[str]] = None,
+    ) -> "PackedDatabase":
+        """Pack references (strings, sequences, or code arrays) once.
+
+        ``names`` overrides the per-reference names (useful for pre-packed
+        code arrays, which carry none of their own).  Names are otherwise
+        kept exactly as coerced — possibly empty — so a scan is a drop-in
+        replacement for the serial ``search_database``.
+        """
+        resolved_names: List[str] = []
+        lengths: List[int] = []
+        chunks: List[np.ndarray] = []
+        for index, (codes, name) in enumerate(iter_reference_codes(references)):
+            if names is not None:
+                name = names[index]
+            resolved_names.append(name)
+            lengths.append(int(codes.size))
+            chunks.append(packing.pack(codes))
+        byte_offsets = np.zeros(len(chunks) + 1, dtype=np.int64)
+        if chunks:
+            np.cumsum([c.size for c in chunks], out=byte_offsets[1:])
+        buffer = (
+            np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.uint8)
+        )
+        return cls(
+            names=tuple(resolved_names),
+            lengths=np.asarray(lengths, dtype=np.int64),
+            byte_offsets=byte_offsets,
+            buffer=buffer,
+        )
+
+    @property
+    def num_references(self) -> int:
+        return len(self.names)
+
+    @property
+    def total_nucleotides(self) -> int:
+        return int(self.lengths.sum()) if self.lengths.size else 0
+
+    @property
+    def packed_bytes(self) -> int:
+        return int(self.buffer.size)
+
+    def reference_codes(self, index: int) -> np.ndarray:
+        """Unpack reference ``index`` back to a 2-bit code array."""
+        start = int(self.byte_offsets[index])
+        stop = int(self.byte_offsets[index + 1])
+        return packing.unpack(self.buffer[start:stop], int(self.lengths[index]))
+
+
+# -- worker side ---------------------------------------------------------------
+
+# One scan job's context, installed by the pool initializer.  With the fork
+# start method the arrays arrive copy-on-write; the packed buffer itself is
+# always read through the shared-memory segment.
+_WORKER: dict = {}
+
+
+def _worker_init(
+    shm_name: str,
+    packed_bytes: int,
+    lengths: np.ndarray,
+    byte_offsets: np.ndarray,
+    instructions: np.ndarray,
+    threshold: int,
+    engine: str,
+    keep_scores: bool,
+) -> None:
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=shm_name)
+    _WORKER["segment"] = segment
+    _WORKER["buffer"] = np.frombuffer(segment.buf, dtype=np.uint8, count=packed_bytes)
+    _WORKER["lengths"] = lengths
+    _WORKER["byte_offsets"] = byte_offsets
+    _WORKER["instructions"] = instructions
+    _WORKER["threshold"] = threshold
+    _WORKER["engine"] = engine
+    _WORKER["keep_scores"] = keep_scores
+
+
+def _scan_reference_codes(
+    instructions: np.ndarray,
+    codes: np.ndarray,
+    threshold: int,
+    engine: str,
+    keep_scores: bool,
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray], int]:
+    """Score one reference; return (positions, hit_scores, scores?, length)."""
+    scores = scores_from_codes(instructions, codes, engine)
+    positions = np.nonzero(scores >= threshold)[0]
+    return (
+        positions.astype(np.int64),
+        scores[positions],
+        scores if keep_scores else None,
+        int(codes.size),
+    )
+
+
+def _scan_chunk(
+    bounds: Tuple[int, int]
+) -> List[Tuple[int, np.ndarray, np.ndarray, Optional[np.ndarray], int]]:
+    """Pool task: scan references ``[start, stop)`` of the shared image."""
+    start, stop = bounds
+    buffer = _WORKER["buffer"]
+    lengths = _WORKER["lengths"]
+    byte_offsets = _WORKER["byte_offsets"]
+    out = []
+    for index in range(start, stop):
+        codes = packing.unpack(
+            buffer[int(byte_offsets[index]) : int(byte_offsets[index + 1])],
+            int(lengths[index]),
+        )
+        positions, hit_scores, scores, length = _scan_reference_codes(
+            _WORKER["instructions"],
+            codes,
+            _WORKER["threshold"],
+            _WORKER["engine"],
+            _WORKER["keep_scores"],
+        )
+        out.append((index, positions, hit_scores, scores, length))
+    return out
+
+
+# -- driver side ---------------------------------------------------------------
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """``None`` means one worker per CPU; always at least 1."""
+    if workers is None:
+        return max(1, os.cpu_count() or 1)
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
+    return max(1, workers)
+
+
+def chunk_bounds(num_references: int, chunk_size: int) -> List[Tuple[int, int]]:
+    """Split ``range(num_references)`` into ``[start, stop)`` chunks."""
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    return [
+        (start, min(start + chunk_size, num_references))
+        for start in range(0, num_references, chunk_size)
+    ]
+
+
+def _build_result(
+    encoded: EncodedQuery,
+    name: str,
+    length: int,
+    threshold: int,
+    positions: np.ndarray,
+    hit_scores: np.ndarray,
+    scores: Optional[np.ndarray],
+) -> AlignmentResult:
+    hits = tuple(
+        Hit(int(p), int(s)) for p, s in zip(positions.tolist(), hit_scores.tolist())
+    )
+    return AlignmentResult(
+        query=encoded,
+        reference_name=name,
+        reference_length=length,
+        threshold=threshold,
+        hits=hits,
+        scores=scores,
+    )
+
+
+def _serial_scan(
+    encoded: EncodedQuery,
+    database: PackedDatabase,
+    threshold: int,
+    engine: str,
+    keep_scores: bool,
+) -> List[AlignmentResult]:
+    instructions = encoded.as_array()
+    results = []
+    for index in range(database.num_references):
+        positions, hit_scores, scores, length = _scan_reference_codes(
+            instructions, database.reference_codes(index), threshold, engine, keep_scores
+        )
+        results.append(
+            _build_result(
+                encoded, database.names[index], length, threshold,
+                positions, hit_scores, scores,
+            )
+        )
+    return results
+
+
+def scan_database(
+    query: QueryLike,
+    references: object,
+    *,
+    threshold: Optional[int] = None,
+    min_identity: Optional[float] = None,
+    engine: str = DEFAULT_ENGINE,
+    workers: Optional[int] = 1,
+    chunk_size: Optional[int] = None,
+    keep_scores: bool = False,
+) -> List[AlignmentResult]:
+    """Scan one query over a database, optionally across worker processes.
+
+    ``references`` is any iterable the aligner accepts (strings, sequence
+    objects, pre-packed 2-bit code arrays) or a ready
+    :class:`PackedDatabase`.  Results come back in input order regardless
+    of which worker finished first.  ``workers=None`` uses every CPU;
+    ``workers <= 1`` or a small database scans serially in-process.
+    """
+    encoded = query if isinstance(query, EncodedQuery) else encode_query(query)
+    resolved = resolve_threshold(encoded, threshold, min_identity)
+    database = (
+        references
+        if isinstance(references, PackedDatabase)
+        else PackedDatabase.from_references(references)  # type: ignore[arg-type]
+    )
+    num_workers = resolve_workers(workers)
+    if (
+        num_workers <= 1
+        or database.num_references <= 1
+        or database.total_nucleotides < MIN_PARALLEL_NUCLEOTIDES
+    ):
+        return _serial_scan(encoded, database, resolved, engine, keep_scores)
+    size = chunk_size or min(
+        DEFAULT_CHUNK_SIZE, -(-database.num_references // num_workers)
+    )
+    bounds = chunk_bounds(database.num_references, size)
+    try:
+        collected = _parallel_scan(
+            encoded, database, resolved, engine, keep_scores, num_workers, bounds
+        )
+    except (ImportError, OSError, PermissionError):
+        # Restricted environments (no /dev/shm, no fork) fall back cleanly.
+        return _serial_scan(encoded, database, resolved, engine, keep_scores)
+    results: List[Optional[AlignmentResult]] = [None] * database.num_references
+    for index, positions, hit_scores, scores, length in collected:
+        results[index] = _build_result(
+            encoded, database.names[index], length, resolved,
+            positions, hit_scores, scores,
+        )
+    return [r for r in results if r is not None]
+
+
+def _parallel_scan(
+    encoded: EncodedQuery,
+    database: PackedDatabase,
+    threshold: int,
+    engine: str,
+    keep_scores: bool,
+    num_workers: int,
+    bounds: Sequence[Tuple[int, int]],
+) -> List[Tuple[int, np.ndarray, np.ndarray, Optional[np.ndarray], int]]:
+    import multiprocessing
+    from multiprocessing import shared_memory
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        context = multiprocessing.get_context()
+    segment = shared_memory.SharedMemory(
+        create=True, size=max(1, database.packed_bytes)
+    )
+    try:
+        np.frombuffer(segment.buf, dtype=np.uint8, count=database.packed_bytes)[
+            :
+        ] = database.buffer
+        init_args = (
+            segment.name,
+            database.packed_bytes,
+            database.lengths,
+            database.byte_offsets,
+            encoded.as_array(),
+            threshold,
+            engine,
+            keep_scores,
+        )
+        with context.Pool(
+            processes=min(num_workers, len(bounds)),
+            initializer=_worker_init,
+            initargs=init_args,
+        ) as pool:
+            chunk_results = pool.map(_scan_chunk, list(bounds))
+    finally:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+    return [record for chunk in chunk_results for record in chunk]

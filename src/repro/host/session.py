@@ -229,6 +229,44 @@ class FabPHost:
             transfer_seconds=transfer,
         )
 
+    def scan(
+        self,
+        query,
+        *,
+        threshold: Optional[int] = None,
+        min_identity: Optional[float] = None,
+        engine: str = "bitscore",
+        workers: Optional[int] = 1,
+        chunk_size: Optional[int] = None,
+        keep_scores: bool = False,
+    ):
+        """Software fast-path scan of the resident database (no cycle model).
+
+        Runs the bit-parallel scoring engine — optionally across a process
+        pool — over every reference already packed into this host, and
+        returns per-reference :class:`repro.core.aligner.AlignmentResult`
+        objects in database order.  Use :meth:`search` when modeled kernel
+        timing is needed; use this when only the hits are.
+        """
+        if not self._entries:
+            raise ValueError("the database is empty; add references first")
+        from repro.host.scan import PackedDatabase, scan_database
+
+        database = PackedDatabase.from_references(
+            [entry.codes for entry in self._entries],
+            names=[entry.name for entry in self._entries],
+        )
+        return scan_database(
+            query,
+            database,
+            threshold=threshold,
+            min_identity=min_identity,
+            engine=engine,
+            workers=workers,
+            chunk_size=chunk_size,
+            keep_scores=keep_scores,
+        )
+
     def search_many(
         self,
         queries: Sequence,

@@ -179,6 +179,29 @@ class TestAlign:
         assert len(results) == 3
         assert all(isinstance(r, AlignmentResult) for r in results)
 
+    def test_search_database_keep_scores(self, rng):
+        query = random_protein(5, rng=rng)
+        references = [random_rna(200, rng=rng) for _ in range(2)]
+        results = search_database(query, references, threshold=5, keep_scores=True)
+        assert all(r.scores is not None and r.scores.size == 200 - 15 + 1 for r in results)
+
+    def test_search_database_prepacked_codes(self, rng):
+        from repro.seq.packing import codes_from_text
+
+        query = random_protein(5, rng=rng)
+        references = [random_rna(200, rng=rng) for _ in range(2)]
+        codes = [codes_from_text(r.letters) for r in references]
+        from_text = search_database(query, references, threshold=5)
+        from_codes = search_database(query, codes, threshold=5)
+        assert [r.hits for r in from_text] == [r.hits for r in from_codes]
+
+    def test_align_engine_escape_hatch(self, rng):
+        query = random_protein(5, rng=rng)
+        reference = random_rna(300, rng=rng)
+        default = align(query, reference, threshold=5)
+        for engine in ("vectorized", "naive", "packed", "diagonal"):
+            assert align(query, reference, threshold=5, engine=engine).hits == default.hits
+
     def test_str_representations(self, rng):
         result = align("MFW", random_rna(50, rng=rng), threshold=0)
         assert "hits" in str(result)

@@ -243,3 +243,56 @@ class TestProve:
             "popcounter_fabp_72",
         ]
         assert payload["equivalence"]["proven"] is True
+
+
+class TestBench:
+    def test_tiny_bench_writes_artifact(self, tmp_path, capsys):
+        import json
+
+        artifact = tmp_path / "BENCH_scoring.json"
+        code = main(
+            [
+                "bench",
+                "--residues", "10",
+                "--reference-length", "20000",
+                "--scan-references", "2",
+                "--scan-reference-length", "10000",
+                "--workers", "1",
+                "--repeats", "1",
+                "--out", str(artifact),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Score-engine benchmark" in out
+        payload = json.loads(artifact.read_text())
+        engines = {r["engine"] for r in payload["records"]}
+        assert {"naive", "vectorized", "bitscore", "parallel-scan"} <= engines
+        for record in payload["records"]:
+            assert {"engine", "L_q", "L_r", "n_refs", "wall_s", "positions_per_s"} <= set(record)
+        assert payload["speedups"]["bitscore_vs_naive"] > 0
+
+    def test_min_speedup_gate_failure(self, capsys):
+        # An impossible bar makes the gate trip: exit code 1.
+        code = main(
+            [
+                "bench",
+                "--residues", "8",
+                "--reference-length", "8000",
+                "--scan-references", "2",
+                "--scan-reference-length", "4000",
+                "--workers", "1",
+                "--repeats", "1",
+                "--out", "",
+                "--min-speedup", "1e12",
+            ]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_quick_flag(self, tmp_path, capsys):
+        artifact = tmp_path / "quick.json"
+        code = main(["bench", "--quick", "--out", str(artifact), "--min-speedup", "5"])
+        assert code == 0
+        assert artifact.exists()
+        assert "speedup gate" in capsys.readouterr().out
