@@ -1,7 +1,26 @@
 """Host-side runtime (the paper's OpenCL host program, in model form)."""
 
+from repro.host.checkpoint import CheckpointStore, scan_fingerprint
 from repro.host.cluster import ClusterSearchResult, FabPCluster
+from repro.host.errors import (
+    CheckpointError,
+    CheckpointMismatchError,
+    ChunkFailedError,
+    ChunkTimeoutError,
+    CorruptResultError,
+    InjectedFaultError,
+    PoolUnhealthyError,
+    ScanError,
+    WorkerCrashError,
+)
+from repro.host.faults import FaultKind, FaultPlan, FaultSpec
 from repro.host.rescore import RescoreReport, RescoredHit, rescore_hits, rescore_search_result
+from repro.host.resilience import (
+    RetryPolicy,
+    ScanOutcome,
+    ScanReport,
+    supervised_scan,
+)
 from repro.host.scan import PackedDatabase, scan_database
 from repro.host.session import (
     DatabaseEntry,
@@ -12,17 +31,35 @@ from repro.host.session import (
 )
 
 __all__ = [
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "CheckpointStore",
+    "ChunkFailedError",
+    "ChunkTimeoutError",
     "ClusterSearchResult",
+    "CorruptResultError",
     "DatabaseEntry",
     "FabPCluster",
     "FabPHost",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
     "HostSearchResult",
+    "InjectedFaultError",
     "NamedHit",
     "PCIE_BANDWIDTH",
     "PackedDatabase",
+    "PoolUnhealthyError",
     "RescoreReport",
     "RescoredHit",
+    "RetryPolicy",
+    "ScanError",
+    "ScanOutcome",
+    "ScanReport",
+    "WorkerCrashError",
     "rescore_hits",
     "rescore_search_result",
     "scan_database",
+    "scan_fingerprint",
+    "supervised_scan",
 ]

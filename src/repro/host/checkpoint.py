@@ -1,0 +1,199 @@
+"""Durable checkpointing for long database scans.
+
+A multi-hour scan must survive process death.  The supervised runtime
+(:mod:`repro.host.resilience`) writes each completed chunk's results into a
+checkpoint directory as soon as the chunk passes its sanity check:
+
+* ``manifest.json`` — schema version plus a SHA-256 **fingerprint** of
+  everything that determines the results (packed database image, reference
+  names/lengths, encoded query instructions, threshold, engine,
+  ``keep_scores``, chunk layout).  ``--resume`` refuses to reuse
+  checkpoints whose fingerprint does not match the current scan
+  (:class:`repro.host.errors.CheckpointMismatchError`).
+* ``chunk_NNNNNN.npz`` — one file per completed chunk holding the exact
+  per-reference arrays (hit positions, hit scores, optional full score
+  vectors, lengths).  Files are written to a temp name and ``os.replace``\\ d
+  so a kill mid-write can never leave a half-chunk that resumes wrong —
+  unreadable files are simply rescanned.
+
+Resuming loads every valid chunk file, skips those chunks entirely (no
+rescoring), and scans only what is missing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zipfile
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.host.errors import CheckpointError, CheckpointMismatchError
+
+#: Bump when the on-disk layout changes; old checkpoints are refused.
+SCHEMA_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+#: One reference's scan output: (index, positions, hit_scores, scores|None,
+#: length) — the exact tuple the scan workers produce.
+ChunkRecord = Tuple[int, np.ndarray, np.ndarray, Optional[np.ndarray], int]
+ChunkPayload = List[ChunkRecord]
+
+
+def scan_fingerprint(
+    database,
+    instructions: np.ndarray,
+    threshold: int,
+    engine: str,
+    keep_scores: bool,
+    chunk_size: int,
+) -> str:
+    """SHA-256 over everything that determines a scan's results.
+
+    ``database`` is a :class:`repro.host.scan.PackedDatabase` (duck-typed to
+    avoid a circular import).  Any change to the database image, query,
+    threshold, engine, or chunk layout changes the fingerprint, which is
+    exactly the condition under which old chunk files must not be reused.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"fabp-scan-v{SCHEMA_VERSION}".encode())
+    digest.update(np.ascontiguousarray(instructions, dtype=np.uint8).tobytes())
+    digest.update(f"|t={threshold}|e={engine}|k={int(keep_scores)}".encode())
+    digest.update(f"|c={chunk_size}|n={database.num_references}".encode())
+    digest.update("\x00".join(database.names).encode())
+    digest.update(np.ascontiguousarray(database.lengths).tobytes())
+    digest.update(np.ascontiguousarray(database.buffer).tobytes())
+    return digest.hexdigest()
+
+
+class CheckpointStore:
+    """Directory-backed store of completed chunk results."""
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+
+    # -- paths ----------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    def chunk_path(self, chunk: int) -> Path:
+        return self.directory / f"chunk_{chunk:06d}.npz"
+
+    # -- manifest -------------------------------------------------------------
+
+    def read_manifest(self) -> Optional[dict]:
+        try:
+            return json.loads(self.manifest_path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint manifest {self.manifest_path}: {exc}"
+            ) from exc
+
+    def write_manifest(self, fingerprint: str, num_chunks: int, chunk_size: int) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "num_chunks": num_chunks,
+            "chunk_size": chunk_size,
+        }
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=2) + "\n")
+        os.replace(tmp, self.manifest_path)
+
+    def prepare(
+        self, fingerprint: str, num_chunks: int, chunk_size: int, resume: bool
+    ) -> Dict[int, ChunkPayload]:
+        """Initialize the store; return already-completed chunks when resuming.
+
+        * ``resume=True`` with a matching manifest loads every valid chunk
+          file; a fingerprint (or schema) mismatch raises
+          :class:`CheckpointMismatchError` rather than silently mixing
+          results from a different scan.
+        * ``resume=True`` with no manifest starts fresh (nothing to resume).
+        * ``resume=False`` always starts fresh, discarding any stale chunk
+          files so they cannot leak into this scan's results.
+        """
+        manifest = self.read_manifest()
+        if resume and manifest is not None:
+            found = str(manifest.get("fingerprint", ""))
+            if (
+                manifest.get("version") != SCHEMA_VERSION
+                or found != fingerprint
+                or int(manifest.get("num_chunks", -1)) != num_chunks
+            ):
+                raise CheckpointMismatchError(fingerprint, found)
+            return self.load_chunks(num_chunks)
+        # Fresh start: drop stale chunk files from any previous run.
+        if self.directory.exists():
+            for path in self.directory.glob("chunk_*.npz"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        self.write_manifest(fingerprint, num_chunks, chunk_size)
+        return {}
+
+    # -- chunk files ----------------------------------------------------------
+
+    def save_chunk(self, chunk: int, payload: ChunkPayload) -> None:
+        """Atomically persist one completed chunk's records."""
+        arrays: Dict[str, np.ndarray] = {
+            "indices": np.asarray([rec[0] for rec in payload], dtype=np.int64),
+            "lengths": np.asarray([rec[4] for rec in payload], dtype=np.int64),
+        }
+        for index, positions, hit_scores, scores, _length in payload:
+            arrays[f"pos_{index}"] = positions
+            arrays[f"hs_{index}"] = hit_scores
+            if scores is not None:
+                arrays[f"sc_{index}"] = scores
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.chunk_path(chunk)
+        tmp = path.with_suffix(".npz.tmp")
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **arrays)
+        os.replace(tmp, path)
+
+    def load_chunk(self, chunk: int) -> Optional[ChunkPayload]:
+        """Load one chunk file; ``None`` if missing or unreadable."""
+        path = self.chunk_path(chunk)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as data:
+                indices = data["indices"]
+                lengths = data["lengths"]
+                payload: ChunkPayload = []
+                for index, length in zip(indices.tolist(), lengths.tolist()):
+                    scores = (
+                        data[f"sc_{index}"] if f"sc_{index}" in data.files else None
+                    )
+                    payload.append(
+                        (
+                            int(index),
+                            data[f"pos_{index}"],
+                            data[f"hs_{index}"],
+                            scores,
+                            int(length),
+                        )
+                    )
+                return payload
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+            # A kill mid-write or disk corruption: rescan this chunk.
+            return None
+
+    def load_chunks(self, num_chunks: int) -> Dict[int, ChunkPayload]:
+        done: Dict[int, ChunkPayload] = {}
+        for chunk in range(num_chunks):
+            payload = self.load_chunk(chunk)
+            if payload is not None:
+                done[chunk] = payload
+        return done

@@ -1,0 +1,1030 @@
+"""Supervised, fault-tolerant execution of chunked database scans.
+
+:func:`repro.host.scan.scan_database` can fan a scan out over a process
+pool, but a plain pool treats any worker failure as fatal: one hung
+process, one OOM-killed worker, or one corrupt chunk result takes the
+whole multi-hour scan down.  This module is the robustness backbone the
+ROADMAP's production north-star needs — a small supervisor that owns its
+workers directly and guarantees the scan either completes with
+**bit-identical, input-ordered results** or fails with a typed
+:class:`repro.host.errors.ScanError`:
+
+* **per-chunk timeout** — a chunk attempt that runs past
+  :attr:`RetryPolicy.timeout` gets its worker killed and the chunk retried;
+* **bounded retries with exponential backoff + jitter** — every failed
+  attempt (crash, hang, raise, corrupt) requeues the chunk until
+  :attr:`RetryPolicy.max_retries` is exhausted;
+* **dead-worker detection and replacement** — worker deaths are observed
+  via their process sentinels and the pool is topped back up;
+* **hedged re-dispatch** — once the queue drains, straggler chunks older
+  than :attr:`RetryPolicy.hedge_after` are speculatively re-issued to idle
+  workers; the first sane result wins, duplicates are discarded;
+* **per-chunk sanity checking** — every result (including ones loaded from
+  a checkpoint) is validated with :func:`check_chunk_payload`; corrupt
+  data is never merged, it is retried;
+* **graceful degradation** — when a chunk exhausts its budget or the pool
+  keeps dying (:attr:`RetryPolicy.max_respawns`), the remaining chunks are
+  finished by the in-process serial engine and the
+  :class:`ScanReport` marks the scan *degraded* (CLI exit code 3);
+* **durable checkpointing** — with a checkpoint directory every completed
+  chunk is persisted immediately (:mod:`repro.host.checkpoint`), so a scan
+  killed mid-run resumes without rescoring finished chunks.
+
+Determinism: chunk results are merged by reference index, so retry order,
+hedging, and worker scheduling cannot change the output.  The
+:class:`repro.host.faults.FaultPlan` hook exists precisely to prove that in
+CI — any recoverable plan must yield results bit-identical to a fault-free
+serial scan.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.host.checkpoint import CheckpointStore, ChunkPayload, scan_fingerprint
+from repro.host.errors import (
+    ChunkFailedError,
+    CorruptResultError,
+    PoolUnhealthyError,
+)
+from repro.host.faults import FaultKind, FaultPlan
+
+__all__ = [
+    "RetryPolicy",
+    "ChunkAttempt",
+    "ScanReport",
+    "ScanOutcome",
+    "check_chunk_payload",
+    "supervised_scan",
+]
+
+
+# -- policy --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs of the supervised runtime (all durations in seconds)."""
+
+    #: Extra attempts allowed per chunk after the first one fails.
+    max_retries: int = 3
+    #: Per-chunk attempt wall-clock budget; ``None`` disables timeouts.
+    timeout: Optional[float] = 300.0
+    #: Base backoff delay; attempt ``n`` waits ``backoff * 2**(n-1)``.
+    backoff: float = 0.05
+    #: Ceiling on the exponential backoff delay.
+    backoff_max: float = 2.0
+    #: Multiplicative jitter: the delay is scaled by ``1 + jitter * u``.
+    jitter: float = 0.25
+    #: Re-dispatch stragglers older than this once the queue drains;
+    #: ``None`` disables hedging.
+    hedge_after: Optional[float] = None
+    #: Worker respawns tolerated before the pool is declared unhealthy.
+    max_respawns: int = 8
+    #: On an unhealthy pool / exhausted chunk, finish serially in-process
+    #: (reported as *degraded*) instead of raising.
+    degrade: bool = True
+    #: Seed of the jitter RNG — backoff schedules are reproducible.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if self.backoff < 0 or self.backoff_max < 0 or self.jitter < 0:
+            raise ValueError("backoff, backoff_max and jitter must be >= 0")
+
+    def delay(self, failures: int, rng: random.Random) -> float:
+        """Backoff before retry number ``failures`` (1-based), with jitter."""
+        base = min(self.backoff_max, self.backoff * (2.0 ** max(0, failures - 1)))
+        return base * (1.0 + self.jitter * rng.random())
+
+
+# -- report --------------------------------------------------------------------
+
+
+@dataclass
+class ChunkAttempt:
+    """One attempt at one chunk, as recorded in the :class:`ScanReport`."""
+
+    chunk: int
+    attempt: int
+    outcome: str  # ok | crash | hang-timeout | timeout | raise | corrupt | duplicate
+    seconds: float
+    worker: Optional[int] = None
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "chunk": self.chunk,
+            "attempt": self.attempt,
+            "outcome": self.outcome,
+            "seconds": round(self.seconds, 6),
+        }
+        if self.worker is not None:
+            payload["worker"] = self.worker
+        if self.detail:
+            payload["detail"] = self.detail
+        return payload
+
+
+@dataclass
+class ScanReport:
+    """Machine-readable account of a supervised scan (schema v1).
+
+    Serialized by :meth:`to_dict` / written by ``fabp-repro scan
+    --report-json``; the full schema is documented in
+    ``docs/robustness.md``.
+    """
+
+    mode: str = "serial"  # serial | parallel
+    workers: int = 1
+    chunk_size: int = 0
+    chunks_total: int = 0
+    chunks_completed: int = 0
+    chunks_from_checkpoint: int = 0
+    chunks_degraded: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    raised: int = 0
+    corrupt: int = 0
+    hedges: int = 0
+    respawns: int = 0
+    degraded: bool = False
+    degraded_reason: Optional[str] = None
+    engine: str = ""
+    threshold: int = 0
+    elapsed_seconds: float = 0.0
+    checkpoint_dir: Optional[str] = None
+    resumed: bool = False
+    attempts: List[ChunkAttempt] = field(default_factory=list)
+
+    #: Report schema version (bump on breaking changes).
+    VERSION = 1
+
+    @property
+    def clean(self) -> bool:
+        """Completed without degradation (retries alone stay clean)."""
+        return self.chunks_completed == self.chunks_total and not self.degraded
+
+    def exit_code(self) -> int:
+        """The documented CLI contract: 0 clean, 3 completed-with-degradation."""
+        return 0 if self.clean else 3
+
+    def record(
+        self,
+        chunk: int,
+        attempt: int,
+        outcome: str,
+        seconds: float,
+        worker: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        self.attempts.append(
+            ChunkAttempt(chunk, attempt, outcome, seconds, worker, detail)
+        )
+        if outcome in ("timeout", "hang-timeout"):
+            self.timeouts += 1
+        elif outcome == "crash":
+            self.crashes += 1
+        elif outcome == "raise":
+            self.raised += 1
+        elif outcome == "corrupt":
+            self.corrupt += 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.VERSION,
+            "clean": self.clean,
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
+            "mode": self.mode,
+            "workers": self.workers,
+            "chunk_size": self.chunk_size,
+            "engine": self.engine,
+            "threshold": self.threshold,
+            "chunks": {
+                "total": self.chunks_total,
+                "completed": self.chunks_completed,
+                "from_checkpoint": self.chunks_from_checkpoint,
+                "degraded_serial": self.chunks_degraded,
+            },
+            "counters": {
+                "attempts": len(self.attempts),
+                "retries": self.retries,
+                "timeouts": self.timeouts,
+                "crashes": self.crashes,
+                "raises": self.raised,
+                "corrupt": self.corrupt,
+                "hedges": self.hedges,
+                "respawns": self.respawns,
+            },
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "checkpoint_dir": self.checkpoint_dir,
+            "resumed": self.resumed,
+            "chunk_attempts": [a.to_dict() for a in self.attempts],
+        }
+
+    def summary(self) -> str:
+        """One status line for CLI output."""
+        state = "degraded" if self.degraded else "clean"
+        return (
+            f"{self.chunks_completed}/{self.chunks_total} chunks "
+            f"({self.chunks_from_checkpoint} from checkpoint) [{state}] "
+            f"retries={self.retries} timeouts={self.timeouts} "
+            f"crashes={self.crashes} corrupt={self.corrupt} "
+            f"hedges={self.hedges} mode={self.mode}"
+        )
+
+
+@dataclass
+class ScanOutcome:
+    """What :func:`supervised_scan` returns: results plus their report."""
+
+    results: List[Any]  # List[repro.core.aligner.AlignmentResult]
+    report: ScanReport
+
+
+# -- per-chunk sanity check ----------------------------------------------------
+
+
+def check_chunk_payload(
+    payload: ChunkPayload,
+    start: int,
+    stop: int,
+    lengths: np.ndarray,
+    threshold: int,
+    span: int,
+    keep_scores: bool,
+) -> Optional[str]:
+    """Cheap structural validation of one chunk result.
+
+    Returns ``None`` when the payload is sane, else a human-readable
+    reason.  This is what turns a corrupt worker result into a retry
+    instead of silently wrong output: every invariant checked here is one
+    the honest scan code upholds by construction.
+    """
+    if not isinstance(payload, list):
+        return f"payload is {type(payload).__name__}, expected a record list"
+    if len(payload) != stop - start:
+        return f"expected {stop - start} records, got {len(payload)}"
+    for offset, record in enumerate(payload):
+        if not isinstance(record, tuple) or len(record) != 5:
+            return f"record {offset} is not a 5-tuple"
+        index, positions, hit_scores, scores, length = record
+        expected_index = start + offset
+        if index != expected_index:
+            return f"record {offset} carries index {index}, expected {expected_index}"
+        if int(length) != int(lengths[index]):
+            return (
+                f"reference {index} length {length} != database length "
+                f"{int(lengths[index])}"
+            )
+        if not isinstance(positions, np.ndarray) or positions.ndim != 1:
+            return f"reference {index}: positions is not a 1-D array"
+        if not isinstance(hit_scores, np.ndarray) or hit_scores.shape != positions.shape:
+            return f"reference {index}: hit_scores shape mismatch"
+        num_positions = max(0, int(length) - span + 1)
+        if positions.size:
+            if positions.dtype.kind not in "iu" or hit_scores.dtype.kind not in "iu":
+                return f"reference {index}: non-integer hit arrays"
+            if int(positions.min()) < 0 or int(positions.max()) >= num_positions:
+                return f"reference {index}: hit position out of range"
+            if positions.size > 1 and not bool(np.all(np.diff(positions) > 0)):
+                return f"reference {index}: hit positions not strictly increasing"
+            if int(hit_scores.min()) < threshold or int(hit_scores.max()) > span:
+                return (
+                    f"reference {index}: hit score outside "
+                    f"[{threshold}, {span}]"
+                )
+        if keep_scores:
+            if not isinstance(scores, np.ndarray) or scores.ndim != 1:
+                return f"reference {index}: missing score vector"
+            if scores.size != num_positions:
+                return (
+                    f"reference {index}: score vector size {scores.size} != "
+                    f"{num_positions}"
+                )
+            if scores.size and (
+                int(scores.min()) < 0 or int(scores.max()) > span
+            ):
+                return f"reference {index}: score outside [0, {span}]"
+            recomputed = np.nonzero(scores >= threshold)[0]
+            if not np.array_equal(recomputed, positions):
+                return f"reference {index}: hits disagree with score vector"
+            if not np.array_equal(scores[positions], hit_scores):
+                return f"reference {index}: hit scores disagree with score vector"
+        elif scores is not None:
+            return f"reference {index}: unexpected score vector"
+    return None
+
+
+def corrupt_payload(payload: ChunkPayload, span: int) -> ChunkPayload:
+    """Deterministically damage a payload so the sanity check must catch it.
+
+    Scores are pushed past the perfect score and every reference length is
+    off by one — detectable even for chunks with zero hits.
+    """
+    damaged: ChunkPayload = []
+    for index, positions, hit_scores, scores, length in payload:
+        damaged.append(
+            (
+                index,
+                positions,
+                hit_scores + span + 7,
+                None if scores is None else scores + span + 7,
+                length + 1,
+            )
+        )
+    return damaged
+
+
+# -- chunk scoring (shared by workers, serial mode, degraded fallback) ---------
+
+
+def _score_chunk_span(
+    buffer: np.ndarray,
+    lengths: np.ndarray,
+    byte_offsets: np.ndarray,
+    instructions: np.ndarray,
+    threshold: int,
+    engine: str,
+    keep_scores: bool,
+    start: int,
+    stop: int,
+) -> ChunkPayload:
+    from repro.host.scan import _scan_reference_codes
+    from repro.seq import packing
+
+    payload: ChunkPayload = []
+    for index in range(start, stop):
+        codes = packing.unpack(
+            buffer[int(byte_offsets[index]) : int(byte_offsets[index + 1])],
+            int(lengths[index]),
+        )
+        positions, hit_scores, scores, length = _scan_reference_codes(
+            instructions, codes, threshold, engine, keep_scores
+        )
+        payload.append((index, positions, hit_scores, scores, length))
+    return payload
+
+
+# -- worker process ------------------------------------------------------------
+
+
+def _worker_main(
+    conn,
+    shm_name: str,
+    packed_bytes: int,
+    lengths: np.ndarray,
+    byte_offsets: np.ndarray,
+    instructions: np.ndarray,
+    threshold: int,
+    engine: str,
+    keep_scores: bool,
+    span: int,
+    fault_plan: Optional[FaultPlan],
+) -> None:
+    """Worker loop: attach the shared image, score chunks until told to stop.
+
+    Protocol (parent -> worker): ``("chunk", chunk_id, start, stop, attempt)``
+    or ``("stop",)``.  Worker -> parent: ``("ok", chunk_id, attempt, payload)``
+    or ``("err", chunk_id, attempt, message)``.
+    """
+    import os
+
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=shm_name)
+    buffer: Optional[np.ndarray] = np.frombuffer(
+        segment.buf, dtype=np.uint8, count=packed_bytes
+    )
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] == "stop":
+                break
+            _, chunk_id, start, stop, attempt = message
+            fault = fault_plan.lookup(chunk_id, attempt) if fault_plan else None
+            if fault is FaultKind.CRASH:
+                os._exit(17)
+            if fault is FaultKind.HANG:
+                # The supervisor kills us at the policy timeout.
+                time.sleep(fault_plan.hang_seconds if fault_plan else 3600.0)
+                conn.send(("err", chunk_id, attempt, "injected hang outlived parent"))
+                continue
+            if fault is FaultKind.RAISE:
+                conn.send(("err", chunk_id, attempt, "injected raise fault"))
+                continue
+            payload = _score_chunk_span(
+                buffer, lengths, byte_offsets, instructions,
+                threshold, engine, keep_scores, start, stop,
+            )
+            if fault is FaultKind.CORRUPT:
+                payload = corrupt_payload(payload, span)
+            conn.send(("ok", chunk_id, attempt, payload))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        # Drop the numpy view first: closing a segment with an exported
+        # buffer pointer raises BufferError at interpreter shutdown.
+        buffer = None  # noqa: F841
+        try:
+            segment.close()
+        except Exception:
+            pass
+
+
+# -- the supervisor ------------------------------------------------------------
+
+
+class _WorkerHandle:
+    """Parent-side view of one worker process."""
+
+    __slots__ = ("id", "process", "conn", "busy")
+
+    def __init__(self, worker_id: int, process, conn):
+        self.id = worker_id
+        self.process = process
+        self.conn = conn
+        #: ``None`` when idle, else ``(chunk, attempt, started, deadline)``.
+        self.busy: Optional[Tuple[int, int, float, Optional[float]]] = None
+
+
+class _Exhausted(Exception):
+    """Internal: a chunk ran out of retries or the pool is unhealthy."""
+
+    def __init__(self, reason: str, error: Exception):
+        self.reason = reason
+        self.error = error
+        super().__init__(reason)
+
+
+class _Supervisor:
+    """Drive a pool of directly-owned workers through the chunk list."""
+
+    def __init__(
+        self,
+        database,
+        instructions: np.ndarray,
+        threshold: int,
+        engine: str,
+        keep_scores: bool,
+        span: int,
+        num_workers: int,
+        bounds: Sequence[Tuple[int, int]],
+        policy: RetryPolicy,
+        fault_plan: Optional[FaultPlan],
+        store: Optional[CheckpointStore],
+        report: ScanReport,
+        done: Dict[int, ChunkPayload],
+    ):
+        self.database = database
+        self.instructions = instructions
+        self.threshold = threshold
+        self.engine = engine
+        self.keep_scores = keep_scores
+        self.span = span
+        self.num_workers = num_workers
+        self.bounds = list(bounds)
+        self.policy = policy
+        self.fault_plan = fault_plan
+        self.store = store
+        self.report = report
+        self.done = done
+        self.rng = random.Random(policy.seed)
+        self.failures: Dict[int, List[str]] = {}
+        self.next_attempt: Dict[int, int] = {}
+        self.in_flight: Dict[int, int] = {}
+        #: (ready_time, chunk) items awaiting dispatch.
+        self.pending: List[Tuple[float, int]] = []
+        self.workers: List[_WorkerHandle] = []
+        self._next_worker_id = 0
+        self._segment = None
+        self._context = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def run(self) -> None:
+        import multiprocessing
+
+        from repro.host import scan as scan_mod
+
+        try:
+            self._context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            self._context = multiprocessing.get_context()
+        now = time.monotonic()
+        for chunk in range(len(self.bounds)):
+            if chunk not in self.done:
+                self.pending.append((now, chunk))
+        self._segment = scan_mod.publish_segment(self.database.buffer)
+        try:
+            for _ in range(min(self.num_workers, max(1, len(self.pending)))):
+                self._spawn_worker()
+            self._loop()
+        finally:
+            self._shutdown()
+            scan_mod.retire_segment(self._segment)
+            self._segment = None
+
+    def _spawn_worker(self) -> _WorkerHandle:
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                self._segment.name,
+                self.database.packed_bytes,
+                self.database.lengths,
+                self.database.byte_offsets,
+                self.instructions,
+                self.threshold,
+                self.engine,
+                self.keep_scores,
+                self.span,
+                self.fault_plan,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle = _WorkerHandle(self._next_worker_id, process, parent_conn)
+        self._next_worker_id += 1
+        self.workers.append(handle)
+        return handle
+
+    def _shutdown(self) -> None:
+        for worker in self.workers:
+            try:
+                worker.conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        for worker in self.workers:
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self.workers = []
+
+    # -- scheduling -----------------------------------------------------------
+
+    def _take_attempt(self, chunk: int) -> int:
+        attempt = self.next_attempt.get(chunk, 0)
+        self.next_attempt[chunk] = attempt + 1
+        return attempt
+
+    def _dispatch_to(self, worker: _WorkerHandle, chunk: int, hedge: bool) -> None:
+        attempt = self._take_attempt(chunk)
+        start, stop = self.bounds[chunk]
+        now = time.monotonic()
+        deadline = None if self.policy.timeout is None else now + self.policy.timeout
+        worker.conn.send(("chunk", chunk, start, stop, attempt))
+        worker.busy = (chunk, attempt, now, deadline)
+        self.in_flight[chunk] = self.in_flight.get(chunk, 0) + 1
+        if hedge:
+            self.report.hedges += 1
+
+    def _dispatch(self, now: float) -> None:
+        idle = [w for w in self.workers if w.busy is None]
+        if not idle:
+            return
+        # Ready pending chunks first (input order for determinism of dispatch).
+        self.pending.sort(key=lambda item: (item[0], item[1]))
+        for worker in idle:
+            chosen = None
+            for i, (ready_time, chunk) in enumerate(self.pending):
+                if chunk in self.done:
+                    self.pending.pop(i)
+                    chosen = None
+                    break  # list mutated; re-enter on next loop iteration
+                if ready_time <= now:
+                    chosen = self.pending.pop(i)[1]
+                    break
+            if chosen is None:
+                continue
+            self._dispatch_to(worker, chosen, hedge=False)
+        # Hedging: queue drained, idle capacity, stragglers in flight.
+        if self.policy.hedge_after is None or self.pending:
+            return
+        for worker in [w for w in self.workers if w.busy is None]:
+            straggler = self._pick_straggler(now)
+            if straggler is None:
+                return
+            self._dispatch_to(worker, straggler, hedge=True)
+
+    def _pick_straggler(self, now: float) -> Optional[int]:
+        oldest_chunk = None
+        oldest_started = None
+        for worker in self.workers:
+            if worker.busy is None:
+                continue
+            chunk, _attempt, started, _deadline = worker.busy
+            if chunk in self.done or self.in_flight.get(chunk, 0) > 1:
+                continue
+            if now - started < (self.policy.hedge_after or 0.0):
+                continue
+            if oldest_started is None or started < oldest_started:
+                oldest_chunk, oldest_started = chunk, started
+        return oldest_chunk
+
+    def _wait_timeout(self, now: float) -> Optional[float]:
+        candidates: List[float] = []
+        for worker in self.workers:
+            if worker.busy is None:
+                continue
+            if worker.busy[3] is not None:
+                candidates.append(worker.busy[3])
+            if self.policy.hedge_after is not None:
+                # Wake at the hedge threshold too — it is always earlier
+                # than (or independent of) the kill deadline.
+                candidates.append(worker.busy[2] + self.policy.hedge_after)
+        if any(w.busy is None for w in self.workers):
+            candidates.extend(ready for ready, _ in self.pending)
+        if not candidates:
+            return None
+        return max(0.0, min(candidates) - now) + 0.005
+
+    # -- event handling -------------------------------------------------------
+
+    def _loop(self) -> None:
+        from multiprocessing import connection
+
+        total = len(self.bounds)
+        while len(self.done) < total:
+            now = time.monotonic()
+            self._dispatch(now)
+            conn_map = {w.conn: w for w in self.workers}
+            sentinel_map = {w.process.sentinel: w for w in self.workers}
+            timeout = self._wait_timeout(now)
+            ready = connection.wait(
+                list(conn_map) + list(sentinel_map), timeout=timeout
+            )
+            now = time.monotonic()
+            handled = set()
+            for obj in ready:
+                worker = conn_map.get(obj)
+                if worker is None:
+                    worker = sentinel_map.get(obj)
+                if worker is None or id(worker) in handled:
+                    continue
+                handled.add(id(worker))
+                self._service_worker(worker, now)
+            self._sweep_timeouts(time.monotonic())
+            if self.report.respawns > self.policy.max_respawns:
+                raise _Exhausted(
+                    f"pool unhealthy: {self.report.respawns} worker respawns",
+                    PoolUnhealthyError(self.report.respawns, self.policy.max_respawns),
+                )
+
+    def _service_worker(self, worker: _WorkerHandle, now: float) -> None:
+        message = None
+        try:
+            if worker.conn.poll():
+                message = worker.conn.recv()
+        except (EOFError, OSError):
+            message = None
+        if message is not None:
+            self._on_message(worker, message, now)
+            # Fall through: the worker may additionally have died.
+        if not worker.process.is_alive():
+            self._on_death(worker, now)
+
+    def _on_message(self, worker: _WorkerHandle, message, now: float) -> None:
+        kind, chunk, attempt = message[0], message[1], message[2]
+        started = worker.busy[2] if worker.busy else now
+        elapsed = now - started
+        worker.busy = None
+        self.in_flight[chunk] = max(0, self.in_flight.get(chunk, 1) - 1)
+        if chunk in self.done:
+            self.report.record(
+                chunk, attempt, "duplicate", elapsed, worker.id,
+                "hedged twin finished first",
+            )
+            return
+        if kind == "err":
+            self.report.record(chunk, attempt, "raise", elapsed, worker.id, message[3])
+            self._register_failure(chunk, "raise", now)
+            return
+        payload = message[3]
+        start, stop = self.bounds[chunk]
+        error = check_chunk_payload(
+            payload, start, stop, self.database.lengths,
+            self.threshold, self.span, self.keep_scores,
+        )
+        if error is not None:
+            self.report.record(chunk, attempt, "corrupt", elapsed, worker.id, error)
+            self._register_failure(chunk, "corrupt", now)
+            return
+        self.report.record(chunk, attempt, "ok", elapsed, worker.id)
+        self._complete(chunk, payload)
+
+    def _on_death(self, worker: _WorkerHandle, now: float) -> None:
+        self.workers.remove(worker)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.process.join(timeout=0.5)
+        exitcode = worker.process.exitcode
+        if worker.busy is not None:
+            chunk, attempt, started, _deadline = worker.busy
+            self.in_flight[chunk] = max(0, self.in_flight.get(chunk, 1) - 1)
+            if chunk not in self.done:
+                self.report.record(
+                    chunk, attempt, "crash", now - started, worker.id,
+                    f"exitcode {exitcode}",
+                )
+                self._register_failure(chunk, "crash", now)
+        self.report.respawns += 1
+        if self.report.respawns <= self.policy.max_respawns:
+            self._spawn_worker()
+
+    def _sweep_timeouts(self, now: float) -> None:
+        for worker in list(self.workers):
+            if worker.busy is None or worker.busy[3] is None:
+                continue
+            chunk, attempt, started, deadline = worker.busy
+            if now <= deadline:
+                continue
+            # Kill the worker: there is no way to abort the task in place.
+            worker.process.terminate()
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():  # pragma: no cover - stubborn child
+                worker.process.kill()
+                worker.process.join(timeout=1.0)
+            self.workers.remove(worker)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            self.in_flight[chunk] = max(0, self.in_flight.get(chunk, 1) - 1)
+            if chunk not in self.done:
+                self.report.record(
+                    chunk, attempt, "timeout", now - started, worker.id,
+                    f"exceeded {self.policy.timeout:.3g}s",
+                )
+                self._register_failure(chunk, "timeout", now)
+            self.report.respawns += 1
+            if self.report.respawns <= self.policy.max_respawns:
+                self._spawn_worker()
+
+    def _register_failure(self, chunk: int, outcome: str, now: float) -> None:
+        outcomes = self.failures.setdefault(chunk, [])
+        outcomes.append(outcome)
+        if len(outcomes) > self.policy.max_retries:
+            raise _Exhausted(
+                f"chunk {chunk} exhausted its retry budget "
+                f"({len(outcomes)} failures: {', '.join(outcomes)})",
+                ChunkFailedError(chunk, outcomes),
+            )
+        self.report.retries += 1
+        ready = now + self.policy.delay(len(outcomes), self.rng)
+        self.pending.append((ready, chunk))
+
+    def _complete(self, chunk: int, payload: ChunkPayload) -> None:
+        self.done[chunk] = payload
+        if self.store is not None:
+            self.store.save_chunk(chunk, payload)
+
+
+# -- serial supervised execution ----------------------------------------------
+
+
+def _serial_supervised(
+    database,
+    instructions: np.ndarray,
+    threshold: int,
+    engine: str,
+    keep_scores: bool,
+    span: int,
+    bounds: Sequence[Tuple[int, int]],
+    policy: RetryPolicy,
+    fault_plan: Optional[FaultPlan],
+    store: Optional[CheckpointStore],
+    report: ScanReport,
+    done: Dict[int, ChunkPayload],
+) -> None:
+    """In-process supervised loop: same retry semantics, no pool to kill.
+
+    ``crash`` faults raise (there is no worker process to sacrifice) and
+    ``hang`` faults genuinely sleep for the plan's ``hang_seconds`` —
+    there is no supervisor above this process, which is exactly what the
+    kill-and-resume scenario exploits.
+    """
+    rng = random.Random(policy.seed)
+    for chunk, (start, stop) in enumerate(bounds):
+        if chunk in done:
+            continue
+        outcomes: List[str] = []
+        while True:
+            attempt = len(outcomes)
+            fault = fault_plan.lookup(chunk, attempt) if fault_plan else None
+            t0 = time.monotonic()
+            payload: Optional[ChunkPayload] = None
+            outcome = "ok"
+            detail = ""
+            if fault is FaultKind.HANG:
+                time.sleep(fault_plan.hang_seconds if fault_plan else 0.0)
+                outcome, detail = "hang-timeout", "injected hang (serial mode)"
+            elif fault in (FaultKind.CRASH, FaultKind.RAISE):
+                outcome = "crash" if fault is FaultKind.CRASH else "raise"
+                detail = f"injected {fault.value} fault (serial mode)"
+            else:
+                payload = _score_chunk_span(
+                    database.buffer, database.lengths, database.byte_offsets,
+                    instructions, threshold, engine, keep_scores, start, stop,
+                )
+                if fault is FaultKind.CORRUPT:
+                    payload = corrupt_payload(payload, span)
+                error = check_chunk_payload(
+                    payload, start, stop, database.lengths,
+                    threshold, span, keep_scores,
+                )
+                if error is not None:
+                    outcome, detail, payload = "corrupt", error, None
+            elapsed = time.monotonic() - t0
+            report.record(chunk, attempt, outcome, elapsed, None, detail)
+            if payload is not None:
+                done[chunk] = payload
+                if store is not None:
+                    store.save_chunk(chunk, payload)
+                break
+            outcomes.append(outcome)
+            if len(outcomes) > policy.max_retries:
+                raise _Exhausted(
+                    f"chunk {chunk} exhausted its retry budget "
+                    f"({len(outcomes)} failures: {', '.join(outcomes)})",
+                    ChunkFailedError(chunk, outcomes),
+                )
+            report.retries += 1
+            time.sleep(policy.delay(len(outcomes), rng))
+
+
+def _degraded_completion(
+    database,
+    instructions: np.ndarray,
+    threshold: int,
+    engine: str,
+    keep_scores: bool,
+    span: int,
+    bounds: Sequence[Tuple[int, int]],
+    store: Optional[CheckpointStore],
+    report: ScanReport,
+    done: Dict[int, ChunkPayload],
+) -> None:
+    """Finish the remaining chunks with the pristine in-process engine.
+
+    Fault injection does not apply here — degradation *is* the escape
+    hatch.  A sanity failure on this path means the scan itself is broken,
+    which is fatal.
+    """
+    for chunk, (start, stop) in enumerate(bounds):
+        if chunk in done:
+            continue
+        t0 = time.monotonic()
+        payload = _score_chunk_span(
+            database.buffer, database.lengths, database.byte_offsets,
+            instructions, threshold, engine, keep_scores, start, stop,
+        )
+        error = check_chunk_payload(
+            payload, start, stop, database.lengths, threshold, span, keep_scores
+        )
+        if error is not None:
+            raise CorruptResultError(chunk, 0, f"degraded serial scan: {error}")
+        report.record(chunk, 0, "ok", time.monotonic() - t0, None, "degraded serial")
+        report.chunks_degraded += 1
+        done[chunk] = payload
+        if store is not None:
+            store.save_chunk(chunk, payload)
+
+
+# -- public entry point --------------------------------------------------------
+
+
+def supervised_scan(
+    encoded,
+    database,
+    *,
+    threshold: int,
+    engine: str,
+    keep_scores: bool = False,
+    workers: Optional[int] = 1,
+    chunk_size: Optional[int] = None,
+    policy: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
+    checkpoint_dir=None,
+    resume: bool = False,
+) -> ScanOutcome:
+    """Run a chunked scan under supervision; return results and a report.
+
+    ``encoded`` is an :class:`repro.core.encoding.EncodedQuery`,
+    ``database`` a :class:`repro.host.scan.PackedDatabase`, ``threshold``
+    already resolved to an absolute score.  Unlike the plain fast path,
+    ``workers`` is honoured literally (no small-database serial gate), so
+    fault injection exercises real worker processes even on test-sized
+    inputs.  Raises a :class:`repro.host.errors.ScanError` subclass on
+    fatal conditions; completes with ``report.degraded`` set when the
+    policy allows degradation instead.
+    """
+    from repro.host.scan import chunk_bounds, resolve_chunk_size, resolve_workers
+
+    policy = policy or RetryPolicy()
+    num_workers = resolve_workers(workers)
+    size = resolve_chunk_size(database.num_references, num_workers, chunk_size)
+    bounds = chunk_bounds(database.num_references, size) if database.num_references else []
+    instructions = encoded.as_array()
+    span = len(encoded)
+
+    report = ScanReport(
+        workers=num_workers,
+        chunk_size=size,
+        chunks_total=len(bounds),
+        engine=engine,
+        threshold=threshold,
+    )
+
+    store: Optional[CheckpointStore] = None
+    done: Dict[int, ChunkPayload] = {}
+    if checkpoint_dir is not None:
+        store = CheckpointStore(checkpoint_dir)
+        report.checkpoint_dir = str(store.directory)
+        report.resumed = bool(resume)
+        fingerprint = scan_fingerprint(
+            database, instructions, threshold, engine, keep_scores, size
+        )
+        loaded = store.prepare(fingerprint, len(bounds), size, resume)
+        # Never trust disk blindly: a checkpoint chunk must pass the same
+        # sanity check a worker result does, or it gets rescanned.
+        for chunk, payload in loaded.items():
+            start, stop = bounds[chunk]
+            if (
+                check_chunk_payload(
+                    payload, start, stop, database.lengths,
+                    threshold, span, keep_scores,
+                )
+                is None
+            ):
+                done[chunk] = payload
+        report.chunks_from_checkpoint = len(done)
+
+    started = time.monotonic()
+    try:
+        if len(done) < len(bounds):
+            if num_workers > 1:
+                report.mode = "parallel"
+                supervisor = _Supervisor(
+                    database, instructions, threshold, engine, keep_scores,
+                    span, num_workers, bounds, policy, faults, store, report, done,
+                )
+                try:
+                    supervisor.run()
+                except (ImportError, OSError, PermissionError):
+                    # Restricted environments (no /dev/shm, no fork): the
+                    # supervised serial path provides the same guarantees.
+                    report.mode = "serial"
+                    _serial_supervised(
+                        database, instructions, threshold, engine, keep_scores,
+                        span, bounds, policy, faults, store, report, done,
+                    )
+            else:
+                report.mode = "serial"
+                _serial_supervised(
+                    database, instructions, threshold, engine, keep_scores,
+                    span, bounds, policy, faults, store, report, done,
+                )
+    except _Exhausted as exhausted:
+        if not policy.degrade:
+            raise exhausted.error from None
+        report.degraded = True
+        report.degraded_reason = exhausted.reason
+        _degraded_completion(
+            database, instructions, threshold, engine, keep_scores,
+            span, bounds, store, report, done,
+        )
+    report.chunks_completed = len(done)
+    report.elapsed_seconds = time.monotonic() - started
+
+    from repro.host.scan import _build_result
+
+    results: List[Any] = []
+    for chunk in range(len(bounds)):
+        for index, positions, hit_scores, scores, length in done[chunk]:
+            results.append(
+                _build_result(
+                    encoded, database.names[index], length, threshold,
+                    positions, hit_scores, scores,
+                )
+            )
+    return ScanOutcome(results=results, report=report)

@@ -23,9 +23,10 @@ parallel scan is a drop-in replacement for the serial ``search_database``.
 
 from __future__ import annotations
 
+import atexit
 import os
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -117,6 +118,53 @@ class PackedDatabase:
         start = int(self.byte_offsets[index])
         stop = int(self.byte_offsets[index + 1])
         return packing.unpack(self.buffer[start:stop], int(self.lengths[index]))
+
+
+# -- shared-memory lifecycle ---------------------------------------------------
+
+# Every segment this process created, by name.  ``publish_segment`` registers,
+# ``retire_segment`` releases; the ``atexit`` guard sweeps whatever survives an
+# exception or Ctrl-C mid-scan so a crashed scan can never leak ``/dev/shm``
+# segments.  (Worker processes only *attach*; they never own a registration.)
+_LIVE_SEGMENTS: Dict[str, object] = {}
+
+
+def _cleanup_segments() -> None:
+    for segment in list(_LIVE_SEGMENTS.values()):
+        retire_segment(segment)
+
+
+atexit.register(_cleanup_segments)
+
+
+def publish_segment(buffer: np.ndarray):
+    """Create a shared-memory segment holding ``buffer``; track it for cleanup.
+
+    The returned segment is registered so that even if the caller dies before
+    its ``finally`` runs, the :mod:`atexit` guard unlinks it.  Pair with
+    :func:`retire_segment` (idempotent) in a ``try/finally``.
+    """
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(create=True, size=max(1, buffer.size))
+    _LIVE_SEGMENTS[segment.name] = segment
+    np.frombuffer(segment.buf, dtype=np.uint8, count=buffer.size)[:] = buffer
+    return segment
+
+
+def retire_segment(segment) -> None:
+    """Close and unlink a published segment; safe to call more than once."""
+    if segment is None:
+        return
+    _LIVE_SEGMENTS.pop(segment.name, None)
+    try:
+        segment.close()
+    except (OSError, BufferError):
+        pass
+    try:
+        segment.unlink()
+    except (FileNotFoundError, OSError):
+        pass
 
 
 # -- worker side ---------------------------------------------------------------
@@ -215,6 +263,25 @@ def chunk_bounds(num_references: int, chunk_size: int) -> List[Tuple[int, int]]:
     ]
 
 
+def resolve_chunk_size(
+    num_references: int, num_workers: int, chunk_size: Optional[int]
+) -> int:
+    """The references-per-chunk actually used for a scan.
+
+    An explicit ``chunk_size`` wins; otherwise chunks are the default size,
+    shrunk so every worker gets at least one chunk.  Shared by the plain
+    scan, the supervised runtime, and the CLI (which needs the chunk count
+    up front to size fault plans and checkpoints).
+    """
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        return chunk_size
+    if num_references <= 0:
+        return DEFAULT_CHUNK_SIZE
+    return max(1, min(DEFAULT_CHUNK_SIZE, -(-num_references // max(1, num_workers))))
+
+
 def _build_result(
     encoded: EncodedQuery,
     name: str,
@@ -269,7 +336,12 @@ def scan_database(
     workers: Optional[int] = 1,
     chunk_size: Optional[int] = None,
     keep_scores: bool = False,
-) -> List[AlignmentResult]:
+    policy: object = None,
+    faults: object = None,
+    checkpoint_dir: object = None,
+    resume: bool = False,
+    with_report: bool = False,
+) -> Union[List[AlignmentResult], Tuple[List[AlignmentResult], object]]:
     """Scan one query over a database, optionally across worker processes.
 
     ``references`` is any iterable the aligner accepts (strings, sequence
@@ -277,6 +349,16 @@ def scan_database(
     :class:`PackedDatabase`.  Results come back in input order regardless
     of which worker finished first.  ``workers=None`` uses every CPU;
     ``workers <= 1`` or a small database scans serially in-process.
+
+    Robustness (see :mod:`repro.host.resilience` and
+    ``docs/robustness.md``): passing any of ``policy`` (a
+    :class:`~repro.host.resilience.RetryPolicy`), ``faults`` (a
+    :class:`~repro.host.faults.FaultPlan`), ``checkpoint_dir``, ``resume``
+    or ``with_report=True`` routes the scan through the supervised runtime
+    — per-chunk timeout/retry/backoff, dead-worker replacement, durable
+    checkpointing — which honours ``workers`` literally (no small-database
+    gate).  With ``with_report=True`` the return value is
+    ``(results, ScanReport)``.
     """
     encoded = query if isinstance(query, EncodedQuery) else encode_query(query)
     resolved = resolve_threshold(encoded, threshold, min_identity)
@@ -285,6 +367,32 @@ def scan_database(
         if isinstance(references, PackedDatabase)
         else PackedDatabase.from_references(references)  # type: ignore[arg-type]
     )
+    supervised = (
+        policy is not None
+        or faults is not None
+        or checkpoint_dir is not None
+        or resume
+        or with_report
+    )
+    if supervised:
+        from repro.host.resilience import supervised_scan
+
+        outcome = supervised_scan(
+            encoded,
+            database,
+            threshold=resolved,
+            engine=engine,
+            keep_scores=keep_scores,
+            workers=workers,
+            chunk_size=chunk_size,
+            policy=policy,  # type: ignore[arg-type]
+            faults=faults,  # type: ignore[arg-type]
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+        )
+        if with_report:
+            return outcome.results, outcome.report
+        return outcome.results
     num_workers = resolve_workers(workers)
     if (
         num_workers <= 1
@@ -292,9 +400,7 @@ def scan_database(
         or database.total_nucleotides < MIN_PARALLEL_NUCLEOTIDES
     ):
         return _serial_scan(encoded, database, resolved, engine, keep_scores)
-    size = chunk_size or min(
-        DEFAULT_CHUNK_SIZE, -(-database.num_references // num_workers)
-    )
+    size = resolve_chunk_size(database.num_references, num_workers, chunk_size)
     bounds = chunk_bounds(database.num_references, size)
     try:
         collected = _parallel_scan(
@@ -322,19 +428,13 @@ def _parallel_scan(
     bounds: Sequence[Tuple[int, int]],
 ) -> List[Tuple[int, np.ndarray, np.ndarray, Optional[np.ndarray], int]]:
     import multiprocessing
-    from multiprocessing import shared_memory
 
     try:
         context = multiprocessing.get_context("fork")
     except ValueError:
         context = multiprocessing.get_context()
-    segment = shared_memory.SharedMemory(
-        create=True, size=max(1, database.packed_bytes)
-    )
+    segment = publish_segment(database.buffer)
     try:
-        np.frombuffer(segment.buf, dtype=np.uint8, count=database.packed_bytes)[
-            :
-        ] = database.buffer
         init_args = (
             segment.name,
             database.packed_bytes,
@@ -352,9 +452,5 @@ def _parallel_scan(
         ) as pool:
             chunk_results = pool.map(_scan_chunk, list(bounds))
     finally:
-        segment.close()
-        try:
-            segment.unlink()
-        except FileNotFoundError:
-            pass
+        retire_segment(segment)
     return [record for chunk in chunk_results for record in chunk]

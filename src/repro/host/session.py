@@ -134,10 +134,19 @@ class FabPHost:
     def add_references(self, references: Sequence) -> List[DatabaseEntry]:
         return [self.add_reference(reference) for reference in references]
 
-    def load_fasta(self, path) -> int:
-        """Load every record of a FASTA file into the database."""
+    def load_fasta(self, path, *, on_error: Optional[str] = None, skipped=None) -> int:
+        """Load every record of a FASTA file into the database.
+
+        ``on_error`` follows :func:`repro.seq.fasta.read_rna`: ``None``
+        keeps the historical permissive behaviour, ``"raise"`` turns
+        malformed/empty/duplicate records into a typed
+        :class:`~repro.seq.fasta.FastaError`, ``"skip"`` quarantines them
+        (appending a :class:`~repro.seq.fasta.SkippedRecord` to
+        ``skipped`` when a list is provided) so one bad record cannot take
+        down a long scan.
+        """
         count = 0
-        for sequence in fasta.read_rna(path):
+        for sequence in fasta.read_rna(path, on_error=on_error, skipped=skipped):
             self.add_reference(sequence)
             count += 1
         return count
@@ -239,6 +248,11 @@ class FabPHost:
         workers: Optional[int] = 1,
         chunk_size: Optional[int] = None,
         keep_scores: bool = False,
+        policy=None,
+        faults=None,
+        checkpoint_dir=None,
+        resume: bool = False,
+        with_report: bool = False,
     ):
         """Software fast-path scan of the resident database (no cycle model).
 
@@ -247,6 +261,12 @@ class FabPHost:
         returns per-reference :class:`repro.core.aligner.AlignmentResult`
         objects in database order.  Use :meth:`search` when modeled kernel
         timing is needed; use this when only the hits are.
+
+        Passing ``policy`` (:class:`repro.host.resilience.RetryPolicy`),
+        ``faults``, ``checkpoint_dir``/``resume`` or ``with_report=True``
+        runs the scan under the supervised fault-tolerant runtime;
+        ``with_report=True`` returns ``(results, ScanReport)`` so callers
+        can inspect retries, timeouts and degradations.
         """
         if not self._entries:
             raise ValueError("the database is empty; add references first")
@@ -265,6 +285,11 @@ class FabPHost:
             workers=workers,
             chunk_size=chunk_size,
             keep_scores=keep_scores,
+            policy=policy,
+            faults=faults,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            with_report=with_report,
         )
 
     def search_many(

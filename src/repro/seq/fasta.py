@@ -1,22 +1,88 @@
-"""Minimal FASTA reader/writer.
+"""Minimal FASTA reader/writer with typed error handling.
 
 The paper's workloads come from NCBI FASTA dumps (nr.gz / nt.gz).  We cannot
 ship those, but the synthetic workload builders in :mod:`repro.workloads`
 round-trip through this module so examples and benches exercise the same
 ingestion path a real deployment would.
+
+Real dumps contain garbage — truncated records, duplicate accessions,
+empty sequences, stray bytes — and a multi-hour scan must not die on line
+40 million of its input.  Every reader therefore takes ``on_error``:
+
+* ``None`` (default) — historical permissive behaviour: records are
+  yielded as-is (including empty ones) and only structurally fatal input
+  (sequence data before any ``>`` header) raises.
+* ``"raise"`` — malformed, empty, or duplicate-name records raise a typed
+  :class:`FastaError` (a ``ValueError`` subclass) identifying the record
+  and line, instead of propagating a bare ``ValueError``/``KeyError``
+  from deeper layers into the scan.
+* ``"skip"`` — bad records are quarantined: parsing continues, and each
+  offender is appended to the caller-supplied ``skipped`` list as a
+  :class:`SkippedRecord` so the caller can report exactly what was
+  dropped.
 """
 
 from __future__ import annotations
 
 import gzip
 import io
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, List, Tuple, Union
+from typing import Iterable, Iterator, List, Optional, Set, Tuple, Union
 
-from repro.seq.sequence import DnaSequence, ProteinSequence, RnaSequence
+from repro.seq.sequence import (
+    DnaSequence,
+    ProteinSequence,
+    RnaSequence,
+    SequenceError,
+)
 
 Record = Tuple[str, str]
 PathLike = Union[str, Path]
+
+_ON_ERROR_MODES = (None, "raise", "skip")
+
+
+class FastaError(ValueError):
+    """A malformed FASTA record, with enough context to find it.
+
+    ``reason`` is a short machine-checkable tag (``"no-header"``,
+    ``"empty-header"``, ``"empty-sequence"``, ``"duplicate-name"``,
+    ``"bad-letters"``); ``header`` and ``line`` locate the offender.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "malformed",
+        header: str = "",
+        line: Optional[int] = None,
+    ):
+        self.reason = reason
+        self.header = header
+        self.line = line
+        super().__init__(message)
+
+
+@dataclass(frozen=True)
+class SkippedRecord:
+    """One quarantined record from an ``on_error="skip"`` read."""
+
+    header: str
+    reason: str
+    line: Optional[int] = None
+
+    def __str__(self) -> str:
+        where = f" (line {self.line})" if self.line is not None else ""
+        return f"{self.header or '<no header>'}{where}: {self.reason}"
+
+
+def _check_mode(on_error: Optional[str]) -> None:
+    if on_error not in _ON_ERROR_MODES:
+        raise ValueError(
+            f"on_error must be one of {_ON_ERROR_MODES}, got {on_error!r}"
+        )
 
 
 def _open_text(path: PathLike, mode: str):
@@ -26,39 +92,95 @@ def _open_text(path: PathLike, mode: str):
     return open(path, mode, encoding="ascii")
 
 
-def parse_fasta(stream: Union[io.TextIOBase, str]) -> Iterator[Record]:
+def parse_fasta(
+    stream: Union[io.TextIOBase, str],
+    *,
+    on_error: Optional[str] = None,
+    skipped: Optional[List[SkippedRecord]] = None,
+) -> Iterator[Record]:
     """Yield ``(header, sequence)`` records from FASTA text or a text stream.
 
-    Headers are returned without the leading ``>``.  Blank lines are ignored;
-    sequence lines are concatenated and upper-cased.  A record with an empty
-    sequence is still yielded (some NCBI dumps contain them) so callers can
-    decide how to treat it.
+    Headers are returned without the leading ``>``.  Blank lines are
+    ignored; sequence lines are concatenated and upper-cased.  With the
+    default ``on_error=None`` a record with an empty sequence is still
+    yielded (some NCBI dumps contain them) so callers can decide how to
+    treat it; ``"raise"``/``"skip"`` apply the full validation described
+    in the module docstring.
     """
+    _check_mode(on_error)
     if isinstance(stream, str):
         stream = io.StringIO(stream)
-    header = None
+    seen: Set[str] = set()
+
+    def problem(reason: str, message: str, header: str, line: int) -> bool:
+        """Handle one bad record; returns True when it should be skipped."""
+        if on_error == "skip":
+            if skipped is not None:
+                skipped.append(SkippedRecord(header, reason, line))
+            return True
+        raise FastaError(message, reason=reason, header=header, line=line)
+
+    def emit(header: str, sequence: str, line: int) -> Iterator[Record]:
+        if on_error is not None:
+            if not header:
+                if problem("empty-header", f"record at line {line} has an empty header",
+                           header, line):
+                    return
+            elif header in seen:
+                if problem("duplicate-name",
+                           f"duplicate record name {header!r} at line {line}",
+                           header, line):
+                    return
+            elif not sequence:
+                if problem("empty-sequence",
+                           f"record {header!r} (line {line}) has no sequence data",
+                           header, line):
+                    return
+        seen.add(header)
+        yield header, sequence
+
+    header: Optional[str] = None
+    header_line = 0
     chunks: List[str] = []
+    line_number = 0
     for raw_line in stream:
+        line_number += 1
         line = raw_line.strip()
         if not line:
             continue
         if line.startswith(">"):
             if header is not None:
-                yield header, "".join(chunks).upper()
+                yield from emit(header, "".join(chunks).upper(), header_line)
             header = line[1:].strip()
+            header_line = line_number
             chunks = []
         else:
             if header is None:
-                raise ValueError("FASTA data does not start with a '>' header")
+                if on_error == "skip":
+                    if skipped is not None:
+                        skipped.append(
+                            SkippedRecord("", "no-header", line_number)
+                        )
+                    continue
+                raise FastaError(
+                    "FASTA data does not start with a '>' header",
+                    reason="no-header",
+                    line=line_number,
+                )
             chunks.append(line)
     if header is not None:
-        yield header, "".join(chunks).upper()
+        yield from emit(header, "".join(chunks).upper(), header_line)
 
 
-def read_fasta(path: PathLike) -> List[Record]:
+def read_fasta(
+    path: PathLike,
+    *,
+    on_error: Optional[str] = None,
+    skipped: Optional[List[SkippedRecord]] = None,
+) -> List[Record]:
     """Read every record of a FASTA file into memory."""
     with _open_text(path, "r") as handle:
-        return list(parse_fasta(handle))
+        return list(parse_fasta(handle, on_error=on_error, skipped=skipped))
 
 
 def write_fasta(path: PathLike, records: Iterable[Record], width: int = 70) -> int:
@@ -92,18 +214,60 @@ def format_fasta(records: Iterable[Record], width: int = 70) -> str:
     return out.getvalue()
 
 
-def read_proteins(path: PathLike) -> List[ProteinSequence]:
-    """Read a FASTA file as protein sequences (validated)."""
-    return [ProteinSequence(seq, name=header) for header, seq in read_fasta(path)]
-
-
-def read_rna(path: PathLike) -> List[RnaSequence]:
-    """Read a FASTA file as RNA sequences; DNA letters are transcribed."""
-    records = read_fasta(path)
-    out: List[RnaSequence] = []
+def _coerce(
+    records: Iterable[Record],
+    build,
+    on_error: Optional[str],
+    skipped: Optional[List[SkippedRecord]],
+) -> list:
+    """Build sequence objects, mapping alphabet errors per ``on_error``."""
+    out = []
     for header, seq in records:
-        if "T" in seq and "U" not in seq:
-            out.append(DnaSequence(seq, name=header).to_rna())
-        else:
-            out.append(RnaSequence(seq, name=header))
+        try:
+            out.append(build(header, seq))
+        except SequenceError as exc:
+            if on_error == "skip":
+                if skipped is not None:
+                    skipped.append(SkippedRecord(header, "bad-letters"))
+                continue
+            if on_error == "raise":
+                raise FastaError(
+                    f"record {header!r}: {exc}",
+                    reason="bad-letters",
+                    header=header,
+                ) from exc
+            raise
     return out
+
+
+def read_proteins(
+    path: PathLike,
+    *,
+    on_error: Optional[str] = None,
+    skipped: Optional[List[SkippedRecord]] = None,
+) -> List[ProteinSequence]:
+    """Read a FASTA file as protein sequences (validated)."""
+    records = read_fasta(path, on_error=on_error, skipped=skipped)
+    return _coerce(
+        records,
+        lambda header, seq: ProteinSequence(seq, name=header),
+        on_error,
+        skipped,
+    )
+
+
+def read_rna(
+    path: PathLike,
+    *,
+    on_error: Optional[str] = None,
+    skipped: Optional[List[SkippedRecord]] = None,
+) -> List[RnaSequence]:
+    """Read a FASTA file as RNA sequences; DNA letters are transcribed."""
+    records = read_fasta(path, on_error=on_error, skipped=skipped)
+
+    def build(header: str, seq: str) -> RnaSequence:
+        if "T" in seq and "U" not in seq:
+            return DnaSequence(seq, name=header).to_rna()
+        return RnaSequence(seq, name=header)
+
+    return _coerce(records, build, on_error, skipped)

@@ -1,0 +1,370 @@
+"""Tests for the supervised fault-tolerant scan runtime.
+
+The acceptance bar (ISSUE): a scan running under a seeded FaultPlan with
+crashes, hangs and corrupt results must produce bit-identical output to a
+fault-free serial scan, and a checkpointed scan must resume to identical
+results without rescoring completed chunks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import encode_query
+from repro.host import scan as scan_mod
+from repro.host.errors import (
+    CheckpointMismatchError,
+    ChunkFailedError,
+    ScanError,
+)
+from repro.host.faults import ALWAYS, FaultKind, FaultPlan, FaultSpec
+from repro.host.resilience import (
+    RetryPolicy,
+    ScanReport,
+    check_chunk_payload,
+    corrupt_payload,
+    supervised_scan,
+)
+from repro.host.scan import PackedDatabase, scan_database
+
+THRESHOLD = 4
+
+#: A policy tuned for tests: fast backoff, short timeouts.
+FAST = RetryPolicy(max_retries=3, timeout=2.0, backoff=0.01, backoff_max=0.05, seed=1)
+
+
+@pytest.fixture(scope="module")
+def database():
+    rng = np.random.default_rng(0xFAB9)
+    refs = [
+        rng.integers(0, 4, size=n, dtype=np.uint8)
+        for n in (300, 500, 420, 380, 610, 290, 350, 470)
+    ]
+    return PackedDatabase.from_references(refs)
+
+
+@pytest.fixture(scope="module")
+def query():
+    return encode_query("MKV")
+
+
+@pytest.fixture(scope="module")
+def baseline(query, database):
+    """Fault-free serial results: the bit-identity oracle."""
+    return scan_database(query, database, threshold=THRESHOLD, workers=1)
+
+
+def assert_identical(results, baseline):
+    assert len(results) == len(baseline)
+    for ours, expected in zip(results, baseline):
+        assert ours.reference_name == expected.reference_name
+        assert ours.reference_length == expected.reference_length
+        assert ours.hits == expected.hits
+
+
+class TestSerialSupervised:
+    def test_bit_identical_without_faults(self, query, database, baseline):
+        out = supervised_scan(
+            query, database, threshold=THRESHOLD, engine="bitscore",
+            workers=1, chunk_size=2, policy=FAST,
+        )
+        assert_identical(out.results, baseline)
+        assert out.report.mode == "serial"
+        assert out.report.clean
+        assert out.report.exit_code() == 0
+        assert out.report.chunks_completed == out.report.chunks_total == 4
+
+    def test_recovers_from_raise_and_corrupt(self, query, database, baseline):
+        plan = FaultPlan.parse("0:raise,2:corrupt")
+        out = supervised_scan(
+            query, database, threshold=THRESHOLD, engine="bitscore",
+            workers=1, chunk_size=2, policy=FAST, faults=plan,
+        )
+        assert_identical(out.results, baseline)
+        assert out.report.clean
+        assert out.report.raised == 1
+        assert out.report.corrupt == 1
+        assert out.report.retries == 2
+
+    def test_keep_scores_round_trip(self, query, database):
+        expected = scan_database(
+            query, database, threshold=THRESHOLD, workers=1, keep_scores=True
+        )
+        out = supervised_scan(
+            query, database, threshold=THRESHOLD, engine="bitscore",
+            workers=1, chunk_size=3, policy=FAST, keep_scores=True,
+            faults=FaultPlan.parse("1:corrupt"),
+        )
+        assert_identical(out.results, expected)
+        for ours, reference in zip(out.results, expected):
+            np.testing.assert_array_equal(ours.scores, reference.scores)
+
+
+class TestParallelFaults:
+    """One test per injected fault kind, against real worker processes."""
+
+    def run(self, query, database, plan, policy=FAST, workers=3):
+        return supervised_scan(
+            query, database, threshold=THRESHOLD, engine="bitscore",
+            workers=workers, chunk_size=2, policy=policy, faults=plan,
+        )
+
+    def test_crash_is_retried(self, query, database, baseline):
+        out = self.run(query, database, FaultPlan.parse("1:crash"))
+        assert_identical(out.results, baseline)
+        assert out.report.mode == "parallel"
+        assert out.report.clean
+        assert out.report.crashes == 1
+        assert out.report.respawns >= 1
+
+    def test_hang_is_killed_and_retried(self, query, database, baseline):
+        policy = RetryPolicy(
+            max_retries=3, timeout=0.5, backoff=0.01, backoff_max=0.05, seed=1
+        )
+        out = self.run(query, database, FaultPlan.parse("2:hang"), policy=policy)
+        assert_identical(out.results, baseline)
+        assert out.report.clean
+        assert out.report.timeouts == 1
+
+    def test_raise_is_retried(self, query, database, baseline):
+        out = self.run(query, database, FaultPlan.parse("3:raise"))
+        assert_identical(out.results, baseline)
+        assert out.report.clean
+        assert out.report.raised == 1
+
+    def test_corrupt_is_detected_and_retried(self, query, database, baseline):
+        out = self.run(query, database, FaultPlan.parse("0:corrupt"))
+        assert_identical(out.results, baseline)
+        assert out.report.clean
+        assert out.report.corrupt == 1
+
+    def test_acceptance_mixed_faults_bit_identical(self, query, database, baseline):
+        """ISSUE acceptance: crash + hang + corrupt, bit-identical output."""
+        policy = RetryPolicy(
+            max_retries=3, timeout=0.5, backoff=0.01, backoff_max=0.05, seed=1
+        )
+        plan = FaultPlan.parse("0:crash,1:hang,3:corrupt")
+        out = self.run(query, database, plan, policy=policy)
+        assert_identical(out.results, baseline)
+        assert out.report.clean
+        assert out.report.crashes == 1
+        assert out.report.timeouts == 1
+        assert out.report.corrupt == 1
+
+    def test_hedged_straggler_finishes_early(self, query, database, baseline):
+        # Chunk 0 hangs; with hedging the drained pool re-dispatches it to a
+        # healthy worker long before the 10 s kill deadline.
+        policy = RetryPolicy(
+            max_retries=3, timeout=10.0, backoff=0.01, hedge_after=0.2, seed=1
+        )
+        out = self.run(query, database, FaultPlan.parse("0:hang"), policy=policy)
+        assert_identical(out.results, baseline)
+        assert out.report.clean
+        assert out.report.hedges >= 1
+        assert out.report.elapsed_seconds < 10.0
+
+
+class TestDegradation:
+    def test_permanent_crash_degrades_to_serial(self, query, database, baseline):
+        plan = FaultPlan(specs=(FaultSpec(1, FaultKind.CRASH, attempts=ALWAYS),))
+        policy = RetryPolicy(
+            max_retries=1, timeout=2.0, backoff=0.01, max_respawns=3, seed=1
+        )
+        out = supervised_scan(
+            query, database, threshold=THRESHOLD, engine="bitscore",
+            workers=3, chunk_size=2, policy=policy, faults=plan,
+        )
+        # Degraded, but still correct: the serial fallback runs faultless.
+        assert_identical(out.results, baseline)
+        assert out.report.degraded
+        assert out.report.degraded_reason
+        assert out.report.exit_code() == 3
+        assert out.report.chunks_degraded >= 1
+
+    def test_no_degrade_raises_scan_error(self, query, database):
+        plan = FaultPlan(specs=(FaultSpec(0, FaultKind.RAISE, attempts=ALWAYS),))
+        policy = RetryPolicy(max_retries=1, backoff=0.01, degrade=False, seed=1)
+        with pytest.raises(ChunkFailedError):
+            supervised_scan(
+                query, database, threshold=THRESHOLD, engine="bitscore",
+                workers=1, chunk_size=2, policy=policy, faults=plan,
+            )
+
+    def test_chunk_failed_error_is_a_scan_error(self):
+        assert issubclass(ChunkFailedError, ScanError)
+
+
+class TestCheckpointResume:
+    def test_resume_skips_completed_chunks(self, query, database, baseline, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        first = supervised_scan(
+            query, database, threshold=THRESHOLD, engine="bitscore",
+            workers=1, chunk_size=2, policy=FAST, checkpoint_dir=ckpt,
+        )
+        assert_identical(first.results, baseline)
+        assert sorted(p.name for p in ckpt.glob("chunk_*.npz")) == [
+            f"chunk_{i:06d}.npz" for i in range(4)
+        ]
+        # Resume under an everything-crashes plan: if any chunk were
+        # rescored the scan could not complete cleanly — so a clean,
+        # attempt-free run proves every chunk came from the checkpoint.
+        poison = FaultPlan(
+            specs=tuple(
+                FaultSpec(i, FaultKind.CRASH, attempts=ALWAYS) for i in range(4)
+            )
+        )
+        second = supervised_scan(
+            query, database, threshold=THRESHOLD, engine="bitscore",
+            workers=1, chunk_size=2, policy=FAST, faults=poison,
+            checkpoint_dir=ckpt, resume=True,
+        )
+        assert_identical(second.results, baseline)
+        assert second.report.clean
+        assert second.report.resumed
+        assert second.report.chunks_from_checkpoint == 4
+        assert second.report.attempts == []
+
+    def test_resume_refuses_different_scan(self, query, database, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        supervised_scan(
+            query, database, threshold=THRESHOLD, engine="bitscore",
+            workers=1, chunk_size=2, policy=FAST, checkpoint_dir=ckpt,
+        )
+        with pytest.raises(CheckpointMismatchError):
+            supervised_scan(
+                query, database, threshold=THRESHOLD + 1, engine="bitscore",
+                workers=1, chunk_size=2, policy=FAST,
+                checkpoint_dir=ckpt, resume=True,
+            )
+
+    def test_corrupted_checkpoint_chunk_is_rescanned(
+        self, query, database, baseline, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        supervised_scan(
+            query, database, threshold=THRESHOLD, engine="bitscore",
+            workers=1, chunk_size=2, policy=FAST, checkpoint_dir=ckpt,
+        )
+        # Truncate one chunk file as a kill-mid-write would.
+        victim = ckpt / "chunk_000002.npz"
+        victim.write_bytes(victim.read_bytes()[:16])
+        out = supervised_scan(
+            query, database, threshold=THRESHOLD, engine="bitscore",
+            workers=1, chunk_size=2, policy=FAST,
+            checkpoint_dir=ckpt, resume=True,
+        )
+        assert_identical(out.results, baseline)
+        assert out.report.chunks_from_checkpoint == 3
+        assert {a.chunk for a in out.report.attempts} == {2}
+
+
+class TestSharedMemoryLifecycle:
+    def test_no_segment_leaks_after_faulty_parallel_scans(self, query, database):
+        plan = FaultPlan.parse("0:crash,2:raise")
+        supervised_scan(
+            query, database, threshold=THRESHOLD, engine="bitscore",
+            workers=3, chunk_size=2, policy=FAST, faults=plan,
+        )
+        assert scan_mod._LIVE_SEGMENTS == {}
+
+    def test_no_segment_leaks_when_scan_raises(self, query, database):
+        plan = FaultPlan(specs=(FaultSpec(0, FaultKind.RAISE, attempts=ALWAYS),))
+        policy = RetryPolicy(max_retries=0, backoff=0.0, degrade=False, seed=1)
+        with pytest.raises(ScanError):
+            supervised_scan(
+                query, database, threshold=THRESHOLD, engine="bitscore",
+                workers=2, chunk_size=2, policy=policy, faults=plan,
+            )
+        assert scan_mod._LIVE_SEGMENTS == {}
+
+    def test_legacy_parallel_path_retires_segment(self, query, database, monkeypatch):
+        monkeypatch.setattr(scan_mod, "MIN_PARALLEL_NUCLEOTIDES", 0)
+        scan_database(query, database, threshold=THRESHOLD, workers=2)
+        assert scan_mod._LIVE_SEGMENTS == {}
+
+
+class TestSanityCheck:
+    def make_payload(self, query, database, start, stop, keep_scores=False):
+        from repro.host.resilience import _score_chunk_span
+
+        return _score_chunk_span(
+            database.buffer, database.lengths, database.byte_offsets,
+            query.as_array(), THRESHOLD, "bitscore", keep_scores, start, stop,
+        )
+
+    def test_honest_payload_passes(self, query, database):
+        payload = self.make_payload(query, database, 0, 2)
+        assert check_chunk_payload(
+            payload, 0, 2, database.lengths, THRESHOLD, len(query), False
+        ) is None
+
+    def test_corruption_is_always_detected(self, query, database):
+        for start, stop in ((0, 2), (2, 4), (4, 6), (6, 8)):
+            payload = corrupt_payload(
+                self.make_payload(query, database, start, stop), len(query)
+            )
+            reason = check_chunk_payload(
+                payload, start, stop, database.lengths, THRESHOLD, len(query), False
+            )
+            assert reason is not None
+
+    def test_wrong_record_count_detected(self, query, database):
+        payload = self.make_payload(query, database, 0, 2)[:1]
+        assert check_chunk_payload(
+            payload, 0, 2, database.lengths, THRESHOLD, len(query), False
+        ) is not None
+
+    def test_keep_scores_cross_check(self, query, database):
+        payload = self.make_payload(query, database, 0, 2, keep_scores=True)
+        assert check_chunk_payload(
+            payload, 0, 2, database.lengths, THRESHOLD, len(query), True
+        ) is None
+        index, positions, hit_scores, scores, length = payload[0]
+        tampered = [(index, positions, hit_scores + 1, scores, length)] + payload[1:]
+        if positions.size:
+            assert check_chunk_payload(
+                tampered, 0, 2, database.lengths, THRESHOLD, len(query), True
+            ) is not None
+
+
+class TestPolicyAndReport:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=-1.0)
+
+    def test_backoff_grows_and_caps(self):
+        import random
+
+        policy = RetryPolicy(backoff=0.1, backoff_max=0.4, jitter=0.0)
+        rng = random.Random(0)
+        delays = [policy.delay(n, rng) for n in (1, 2, 3, 4, 5)]
+        assert delays == [0.1, 0.2, 0.4, 0.4, 0.4]
+
+    def test_report_dict_schema(self, query, database):
+        out = supervised_scan(
+            query, database, threshold=THRESHOLD, engine="bitscore",
+            workers=1, chunk_size=2, policy=FAST,
+            faults=FaultPlan.parse("1:raise"),
+        )
+        payload = out.report.to_dict()
+        assert payload["version"] == ScanReport.VERSION
+        assert payload["clean"] is True
+        assert payload["mode"] == "serial"
+        assert payload["chunks"]["total"] == 4
+        assert payload["chunks"]["completed"] == 4
+        assert payload["counters"]["retries"] == 1
+        assert payload["counters"]["raises"] == 1
+        outcomes = [a["outcome"] for a in payload["chunk_attempts"]]
+        assert "raise" in outcomes and "ok" in outcomes
+
+    def test_scan_database_with_report(self, query, database, baseline):
+        results, report = scan_database(
+            query, database, threshold=THRESHOLD, workers=1,
+            policy=FAST, with_report=True,
+        )
+        assert_identical(results, baseline)
+        assert isinstance(report, ScanReport)
+        assert report.clean

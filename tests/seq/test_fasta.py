@@ -72,3 +72,104 @@ class TestRoundTrip:
         fasta.write_fasta(path, [("d", "ACGT"), ("r", "ACGU")])
         sequences = fasta.read_rna(path)
         assert [s.letters for s in sequences] == ["ACGU", "ACGU"]
+
+
+DIRTY = """>good
+ACGU
+>
+CCCC
+>dup
+GGGG
+>dup
+AAAA
+>empty
+>good2
+UUUU
+"""
+
+
+class TestErrorHandling:
+    """The ``on_error`` contract: None permissive, "raise" typed, "skip" quarantines."""
+
+    def test_default_stays_permissive(self):
+        # Historical behaviour: empties and duplicates pass through untouched.
+        records = list(fasta.parse_fasta(DIRTY))
+        assert len(records) == 6
+        assert ("empty", "") in records
+
+    def test_raise_mode_is_typed(self):
+        with pytest.raises(fasta.FastaError) as excinfo:
+            list(fasta.parse_fasta(DIRTY, on_error="raise"))
+        assert excinfo.value.reason == "empty-header"
+        assert excinfo.value.line == 3
+
+    def test_raise_mode_duplicate_name(self):
+        text = ">a\nAC\n>a\nGU\n"
+        with pytest.raises(fasta.FastaError) as excinfo:
+            list(fasta.parse_fasta(text, on_error="raise"))
+        assert excinfo.value.reason == "duplicate-name"
+        assert excinfo.value.header == "a"
+
+    def test_raise_mode_empty_sequence(self):
+        with pytest.raises(fasta.FastaError) as excinfo:
+            list(fasta.parse_fasta(">a\n>b\nAC\n", on_error="raise"))
+        assert excinfo.value.reason == "empty-sequence"
+
+    def test_no_header_error_is_fasta_error(self):
+        # The legacy ValueError contract still holds: FastaError subclasses it.
+        with pytest.raises(fasta.FastaError) as excinfo:
+            list(fasta.parse_fasta("ACGU\n", on_error="raise"))
+        assert excinfo.value.reason == "no-header"
+        assert isinstance(excinfo.value, ValueError)
+
+    def test_skip_mode_quarantines_and_reports(self):
+        skipped = []
+        records = list(fasta.parse_fasta(DIRTY, on_error="skip", skipped=skipped))
+        assert [h for h, _ in records] == ["good", "dup", "good2"]
+        reasons = {(s.header, s.reason) for s in skipped}
+        assert ("", "empty-header") in reasons
+        assert ("dup", "duplicate-name") in reasons
+        assert ("empty", "empty-sequence") in reasons
+        # Every skipped record localizes the offender.
+        assert all(s.line is not None for s in skipped)
+
+    def test_skip_mode_handles_headerless_prefix(self):
+        skipped = []
+        records = list(
+            fasta.parse_fasta("ACGU\n>ok\nGGGG\n", on_error="skip", skipped=skipped)
+        )
+        assert records == [("ok", "GGGG")]
+        assert skipped[0].reason == "no-header"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            list(fasta.parse_fasta(">a\nAC\n", on_error="explode"))
+
+    def test_read_rna_skip_quarantines_bad_letters(self, tmp_path):
+        path = tmp_path / "dirty.fasta"
+        path.write_text(">ok\nACGU\n>bad\nACGX\n>ok2\nGGGG\n")
+        skipped = []
+        sequences = fasta.read_rna(path, on_error="skip", skipped=skipped)
+        assert [s.name for s in sequences] == ["ok", "ok2"]
+        assert [(s.header, s.reason) for s in skipped] == [("bad", "bad-letters")]
+
+    def test_read_rna_raise_wraps_alphabet_errors(self, tmp_path):
+        path = tmp_path / "dirty.fasta"
+        path.write_text(">bad\nACGX\n")
+        with pytest.raises(fasta.FastaError) as excinfo:
+            fasta.read_rna(path, on_error="raise")
+        assert excinfo.value.reason == "bad-letters"
+        assert excinfo.value.header == "bad"
+
+    def test_read_proteins_skip(self, tmp_path):
+        path = tmp_path / "q.fasta"
+        path.write_text(">q1\nMFW\n>q2\nMF1\n")
+        skipped = []
+        proteins = fasta.read_proteins(path, on_error="skip", skipped=skipped)
+        assert [p.letters for p in proteins] == ["MFW"]
+        assert skipped[0].header == "q2"
+
+    def test_skipped_record_str(self):
+        record = fasta.SkippedRecord("acc123", "empty-sequence", 42)
+        assert "acc123" in str(record)
+        assert "42" in str(record)

@@ -273,7 +273,8 @@ class TestBench:
         assert payload["speedups"]["bitscore_vs_naive"] > 0
 
     def test_min_speedup_gate_failure(self, capsys):
-        # An impossible bar makes the gate trip: exit code 1.
+        # An impossible bar makes the gate trip: the bench still completed,
+        # so per the exit-code contract this is degradation (3), not fatal (1).
         code = main(
             [
                 "bench",
@@ -287,7 +288,7 @@ class TestBench:
                 "--min-speedup", "1e12",
             ]
         )
-        assert code == 1
+        assert code == 3
         assert "FAIL" in capsys.readouterr().out
 
     def test_quick_flag(self, tmp_path, capsys):
@@ -296,3 +297,120 @@ class TestBench:
         assert code == 0
         assert artifact.exists()
         assert "speedup gate" in capsys.readouterr().out
+
+
+class TestScan:
+    """The scan subcommand and its exit-code contract: 0/3/1."""
+
+    def scan(self, db, queries, *extra):
+        return main(
+            [
+                "scan",
+                "--query-file", str(queries),
+                "--database", str(db),
+                "--min-identity", "0.9",
+                "--workers", "1",
+                "--chunk-size", "1",
+                "--backoff", "0.01",
+                *extra,
+            ]
+        )
+
+    def test_clean_scan_exits_zero(self, synthetic_files, capsys):
+        db, queries = synthetic_files
+        assert self.scan(db, queries) == 0
+        out = capsys.readouterr().out
+        assert "[clean]" in out
+        assert "synthetic_ref_" in out
+
+    def test_recovered_faults_still_exit_zero(self, synthetic_files, capsys):
+        db, queries = synthetic_files
+        code = self.scan(db, queries, "--inject-faults", "0:raise,1:corrupt")
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[clean]" in out
+        assert "retries=2" in out
+
+    def test_degraded_scan_exits_three(self, synthetic_files, capsys):
+        db, queries = synthetic_files
+        code = self.scan(
+            db, queries, "--inject-faults", "0:raise:always", "--retries", "1"
+        )
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "DEGRADED" in out
+
+    def test_no_degrade_makes_exhaustion_fatal(self, synthetic_files, capsys):
+        db, queries = synthetic_files
+        code = self.scan(
+            db, queries,
+            "--inject-faults", "0:raise:always",
+            "--retries", "1",
+            "--no-degrade",
+        )
+        assert code == 1
+        assert "fatal:" in capsys.readouterr().err
+
+    def test_missing_database_is_fatal(self, synthetic_files, capsys):
+        _db, queries = synthetic_files
+        code = self.scan("/no/such/file.fasta", queries)
+        assert code == 1
+        assert "fatal:" in capsys.readouterr().err
+
+    def test_report_json_artifact(self, synthetic_files, tmp_path, capsys):
+        import json
+
+        db, queries = synthetic_files
+        artifact = tmp_path / "report.json"
+        code = self.scan(
+            db, queries,
+            "--inject-faults", "0:corrupt",
+            "--report-json", str(artifact),
+        )
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads(artifact.read_text())
+        assert payload["version"] == 1
+        assert payload["degraded"] is False
+        assert len(payload["queries"]) == 2
+        report = payload["queries"][0]["report"]
+        assert report["counters"]["corrupt"] == 1
+        assert report["clean"] is True
+
+    def test_checkpoint_then_resume(self, synthetic_files, tmp_path, capsys):
+        db, queries = synthetic_files
+        ckpt = tmp_path / "ckpt"
+        assert self.scan(db, queries, "--checkpoint", str(ckpt)) == 0
+        capsys.readouterr()
+        # Resume under an always-crashing plan: only checkpointed chunks
+        # can complete it cleanly, proving nothing was rescored.
+        code = self.scan(
+            db, queries,
+            "--checkpoint", str(ckpt),
+            "--resume",
+            "--inject-faults", "0:crash:always,1:crash:always",
+            "--retries", "0",
+        )
+        assert code == 0
+        assert "2 from checkpoint" in capsys.readouterr().out
+
+    def test_quarantined_records_are_reported(self, synthetic_files, capsys):
+        import pathlib
+
+        db, queries = synthetic_files
+        dirty = pathlib.Path(str(db) + ".dirty.fasta")
+        dirty.write_text(db.read_text() + ">\nACGT\n>trailing_empty\n")
+        code = self.scan(dirty, queries)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "quarantined 2 bad records" in out
+
+    def test_on_bad_record_raise_is_fatal(self, synthetic_files, capsys):
+        import pathlib
+
+        db, queries = synthetic_files
+        dirty = pathlib.Path(str(db) + ".dirty.fasta")
+        dirty.write_text(db.read_text() + ">\nACGT\n")
+        code = self.scan(dirty, queries, "--on-bad-record", "raise")
+        assert code == 1
+        assert "fatal:" in capsys.readouterr().err
