@@ -31,6 +31,7 @@ from repro.accel.scheduler import SchedulePlan, plan_schedule
 from repro.core import comparator as cmp
 from repro.core.aligner import Hit, resolve_threshold
 from repro.core.encoding import EncodedQuery, encode_query
+from repro.obs import profile as _obs_profile
 from repro.seq import packing
 from repro.seq.sequence import as_rna
 
@@ -182,7 +183,7 @@ class FabPKernel:
         load_cycles = -(-6 * hw_elements // self.device.axi_width_bits)
         records_per_beat = self.device.axi_width_bits // WRITEBACK_RECORD_BITS
         writeback_cycles = -(-len(hits) // records_per_beat) if hits else 0
-        return KernelRun(
+        run = KernelRun(
             query=self.query,
             plan=self.plan,
             threshold=self.threshold,
@@ -195,6 +196,8 @@ class FabPKernel:
             writeback_cycles=writeback_cycles,
             drain_cycles=self.plan.pipeline_latency,
         )
+        _obs_profile.record_kernel_run(run)
+        return run
 
     def run_stream(self, chunks) -> KernelRun:
         """Stream a reference supplied as an iterable of pieces.
@@ -253,7 +256,7 @@ class FabPKernel:
         beats = packing.beats_required(total) + -(-max(0, deficit) // per_beat)
         stall_cycles = max(0, int(np.ceil(beats / self.axi_efficiency)) - beats)
         records_per_beat = self.device.axi_width_bits // WRITEBACK_RECORD_BITS
-        return KernelRun(
+        run = KernelRun(
             query=self.query,
             plan=self.plan,
             threshold=self.threshold,
@@ -266,6 +269,8 @@ class FabPKernel:
             writeback_cycles=-(-len(hits) // records_per_beat) if hits else 0,
             drain_cycles=self.plan.pipeline_latency,
         )
+        _obs_profile.record_kernel_run(run)
+        return run
 
     # -- internals ------------------------------------------------------------
 

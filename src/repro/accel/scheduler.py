@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.accel.device import FpgaDevice, KINTEX7
+from repro.obs import profile as _obs_profile
 from repro.rtl.comparator import LUTS_PER_ELEMENT
 
 #: Routing / retiming overhead multiplier on datapath LUTs.  Real placement
@@ -140,6 +141,7 @@ def plan_schedule(query_elements: int, device: FpgaDevice = KINTEX7) -> Schedule
             # Stream-buffer and query storage FFs are global, not per segment.
             query_ffs = 6 * query_elements
             buffer_ffs = 2 * (query_elements + device.nucleotides_per_beat)
+            _obs_profile.record_schedule_plan(segments)
             return SchedulePlan(
                 device=device,
                 query_elements=query_elements,

@@ -17,6 +17,14 @@ Subcommands:
 * ``lint``      — static lint of generated netlists and instruction streams
 * ``prove``     — symbolic proofs: comparator/reference equivalence per
   amino acid, popcount score-range bounds, block equivalence
+* ``obs``       — observability utilities: ``obs summarize`` renders the
+  stage/engine breakdown of a ``--metrics-json``, ``--trace-json`` or
+  ``--report-json`` artifact
+
+``scan`` and ``bench`` accept ``--metrics-json PATH`` and ``--trace-json
+PATH``: either flag turns the :mod:`repro.obs` layer on for the run and
+writes the corresponding artifact (Prometheus-convention metrics as JSON;
+Chrome ``trace_event`` JSON openable in ``about:tracing`` / Perfetto).
 
 Exit codes: ``lint``/``prove`` follow the lint convention (0 clean, 1
 findings/refutations, 2 usage error).  ``scan`` and ``bench`` follow the
@@ -148,6 +156,32 @@ def cmd_search(args) -> int:
 SCAN_ENGINES = ("bitscore", "packed", "diagonal", "vectorized", "naive")
 
 
+def _obs_begin(args) -> bool:
+    """Enable observability when the command asked for an artifact."""
+    if not (getattr(args, "metrics_json", None) or getattr(args, "trace_json", None)):
+        return False
+    from repro import obs
+
+    obs.reset()
+    obs.enable()
+    return True
+
+
+def _obs_finish(args, active: bool) -> None:
+    """Write the requested artifacts and switch observability back off."""
+    if not active:
+        return
+    from repro import obs
+
+    try:
+        if args.metrics_json:
+            print(f"wrote {obs.write_metrics_json(args.metrics_json)}")
+        if args.trace_json:
+            print(f"wrote {obs.write_trace_json(args.trace_json)}")
+    finally:
+        obs.disable()
+
+
 def cmd_scan(args) -> int:
     """Supervised database scan; exit 0 clean / 3 degraded / 1 fatal."""
     import json
@@ -167,6 +201,7 @@ def cmd_scan(args) -> int:
     from repro.seq import fasta
 
     on_error = None if args.on_bad_record == "ignore" else args.on_bad_record
+    obs_active = _obs_begin(args)
     queries = _load_queries(args)
     payload: Dict[str, object] = {"version": 1, "queries": []}
     degraded_any = False
@@ -264,6 +299,7 @@ def cmd_scan(args) -> int:
             )
     except (ScanError, fasta.FastaError, OSError, ValueError) as exc:
         print(f"fatal: {exc}", file=sys.stderr)
+        _obs_finish(args, obs_active)
         return 1
     if rows:
         print()
@@ -274,6 +310,7 @@ def cmd_scan(args) -> int:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {path}")
+    _obs_finish(args, obs_active)
     return 3 if degraded_any else 0
 
 
@@ -473,18 +510,22 @@ def cmd_bench(args) -> int:
         run_score_benchmark,
     )
 
-    if args.quick:
-        report = quick_benchmark(seed=args.seed)
-    else:
-        report = run_score_benchmark(
-            residues=args.residues,
-            reference_length=args.reference_length,
-            scan_references=args.scan_references,
-            scan_reference_length=args.scan_reference_length,
-            workers_sweep=tuple(args.workers),
-            repeats=args.repeats,
-            seed=args.seed,
-        )
+    obs_active = _obs_begin(args)
+    try:
+        if args.quick:
+            report = quick_benchmark(seed=args.seed)
+        else:
+            report = run_score_benchmark(
+                residues=args.residues,
+                reference_length=args.reference_length,
+                scan_references=args.scan_references,
+                scan_reference_length=args.scan_reference_length,
+                workers_sweep=tuple(args.workers),
+                repeats=args.repeats,
+                seed=args.seed,
+            )
+    finally:
+        _obs_finish(args, obs_active)
     print(format_report(report))
     if args.out:
         path = report.write(args.out)
@@ -689,6 +730,28 @@ def cmd_prove(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_obs_summarize(args) -> int:
+    """Render the stage breakdown of an observability artifact."""
+    import json
+
+    from repro import obs
+
+    try:
+        kind, payload = obs.load_artifact(args.artifact)
+    except (OSError, ValueError) as exc:
+        print(f"fatal: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        if kind == "scan-report" and "queries" not in payload:
+            payload = obs.normalize_report_dict(payload)
+        print(json.dumps({"kind": kind, "artifact": payload}, indent=2))
+        return 0
+    print(f"{args.artifact}: {kind} artifact")
+    print()
+    print(obs.summarize(args.artifact, kind))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="FabP reproduction command-line interface"
@@ -698,6 +761,15 @@ def build_parser() -> argparse.ArgumentParser:
     def add_query_args(p):
         p.add_argument("--query", nargs="*", help="inline protein sequence(s)")
         p.add_argument("--query-file", help="protein FASTA file")
+
+    def add_obs_args(p):
+        p.add_argument("--metrics-json", metavar="PATH",
+                       help="enable observability and write the metrics "
+                       "registry here as JSON")
+        p.add_argument("--trace-json", metavar="PATH",
+                       help="enable observability and write the span "
+                       "timeline here as Chrome trace JSON "
+                       "(about:tracing / Perfetto)")
 
     p = sub.add_parser("encode", help="back-translate and encode queries")
     add_query_args(p)
@@ -774,6 +846,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-hang-seconds", type=float, default=3600.0,
                    help="how long an injected hang sleeps (serial mode "
                    "hangs are not supervised)")
+    add_obs_args(p)
     p.set_defaults(func=cmd_scan)
 
     p = sub.add_parser("generate", help="build a synthetic planted database")
@@ -849,7 +922,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-speedup", type=float, default=0.0,
                    help="exit 3 (completed-with-degradation) unless bitscore "
                    ">= this multiple of the naive path (CI regression gate)")
+    add_obs_args(p)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "obs",
+        help="observability utilities (see docs/observability.md)",
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    p = obs_sub.add_parser(
+        "summarize",
+        help="stage/engine breakdown of a metrics, trace or scan-report "
+        "artifact (kind auto-detected)",
+    )
+    p.add_argument("artifact", help="path to the JSON artifact")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.set_defaults(func=cmd_obs_summarize)
 
     p = sub.add_parser(
         "lint", help="static lint of generated netlists and instruction streams"

@@ -21,6 +21,7 @@ module on randomized inputs, so every representation agrees.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Iterable, Iterator, List, Optional, Tuple, Union
@@ -31,6 +32,8 @@ from repro.core import backtranslate as bt
 from repro.core import bitscore
 from repro.core import comparator as cmp
 from repro.core.encoding import EncodedQuery, encode_pattern, encode_query
+from repro.obs import profile as _obs_profile
+from repro.obs import state as _obs_state
 from repro.seq import packing
 from repro.seq.sequence import (
     DnaSequence,
@@ -192,7 +195,23 @@ def scores_from_codes(
 
     This is the single entry point every engine routes through —
     :mod:`repro.host.scan` workers call it directly on pre-packed codes.
+    With observability enabled (:mod:`repro.obs`) each dispatch records
+    its engine, wall time, and positions scored; disabled, the guard is a
+    single boolean check.
     """
+    if not _obs_state.enabled():
+        return _dispatch_scores(instructions, ref_codes, engine)
+    start = time.perf_counter()
+    scores = _dispatch_scores(instructions, ref_codes, engine)
+    _obs_profile.record_score_call(
+        engine, time.perf_counter() - start, int(scores.size)
+    )
+    return scores
+
+
+def _dispatch_scores(
+    instructions: np.ndarray, ref_codes: np.ndarray, engine: str
+) -> np.ndarray:
     if engine == "bitscore":
         return bitscore.scores(instructions, ref_codes)
     if engine == "packed":

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.host.errors import CheckpointError, CheckpointMismatchError
+from repro.obs import profile as _obs_profile
 
 #: Bump when the on-disk layout changes; old checkpoints are refused.
 SCHEMA_VERSION = 1
@@ -75,6 +76,9 @@ class CheckpointStore:
 
     def __init__(self, directory: Union[str, Path]):
         self.directory = Path(directory)
+        #: Volume written by this store instance (folded into ScanReport v2).
+        self.chunks_written = 0
+        self.bytes_written = 0
 
     # -- paths ----------------------------------------------------------------
 
@@ -160,7 +164,11 @@ class CheckpointStore:
         tmp = path.with_suffix(".npz.tmp")
         with open(tmp, "wb") as handle:
             np.savez(handle, **arrays)
+        num_bytes = tmp.stat().st_size
         os.replace(tmp, path)
+        self.chunks_written += 1
+        self.bytes_written += num_bytes
+        _obs_profile.record_checkpoint_chunk(num_bytes)
 
     def load_chunk(self, chunk: int) -> Optional[ChunkPayload]:
         """Load one chunk file; ``None`` if missing or unreadable."""

@@ -53,6 +53,7 @@ from repro.host.errors import (
     PoolUnhealthyError,
 )
 from repro.host.faults import FaultKind, FaultPlan
+from repro.obs import profile as _obs_profile
 
 __all__ = [
     "RetryPolicy",
@@ -136,11 +137,14 @@ class ChunkAttempt:
 
 @dataclass
 class ScanReport:
-    """Machine-readable account of a supervised scan (schema v1).
+    """Machine-readable account of a supervised scan (schema v2).
 
     Serialized by :meth:`to_dict` / written by ``fabp-repro scan
     --report-json``; the full schema is documented in
-    ``docs/robustness.md``.
+    ``docs/robustness.md`` and ``docs/observability.md``.  Schema v2 adds
+    the ``metrics`` section (stage wall-times, checkpoint volume, shared
+    memory footprint); v1 reports remain readable through
+    :func:`repro.obs.summary.normalize_report_dict`.
     """
 
     mode: str = "serial"  # serial | parallel
@@ -165,9 +169,12 @@ class ScanReport:
     checkpoint_dir: Optional[str] = None
     resumed: bool = False
     attempts: List[ChunkAttempt] = field(default_factory=list)
+    #: Profiling section (new in v2): ``stage_seconds``, ``checkpoint``
+    #: volume and ``shared_memory_bytes``, filled by :func:`supervised_scan`.
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     #: Report schema version (bump on breaking changes).
-    VERSION = 1
+    VERSION = 2
 
     @property
     def clean(self) -> bool:
@@ -190,6 +197,7 @@ class ScanReport:
         self.attempts.append(
             ChunkAttempt(chunk, attempt, outcome, seconds, worker, detail)
         )
+        _obs_profile.record_scan_attempt(chunk, attempt, outcome, seconds, worker)
         if outcome in ("timeout", "hang-timeout"):
             self.timeouts += 1
         elif outcome == "crash":
@@ -230,6 +238,7 @@ class ScanReport:
             "checkpoint_dir": self.checkpoint_dir,
             "resumed": self.resumed,
             "chunk_attempts": [a.to_dict() for a in self.attempts],
+            "metrics": self.metrics,
         }
 
     def summary(self) -> str:
@@ -955,76 +964,105 @@ def supervised_scan(
         threshold=threshold,
     )
 
+    stage_seconds: Dict[str, float] = {}
     store: Optional[CheckpointStore] = None
     done: Dict[int, ChunkPayload] = {}
     if checkpoint_dir is not None:
         store = CheckpointStore(checkpoint_dir)
         report.checkpoint_dir = str(store.directory)
         report.resumed = bool(resume)
-        fingerprint = scan_fingerprint(
-            database, instructions, threshold, engine, keep_scores, size
-        )
-        loaded = store.prepare(fingerprint, len(bounds), size, resume)
-        # Never trust disk blindly: a checkpoint chunk must pass the same
-        # sanity check a worker result does, or it gets rescanned.
-        for chunk, payload in loaded.items():
-            start, stop = bounds[chunk]
-            if (
-                check_chunk_payload(
-                    payload, start, stop, database.lengths,
-                    threshold, span, keep_scores,
-                )
-                is None
-            ):
-                done[chunk] = payload
+        with _obs_profile.stage(
+            "scan.checkpoint_load", category="scan"
+        ) as load_timer:
+            fingerprint = scan_fingerprint(
+                database, instructions, threshold, engine, keep_scores, size
+            )
+            loaded = store.prepare(fingerprint, len(bounds), size, resume)
+            # Never trust disk blindly: a checkpoint chunk must pass the same
+            # sanity check a worker result does, or it gets rescanned.
+            for chunk, payload in loaded.items():
+                start, stop = bounds[chunk]
+                if (
+                    check_chunk_payload(
+                        payload, start, stop, database.lengths,
+                        threshold, span, keep_scores,
+                    )
+                    is None
+                ):
+                    done[chunk] = payload
+        stage_seconds["checkpoint_load"] = load_timer.seconds
         report.chunks_from_checkpoint = len(done)
 
     started = time.monotonic()
+    execute_timer: Optional[_obs_profile.StageTimer] = None
     try:
         if len(done) < len(bounds):
-            if num_workers > 1:
-                report.mode = "parallel"
-                supervisor = _Supervisor(
-                    database, instructions, threshold, engine, keep_scores,
-                    span, num_workers, bounds, policy, faults, store, report, done,
-                )
-                try:
-                    supervisor.run()
-                except (ImportError, OSError, PermissionError):
-                    # Restricted environments (no /dev/shm, no fork): the
-                    # supervised serial path provides the same guarantees.
+            with _obs_profile.stage("scan.execute", category="scan") as timer:
+                execute_timer = timer
+                if num_workers > 1:
+                    report.mode = "parallel"
+                    supervisor = _Supervisor(
+                        database, instructions, threshold, engine, keep_scores,
+                        span, num_workers, bounds, policy, faults, store, report,
+                        done,
+                    )
+                    try:
+                        supervisor.run()
+                    except (ImportError, OSError, PermissionError):
+                        # Restricted environments (no /dev/shm, no fork): the
+                        # supervised serial path provides the same guarantees.
+                        report.mode = "serial"
+                        _serial_supervised(
+                            database, instructions, threshold, engine,
+                            keep_scores, span, bounds, policy, faults, store,
+                            report, done,
+                        )
+                else:
                     report.mode = "serial"
                     _serial_supervised(
                         database, instructions, threshold, engine, keep_scores,
                         span, bounds, policy, faults, store, report, done,
                     )
-            else:
-                report.mode = "serial"
-                _serial_supervised(
-                    database, instructions, threshold, engine, keep_scores,
-                    span, bounds, policy, faults, store, report, done,
-                )
     except _Exhausted as exhausted:
         if not policy.degrade:
             raise exhausted.error from None
         report.degraded = True
         report.degraded_reason = exhausted.reason
-        _degraded_completion(
-            database, instructions, threshold, engine, keep_scores,
-            span, bounds, store, report, done,
-        )
+        with _obs_profile.stage("scan.degraded", category="scan") as degraded_timer:
+            _degraded_completion(
+                database, instructions, threshold, engine, keep_scores,
+                span, bounds, store, report, done,
+            )
+        stage_seconds["degraded"] = degraded_timer.seconds
+    if execute_timer is not None:
+        stage_seconds["execute"] = execute_timer.seconds
     report.chunks_completed = len(done)
     report.elapsed_seconds = time.monotonic() - started
 
     from repro.host.scan import _build_result
 
     results: List[Any] = []
-    for chunk in range(len(bounds)):
-        for index, positions, hit_scores, scores, length in done[chunk]:
-            results.append(
-                _build_result(
-                    encoded, database.names[index], length, threshold,
-                    positions, hit_scores, scores,
+    with _obs_profile.stage("scan.merge", category="scan") as merge_timer:
+        for chunk in range(len(bounds)):
+            for index, positions, hit_scores, scores, length in done[chunk]:
+                results.append(
+                    _build_result(
+                        encoded, database.names[index], length, threshold,
+                        positions, hit_scores, scores,
+                    )
                 )
-            )
+    stage_seconds["merge"] = merge_timer.seconds
+    report.metrics["stage_seconds"] = {
+        name: round(seconds, 6) for name, seconds in stage_seconds.items()
+    }
+    if store is not None:
+        report.metrics["checkpoint"] = {
+            "chunks_written": store.chunks_written,
+            "bytes_written": store.bytes_written,
+        }
+    if report.mode == "parallel":
+        report.metrics["shared_memory_bytes"] = int(database.packed_bytes)
+    _obs_profile.record_scan_report_counters(
+        report.retries, report.hedges, report.respawns, report.degraded
+    )
     return ScanOutcome(results=results, report=report)

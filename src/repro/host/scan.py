@@ -41,6 +41,8 @@ from repro.core.aligner import (
     scores_from_codes,
 )
 from repro.core.encoding import EncodedQuery, encode_query
+from repro.obs import profile as _obs_profile
+from repro.obs import state as _obs_state
 from repro.seq import packing
 
 #: Default references per work item (small enough to load-balance, large
@@ -82,12 +84,13 @@ class PackedDatabase:
         resolved_names: List[str] = []
         lengths: List[int] = []
         chunks: List[np.ndarray] = []
-        for index, (codes, name) in enumerate(iter_reference_codes(references)):
-            if names is not None:
-                name = names[index]
-            resolved_names.append(name)
-            lengths.append(int(codes.size))
-            chunks.append(packing.pack(codes))
+        with _obs_profile.stage("scan.pack", category="scan"):
+            for index, (codes, name) in enumerate(iter_reference_codes(references)):
+                if names is not None:
+                    name = names[index]
+                resolved_names.append(name)
+                lengths.append(int(codes.size))
+                chunks.append(packing.pack(codes))
         byte_offsets = np.zeros(len(chunks) + 1, dtype=np.int64)
         if chunks:
             np.cumsum([c.size for c in chunks], out=byte_offsets[1:])
@@ -149,6 +152,7 @@ def publish_segment(buffer: np.ndarray):
     segment = shared_memory.SharedMemory(create=True, size=max(1, buffer.size))
     _LIVE_SEGMENTS[segment.name] = segment
     np.frombuffer(segment.buf, dtype=np.uint8, count=buffer.size)[:] = buffer
+    _obs_profile.record_shm_bytes(segment.size)
     return segment
 
 
@@ -399,23 +403,48 @@ def scan_database(
         or database.num_references <= 1
         or database.total_nucleotides < MIN_PARALLEL_NUCLEOTIDES
     ):
-        return _serial_scan(encoded, database, resolved, engine, keep_scores)
+        with _obs_profile.stage("scan.score", category="scan", mode="serial"):
+            results_serial = _serial_scan(
+                encoded, database, resolved, engine, keep_scores
+            )
+        _record_scan_totals(results_serial)
+        return results_serial
     size = resolve_chunk_size(database.num_references, num_workers, chunk_size)
     bounds = chunk_bounds(database.num_references, size)
     try:
-        collected = _parallel_scan(
-            encoded, database, resolved, engine, keep_scores, num_workers, bounds
-        )
+        with _obs_profile.stage(
+            "scan.score", category="scan", mode="parallel", workers=num_workers
+        ):
+            collected = _parallel_scan(
+                encoded, database, resolved, engine, keep_scores, num_workers, bounds
+            )
     except (ImportError, OSError, PermissionError):
         # Restricted environments (no /dev/shm, no fork) fall back cleanly.
-        return _serial_scan(encoded, database, resolved, engine, keep_scores)
+        with _obs_profile.stage("scan.score", category="scan", mode="serial"):
+            results_serial = _serial_scan(
+                encoded, database, resolved, engine, keep_scores
+            )
+        _record_scan_totals(results_serial)
+        return results_serial
     results: List[Optional[AlignmentResult]] = [None] * database.num_references
-    for index, positions, hit_scores, scores, length in collected:
-        results[index] = _build_result(
-            encoded, database.names[index], length, resolved,
-            positions, hit_scores, scores,
-        )
-    return [r for r in results if r is not None]
+    with _obs_profile.stage("scan.merge", category="scan"):
+        for index, positions, hit_scores, scores, length in collected:
+            results[index] = _build_result(
+                encoded, database.names[index], length, resolved,
+                positions, hit_scores, scores,
+            )
+    merged = [r for r in results if r is not None]
+    _record_scan_totals(merged)
+    return merged
+
+
+def _record_scan_totals(results: Sequence[AlignmentResult]) -> None:
+    """Feed post-merge reference/hit totals to the metrics registry."""
+    if not _obs_state.enabled():
+        return
+    _obs_profile.record_scan_merge(
+        len(results), sum(len(r.hits) for r in results)
+    )
 
 
 def _parallel_scan(

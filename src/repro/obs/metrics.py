@@ -1,0 +1,327 @@
+"""Process-local metrics registry: counters, gauges, log-bucket histograms.
+
+The registry is deliberately tiny and dependency-free — the point is that a
+long scan can account for where its time, retries, and bytes go without
+pulling a client library into the hot path.  Three metric kinds cover the
+paper's evaluation needs (§IV stage breakdowns):
+
+* :class:`Counter` — monotonically increasing totals (calls, retries, bytes);
+* :class:`Gauge` — last-value or high-water-mark samples (shared-memory
+  bytes, benchmark throughput);
+* :class:`Histogram` — value distributions over **fixed log-scale buckets**
+  (the 1-2-5 decade series, like Prometheus' defaults), so per-stage and
+  per-engine latencies aggregate without unbounded memory.
+
+Metric *families* are identified by name and declare their label names once;
+``family.labels(engine="bitscore")`` returns the child actually incremented.
+Two exporters serialize a whole registry: :func:`to_prometheus` (the
+Prometheus text exposition format) and :func:`to_json` (a stable
+schema-versioned payload ``fabp-repro obs summarize`` consumes).  Both are
+golden-file tested in ``tests/obs/test_metrics.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+#: JSON artifact schema version (bump on incompatible changes).
+JSON_SCHEMA_VERSION = 1
+
+#: Identifies a metrics artifact (``obs summarize`` sniffs this key).
+JSON_SCHEMA_NAME = "fabp-metrics"
+
+#: Fixed log-scale latency buckets: the 1-2-5 series over nine decades,
+#: 1 microsecond to 500 seconds.  Chosen once so every histogram in the
+#: process is cross-comparable and the export is deterministic.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = tuple(
+    mantissa * 10.0 ** exponent
+    for exponent in range(-6, 3)
+    for mantissa in (1.0, 2.0, 5.0)
+)
+
+LabelValues = Tuple[Tuple[str, str], ...]
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value: integers bare, floats via ``repr`` (exact)."""
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    """Deterministic bucket-bound label (``1e-06``, ``0.5``, ``+Inf``)."""
+    if bound == float("inf"):
+        return "+Inf"
+    return f"{bound:g}"
+
+
+def _label_suffix(labels: LabelValues, extra: str = "") -> str:
+    parts = [f'{key}="{value}"' for key, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value, optionally used as a high-water mark."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def track_max(self, value: float) -> None:
+        """Ratchet: keep the largest value ever seen (high-water mark)."""
+        if value > self.value:
+            self.value = float(value)
+
+
+class Histogram:
+    """Bucketed value distribution with running count and sum."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum")
+
+    def __init__(self, bounds: Tuple[float, ...] = DEFAULT_TIME_BUCKETS) -> None:
+        self.bounds = tuple(sorted(bounds))
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # +1 = overflow
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one sample (linear scan is fine: ~27 fixed buckets)."""
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """Prometheus-style cumulative ``(le, count)`` pairs, ending at +Inf."""
+        pairs: List[Tuple[str, int]] = []
+        running = 0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            running += bucket
+            pairs.append((_format_bound(bound), running))
+        pairs.append(("+Inf", self.count))
+        return pairs
+
+
+MetricChild = Union[Counter, Gauge, Histogram]
+
+
+class MetricFamily:
+    """All children of one metric name, keyed by label values."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        label_names: Tuple[str, ...],
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.label_names = label_names
+        self.buckets = buckets or DEFAULT_TIME_BUCKETS
+        self._children: Dict[LabelValues, MetricChild] = {}
+        self._lock = threading.Lock()
+
+    def labels(self, **labels: str) -> MetricChild:
+        """The child for these label values, created on first use."""
+        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+            raise ValueError(
+                f"metric {self.name!r} expects labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key: LabelValues = tuple((k, str(labels[k])) for k in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    if self.kind == "counter":
+                        child = Counter()
+                    elif self.kind == "gauge":
+                        child = Gauge()
+                    else:
+                        child = Histogram(self.buckets)
+                    self._children[key] = child
+        return child
+
+    @property
+    def default(self) -> MetricChild:
+        """The unlabeled child (only valid when the family has no labels)."""
+        return self.labels()
+
+    def samples(self) -> List[Tuple[LabelValues, MetricChild]]:
+        """Children in deterministic (sorted-label) order."""
+        return sorted(self._children.items(), key=lambda item: item[0])
+
+
+class MetricsRegistry:
+    """Every metric family of one process, in registration order."""
+
+    def __init__(self) -> None:
+        self._families: "Dict[str, MetricFamily]" = {}
+        self._lock = threading.Lock()
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        label_names: Iterable[str],
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            with self._lock:
+                family = self._families.get(name)
+                if family is None:
+                    family = MetricFamily(
+                        name, kind, help_text, tuple(label_names), buckets
+                    )
+                    self._families[name] = family
+        if family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as a {family.kind}"
+            )
+        return family
+
+    def counter(
+        self, name: str, help_text: str = "", label_names: Iterable[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, "counter", help_text, label_names)
+
+    def gauge(
+        self, name: str, help_text: str = "", label_names: Iterable[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, "gauge", help_text, label_names)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        label_names: Iterable[str] = (),
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> MetricFamily:
+        return self._family(name, "histogram", help_text, label_names, buckets)
+
+    def families(self) -> List[MetricFamily]:
+        """Families sorted by name (export order is deterministic)."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    def reset(self) -> None:
+        """Drop every family (tests and fresh CLI runs start clean)."""
+        with self._lock:
+            self._families.clear()
+
+
+#: The process-wide default registry every instrumentation hook writes to.
+REGISTRY = MetricsRegistry()
+
+
+# -- exporters -----------------------------------------------------------------
+
+
+def to_prometheus(registry: MetricsRegistry = REGISTRY) -> str:
+    """The Prometheus text exposition format (version 0.0.4)."""
+    lines: List[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, child in family.samples():
+            if isinstance(child, Histogram):
+                for le, running in child.cumulative():
+                    suffix = _label_suffix(labels, f'le="{le}"')
+                    lines.append(f"{family.name}_bucket{suffix} {running}")
+                suffix = _label_suffix(labels)
+                lines.append(f"{family.name}_sum{suffix} {_format_value(child.sum)}")
+                lines.append(f"{family.name}_count{suffix} {child.count}")
+            else:
+                suffix = _label_suffix(labels)
+                lines.append(f"{family.name}{suffix} {_format_value(child.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def to_json(registry: MetricsRegistry = REGISTRY) -> Dict[str, object]:
+    """A stable JSON payload (see :data:`JSON_SCHEMA_VERSION`)."""
+    metrics: List[Dict[str, object]] = []
+    for family in registry.families():
+        samples: List[Dict[str, object]] = []
+        for labels, child in family.samples():
+            sample: Dict[str, object] = {"labels": dict(labels)}
+            if isinstance(child, Histogram):
+                sample["count"] = child.count
+                sample["sum"] = child.sum
+                sample["buckets"] = {le: n for le, n in child.cumulative()}
+            else:
+                sample["value"] = child.value
+            samples.append(sample)
+        metrics.append(
+            {
+                "name": family.name,
+                "kind": family.kind,
+                "help": family.help,
+                "label_names": list(family.label_names),
+                "samples": samples,
+            }
+        )
+    return {
+        "schema": JSON_SCHEMA_NAME,
+        "version": JSON_SCHEMA_VERSION,
+        "metrics": metrics,
+    }
+
+
+def write_metrics_json(
+    path: Union[str, "pathlib.Path"], registry: MetricsRegistry = REGISTRY
+) -> pathlib.Path:
+    """Serialize the registry to ``path`` (parents created); return the path."""
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(to_json(registry), indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def write_prometheus(
+    path: Union[str, "pathlib.Path"], registry: MetricsRegistry = REGISTRY
+) -> pathlib.Path:
+    """Write the Prometheus text format to ``path``; return the path."""
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(to_prometheus(registry))
+    return out

@@ -1,0 +1,278 @@
+"""The instrumentation hook catalogue: every metric the codebase emits.
+
+Hot paths never talk to the registry directly — they call one of these
+helpers, each of which early-returns while observability is disabled
+(:mod:`repro.obs.state`), so the cost of an *off* hook is one function call
+and one branch.  Centralizing the hooks here keeps the metric namespace in
+one reviewable place; the catalogue is documented for users in
+``docs/observability.md``.
+
+Metric families (all prefixed ``fabp_``):
+
+======================================  =========  ==========================
+name                                    kind       labels
+======================================  =========  ==========================
+``fabp_score_calls_total``              counter    ``engine``
+``fabp_score_seconds``                  histogram  ``engine``
+``fabp_score_positions_total``          counter    ``engine``
+``fabp_stage_seconds``                  histogram  ``stage``
+``fabp_scan_references_total``          counter    —
+``fabp_scan_hits_total``                counter    —
+``fabp_scan_chunk_attempts_total``      counter    ``outcome``
+``fabp_chunk_attempt_seconds``          histogram  ``outcome``
+``fabp_scan_retries_total``             counter    —
+``fabp_scan_hedges_total``              counter    —
+``fabp_scan_respawns_total``            counter    —
+``fabp_scan_degraded_total``            counter    —
+``fabp_checkpoint_chunks_total``        counter    —
+``fabp_checkpoint_bytes_total``         counter    —
+``fabp_shm_bytes``                      gauge      — (high-water mark)
+``fabp_kernel_runs_total``              counter    ``device``
+``fabp_kernel_beats_total``             counter    ``device``
+``fabp_kernel_cycles_total``            counter    ``device``, ``kind``
+``fabp_schedule_plans_total``           counter    ``segments``
+``fabp_bench_positions_per_s``          gauge      ``engine``, ``workers``
+======================================  =========  ==========================
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+from repro.obs import state
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import RECORDER
+
+__all__ = [
+    "StageTimer",
+    "stage",
+    "record_score_call",
+    "record_scan_merge",
+    "record_scan_attempt",
+    "record_scan_report_counters",
+    "record_checkpoint_chunk",
+    "record_shm_bytes",
+    "record_kernel_run",
+    "record_schedule_plan",
+    "record_bench_record",
+]
+
+
+class StageTimer:
+    """Mutable elapsed-seconds holder :func:`stage` yields to its caller."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+
+
+@contextmanager
+def stage(
+    name: str, category: str = "stage", **args: Any
+) -> Iterator[StageTimer]:
+    """Time a named pipeline stage; emit a span and a histogram sample.
+
+    Always yields a :class:`StageTimer` whose ``seconds`` is valid after
+    exit (callers like the supervised runtime fold it into their own
+    reports even with observability off); the metric/span emission itself
+    is skipped while disabled.
+    """
+    timer = StageTimer()
+    start = time.perf_counter()
+    try:
+        yield timer
+    finally:
+        timer.seconds = time.perf_counter() - start
+        if state.enabled():
+            REGISTRY.histogram(
+                "fabp_stage_seconds",
+                "Wall time per pipeline stage.",
+                ("stage",),
+            ).labels(stage=name).observe(timer.seconds)
+            RECORDER.record(
+                name=name,
+                category=category,
+                start=start,
+                duration=timer.seconds,
+                args=dict(args) if args else None,
+            )
+
+
+def record_score_call(engine: str, seconds: float, positions: int) -> None:
+    """One ``scores_from_codes`` dispatch: engine, wall time, positions."""
+    if not state.enabled():
+        return
+    REGISTRY.counter(
+        "fabp_score_calls_total", "Scoring-engine dispatches.", ("engine",)
+    ).labels(engine=engine).inc()
+    REGISTRY.histogram(
+        "fabp_score_seconds", "Wall time per scoring call.", ("engine",)
+    ).labels(engine=engine).observe(seconds)
+    REGISTRY.counter(
+        "fabp_score_positions_total",
+        "Alignment positions scored.",
+        ("engine",),
+    ).labels(engine=engine).inc(positions)
+
+
+def record_scan_merge(references: int, hits: int) -> None:
+    """Post-merge totals of one database scan."""
+    if not state.enabled():
+        return
+    REGISTRY.counter(
+        "fabp_scan_references_total", "References scanned."
+    ).default.inc(references)
+    REGISTRY.counter("fabp_scan_hits_total", "Hits above threshold.").default.inc(
+        hits
+    )
+
+
+def record_scan_attempt(
+    chunk: int,
+    attempt: int,
+    outcome: str,
+    seconds: float,
+    worker: Optional[int] = None,
+) -> None:
+    """One supervised chunk attempt (also emits a timeline span)."""
+    if not state.enabled():
+        return
+    REGISTRY.counter(
+        "fabp_scan_chunk_attempts_total",
+        "Chunk attempts by outcome.",
+        ("outcome",),
+    ).labels(outcome=outcome).inc()
+    REGISTRY.histogram(
+        "fabp_chunk_attempt_seconds",
+        "Wall time per chunk attempt.",
+        ("outcome",),
+    ).labels(outcome=outcome).observe(seconds)
+    args: Dict[str, Any] = {"chunk": chunk, "attempt": attempt, "outcome": outcome}
+    if worker is not None:
+        args["worker"] = worker
+    RECORDER.record(
+        name=f"chunk {chunk}",
+        category="scan.chunk",
+        start=time.perf_counter() - seconds,
+        duration=seconds,
+        args=args,
+    )
+
+
+def record_scan_report_counters(
+    retries: int, hedges: int, respawns: int, degraded: bool
+) -> None:
+    """Fold one finished scan's resilience counters into the registry."""
+    if not state.enabled():
+        return
+    REGISTRY.counter("fabp_scan_retries_total", "Chunk retries.").default.inc(
+        retries
+    )
+    REGISTRY.counter(
+        "fabp_scan_hedges_total", "Hedged straggler re-dispatches."
+    ).default.inc(hedges)
+    REGISTRY.counter(
+        "fabp_scan_respawns_total", "Dead workers replaced."
+    ).default.inc(respawns)
+    if degraded:
+        REGISTRY.counter(
+            "fabp_scan_degraded_total", "Scans finished degraded."
+        ).default.inc()
+
+
+def record_checkpoint_chunk(num_bytes: int) -> None:
+    """One chunk file durably persisted by the checkpoint store."""
+    if not state.enabled():
+        return
+    REGISTRY.counter(
+        "fabp_checkpoint_chunks_total", "Checkpoint chunk files written."
+    ).default.inc()
+    REGISTRY.counter(
+        "fabp_checkpoint_bytes_total", "Checkpoint bytes written."
+    ).default.inc(num_bytes)
+
+
+def record_shm_bytes(num_bytes: int) -> None:
+    """Ratchet the shared-memory high-water mark gauge."""
+    if not state.enabled():
+        return
+    gauge = REGISTRY.gauge(
+        "fabp_shm_bytes", "Largest shared-memory segment published (bytes)."
+    ).default
+    gauge.track_max(num_bytes)  # type: ignore[union-attr]
+
+
+def record_kernel_run(run: Any) -> None:
+    """Beat/cycle accounting of one accelerator-model kernel invocation.
+
+    ``run`` is a :class:`repro.accel.kernel.KernelRun` (duck-typed: the
+    observability layer stays import-free of the accelerator stack).
+    """
+    if not state.enabled():
+        return
+    device = run.plan.device.name
+    REGISTRY.counter(
+        "fabp_kernel_runs_total", "Kernel invocations.", ("device",)
+    ).labels(device=device).inc()
+    REGISTRY.counter(
+        "fabp_kernel_beats_total", "Valid AXI beats streamed.", ("device",)
+    ).labels(device=device).inc(run.beats)
+    cycles = REGISTRY.counter(
+        "fabp_kernel_cycles_total",
+        "Modeled kernel cycles by kind.",
+        ("device", "kind"),
+    )
+    for kind, value in (
+        ("compute", run.compute_cycles),
+        ("stall", run.stall_cycles),
+        ("load", run.load_cycles),
+        ("writeback", run.writeback_cycles),
+        ("drain", run.drain_cycles),
+    ):
+        cycles.labels(device=device, kind=kind).inc(value)
+    RECORDER.record(
+        name="accel.kernel.run",
+        category="accel",
+        start=time.perf_counter() - run.elapsed_seconds,
+        duration=run.elapsed_seconds,
+        args={
+            "reference_length": run.reference_length,
+            "beats": run.beats,
+            "hits": len(run.hits),
+            "segments": run.plan.segments,
+        },
+    )
+
+
+def record_schedule_plan(segments: int) -> None:
+    """One segmentation decision by the scheduler."""
+    if not state.enabled():
+        return
+    REGISTRY.counter(
+        "fabp_schedule_plans_total",
+        "Schedule plans by segment count.",
+        ("segments",),
+    ).labels(segments=str(segments)).inc()
+
+
+def record_bench_record(
+    engine: str, workers: int, positions_per_s: float, wall_s: float
+) -> None:
+    """One benchmark measurement (gauge + span for the bench timeline)."""
+    if not state.enabled():
+        return
+    REGISTRY.gauge(
+        "fabp_bench_positions_per_s",
+        "Benchmark throughput (alignment positions/s).",
+        ("engine", "workers"),
+    ).labels(engine=engine, workers=str(workers)).set(positions_per_s)
+    RECORDER.record(
+        name=f"bench.{engine}",
+        category="bench",
+        start=time.perf_counter() - wall_s,
+        duration=wall_s,
+        args={"engine": engine, "workers": workers},
+    )

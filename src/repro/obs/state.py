@@ -1,0 +1,35 @@
+"""Global observability switch — the near-zero-cost no-op guard.
+
+Every instrumented hot path asks :func:`enabled` (one module-global read
+behind one function call) before touching a timer, a metric, or the trace
+recorder.  Observability is **off by default**: all existing callers run
+unmodified with no measurable overhead, and enabling it never changes any
+scan result (property-tested in ``tests/property/test_obs_properties.py``).
+
+``enable()``/``disable()`` flip the process-local switch; worker processes
+forked *after* ``enable()`` inherit it (their in-process metrics die with
+them — per-chunk accounting flows back through the supervisor's
+:class:`~repro.host.resilience.ScanReport` instead, which is why the
+supervised runtime records attempt timings on the parent side).
+"""
+
+from __future__ import annotations
+
+_enabled = False
+
+
+def enable() -> None:
+    """Turn observability on for this process."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn observability off (instrumented sites become no-ops again)."""
+    global _enabled
+    _enabled = False
+
+
+def enabled() -> bool:
+    """Whether instrumented sites should record anything."""
+    return _enabled

@@ -1,0 +1,244 @@
+"""Hierarchical span tracing with a ring buffer and Chrome trace export.
+
+:func:`trace` opens a *span* — a named, timed interval — usable as a
+context manager or a decorator.  Spans nest naturally (a scan span contains
+chunk spans contains engine spans); the per-thread span stack records each
+span's parent so exports can reconstruct the hierarchy even off-timeline.
+
+Completed spans land in a fixed-capacity **ring buffer**
+(:class:`TraceRecorder`): recording is O(1), memory is bounded no matter how
+long the scan runs, and the oldest spans are overwritten first (``dropped``
+counts them).  :meth:`TraceRecorder.to_chrome` serializes the buffer as
+Chrome ``trace_event`` JSON — complete (``"ph": "X"``) events with
+microsecond timestamps — so any scan can be opened in ``about:tracing`` or
+`Perfetto <https://ui.perfetto.dev>`_ for a flame-graph view of where the
+time went.  The format is golden-file tested in ``tests/obs/test_trace.py``.
+
+Everything here is a no-op while :func:`repro.obs.state.enabled` is false:
+``trace()`` still returns a working context manager, it just records
+nothing, so decorator use sites never need their own guards.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.obs import state
+
+#: Default ring-buffer capacity (spans); ~100 bytes/span resident.
+DEFAULT_CAPACITY = 65_536
+
+#: Identifies a trace artifact (``obs summarize`` sniffs ``traceEvents``).
+CHROME_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed interval, as stored in the ring buffer."""
+
+    name: str
+    category: str
+    #: Start time on the recorder's clock (``time.perf_counter`` seconds).
+    start: float
+    duration: float
+    thread_id: int
+    parent: Optional[str] = None
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Fixed-capacity ring buffer of completed spans."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, origin: Optional[float] = None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.origin = time.perf_counter() if origin is None else origin
+        self.dropped = 0
+        self._buffer: List[Optional[Span]] = [None] * capacity
+        self._next = 0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def record(
+        self,
+        name: str,
+        category: str,
+        start: float,
+        duration: float,
+        parent: Optional[str] = None,
+        args: Optional[Dict[str, Any]] = None,
+        thread_id: Optional[int] = None,
+    ) -> None:
+        """Append one span; overwrites the oldest once the buffer is full."""
+        span = Span(
+            name=name,
+            category=category,
+            start=start,
+            duration=duration,
+            thread_id=threading.get_ident() if thread_id is None else thread_id,
+            parent=parent,
+            args=args or {},
+        )
+        with self._lock:
+            if self._count == self.capacity:
+                self.dropped += 1
+            else:
+                self._count += 1
+            self._buffer[self._next] = span
+            self._next = (self._next + 1) % self.capacity
+
+    def spans(self) -> List[Span]:
+        """Retained spans, oldest first (ring order, then by start time)."""
+        with self._lock:
+            if self._count < self.capacity:
+                retained = [s for s in self._buffer[: self._count]]
+            else:
+                retained = self._buffer[self._next :] + self._buffer[: self._next]
+        return sorted(
+            (s for s in retained if s is not None), key=lambda s: (s.start, s.name)
+        )
+
+    def reset(self, origin: Optional[float] = None) -> None:
+        """Drop every span and restart the clock."""
+        with self._lock:
+            self._buffer = [None] * self.capacity
+            self._next = 0
+            self._count = 0
+            self.dropped = 0
+            self.origin = time.perf_counter() if origin is None else origin
+
+    def __len__(self) -> int:
+        return self._count
+
+    def to_chrome(self, pid: Optional[int] = None) -> Dict[str, Any]:
+        """The Chrome ``trace_event`` JSON object (complete events).
+
+        Timestamps (``ts``) and durations (``dur``) are microseconds from
+        the recorder's origin, per the trace-event spec; ``pid`` defaults
+        to the live process id (tests pin it for golden comparison).
+        """
+        process_id = os.getpid() if pid is None else pid
+        events: List[Dict[str, Any]] = []
+        tids: Dict[int, int] = {}
+        for span in self.spans():
+            # Stable small tids: Chrome renders one lane per (pid, tid).
+            tid = tids.setdefault(span.thread_id, len(tids) + 1)
+            args = dict(span.args)
+            if span.parent is not None:
+                args["parent"] = span.parent
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "X",
+                    "ts": (span.start - self.origin) * 1e6,
+                    "dur": span.duration * 1e6,
+                    "pid": process_id,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+        return {
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "generator": "repro.obs",
+                "schema_version": CHROME_SCHEMA_VERSION,
+                "dropped_spans": self.dropped,
+            },
+            "traceEvents": events,
+        }
+
+
+#: The process-wide default recorder every ``trace()`` span lands in.
+RECORDER = TraceRecorder()
+
+#: Per-thread stack of open span names (parent attribution).
+_stack = threading.local()
+
+
+def _span_stack() -> List[str]:
+    stack = getattr(_stack, "names", None)
+    if stack is None:
+        stack = []
+        _stack.names = stack
+    return stack
+
+
+def current_span() -> Optional[str]:
+    """Name of the innermost open span on this thread, if any."""
+    stack = _span_stack()
+    return stack[-1] if stack else None
+
+
+class trace:
+    """Span context manager / decorator: ``with trace("scan.merge"): ...``.
+
+    Keyword arguments become the span's ``args`` payload in the export.
+    Enablement is checked at *enter* time, so decorating a function with
+    ``@trace("name")`` is always safe — it records only while observability
+    is on.  Instances are reentrant (recursion keeps per-level start times).
+    """
+
+    __slots__ = ("name", "category", "args", "_starts")
+
+    def __init__(self, name: str, category: str = "app", **args: Any):
+        self.name = name
+        self.category = category
+        self.args = args
+        self._starts: List[Optional[Tuple[float, Optional[str]]]] = []
+
+    def __enter__(self) -> "trace":
+        if not state.enabled():
+            self._starts.append(None)
+            return self
+        stack = _span_stack()
+        self._starts.append((time.perf_counter(), stack[-1] if stack else None))
+        stack.append(self.name)
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        entry = self._starts.pop()
+        if entry is None:
+            return False
+        start, parent = entry
+        stack = _span_stack()
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        RECORDER.record(
+            name=self.name,
+            category=self.category,
+            start=start,
+            duration=time.perf_counter() - start,
+            parent=parent,
+            args=self.args,
+        )
+        return False
+
+    def __call__(self, fn):  # type: ignore[no-untyped-def]
+        import functools
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):  # type: ignore[no-untyped-def]
+            with self:
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+def write_trace_json(
+    path: Union[str, "pathlib.Path"],
+    recorder: TraceRecorder = RECORDER,
+    pid: Optional[int] = None,
+) -> pathlib.Path:
+    """Serialize the recorder to Chrome trace JSON at ``path``."""
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(recorder.to_chrome(pid=pid), indent=2) + "\n")
+    return out

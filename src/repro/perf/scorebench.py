@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core.aligner import DEFAULT_ENGINE, scores_from_codes
 from repro.core.encoding import EncodedQuery, encode_query
+from repro.obs import profile as _obs_profile
 from repro.seq.packing import codes_from_text
 
 #: Engines timed on the single-reference workload, in report order.
@@ -121,7 +122,7 @@ def _time_engine(
     instructions = encoded.as_array()
     num_positions = ref_codes.size - instructions.size + 1
     wall = _time(lambda: scores_from_codes(instructions, ref_codes, engine), repeats)
-    return BenchRecord(
+    record = BenchRecord(
         engine=engine,
         L_q=int(instructions.size),
         L_r=int(ref_codes.size),
@@ -130,6 +131,10 @@ def _time_engine(
         positions_per_s=num_positions / wall if wall > 0 else float("inf"),
         repeats=repeats,
     )
+    _obs_profile.record_bench_record(
+        engine, 1, record.positions_per_s, record.wall_s
+    )
+    return record
 
 
 def run_score_benchmark(
@@ -205,17 +210,20 @@ def run_score_benchmark(
             ),
             repeats,
         )
-        report.records.append(
-            BenchRecord(
-                engine="parallel-scan",
-                L_q=num_elements,
-                L_r=int(database.lengths.sum()),
-                n_refs=database.num_references,
-                wall_s=wall,
-                positions_per_s=scan_positions / wall if wall > 0 else float("inf"),
-                workers=workers,
-                repeats=repeats,
-            )
+        scan_record = BenchRecord(
+            engine="parallel-scan",
+            L_q=num_elements,
+            L_r=int(database.lengths.sum()),
+            n_refs=database.num_references,
+            wall_s=wall,
+            positions_per_s=scan_positions / wall if wall > 0 else float("inf"),
+            workers=workers,
+            repeats=repeats,
+        )
+        report.records.append(scan_record)
+        _obs_profile.record_bench_record(
+            "parallel-scan", workers, scan_record.positions_per_s,
+            scan_record.wall_s,
         )
 
     _derive_speedups(report)

@@ -1,0 +1,14 @@
+"""Shared fixture: every obs test starts and ends with the layer clean."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()

@@ -1,0 +1,159 @@
+"""Metrics registry unit tests + the Prometheus-text golden file.
+
+The golden test pins the exact exposition-format output byte for byte:
+any change to bucket labels, value rendering, or family ordering is a
+schema change and must be deliberate.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    to_json,
+    to_prometheus,
+    write_metrics_json,
+    write_prometheus,
+)
+
+
+def demo_registry():
+    """A small registry with one of each kind (binary-exact values)."""
+    reg = MetricsRegistry()
+    reg.gauge("fabp_demo_bytes", "Demo bytes.").default.set(7500)
+    hist = reg.histogram(
+        "fabp_demo_seconds", "Demo seconds.", ("stage",), buckets=(0.5, 1.0, 4.0)
+    )
+    child = hist.labels(stage="pack")
+    child.observe(0.25)
+    child.observe(0.5)
+    child.observe(8.0)  # overflow bucket
+    reg.counter("fabp_demo_total", "Demo events.", ("engine",)).labels(
+        engine="bitscore"
+    ).inc(3)
+    return reg
+
+
+GOLDEN_PROMETHEUS = """\
+# HELP fabp_demo_bytes Demo bytes.
+# TYPE fabp_demo_bytes gauge
+fabp_demo_bytes 7500
+# HELP fabp_demo_seconds Demo seconds.
+# TYPE fabp_demo_seconds histogram
+fabp_demo_seconds_bucket{stage="pack",le="0.5"} 2
+fabp_demo_seconds_bucket{stage="pack",le="1"} 2
+fabp_demo_seconds_bucket{stage="pack",le="4"} 2
+fabp_demo_seconds_bucket{stage="pack",le="+Inf"} 3
+fabp_demo_seconds_sum{stage="pack"} 8.75
+fabp_demo_seconds_count{stage="pack"} 3
+# HELP fabp_demo_total Demo events.
+# TYPE fabp_demo_total counter
+fabp_demo_total{engine="bitscore"} 3
+"""
+
+
+class TestPrometheusGolden:
+    def test_text_exposition_matches_golden(self):
+        assert to_prometheus(demo_registry()) == GOLDEN_PROMETHEUS
+
+    def test_write_prometheus_roundtrip(self, tmp_path):
+        out = write_prometheus(tmp_path / "m.prom", demo_registry())
+        assert out.read_text() == GOLDEN_PROMETHEUS
+
+    def test_default_buckets_render_scientific_bounds(self):
+        reg = MetricsRegistry()
+        reg.histogram("fabp_t_seconds").default.observe(3e-6)
+        text = to_prometheus(reg)
+        assert 'le="1e-06"' in text
+        assert 'le="500"' in text
+        assert 'le="+Inf"' in text
+
+
+class TestJsonExport:
+    def test_schema_envelope(self):
+        payload = to_json(demo_registry())
+        assert payload["schema"] == "fabp-metrics"
+        assert payload["version"] == 1
+        assert [m["name"] for m in payload["metrics"]] == [
+            "fabp_demo_bytes",
+            "fabp_demo_seconds",
+            "fabp_demo_total",
+        ]
+
+    def test_histogram_sample_shape(self):
+        payload = to_json(demo_registry())
+        (sample,) = [
+            m for m in payload["metrics"] if m["name"] == "fabp_demo_seconds"
+        ][0]["samples"]
+        assert sample["labels"] == {"stage": "pack"}
+        assert sample["count"] == 3
+        assert sample["sum"] == 8.75
+        assert sample["buckets"]["+Inf"] == 3
+        assert sample["buckets"]["0.5"] == 2
+
+    def test_write_metrics_json_is_stable(self, tmp_path):
+        out = write_metrics_json(tmp_path / "m.json", demo_registry())
+        text = out.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == to_json(demo_registry())
+
+
+class TestRegistrySemantics:
+    def test_counter_rejects_negative_increment(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="counters only go up"):
+            reg.counter("c_total").default.inc(-1)
+
+    def test_label_names_are_validated(self):
+        reg = MetricsRegistry()
+        family = reg.counter("c_total", label_names=("engine",))
+        with pytest.raises(ValueError, match="expects labels"):
+            family.labels(stage="pack")
+        with pytest.raises(ValueError, match="expects labels"):
+            family.default  # unlabeled child of a labeled family
+
+    def test_kind_conflict_is_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("fabp_x")
+        with pytest.raises(ValueError, match="already registered as a"):
+            reg.gauge("fabp_x")
+
+    def test_same_labels_share_one_child(self):
+        reg = MetricsRegistry()
+        family = reg.counter("c_total", label_names=("engine",))
+        family.labels(engine="naive").inc()
+        family.labels(engine="naive").inc()
+        assert family.labels(engine="naive").value == 2
+
+    def test_gauge_track_max_is_a_ratchet(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("g").default
+        gauge.track_max(100)
+        gauge.track_max(50)
+        assert gauge.value == 100
+
+    def test_reset_drops_everything(self):
+        reg = demo_registry()
+        reg.reset()
+        assert reg.families() == []
+        assert to_prometheus(reg) == "\n"
+
+
+class TestHistogramBuckets:
+    def test_default_bucket_series(self):
+        assert len(DEFAULT_TIME_BUCKETS) == 27
+        assert DEFAULT_TIME_BUCKETS[0] == 1e-6
+        assert DEFAULT_TIME_BUCKETS[-1] == 500.0
+        assert list(DEFAULT_TIME_BUCKETS) == sorted(DEFAULT_TIME_BUCKETS)
+
+    def test_cumulative_is_monotone_and_ends_at_count(self):
+        hist = Histogram(bounds=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.5, 3.0, 100.0):
+            hist.observe(value)
+        pairs = hist.cumulative()
+        counts = [count for _, count in pairs]
+        assert counts == sorted(counts)
+        assert pairs[-1] == ("+Inf", 4)

@@ -1,0 +1,153 @@
+"""Artifact sniffing, ScanReport v1->v2 normalization, summarize rendering."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, to_json
+from repro.obs.summary import (
+    SCAN_REPORT_VERSION,
+    load_artifact,
+    normalize_report_dict,
+    summarize,
+    summarize_metrics,
+    summarize_scan_report,
+    summarize_trace,
+)
+from repro.obs.trace import TraceRecorder
+
+
+def v1_report():
+    """A ScanReport dict as PR 4 wrote it: version 1, no metrics section."""
+    return {
+        "version": 1,
+        "mode": "serial",
+        "degraded": False,
+        "clean": True,
+        "elapsed_seconds": 1.5,
+        "chunks": {"total": 3, "completed": 3},
+        "counters": {"ok": 3},
+        "chunk_attempts": [
+            {"chunk": 0, "attempt": 1, "outcome": "ok", "seconds": 0.4},
+            {"chunk": 1, "attempt": 1, "outcome": "raise", "seconds": 0.1},
+            {"chunk": 1, "attempt": 2, "outcome": "ok", "seconds": 0.5},
+        ],
+    }
+
+
+def metrics_payload():
+    reg = MetricsRegistry()
+    stage = reg.histogram("fabp_stage_seconds", "Stage time.", ("stage",))
+    stage.labels(stage="scan.score").observe(0.75)
+    stage.labels(stage="scan.merge").observe(0.25)
+    engine = reg.histogram("fabp_score_seconds", "Engine time.", ("engine",))
+    engine.labels(engine="bitscore").observe(0.5)
+    reg.counter("fabp_scan_retries_total", "Retries.").default.inc(2)
+    return to_json(reg)
+
+
+class TestLoadArtifact:
+    def test_sniffs_metrics(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(metrics_payload()))
+        kind, payload = load_artifact(path)
+        assert kind == "metrics"
+        assert payload["schema"] == "fabp-metrics"
+
+    def test_sniffs_trace(self, tmp_path):
+        rec = TraceRecorder(origin=0.0)
+        rec.record("scan.score", "scan", start=1.0, duration=0.5, thread_id=1)
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(rec.to_chrome(pid=1)))
+        assert load_artifact(path)[0] == "trace"
+
+    def test_sniffs_bare_and_wrapped_scan_reports(self, tmp_path):
+        bare = tmp_path / "bare.json"
+        bare.write_text(json.dumps(v1_report()))
+        assert load_artifact(bare)[0] == "scan-report"
+        wrapped = tmp_path / "wrapped.json"
+        wrapped.write_text(
+            json.dumps({"version": 1, "queries": [{"query": "q", "report": v1_report()}]})
+        )
+        assert load_artifact(wrapped)[0] == "scan-report"
+
+    def test_rejects_unknown_payloads(self, tmp_path):
+        alien = tmp_path / "alien.json"
+        alien.write_text('{"hello": "world"}')
+        with pytest.raises(ValueError, match="unrecognized artifact"):
+            load_artifact(alien)
+        array = tmp_path / "array.json"
+        array.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="not a JSON object"):
+            load_artifact(array)
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_artifact(tmp_path / "nope.json")
+
+
+class TestNormalizeReportDict:
+    def test_v1_gains_empty_metrics_section(self):
+        original = v1_report()
+        normalized = normalize_report_dict(original)
+        assert normalized["version"] == SCAN_REPORT_VERSION
+        assert normalized["metrics"] == {}
+        assert original["version"] == 1  # input not mutated
+        assert "metrics" not in original
+
+    def test_missing_version_treated_as_v1(self):
+        report = v1_report()
+        del report["version"]
+        assert normalize_report_dict(report)["version"] == SCAN_REPORT_VERSION
+
+    def test_v2_metrics_pass_through(self):
+        report = v1_report()
+        report["version"] = 2
+        report["metrics"] = {"stage_seconds": {"execute": 1.0}}
+        normalized = normalize_report_dict(report)
+        assert normalized["metrics"] == {"stage_seconds": {"execute": 1.0}}
+
+    def test_newer_schema_is_refused(self):
+        report = v1_report()
+        report["version"] = SCAN_REPORT_VERSION + 1
+        with pytest.raises(ValueError, match="newer than supported"):
+            normalize_report_dict(report)
+
+
+class TestSummarizeRendering:
+    def test_metrics_tables(self):
+        text = summarize_metrics(metrics_payload())
+        assert "Stage breakdown (fabp_stage_seconds)" in text
+        assert "scan.score" in text and "75.0%" in text
+        assert "Scoring engines (fabp_score_seconds)" in text
+        assert "fabp_scan_retries_total" in text
+
+    def test_empty_metrics_hint(self):
+        empty = to_json(MetricsRegistry())
+        assert "was observability enabled?" in summarize_metrics(empty)
+
+    def test_trace_table_and_dropped_note(self):
+        rec = TraceRecorder(origin=0.0)
+        rec.record("scan.score", "scan", start=1.0, duration=0.5, thread_id=1)
+        payload = rec.to_chrome(pid=1)
+        text = summarize_trace(payload)
+        assert "Span breakdown (traceEvents)" in text
+        assert "scan.score" in text
+        assert "dropped" not in text
+        payload["otherData"]["dropped_spans"] = 5
+        assert "5 spans dropped" in summarize_trace(payload)
+
+    def test_scan_report_outcomes_and_stages(self):
+        report = v1_report()
+        report["version"] = 2
+        report["metrics"] = {"stage_seconds": {"execute": 1.4, "merge": 0.1}}
+        text = summarize_scan_report(report)
+        assert "3/3 chunks [clean] mode=serial" in text
+        assert "(schema v2)" in text
+        assert "attempt:ok" in text and "attempt:raise" in text
+        assert "stage:execute" in text
+
+    def test_summarize_autodetects_kind(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(metrics_payload()))
+        assert "Stage breakdown" in summarize(path)

@@ -1,0 +1,203 @@
+"""Span tracing tests + the Chrome trace_event golden file.
+
+The recorder origin, span start times, and pid are pinned to binary-exact
+values so the golden comparison is byte-deterministic across machines.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import state
+from repro.obs.trace import (
+    RECORDER,
+    TraceRecorder,
+    current_span,
+    trace,
+    write_trace_json,
+)
+
+
+def demo_recorder():
+    rec = TraceRecorder(capacity=8, origin=0.0)
+    rec.record("scan.execute", "scan", start=0.25, duration=0.125, thread_id=111)
+    rec.record(
+        "chunk 0",
+        "scan.chunk",
+        start=0.5,
+        duration=0.0625,
+        parent="scan.execute",
+        args={"chunk": 0},
+        thread_id=222,
+    )
+    return rec
+
+
+GOLDEN_CHROME = {
+    "displayTimeUnit": "ms",
+    "otherData": {
+        "generator": "repro.obs",
+        "schema_version": 1,
+        "dropped_spans": 0,
+    },
+    "traceEvents": [
+        {
+            "name": "scan.execute",
+            "cat": "scan",
+            "ph": "X",
+            "ts": 250000.0,
+            "dur": 125000.0,
+            "pid": 42,
+            "tid": 1,
+            "args": {},
+        },
+        {
+            "name": "chunk 0",
+            "cat": "scan.chunk",
+            "ph": "X",
+            "ts": 500000.0,
+            "dur": 62500.0,
+            "pid": 42,
+            "tid": 2,
+            "args": {"chunk": 0, "parent": "scan.execute"},
+        },
+    ],
+}
+
+
+class TestChromeGolden:
+    def test_to_chrome_matches_golden(self):
+        assert demo_recorder().to_chrome(pid=42) == GOLDEN_CHROME
+
+    def test_write_trace_json_roundtrip(self, tmp_path):
+        out = write_trace_json(tmp_path / "t.json", demo_recorder(), pid=42)
+        text = out.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == GOLDEN_CHROME
+
+    def test_thread_ids_remap_to_stable_small_integers(self):
+        rec = TraceRecorder(origin=0.0)
+        rec.record("a", "t", start=1.0, duration=0.5, thread_id=987654)
+        rec.record("b", "t", start=2.0, duration=0.5, thread_id=12)
+        rec.record("c", "t", start=3.0, duration=0.5, thread_id=987654)
+        tids = [e["tid"] for e in rec.to_chrome(pid=1)["traceEvents"]]
+        assert tids == [1, 2, 1]  # first thread seen = lane 1
+
+
+class TestRingBuffer:
+    def test_overflow_drops_oldest_and_counts(self):
+        rec = TraceRecorder(capacity=2, origin=0.0)
+        for i in range(5):
+            rec.record(f"s{i}", "t", start=float(i), duration=0.1, thread_id=1)
+        assert len(rec) == 2
+        assert rec.dropped == 3
+        assert [s.name for s in rec.spans()] == ["s3", "s4"]
+        other = rec.to_chrome(pid=1)["otherData"]
+        assert other["dropped_spans"] == 3
+
+    def test_equal_starts_sort_by_name(self):
+        rec = TraceRecorder(origin=0.0)
+        rec.record("zeta", "t", start=1.0, duration=0.1, thread_id=1)
+        rec.record("alpha", "t", start=1.0, duration=0.1, thread_id=1)
+        assert [s.name for s in rec.spans()] == ["alpha", "zeta"]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TraceRecorder(capacity=0)
+
+    def test_reset_restores_empty_state(self):
+        rec = demo_recorder()
+        rec.reset(origin=0.0)
+        assert len(rec) == 0
+        assert rec.dropped == 0
+        assert rec.spans() == []
+
+
+class TestTraceContextManager:
+    def test_disabled_records_nothing(self):
+        with trace("quiet"):
+            pass
+        assert len(RECORDER) == 0
+
+    def test_enablement_is_checked_at_enter(self):
+        span = trace("late")
+        with span:
+            state.enable()  # too late: the span already opted out
+        assert len(RECORDER) == 0
+
+    def test_parent_attribution_via_thread_stack(self):
+        state.enable()
+        with trace("outer", category="t"):
+            assert current_span() == "outer"
+            with trace("inner", category="t"):
+                assert current_span() == "inner"
+        assert current_span() is None
+        spans = {s.name: s for s in RECORDER.spans()}
+        assert spans["outer"].parent is None
+        assert spans["inner"].parent == "outer"
+
+    def test_span_recorded_even_when_body_raises(self):
+        state.enable()
+        with pytest.raises(RuntimeError):
+            with trace("doomed"):
+                raise RuntimeError("boom")
+        assert [s.name for s in RECORDER.spans()] == ["doomed"]
+        assert current_span() is None  # stack unwound
+
+    def test_kwargs_become_span_args(self):
+        state.enable()
+        with trace("tagged", category="t", items=42):
+            pass
+        (span,) = RECORDER.spans()
+        assert span.args == {"items": 42}
+        assert span.category == "t"
+
+    def test_threads_get_independent_parent_stacks(self):
+        state.enable()
+        seen = {}
+
+        def worker():
+            seen["before"] = current_span()
+            with trace("thread.span"):
+                seen["inside"] = current_span()
+
+        with trace("main.span"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen == {"before": None, "inside": "thread.span"}
+        spans = {s.name: s for s in RECORDER.spans()}
+        assert spans["thread.span"].parent is None  # not main.span
+
+
+class TestTraceDecorator:
+    def test_decorator_records_per_call(self):
+        @trace("fn.span", category="test")
+        def double(x):
+            return 2 * x
+
+        state.enable()
+        assert double(3) == 6
+        assert double(4) == 8
+        assert [s.name for s in RECORDER.spans()] == ["fn.span", "fn.span"]
+
+    def test_decorator_is_reentrant(self):
+        @trace("fact")
+        def fact(n):
+            return 1 if n <= 1 else n * fact(n - 1)
+
+        state.enable()
+        assert fact(3) == 6
+        spans = RECORDER.spans()
+        assert len(spans) == 3
+        # Inner recursion levels report the same name as their parent.
+        assert {s.parent for s in spans} == {None, "fact"}
+
+    def test_decorator_noop_when_disabled(self):
+        @trace("fn.span")
+        def double(x):
+            return 2 * x
+
+        assert double(5) == 10
+        assert len(RECORDER) == 0

@@ -414,3 +414,146 @@ class TestScan:
         code = self.scan(dirty, queries, "--on-bad-record", "raise")
         assert code == 1
         assert "fatal:" in capsys.readouterr().err
+
+
+class TestObsCli:
+    """--metrics-json/--trace-json and the obs summarize subcommand."""
+
+    def scan(self, db, queries, *extra):
+        return main(
+            [
+                "scan",
+                "--query-file", str(queries),
+                "--database", str(db),
+                "--min-identity", "0.9",
+                "--workers", "1",
+                "--chunk-size", "1",
+                *extra,
+            ]
+        )
+
+    def test_scan_writes_metrics_and_trace(self, synthetic_files, tmp_path, capsys):
+        import json
+
+        from repro import obs
+
+        db, queries = synthetic_files
+        metrics = tmp_path / "metrics.json"
+        trace = tmp_path / "trace.json"
+        code = self.scan(
+            db, queries, "--metrics-json", str(metrics), "--trace-json", str(trace)
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"wrote {metrics}" in out
+        assert f"wrote {trace}" in out
+        payload = json.loads(metrics.read_text())
+        assert payload["schema"] == "fabp-metrics"
+        names = {m["name"] for m in payload["metrics"]}
+        assert "fabp_stage_seconds" in names
+        doc = json.loads(trace.read_text())
+        assert doc["otherData"]["generator"] == "repro.obs"
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+        # The CLI run must leave the layer off for the rest of the process.
+        assert not obs.enabled()
+
+    def test_scan_without_flags_leaves_obs_off(self, synthetic_files, capsys):
+        from repro import obs
+
+        db, queries = synthetic_files
+        obs.reset()
+        assert self.scan(db, queries) == 0
+        capsys.readouterr()
+        assert not obs.enabled()
+        assert obs.REGISTRY.families() == []
+
+    def test_report_json_reports_are_schema_v2(self, synthetic_files, tmp_path, capsys):
+        import json
+
+        db, queries = synthetic_files
+        artifact = tmp_path / "report.json"
+        assert self.scan(db, queries, "--report-json", str(artifact)) == 0
+        capsys.readouterr()
+        payload = json.loads(artifact.read_text())
+        report = payload["queries"][0]["report"]
+        assert report["version"] == 2
+        assert "execute" in report["metrics"]["stage_seconds"]
+
+    def test_bench_writes_metrics(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "bench_metrics.json"
+        code = main(
+            [
+                "bench",
+                "--residues", "8",
+                "--reference-length", "8000",
+                "--scan-references", "2",
+                "--scan-reference-length", "4000",
+                "--workers", "1",
+                "--repeats", "1",
+                "--out", "",
+                "--metrics-json", str(metrics),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        names = {m["name"] for m in json.loads(metrics.read_text())["metrics"]}
+        assert "fabp_bench_positions_per_s" in names
+        assert "fabp_score_seconds" in names
+
+    def test_summarize_each_artifact_kind(self, synthetic_files, tmp_path, capsys):
+        db, queries = synthetic_files
+        metrics = tmp_path / "metrics.json"
+        trace = tmp_path / "trace.json"
+        report = tmp_path / "report.json"
+        code = self.scan(
+            db, queries,
+            "--metrics-json", str(metrics),
+            "--trace-json", str(trace),
+            "--report-json", str(report),
+        )
+        assert code == 0
+        capsys.readouterr()
+
+        assert main(["obs", "summarize", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics artifact" in out
+        assert "Stage breakdown (fabp_stage_seconds)" in out
+
+        assert main(["obs", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "trace artifact" in out
+        assert "Span breakdown (traceEvents)" in out
+
+        assert main(["obs", "summarize", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "scan-report artifact" in out
+        assert "attempt:ok" in out
+
+    def test_summarize_json_format(self, synthetic_files, tmp_path, capsys):
+        import json
+
+        db, queries = synthetic_files
+        metrics = tmp_path / "metrics.json"
+        assert self.scan(db, queries, "--metrics-json", str(metrics)) == 0
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(metrics), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "metrics"
+        assert payload["artifact"]["schema"] == "fabp-metrics"
+
+    def test_summarize_missing_file_is_fatal(self, capsys):
+        assert main(["obs", "summarize", "/no/such/artifact.json"]) == 1
+        assert "fatal:" in capsys.readouterr().err
+
+    def test_summarize_unknown_payload_is_fatal(self, tmp_path, capsys):
+        alien = tmp_path / "alien.json"
+        alien.write_text('{"hello": "world"}')
+        assert main(["obs", "summarize", str(alien)]) == 1
+        assert "fatal:" in capsys.readouterr().err
+
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["obs"])
+        assert excinfo.value.code == 2

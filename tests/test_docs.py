@@ -1,0 +1,65 @@
+"""The documentation stays consistent: nav complete, links resolve.
+
+Runs ``tools/check_docs.py`` (the dependency-free checker CI pairs with
+the mkdocs build) inside the regular suite, so a broken intra-repo link
+or an orphaned docs page fails ``pytest`` locally — not just in CI.
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+CHECKER = REPO / "tools" / "check_docs.py"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_docs", CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_are_clean():
+    result = subprocess.run(
+        [sys.executable, str(CHECKER)], capture_output=True, text=True
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_nav_covers_every_docs_page():
+    checker = _load_checker()
+    nav = checker.nav_pages(REPO / "mkdocs.yml")
+    pages = {p.name for p in (REPO / "docs").glob("*.md")}
+    assert pages == set(nav) & pages  # no orphans
+    assert set(nav) <= pages  # no dangling nav entries
+
+
+def test_checker_flags_broken_link(tmp_path):
+    checker = _load_checker()
+    page = tmp_path / "page.md"
+    page.write_text("see [missing](nope.md) and [bad](index.md#no-such)\n")
+    (tmp_path / "index.md").write_text("# Title\n")
+    errors = []
+    checker.check_links(page, errors)
+    assert len(errors) == 2
+    assert "nope.md" in errors[0]
+    assert "no-such" in errors[1]
+
+
+def test_anchor_slugs_match_github_style():
+    checker = _load_checker()
+    robustness = REPO / "docs" / "robustness.md"
+    anchors = checker.heading_anchors(robustness)
+    # The exit-code contract anchor is load-bearing: index.md links to it.
+    assert "exit-code-contract" in anchors
+
+
+def test_code_fences_are_not_scanned(tmp_path):
+    checker = _load_checker()
+    page = tmp_path / "fenced.md"
+    page.write_text("```\n[fake](missing.md)\n```\n")
+    errors = []
+    checker.check_links(page, errors)
+    assert errors == []

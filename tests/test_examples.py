@@ -69,6 +69,13 @@ class TestExamples:
         assert result.returncode == 0, result.stderr
         assert "queries/hour" in result.stdout
 
+    def test_observability_tour(self):
+        result = _run("observability_tour.py")
+        assert result.returncode == 0, result.stderr
+        assert "results identical with observability on: True" in result.stdout
+        assert "Stage breakdown (fabp_stage_seconds)" in result.stdout
+        assert "Tour complete" in result.stdout
+
     @pytest.mark.slow
     def test_accuracy_study(self):
         result = _run("accuracy_study.py", timeout=600)

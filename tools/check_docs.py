@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Dependency-free documentation checker (see docs/index.md).
+
+Validates, without requiring mkdocs:
+
+* every page named in the ``mkdocs.yml`` nav exists;
+* every ``docs/*.md`` page appears in the nav (no orphaned pages);
+* every relative markdown link in ``docs/`` and the repo-level markdown
+  files resolves to an existing file;
+* every ``file.md#anchor`` link targets a real heading in that file.
+
+Run from anywhere: ``python tools/check_docs.py``.  Exit code 0 means
+clean, 1 means findings (listed on stdout), matching the lint
+convention.  CI runs this alongside the mkdocs build, and
+``tests/test_docs.py`` runs it in the regular suite so a broken link
+fails ``pytest`` locally too.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Set
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+
+#: Repo-level markdown whose relative links we also validate.
+EXTRA_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md")
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def nav_pages(mkdocs_yml: Path) -> List[str]:
+    """Page paths listed in the mkdocs nav (yaml if present, else regex)."""
+    text = mkdocs_yml.read_text()
+    try:
+        import yaml
+
+        config = yaml.safe_load(text)
+
+        def walk(node) -> List[str]:
+            pages: List[str] = []
+            if isinstance(node, str):
+                pages.append(node)
+            elif isinstance(node, list):
+                for item in node:
+                    pages.extend(walk(item))
+            elif isinstance(node, dict):
+                for value in node.values():
+                    pages.extend(walk(value))
+            return pages
+
+        return [p for p in walk(config.get("nav", [])) if p.endswith(".md")]
+    except ImportError:
+        in_nav = False
+        pages = []
+        for line in text.splitlines():
+            if line.startswith("nav:"):
+                in_nav = True
+                continue
+            if in_nav:
+                if line and not line.startswith((" ", "\t", "-")):
+                    break
+                match = re.search(r"([\w./-]+\.md)\s*$", line)
+                if match:
+                    pages.append(match.group(1))
+        return pages
+
+
+def heading_anchors(path: Path) -> Set[str]:
+    """GitHub/mkdocs-style anchor slugs of every heading in ``path``."""
+    anchors: Set[str] = set()
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        title = re.sub(r"[`*_]", "", match.group(1)).strip()
+        slug = re.sub(r"[^\w\s-]", "", title.lower())
+        slug = re.sub(r"[\s]+", "-", slug).strip("-")
+        anchors.add(slug)
+    return anchors
+
+
+def markdown_links(path: Path) -> List[str]:
+    """Every inline link target in ``path``, code fences excluded."""
+    links: List[str] = []
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        links.extend(LINK_RE.findall(line))
+    return links
+
+
+def _display(path: Path) -> str:
+    try:
+        return str(path.relative_to(REPO))
+    except ValueError:
+        return str(path)
+
+
+def check_links(path: Path, errors: List[str]) -> None:
+    for target in markdown_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, anchor = target.partition("#")
+        if not base:  # same-page anchor
+            if anchor and anchor not in heading_anchors(path):
+                errors.append(f"{_display(path)}: broken anchor #{anchor}")
+            continue
+        resolved = (path.parent / base).resolve()
+        if not resolved.exists():
+            errors.append(
+                f"{_display(path)}: broken link {target!r} "
+                f"(no {_display(resolved)})"
+            )
+            continue
+        if anchor and resolved.suffix == ".md":
+            if anchor not in heading_anchors(resolved):
+                errors.append(
+                    f"{_display(path)}: broken anchor "
+                    f"{target!r} (no heading #{anchor} in {base})"
+                )
+
+
+def main() -> int:
+    errors: List[str] = []
+
+    mkdocs_yml = REPO / "mkdocs.yml"
+    if not mkdocs_yml.exists():
+        errors.append("mkdocs.yml is missing")
+        nav: List[str] = []
+    else:
+        nav = nav_pages(mkdocs_yml)
+        if not nav:
+            errors.append("mkdocs.yml: empty or unparseable nav")
+
+    for page in nav:
+        if not (DOCS / page).exists():
+            errors.append(f"mkdocs.yml: nav entry {page!r} does not exist")
+
+    for page in sorted(DOCS.glob("*.md")):
+        if page.name not in nav:
+            errors.append(f"docs/{page.name}: orphaned (not in the mkdocs nav)")
+
+    for page in sorted(DOCS.glob("*.md")):
+        check_links(page, errors)
+    for name in EXTRA_FILES:
+        path = REPO / name
+        if path.exists():
+            check_links(path, errors)
+
+    if errors:
+        print(f"check_docs: {len(errors)} finding(s)")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    pages = len(nav)
+    print(f"check_docs: clean ({pages} nav pages, links and anchors resolve)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
