@@ -594,6 +594,45 @@ def cmd_lint(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_check(args) -> int:
+    """Concurrency/resource static analysis over the repo's own source.
+
+    Same exit-code contract as ``lint``: 0 clean, 1 findings (errors, or
+    warnings under ``--strict``), 2 usage error.
+    """
+    from repro.lint import render_json, render_text
+    from repro.statics import rule_catalogue, run_statics
+
+    ignore = [r for spec in args.ignore for r in spec.split(",") if r]
+    try:
+        reports = run_statics(args.root, ignore=ignore)
+    except OSError as error:
+        print(f"check: cannot analyze {args.root}: {error}", file=sys.stderr)
+        return 2
+    if not reports:
+        print(f"check: no Python modules under {args.root}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        text = render_json(reports, extra={"rules": rule_catalogue()})
+    else:
+        text = render_text(reports)
+    if args.out:
+        import pathlib
+
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+        print(f"wrote {path}")
+    else:
+        print(text)
+
+    failed = any(not r.ok for r in reports)
+    if args.strict:
+        failed = failed or any(r.warnings for r in reports)
+    return 1 if failed else 0
+
+
 def _prove_popcounter(width: int, style: str):
     from repro.rtl.netlist import Netlist
     from repro.rtl.popcount import add_pop36, add_tree_adder_popcount
@@ -957,6 +996,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser(
+        "check",
+        help="concurrency & resource static analysis of the host runtime "
+        "source (rules RC001-RC008, OB001-OB004)",
+    )
+    p.add_argument("--root", default=None,
+                   help="package directory to analyze (default: the "
+                   "installed repro package)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--out", help="write the report to a file instead of stdout")
+    p.add_argument("--ignore", action="append", default=[], metavar="RULES",
+                   help="comma-separated rule ids to suppress (repeatable)")
+    p.add_argument("--strict", action="store_true",
+                   help="treat warnings as failures (exit codes: 0 clean, "
+                   "1 findings, 2 usage error)")
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
         "prove",
         help="symbolic verification: comparator semantics per amino acid, "
         "score-range bounds at the Table I design points, block equivalence",
@@ -986,6 +1042,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    import os
+
+    if os.environ.get("FABP_SHMSAN") == "1":
+        # Arm the shared-memory sanitizer for this process (and, with
+        # FABP_SHMSAN_LOG, its event trail) — how the kill-mid-chunk
+        # integration test audits a dying scan's /dev/shm hygiene.
+        from repro.statics import shmsan
+
+        if not shmsan.is_installed():
+            shmsan.install()
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -164,6 +164,11 @@ class CheckpointStore:
         tmp = path.with_suffix(".npz.tmp")
         with open(tmp, "wb") as handle:
             np.savez(handle, **arrays)
+            # os.replace is atomic against crashes of *this* process, but
+            # only an fsync before the rename makes the contents durable
+            # against the machine dying right after the replace.
+            handle.flush()
+            os.fsync(handle.fileno())
         num_bytes = tmp.stat().st_size
         os.replace(tmp, path)
         self.chunks_written += 1

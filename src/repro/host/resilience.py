@@ -426,6 +426,7 @@ def _worker_main(
                 os._exit(17)
             if fault is FaultKind.HANG:
                 # The supervisor kills us at the policy timeout.
+                # statics: ignore[RC005] injected fault: the hang IS the test
                 time.sleep(fault_plan.hang_seconds if fault_plan else 3600.0)
                 conn.send(("err", chunk_id, attempt, "injected hang outlived parent"))
                 continue
@@ -447,7 +448,7 @@ def _worker_main(
         buffer = None  # noqa: F841
         try:
             segment.close()
-        except Exception:
+        except (OSError, BufferError):
             pass
 
 

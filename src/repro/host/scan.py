@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import atexit
 import os
+import signal
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -125,42 +127,121 @@ class PackedDatabase:
 
 # -- shared-memory lifecycle ---------------------------------------------------
 
+
+@dataclass(frozen=True)
+class _SegmentLease:
+    """One created segment plus the pid that owns its unlink."""
+
+    segment: object
+    owner_pid: int
+
+
 # Every segment this process created, by name.  ``publish_segment`` registers,
-# ``retire_segment`` releases; the ``atexit`` guard sweeps whatever survives an
-# exception or Ctrl-C mid-scan so a crashed scan can never leak ``/dev/shm``
-# segments.  (Worker processes only *attach*; they never own a registration.)
-_LIVE_SEGMENTS: Dict[str, object] = {}
+# ``retire_segment`` releases; the ``atexit`` guard (and the lazy SIGTERM
+# sweep) retire whatever survives an exception, Ctrl-C, or a supervisor kill
+# mid-scan, so a crashed scan can never leak ``/dev/shm`` segments.  Worker
+# processes only *attach* and never own a registration; forked children that
+# inherit this dict by copy-on-write are excluded by the lease's owner pid.
+_LIVE_SEGMENTS: Dict[str, _SegmentLease] = {}
+
+# Names already retired by this process.  Retirement can race — explicit
+# ``finally`` blocks, the atexit sweep, and the SIGTERM sweep may all reach
+# the same segment — and unlinking a name twice is an error the kernel
+# reports to whichever caller loses, so the set (under the lock) guarantees
+# exactly one close/unlink per segment no matter how many paths fire.
+_RETIRED: set = set()
+
+_SEGMENTS_LOCK = threading.Lock()
+
+_SIGTERM_SWEEP_INSTALLED = False
 
 
 def _cleanup_segments() -> None:
-    for segment in list(_LIVE_SEGMENTS.values()):
-        retire_segment(segment)
+    for lease in list(_LIVE_SEGMENTS.values()):
+        retire_segment(lease.segment)
 
 
 atexit.register(_cleanup_segments)
 
 
+def _sweep_on_sigterm(signum, frame) -> None:
+    """Retire live segments, then die with the default SIGTERM status.
+
+    ``atexit`` never runs on a signal death, so a supervisor that SIGTERMs
+    a scan mid-chunk would otherwise strand the published image in
+    ``/dev/shm``.  After the sweep the default handler is restored and the
+    signal re-raised so the exit status still says "killed by SIGTERM".
+    """
+    _cleanup_segments()
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    os.kill(os.getpid(), signal.SIGTERM)
+
+
+def _install_sigterm_sweep() -> None:
+    """Install the sweep lazily, and only where it is safe to do so.
+
+    Only the main thread may set signal handlers, and an application that
+    installed its own SIGTERM handler keeps it — the sweep only ever
+    replaces ``SIG_DFL``.
+    """
+    global _SIGTERM_SWEEP_INSTALLED
+    if _SIGTERM_SWEEP_INSTALLED:
+        return
+    if threading.current_thread() is not threading.main_thread():
+        return
+    try:
+        if signal.getsignal(signal.SIGTERM) is not signal.SIG_DFL:
+            _SIGTERM_SWEEP_INSTALLED = True  # somebody owns SIGTERM; stand down
+            return
+        signal.signal(signal.SIGTERM, _sweep_on_sigterm)
+        _SIGTERM_SWEEP_INSTALLED = True
+    except (ValueError, OSError):
+        # Restricted environments (no signals, embedded interpreters) just
+        # keep the atexit guard.
+        return
+
+
 def publish_segment(buffer: np.ndarray):
     """Create a shared-memory segment holding ``buffer``; track it for cleanup.
 
-    The returned segment is registered so that even if the caller dies before
-    its ``finally`` runs, the :mod:`atexit` guard unlinks it.  Pair with
+    The returned segment is registered so that even if the caller dies
+    before its ``finally`` runs, the :mod:`atexit` guard — or, on a
+    supervisor kill, the SIGTERM sweep — unlinks it.  Pair with
     :func:`retire_segment` (idempotent) in a ``try/finally``.
     """
     from multiprocessing import shared_memory
 
     segment = shared_memory.SharedMemory(create=True, size=max(1, buffer.size))
-    _LIVE_SEGMENTS[segment.name] = segment
+    with _SEGMENTS_LOCK:
+        _LIVE_SEGMENTS[segment.name] = _SegmentLease(segment, os.getpid())
+    _install_sigterm_sweep()
     np.frombuffer(segment.buf, dtype=np.uint8, count=buffer.size)[:] = buffer
     _obs_profile.record_shm_bytes(segment.size)
     return segment
 
 
-def retire_segment(segment) -> None:
-    """Close and unlink a published segment; safe to call more than once."""
+def retire_segment(segment) -> bool:
+    """Close and unlink a published segment exactly once.
+
+    Idempotent and race-safe: no matter how many of the explicit
+    ``finally``, atexit, and SIGTERM paths reach the same segment — even
+    concurrently from different threads — exactly one caller performs the
+    close/unlink and returns ``True``; every other caller returns
+    ``False``.  A forked child that inherited the registry returns
+    ``False`` without touching the segment: the owner pid recorded at
+    publish time keeps children from unlinking their parent's image.
+    """
     if segment is None:
-        return
-    _LIVE_SEGMENTS.pop(segment.name, None)
+        return False
+    name = segment.name
+    with _SEGMENTS_LOCK:
+        lease = _LIVE_SEGMENTS.get(name)
+        if lease is not None and lease.owner_pid != os.getpid():
+            return False
+        _LIVE_SEGMENTS.pop(name, None)
+        if name in _RETIRED:
+            return False
+        _RETIRED.add(name)
     try:
         segment.close()
     except (OSError, BufferError):
@@ -169,6 +250,7 @@ def retire_segment(segment) -> None:
         segment.unlink()
     except (FileNotFoundError, OSError):
         pass
+    return True
 
 
 # -- worker side ---------------------------------------------------------------

@@ -46,6 +46,8 @@ from repro.obs.metrics import REGISTRY
 from repro.obs.trace import RECORDER
 
 __all__ = [
+    "HOOK_CATALOGUE",
+    "STAGE_NAMES",
     "StageTimer",
     "stage",
     "record_score_call",
@@ -58,6 +60,50 @@ __all__ = [
     "record_schedule_plan",
     "record_bench_record",
 ]
+
+
+#: Every metric name a hook in this module may register.  The docstring
+#: table above is the human-facing view of the same catalogue; rule OB002
+#: (``repro.statics.observability``) enforces that the two never drift and
+#: that no hook invents a name outside this set.
+HOOK_CATALOGUE = frozenset(
+    {
+        "fabp_score_calls_total",
+        "fabp_score_seconds",
+        "fabp_score_positions_total",
+        "fabp_stage_seconds",
+        "fabp_scan_references_total",
+        "fabp_scan_hits_total",
+        "fabp_scan_chunk_attempts_total",
+        "fabp_chunk_attempt_seconds",
+        "fabp_scan_retries_total",
+        "fabp_scan_hedges_total",
+        "fabp_scan_respawns_total",
+        "fabp_scan_degraded_total",
+        "fabp_checkpoint_chunks_total",
+        "fabp_checkpoint_bytes_total",
+        "fabp_shm_bytes",
+        "fabp_kernel_runs_total",
+        "fabp_kernel_beats_total",
+        "fabp_kernel_cycles_total",
+        "fabp_schedule_plans_total",
+        "fabp_bench_positions_per_s",
+    }
+)
+
+#: Every pipeline stage name the host runtime may time via :func:`stage`.
+#: Also enforced by rule OB002: stage names are a fixed vocabulary so
+#: dashboards and the trace viewer never see ad-hoc spellings.
+STAGE_NAMES = frozenset(
+    {
+        "scan.pack",
+        "scan.score",
+        "scan.merge",
+        "scan.checkpoint_load",
+        "scan.execute",
+        "scan.degraded",
+    }
+)
 
 
 class StageTimer:

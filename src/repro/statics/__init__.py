@@ -1,0 +1,60 @@
+"""Concurrency & resource static analysis over the repo's own source.
+
+PRs 1-2 gave the *hardware* layers a machine-checked rule stack (netlist
+NL/SA rules, instruction-stream IS rules, symbolic proofs); this package
+gives the *host runtime* the same treatment.  The fork pools, shared-memory
+segments, duplex-pipe worker protocols, atomic checkpoint writes and
+one-boolean observability guards that :mod:`repro.host` and
+:mod:`repro.obs` grew are exactly the substrate the resident scan service
+and the distributed sharded runtime will be built on — so their structural
+invariants are enforced by ``fabp-repro check`` the way the paper's RTL
+invariants are enforced by ``fabp-repro lint``:
+
+* :mod:`repro.statics.discovery` — module discovery under ``src/repro``,
+  AST parsing, and the ``# statics: ignore[RCxxx] reason`` pragma reader;
+* :mod:`repro.statics.engine` — the rule registry (reusing the
+  :class:`repro.lint.Finding` model) plus :func:`analyze_module` /
+  :func:`run_statics`;
+* :mod:`repro.statics.concurrency` — rules RC001-RC008: shared-memory
+  lifecycle, fork discipline, atomic durable writes, non-blocking pipe
+  protocols, honest exception handling;
+* :mod:`repro.statics.observability` — rules OB001-OB004: enabled-boolean
+  guards, the declared hook catalogue, hot-path label hygiene;
+* :mod:`repro.statics.shmsan` — the *runtime* shared-memory sanitizer that
+  backs the static rules with leak / double-close / use-after-close
+  detection across the whole test suite.
+
+See ``docs/static_analysis.md`` for the rule catalogue and rationale.
+"""
+
+from repro.statics.concurrency import CONCURRENCY_RULES
+from repro.statics.discovery import (
+    SourceModule,
+    discover_modules,
+    module_from_source,
+    parse_pragmas,
+)
+from repro.statics.engine import (
+    STATIC_RULES,
+    analyze_module,
+    analyze_source,
+    default_root,
+    rule_catalogue,
+    run_statics,
+)
+from repro.statics.observability import OBSERVABILITY_RULES
+
+__all__ = [
+    "CONCURRENCY_RULES",
+    "OBSERVABILITY_RULES",
+    "STATIC_RULES",
+    "SourceModule",
+    "analyze_module",
+    "analyze_source",
+    "default_root",
+    "discover_modules",
+    "module_from_source",
+    "parse_pragmas",
+    "rule_catalogue",
+    "run_statics",
+]

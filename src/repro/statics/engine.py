@@ -1,0 +1,131 @@
+"""The statics rule registry and analysis drivers.
+
+Reuses the :mod:`repro.lint` machinery wholesale — :class:`~repro.lint.Rule`
+/ :class:`~repro.lint.Finding` / :class:`~repro.lint.LintReport` and the
+text/JSON reporters — so ``fabp-repro check`` reads exactly like
+``fabp-repro lint``: one report per subject (here: one per source module),
+stable rule ids, ``--ignore`` / ``--strict``, exit code 0/1/2.
+
+What this layer adds over the shared machinery is **pragma suppression**:
+after a rule family runs, findings covered by a justified
+``# statics: ignore[RCxxx] reason`` pragma on (or directly above) the
+flagged line are dropped; a pragma *without* a justification does not
+suppress — the finding survives with a note, so accepted false positives
+are always accompanied by a written-down why.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.lint import Finding, LintReport, _normalize_ignore
+from repro.statics import concurrency as _concurrency  # noqa: F401  (registration)
+from repro.statics import observability as _observability  # noqa: F401  (registration)
+from repro.statics.discovery import (
+    SourceModule,
+    attach_parents,
+    discover_modules,
+    module_from_source,
+)
+from repro.statics.registry import STATIC_RULES
+
+
+def _apply_pragmas(module: SourceModule, findings: Iterable[Finding]) -> List[Finding]:
+    """Drop findings silenced by a justified pragma; annotate unjustified ones."""
+    kept: List[Finding] = []
+    for finding in findings:
+        line = _finding_line(finding)
+        pragma = None if line is None else module.pragma_for(line, finding.rule_id)
+        if pragma is None:
+            kept.append(finding)
+            continue
+        if pragma.justified:
+            continue
+        kept.append(
+            Finding(
+                rule_id=finding.rule_id,
+                severity=finding.severity,
+                location=finding.location,
+                message=finding.message + " (suppression pragma lacks a justification)",
+                suggested_fix="add a reason after the ] in the pragma comment",
+                data=finding.data,
+            )
+        )
+    return kept
+
+
+def _finding_line(finding: Finding) -> Optional[int]:
+    """The trailing ``:N`` line number of a finding location, if present."""
+    _, _, tail = finding.location.rpartition(":")
+    return int(tail) if tail.isdigit() else None
+
+
+def analyze_module(
+    module: SourceModule,
+    *,
+    ignore: Iterable[str] = (),
+    rules: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Run every (selected, non-ignored) rule over one module."""
+    # Rules navigate upward (enclosing function, enclosing try); annotate once.
+    attach_parents(module.tree)
+    ignored = _normalize_ignore(ignore)
+    selected = (
+        [STATIC_RULES.get(rule_id) for rule_id in rules]
+        if rules is not None
+        else list(STATIC_RULES)
+    )
+    findings: List[Finding] = []
+    for rule in selected:
+        if rule.rule_id in ignored:
+            continue
+        findings.extend(_apply_pragmas(module, rule.check(rule=rule, module=module)))
+    return LintReport(subject=module.name, findings=tuple(findings))
+
+
+def analyze_source(
+    source: str,
+    *,
+    name: str = "<memory>",
+    ignore: Iterable[str] = (),
+    rules: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Analyze a source string (the unit-test entry point)."""
+    return analyze_module(
+        module_from_source(source, name=name), ignore=ignore, rules=rules
+    )
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory (the self-hosting target)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def run_statics(
+    root: Optional[Union[str, Path]] = None,
+    *,
+    ignore: Iterable[str] = (),
+    rules: Optional[Sequence[str]] = None,
+) -> List[LintReport]:
+    """Analyze every module under ``root`` (default: the repro package)."""
+    target = Path(root) if root is not None else default_root()
+    return [
+        analyze_module(module, ignore=ignore, rules=rules)
+        for module in discover_modules(target)
+    ]
+
+
+def rule_catalogue() -> List[Dict[str, str]]:
+    """Machine-readable rule metadata (embedded in the JSON artifact)."""
+    return [
+        {
+            "rule": rule.rule_id,
+            "name": rule.name,
+            "severity": str(rule.severity),
+            "guards": rule.guards,
+        }
+        for rule in STATIC_RULES
+    ]

@@ -1,0 +1,243 @@
+"""Observability-hygiene rules OB001-OB004.
+
+The observability layer (PR 5) rests on three conventions that keep an
+*off* hook nearly free and the metric namespace reviewable:
+
+* every ``record_*`` hook early-returns on one boolean —
+  ``state.enabled()`` — before touching the registry (OB001);
+* every metric and stage name is a literal drawn from the declared
+  catalogues in :mod:`repro.obs.profile` (OB002), and labels are never
+  built with f-strings or concatenation on the hot path (OB003);
+* nothing outside :mod:`repro.obs` touches ``REGISTRY`` / ``RECORDER``
+  directly — hot paths go through the hook functions (OB004).
+
+These were prose conventions in ``docs/observability.md``; here they become
+structure that ``fabp-repro check`` enforces on every future hook.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.lint import Finding, Rule, Severity
+from repro.obs.profile import HOOK_CATALOGUE, STAGE_NAMES
+from repro.statics.discovery import (
+    SourceModule,
+    call_name,
+    dotted_name,
+    iter_functions,
+)
+from repro.statics.registry import STATIC_RULES
+
+#: Rule ids registered by this family (exported for docs/tests).
+OBSERVABILITY_RULES: Tuple[str, ...] = ("OB001", "OB002", "OB003", "OB004")
+
+_HOOK_MODULE = "obs.profile"
+_REGISTRY_METHODS = ("counter", "gauge", "histogram")
+
+
+def _location(module: SourceModule, node: ast.AST) -> str:
+    return f"{module.path.name}:{getattr(node, 'lineno', 0)}"
+
+
+def _is_hook_module(module: SourceModule) -> bool:
+    return module.name.endswith(_HOOK_MODULE)
+
+
+def _is_obs_module(module: SourceModule) -> bool:
+    name = module.name
+    return name.startswith("obs") or ".obs." in f".{name}." or name.endswith(".obs")
+
+
+def _first_real_statement(func: ast.AST) -> Optional[ast.stmt]:
+    """The first statement of a function body, skipping the docstring."""
+    body = getattr(func, "body", [])
+    for stmt in body:
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, str)
+        ):
+            continue
+        return stmt
+    return None
+
+
+def _is_enabled_guard(stmt: Optional[ast.stmt]) -> bool:
+    """``if not state.enabled(): return`` (exactly)."""
+    if not isinstance(stmt, ast.If):
+        return False
+    test = stmt.test
+    if not (isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not)):
+        return False
+    call = test.operand
+    if not isinstance(call, ast.Call):
+        return False
+    name = call_name(call) or ""
+    if name.split(".")[-1] != "enabled":
+        return False
+    return len(stmt.body) == 1 and isinstance(stmt.body[0], ast.Return)
+
+
+@STATIC_RULES.register(
+    "OB001",
+    "unguarded-hook",
+    Severity.ERROR,
+    "Every record_* hook begins with `if not state.enabled(): return` — the "
+    "whole layer's off-cost contract is one branch per hook, so a hook that "
+    "touches the registry before the guard breaks the budget for every "
+    "caller.",
+)
+def check_hook_guards(rule: Rule, module: SourceModule) -> Iterator[Finding]:
+    """record_* hooks in obs.profile must open with the enabled guard."""
+    if not _is_hook_module(module):
+        return
+    for func in iter_functions(module.tree):
+        if not func.name.startswith("record_"):
+            continue
+        if _is_enabled_guard(_first_real_statement(func)):
+            continue
+        yield rule.finding(
+            f"{module.path.name}:{func.lineno}",
+            f"{func.name}() does not start with the `if not state.enabled(): "
+            "return` guard",
+            suggested_fix="make the guard the first statement after the "
+            "docstring",
+        )
+
+
+def _registry_metric_calls(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node) or ""
+        parts = name.split(".")
+        if len(parts) >= 2 and parts[-1] in _REGISTRY_METHODS and parts[-2] == "REGISTRY":
+            yield node
+
+
+def _stage_calls(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node) or ""
+        if name.split(".")[-1] == "stage" and node.args:
+            yield node
+
+
+@STATIC_RULES.register(
+    "OB002",
+    "undeclared-hook-name",
+    Severity.ERROR,
+    "Metric and stage names are literals drawn from HOOK_CATALOGUE / "
+    "STAGE_NAMES in repro.obs.profile — a name invented at a call site "
+    "silently forks the metric namespace the docs and dashboards declare.",
+)
+def check_declared_names(rule: Rule, module: SourceModule) -> Iterator[Finding]:
+    """REGISTRY.counter/gauge/histogram and stage() names must be declared."""
+    if _is_hook_module(module):
+        for call in _registry_metric_calls(module.tree):
+            kind = call.func.attr  # type: ignore[union-attr]
+            if not call.args:
+                continue
+            first = call.args[0]
+            if not (
+                isinstance(first, ast.Constant) and isinstance(first.value, str)
+            ):
+                yield rule.finding(
+                    _location(module, call),
+                    f"REGISTRY.{kind}() called with a non-literal metric name",
+                    suggested_fix="pass a string literal listed in "
+                    "HOOK_CATALOGUE",
+                )
+            elif first.value not in HOOK_CATALOGUE:
+                yield rule.finding(
+                    _location(module, call),
+                    f"metric name {first.value!r} is not declared in "
+                    "HOOK_CATALOGUE",
+                    suggested_fix="add it to HOOK_CATALOGUE and the module "
+                    "docstring table (and docs/observability.md)",
+                )
+    for call in _stage_calls(module.tree):
+        first = call.args[0]
+        if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+            yield rule.finding(
+                _location(module, call),
+                "stage() called with a non-literal stage name",
+                suggested_fix="pass a string literal listed in STAGE_NAMES",
+            )
+        elif first.value not in STAGE_NAMES:
+            yield rule.finding(
+                _location(module, call),
+                f"stage name {first.value!r} is not declared in STAGE_NAMES",
+                suggested_fix="add it to STAGE_NAMES in repro.obs.profile",
+            )
+
+
+@STATIC_RULES.register(
+    "OB003",
+    "dynamic-label",
+    Severity.ERROR,
+    "Label values on the hot path are plain names or str() casts — an "
+    "f-string or concatenation in .labels() allocates on every sample and "
+    "risks unbounded label cardinality.",
+)
+def check_label_hygiene(rule: Rule, module: SourceModule) -> Iterator[Finding]:
+    """.labels(...) arguments must not be f-strings or concatenations."""
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if not (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "labels"
+        ):
+            continue
+        values = list(node.args) + [kw.value for kw in node.keywords]
+        for value in values:
+            if isinstance(value, (ast.JoinedStr, ast.BinOp)):
+                yield rule.finding(
+                    _location(module, node),
+                    "label value built dynamically (f-string/concatenation) "
+                    "in .labels()",
+                    suggested_fix="pass the raw value (or str(value)) and keep "
+                    "the label set fixed",
+                )
+
+
+@STATIC_RULES.register(
+    "OB004",
+    "direct-registry-access",
+    Severity.ERROR,
+    "Only repro.obs touches REGISTRY / RECORDER — every other module goes "
+    "through the repro.obs.profile hooks so the enabled() guard and the "
+    "declared catalogue stay the single choke point.",
+)
+def check_registry_encapsulation(
+    rule: Rule, module: SourceModule
+) -> Iterator[Finding]:
+    """Non-obs modules must not import or reference REGISTRY/RECORDER."""
+    if _is_obs_module(module):
+        return
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name in ("REGISTRY", "RECORDER"):
+                    yield rule.finding(
+                        _location(module, node),
+                        f"imports {alias.name} outside repro.obs",
+                        suggested_fix="call a repro.obs.profile hook instead",
+                    )
+        elif isinstance(node, ast.Attribute):
+            name = dotted_name(node) or ""
+            if name.split(".")[-1] in ("REGISTRY", "RECORDER") and "." in name:
+                yield rule.finding(
+                    _location(module, node),
+                    f"references {name} outside repro.obs",
+                    suggested_fix="call a repro.obs.profile hook instead",
+                )
+        elif isinstance(node, ast.Name) and node.id in ("REGISTRY", "RECORDER"):
+            yield rule.finding(
+                _location(module, node),
+                f"references {node.id} outside repro.obs",
+                suggested_fix="call a repro.obs.profile hook instead",
+            )

@@ -1,0 +1,15 @@
+"""The shared statics rule registry (its own module to stay cycle-free).
+
+Rule families (:mod:`repro.statics.concurrency`,
+:mod:`repro.statics.observability`) import :data:`STATIC_RULES` and
+register into it; the engine imports the families for their registration
+side effect and then drives the registry.  Keeping the registry out of the
+engine module means a family never has to import the engine.
+"""
+
+from __future__ import annotations
+
+from repro.lint import RuleRegistry
+
+#: Every RC/OB rule registers here; ids stay unique across families.
+STATIC_RULES = RuleRegistry("statics")

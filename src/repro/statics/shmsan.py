@@ -1,0 +1,297 @@
+"""shmsan — a runtime shared-memory sanitizer for the host runtime.
+
+The RC rules catch lifecycle mistakes *statically*; shmsan catches them at
+runtime, the way ASan backs a compiler's warnings.  Once installed it
+instruments :class:`multiprocessing.shared_memory.SharedMemory` (``__init__``,
+``close``, ``unlink`` and the ``buf`` property) and detects:
+
+* **double-close** — ``close()`` on an already-closed handle;
+* **double-unlink** — ``unlink()`` on an already-unlinked segment;
+* **use-after-close** — reading ``.buf`` after ``close()`` (CPython hands
+  back a dead buffer silently, which is exactly why this needs a sanitizer);
+* **leaked-segment** — a segment created in a scope and never unlinked
+  (the bug class that strands files in ``/dev/shm``);
+* **leaked-handle** — a handle opened in a scope and never closed (keeps
+  the mapping alive for the process lifetime).
+
+Violations are recorded, never raised, so the sanitizer observes the code
+under test without changing its control flow.  They land in the innermost
+active :func:`scope` — tests that *intentionally* misuse a segment wrap the
+misuse in their own scope and assert on it, while the session-wide scope the
+pytest fixture owns (``tests/conftest.py``, enabled via ``FABP_SHMSAN``)
+stays clean.
+
+For cross-process verification (the kill-mid-chunk integration test), set
+``FABP_SHMSAN_LOG`` to a file path: every create/close/unlink appends one
+JSON line (flushed immediately, append-mode per event, so concurrent forked
+writers interleave whole lines) that a supervising test can audit after the
+subprocess dies.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory as _shared_memory
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "ShmViolation",
+    "ShmScope",
+    "install",
+    "uninstall",
+    "is_installed",
+    "scope",
+    "current_scope",
+    "format_violations",
+    "read_event_log",
+]
+
+_LOG_ENV = "FABP_SHMSAN_LOG"
+
+
+@dataclass(frozen=True)
+class ShmViolation:
+    """One detected misuse of a shared-memory segment."""
+
+    kind: str  # double-close | double-unlink | use-after-close | leaked-*
+    name: str  # the segment's /dev/shm name
+    detail: str
+    stack: str = ""
+
+
+@dataclass
+class _Handle:
+    """Sanitizer-side state of one SharedMemory instance."""
+
+    name: str
+    created: bool
+    closed: bool = False
+    unlinked: bool = False
+
+
+@dataclass
+class ShmScope:
+    """A detection scope: violations and handles attributed to it."""
+
+    label: str
+    violations: List[ShmViolation] = field(default_factory=list)
+    handles: List[_Handle] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+_LOCK = threading.RLock()
+_SCOPES: List[ShmScope] = []
+_SAVED: Dict[str, Any] = {}
+
+
+def is_installed() -> bool:
+    return bool(_SAVED)
+
+
+def current_scope() -> Optional[ShmScope]:
+    with _LOCK:
+        return _SCOPES[-1] if _SCOPES else None
+
+
+def _record_violation(kind: str, name: str, detail: str) -> None:
+    stack = "".join(traceback.format_stack(limit=8)[:-2])
+    with _LOCK:
+        if _SCOPES:
+            _SCOPES[-1].violations.append(
+                ShmViolation(kind=kind, name=name, detail=detail, stack=stack)
+            )
+
+
+def _log_event(event: str, name: str) -> None:
+    path = os.environ.get(_LOG_ENV)
+    if not path:
+        return
+    line = json.dumps({"event": event, "name": name, "pid": os.getpid()})
+    try:
+        # Append-per-event keeps this fork-safe: each writer opens, writes
+        # one flushed line, and closes, so no file offset is shared.
+        with open(path, "a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+    except OSError:  # the log is best-effort; never fail the workload
+        return
+
+
+def _handle_of(shm: Any) -> Optional[_Handle]:
+    return getattr(shm, "_shmsan", None)
+
+
+def _patched_init(self: Any, *args: Any, **kwargs: Any) -> None:
+    _SAVED["__init__"](self, *args, **kwargs)
+    created = bool(kwargs.get("create", False)) or (
+        len(args) >= 2 and bool(args[1])
+    )
+    record = _Handle(name=self.name, created=created)
+    object.__setattr__(self, "_shmsan", record)
+    with _LOCK:
+        if _SCOPES:
+            _SCOPES[-1].handles.append(record)
+    _log_event("create" if created else "attach", self.name)
+
+
+def _called_from_del() -> bool:
+    """True when the close came from ``SharedMemory.__del__``.
+
+    CPython's destructor unconditionally calls ``close()`` as a safety
+    net; re-closing an explicitly-closed handle there is the interpreter's
+    idiom, not programmer misuse.
+    """
+    try:
+        return sys._getframe(2).f_code.co_name == "__del__"
+    except ValueError:
+        return False
+
+
+def _patched_close(self: Any) -> None:
+    record = _handle_of(self)
+    if record is not None:
+        if record.closed:
+            if not _called_from_del():
+                _record_violation(
+                    "double-close",
+                    record.name,
+                    "close() on an already-closed handle",
+                )
+        else:
+            record.closed = True
+            _log_event("close", record.name)
+    _SAVED["close"](self)
+
+
+def _patched_unlink(self: Any) -> None:
+    record = _handle_of(self)
+    if record is not None and record.unlinked:
+        _record_violation(
+            "double-unlink",
+            record.name,
+            "unlink() on an already-unlinked segment",
+        )
+    _SAVED["unlink"](self)
+    if record is not None:
+        record.unlinked = True
+        _log_event("unlink", record.name)
+
+
+def _patched_buf(self: Any) -> Any:
+    record = _handle_of(self)
+    if record is not None and record.closed:
+        _record_violation(
+            "use-after-close",
+            record.name,
+            ".buf read after close(); the buffer is no longer backed",
+        )
+    return _SAVED["buf"].fget(self)
+
+
+def install(label: str = "session") -> ShmScope:
+    """Patch SharedMemory and open the root detection scope."""
+    with _LOCK:
+        if _SAVED:
+            raise RuntimeError("shmsan is already installed")
+        cls = _shared_memory.SharedMemory
+        _SAVED["__init__"] = cls.__init__
+        _SAVED["close"] = cls.close
+        _SAVED["unlink"] = cls.unlink
+        _SAVED["buf"] = cls.buf
+        cls.__init__ = _patched_init  # type: ignore[method-assign]
+        cls.close = _patched_close  # type: ignore[method-assign]
+        cls.unlink = _patched_unlink  # type: ignore[method-assign]
+        cls.buf = property(_patched_buf)  # type: ignore[assignment]
+        root = ShmScope(label=label)
+        _SCOPES.append(root)
+        return root
+
+
+def uninstall() -> ShmScope:
+    """Unpatch, finalize the root scope, and return it as the report."""
+    with _LOCK:
+        if not _SAVED:
+            raise RuntimeError("shmsan is not installed")
+        cls = _shared_memory.SharedMemory
+        cls.__init__ = _SAVED.pop("__init__")  # type: ignore[method-assign]
+        cls.close = _SAVED.pop("close")  # type: ignore[method-assign]
+        cls.unlink = _SAVED.pop("unlink")  # type: ignore[method-assign]
+        cls.buf = _SAVED.pop("buf")  # type: ignore[assignment]
+        root = _SCOPES.pop(0)
+        del _SCOPES[:]  # any stray nested scopes die with the session
+    _finalize(root)
+    return root
+
+
+@contextmanager
+def scope(label: str = "scope") -> Iterator[ShmScope]:
+    """Open a nested detection scope; violations inside land here only.
+
+    On exit the scope is finalized: handles opened inside it that were
+    never closed become ``leaked-handle`` violations, created segments
+    never unlinked become ``leaked-segment`` violations.
+    """
+    inner = ShmScope(label=label)
+    with _LOCK:
+        _SCOPES.append(inner)
+    try:
+        yield inner
+    finally:
+        with _LOCK:
+            if inner in _SCOPES:
+                _SCOPES.remove(inner)
+        _finalize(inner)
+
+
+def _finalize(shm_scope: ShmScope) -> None:
+    """Turn the scope's unreleased handles into leak violations."""
+    for record in shm_scope.handles:
+        if record.created and not record.unlinked:
+            shm_scope.violations.append(
+                ShmViolation(
+                    kind="leaked-segment",
+                    name=record.name,
+                    detail="created in this scope and never unlinked",
+                )
+            )
+        if not record.closed:
+            shm_scope.violations.append(
+                ShmViolation(
+                    kind="leaked-handle",
+                    name=record.name,
+                    detail="opened in this scope and never closed",
+                )
+            )
+
+
+def format_violations(violations: List[ShmViolation]) -> str:
+    """Human-readable multi-line report (pytest assertion message)."""
+    lines = [f"shmsan: {len(violations)} shared-memory violation(s)"]
+    for violation in violations:
+        lines.append(f"  [{violation.kind}] {violation.name}: {violation.detail}")
+        if violation.stack:
+            lines.extend(
+                "    " + stack_line
+                for stack_line in violation.stack.rstrip().splitlines()
+            )
+    return "\n".join(lines)
+
+
+def read_event_log(path: str) -> List[Dict[str, Any]]:
+    """Parse a ``FABP_SHMSAN_LOG`` file (one JSON object per line)."""
+    events: List[Dict[str, Any]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

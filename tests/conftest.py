@@ -1,9 +1,37 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.seq.generate import random_protein, random_rna
+
+
+@pytest.fixture(scope="session", autouse=True)
+def shmsan_session():
+    """Run the whole suite under the shared-memory sanitizer.
+
+    Armed by default (and in CI via ``FABP_SHMSAN=1``); set ``FABP_SHMSAN=0``
+    to opt out.  Any segment leaked, double-closed, or read after close
+    anywhere in the session — outside a test's own ``shmsan.scope()`` —
+    fails the run with a per-violation report.  See
+    ``docs/static_analysis.md``.
+    """
+    if os.environ.get("FABP_SHMSAN", "1") == "0":
+        yield
+        return
+    from repro.statics import shmsan
+
+    if shmsan.is_installed():  # e.g. pytest-in-pytest
+        yield
+        return
+    shmsan.install()
+    try:
+        yield
+    finally:
+        report = shmsan.uninstall()
+    assert report.clean, shmsan.format_violations(report.violations)
 
 
 @pytest.fixture

@@ -1,0 +1,119 @@
+"""Idempotent segment retirement under concurrent and repeated teardown.
+
+The hardened contract (``repro.host.scan``): no matter how many of the
+explicit ``finally``, atexit-sweep, and SIGTERM-sweep paths reach the same
+segment — even concurrently — exactly one caller closes/unlinks it, and a
+forked child that inherited the registry never touches the parent's image.
+"""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.host import scan as scan_mod
+from repro.host.scan import (
+    _SegmentLease,
+    publish_segment,
+    retire_segment,
+)
+
+
+@pytest.fixture
+def segment():
+    seg = publish_segment(np.arange(64, dtype=np.uint8))
+    yield seg
+    retire_segment(seg)  # idempotent; cleans up on test failure
+
+
+def count_unlinks(seg):
+    """Wrap the segment's unlink so the test can count real unlinks."""
+    calls = {"n": 0}
+    original = seg.unlink
+
+    def counting():
+        calls["n"] += 1
+        return original()
+
+    seg.unlink = counting
+    return calls
+
+
+class TestIdempotency:
+    def test_second_retire_is_a_noop(self, segment):
+        calls = count_unlinks(segment)
+        assert retire_segment(segment) is True
+        assert retire_segment(segment) is False
+        assert calls["n"] == 1
+
+    def test_retire_none_is_a_noop(self):
+        assert retire_segment(None) is False
+
+    def test_explicit_then_atexit_sweep_unlinks_once(self, segment):
+        calls = count_unlinks(segment)
+        assert retire_segment(segment) is True
+        scan_mod._cleanup_segments()  # the atexit path
+        assert calls["n"] == 1
+
+    def test_sweep_then_explicit_unlinks_once(self, segment):
+        calls = count_unlinks(segment)
+        scan_mod._cleanup_segments()
+        assert retire_segment(segment) is False
+        assert calls["n"] == 1
+
+    def test_concurrent_retirement_unlinks_exactly_once(self, segment):
+        calls = count_unlinks(segment)
+        outcomes = []
+        barrier = threading.Barrier(8)
+
+        def race():
+            barrier.wait()
+            outcomes.append(retire_segment(segment))
+
+        threads = [threading.Thread(target=race) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10.0)
+        assert outcomes.count(True) == 1
+        assert outcomes.count(False) == 7
+        assert calls["n"] == 1
+
+
+class TestOwnership:
+    def test_foreign_owner_pid_blocks_retirement(self, segment):
+        # Simulate the registry as a forked child would inherit it: the
+        # lease records the parent's pid, not ours.
+        calls = count_unlinks(segment)
+        scan_mod._LIVE_SEGMENTS[segment.name] = _SegmentLease(
+            segment, os.getpid() + 1
+        )
+        try:
+            assert retire_segment(segment) is False
+            assert calls["n"] == 0
+            assert segment.name in scan_mod._LIVE_SEGMENTS
+        finally:
+            scan_mod._LIVE_SEGMENTS[segment.name] = _SegmentLease(
+                segment, os.getpid()
+            )
+        assert retire_segment(segment) is True
+        assert calls["n"] == 1
+
+    def test_publish_registers_owner_lease(self, segment):
+        lease = scan_mod._LIVE_SEGMENTS[segment.name]
+        assert lease.owner_pid == os.getpid()
+        assert lease.segment is segment
+
+
+class TestSigtermSweep:
+    def test_publish_installs_the_sweep_lazily(self, segment):
+        import signal
+
+        # publish_segment ran in the main thread with SIG_DFL (or a prior
+        # publish already installed it) — either way the flag is latched.
+        assert scan_mod._SIGTERM_SWEEP_INSTALLED
+        handler = signal.getsignal(signal.SIGTERM)
+        assert handler in (scan_mod._sweep_on_sigterm, signal.SIG_DFL) or callable(
+            handler
+        )

@@ -1,0 +1,150 @@
+"""No /dev/shm segment survives a supervised scan killed mid-chunk.
+
+A parallel supervised scan (workers > 1, so the packed image really is
+published as a shared-memory segment) is started in a subprocess with a
+permanent injected hang, SIGTERMed while the hung chunk is in flight, and
+audited afterwards:
+
+* the scan process dies *by* SIGTERM (the sweep re-raises, so the exit
+  status is honest), and
+* every segment its shmsan event log says was created is both unlinked in
+  the log and absent from ``/dev/shm`` — the lazy SIGTERM sweep in
+  :mod:`repro.host.scan` retired it on the way down.
+
+``atexit`` does not run on signal death; without the sweep this test fails
+with the segment stranded on disk.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+SHM_DIR = Path("/dev/shm")
+
+
+def run_cli(args, timeout=120):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
+
+
+@pytest.fixture(scope="module")
+def workload(tmp_path_factory):
+    base = tmp_path_factory.mktemp("shm_survival")
+    db = base / "db.fasta"
+    queries = base / "q.fasta"
+    generated = run_cli(
+        [
+            "generate",
+            "--queries", "1",
+            "--length", "20",
+            "--references", "6",
+            "--reference-length", "3000",
+            "--seed", "23",
+            "--out-db", str(db),
+            "--out-queries", str(queries),
+        ]
+    )
+    assert generated.returncode == 0, generated.stderr
+    return base, db, queries
+
+
+def wait_for(predicate, deadline_s, victim, what):
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        if victim.poll() is not None:
+            pytest.fail(f"scan exited early ({victim.returncode}) before {what}")
+        time.sleep(0.05)
+    pytest.fail(f"timed out waiting for {what}")
+
+
+@pytest.mark.skipif(not SHM_DIR.is_dir(), reason="no /dev/shm on this platform")
+def test_sigterm_mid_chunk_leaves_no_segment(workload):
+    base, db, queries = workload
+    log = base / "shmsan_events.jsonl"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    env["FABP_SHMSAN"] = "1"
+    env["FABP_SHMSAN_LOG"] = str(log)
+
+    # Chunk 0 hangs on every attempt, so the scan is guaranteed to be
+    # mid-chunk (never finished, never degraded-and-done) when the signal
+    # lands; the generous timeout keeps the supervisor patiently waiting.
+    victim = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "scan",
+            "--query-file", str(queries),
+            "--database", str(db),
+            "--min-identity", "0.9",
+            "--workers", "2",
+            "--chunk-size", "1",
+            "--backoff", "0.01",
+            "--inject-faults", "0:hang:always",
+            "--fault-hang-seconds", "45",
+            "--chunk-timeout", "45",
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        env=env,
+    )
+    try:
+        def segment_created():
+            if not log.exists():
+                return False
+            return any(
+                json.loads(line)["event"] == "create"
+                for line in log.read_text().splitlines()
+                if line.strip()
+            )
+
+        wait_for(segment_created, 60, victim, "the published segment")
+        # Let the workers attach and the hung chunk get dispatched.
+        time.sleep(0.5)
+        victim.send_signal(signal.SIGTERM)
+        victim.wait(timeout=30)
+    finally:
+        if victim.poll() is None:
+            victim.kill()
+            victim.wait(timeout=30)
+
+    # Honest exit status: the sweep re-raises SIGTERM after cleaning up.
+    assert victim.returncode == -signal.SIGTERM, victim.returncode
+
+    scan_pid = victim.pid
+    events = [
+        json.loads(line)
+        for line in log.read_text().splitlines()
+        if line.strip()
+    ]
+    created = {
+        e["name"] for e in events
+        if e["event"] == "create" and e["pid"] == scan_pid
+    }
+    unlinked = {
+        e["name"] for e in events
+        if e["event"] == "unlink" and e["pid"] == scan_pid
+    }
+    assert created, "scan never published a segment (test is vacuous)"
+    # shmsan-verified: the dying process itself logged the unlink...
+    assert created <= unlinked, (
+        f"segments created but never unlinked: {created - unlinked}"
+    )
+    # ...and the kernel agrees: nothing survived in /dev/shm.
+    survivors = [name for name in created if (SHM_DIR / name).exists()]
+    assert not survivors, f"segments left in /dev/shm: {survivors}"

@@ -1,0 +1,153 @@
+"""OB001-OB004: one triggering and one clean fixture per rule."""
+
+import textwrap
+
+from repro.statics import analyze_source
+
+
+def findings_for(source, rule_id, name="host.demo"):
+    report = analyze_source(
+        textwrap.dedent(source), name=name, rules=[rule_id]
+    )
+    return [f for f in report.findings if f.rule_id == rule_id]
+
+
+class TestOB001UnguardedHook:
+    def test_hook_without_guard_is_flagged(self):
+        bad = """\
+            def record_widget(count):
+                REGISTRY.counter("fabp_widgets_total", "Widgets.").default.inc(count)
+            """
+        assert findings_for(bad, "OB001", name="obs.profile")
+
+    def test_guarded_hook_is_clean(self):
+        good = """\
+            def record_widget(count):
+                if not state.enabled():
+                    return
+                REGISTRY.counter("fabp_widgets_total", "Widgets.").default.inc(count)
+            """
+        assert not findings_for(good, "OB001", name="obs.profile")
+
+    def test_guard_after_docstring_is_clean(self):
+        good = '''\
+            def record_widget(count):
+                """One widget."""
+                if not state.enabled():
+                    return
+                REGISTRY.counter("fabp_widgets_total", "Widgets.").default.inc(count)
+            '''
+        assert not findings_for(good, "OB001", name="obs.profile")
+
+    def test_rule_is_scoped_to_the_hook_module(self):
+        elsewhere = """\
+            def record_widget(count):
+                do_something(count)
+            """
+        assert not findings_for(elsewhere, "OB001", name="host.scan")
+
+
+class TestOB002UndeclaredHookName:
+    def test_invented_metric_name_is_flagged(self):
+        bad = """\
+            def record_widget(count):
+                if not state.enabled():
+                    return
+                REGISTRY.counter("fabp_widgets_total", "Widgets.").default.inc(count)
+            """
+        assert findings_for(bad, "OB002", name="obs.profile")
+
+    def test_declared_metric_name_is_clean(self):
+        good = """\
+            def record_hits(hits):
+                if not state.enabled():
+                    return
+                REGISTRY.counter("fabp_scan_hits_total", "Hits.").default.inc(hits)
+            """
+        assert not findings_for(good, "OB002", name="obs.profile")
+
+    def test_non_literal_metric_name_is_flagged(self):
+        bad = """\
+            def record_widget(kind):
+                if not state.enabled():
+                    return
+                REGISTRY.counter(kind, "Dynamic.").default.inc()
+            """
+        assert findings_for(bad, "OB002", name="obs.profile")
+
+    def test_undeclared_stage_name_is_flagged_anywhere(self):
+        bad = """\
+            def run():
+                with _obs_profile.stage("scan.mystery", category="scan"):
+                    work()
+            """
+        assert findings_for(bad, "OB002", name="host.scan")
+
+    def test_declared_stage_name_is_clean(self):
+        good = """\
+            def run():
+                with _obs_profile.stage("scan.pack", category="scan"):
+                    work()
+            """
+        assert not findings_for(good, "OB002", name="host.scan")
+
+
+class TestOB003DynamicLabel:
+    def test_fstring_label_is_flagged(self):
+        bad = """\
+            def record(outcome):
+                counter.labels(outcome=f"scan-{outcome}").inc()
+            """
+        assert findings_for(bad, "OB003")
+
+    def test_concatenated_label_is_flagged(self):
+        bad = """\
+            def record(outcome):
+                counter.labels(outcome="scan-" + outcome).inc()
+            """
+        assert findings_for(bad, "OB003")
+
+    def test_plain_and_str_cast_labels_are_clean(self):
+        good = """\
+            def record(outcome, workers):
+                counter.labels(outcome=outcome, workers=str(workers)).inc()
+            """
+        assert not findings_for(good, "OB003")
+
+
+class TestOB004DirectRegistryAccess:
+    def test_registry_import_outside_obs_is_flagged(self):
+        bad = """\
+            from repro.obs.metrics import REGISTRY
+
+            def run():
+                REGISTRY.counter("fabp_scan_hits_total", "Hits.").default.inc()
+            """
+        assert findings_for(bad, "OB004", name="host.scan")
+
+    def test_recorder_attribute_outside_obs_is_flagged(self):
+        bad = """\
+            from repro.obs import trace
+
+            def run(span):
+                trace.RECORDER.record(**span)
+            """
+        assert findings_for(bad, "OB004", name="host.scan")
+
+    def test_hook_call_outside_obs_is_clean(self):
+        good = """\
+            from repro.obs import profile as _obs_profile
+
+            def run(references, hits):
+                _obs_profile.record_scan_merge(references, hits)
+            """
+        assert not findings_for(good, "OB004", name="host.scan")
+
+    def test_obs_modules_are_exempt(self):
+        inside = """\
+            from repro.obs.metrics import REGISTRY
+
+            def reset():
+                REGISTRY.reset()
+            """
+        assert not findings_for(inside, "OB004", name="obs.summary")

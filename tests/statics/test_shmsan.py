@@ -1,0 +1,151 @@
+"""shmsan: the runtime shared-memory sanitizer.
+
+Every intentional violation here is wrapped in its own ``shmsan.scope()``,
+so it is attributed to the test's scope and never pollutes the session-wide
+scope the autouse conftest fixture owns.
+"""
+
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.statics import shmsan
+
+
+@pytest.fixture
+def sanitizer():
+    """shmsan installed for the test; honours an already-armed session."""
+    installed_here = not shmsan.is_installed()
+    if installed_here:
+        shmsan.install()
+    yield shmsan
+    if installed_here:
+        report = shmsan.uninstall()
+        assert report.clean, shmsan.format_violations(report.violations)
+
+
+def kinds(scope):
+    return [violation.kind for violation in scope.violations]
+
+
+class TestCleanLifecycle:
+    def test_create_close_unlink_is_clean(self, sanitizer):
+        with sanitizer.scope() as scope:
+            segment = shared_memory.SharedMemory(create=True, size=16)
+            segment.buf[0] = 7
+            segment.close()
+            segment.unlink()
+        assert scope.clean
+
+    def test_attach_close_is_clean(self, sanitizer):
+        with sanitizer.scope() as scope:
+            owner = shared_memory.SharedMemory(create=True, size=16)
+            peer = shared_memory.SharedMemory(name=owner.name)
+            peer.close()
+            owner.close()
+            owner.unlink()
+        assert scope.clean
+
+
+class TestViolations:
+    def test_double_close(self, sanitizer):
+        with sanitizer.scope() as scope:
+            segment = shared_memory.SharedMemory(create=True, size=16)
+            segment.close()
+            segment.close()
+            segment.unlink()
+        assert kinds(scope) == ["double-close"]
+
+    def test_double_unlink(self, sanitizer):
+        with sanitizer.scope() as scope:
+            segment = shared_memory.SharedMemory(create=True, size=16)
+            segment.close()
+            segment.unlink()
+            with pytest.raises(FileNotFoundError):
+                segment.unlink()
+        assert kinds(scope) == ["double-unlink"]
+
+    def test_use_after_close(self, sanitizer):
+        with sanitizer.scope() as scope:
+            segment = shared_memory.SharedMemory(create=True, size=16)
+            segment.close()
+            _ = segment.buf
+            segment.unlink()
+        assert kinds(scope) == ["use-after-close"]
+
+    def test_leaked_segment(self, sanitizer):
+        with sanitizer.scope() as scope:
+            segment = shared_memory.SharedMemory(create=True, size=16)
+            segment.close()
+        assert kinds(scope) == ["leaked-segment"]
+        segment.unlink()  # actually clean /dev/shm up
+
+    def test_leaked_handle(self, sanitizer):
+        with sanitizer.scope() as scope:
+            segment = shared_memory.SharedMemory(create=True, size=16)
+            segment.unlink()
+        assert kinds(scope) == ["leaked-handle"]
+        segment.close()
+
+    def test_violations_carry_name_and_stack(self, sanitizer):
+        with sanitizer.scope() as scope:
+            segment = shared_memory.SharedMemory(create=True, size=16)
+            segment.close()
+            segment.close()
+            segment.unlink()
+        violation = scope.violations[0]
+        assert violation.name == segment.name
+        assert "test_shmsan" in violation.stack
+
+
+class TestScoping:
+    def test_inner_scope_shields_the_outer(self, sanitizer):
+        with sanitizer.scope() as outer:
+            with sanitizer.scope() as inner:
+                segment = shared_memory.SharedMemory(create=True, size=16)
+                segment.close()
+                segment.close()
+                segment.unlink()
+            assert kinds(inner) == ["double-close"]
+        assert outer.clean
+
+    def test_format_violations_is_readable(self, sanitizer):
+        with sanitizer.scope() as scope:
+            segment = shared_memory.SharedMemory(create=True, size=16)
+            segment.close()
+        segment.unlink()
+        text = shmsan.format_violations(scope.violations)
+        assert "leaked-segment" in text
+        assert segment.name in text
+
+
+class TestEventLog:
+    def test_lifecycle_events_are_logged(self, sanitizer, tmp_path, monkeypatch):
+        log = tmp_path / "shmsan.jsonl"
+        monkeypatch.setenv("FABP_SHMSAN_LOG", str(log))
+        with sanitizer.scope():
+            segment = shared_memory.SharedMemory(create=True, size=16)
+            segment.close()
+            segment.unlink()
+        events = shmsan.read_event_log(str(log))
+        assert [e["event"] for e in events] == ["create", "close", "unlink"]
+        assert all(e["name"] == segment.name for e in events)
+        assert all(isinstance(e["pid"], int) for e in events)
+
+
+class TestInstallContract:
+    def test_double_install_raises(self, sanitizer):
+        with pytest.raises(RuntimeError):
+            shmsan.install()
+
+    def test_uninstall_restores_the_class(self):
+        if shmsan.is_installed():
+            pytest.skip("session-armed sanitizer owns the patch")
+        shmsan.install()
+        assert shmsan.is_installed()
+        shmsan.uninstall()
+        assert not shmsan.is_installed()
+        segment = shared_memory.SharedMemory(create=True, size=16)
+        assert not hasattr(segment, "_shmsan")
+        segment.close()
+        segment.unlink()

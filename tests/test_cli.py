@@ -198,6 +198,66 @@ class TestLintExitCodes:
         assert "excluded_false_pins" in record
 
 
+class TestCheckExitCodes:
+    """The documented check contract: 0 clean, 1 findings, 2 usage error.
+
+    Self-hosting (``check --strict`` over the installed tree) exiting 0 is
+    the engine's acceptance gate; the exit-1 path runs over a planted dirty
+    tree so the gate is demonstrably capable of failing.
+    """
+
+    def test_self_hosting_strict_exits_zero(self, capsys):
+        assert main(["check", "--strict"]) == 0
+        assert "0 errors, 0 warnings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        dirty = tmp_path / "host"
+        dirty.mkdir()
+        (dirty / "bad.py").write_text(
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        assert main(["check", "--root", str(dirty)]) == 1
+        assert "RC006" in capsys.readouterr().out
+
+    def test_ignore_restores_clean_exit(self, tmp_path, capsys):
+        dirty = tmp_path / "host"
+        dirty.mkdir()
+        (dirty / "bad.py").write_text(
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        assert main(["check", "--root", str(dirty), "--ignore", "RC006"]) == 0
+        capsys.readouterr()
+
+    def test_missing_root_exits_two(self, tmp_path, capsys):
+        assert main(["check", "--root", str(tmp_path / "nowhere")]) == 2
+        capsys.readouterr()
+
+    def test_usage_error_exits_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", "--no-such-flag"])
+        assert excinfo.value.code == 2
+
+    def test_json_artifact_carries_rule_catalogue(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "check.json"
+        assert main(["check", "--strict", "--format", "json",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        ids = {entry["rule"] for entry in payload["rules"]}
+        assert {"RC001", "RC008", "OB001", "OB004"} <= ids
+        assert payload["summary"]["errors"] == 0
+
+
 class TestProve:
     def test_proofs_hold(self, capsys):
         code = main(["prove", "--widths", "36", "--equivalence-width", "12"])

@@ -56,6 +56,28 @@ def test_anchor_slugs_match_github_style():
     assert "exit-code-contract" in anchors
 
 
+def test_rule_registry_and_static_analysis_page_agree():
+    checker = _load_checker()
+    errors = []
+    checker.check_rule_anchors(errors)
+    assert errors == []
+
+
+def test_rule_anchor_check_catches_drift():
+    """The anchor check is demonstrably capable of failing, both directions."""
+    checker = _load_checker()
+    registered = checker.registered_static_rules()
+    assert {"RC001", "RC008", "OB001", "OB004"} <= registered
+    page = REPO / "docs" / "static_analysis.md"
+    documented = {
+        match.group(1).upper()
+        for anchor in checker.heading_anchors(page)
+        for match in [checker.RULE_ANCHOR_RE.match(anchor)]
+        if match
+    }
+    assert documented == registered
+
+
 def test_code_fences_are_not_scanned(tmp_path):
     checker = _load_checker()
     page = tmp_path / "fenced.md"

@@ -7,7 +7,12 @@ Validates, without requiring mkdocs:
 * every ``docs/*.md`` page appears in the nav (no orphaned pages);
 * every relative markdown link in ``docs/`` and the repo-level markdown
   files resolves to an existing file;
-* every ``file.md#anchor`` link targets a real heading in that file.
+* every ``file.md#anchor`` link targets a real heading in that file;
+* ``docs/static_analysis.md`` and the ``repro.statics`` rule registry
+  agree: every RC/OB rule id registered in ``src/repro/statics/*.py`` has
+  a heading anchor in the page, and every RC/OB heading in the page names
+  a registered rule (both directions, source-scraped so the check needs no
+  imports).
 
 Run from anywhere: ``python tools/check_docs.py``.  Exit code 0 means
 clean, 1 means findings (listed on stdout), matching the lint
@@ -136,6 +141,51 @@ def check_links(path: Path, errors: List[str]) -> None:
                 )
 
 
+#: ``STATIC_RULES.register("RC001", ...)`` in the statics rule families.
+RULE_REGISTRATION_RE = re.compile(r"register\(\s*[\"']([A-Z]{2}\d{3})[\"']")
+
+#: Heading anchors that look like rule entries (``rc001-...``).
+RULE_ANCHOR_RE = re.compile(r"^([a-z]{2}\d{3})\b")
+
+
+def registered_static_rules() -> Set[str]:
+    """RC/OB rule ids registered in ``src/repro/statics`` (source-scraped)."""
+    rules: Set[str] = set()
+    statics = REPO / "src" / "repro" / "statics"
+    for path in sorted(statics.glob("*.py")):
+        rules.update(RULE_REGISTRATION_RE.findall(path.read_text()))
+    return rules
+
+
+def check_rule_anchors(errors: List[str]) -> None:
+    """``docs/static_analysis.md`` and the rule registry must agree."""
+    page = DOCS / "static_analysis.md"
+    if not page.exists():
+        errors.append("docs/static_analysis.md is missing")
+        return
+    rules = registered_static_rules()
+    if not rules:
+        errors.append("src/repro/statics: no registered RC/OB rules found")
+        return
+    anchors = heading_anchors(page)
+    documented = {
+        match.group(1).upper()
+        for anchor in anchors
+        for match in [RULE_ANCHOR_RE.match(anchor)]
+        if match
+    }
+    for rule in sorted(rules - documented):
+        errors.append(
+            f"docs/static_analysis.md: registered rule {rule} has no "
+            f"heading anchor"
+        )
+    for rule in sorted(documented - rules):
+        errors.append(
+            f"docs/static_analysis.md: heading for {rule} names an "
+            f"unregistered rule"
+        )
+
+
 def main() -> int:
     errors: List[str] = []
 
@@ -162,6 +212,8 @@ def main() -> int:
         path = REPO / name
         if path.exists():
             check_links(path, errors)
+
+    check_rule_anchors(errors)
 
     if errors:
         print(f"check_docs: {len(errors)} finding(s)")
