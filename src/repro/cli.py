@@ -548,10 +548,39 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _emit_reports(reports, args, *, extra=None, sarif_rules=None) -> None:
+    """Serialize reports per ``--format`` and write to ``--out`` or stdout.
+
+    The one serializer stack (text/json/sarif over the shared Finding
+    model) serves both ``lint`` and ``check`` — SARIF is what GitHub code
+    scanning ingests.
+    """
+    from repro.lint import render_json, render_sarif, render_text
+
+    if args.format == "json":
+        text = render_json(reports, extra=extra)
+    elif args.format == "sarif":
+        text = render_sarif(reports, rules=sarif_rules)
+    else:
+        text = render_text(reports)
+    _write_or_print(text, args.out)
+
+
+def _write_or_print(text: str, out: Optional[str]) -> None:
+    if out:
+        import pathlib
+
+        path = pathlib.Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+        print(f"wrote {path}")
+    else:
+        print(text)
+
+
 def cmd_lint(args) -> int:
     from repro.core.encoding import encode_query
     from repro.core.instr_lint import lint_query
-    from repro.lint import render_json, render_text
     from repro.rtl.lint import demo_designs, lint_netlist
     from repro.rtl.timing import analyze
     from repro.seq.sequence import ProteinSequence
@@ -574,19 +603,9 @@ def cmd_lint(args) -> int:
     for query in queries:
         reports.append(lint_query(encode_query(query), ignore=ignore))
 
-    if args.format == "json":
-        text = render_json(reports, extra={"resources": resources, "timing": timing})
-    else:
-        text = render_text(reports)
-    if args.out:
-        import pathlib
-
-        path = pathlib.Path(args.out)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(text + "\n")
-        print(f"wrote {path}")
-    else:
-        print(text)
+    _emit_reports(
+        reports, args, extra={"resources": resources, "timing": timing}
+    )
 
     failed = any(not r.ok for r in reports)
     if args.strict:
@@ -595,15 +614,24 @@ def cmd_lint(args) -> int:
 
 
 def cmd_check(args) -> int:
-    """Concurrency/resource static analysis over the repo's own source.
+    """Static analysis (RC/OB/KC rules) over the repo's own source.
 
     Same exit-code contract as ``lint``: 0 clean, 1 findings (errors, or
-    warnings under ``--strict``), 2 usage error.
+    warnings under ``--strict``), 2 usage error.  ``--ignore`` accepts
+    exact ids, same-family ranges (``RC001-RC004``) and globs (``KC00*``)
+    — the same selector grammar line pragmas use.
     """
-    from repro.lint import render_json, render_text
-    from repro.statics import rule_catalogue, run_statics
+    from repro.lint import rule_pattern_matches
+    from repro.statics import STATIC_RULES, rule_catalogue, run_statics
 
     ignore = [r for spec in args.ignore for r in spec.split(",") if r]
+    known_ids = STATIC_RULES.ids()
+    for pattern in ignore:
+        if not any(rule_pattern_matches(pattern, rid) for rid in known_ids):
+            print(
+                f"check: --ignore pattern {pattern!r} matches no known rule",
+                file=sys.stderr,
+            )
     try:
         reports = run_statics(args.root, ignore=ignore)
     except OSError as error:
@@ -613,19 +641,8 @@ def cmd_check(args) -> int:
         print(f"check: no Python modules under {args.root}", file=sys.stderr)
         return 2
 
-    if args.format == "json":
-        text = render_json(reports, extra={"rules": rule_catalogue()})
-    else:
-        text = render_text(reports)
-    if args.out:
-        import pathlib
-
-        path = pathlib.Path(args.out)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(text + "\n")
-        print(f"wrote {path}")
-    else:
-        print(text)
+    catalogue = rule_catalogue()
+    _emit_reports(reports, args, extra={"rules": catalogue}, sarif_rules=catalogue)
 
     failed = any(not r.ok for r in reports)
     if args.strict:
@@ -682,7 +699,55 @@ def _prove_self_test() -> Dict[str, object]:
     }
 
 
+def _cmd_prove_kernel(args) -> int:
+    """``fabp-repro prove kernel``: lane budgets + dtype envelopes as one artifact."""
+    import json
+
+    from repro.statics import prove_kernels
+
+    payload = prove_kernels(self_test=args.self_test)
+    lines: List[str] = []
+
+    budget = payload["lane_budget"]
+    status = "exact" if budget["exact"] else ("bound" if budget["proven"] else "FAILED")
+    lines.append(
+        f"lane budget: popcount({payload['max_query_elements']}) needs "
+        f"{budget['needed_bits']} bits of the {budget['out_bits']}-bit count "
+        f"word [{status}] — {'fits' if budget['fits'] else 'DOES NOT FIT'}"
+    )
+    flow = payload["dtype_flow"]
+    for name, bits in sorted(payload["accumulator_value_bits"].items()):
+        report = flow[name]
+        if not report["analyzed"]:
+            verdict = "NOT ANALYZED"
+        elif report["clean"]:
+            returns = ", ".join(report["returns"]) or "—"
+            verdict = f"dtype flow clean (returns {returns})"
+        else:
+            verdict = f"{len(report['events'])} dtype-flow event(s)"
+        lines.append(f"engine {name}: {bits} accumulator value bits; {verdict}")
+        for event in report["events"]:
+            lines.append(f"  {event['kind']} at line {event['line']}: {event['message']}")
+    if args.self_test:
+        self_test = payload["self_test"]
+        lines.append(
+            "self-test: seeded overflow + undersized budget "
+            + ("refuted" if self_test["ok"] else "NOT refuted")
+        )
+    ok = bool(payload["ok"])
+    lines.append(f"verdict: {'kernel contracts hold' if ok else 'REFUTED'}")
+
+    text = json.dumps(payload, indent=2) if args.format == "json" else "\n".join(lines)
+    _write_or_print(text, args.out)
+    if args.out and args.format != "json":
+        print("\n".join(lines))
+    return 0 if ok else 1
+
+
 def cmd_prove(args) -> int:
+    if args.target == "kernel":
+        return _cmd_prove_kernel(args)
+
     import json
 
     from repro.core.absint import verify_all_amino_acids
@@ -755,17 +820,9 @@ def cmd_prove(args) -> int:
     lines.append(f"verdict: {'all proofs hold' if ok else 'REFUTED'}")
 
     text = json.dumps(payload, indent=2) if args.format == "json" else "\n".join(lines)
-    if args.out:
-        import pathlib
-
-        path = pathlib.Path(args.out)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(text + "\n")
-        print(f"wrote {path}")
-        if args.format != "json":
-            print("\n".join(lines))
-    else:
-        print(text)
+    _write_or_print(text, args.out)
+    if args.out and args.format != "json":
+        print("\n".join(lines))
     return 0 if ok else 1
 
 
@@ -982,7 +1039,7 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="static lint of generated netlists and instruction streams"
     )
     add_query_args(p)
-    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--format", choices=("text", "json", "sarif"), default="text")
     p.add_argument("--out", help="write the report to a file instead of stdout")
     p.add_argument("--ignore", action="append", default=[], metavar="RULES",
                    help="comma-separated rule ids to suppress (repeatable)")
@@ -997,16 +1054,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "check",
-        help="concurrency & resource static analysis of the host runtime "
-        "source (rules RC001-RC008, OB001-OB004)",
+        help="static analysis of the repo's own source (rules RC001-RC008, "
+        "OB001-OB004, KC001-KC008)",
     )
     p.add_argument("--root", default=None,
                    help="package directory to analyze (default: the "
                    "installed repro package)")
-    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--format", choices=("text", "json", "sarif"), default="text")
     p.add_argument("--out", help="write the report to a file instead of stdout")
     p.add_argument("--ignore", action="append", default=[], metavar="RULES",
-                   help="comma-separated rule ids to suppress (repeatable)")
+                   help="comma-separated rule ids, ranges (RC001-RC004) or "
+                   "globs (KC00*) to suppress (repeatable); line pragmas "
+                   "use the same selector grammar and are applied after "
+                   "CLI ignores")
     p.add_argument("--strict", action="store_true",
                    help="treat warnings as failures (exit codes: 0 clean, "
                    "1 findings, 2 usage error)")
@@ -1015,8 +1075,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "prove",
         help="symbolic verification: comparator semantics per amino acid, "
-        "score-range bounds at the Table I design points, block equivalence",
+        "score-range bounds at the Table I design points, block equivalence; "
+        "'prove kernel' proves engine lane budgets and dtype envelopes",
     )
+    p.add_argument("target", nargs="?", choices=("rtl", "kernel"), default="rtl",
+                   help="what to prove: 'rtl' (default) runs the symbolic "
+                   "netlist proofs; 'kernel' emits the engine-contract "
+                   "proof artifact (lane budget at 750 elements, dtype-flow "
+                   "verdict per scoring engine)")
     p.add_argument("--widths", type=int, nargs="+",
                    default=[150, 300, 450, 600, 750],
                    help="popcount widths (elements) to range-prove")

@@ -28,23 +28,33 @@ from repro.core.backtranslate import (
     back_translate,
     pattern_string,
 )
+from repro.core.contracts import (
+    ENGINE_CONTRACTS,
+    MAX_QUERY_ELEMENTS,
+    EngineContract,
+    engine_contract,
+)
 from repro.core.encoding import EncodedQuery, encode_query
 from repro.core.instr_lint import INSTRUCTION_RULES, lint_instructions, lint_query
 
 __all__ = [
     "DEFAULT_ENGINE",
+    "ENGINE_CONTRACTS",
     "ENGINES",
     "INSTRUCTION_RULES",
+    "MAX_QUERY_ELEMENTS",
     "AlignmentResult",
     "BACK_TRANSLATION_TABLE",
     "CodonPattern",
     "EncodedQuery",
+    "EngineContract",
     "Hit",
     "align",
     "alignment_scores",
     "alignment_scores_extended",
     "back_translate",
     "encode_query",
+    "engine_contract",
     "lint_instructions",
     "lint_query",
     "pattern_string",

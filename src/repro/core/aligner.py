@@ -31,6 +31,7 @@ import numpy as np
 from repro.core import backtranslate as bt
 from repro.core import bitscore
 from repro.core import comparator as cmp
+from repro.core.contracts import engine_contract
 from repro.core.encoding import EncodedQuery, encode_pattern, encode_query
 from repro.obs import profile as _obs_profile
 from repro.obs import state as _obs_state
@@ -147,6 +148,7 @@ ENGINES = ("bitscore", "packed", "diagonal", "vectorized", "naive")
 DEFAULT_ENGINE = "bitscore"
 
 
+@engine_contract("vectorized")
 def _vectorized_scores(instructions: np.ndarray, ref_codes: np.ndarray) -> np.ndarray:
     """Per-element table-gather scoring (the pre-SWAR vectorized engine)."""
     num_elements = instructions.size
@@ -168,6 +170,7 @@ def _vectorized_scores(instructions: np.ndarray, ref_codes: np.ndarray) -> np.nd
     return scores
 
 
+@engine_contract("naive")
 def _naive_scores(instructions: np.ndarray, ref_codes: np.ndarray) -> np.ndarray:
     """Straight-line Python scoring (the test oracle)."""
     instruction_list = [int(i) for i in instructions]
@@ -248,7 +251,11 @@ def alignment_scores_naive(query: QueryLike, reference: ReferenceLike) -> np.nda
     return _naive_scores(encoded.as_array(), ref_codes)
 
 
-@lru_cache(maxsize=None)
+# The extended alphabet has 21 letters, so 32 entries hold every residue a
+# long-lived service can ever ask for while keeping the cache *bounded*
+# (maxsize=None would grow without limit if keys ever diversified).
+# Effectiveness is observable via the fabp_encoding_cache_* gauges.
+@lru_cache(maxsize=32)
 def _extended_residue_tables(
     residue: str,
 ) -> Tuple[Tuple[np.ndarray, np.ndarray, np.ndarray], ...]:
@@ -258,7 +265,7 @@ def _extended_residue_tables(
     as produced by :func:`repro.core.encoding.encode_pattern` and
     :func:`repro.core.comparator.instruction_tables`.  Extended mode used to
     re-encode and re-tabulate every pattern per residue *per call*; the
-    alphabet has 21 letters, so this cache removes that constant work.
+    cache removes that constant work.
     """
     patterns = bt.EXTENDED_TABLE[residue]
     entries = []
@@ -307,6 +314,9 @@ def alignment_scores_extended(
                     partial += tables[j, x_bits, window]
             np.maximum(best, partial, out=best)
         scores += best
+    if _obs_state.enabled():
+        info = _extended_residue_tables.cache_info()
+        _obs_profile.record_encoding_cache(info.hits, info.misses, info.currsize)
     return scores
 
 

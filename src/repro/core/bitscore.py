@@ -42,6 +42,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core import comparator as cmp
+from repro.core.contracts import MAX_QUERY_ELEMENTS, engine_contract, kernel_summary
 
 #: Bits per SWAR word (the software "beat" width).
 WORD_BITS = 64
@@ -53,6 +54,7 @@ DIAGONAL_MAX_CELLS = 1 << 21
 _WORD_DTYPE = np.dtype("<u8")
 
 
+@kernel_summary(("uint8", 0, 1))
 def x_bit_rows(ref_codes: np.ndarray) -> np.ndarray:
     """Per-position X-source bit arrays, indexed by config code.
 
@@ -76,6 +78,7 @@ def x_bit_rows(ref_codes: np.ndarray) -> np.ndarray:
     return rows
 
 
+@kernel_summary(("uint8", 0, 1), ("intp", 0, 63))
 def match_bytes(
     instructions: np.ndarray, ref_codes: np.ndarray
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -102,6 +105,7 @@ def match_bytes(
     return rows, np.asarray(element_rows, dtype=np.intp).ravel()
 
 
+@kernel_summary(("uint64", 0, (1 << 64) - 1))
 def pack_row(bits: np.ndarray, pad_words: int = 1) -> np.ndarray:
     """Pack a uint8 0/1 vector into little-endian uint64 words.
 
@@ -115,6 +119,7 @@ def pack_row(bits: np.ndarray, pad_words: int = 1) -> np.ndarray:
     return buffer.view(_WORD_DTYPE)
 
 
+@kernel_summary(("uint64", 0, (1 << 64) - 1))
 def shifted_row(words: np.ndarray, shift: int, num_words: int) -> np.ndarray:
     """``num_words`` words of ``words`` right-shifted by ``shift`` bits.
 
@@ -168,6 +173,7 @@ class VerticalCounter:
         if twos.any():
             self._add_at(twos, 1)
 
+    @kernel_summary(("int32", 0, MAX_QUERY_ELEMENTS))
     def decode(self, num_positions: int) -> np.ndarray:
         """Materialize the counts as an int32 array of ``num_positions``."""
         scores = np.zeros(num_positions, dtype=np.int32)
@@ -179,6 +185,7 @@ class VerticalCounter:
         return scores
 
 
+@engine_contract("packed")
 def packed_scores(instructions: np.ndarray, ref_codes: np.ndarray) -> np.ndarray:
     """All alignment-position scores via packed bitplanes + CSA popcount."""
     instructions = np.asarray(instructions, dtype=np.uint8)
@@ -206,6 +213,7 @@ def packed_scores(instructions: np.ndarray, ref_codes: np.ndarray) -> np.ndarray
     return counter.decode(num_positions)
 
 
+@engine_contract("diagonal")
 def diagonal_scores(instructions: np.ndarray, ref_codes: np.ndarray) -> np.ndarray:
     """All alignment-position scores via a strided-diagonal uint8 reduction.
 
@@ -233,6 +241,7 @@ def diagonal_scores(instructions: np.ndarray, ref_codes: np.ndarray) -> np.ndarr
     return np.einsum("ki->k", diagonals, dtype=np.int32, casting="unsafe")
 
 
+@engine_contract("bitscore")
 def scores(
     instructions: np.ndarray,
     ref_codes: np.ndarray,

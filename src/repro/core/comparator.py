@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core import backtranslate as bt
 from repro.core import encoding as enc
+from repro.core.contracts import kernel_summary
 from repro.seq import alphabet
 
 
@@ -140,6 +141,7 @@ def mux_lut_init() -> int:
     return init
 
 
+@kernel_summary(("uint8", 0, 1), ("uint8", 0, 3))
 def instruction_tables(instructions: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Per-instruction lookup tables for the vectorized aligner.
 

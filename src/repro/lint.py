@@ -24,7 +24,9 @@ findings from ignored rules are dropped before the report is built.  See
 from __future__ import annotations
 
 import enum
+import fnmatch
 import json
+import re
 from dataclasses import dataclass, field
 from typing import (
     Callable,
@@ -175,7 +177,7 @@ class RuleRegistry:
         selected = [self.get(r) for r in rules] if rules is not None else list(self)
         findings: List[Finding] = []
         for rule in selected:
-            if rule.rule_id in ignored:
+            if any(rule_pattern_matches(p, rule.rule_id) for p in ignored):
                 continue
             findings.extend(rule.check(rule=rule, **context))
         return LintReport(subject=subject_name, findings=tuple(findings))
@@ -185,6 +187,51 @@ def _normalize_ignore(ignore: Iterable[str]) -> FrozenSet[str]:
     if isinstance(ignore, str):
         ignore = [ignore]
     return frozenset(r.strip() for r in ignore if r and r.strip())
+
+
+#: A concrete rule id: two-letter family, three-digit number.
+_RULE_ID_RE = re.compile(r"[A-Z]{2}\d{3}")
+
+
+def rule_pattern_matches(pattern: str, rule_id: str) -> bool:
+    """True when ``pattern`` selects ``rule_id``.
+
+    Three pattern forms, shared by ``--ignore`` flags and suppression
+    pragmas so both spell selections identically:
+
+    * an exact id — ``"RC001"``;
+    * a glob — ``"KC00*"`` (``fnmatch`` over the id);
+    * an inclusive range within one family — ``"RC001-RC004"``.
+
+    A range with mismatched family prefixes (``"RC001-OB004"``) selects
+    nothing: silently widening across families would hide typos.
+    """
+    pattern = pattern.strip()
+    if not pattern:
+        return False
+    if "*" in pattern or "?" in pattern:
+        return fnmatch.fnmatchcase(rule_id, pattern)
+    if "-" in pattern:
+        lo, _, hi = pattern.partition("-")
+        lo, hi = lo.strip(), hi.strip()
+        if not (_RULE_ID_RE.fullmatch(lo) and _RULE_ID_RE.fullmatch(hi)):
+            return False
+        if lo[:2] != hi[:2] or rule_id[:2] != lo[:2]:
+            return False
+        return lo <= rule_id <= hi
+    return pattern == rule_id
+
+
+def expand_rule_patterns(
+    patterns: Iterable[str], known_ids: Iterable[str]
+) -> Tuple[str, ...]:
+    """The concrete ids out of ``known_ids`` selected by any pattern."""
+    normalized = _normalize_ignore(patterns)
+    return tuple(
+        rule_id
+        for rule_id in known_ids
+        if any(rule_pattern_matches(p, rule_id) for p in normalized)
+    )
 
 
 @dataclass(frozen=True)
@@ -302,4 +349,79 @@ def render_json(
     }
     if extra:
         payload.update(extra)
+    return json.dumps(payload, indent=indent, sort_keys=False)
+
+
+_SARIF_LEVELS: Dict[Severity, str] = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _sarif_location(location: str) -> Tuple[str, Optional[int]]:
+    """Split a finding location into ``(uri, line)``.
+
+    Locations are ``file:line`` (possibly prefixed by a merged subject,
+    ``module:file:line``); a missing or non-numeric tail means no line.
+    """
+    head, sep, tail = location.rpartition(":")
+    if sep and tail.isdigit():
+        return head or location, int(tail)
+    return location, None
+
+
+def render_sarif(
+    reports: Sequence[LintReport],
+    *,
+    tool_name: str = "fabp-repro",
+    rules: Optional[Sequence[Dict[str, str]]] = None,
+    indent: int = 2,
+) -> str:
+    """SARIF 2.1.0 report — the GitHub code-scanning upload format.
+
+    One serializer over the shared :class:`Finding` model serves every
+    subcommand (``lint --format sarif``, ``check --format sarif``);
+    ``rules`` is optional rule metadata (``rule``/``name``/``guards``
+    mappings, e.g. :func:`repro.statics.engine.rule_catalogue`) embedded
+    as the driver's rule descriptors.
+    """
+    driver: Dict[str, object] = {
+        "name": tool_name,
+        "informationUri": "https://example.invalid/fabp-repro",
+    }
+    if rules:
+        driver["rules"] = [
+            {
+                "id": entry["rule"],
+                "shortDescription": {"text": entry.get("name", entry["rule"])},
+                "fullDescription": {"text": entry.get("guards", "")},
+            }
+            for entry in rules
+        ]
+    results: List[Dict[str, object]] = []
+    for report in reports:
+        for finding in report.findings:
+            uri, line = _sarif_location(finding.location)
+            region: Dict[str, object] = {"startLine": line} if line is not None else {}
+            physical: Dict[str, object] = {"artifactLocation": {"uri": uri}}
+            if region:
+                physical["region"] = region
+            message = finding.message
+            if finding.suggested_fix:
+                message += f" (fix: {finding.suggested_fix})"
+            results.append(
+                {
+                    "ruleId": finding.rule_id,
+                    "level": _SARIF_LEVELS[finding.severity],
+                    "message": {"text": message},
+                    "locations": [{"physicalLocation": physical}],
+                    "properties": {"subject": report.subject},
+                }
+            )
+    payload: Dict[str, object] = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{"tool": {"driver": driver}, "results": results}],
+    }
     return json.dumps(payload, indent=indent, sort_keys=False)

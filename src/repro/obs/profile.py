@@ -27,6 +27,9 @@ name                                    kind       labels
 ``fabp_checkpoint_chunks_total``        counter    —
 ``fabp_checkpoint_bytes_total``         counter    —
 ``fabp_shm_bytes``                      gauge      — (high-water mark)
+``fabp_encoding_cache_hits``            gauge      —
+``fabp_encoding_cache_misses``          gauge      —
+``fabp_encoding_cache_entries``         gauge      —
 ``fabp_kernel_runs_total``              counter    ``device``
 ``fabp_kernel_beats_total``             counter    ``device``
 ``fabp_kernel_cycles_total``            counter    ``device``, ``kind``
@@ -55,6 +58,7 @@ __all__ = [
     "record_scan_attempt",
     "record_scan_report_counters",
     "record_checkpoint_chunk",
+    "record_encoding_cache",
     "record_shm_bytes",
     "record_kernel_run",
     "record_schedule_plan",
@@ -83,6 +87,9 @@ HOOK_CATALOGUE = frozenset(
         "fabp_checkpoint_chunks_total",
         "fabp_checkpoint_bytes_total",
         "fabp_shm_bytes",
+        "fabp_encoding_cache_hits",
+        "fabp_encoding_cache_misses",
+        "fabp_encoding_cache_entries",
         "fabp_kernel_runs_total",
         "fabp_kernel_beats_total",
         "fabp_kernel_cycles_total",
@@ -249,6 +256,21 @@ def record_shm_bytes(num_bytes: int) -> None:
         "fabp_shm_bytes", "Largest shared-memory segment published (bytes)."
     ).default
     gauge.track_max(num_bytes)  # type: ignore[union-attr]
+
+
+def record_encoding_cache(hits: int, misses: int, entries: int) -> None:
+    """Snapshot the extended-mode residue-table cache effectiveness."""
+    if not state.enabled():
+        return
+    REGISTRY.gauge(
+        "fabp_encoding_cache_hits", "Residue-table cache hits."
+    ).default.set(hits)
+    REGISTRY.gauge(
+        "fabp_encoding_cache_misses", "Residue-table cache misses."
+    ).default.set(misses)
+    REGISTRY.gauge(
+        "fabp_encoding_cache_entries", "Residue-table cache entries."
+    ).default.set(entries)
 
 
 def record_kernel_run(run: Any) -> None:

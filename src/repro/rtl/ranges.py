@@ -44,6 +44,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
+from functools import lru_cache
 from itertools import product
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -573,3 +574,73 @@ def prove_count_range(
         slack_terms=len(slack),
         reason=reason,
     )
+
+
+@dataclass(frozen=True)
+class LaneBudget:
+    """A proven counter lane budget: ``width`` one-bit inputs vs ``out_bits``.
+
+    The software analogue of the paper's Pop36 claim (Table I: 750 query
+    elements fit a 10-bit count): the budget *fits* when the word-level
+    prover establishes that a ``width``-input carry-save pop-counter's
+    output word is exactly the popcount — hence at most ``width`` — and
+    the bits needed for that maximum do not exceed ``out_bits``.
+    """
+
+    width: int
+    out_bits: int
+    proof: WordProof
+
+    @property
+    def proven(self) -> bool:
+        return self.proof.proven
+
+    @property
+    def exact(self) -> bool:
+        return self.proof.exact
+
+    @property
+    def max_value(self) -> int:
+        return self.proof.max_value
+
+    @property
+    def needed_bits(self) -> int:
+        return self.proof.needed_bits
+
+    @property
+    def fits(self) -> bool:
+        """True when the proven maximum count fits ``out_bits`` bits."""
+        return self.proof.proven and self.needed_bits <= self.out_bits
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "width": self.width,
+            "out_bits": self.out_bits,
+            "needed_bits": self.needed_bits,
+            "max_value": self.max_value,
+            "proven": self.proven,
+            "exact": self.exact,
+            "fits": self.fits,
+            "proof": self.proof.to_dict(),
+        }
+
+
+@lru_cache(maxsize=8)
+def lane_budget(width: int, out_bits: Optional[int] = None) -> LaneBudget:
+    """Prove the carry-save lane budget for a ``width``-bit count.
+
+    Builds the paper-style Pop36 pop-counter for ``width`` inputs and runs
+    :func:`prove_count_range` over it.  ``out_bits`` is the accumulator
+    budget to check against (defaults to the netlist's own score width,
+    ``ceil(log2(width+1))``); pass a smaller value to *refute* a budget —
+    ``lane_budget(750, out_bits=9).fits`` is False because 750 needs 10
+    bits.  Cached (bounded): static rules and the prover CLI ask for the
+    same handful of widths repeatedly, and each proof costs ~0.1 s at the
+    paper's maximum width.
+    """
+    from repro.rtl.popcount import build_popcounter
+
+    block = build_popcounter(width, style="fabp", pipelined=False)
+    proof = prove_count_range(block.netlist)
+    resolved = out_bits if out_bits is not None else proof.out_width
+    return LaneBudget(width=width, out_bits=resolved, proof=proof)

@@ -20,6 +20,12 @@ invariants are enforced by ``fabp-repro lint``:
   protocols, honest exception handling;
 * :mod:`repro.statics.observability` — rules OB001-OB004: enabled-boolean
   guards, the declared hook catalogue, hot-path label hygiene;
+* :mod:`repro.statics.kernels` — rules KC001-KC008: engine-contract
+  enforcement over the scoring kernels (dispatch completeness, signature
+  and dtype envelopes, purity, word-level lane-budget proofs), plus the
+  ``fabp-repro prove kernel`` backend;
+* :mod:`repro.statics.dtypeflow` — the numpy dtype/interval abstract
+  interpreter the KC rules run over engine bodies;
 * :mod:`repro.statics.shmsan` — the *runtime* shared-memory sanitizer that
   backs the static rules with leak / double-close / use-after-close
   detection across the whole test suite.
@@ -34,6 +40,7 @@ from repro.statics.discovery import (
     module_from_source,
     parse_pragmas,
 )
+from repro.statics.dtypeflow import AbstractValue, DtypeFlow, abstract_eval
 from repro.statics.engine import (
     STATIC_RULES,
     analyze_module,
@@ -42,19 +49,25 @@ from repro.statics.engine import (
     rule_catalogue,
     run_statics,
 )
+from repro.statics.kernels import KERNEL_RULES, prove_kernels
 from repro.statics.observability import OBSERVABILITY_RULES
 
 __all__ = [
     "CONCURRENCY_RULES",
+    "KERNEL_RULES",
     "OBSERVABILITY_RULES",
     "STATIC_RULES",
+    "AbstractValue",
+    "DtypeFlow",
     "SourceModule",
+    "abstract_eval",
     "analyze_module",
     "analyze_source",
     "default_root",
     "discover_modules",
     "module_from_source",
     "parse_pragmas",
+    "prove_kernels",
     "rule_catalogue",
     "run_statics",
 ]

@@ -26,9 +26,18 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
-#: ``# statics: ignore[RC001]`` or ``# statics: ignore[RC001, OB002] why``.
+from repro.lint import rule_pattern_matches
+
+#: One pragma selector: an exact id (``RC001``), a same-family range
+#: (``RC001-RC004``) or a glob (``KC00*``) — the same grammar the CLI's
+#: ``--ignore`` flag accepts (:func:`repro.lint.rule_pattern_matches`).
+_PRAGMA_ITEM = r"[A-Z]{2}\d{3}(?:\s*-\s*[A-Z]{2}\d{3})?|[A-Z]{2}\d{0,3}\*"
+
+#: ``# statics: ignore[RC001]`` or ``# statics: ignore[RC001, OB00*] why``.
 PRAGMA_RE = re.compile(
-    r"#\s*statics:\s*ignore\[\s*([A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)\s*\]\s*(.*)$"
+    r"#\s*statics:\s*ignore\[\s*((?:{item})(?:\s*,\s*(?:{item}))*)\s*\]\s*(.*)$".format(
+        item=_PRAGMA_ITEM
+    )
 )
 
 
@@ -43,6 +52,10 @@ class Pragma:
     @property
     def justified(self) -> bool:
         return bool(self.reason.strip())
+
+    def covers(self, rule_id: str) -> bool:
+        """True when any listed selector (id, range, glob) matches."""
+        return any(rule_pattern_matches(item, rule_id) for item in self.rule_ids)
 
 
 def parse_pragmas(source: str) -> Dict[int, Pragma]:
@@ -73,7 +86,7 @@ class SourceModule:
         A pragma anchors to its own line and to the line directly below it.
         """
         for candidate in (self.pragmas.get(line), self.pragmas.get(line - 1)):
-            if candidate is not None and rule_id in candidate.rule_ids:
+            if candidate is not None and candidate.covers(rule_id):
                 return candidate
         return None
 

@@ -19,8 +19,9 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.lint import Finding, LintReport, _normalize_ignore
+from repro.lint import Finding, LintReport, _normalize_ignore, rule_pattern_matches
 from repro.statics import concurrency as _concurrency  # noqa: F401  (registration)
+from repro.statics import kernels as _kernels  # noqa: F401  (registration)
 from repro.statics import observability as _observability  # noqa: F401  (registration)
 from repro.statics.discovery import (
     SourceModule,
@@ -78,7 +79,7 @@ def analyze_module(
     )
     findings: List[Finding] = []
     for rule in selected:
-        if rule.rule_id in ignored:
+        if any(rule_pattern_matches(p, rule.rule_id) for p in ignored):
             continue
         findings.extend(_apply_pragmas(module, rule.check(rule=rule, module=module)))
     return LintReport(subject=module.name, findings=tuple(findings))

@@ -206,3 +206,20 @@ class TestAlign:
         result = align("MFW", random_rna(50, rng=rng), threshold=0)
         assert "hits" in str(result)
         assert str(Hit(3, 5)) == "pos=3 score=5"
+
+
+class TestResidueTableCache:
+    def test_cache_is_bounded(self):
+        from repro.core.aligner import _extended_residue_tables
+
+        assert _extended_residue_tables.cache_info().maxsize == 32
+
+    def test_repeat_residues_hit_the_cache(self):
+        from repro.core.aligner import _extended_residue_tables
+
+        _extended_residue_tables.cache_clear()
+        alignment_scores_extended("SS", "AGUAGU")
+        info = _extended_residue_tables.cache_info()
+        assert info.misses >= 1
+        assert info.hits >= 1
+        assert info.currsize <= 32

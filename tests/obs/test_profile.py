@@ -150,3 +150,29 @@ class TestDisabledHooksAreNoops:
         profile.record_bench_record("naive", 1, 1.0, 1.0)
         assert REGISTRY.families() == []
         assert len(RECORDER) == 0
+
+
+class TestEncodingCacheHook:
+    def test_disabled_is_noop(self):
+        profile.record_encoding_cache(3, 1, 2)
+        assert REGISTRY.families() == []
+
+    def test_gauges_snapshot_the_cache(self):
+        state.enable()
+        profile.record_encoding_cache(3, 1, 2)
+        assert family("fabp_encoding_cache_hits").default.value == 3
+        assert family("fabp_encoding_cache_misses").default.value == 1
+        assert family("fabp_encoding_cache_entries").default.value == 2
+
+    def test_extended_alignment_emits_cache_gauges(self):
+        from repro.core.aligner import alignment_scores_extended
+
+        state.enable()
+        alignment_scores_extended("S", "AGU")
+        names = {f.name for f in REGISTRY.families()}
+        assert {
+            "fabp_encoding_cache_hits",
+            "fabp_encoding_cache_misses",
+            "fabp_encoding_cache_entries",
+        } <= names
+        assert family("fabp_encoding_cache_entries").default.value >= 1

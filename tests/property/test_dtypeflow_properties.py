@@ -1,0 +1,86 @@
+"""Property test: the dtype-flow verdict agrees with numpy's real promotion.
+
+Random expression trees over a pool of array dtypes and python scalars are
+evaluated twice — abstractly by :func:`repro.statics.abstract_eval` and
+concretely by numpy on one-element arrays — and the abstract result dtype
+must equal the dtype numpy actually produced (NEP-50 weak-scalar rules
+included).
+"""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.statics import AbstractValue, abstract_eval
+
+DTYPES = (
+    "uint8",
+    "uint16",
+    "uint64",
+    "int16",
+    "int32",
+    "int64",
+    "float32",
+    "float64",
+)
+
+array_leaf = st.sampled_from(DTYPES).map(lambda d: ("array", d))
+scalar_leaf = st.integers(min_value=0, max_value=100).map(lambda v: ("scalar", v))
+
+expression_trees = st.recursive(
+    st.one_of(array_leaf, scalar_leaf),
+    lambda children: st.tuples(st.sampled_from(("+", "-", "*")), children, children),
+    max_leaves=6,
+)
+
+
+def realize(tree, env, values):
+    """Render a tree to source, seeding abstract env + concrete arrays."""
+    if tree[0] == "array":
+        name = f"a{len(env)}"
+        env[name] = AbstractValue(tree[1], 1, 1)
+        values[name] = np.ones(1, dtype=tree[1])
+        return name
+    if tree[0] == "scalar":
+        return str(tree[1])
+    op, left, right = tree
+    return f"({realize(left, env, values)} {op} {realize(right, env, values)})"
+
+
+class TestAbstractPromotionMatchesNumpy:
+    @given(tree=expression_trees)
+    @settings(max_examples=200, deadline=None)
+    def test_abstract_dtype_equals_concrete_dtype(self, tree):
+        env = {}
+        values = {}
+        source = realize(tree, env, values)
+        assume(env)  # an all-scalar tree never fixes a concrete dtype
+
+        abstract = abstract_eval(source, env)
+        try:
+            with np.errstate(all="ignore"):
+                concrete = eval(source, dict(values))  # noqa: S307
+        except OverflowError:
+            # NEP 50 refuses a negative python scalar against an unsigned
+            # array — no concrete dtype exists to compare against.
+            assume(False)
+        assert abstract.dtype == concrete.dtype.name, (
+            f"{source}: abstract {abstract} vs numpy {concrete.dtype}"
+        )
+
+    @given(tree=expression_trees)
+    @settings(max_examples=100, deadline=None)
+    def test_abstract_interval_respects_dtype_bounds(self, tree):
+        env = {}
+        values = {}
+        source = realize(tree, env, values)
+        assume(env)
+
+        abstract = abstract_eval(source, env)
+        if abstract.dtype is None or np.dtype(abstract.dtype).kind not in "iu":
+            return
+        info = np.iinfo(np.dtype(abstract.dtype))
+        if abstract.lo is not None:
+            assert abstract.lo >= info.min
+        if abstract.hi is not None:
+            assert abstract.hi <= info.max

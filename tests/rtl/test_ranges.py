@@ -7,7 +7,7 @@ import pytest
 from repro.rtl.comparator import build_instance_comparator
 from repro.rtl.netlist import Netlist
 from repro.rtl.popcount import add_pop36, build_popcounter
-from repro.rtl.ranges import prove_count_range
+from repro.rtl.ranges import lane_budget, prove_count_range
 
 
 def _fabp(width: int) -> Netlist:
@@ -94,3 +94,30 @@ class TestProofRecord:
         assert record["max_value"] == 36
         assert record["width_ok"] is True
         assert record["exact"] is True
+
+
+class TestLaneBudget:
+    """The Pop36 bit-budget claim as a cached, queryable proof object."""
+
+    def test_750_elements_fit_ten_bits_exactly(self):
+        budget = lane_budget(750)
+        assert budget.proven and budget.exact
+        assert budget.max_value == 750
+        assert budget.needed_bits == 10
+        assert budget.out_bits == 10
+        assert budget.fits
+
+    def test_undersized_budget_is_refuted(self):
+        assert not lane_budget(750, out_bits=9).fits
+
+    def test_generous_budget_still_fits(self):
+        assert lane_budget(36, out_bits=12).fits
+
+    def test_results_are_cached(self):
+        assert lane_budget(36) is lane_budget(36)
+
+    def test_to_dict_carries_the_proof(self):
+        record = lane_budget(36).to_dict()
+        assert record["fits"] is True
+        assert record["needed_bits"] == 6
+        assert record["proof"]["proven"] is True

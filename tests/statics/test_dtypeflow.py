@@ -1,0 +1,156 @@
+"""Unit tests for the dtype/interval abstract interpreter."""
+
+import ast
+import textwrap
+
+from repro.statics import AbstractValue, abstract_eval
+from repro.statics.dtypeflow import analyze_engine_function, promote
+
+DEFAULT_INPUTS = {
+    "instructions": ("uint8", 0, 63),
+    "ref_codes": ("uint8", 0, 3),
+}
+
+
+def function_node(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return next(n for n in tree.body if isinstance(n, ast.FunctionDef))
+
+
+def analyze(source, *, accumulator="int32", max_elements=750):
+    return analyze_engine_function(
+        function_node(source),
+        inputs=DEFAULT_INPUTS,
+        accumulator=accumulator,
+        max_elements=max_elements,
+    )
+
+
+class TestPromotion:
+    def test_weak_scalar_adapts_to_array_dtype(self):
+        value = abstract_eval("a + 1", {"a": AbstractValue("uint8", 0, 10)})
+        assert value.dtype == "uint8"
+        assert (value.lo, value.hi) == (1, 11)
+
+    def test_strong_uint64_int64_promotes_to_float64(self):
+        value = abstract_eval(
+            "a + b",
+            {
+                "a": AbstractValue("uint64", 0, 5),
+                "b": AbstractValue("int64", 0, 5),
+            },
+        )
+        assert value.dtype == "float64"
+
+    def test_weak_float_forces_float64_against_int_array(self):
+        value = abstract_eval("a * 0.5", {"a": AbstractValue("int32", 0, 4)})
+        assert value.dtype == "float64"
+
+    def test_two_weak_scalars_use_default_dtype(self):
+        value = abstract_eval("1 + 2")
+        assert value.dtype == "int64"
+        assert (value.lo, value.hi) == (3, 3)
+        assert value.weak
+
+    def test_promote_is_none_when_either_side_unknown(self):
+        assert promote(AbstractValue(None), AbstractValue("int32", 0, 1)) is None
+
+
+class TestIntervals:
+    def test_subtraction_spans_both_corners(self):
+        value = abstract_eval(
+            "a - b",
+            {
+                "a": AbstractValue("int32", 0, 10),
+                "b": AbstractValue("int32", 2, 5),
+            },
+        )
+        assert (value.lo, value.hi) == (-5, 8)
+
+    def test_unsigned_shift_is_modular_not_flagged(self):
+        # Shifting near the top of uint64 clips to the dtype max (numpy
+        # semantics) instead of raising an overflow event.
+        value = abstract_eval("a << 8", {"a": AbstractValue("uint64", 0, 2**60)})
+        assert value.dtype == "uint64"
+        assert value.hi == 2**64 - 1
+
+    def test_astype_narrowing_clamps_to_target(self):
+        value = abstract_eval("a.astype(np.int8)", {"a": AbstractValue("int32", 0, 300)})
+        assert value.dtype == "int8"
+        assert value.hi == 127
+
+    def test_unbound_name_is_unknown(self):
+        value = abstract_eval("mystery")
+        assert value.dtype is None
+        assert not value.known
+
+
+class TestEngineAnalysis:
+    def test_loop_accumulation_widens_by_max_elements(self):
+        analysis = analyze(
+            """\
+            def acc(instructions, ref_codes):
+                scores = np.zeros(ref_codes.size, dtype=np.int32)
+                for i in range(instructions.size):
+                    scores += 1
+                return scores
+            """
+        )
+        assert not analysis.events
+        (value, _line), = analysis.returns
+        assert value.dtype == "int32"
+        assert (value.lo, value.hi) == (0, 750)
+
+    def test_narrow_accumulator_reports_overflow(self):
+        analysis = analyze(
+            """\
+            def acc(instructions, ref_codes):
+                scores = np.zeros(ref_codes.size, dtype=np.int8)
+                for i in range(instructions.size):
+                    scores += 1
+                return scores
+            """,
+            accumulator="int8",
+        )
+        kinds = {event.kind for event in analysis.events}
+        assert kinds & {"overflow", "narrowing"}
+
+    def test_widening_scales_with_max_elements(self):
+        analysis = analyze(
+            """\
+            def acc(instructions, ref_codes):
+                scores = np.zeros(ref_codes.size, dtype=np.int8)
+                for i in range(instructions.size):
+                    scores += 1
+                return scores
+            """,
+            accumulator="int8",
+            max_elements=100,
+        )
+        # 100 accumulated ones fit int8: tightening the contract's
+        # max_elements is a legitimate fix for an overflow finding.
+        assert not analysis.events
+
+    def test_return_dtype_drift_is_reported(self):
+        analysis = analyze(
+            """\
+            def drift(instructions, ref_codes):
+                return np.zeros(ref_codes.size, dtype=np.float32)
+            """
+        )
+        assert any(event.kind == "return-dtype" for event in analysis.events)
+
+    def test_branch_join_takes_interval_hull(self):
+        analysis = analyze(
+            """\
+            def branchy(instructions, ref_codes):
+                scores = np.zeros(ref_codes.size, dtype=np.int32)
+                if instructions.size:
+                    scores = scores + 7
+                return scores
+            """
+        )
+        assert not analysis.events
+        (value, _line), = analysis.returns
+        assert value.dtype == "int32"
+        assert (value.lo, value.hi) == (0, 7)

@@ -2,6 +2,7 @@
 
 import textwrap
 
+from repro.lint import expand_rule_patterns, rule_pattern_matches
 from repro.statics import (
     CONCURRENCY_RULES,
     OBSERVABILITY_RULES,
@@ -127,3 +128,63 @@ class TestDiscovery:
         module = module_from_source("x = 1  # statics: ignore[RC001] why\n")
         assert module.pragma_for(1, "RC001") is not None
         assert module.pragma_for(1, "RC002") is None
+
+
+class TestRulePatterns:
+    """One selector grammar for CLI ignores and line pragmas."""
+
+    def test_exact_match(self):
+        assert rule_pattern_matches("RC006", "RC006")
+        assert not rule_pattern_matches("RC006", "RC005")
+
+    def test_glob_selects_the_family(self):
+        assert rule_pattern_matches("RC00*", "RC006")
+        assert not rule_pattern_matches("RC00*", "OB001")
+
+    def test_range_is_inclusive(self):
+        assert rule_pattern_matches("RC001-RC004", "RC001")
+        assert rule_pattern_matches("RC001-RC004", "RC004")
+        assert not rule_pattern_matches("RC001-RC004", "RC005")
+
+    def test_mismatched_family_range_selects_nothing(self):
+        assert not rule_pattern_matches("RC001-OB004", "RC002")
+
+    def test_expand_reports_concrete_ids(self):
+        known = ("RC001", "RC002", "RC006", "OB001")
+        assert expand_rule_patterns(["RC001-RC004"], known) == ("RC001", "RC002")
+        assert expand_rule_patterns(["OB*"], known) == ("OB001",)
+
+    def test_cli_ignore_accepts_range(self):
+        report = analyze_source(SWALLOW, name="host.demo", ignore=["RC004-RC008"])
+        assert "RC006" not in rule_ids(report)
+
+    def test_cli_ignore_accepts_glob(self):
+        report = analyze_source(SWALLOW, name="host.demo", ignore=["RC00*"])
+        assert "RC006" not in rule_ids(report)
+
+    def test_range_pragma_suppresses(self):
+        source = SWALLOW.replace(
+            "    except Exception:",
+            "    except Exception:"
+            "  # statics: ignore[RC005-RC007] exercised by the fault suite",
+        )
+        report = analyze_source(source, name="host.demo", rules=["RC006"])
+        assert report.clean
+
+    def test_glob_pragma_suppresses(self):
+        source = SWALLOW.replace(
+            "    except Exception:",
+            "    except Exception:"
+            "  # statics: ignore[RC00*] exercised by the fault suite",
+        )
+        report = analyze_source(source, name="host.demo", rules=["RC006"])
+        assert report.clean
+
+    def test_out_of_range_pragma_does_not_suppress(self):
+        source = SWALLOW.replace(
+            "    except Exception:",
+            "    except Exception:"
+            "  # statics: ignore[RC001-RC005] wrong span",
+        )
+        report = analyze_source(source, name="host.demo", rules=["RC006"])
+        assert rule_ids(report) == ["RC006"]

@@ -305,6 +305,109 @@ class TestProve:
         assert payload["equivalence"]["proven"] is True
 
 
+class TestCheckPatternsAndSarif:
+    DIRTY = (
+        "def f():\n"
+        "    try:\n"
+        "        g()\n"
+        "    except Exception:\n"
+        "        pass\n"
+    )
+
+    def _dirty_root(self, tmp_path):
+        dirty = tmp_path / "host"
+        dirty.mkdir()
+        (dirty / "bad.py").write_text(self.DIRTY)
+        return dirty
+
+    def test_ignore_accepts_ranges(self, tmp_path, capsys):
+        root = self._dirty_root(tmp_path)
+        assert main(["check", "--root", str(root),
+                     "--ignore", "RC001-RC008"]) == 0
+        capsys.readouterr()
+
+    def test_ignore_accepts_globs(self, tmp_path, capsys):
+        root = self._dirty_root(tmp_path)
+        assert main(["check", "--root", str(root), "--ignore", "RC00*"]) == 0
+        capsys.readouterr()
+
+    def test_unmatched_ignore_pattern_warns(self, tmp_path, capsys):
+        root = tmp_path / "host"
+        root.mkdir()
+        (root / "ok.py").write_text("x = 1\n")
+        assert main(["check", "--root", str(root), "--ignore", "ZZ999"]) == 0
+        assert "matches no known rule" in capsys.readouterr().err
+
+    def test_sarif_artifact_lists_all_rule_families(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "check.sarif"
+        assert main(["check", "--strict", "--format", "sarif",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        rule_ids = {entry["id"] for entry in run["tool"]["driver"]["rules"]}
+        assert {"RC001", "OB001", "KC001", "KC008"} <= rule_ids
+        assert run["results"] == []
+
+    def test_sarif_results_carry_findings(self, tmp_path, capsys):
+        import json
+
+        root = self._dirty_root(tmp_path)
+        out = tmp_path / "dirty.sarif"
+        assert main(["check", "--root", str(root), "--format", "sarif",
+                     "--out", str(out)]) == 1
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        results = payload["runs"][0]["results"]
+        assert any(r["ruleId"] == "RC006" for r in results)
+        assert all(r["level"] in ("error", "warning", "note") for r in results)
+
+
+class TestLintSarif:
+    def test_lint_emits_valid_sarif(self, capsys):
+        import json
+
+        assert main(["lint", "--query", "MKV", "--format", "sarif"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        assert payload["runs"][0]["tool"]["driver"]["name"] == "fabp-repro"
+
+
+class TestProveKernel:
+    def test_kernel_artifact(self, tmp_path, capsys):
+        import json
+
+        artifact = tmp_path / "kernel_proofs.json"
+        code = main(["prove", "kernel", "--format", "json",
+                     "--out", str(artifact)])
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads(artifact.read_text())
+        assert payload["schema"] == "fabp-kernel-proof/v1"
+        assert payload["ok"] is True
+        assert payload["lane_budget"]["fits"] is True
+        assert set(payload["engines"]) == {
+            "bitscore", "packed", "diagonal", "vectorized", "naive",
+        }
+        assert payload["budget_fits_all_accumulators"] is True
+
+    def test_kernel_self_test_refutes_mutations(self, capsys):
+        assert main(["prove", "kernel", "--self-test"]) == 0
+        out = capsys.readouterr().out
+        assert "self-test: seeded overflow + undersized budget refuted" in out
+        assert "verdict: kernel contracts hold" in out
+
+    def test_kernel_text_names_every_engine(self, capsys):
+        assert main(["prove", "kernel"]) == 0
+        out = capsys.readouterr().out
+        assert "lane budget: popcount(750)" in out
+        for engine in ("bitscore", "packed", "diagonal", "vectorized", "naive"):
+            assert f"engine {engine}:" in out
+
+
 class TestBench:
     def test_tiny_bench_writes_artifact(self, tmp_path, capsys):
         import json

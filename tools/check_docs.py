@@ -9,10 +9,10 @@ Validates, without requiring mkdocs:
   files resolves to an existing file;
 * every ``file.md#anchor`` link targets a real heading in that file;
 * ``docs/static_analysis.md`` and the ``repro.statics`` rule registry
-  agree: every RC/OB rule id registered in ``src/repro/statics/*.py`` has
-  a heading anchor in the page, and every RC/OB heading in the page names
-  a registered rule (both directions, source-scraped so the check needs no
-  imports).
+  agree: every RC/OB/KC rule id registered in ``src/repro/statics/*.py``
+  has a heading anchor in the page, and every RC/OB/KC heading in the
+  page names a registered rule (both directions, source-scraped so the
+  check needs no imports).
 
 Run from anywhere: ``python tools/check_docs.py``.  Exit code 0 means
 clean, 1 means findings (listed on stdout), matching the lint
@@ -149,7 +149,7 @@ RULE_ANCHOR_RE = re.compile(r"^([a-z]{2}\d{3})\b")
 
 
 def registered_static_rules() -> Set[str]:
-    """RC/OB rule ids registered in ``src/repro/statics`` (source-scraped)."""
+    """RC/OB/KC rule ids registered in ``src/repro/statics`` (source-scraped)."""
     rules: Set[str] = set()
     statics = REPO / "src" / "repro" / "statics"
     for path in sorted(statics.glob("*.py")):
