@@ -15,7 +15,12 @@ import pathlib
 
 import pytest
 
-from repro.perf.scorebench import SCHEMA_VERSION, format_report, quick_benchmark
+from repro.perf.scorebench import (
+    SCHEMA_VERSION,
+    format_report,
+    quick_batch_benchmark,
+    quick_benchmark,
+)
 
 BASELINE_PATH = pathlib.Path(__file__).parent / "baselines" / "BENCH_scoring.json"
 
@@ -91,3 +96,48 @@ def test_baseline_records_the_acceptance_workload():
     ]
     assert scan_workers == [1, 2, 4]
     assert vectorized["L_r"] == 1_000_000
+
+
+def test_baseline_records_the_batch_workload():
+    """The committed artifact must carry the batched-kernel headline.
+
+    One shared sweep scoring 8 queries must have amortized the reference
+    stream at least 3x over 8 sequential sweeps on the recording machine,
+    and the cutover pair (``parallel-scan-small``) plus the warm-session
+    records must be present so :func:`repro.host.scan.derive_cutover` and
+    the docs have data to stand on.
+    """
+    baseline = json.loads(BASELINE_PATH.read_text())
+    batch_records = [
+        r for r in baseline["records"] if r["engine"] == "bitscore_batch"
+    ]
+    assert [r["batch"] for r in batch_records] == [1, 4, 8]
+    sequential = [
+        r for r in baseline["records"] if r["engine"] == "bitscore-sequential"
+    ]
+    assert [r["batch"] for r in sequential] == [1, 4, 8]
+    assert baseline["speedups"]["batch_amortization_k8"] >= 3.0
+    assert baseline["speedups"]["batch_amortization_k4"] >= 2.0
+    assert baseline["speedups"]["session_warm_speedup"] > 0
+    small_workers = [
+        r["workers"]
+        for r in baseline["records"]
+        if r["engine"] == "parallel-scan-small"
+    ]
+    assert small_workers == [1, 2]
+    for engine in ("scan-session-cold", "scan-session-warm"):
+        assert any(r["engine"] == engine for r in baseline["records"]), engine
+
+
+def test_quick_batch_benchmark_amortizes():
+    """Same-run gate: the shared sweep must beat k sequential sweeps.
+
+    The hard 3x CI gate lives in ``fabp-repro bench --batch
+    --min-batch-amortization 3``; this in-suite bound is looser so noisy
+    shared runners do not flake, while still catching the batch path
+    silently degenerating into the sequential loop.
+    """
+    report = quick_batch_benchmark()
+    k8 = report.speedups.get("batch_amortization_k8", 0.0)
+    assert k8 >= 1.5, f"k=8 amortization only {k8:.2f}x"
+    assert report.speedups.get("session_warm_speedup", 0.0) > 0

@@ -153,7 +153,14 @@ def cmd_search(args) -> int:
 
 #: Engine choices for the scan subcommand (mirrors repro.core.aligner.ENGINES
 #: without importing the scoring stack at parser-build time).
-SCAN_ENGINES = ("bitscore", "packed", "diagonal", "vectorized", "naive")
+SCAN_ENGINES = (
+    "bitscore",
+    "bitscore_batch",
+    "packed",
+    "diagonal",
+    "vectorized",
+    "naive",
+)
 
 
 def _obs_begin(args) -> bool:
@@ -256,26 +263,60 @@ def cmd_scan(args) -> int:
 
         threshold = args.threshold
         min_identity = None if threshold is not None else args.min_identity
-        for index, query in enumerate(queries):
-            checkpoint_dir = None
-            if args.checkpoint:
-                checkpoint_dir = pathlib.Path(args.checkpoint)
-                if len(queries) > 1:
-                    checkpoint_dir = checkpoint_dir / f"q{index:03d}"
-            results, report = scan_database(
-                query,
-                database,
-                threshold=threshold,
-                min_identity=min_identity,
-                engine=args.engine,
-                workers=args.workers,
-                chunk_size=args.chunk_size,
-                policy=policy,
-                faults=plan,
-                checkpoint_dir=checkpoint_dir,
-                resume=args.resume,
-                with_report=True,
+        engine = args.engine or ("bitscore_batch" if args.session else "bitscore")
+        outcomes = []
+        if args.session:
+            # One warm runtime for the whole query stream: the packed image
+            # and worker pool are set up once, queries share passes, and a
+            # single batch report covers every query.
+            if plan is not None:
+                raise ValueError("--session does not support fault injection")
+            from repro.host.scan_session import ScanSession
+
+            checkpoint_dir = (
+                pathlib.Path(args.checkpoint) if args.checkpoint else None
             )
+            with ScanSession(database, engine=engine, workers=args.workers) as warm:
+                print(
+                    f"session: {warm.resident_bytes:,} resident bytes, "
+                    f"{warm.num_workers} workers, engine={engine}"
+                )
+                batches, report = warm.scan_batch(
+                    queries,
+                    threshold=threshold,
+                    min_identity=min_identity,
+                    policy=policy,
+                    checkpoint_dir=checkpoint_dir,
+                    resume=args.resume,
+                    with_report=True,
+                )
+            outcomes = [
+                (query, results, report)
+                for query, results in zip(queries, batches)
+            ]
+        else:
+            for index, query in enumerate(queries):
+                checkpoint_dir = None
+                if args.checkpoint:
+                    checkpoint_dir = pathlib.Path(args.checkpoint)
+                    if len(queries) > 1:
+                        checkpoint_dir = checkpoint_dir / f"q{index:03d}"
+                results, report = scan_database(
+                    query,
+                    database,
+                    threshold=threshold,
+                    min_identity=min_identity,
+                    engine=engine,
+                    workers=args.workers,
+                    chunk_size=args.chunk_size,
+                    policy=policy,
+                    faults=plan,
+                    checkpoint_dir=checkpoint_dir,
+                    resume=args.resume,
+                    with_report=True,
+                )
+                outcomes.append((query, results, report))
+        for index, (query, results, report) in enumerate(outcomes):
             hits = sorted(
                 (
                     (result.reference_name, hit.position, hit.score)
@@ -506,7 +547,9 @@ def cmd_plan(args) -> int:
 def cmd_bench(args) -> int:
     from repro.perf.scorebench import (
         format_report,
+        quick_batch_benchmark,
         quick_benchmark,
+        run_batch_benchmark,
         run_score_benchmark,
     )
 
@@ -524,6 +567,21 @@ def cmd_bench(args) -> int:
                 repeats=args.repeats,
                 seed=args.seed,
             )
+        if args.batch:
+            if args.quick:
+                batch_report = quick_batch_benchmark(seed=args.seed)
+            else:
+                batch_report = run_batch_benchmark(
+                    residues=args.residues,
+                    reference_length=args.reference_length,
+                    repeats=args.repeats,
+                    seed=args.seed,
+                )
+            # One merged artifact: the batch/session rows and speedups ride
+            # in the same schema as the engine sweep.
+            report.records.extend(batch_report.records)
+            report.speedups.update(batch_report.speedups)
+            report.meta["batch"] = batch_report.meta
     finally:
         _obs_finish(args, obs_active)
     print(format_report(report))
@@ -544,6 +602,19 @@ def cmd_bench(args) -> int:
         print(
             f"bitscore speedup gate: {achieved:.1f}x >= "
             f"{args.min_speedup:.1f}x required"
+        )
+    if args.min_batch_amortization > 0:
+        achieved = report.speedups.get("batch_amortization_k8", 0.0)
+        if achieved < args.min_batch_amortization:
+            print(
+                f"FAIL: batched bitscore amortizes {achieved:.2f}x at k=8, "
+                f"required >= {args.min_batch_amortization:.2f}x "
+                f"(run with --batch to produce the records)"
+            )
+            return 3
+        print(
+            f"batch amortization gate: {achieved:.1f}x >= "
+            f"{args.min_batch_amortization:.1f}x required at k=8"
         )
     return 0
 
@@ -895,9 +966,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-identity", type=float, default=0.9)
     p.add_argument("--threshold", type=int, default=None,
                    help="absolute score threshold (overrides --min-identity)")
-    p.add_argument("--engine", choices=SCAN_ENGINES, default="bitscore")
+    p.add_argument("--engine", choices=SCAN_ENGINES, default=None,
+                   help="scoring engine (default: bitscore, or "
+                   "bitscore_batch under --session)")
     p.add_argument("--workers", type=int, default=None,
                    help="worker processes (default: one per CPU; 1 = serial)")
+    p.add_argument("--session", action="store_true",
+                   help="scan all queries through one warm ScanSession: the "
+                   "database image and worker pool are set up once, queries "
+                   "are grouped into shared passes, and each database "
+                   "window is swept once per pass")
     p.add_argument("--chunk-size", type=int, default=None,
                    help="references per chunk (retry/checkpoint granule)")
     p.add_argument("--max-hits", type=int, default=10)
@@ -1018,6 +1096,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-speedup", type=float, default=0.0,
                    help="exit 3 (completed-with-degradation) unless bitscore "
                    ">= this multiple of the naive path (CI regression gate)")
+    p.add_argument("--batch", action="store_true",
+                   help="also run the batched-kernel and warm-session "
+                   "benchmark (k sequential sweeps vs one shared sweep, "
+                   "cold vs warm ScanSession); records merge into the "
+                   "same artifact")
+    p.add_argument("--min-batch-amortization", type=float, default=0.0,
+                   help="exit 3 unless the shared sweep at k=8 achieves >= "
+                   "this multiple of k sequential sweeps (implies --batch "
+                   "records must be present)")
     add_obs_args(p)
     p.set_defaults(func=cmd_bench)
 

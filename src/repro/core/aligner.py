@@ -142,7 +142,14 @@ def resolve_threshold(
 _x_bit_arrays = bitscore.x_bit_rows
 
 #: Engine names accepted by :func:`alignment_scores` and friends.
-ENGINES = ("bitscore", "packed", "diagonal", "vectorized", "naive")
+ENGINES = (
+    "bitscore",
+    "bitscore_batch",
+    "packed",
+    "diagonal",
+    "vectorized",
+    "naive",
+)
 
 #: The default scoring engine (the mandatory fast path).
 DEFAULT_ENGINE = "bitscore"
@@ -217,6 +224,8 @@ def _dispatch_scores(
 ) -> np.ndarray:
     if engine == "bitscore":
         return bitscore.scores(instructions, ref_codes)
+    if engine == "bitscore_batch":
+        return bitscore.bitscore_batch_scores(instructions, ref_codes)
     if engine == "packed":
         return bitscore.packed_scores(instructions, ref_codes)
     if engine == "diagonal":
@@ -226,6 +235,38 @@ def _dispatch_scores(
     if engine == "naive":
         return _naive_scores(instructions, ref_codes)
     raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+
+
+def scores_batch_from_codes(
+    instruction_batch: List[np.ndarray],
+    ref_codes: np.ndarray,
+    engine: str = DEFAULT_ENGINE,
+) -> List[np.ndarray]:
+    """Dispatch batched scoring of many instruction arrays over one reference.
+
+    The ``bitscore_batch`` engine shares one comparator/packing pass over
+    the reference across the whole batch (one sweep, ``k`` scores — the
+    software analogue of ``k`` comparator arrays); every other engine is
+    applied per query, so results are engine-for-engine bit-identical to
+    :func:`scores_from_codes` in all cases.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if engine != "bitscore_batch":
+        return [
+            scores_from_codes(instructions, ref_codes, engine)
+            for instructions in instruction_batch
+        ]
+    if not _obs_state.enabled():
+        return bitscore.scores_batch(instruction_batch, ref_codes)
+    start = time.perf_counter()
+    batch = bitscore.scores_batch(instruction_batch, ref_codes)
+    _obs_profile.record_score_call(
+        engine,
+        time.perf_counter() - start,
+        sum(int(scores.size) for scores in batch),
+    )
+    return batch
 
 
 def alignment_scores(
@@ -242,6 +283,26 @@ def alignment_scores(
     encoded = _coerce_query(query)
     ref_codes, _ = _reference_codes(reference)
     return scores_from_codes(encoded.as_array(), ref_codes, engine)
+
+
+def alignment_scores_batch(
+    queries: Iterable[QueryLike],
+    reference: ReferenceLike,
+    *,
+    engine: str = DEFAULT_ENGINE,
+) -> List[np.ndarray]:
+    """Scores of every query in a batch against one reference.
+
+    Input order is preserved and a batch of one is bit-identical to
+    :func:`alignment_scores` for every engine.  With
+    ``engine="bitscore_batch"`` the whole batch shares a single sweep of
+    the reference (match bitplanes computed and packed once).
+    """
+    encoded = [_coerce_query(query) for query in queries]
+    ref_codes, _ = _reference_codes(reference)
+    return scores_batch_from_codes(
+        [query.as_array() for query in encoded], ref_codes, engine
+    )
 
 
 def alignment_scores_naive(query: QueryLike, reference: ReferenceLike) -> np.ndarray:

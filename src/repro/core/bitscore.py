@@ -37,7 +37,7 @@ Both paths are bit-identical to :func:`repro.core.aligner.alignment_scores_naive
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,6 +50,13 @@ WORD_BITS = 64
 #: Below this many score cells (positions x elements) the strided-diagonal
 #: uint8 path beats the packed path (packing overhead is not amortized).
 DIAGONAL_MAX_CELLS = 1 << 21
+
+#: Ceiling on the batched shift-residue table (bytes).  Below it, every
+#: (distinct instruction, shift residue) pair is precomputed once and each
+#: query element becomes a zero-copy view; above it the batch path shifts
+#: rows on the fly from the small packed planes instead of materializing
+#: the table.
+BATCH_TABLE_MAX_BYTES = 1 << 27
 
 _WORD_DTYPE = np.dtype("<u8")
 
@@ -268,3 +275,280 @@ def scores(
     if num_positions * max(instructions.size, 1) <= DIAGONAL_MAX_CELLS:
         return diagonal_scores(instructions, ref_codes)
     return packed_scores(instructions, ref_codes)
+
+
+# --------------------------------------------------------------------------
+# Batched multi-query kernel: one reference sweep scores k queries.
+#
+# The FPGA's throughput trick is k comparator arrays sharing a single
+# streaming pass over the reference (one DRAM sweep, k scores).  The
+# software analogue: evaluate the comparator once per *distinct*
+# instruction across the whole batch, pack those match rows once, and
+# reuse them for every query.  Per query the packed rows are folded with
+# an iterative Harley-Seal carry-save tree (8 rows -> 4 counter planes per
+# block via seven CSAs) using preallocated scratch, then decoded in one
+# unpackbits/einsum pass.
+# --------------------------------------------------------------------------
+
+
+def _csa_into(
+    c: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    t: np.ndarray,
+    v: np.ndarray,
+    carry_out: np.ndarray,
+) -> None:
+    """Full-adder compress: ``c + a + b -> sum in c, carry in carry_out``.
+
+    All five ufuncs write into preallocated buffers — the batch hot loop
+    never allocates.  ``t``/``v`` are scratch; ``a``/``b`` are read-only.
+    """
+    np.bitwise_xor(a, b, out=t)
+    np.bitwise_and(c, t, out=v)
+    np.bitwise_xor(c, t, out=c)
+    np.bitwise_and(a, b, out=t)
+    np.bitwise_or(t, v, out=carry_out)
+
+
+def _shift_table(planes: np.ndarray) -> np.ndarray:
+    """Every (row, shift-residue) combination, precomputed in bulk.
+
+    ``table[j, r, w]`` holds word ``w`` of plane ``j`` right-shifted by
+    ``r`` bits, so element ``i`` of any query reads the contiguous view
+    ``table[row, i % 64, i // 64 : i // 64 + num_words]`` — exactly
+    :func:`shifted_row` with the funnel shift hoisted out of the per-query
+    loop and shared by the whole batch.
+    """
+    count, plane_len = planes.shape
+    table = np.empty((count, WORD_BITS, plane_len - 1), dtype=_WORD_DTYPE)
+    shifts = np.arange(WORD_BITS, dtype=np.uint64)
+    high_shifts = (np.uint64(WORD_BITS) - shifts)[1:, None]
+    tmp = np.empty((WORD_BITS - 1, plane_len - 1), dtype=_WORD_DTYPE)
+    for j in range(count):
+        plane = planes[j]
+        table[j, 0] = plane[:-1]
+        np.right_shift(plane[None, :-1], shifts[1:, None], out=table[j, 1:])
+        np.left_shift(plane[None, 1:], high_shifts, out=tmp)
+        np.bitwise_or(table[j, 1:], tmp, out=table[j, 1:])
+    return table
+
+
+def _table_rows(
+    table: np.ndarray, element_rows: np.ndarray, num_words: int
+) -> Iterator[np.ndarray]:
+    """Per-element shifted rows as zero-copy views into the shift table."""
+    for i in range(element_rows.size):
+        offset, remainder = divmod(i, WORD_BITS)
+        yield table[element_rows[i], remainder, offset : offset + num_words]
+
+
+def _streamed_rows(
+    planes: np.ndarray,
+    element_rows: np.ndarray,
+    num_words: int,
+    ring: Sequence[np.ndarray],
+    tmp: np.ndarray,
+) -> Iterator[np.ndarray]:
+    """Per-element shifted rows, funnel-shifted on the fly.
+
+    The fallback when the shift table would exceed
+    :data:`BATCH_TABLE_MAX_BYTES`: each row is shifted into one of eight
+    rotating buffers (a Harley-Seal block consumes eight rows at once, so
+    ``i % 8`` slots never collide within a block).
+    """
+    for i in range(element_rows.size):
+        offset, remainder = divmod(i, WORD_BITS)
+        plane = planes[element_rows[i]]
+        low = plane[offset : offset + num_words]
+        if remainder == 0:
+            yield low
+            continue
+        out = ring[i % 8]
+        np.right_shift(low, np.uint64(remainder), out=out)
+        np.left_shift(
+            plane[offset + 1 : offset + 1 + num_words],
+            np.uint64(WORD_BITS - remainder),
+            out=tmp,
+        )
+        np.bitwise_or(out, tmp, out=out)
+        yield out
+
+
+def _fold_level(
+    rows: Iterable[np.ndarray],
+    counter: VerticalCounter,
+    num_words: int,
+    scratch: Tuple[np.ndarray, ...],
+    *,
+    base: int,
+    owned: bool,
+) -> List[np.ndarray]:
+    """One Harley-Seal level: compress 8-row blocks into 4 counter planes.
+
+    Seven CSAs turn eight weight-``2**base`` rows into ``ones``/``twos``/
+    ``fours`` accumulators plus one weight-``2**(base+3)`` carry row; the
+    carries become the next level's input.  ``owned=False`` marks rows that
+    are borrowed views (shift-table slices, ring buffers) — tail rows fed
+    straight to the counter are copied first, because
+    :meth:`VerticalCounter._add_at` consumes its argument.
+    """
+    t, v, ta, tb, fa, fb = scratch
+    ones = np.zeros(num_words, dtype=_WORD_DTYPE)
+    twos = np.zeros(num_words, dtype=_WORD_DTYPE)
+    fours = np.zeros(num_words, dtype=_WORD_DTYPE)
+    carries: List[np.ndarray] = []
+    block: List[np.ndarray] = []
+    for row in rows:
+        block.append(row)
+        if len(block) < 8:
+            continue
+        _csa_into(ones, block[0], block[1], t, v, ta)
+        _csa_into(ones, block[2], block[3], t, v, tb)
+        _csa_into(twos, ta, tb, t, v, fa)
+        _csa_into(ones, block[4], block[5], t, v, ta)
+        _csa_into(ones, block[6], block[7], t, v, tb)
+        _csa_into(twos, ta, tb, t, v, fb)
+        carry = np.empty(num_words, dtype=_WORD_DTYPE)
+        _csa_into(fours, fa, fb, t, v, carry)
+        carries.append(carry)
+        block.clear()
+    counter._add_at(ones, base)
+    counter._add_at(twos, base + 1)
+    counter._add_at(fours, base + 2)
+    for row in block:
+        counter._add_at(row if owned else np.array(row), base)
+    return carries
+
+
+def _fold_rows(
+    rows: Iterable[np.ndarray],
+    counter: VerticalCounter,
+    num_words: int,
+    scratch: Tuple[np.ndarray, ...],
+) -> None:
+    """Fold a stream of weight-1 rows into ``counter`` level by level."""
+    carries = _fold_level(rows, counter, num_words, scratch, base=0, owned=False)
+    base = 3
+    while carries:
+        carries = _fold_level(
+            iter(carries), counter, num_words, scratch, base=base, owned=True
+        )
+        base += 3
+
+
+def _decode_planes(planes: List[np.ndarray], num_positions: int) -> np.ndarray:
+    """Counter planes -> int32 scores in one unpackbits/einsum pass."""
+    if not planes:
+        return np.zeros(num_positions, dtype=np.int32)
+    stacked = np.stack(planes)
+    bits = np.unpackbits(
+        stacked.view(np.uint8), axis=1, bitorder="little", count=num_positions
+    )
+    if len(planes) <= 14:
+        # Counts are bounded by MAX_QUERY_ELEMENTS, so the weighted sum
+        # fits int16 — half the reduction bandwidth of an int32 einsum.
+        weights16 = (1 << np.arange(len(planes))).astype(np.int16)
+        return np.einsum(
+            "l,lp->p", weights16, bits, dtype=np.int16, casting="unsafe"
+        ).astype(np.int32)
+    weights = (1 << np.arange(len(planes))).astype(np.int64)
+    return np.einsum(
+        "l,lp->p", weights, bits, dtype=np.int64, casting="unsafe"
+    ).astype(np.int32)
+
+
+@kernel_summary(("int32", 0, MAX_QUERY_ELEMENTS))
+def scores_batch(
+    instruction_batch: Sequence[np.ndarray], ref_codes: np.ndarray
+) -> List[np.ndarray]:
+    """Score ``k`` queries against one reference in a single sweep.
+
+    The software analogue of ``k`` comparator arrays on one reference
+    stream (§III-C): the comparator tables, match bitplanes and packed
+    rows are computed **once** for the union of the batch's distinct
+    instructions, then every query folds zero-copy views of the shared
+    rows.  Each result is bit-identical to
+    :func:`packed_scores(instruction_batch[q], ref_codes)`; queries may
+    have ragged lengths.
+    """
+    ref_codes = np.asarray(ref_codes, dtype=np.uint8)
+    arrays = [
+        np.asarray(instructions, dtype=np.uint8).ravel()
+        for instructions in instruction_batch
+    ]
+    results: List[Optional[np.ndarray]] = [None] * len(arrays)
+    active: List[int] = []
+    for q, instructions in enumerate(arrays):
+        num_positions = ref_codes.size - instructions.size + 1
+        if num_positions <= 0:
+            results[q] = np.zeros(0, dtype=np.int32)
+        elif instructions.size == 0:
+            results[q] = np.zeros(num_positions, dtype=np.int32)
+        else:
+            active.append(q)
+    if not active:
+        return [result for result in results if result is not None]
+    # Shared precompute: one comparator evaluation over the reference for
+    # the union of distinct instructions across the whole batch.
+    rows, concat_rows = match_bytes(
+        np.concatenate([arrays[q] for q in active]), ref_codes
+    )
+    element_rows: dict = {}
+    offset = 0
+    for q in active:
+        size = arrays[q].size
+        element_rows[q] = concat_rows[offset : offset + size]
+        offset += size
+    max_elements = max(arrays[q].size for q in active)
+    pad = 1 + (max_elements - 1) // WORD_BITS
+    planes = np.stack(
+        [pack_row(rows[j], pad_words=pad) for j in range(rows.shape[0])]
+    )
+    table_bytes = planes.shape[0] * WORD_BITS * (planes.shape[1] - 1) * 8
+    table = _shift_table(planes) if table_bytes <= BATCH_TABLE_MAX_BYTES else None
+    max_words = (ref_codes.size - min(
+        arrays[q].size for q in active
+    ) + 1 + WORD_BITS - 1) // WORD_BITS
+    scratch = tuple(np.empty(max_words, dtype=_WORD_DTYPE) for _ in range(6))
+    ring = (
+        tuple(np.empty(max_words, dtype=_WORD_DTYPE) for _ in range(8))
+        if table is None
+        else ()
+    )
+    shift_tmp = np.empty(max_words if table is None else 0, dtype=_WORD_DTYPE)
+    for q in active:
+        num_positions = ref_codes.size - arrays[q].size + 1
+        num_words = (num_positions + WORD_BITS - 1) // WORD_BITS
+        counter = VerticalCounter(num_words)
+        if table is not None:
+            row_stream = _table_rows(table, element_rows[q], num_words)
+        else:
+            row_stream = _streamed_rows(
+                planes,
+                element_rows[q],
+                num_words,
+                tuple(buffer[:num_words] for buffer in ring),
+                shift_tmp[:num_words],
+            )
+        _fold_rows(
+            row_stream,
+            counter,
+            num_words,
+            tuple(buffer[:num_words] for buffer in scratch),
+        )
+        results[q] = _decode_planes(counter.planes, num_positions)
+    return [result for result in results if result is not None]
+
+
+@engine_contract("bitscore_batch")
+def bitscore_batch_scores(
+    instructions: np.ndarray, ref_codes: np.ndarray
+) -> np.ndarray:
+    """Single-query entry point of the batched kernel.
+
+    The ``bitscore_batch`` engine: a batch of one through
+    :func:`scores_batch`, so the engine-equivalence property tests pin the
+    batched datapath to every other engine bit for bit.
+    """
+    return scores_batch([instructions], ref_codes)[0]

@@ -22,6 +22,7 @@ from repro.host.resilience import (
     supervised_scan,
 )
 from repro.host.scan import PackedDatabase, scan_database
+from repro.host.scan_session import ScanSession, SessionCheckpointStore
 from repro.host.session import (
     DatabaseEntry,
     FabPHost,
@@ -56,6 +57,8 @@ __all__ = [
     "ScanError",
     "ScanOutcome",
     "ScanReport",
+    "ScanSession",
+    "SessionCheckpointStore",
     "WorkerCrashError",
     "rescore_hits",
     "rescore_search_result",

@@ -39,6 +39,7 @@ serial scan.
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from dataclasses import dataclass, field
@@ -388,6 +389,44 @@ def _score_chunk_span(
 # -- worker process ------------------------------------------------------------
 
 
+#: How often an idle worker re-checks that its supervisor is still alive.
+_ORPHAN_POLL_SECONDS = 1.0
+
+
+def _recv_or_orphaned(conn, parent_pid: int):
+    """Receive the next message, or raise ``EOFError`` if the parent died.
+
+    Under the fork start method every worker inherits the parent-side pipe
+    ends of its earlier-spawned siblings, so a supervisor killed by a
+    signal does not reliably surface as pipe EOF — a sibling still holds a
+    write end open and a blocking ``recv`` would wait forever.  Poll with
+    a bounded timeout and watch for re-parenting instead: once
+    ``getppid`` no longer names the supervisor, treat it exactly like EOF
+    so the worker exits rather than outliving a SIGKILLed parent.
+    """
+    while not conn.poll(_ORPHAN_POLL_SECONDS):
+        if os.getppid() != parent_pid:
+            raise EOFError("supervisor died; worker orphaned")
+    return conn.recv()
+
+
+def _hang_sleep(seconds: float, parent_pid: int) -> None:
+    """Injected-hang sleep that still notices a dead supervisor.
+
+    The hang models a stuck worker from the *supervisor's* point of view
+    (the chunk times out either way), so slicing the sleep changes
+    nothing it tests — but it lets an orphaned hung worker exit within
+    one slice instead of finishing a multi-minute nap first.
+    """
+    deadline = time.monotonic() + seconds
+    while time.monotonic() < deadline:
+        if os.getppid() != parent_pid:
+            raise EOFError("supervisor died; worker orphaned")
+        remaining = deadline - time.monotonic()
+        # statics: ignore[RC005] injected fault: the hang IS the test
+        time.sleep(min(_ORPHAN_POLL_SECONDS, max(0.0, remaining)))
+
+
 def _worker_main(
     conn,
     shm_name: str,
@@ -407,17 +446,16 @@ def _worker_main(
     or ``("stop",)``.  Worker -> parent: ``("ok", chunk_id, attempt, payload)``
     or ``("err", chunk_id, attempt, message)``.
     """
-    import os
-
     from multiprocessing import shared_memory
 
+    parent_pid = os.getppid()
     segment = shared_memory.SharedMemory(name=shm_name)
     buffer: Optional[np.ndarray] = np.frombuffer(
         segment.buf, dtype=np.uint8, count=packed_bytes
     )
     try:
         while True:
-            message = conn.recv()
+            message = _recv_or_orphaned(conn, parent_pid)
             if message[0] == "stop":
                 break
             _, chunk_id, start, stop, attempt = message
@@ -426,8 +464,10 @@ def _worker_main(
                 os._exit(17)
             if fault is FaultKind.HANG:
                 # The supervisor kills us at the policy timeout.
-                # statics: ignore[RC005] injected fault: the hang IS the test
-                time.sleep(fault_plan.hang_seconds if fault_plan else 3600.0)
+                _hang_sleep(
+                    fault_plan.hang_seconds if fault_plan else 3600.0,
+                    parent_pid,
+                )
                 conn.send(("err", chunk_id, attempt, "injected hang outlived parent"))
                 continue
             if fault is FaultKind.RAISE:

@@ -24,10 +24,13 @@ parallel scan is a drop-in replacement for the serial ``search_database``.
 from __future__ import annotations
 
 import atexit
+import json
 import os
+import pathlib
 import signal
 import threading
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -43,17 +46,27 @@ from repro.core.aligner import (
     scores_from_codes,
 )
 from repro.core.encoding import EncodedQuery, encode_query
+from repro.host import windows as _windows
 from repro.obs import profile as _obs_profile
 from repro.obs import state as _obs_state
 from repro.seq import packing
 
 #: Default references per work item (small enough to load-balance, large
-#: enough that task dispatch does not dominate).
+#: enough that task dispatch does not dominate).  Used by the supervised
+#: runtime, whose retry/checkpoint granule is a reference chunk.
 DEFAULT_CHUNK_SIZE = 8
 
-#: Databases smaller than this many nucleotides are scanned serially even
-#: when workers are requested — pool startup would cost more than the scan.
+#: Fallback serial/parallel cutover: databases smaller than this many
+#: nucleotides are scanned serially even when workers are requested — pool
+#: startup would cost more than the scan.  Used only when no committed
+#: benchmark baseline is available; see :func:`parallel_cutover_nucleotides`.
 MIN_PARALLEL_NUCLEOTIDES = 1 << 18
+
+#: Bounds on the baseline-derived cutover, so a noisy or degenerate
+#: benchmark artifact can never disable parallelism (or force it on for
+#: trivially small scans).
+CUTOVER_FLOOR = 1 << 15
+CUTOVER_CEILING = 1 << 24
 
 
 @dataclass(frozen=True)
@@ -282,6 +295,7 @@ def _worker_init(
     _WORKER["threshold"] = threshold
     _WORKER["engine"] = engine
     _WORKER["keep_scores"] = keep_scores
+    _WORKER["span"] = int(instructions.size)
 
 
 def _scan_reference_codes(
@@ -327,6 +341,56 @@ def _scan_chunk(
     return out
 
 
+def _score_window(
+    buffer: np.ndarray,
+    byte_base: int,
+    length: int,
+    window: "_windows.Window",
+    instructions: np.ndarray,
+    threshold: int,
+    engine: str,
+    keep_scores: bool,
+) -> "_windows.WindowRecord":
+    """Score one window; return its :data:`repro.host.windows.WindowRecord`."""
+    codes, lookback = _windows.window_codes(
+        buffer, byte_base, length, window.start, window.stop, int(instructions.size)
+    )
+    scores = scores_from_codes(instructions, codes, engine)
+    wanted = scores[lookback : lookback + window.positions]
+    hits_local = np.nonzero(wanted >= threshold)[0]
+    return (
+        window.reference,
+        window.start,
+        hits_local.astype(np.int64),
+        wanted[hits_local],
+        wanted if keep_scores else None,
+    )
+
+
+def _scan_window_chunk(
+    chunk: Sequence[Tuple[int, int, int]]
+) -> List["_windows.WindowRecord"]:
+    """Pool task: score a list of ``(reference, start, stop)`` windows."""
+    buffer = _WORKER["buffer"]
+    lengths = _WORKER["lengths"]
+    byte_offsets = _WORKER["byte_offsets"]
+    out: List["_windows.WindowRecord"] = []
+    for reference, start, stop in chunk:
+        out.append(
+            _score_window(
+                buffer,
+                int(byte_offsets[reference]),
+                int(lengths[reference]),
+                _windows.Window(reference, start, stop),
+                _WORKER["instructions"],
+                _WORKER["threshold"],
+                _WORKER["engine"],
+                _WORKER["keep_scores"],
+            )
+        )
+    return out
+
+
 # -- driver side ---------------------------------------------------------------
 
 
@@ -337,6 +401,84 @@ def resolve_workers(workers: Optional[int]) -> int:
     if workers < 0:
         raise ValueError("workers must be >= 0")
     return max(1, workers)
+
+
+def _baseline_artifact_path() -> pathlib.Path:
+    """The committed benchmark baseline this checkout carries (if any)."""
+    root = pathlib.Path(__file__).resolve().parents[3]
+    return root / "benchmarks" / "baselines" / "BENCH_scoring.json"
+
+
+def derive_cutover(payload: dict) -> Optional[int]:
+    """Derive the serial/parallel cutover (nt) from a benchmark artifact.
+
+    The artifact carries two serial/parallel wall-time pairs at different
+    database sizes: ``parallel-scan-small`` (workers 1 and 2, parallelism
+    forced) and ``parallel-scan`` (workers 1 and 2) on the big scan
+    workload.  Modeling the parallel overhead ``wall_parallel -
+    wall_serial`` as linear in database size, the cutover is the size at
+    which that difference crosses zero — below it the fixed pool/segment
+    cost exceeds what two workers save.  Returns ``None`` when the
+    artifact lacks either pair; the result is clamped to
+    ``[CUTOVER_FLOOR, CUTOVER_CEILING]``.
+    """
+
+    def _pair(engine: str) -> Optional[Tuple[float, float, float]]:
+        serial = parallel = size = None
+        for record in payload.get("records", []):
+            if record.get("engine") != engine:
+                continue
+            if record.get("workers") == 1:
+                serial = float(record["wall_s"])
+                size = float(record["L_r"])
+            elif record.get("workers") == 2:
+                parallel = float(record["wall_s"])
+        if serial is None or parallel is None or size is None:
+            return None
+        return size, serial, parallel
+
+    small = _pair("parallel-scan-small")
+    big = _pair("parallel-scan")
+    if small is None or big is None:
+        return None
+    small_size, small_serial, small_parallel = small
+    big_size, big_serial, big_parallel = big
+    d_small = small_parallel - small_serial
+    d_big = big_parallel - big_serial
+    if d_small <= 0:
+        # Parallel already wins at the small size: cutover is the floor.
+        return CUTOVER_FLOOR
+    if d_big >= 0 or big_size <= small_size:
+        # Parallel never measured faster (e.g. a single-core recording
+        # machine): no crossover exists, keep the conservative default.
+        return None
+    crossover = small_size + (big_size - small_size) * d_small / (d_small - d_big)
+    return int(max(CUTOVER_FLOOR, min(CUTOVER_CEILING, crossover)))
+
+
+@lru_cache(maxsize=1)
+def _derived_cutover() -> Optional[int]:
+    """Read the committed baseline once per process; derive the cutover."""
+    try:
+        payload = json.loads(_baseline_artifact_path().read_text())
+    except (OSError, ValueError):
+        return None
+    return derive_cutover(payload)
+
+
+def parallel_cutover_nucleotides() -> int:
+    """Databases below this many nucleotides scan serially by default.
+
+    Derived from the committed benchmark baseline
+    (``benchmarks/baselines/BENCH_scoring.json``) via :func:`derive_cutover`
+    so the threshold tracks measured pool overhead on the recorded machine
+    rather than a guess; falls back to the (monkeypatchable)
+    :data:`MIN_PARALLEL_NUCLEOTIDES` when the artifact is missing,
+    predates the small-scan records, or records no serial/parallel
+    crossover at all.
+    """
+    derived = _derived_cutover()
+    return MIN_PARALLEL_NUCLEOTIDES if derived is None else derived
 
 
 def chunk_bounds(num_references: int, chunk_size: int) -> List[Tuple[int, int]]:
@@ -427,6 +569,7 @@ def scan_database(
     checkpoint_dir: object = None,
     resume: bool = False,
     with_report: bool = False,
+    parallel_threshold: Optional[int] = None,
 ) -> Union[List[AlignmentResult], Tuple[List[AlignmentResult], object]]:
     """Scan one query over a database, optionally across worker processes.
 
@@ -435,6 +578,15 @@ def scan_database(
     :class:`PackedDatabase`.  Results come back in input order regardless
     of which worker finished first.  ``workers=None`` uses every CPU;
     ``workers <= 1`` or a small database scans serially in-process.
+
+    Parallel work is split into position-balanced reference *windows*
+    (:mod:`repro.host.windows`), so a single long reference parallelizes
+    as well as many uniform ones and the merged results — hits and
+    ``keep_scores`` vectors alike — are bit-identical to a serial scan.
+    ``parallel_threshold`` overrides the serial/parallel cutover in
+    nucleotides (``0`` forces the parallel path; by default the cutover is
+    derived from the committed bench baseline, see
+    :func:`parallel_cutover_nucleotides`).
 
     Robustness (see :mod:`repro.host.resilience` and
     ``docs/robustness.md``): passing any of ``policy`` (a
@@ -480,10 +632,21 @@ def scan_database(
             return outcome.results, outcome.report
         return outcome.results
     num_workers = resolve_workers(workers)
+    cutover = (
+        parallel_cutover_nucleotides()
+        if parallel_threshold is None
+        else max(0, int(parallel_threshold))
+    )
+    span = len(encoded)
+    chunks = (
+        _windows.plan_windows(database.lengths.tolist(), span, num_workers)
+        if num_workers > 1
+        else []
+    )
     if (
         num_workers <= 1
-        or database.num_references <= 1
-        or database.total_nucleotides < MIN_PARALLEL_NUCLEOTIDES
+        or len(chunks) <= 1
+        or database.total_nucleotides < cutover
     ):
         with _obs_profile.stage("scan.score", category="scan", mode="serial"):
             results_serial = _serial_scan(
@@ -491,14 +654,12 @@ def scan_database(
             )
         _record_scan_totals(results_serial)
         return results_serial
-    size = resolve_chunk_size(database.num_references, num_workers, chunk_size)
-    bounds = chunk_bounds(database.num_references, size)
     try:
         with _obs_profile.stage(
             "scan.score", category="scan", mode="parallel", workers=num_workers
         ):
-            collected = _parallel_scan(
-                encoded, database, resolved, engine, keep_scores, num_workers, bounds
+            records = _parallel_scan(
+                encoded, database, resolved, engine, keep_scores, num_workers, chunks
             )
     except (ImportError, OSError, PermissionError):
         # Restricted environments (no /dev/shm, no fork) fall back cleanly.
@@ -508,16 +669,21 @@ def scan_database(
             )
         _record_scan_totals(results_serial)
         return results_serial
-    results: List[Optional[AlignmentResult]] = [None] * database.num_references
     with _obs_profile.stage("scan.merge", category="scan"):
-        for index, positions, hit_scores, scores, length in collected:
-            results[index] = _build_result(
+        per_reference = _windows.merge_window_records(
+            records, database.lengths.tolist(), span, keep_scores
+        )
+        results = [
+            _build_result(
                 encoded, database.names[index], length, resolved,
                 positions, hit_scores, scores,
             )
-    merged = [r for r in results if r is not None]
-    _record_scan_totals(merged)
-    return merged
+            for index, (positions, hit_scores, scores, length) in enumerate(
+                per_reference
+            )
+        ]
+    _record_scan_totals(results)
+    return results
 
 
 def _record_scan_totals(results: Sequence[AlignmentResult]) -> None:
@@ -536,8 +702,8 @@ def _parallel_scan(
     engine: str,
     keep_scores: bool,
     num_workers: int,
-    bounds: Sequence[Tuple[int, int]],
-) -> List[Tuple[int, np.ndarray, np.ndarray, Optional[np.ndarray], int]]:
+    chunks: Sequence[Sequence["_windows.Window"]],
+) -> List["_windows.WindowRecord"]:
     import multiprocessing
 
     try:
@@ -556,12 +722,15 @@ def _parallel_scan(
             engine,
             keep_scores,
         )
+        tasks = [
+            [(w.reference, w.start, w.stop) for w in chunk] for chunk in chunks
+        ]
         with context.Pool(
-            processes=min(num_workers, len(bounds)),
+            processes=min(num_workers, len(tasks)),
             initializer=_worker_init,
             initargs=init_args,
         ) as pool:
-            chunk_results = pool.map(_scan_chunk, list(bounds))
+            chunk_results = pool.map(_scan_window_chunk, tasks, chunksize=1)
     finally:
         retire_segment(segment)
     return [record for chunk in chunk_results for record in chunk]

@@ -1,0 +1,1180 @@
+"""Warm scan runtime: one resident database image, many supervised scans.
+
+:func:`repro.host.scan.scan_database` pays its fixed costs — packing the
+references, publishing the shared-memory image, forking the worker pool —
+on every call.  For the interactive / server use case (one database, a
+stream of queries) those costs dominate: the paper's host keeps the
+database resident in FPGA DRAM across searches, and :class:`ScanSession`
+is the software counterpart:
+
+* the database is packed and published in shared memory **once**, at
+  session open; worker processes attach at spawn and stay resident;
+* every :meth:`ScanSession.scan` / :meth:`ScanSession.scan_batch` call
+  reuses the warm pool — no fork, no image copy, no re-pack;
+* a batch of *k* queries is grouped into shared passes (the software
+  analogue of the paper's multi-channel extension — unlike the FPGA lane
+  budget of :mod:`repro.accel.multi_query`, the software kernel lets any
+  queries share a sweep, so passes are bounded only by a working-set cap
+  and a span-spread bound) and each database window is swept **once per
+  pass**, scoring all co-resident queries against the same unpacked slice
+  (the default ``bitscore_batch`` engine additionally shares the
+  comparator bitplanes across the batch);
+* execution is supervised in the :mod:`repro.host.resilience` mold —
+  per-task timeout, bounded retries with backoff, dead-worker replacement,
+  hedged stragglers, per-task sanity checks, optional durable
+  checkpointing, graceful degradation to the in-process engine — and each
+  batch returns a :class:`repro.host.resilience.ScanReport` on request;
+* :meth:`ScanSession.close` (or the context manager) tears everything
+  down; the segment is registered with the :mod:`repro.host.scan` cleanup
+  sweeps, so even a crashed session cannot leak ``/dev/shm``.
+
+Work is split into the position-balanced windows of
+:mod:`repro.host.windows`; a pass's windows are planned with the *shortest*
+member's span (every co-resident query has at least those positions) and
+scored with the *longest* member's halo, then clipped per query, so the
+merged hits and ``keep_scores`` vectors are bit-identical to scanning each
+query alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random
+import time
+import zipfile
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.aligner import (
+    AlignmentResult,
+    QueryLike,
+    ReferenceLike,
+    resolve_threshold,
+    scores_batch_from_codes,
+)
+from repro.core.encoding import EncodedQuery, encode_query
+from repro.host import windows as _windows
+from repro.host.checkpoint import CheckpointStore
+from repro.host.errors import (
+    ChunkFailedError,
+    CorruptResultError,
+    PoolUnhealthyError,
+    ScanError,
+)
+from repro.host.resilience import RetryPolicy, ScanReport
+from repro.host.scan import (
+    PackedDatabase,
+    _build_result,
+    publish_segment,
+    resolve_workers,
+    retire_segment,
+)
+from repro.obs import profile as _obs_profile
+
+#: Engine a session sweeps with unless told otherwise: the batched kernel
+#: shares the reference stream *and* the comparator bitplanes across every
+#: co-resident query (bit-identical scores to any other engine).
+SESSION_ENGINE = "bitscore_batch"
+
+#: Most queries sharing one software pass.  Bounds the per-window working
+#: set (k score vectors plus the shared shift table) and the size of a
+#: task's result payload.
+MAX_QUERIES_PER_PASS = 16
+
+#: Largest ``longest / shortest`` span spread tolerated in one pass.
+#: Windows are planned with the shortest member's span and unpacked with
+#: the longest member's halo; a wide spread would waste halo work and pad
+#: the batch kernel's planes, so mixed batches split instead.
+MAX_PASS_SPAN_RATIO = 2.0
+
+__all__ = [
+    "ScanSession",
+    "SessionRecord",
+    "SessionPayload",
+    "SessionCheckpointStore",
+    "check_session_payload",
+    "session_fingerprint",
+]
+
+
+#: One scored (window x query) cell: ``(query_slot, reference, start,
+#: hit_positions_local, hit_scores, scores_slice | None)``.  ``query_slot``
+#: is the query's index *within its pass*; hit positions are local to the
+#: window.  A task payload lists every window's cells query-major within
+#: the window: record ``j * k + slot`` belongs to window ``j``, slot
+#: ``slot``.
+SessionRecord = Tuple[int, int, int, np.ndarray, np.ndarray, Optional[np.ndarray]]
+SessionPayload = List[SessionRecord]
+
+
+@dataclass(frozen=True)
+class _PassSpec:
+    """One shared pass: co-resident queries scored against every window."""
+
+    pass_id: int
+    query_indices: Tuple[int, ...]  # global (input-order) query indices
+    arrays: Tuple[np.ndarray, ...]
+    spans: Tuple[int, ...]
+    thresholds: Tuple[int, ...]
+    min_span: int
+    max_span: int
+
+
+@dataclass(frozen=True)
+class _TaskSpec:
+    """One supervised work item: a chunk of windows of one pass."""
+
+    task_id: int
+    pass_id: int
+    windows: Tuple[Tuple[int, int, int], ...]  # (reference, start, stop)
+
+
+# -- scoring core (shared by workers, serial mode, degraded fallback) ----------
+
+
+def _score_session_windows(
+    buffer: np.ndarray,
+    lengths: np.ndarray,
+    byte_offsets: np.ndarray,
+    window_list: Sequence[Tuple[int, int, int]],
+    arrays: Sequence[np.ndarray],
+    thresholds: Sequence[int],
+    engine: str,
+    keep_scores: bool,
+) -> SessionPayload:
+    """Score every (window, query) cell of one task; one sweep per window.
+
+    Each window is unpacked once with the *longest* query's forward halo
+    and swept once for the whole batch; shorter queries' extra trailing
+    positions are clipped to their own position count, so every kept slice
+    matches a solo scan of that query bit for bit.
+    """
+    spans = [int(a.size) for a in arrays]
+    max_span = max(spans)
+    payload: SessionPayload = []
+    for reference, start, stop in window_list:
+        length = int(lengths[reference])
+        codes, lookback = _windows.window_codes(
+            buffer, int(byte_offsets[reference]), length, start, stop, max_span
+        )
+        scores_list = scores_batch_from_codes(list(arrays), codes, engine)
+        for slot, scores in enumerate(scores_list):
+            stop_q = min(stop, _windows.num_positions(length, spans[slot]))
+            count = max(0, stop_q - start)
+            wanted = scores[lookback : lookback + count]
+            hits_local = np.nonzero(wanted >= thresholds[slot])[0]
+            payload.append(
+                (
+                    slot,
+                    reference,
+                    start,
+                    hits_local.astype(np.int64),
+                    wanted[hits_local],
+                    wanted if keep_scores else None,
+                )
+            )
+    return payload
+
+
+def check_session_payload(
+    payload: SessionPayload,
+    window_list: Sequence[Tuple[int, int, int]],
+    spans: Sequence[int],
+    thresholds: Sequence[int],
+    lengths: np.ndarray,
+    keep_scores: bool,
+) -> Optional[str]:
+    """Cheap structural validation of one session task result.
+
+    The session analogue of
+    :func:`repro.host.resilience.check_chunk_payload`: returns ``None``
+    when the payload is sane, else a human-readable reason.  Corrupt
+    worker results are retried, never merged.
+    """
+    k = len(spans)
+    if not isinstance(payload, list):
+        return f"payload is {type(payload).__name__}, expected a record list"
+    if len(payload) != len(window_list) * k:
+        return f"expected {len(window_list) * k} records, got {len(payload)}"
+    for j, (reference, start, stop) in enumerate(window_list):
+        length = int(lengths[reference])
+        for slot in range(k):
+            record = payload[j * k + slot]
+            where = f"window {j} slot {slot}"
+            if not isinstance(record, tuple) or len(record) != 6:
+                return f"{where}: not a 6-tuple"
+            rec_slot, rec_reference, rec_start, hits, hit_scores, scores = record
+            if (rec_slot, rec_reference, rec_start) != (slot, reference, start):
+                return f"{where}: record keyed ({rec_slot}, {rec_reference}, {rec_start})"
+            stop_q = min(stop, _windows.num_positions(length, spans[slot]))
+            count = max(0, stop_q - start)
+            if not isinstance(hits, np.ndarray) or hits.ndim != 1:
+                return f"{where}: hit positions is not a 1-D array"
+            if not isinstance(hit_scores, np.ndarray) or hit_scores.shape != hits.shape:
+                return f"{where}: hit_scores shape mismatch"
+            if hits.size:
+                if hits.dtype.kind not in "iu" or hit_scores.dtype.kind not in "iu":
+                    return f"{where}: non-integer hit arrays"
+                if int(hits.min()) < 0 or int(hits.max()) >= count:
+                    return f"{where}: hit position out of range"
+                if hits.size > 1 and not bool(np.all(np.diff(hits) > 0)):
+                    return f"{where}: hit positions not strictly increasing"
+                if (
+                    int(hit_scores.min()) < thresholds[slot]
+                    or int(hit_scores.max()) > spans[slot]
+                ):
+                    return (
+                        f"{where}: hit score outside "
+                        f"[{thresholds[slot]}, {spans[slot]}]"
+                    )
+            if keep_scores:
+                if not isinstance(scores, np.ndarray) or scores.ndim != 1:
+                    return f"{where}: missing score slice"
+                if scores.size != count:
+                    return f"{where}: score slice size {scores.size} != {count}"
+                if scores.size and (
+                    int(scores.min()) < 0 or int(scores.max()) > spans[slot]
+                ):
+                    return f"{where}: score outside [0, {spans[slot]}]"
+                recomputed = np.nonzero(scores >= thresholds[slot])[0]
+                if not np.array_equal(recomputed, hits):
+                    return f"{where}: hits disagree with score slice"
+                if not np.array_equal(scores[hits], hit_scores):
+                    return f"{where}: hit scores disagree with score slice"
+            elif scores is not None:
+                return f"{where}: unexpected score slice"
+    return None
+
+
+# -- durable checkpointing -----------------------------------------------------
+
+
+class SessionCheckpointStore(CheckpointStore):
+    """Checkpoint layout for session tasks.
+
+    The base store keys arrays by reference index, which is ambiguous here
+    — one task holds many (window x query) cells that may share a
+    reference — so chunk files carry a ``meta`` table (slot, reference,
+    start, has-scores flag) plus arrays keyed by record position.  The
+    manifest/``prepare`` machinery (fingerprint match, stale-file sweep,
+    atomic writes) is inherited unchanged.
+    """
+
+    def save_chunk(self, chunk: int, payload: SessionPayload) -> None:
+        meta = np.asarray(
+            [
+                [rec[0], rec[1], rec[2], 0 if rec[5] is None else 1]
+                for rec in payload
+            ],
+            dtype=np.int64,
+        ).reshape(-1, 4)
+        arrays: Dict[str, np.ndarray] = {"meta": meta}
+        for i, (_slot, _reference, _start, hits, hit_scores, scores) in enumerate(
+            payload
+        ):
+            arrays[f"pos_{i}"] = hits
+            arrays[f"hs_{i}"] = hit_scores
+            if scores is not None:
+                arrays[f"sc_{i}"] = scores
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.chunk_path(chunk)
+        tmp = path.with_suffix(".npz.tmp")
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        num_bytes = tmp.stat().st_size
+        os.replace(tmp, path)
+        self.chunks_written += 1
+        self.bytes_written += num_bytes
+        _obs_profile.record_checkpoint_chunk(num_bytes)
+
+    def load_chunk(self, chunk: int) -> Optional[SessionPayload]:
+        path = self.chunk_path(chunk)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as data:
+                payload: SessionPayload = []
+                for i, (slot, reference, start, has_scores) in enumerate(
+                    data["meta"].tolist()
+                ):
+                    scores = data[f"sc_{i}"] if has_scores else None
+                    payload.append(
+                        (
+                            int(slot),
+                            int(reference),
+                            int(start),
+                            data[f"pos_{i}"],
+                            data[f"hs_{i}"],
+                            scores,
+                        )
+                    )
+                return payload
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+            # A kill mid-write or disk corruption: rescan this task.
+            return None
+
+
+def session_fingerprint(
+    database: PackedDatabase,
+    passes: Sequence[_PassSpec],
+    tasks: Sequence[_TaskSpec],
+    engine: str,
+    keep_scores: bool,
+) -> str:
+    """SHA-256 over everything that determines one batch call's results.
+
+    Covers the database image, every pass's queries and thresholds, the
+    engine/``keep_scores`` configuration, *and* the task/window layout —
+    task files are keyed by task id, so resuming against a different
+    window plan must be refused, not silently mixed.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"fabp-session-v1")
+    digest.update(f"|e={engine}|k={int(keep_scores)}".encode())
+    digest.update(f"|n={database.num_references}".encode())
+    digest.update("\x00".join(database.names).encode())
+    digest.update(np.ascontiguousarray(database.lengths).tobytes())
+    digest.update(np.ascontiguousarray(database.buffer).tobytes())
+    for spec in passes:
+        digest.update(f"|p={spec.pass_id}".encode())
+        for array, threshold in zip(spec.arrays, spec.thresholds):
+            digest.update(np.ascontiguousarray(array, dtype=np.uint8).tobytes())
+            digest.update(f"|t={threshold}".encode())
+    for task in tasks:
+        digest.update(f"|c={task.task_id}:{task.pass_id}".encode())
+        for reference, start, stop in task.windows:
+            digest.update(f"|w={reference},{start},{stop}".encode())
+    return digest.hexdigest()
+
+
+# -- worker process ------------------------------------------------------------
+
+
+def _session_worker_main(
+    conn,
+    shm_name: str,
+    packed_bytes: int,
+    lengths: np.ndarray,
+    byte_offsets: np.ndarray,
+) -> None:
+    """Resident worker loop: attach the shared image once, score tasks.
+
+    Protocol (parent -> worker): ``("task", task_id, attempt, windows,
+    arrays, thresholds, engine, keep_scores)`` or ``("stop",)``.  Worker ->
+    parent: ``("ok", task_id, attempt, payload)`` or ``("err", task_id,
+    attempt, message)``.  Every task message is self-contained, so a
+    respawned or hedged worker needs no per-scan installation step.
+    """
+    from multiprocessing import shared_memory
+
+    from repro.host.resilience import _recv_or_orphaned
+
+    parent_pid = os.getppid()
+    segment = shared_memory.SharedMemory(name=shm_name)
+    buffer: Optional[np.ndarray] = np.frombuffer(
+        segment.buf, dtype=np.uint8, count=packed_bytes
+    )
+    try:
+        while True:
+            message = _recv_or_orphaned(conn, parent_pid)
+            if message[0] == "stop":
+                break
+            _, task_id, attempt, window_list, arrays, thresholds, engine, keep = (
+                message
+            )
+            try:
+                payload = _score_session_windows(
+                    buffer, lengths, byte_offsets,
+                    window_list, arrays, thresholds, engine, keep,
+                )
+            except (ValueError, IndexError) as exc:
+                conn.send(("err", task_id, attempt, str(exc)))
+                continue
+            conn.send(("ok", task_id, attempt, payload))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        # Drop the numpy view first: closing a segment with an exported
+        # buffer pointer raises BufferError at interpreter shutdown.
+        buffer = None  # noqa: F841
+        try:
+            segment.close()
+        except (OSError, BufferError):
+            pass
+
+
+class _SessionWorker:
+    """Parent-side view of one resident worker process."""
+
+    __slots__ = ("id", "process", "conn", "busy")
+
+    def __init__(self, worker_id: int, process, conn):
+        self.id = worker_id
+        self.process = process
+        self.conn = conn
+        #: ``None`` when idle, else ``(task_id, attempt, started, deadline)``.
+        self.busy: Optional[Tuple[int, int, float, Optional[float]]] = None
+
+
+class _Exhausted(Exception):
+    """Internal: a task ran out of retries or the pool is unhealthy."""
+
+    def __init__(self, reason: str, error: Exception):
+        self.reason = reason
+        self.error = error
+        super().__init__(reason)
+
+
+# -- the session ---------------------------------------------------------------
+
+
+class ScanSession:
+    """A warm scan runtime over one packed database.
+
+    ``references`` is anything :class:`repro.host.scan.PackedDatabase`
+    accepts, or a ready database.  ``workers=None`` keeps one resident
+    worker per CPU; ``workers <= 1`` (or a restricted environment where
+    fork / shared memory fail) runs every call in-process, with the same
+    batching, checkpointing, and report semantics.
+
+    Use as a context manager, or call :meth:`close` — the shared segment
+    and worker pool live until then::
+
+        with ScanSession(references, workers=4) as session:
+            for batch in query_stream:
+                results = session.scan_batch(batch)
+    """
+
+    def __init__(
+        self,
+        references: Union[PackedDatabase, Iterable[ReferenceLike]],
+        *,
+        engine: str = SESSION_ENGINE,
+        workers: Optional[int] = None,
+        names: Optional[Sequence[str]] = None,
+    ):
+        self._database = (
+            references
+            if isinstance(references, PackedDatabase)
+            else PackedDatabase.from_references(references, names)
+        )
+        self._engine = engine
+        self._num_workers = resolve_workers(workers)
+        self._segment = None
+        self._context = None
+        self._workers: List[_SessionWorker] = []
+        self._next_worker_id = 0
+        self._closed = False
+        #: Batch calls completed by this session.
+        self.scans_completed = 0
+        #: Batch calls that found the pool and image already warm.
+        self.pool_reuses = 0
+        #: Workers replaced over the session's lifetime (all causes).
+        self.respawns_total = 0
+        if self._num_workers > 1:
+            try:
+                self._start_pool()
+            except (ImportError, OSError, PermissionError):
+                # Restricted environments (no /dev/shm, no fork): stay
+                # serial with identical semantics.
+                self._teardown_pool()
+                self._num_workers = 1
+        _obs_profile.record_scan_session_open(self._database.packed_bytes)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def __enter__(self) -> "ScanSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop the workers and retire the shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._teardown_pool()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def database(self) -> PackedDatabase:
+        return self._database
+
+    @property
+    def engine(self) -> str:
+        return self._engine
+
+    @property
+    def num_workers(self) -> int:
+        return self._num_workers
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of packed database image this session keeps resident."""
+        return self._database.packed_bytes
+
+    def _start_pool(self) -> None:
+        import multiprocessing
+
+        try:
+            self._context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            self._context = multiprocessing.get_context()
+        self._segment = publish_segment(self._database.buffer)
+        for _ in range(self._num_workers):
+            self._spawn_worker()
+
+    def _spawn_worker(self) -> _SessionWorker:
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_session_worker_main,
+            args=(
+                child_conn,
+                self._segment.name,
+                self._database.packed_bytes,
+                self._database.lengths,
+                self._database.byte_offsets,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker = _SessionWorker(self._next_worker_id, process, parent_conn)
+        self._next_worker_id += 1
+        self._workers.append(worker)
+        return worker
+
+    def _teardown_pool(self) -> None:
+        for worker in self._workers:
+            try:
+                worker.conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self._workers = []
+        if self._segment is not None:
+            retire_segment(self._segment)
+            self._segment = None
+
+    def _pool_ready(self) -> bool:
+        return self._segment is not None and self._num_workers > 1
+
+    def _revive_pool(self) -> None:
+        """Replace workers that died between calls; top back up to size."""
+        for worker in list(self._workers):
+            if worker.process.is_alive():
+                continue
+            self._workers.remove(worker)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            worker.process.join(timeout=0.5)
+            self.respawns_total += 1
+        while len(self._workers) < self._num_workers:
+            self._spawn_worker()
+
+    def _retire_busy_workers(self) -> None:
+        """Kill workers still holding a task so stale results cannot leak.
+
+        Runs at the end of every pool-mode call: a hedged twin (or an
+        exhausted/aborted run) may leave a worker mid-task, and its late
+        reply must never be mistaken for a later call's task.  The pool is
+        topped back up so the next call still starts warm.
+        """
+        for worker in list(self._workers):
+            if worker.busy is None:
+                continue
+            worker.process.terminate()
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():  # pragma: no cover - stubborn child
+                worker.process.kill()
+                worker.process.join(timeout=1.0)
+            self._workers.remove(worker)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            self.respawns_total += 1
+        if self._segment is not None and not self._closed:
+            try:
+                while len(self._workers) < self._num_workers:
+                    self._spawn_worker()
+            except (OSError, ValueError):
+                # Next call's revive will retry; a short pool still works.
+                return
+
+    # -- planning -------------------------------------------------------------
+
+    def _plan(
+        self, encoded: List[EncodedQuery], resolved: List[int]
+    ) -> Tuple[List[_PassSpec], List[_TaskSpec]]:
+        """Group queries into shared passes; split each pass into tasks.
+
+        Grouping follows the *software* batch kernel's economics, not the
+        FPGA lane budget (which admits one long query per pass): any
+        queries can share a sweep, so sort by span descending and first-fit
+        until a pass holds :data:`MAX_QUERIES_PER_PASS` queries or its span
+        spread would exceed :data:`MAX_PASS_SPAN_RATIO`.
+        """
+        order = sorted(range(len(encoded)), key=lambda i: -len(encoded[i]))
+        groups: List[List[int]] = []
+        for index in order:
+            span = len(encoded[index])
+            placed = False
+            for group in groups:
+                if (
+                    len(group) < MAX_QUERIES_PER_PASS
+                    and len(encoded[group[0]]) <= span * MAX_PASS_SPAN_RATIO
+                ):
+                    group.append(index)
+                    placed = True
+                    break
+            if not placed:
+                groups.append([index])
+        lengths = self._database.lengths.tolist()
+        passes: List[_PassSpec] = []
+        tasks: List[_TaskSpec] = []
+        for pass_id, group in enumerate(groups):
+            indices = tuple(group)
+            arrays = tuple(encoded[i].as_array() for i in indices)
+            spans = tuple(int(a.size) for a in arrays)
+            thresholds = tuple(int(resolved[i]) for i in indices)
+            passes.append(
+                _PassSpec(
+                    pass_id, indices, arrays, spans, thresholds,
+                    min(spans), max(spans),
+                )
+            )
+            _obs_profile.record_scan_session_pass(len(group))
+            for chunk in _windows.plan_windows(
+                lengths, min(spans), self._num_workers
+            ):
+                tasks.append(
+                    _TaskSpec(
+                        len(tasks),
+                        pass_id,
+                        tuple((w.reference, w.start, w.stop) for w in chunk),
+                    )
+                )
+        return passes, tasks
+
+    # -- public API -----------------------------------------------------------
+
+    def scan(
+        self, query: QueryLike, **kwargs
+    ) -> Union[List[AlignmentResult], Tuple[List[AlignmentResult], ScanReport]]:
+        """Score one query over the resident database (a batch of one)."""
+        outcome = self.scan_batch([query], **kwargs)
+        if kwargs.get("with_report"):
+            batches, report = outcome
+            return batches[0], report
+        return outcome[0]
+
+    def scan_batch(
+        self,
+        queries: Iterable[QueryLike],
+        *,
+        threshold: Optional[int] = None,
+        min_identity: Optional[float] = None,
+        keep_scores: bool = False,
+        policy: Optional[RetryPolicy] = None,
+        checkpoint_dir: object = None,
+        resume: bool = False,
+        with_report: bool = False,
+    ) -> Union[
+        List[List[AlignmentResult]],
+        Tuple[List[List[AlignmentResult]], ScanReport],
+    ]:
+        """Score ``k`` queries over the resident database in shared passes.
+
+        Returns one result list per query, in input order, each bit-identical
+        to a solo :func:`repro.host.scan.scan_database` of that query.
+        ``threshold`` / ``min_identity`` follow the aligner's convention and
+        are resolved per query.  ``policy``, ``checkpoint_dir``, ``resume``
+        and ``with_report`` mirror the supervised scan: every batch runs
+        under retry/hedge/respawn supervision and (with ``with_report``)
+        returns its :class:`~repro.host.resilience.ScanReport`.
+        """
+        if self._closed:
+            raise ScanError("scan session is closed")
+        query_list = list(queries)
+        policy = policy or RetryPolicy()
+        encoded = [
+            q if isinstance(q, EncodedQuery) else encode_query(q)
+            for q in query_list
+        ]
+        resolved = [resolve_threshold(e, threshold, min_identity) for e in encoded]
+        reused = self.scans_completed > 0
+        passes, tasks = self._plan(encoded, resolved) if encoded else ([], [])
+        report = ScanReport(
+            mode="serial",
+            workers=self._num_workers,
+            chunk_size=0,
+            chunks_total=len(tasks),
+            engine=self._engine,
+            threshold=min(resolved) if resolved else 0,
+        )
+
+        stage_seconds: Dict[str, float] = {}
+        store: Optional[SessionCheckpointStore] = None
+        done: Dict[int, SessionPayload] = {}
+        if checkpoint_dir is not None:
+            store = SessionCheckpointStore(checkpoint_dir)
+            report.checkpoint_dir = str(store.directory)
+            report.resumed = bool(resume)
+            with _obs_profile.stage(
+                "scan.checkpoint_load", category="scan"
+            ) as load_timer:
+                fingerprint = session_fingerprint(
+                    self._database, passes, tasks, self._engine, keep_scores
+                )
+                loaded = store.prepare(fingerprint, len(tasks), 0, resume)
+                # Never trust disk blindly: checkpointed tasks must pass the
+                # same sanity check a worker result does.
+                for task_id, payload in loaded.items():
+                    task = tasks[task_id]
+                    spec = passes[task.pass_id]
+                    if (
+                        check_session_payload(
+                            payload, task.windows, spec.spans, spec.thresholds,
+                            self._database.lengths, keep_scores,
+                        )
+                        is None
+                    ):
+                        done[task_id] = payload
+            stage_seconds["checkpoint_load"] = load_timer.seconds
+            report.chunks_from_checkpoint = len(done)
+
+        started = time.monotonic()
+        execute_timer: Optional[_obs_profile.StageTimer] = None
+        try:
+            if len(done) < len(tasks):
+                with _obs_profile.stage("scan.execute", category="scan") as timer:
+                    execute_timer = timer
+                    if self._pool_ready():
+                        report.mode = "parallel"
+                        try:
+                            self._revive_pool()
+                            self._run_pool(
+                                tasks, passes, keep_scores, policy, report,
+                                store, done,
+                            )
+                        except (ImportError, OSError, PermissionError):
+                            report.mode = "serial"
+                            self._run_in_process(
+                                tasks, passes, keep_scores, report, store, done
+                            )
+                    else:
+                        self._run_in_process(
+                            tasks, passes, keep_scores, report, store, done
+                        )
+        except _Exhausted as exhausted:
+            if not policy.degrade:
+                raise exhausted.error from None
+            report.degraded = True
+            report.degraded_reason = exhausted.reason
+            with _obs_profile.stage(
+                "scan.degraded", category="scan"
+            ) as degraded_timer:
+                self._run_in_process(
+                    tasks, passes, keep_scores, report, store, done,
+                    degraded=True,
+                )
+            stage_seconds["degraded"] = degraded_timer.seconds
+        if execute_timer is not None:
+            stage_seconds["execute"] = execute_timer.seconds
+        report.chunks_completed = len(done)
+        report.elapsed_seconds = time.monotonic() - started
+
+        with _obs_profile.stage("scan.merge", category="scan") as merge_timer:
+            results = self._merge(encoded, passes, tasks, done, keep_scores)
+        stage_seconds["merge"] = merge_timer.seconds
+        report.metrics["stage_seconds"] = {
+            name: round(seconds, 6) for name, seconds in stage_seconds.items()
+        }
+        if store is not None:
+            report.metrics["checkpoint"] = {
+                "chunks_written": store.chunks_written,
+                "bytes_written": store.bytes_written,
+            }
+        if report.mode == "parallel":
+            report.metrics["shared_memory_bytes"] = int(
+                self._database.packed_bytes
+            )
+        self.scans_completed += 1
+        if reused:
+            self.pool_reuses += 1
+        _obs_profile.record_scan_session_batch(len(query_list), reused)
+        _obs_profile.record_scan_report_counters(
+            report.retries, report.hedges, report.respawns, report.degraded
+        )
+        if with_report:
+            return results, report
+        return results
+
+    # -- execution ------------------------------------------------------------
+
+    def _complete(
+        self,
+        task_id: int,
+        payload: SessionPayload,
+        store: Optional[SessionCheckpointStore],
+        done: Dict[int, SessionPayload],
+    ) -> None:
+        done[task_id] = payload
+        if store is not None:
+            store.save_chunk(task_id, payload)
+
+    def _run_in_process(
+        self,
+        tasks: Sequence[_TaskSpec],
+        passes: Sequence[_PassSpec],
+        keep_scores: bool,
+        report: ScanReport,
+        store: Optional[SessionCheckpointStore],
+        done: Dict[int, SessionPayload],
+        degraded: bool = False,
+    ) -> None:
+        """Score remaining tasks with the in-process engine.
+
+        Serves both the serial mode (``workers <= 1`` / restricted
+        environments) and the degraded completion after an exhausted pool;
+        a sanity failure here means the scan itself is broken, which is
+        fatal.
+        """
+        for task in tasks:
+            if task.task_id in done:
+                continue
+            spec = passes[task.pass_id]
+            t0 = time.monotonic()
+            payload = _score_session_windows(
+                self._database.buffer,
+                self._database.lengths,
+                self._database.byte_offsets,
+                task.windows,
+                spec.arrays,
+                spec.thresholds,
+                self._engine,
+                keep_scores,
+            )
+            error = check_session_payload(
+                payload, task.windows, spec.spans, spec.thresholds,
+                self._database.lengths, keep_scores,
+            )
+            if error is not None:
+                raise CorruptResultError(
+                    task.task_id, 0, f"in-process session scan: {error}"
+                )
+            detail = "degraded serial" if degraded else ""
+            report.record(
+                task.task_id, 0, "ok", time.monotonic() - t0, None, detail
+            )
+            if degraded:
+                report.chunks_degraded += 1
+            self._complete(task.task_id, payload, store, done)
+
+    def _run_pool(
+        self,
+        tasks: Sequence[_TaskSpec],
+        passes: Sequence[_PassSpec],
+        keep_scores: bool,
+        policy: RetryPolicy,
+        report: ScanReport,
+        store: Optional[SessionCheckpointStore],
+        done: Dict[int, SessionPayload],
+    ) -> None:
+        """Drive the resident pool through the task list under supervision.
+
+        Same event loop shape as the one-shot
+        :class:`repro.host.resilience._Supervisor` — dispatch, wait on
+        pipes + process sentinels, sweep timeouts, respawn — but the
+        workers outlive the call; only workers still holding a task at
+        exit are replaced (stale replies must never leak into a later
+        call).
+        """
+        from multiprocessing import connection
+
+        rng = random.Random(policy.seed)
+        failures: Dict[int, List[str]] = {}
+        next_attempt: Dict[int, int] = {}
+        in_flight: Dict[int, int] = {}
+        task_map = {task.task_id: task for task in tasks}
+        now = time.monotonic()
+        pending: List[Tuple[float, int]] = [
+            (now, task.task_id) for task in tasks if task.task_id not in done
+        ]
+
+        def _dispatch_to(worker: _SessionWorker, task_id: int, hedge: bool) -> None:
+            attempt = next_attempt.get(task_id, 0)
+            next_attempt[task_id] = attempt + 1
+            task = task_map[task_id]
+            spec = passes[task.pass_id]
+            t_now = time.monotonic()
+            deadline = None if policy.timeout is None else t_now + policy.timeout
+            worker.conn.send(
+                (
+                    "task", task_id, attempt, task.windows, spec.arrays,
+                    spec.thresholds, self._engine, keep_scores,
+                )
+            )
+            worker.busy = (task_id, attempt, t_now, deadline)
+            in_flight[task_id] = in_flight.get(task_id, 0) + 1
+            if hedge:
+                report.hedges += 1
+
+        def _register_failure(task_id: int, outcome: str, t_now: float) -> None:
+            outcomes = failures.setdefault(task_id, [])
+            outcomes.append(outcome)
+            if len(outcomes) > policy.max_retries:
+                raise _Exhausted(
+                    f"task {task_id} exhausted its retry budget "
+                    f"({len(outcomes)} failures: {', '.join(outcomes)})",
+                    ChunkFailedError(task_id, outcomes),
+                )
+            report.retries += 1
+            pending.append((t_now + policy.delay(len(outcomes), rng), task_id))
+
+        def _on_message(worker: _SessionWorker, message, t_now: float) -> None:
+            kind, task_id, attempt = message[0], message[1], message[2]
+            started = worker.busy[2] if worker.busy else t_now
+            elapsed = t_now - started
+            worker.busy = None
+            in_flight[task_id] = max(0, in_flight.get(task_id, 1) - 1)
+            if task_id in done:
+                report.record(
+                    task_id, attempt, "duplicate", elapsed, worker.id,
+                    "hedged twin finished first",
+                )
+                return
+            if kind == "err":
+                report.record(
+                    task_id, attempt, "raise", elapsed, worker.id, message[3]
+                )
+                _register_failure(task_id, "raise", t_now)
+                return
+            payload = message[3]
+            task = task_map[task_id]
+            spec = passes[task.pass_id]
+            error = check_session_payload(
+                payload, task.windows, spec.spans, spec.thresholds,
+                self._database.lengths, keep_scores,
+            )
+            if error is not None:
+                report.record(
+                    task_id, attempt, "corrupt", elapsed, worker.id, error
+                )
+                _register_failure(task_id, "corrupt", t_now)
+                return
+            report.record(task_id, attempt, "ok", elapsed, worker.id)
+            self._complete(task_id, payload, store, done)
+
+        def _on_death(worker: _SessionWorker, t_now: float) -> None:
+            self._workers.remove(worker)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            worker.process.join(timeout=0.5)
+            exitcode = worker.process.exitcode
+            if worker.busy is not None:
+                task_id, attempt, started, _deadline = worker.busy
+                in_flight[task_id] = max(0, in_flight.get(task_id, 1) - 1)
+                if task_id not in done:
+                    report.record(
+                        task_id, attempt, "crash", t_now - started, worker.id,
+                        f"exitcode {exitcode}",
+                    )
+                    _register_failure(task_id, "crash", t_now)
+            report.respawns += 1
+            self.respawns_total += 1
+            if report.respawns <= policy.max_respawns:
+                self._spawn_worker()
+
+        def _sweep_timeouts(t_now: float) -> None:
+            for worker in list(self._workers):
+                if worker.busy is None or worker.busy[3] is None:
+                    continue
+                task_id, attempt, started, deadline = worker.busy
+                if t_now <= deadline:
+                    continue
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+                if worker.process.is_alive():  # pragma: no cover
+                    worker.process.kill()
+                    worker.process.join(timeout=1.0)
+                self._workers.remove(worker)
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+                in_flight[task_id] = max(0, in_flight.get(task_id, 1) - 1)
+                if task_id not in done:
+                    report.record(
+                        task_id, attempt, "timeout", t_now - started, worker.id,
+                        f"exceeded {policy.timeout:.3g}s",
+                    )
+                    _register_failure(task_id, "timeout", t_now)
+                report.respawns += 1
+                self.respawns_total += 1
+                if report.respawns <= policy.max_respawns:
+                    self._spawn_worker()
+
+        def _pick_straggler(t_now: float) -> Optional[int]:
+            oldest_task = None
+            oldest_started = None
+            for worker in self._workers:
+                if worker.busy is None:
+                    continue
+                task_id, _attempt, task_started, _deadline = worker.busy
+                if task_id in done or in_flight.get(task_id, 0) > 1:
+                    continue
+                if t_now - task_started < (policy.hedge_after or 0.0):
+                    continue
+                if oldest_started is None or task_started < oldest_started:
+                    oldest_task, oldest_started = task_id, task_started
+            return oldest_task
+
+        def _dispatch(t_now: float) -> None:
+            idle = [w for w in self._workers if w.busy is None]
+            if not idle:
+                return
+            pending.sort(key=lambda item: (item[0], item[1]))
+            for worker in idle:
+                chosen = None
+                for i, (ready_time, task_id) in enumerate(pending):
+                    if task_id in done:
+                        pending.pop(i)
+                        chosen = None
+                        break  # list mutated; re-enter on next loop iteration
+                    if ready_time <= t_now:
+                        chosen = pending.pop(i)[1]
+                        break
+                if chosen is None:
+                    continue
+                _dispatch_to(worker, chosen, hedge=False)
+            if policy.hedge_after is None or pending:
+                return
+            for worker in [w for w in self._workers if w.busy is None]:
+                straggler = _pick_straggler(t_now)
+                if straggler is None:
+                    return
+                _dispatch_to(worker, straggler, hedge=True)
+
+        def _wait_timeout(t_now: float) -> Optional[float]:
+            candidates: List[float] = []
+            for worker in self._workers:
+                if worker.busy is None:
+                    continue
+                if worker.busy[3] is not None:
+                    candidates.append(worker.busy[3])
+                if policy.hedge_after is not None:
+                    candidates.append(worker.busy[2] + policy.hedge_after)
+            if not self._workers or any(w.busy is None for w in self._workers):
+                candidates.extend(ready for ready, _ in pending)
+            if not candidates:
+                return None
+            return max(0.0, min(candidates) - t_now) + 0.005
+
+        total = len(tasks)
+        try:
+            while len(done) < total:
+                if not self._workers:
+                    raise _Exhausted(
+                        f"pool unhealthy: no workers left after "
+                        f"{report.respawns} respawns",
+                        PoolUnhealthyError(report.respawns, policy.max_respawns),
+                    )
+                t_now = time.monotonic()
+                _dispatch(t_now)
+                conn_map = {w.conn: w for w in self._workers}
+                sentinel_map = {w.process.sentinel: w for w in self._workers}
+                ready = connection.wait(
+                    list(conn_map) + list(sentinel_map),
+                    timeout=_wait_timeout(t_now),
+                )
+                t_now = time.monotonic()
+                handled = set()
+                for obj in ready:
+                    worker = conn_map.get(obj)
+                    if worker is None:
+                        worker = sentinel_map.get(obj)
+                    if worker is None or id(worker) in handled:
+                        continue
+                    handled.add(id(worker))
+                    message = None
+                    try:
+                        if worker.conn.poll():
+                            message = worker.conn.recv()
+                    except (EOFError, OSError):
+                        message = None
+                    if message is not None:
+                        _on_message(worker, message, t_now)
+                        # Fall through: the worker may additionally have died.
+                    if not worker.process.is_alive():
+                        _on_death(worker, t_now)
+                _sweep_timeouts(time.monotonic())
+                if report.respawns > policy.max_respawns:
+                    raise _Exhausted(
+                        f"pool unhealthy: {report.respawns} worker respawns",
+                        PoolUnhealthyError(report.respawns, policy.max_respawns),
+                    )
+        finally:
+            self._retire_busy_workers()
+
+    # -- merge ----------------------------------------------------------------
+
+    def _merge(
+        self,
+        encoded: List[EncodedQuery],
+        passes: Sequence[_PassSpec],
+        tasks: Sequence[_TaskSpec],
+        done: Dict[int, SessionPayload],
+        keep_scores: bool,
+    ) -> List[List[AlignmentResult]]:
+        """Stitch task payloads into per-query, input-ordered results."""
+        lengths = self._database.lengths.tolist()
+        per_slot: Dict[Tuple[int, int], List[_windows.WindowRecord]] = {}
+        for task in tasks:
+            for slot, reference, start, hits, hit_scores, scores in done[
+                task.task_id
+            ]:
+                per_slot.setdefault((task.pass_id, slot), []).append(
+                    (reference, start, hits, hit_scores, scores)
+                )
+        results: List[Optional[List[AlignmentResult]]] = [None] * len(encoded)
+        for spec in passes:
+            for slot, query_index in enumerate(spec.query_indices):
+                records = per_slot.get((spec.pass_id, slot), [])
+                per_reference = _windows.merge_window_records(
+                    records, lengths, spec.spans[slot], keep_scores
+                )
+                query = encoded[query_index]
+                threshold = spec.thresholds[slot]
+                results[query_index] = [
+                    _build_result(
+                        query, self._database.names[index], length, threshold,
+                        positions, hit_scores, scores,
+                    )
+                    for index, (positions, hit_scores, scores, length) in (
+                        enumerate(per_reference)
+                    )
+                ]
+        return [batch for batch in results if batch is not None]

@@ -27,6 +27,10 @@ name                                    kind       labels
 ``fabp_checkpoint_chunks_total``        counter    —
 ``fabp_checkpoint_bytes_total``         counter    —
 ``fabp_shm_bytes``                      gauge      — (high-water mark)
+``fabp_scan_session_resident_bytes``    gauge      — (high-water mark)
+``fabp_scan_session_reuses_total``      counter    —
+``fabp_scan_session_batch_size``        histogram  —
+``fabp_scan_session_pass_queries``      histogram  —
 ``fabp_encoding_cache_hits``            gauge      —
 ``fabp_encoding_cache_misses``          gauge      —
 ``fabp_encoding_cache_entries``         gauge      —
@@ -60,6 +64,9 @@ __all__ = [
     "record_checkpoint_chunk",
     "record_encoding_cache",
     "record_shm_bytes",
+    "record_scan_session_open",
+    "record_scan_session_batch",
+    "record_scan_session_pass",
     "record_kernel_run",
     "record_schedule_plan",
     "record_bench_record",
@@ -87,6 +94,10 @@ HOOK_CATALOGUE = frozenset(
         "fabp_checkpoint_chunks_total",
         "fabp_checkpoint_bytes_total",
         "fabp_shm_bytes",
+        "fabp_scan_session_resident_bytes",
+        "fabp_scan_session_reuses_total",
+        "fabp_scan_session_batch_size",
+        "fabp_scan_session_pass_queries",
         "fabp_encoding_cache_hits",
         "fabp_encoding_cache_misses",
         "fabp_encoding_cache_entries",
@@ -256,6 +267,47 @@ def record_shm_bytes(num_bytes: int) -> None:
         "fabp_shm_bytes", "Largest shared-memory segment published (bytes)."
     ).default
     gauge.track_max(num_bytes)  # type: ignore[union-attr]
+
+
+def record_scan_session_open(resident_bytes: int) -> None:
+    """One warm scan session opened; ratchet its resident-image gauge."""
+    if not state.enabled():
+        return
+    gauge = REGISTRY.gauge(
+        "fabp_scan_session_resident_bytes",
+        "Largest packed database image held by a warm scan session (bytes).",
+    ).default
+    gauge.track_max(resident_bytes)  # type: ignore[union-attr]
+
+
+def record_scan_session_batch(batch_size: int, reused: bool) -> None:
+    """One ``scan``/``scan_batch`` call served by a session.
+
+    ``reused`` is true when the session's packed image and worker pool were
+    already warm from a previous call — the amortization the session exists
+    to provide.
+    """
+    if not state.enabled():
+        return
+    REGISTRY.histogram(
+        "fabp_scan_session_batch_size",
+        "Queries per scan-session batch call.",
+    ).default.observe(batch_size)
+    if reused:
+        REGISTRY.counter(
+            "fabp_scan_session_reuses_total",
+            "Batch calls served by an already-warm scan session.",
+        ).default.inc()
+
+
+def record_scan_session_pass(pass_queries: int) -> None:
+    """One shared database pass: how many queries rode the same sweep."""
+    if not state.enabled():
+        return
+    REGISTRY.histogram(
+        "fabp_scan_session_pass_queries",
+        "Queries sharing one database pass.",
+    ).default.observe(pass_queries)
 
 
 def record_encoding_cache(hits: int, misses: int, entries: int) -> None:

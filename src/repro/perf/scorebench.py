@@ -47,7 +47,9 @@ NAIVE_POSITION_CAP = 2_000
 DIAGONAL_POSITION_CAP = 100_000
 
 #: Artifact schema version (bump on incompatible field changes).
-SCHEMA_VERSION = 1
+#: v2 adds the ``batch`` field (queries scored per call) and the batched /
+#: warm-session record families.
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -62,6 +64,8 @@ class BenchRecord:
     positions_per_s: float
     workers: int = 1
     repeats: int = 1
+    #: Queries scored per call; ``positions_per_s`` aggregates the batch.
+    batch: int = 1
 
 
 @dataclass
@@ -148,6 +152,8 @@ def run_score_benchmark(
     repeats: int = 3,
     seed: int = 2021,
     naive_position_cap: int = NAIVE_POSITION_CAP,
+    small_scan_references: int = 2,
+    small_scan_reference_length: int = 30_000,
 ) -> BenchReport:
     """Run the full benchmark; return the report (callers write/print it).
 
@@ -155,6 +161,14 @@ def run_score_benchmark(
     residues`` elements over ``reference_length`` nucleotides; the scan
     sweep then times the end-to-end chunked database scan (bitscore engine)
     at each worker count over ``scan_references x scan_reference_length``.
+    Worker counts above 1 force the parallel path (``parallel_threshold=0``)
+    so the records measure true pool cost regardless of the cutover.
+
+    A second, deliberately tiny serial/parallel pair
+    (``parallel-scan-small``, workers 1 and 2) records pool overhead at a
+    size where it dominates; together with the big pair it lets
+    :func:`repro.host.scan.derive_cutover` solve for the database size at
+    which parallelism starts paying off *on the recorded machine*.
     """
     from repro.host.scan import PackedDatabase, scan_database
     from repro.seq.generate import random_protein
@@ -205,8 +219,9 @@ def run_score_benchmark(
     )
     for workers in workers_sweep:
         wall = _time(
-            lambda: scan_database(
-                encoded, database, min_identity=0.9, workers=workers
+            lambda workers=workers: scan_database(
+                encoded, database, min_identity=0.9, workers=workers,
+                parallel_threshold=0 if workers > 1 else None,
             ),
             repeats,
         )
@@ -224,6 +239,41 @@ def run_score_benchmark(
         _obs_profile.record_bench_record(
             "parallel-scan", workers, scan_record.positions_per_s,
             scan_record.wall_s,
+        )
+
+    small_database = PackedDatabase.from_references(
+        [
+            _planted_reference(query, small_scan_reference_length, rng)
+            for _ in range(small_scan_references)
+        ]
+    )
+    small_positions = sum(
+        max(0, int(length) - num_elements + 1) for length in small_database.lengths
+    )
+    for workers in (1, 2):
+        wall = _time(
+            lambda workers=workers: scan_database(
+                encoded, small_database, min_identity=0.9, workers=workers,
+                parallel_threshold=0 if workers > 1 else None,
+            ),
+            repeats,
+        )
+        small_record = BenchRecord(
+            engine="parallel-scan-small",
+            L_q=num_elements,
+            L_r=int(small_database.lengths.sum()),
+            n_refs=small_database.num_references,
+            wall_s=wall,
+            positions_per_s=(
+                small_positions / wall if wall > 0 else float("inf")
+            ),
+            workers=workers,
+            repeats=repeats,
+        )
+        report.records.append(small_record)
+        _obs_profile.record_bench_record(
+            "parallel-scan-small", workers, small_record.positions_per_s,
+            small_record.wall_s,
         )
 
     _derive_speedups(report)
@@ -252,6 +302,171 @@ def _derive_speedups(report: BenchReport) -> None:
                 )
 
 
+def run_batch_benchmark(
+    *,
+    residues: int = 250,
+    reference_length: int = 1_000_000,
+    batch_sizes: Sequence[int] = (1, 4, 8),
+    session_references: int = 4,
+    session_reference_length: int = 150_000,
+    session_workers: int = 2,
+    repeats: int = 3,
+    seed: int = 2021,
+) -> BenchReport:
+    """Benchmark the batched kernel and the warm scan session.
+
+    Two record families, same schema as :func:`run_score_benchmark`:
+
+    * ``bitscore-sequential`` vs ``bitscore_batch`` at each ``k`` in
+      ``batch_sizes`` — k independent bitscore sweeps against one shared
+      sweep that scores all k queries per reference pass.  Both sides
+      report *aggregate* positions/s (``k x positions / wall``), so the
+      ratio is the amortization factor of sharing the database stream.
+    * ``scan-session-cold`` vs ``scan-session-warm`` — a full
+      pack + session-open + scan + close cycle per call, against repeated
+      ``scan_batch`` calls on an already-warm :class:`ScanSession` whose
+      worker pool and shared database image persist across calls.
+
+    Derived speedups: ``batch_amortization_k{k}`` per batch size and
+    ``session_warm_speedup``.
+    """
+    from repro.core.aligner import scores_batch_from_codes
+    from repro.host.scan_session import ScanSession
+    from repro.seq.generate import random_protein, random_rna
+
+    rng = np.random.default_rng(seed)
+    max_k = max(batch_sizes)
+    queries = [random_protein(residues, rng=rng) for _ in range(max_k)]
+    encoded = [encode_query(query) for query in queries]
+    arrays = [e.as_array() for e in encoded]
+    num_elements = int(arrays[0].size)
+    ref_codes = _planted_reference(queries[0], reference_length, rng)
+    positions = ref_codes.size - num_elements + 1
+    report = BenchReport(
+        meta={
+            "residues": residues,
+            "reference_length": reference_length,
+            "batch_sizes": list(batch_sizes),
+            "session_references": session_references,
+            "session_reference_length": session_reference_length,
+            "session_workers": session_workers,
+            "seed": seed,
+            "repeats": repeats,
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "numpy": np.__version__,
+        }
+    )
+
+    for k in batch_sizes:
+        subset = arrays[:k]
+        wall_seq = _time(
+            lambda subset=subset: [
+                scores_from_codes(a, ref_codes, "bitscore") for a in subset
+            ],
+            repeats,
+        )
+        wall_batch = _time(
+            lambda subset=subset: scores_batch_from_codes(
+                subset, ref_codes, "bitscore_batch"
+            ),
+            repeats,
+        )
+        for engine, wall in (
+            ("bitscore-sequential", wall_seq),
+            ("bitscore_batch", wall_batch),
+        ):
+            record = BenchRecord(
+                engine=engine,
+                L_q=num_elements,
+                L_r=int(ref_codes.size),
+                n_refs=1,
+                wall_s=wall,
+                positions_per_s=(
+                    k * positions / wall if wall > 0 else float("inf")
+                ),
+                repeats=repeats,
+                batch=k,
+            )
+            report.records.append(record)
+            _obs_profile.record_bench_record(
+                engine, 1, record.positions_per_s, record.wall_s
+            )
+
+    references = [
+        random_rna(session_reference_length, rng=rng).letters
+        for _ in range(session_references)
+    ]
+    session_positions = max_k * session_references * max(
+        0, session_reference_length - num_elements + 1
+    )
+
+    def _cold_cycle() -> None:
+        with ScanSession(references, workers=session_workers) as session:
+            session.scan_batch(encoded, min_identity=0.9)
+
+    wall_cold = _time(_cold_cycle, repeats)
+    session = ScanSession(references, workers=session_workers)
+    try:
+        session.scan_batch(encoded, min_identity=0.9)  # warm the pool
+        wall_warm = _time(
+            lambda: session.scan_batch(encoded, min_identity=0.9), repeats
+        )
+    finally:
+        session.close()
+    for engine, wall in (
+        ("scan-session-cold", wall_cold),
+        ("scan-session-warm", wall_warm),
+    ):
+        record = BenchRecord(
+            engine=engine,
+            L_q=num_elements,
+            L_r=session_references * session_reference_length,
+            n_refs=session_references,
+            wall_s=wall,
+            positions_per_s=(
+                session_positions / wall if wall > 0 else float("inf")
+            ),
+            workers=session_workers,
+            repeats=repeats,
+            batch=max_k,
+        )
+        report.records.append(record)
+        _obs_profile.record_bench_record(
+            engine, session_workers, record.positions_per_s, record.wall_s
+        )
+
+    _derive_batch_speedups(report)
+    return report
+
+
+def _derive_batch_speedups(report: BenchReport) -> None:
+    """Amortization per batch size plus the warm-session ratio."""
+    sequential = {
+        r.batch: r.positions_per_s
+        for r in report.records
+        if r.engine == "bitscore-sequential"
+    }
+    for record in report.records:
+        if record.engine != "bitscore_batch":
+            continue
+        baseline = sequential.get(record.batch)
+        if baseline:
+            report.speedups[f"batch_amortization_k{record.batch}"] = (
+                record.positions_per_s / baseline
+            )
+    cold = next(
+        (r for r in report.records if r.engine == "scan-session-cold"), None
+    )
+    warm = next(
+        (r for r in report.records if r.engine == "scan-session-warm"), None
+    )
+    if cold and warm and cold.positions_per_s:
+        report.speedups["session_warm_speedup"] = (
+            warm.positions_per_s / cold.positions_per_s
+        )
+
+
 def quick_benchmark(seed: int = 2021) -> BenchReport:
     """The CI-sized benchmark: seconds, not minutes, same schema."""
     return run_score_benchmark(
@@ -263,6 +478,17 @@ def quick_benchmark(seed: int = 2021) -> BenchReport:
         repeats=2,
         seed=seed,
         naive_position_cap=500,
+    )
+
+
+def quick_batch_benchmark(seed: int = 2021) -> BenchReport:
+    """The CI-sized batch benchmark: seconds, not minutes, same schema."""
+    return run_batch_benchmark(
+        reference_length=300_000,
+        session_references=2,
+        session_reference_length=60_000,
+        repeats=2,
+        seed=seed,
     )
 
 
@@ -279,12 +505,14 @@ def format_report(report: BenchReport) -> str:
                 f"{r.L_r:,}",
                 r.n_refs,
                 r.workers,
+                r.batch,
                 f"{r.wall_s:.4f}",
                 f"{r.positions_per_s:,.0f}",
             ]
         )
     table = text_table(
-        ["engine", "L_q", "L_r", "refs", "workers", "wall_s", "positions/s"],
+        ["engine", "L_q", "L_r", "refs", "workers", "batch", "wall_s",
+         "positions/s"],
         rows,
         title="Score-engine benchmark",
     )

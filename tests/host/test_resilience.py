@@ -276,9 +276,13 @@ class TestSharedMemoryLifecycle:
             )
         assert scan_mod._LIVE_SEGMENTS == {}
 
-    def test_legacy_parallel_path_retires_segment(self, query, database, monkeypatch):
-        monkeypatch.setattr(scan_mod, "MIN_PARALLEL_NUCLEOTIDES", 0)
-        scan_database(query, database, threshold=THRESHOLD, workers=2)
+    def test_legacy_parallel_path_retires_segment(self, query, database):
+        # parallel_threshold=0 forces the parallel path deterministically
+        # (the derived cutover depends on the committed bench baseline).
+        scan_database(
+            query, database, threshold=THRESHOLD, workers=2,
+            parallel_threshold=0,
+        )
         assert scan_mod._LIVE_SEGMENTS == {}
 
 

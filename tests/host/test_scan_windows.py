@@ -1,0 +1,144 @@
+"""Position-balanced windows: planning, halo context, bit-exact merge.
+
+Pins the invariant the module docstring promises: concatenating the kept
+slices of windowed scans in window order is bit-identical to scoring the
+whole reference in one call — including the ``x_bit_rows`` look-back
+context at every seam and the ``keep_scores`` reconstruction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.aligner import scores_from_codes
+from repro.core.encoding import encode_query
+from repro.host import windows
+from repro.host.scan import PackedDatabase
+from repro.seq.generate import random_protein, random_rna
+from repro.seq.packing import codes_from_text
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(20210521)
+
+
+class TestPlanWindows:
+    def test_windows_partition_every_position(self, rng):
+        lengths = [9_000, 40, 70_000, 0, 12_345]
+        span = 90
+        chunks = windows.plan_windows(lengths, span, 3, target_positions=1_000)
+        seen = {}
+        for chunk in chunks:
+            for w in chunk:
+                seen.setdefault(w.reference, []).append((w.start, w.stop))
+        for reference, length in enumerate(lengths):
+            total = windows.num_positions(length, span)
+            spans_ = sorted(seen.get(reference, []))
+            if total == 0:
+                assert spans_ == []
+                continue
+            # Contiguous, non-overlapping, covering [0, total).
+            assert spans_[0][0] == 0
+            assert spans_[-1][1] == total
+            for (_, stop), (start, _) in zip(spans_, spans_[1:]):
+                assert stop == start
+
+    def test_short_references_yield_no_windows(self):
+        assert windows.plan_windows([10, 5], 90, 4) == []
+
+    def test_invalid_span_rejected(self):
+        with pytest.raises(ValueError):
+            windows.plan_windows([100], 0, 1)
+
+    def test_sliver_tails_are_absorbed(self):
+        # One reference slightly over the target must not leave a tiny
+        # trailing window (the halo would dominate it).
+        chunks = windows.plan_windows(
+            [windows.MIN_WINDOW_POSITIONS + 10 + 89], 90, 1,
+            target_positions=windows.MIN_WINDOW_POSITIONS,
+        )
+        all_windows = [w for chunk in chunks for w in chunk]
+        assert len(all_windows) == 1
+
+    def test_balance_beats_reference_chunking(self):
+        # The motivating workload: one long reference among short ones.
+        lengths = [400_000, 10_000, 10_000, 10_000]
+        chunks = windows.plan_windows(lengths, 90, 4)
+        loads = sorted(
+            sum(w.positions for w in chunk) for chunk in chunks
+        )
+        assert len(chunks) > len(lengths) - 1
+        assert loads[-1] < windows.num_positions(lengths[0], 90)
+
+
+class TestWindowedScanBitIdentity:
+    """Windowed scores == whole-reference scores, slice for slice."""
+
+    @pytest.mark.parametrize("residues", [5, 30, 250])
+    def test_long_reference_merges_bit_identical(self, rng, residues):
+        query = random_protein(residues, rng=rng)
+        encoded = encode_query(query).as_array()
+        span = int(encoded.size)
+        reference = random_rna(20_000, rng=rng).letters
+        database = PackedDatabase.from_references([reference])
+        length = int(database.lengths[0])
+        full = scores_from_codes(encoded, codes_from_text(reference))
+
+        chunks = windows.plan_windows([length], span, 2, target_positions=777)
+        all_windows = [w for chunk in chunks for w in chunk]
+        assert len(all_windows) > 10  # the seam case, many times over
+        records = []
+        for w in all_windows:
+            codes, lookback = windows.window_codes(
+                database.buffer, int(database.byte_offsets[0]), length,
+                w.start, w.stop, span,
+            )
+            scores = scores_from_codes(encoded, codes)
+            kept = scores[lookback : lookback + w.positions]
+            hits = np.nonzero(kept >= span)[0]
+            records.append(
+                (w.reference, w.start, hits.astype(np.int64), kept[hits], kept)
+            )
+        merged = windows.merge_window_records(records, [length], span, True)
+        positions, hit_scores, scores, merged_length = merged[0]
+        assert merged_length == length
+        assert np.array_equal(scores, full)
+        assert np.array_equal(positions, np.nonzero(full >= span)[0])
+        assert np.array_equal(hit_scores, full[positions])
+
+    def test_window_start_before_lookback(self, rng):
+        # start in {0, 1} has fewer than LOOKBACK real predecessors; the
+        # kept slice must still match the full scan's boundary behaviour.
+        query = random_protein(4, rng=rng)
+        encoded = encode_query(query).as_array()
+        span = int(encoded.size)
+        reference = random_rna(64, rng=rng).letters
+        database = PackedDatabase.from_references([reference])
+        length = int(database.lengths[0])
+        full = scores_from_codes(encoded, codes_from_text(reference))
+        for start in (0, 1, 2, 3):
+            stop = min(windows.num_positions(length, span), start + 7)
+            codes, lookback = windows.window_codes(
+                database.buffer, 0, length, start, stop, span
+            )
+            kept = scores_from_codes(encoded, codes)[
+                lookback : lookback + (stop - start)
+            ]
+            assert np.array_equal(kept, full[start:stop]), start
+
+
+class TestMergeWindowRecords:
+    def test_missing_window_is_detected(self):
+        records = [
+            (0, 0, np.zeros(0, np.int64), np.zeros(0, np.int32),
+             np.zeros(50, np.int32)),
+        ]
+        with pytest.raises(ValueError, match="merged scores cover"):
+            windows.merge_window_records(records, [199], 100, True)
+
+    def test_empty_reference_synthesizes_empty_result(self):
+        merged = windows.merge_window_records([], [10], 90, True)
+        positions, hit_scores, scores, length = merged[0]
+        assert positions.size == 0 and hit_scores.size == 0
+        assert scores is not None and scores.size == 0
+        assert length == 10

@@ -74,6 +74,21 @@ def wait_for(predicate, deadline_s, victim, what):
     pytest.fail(f"timed out waiting for {what}")
 
 
+def _scan_pids(marker: str):
+    """PIDs of live processes whose command line mentions ``marker``."""
+    pids = []
+    for entry in Path("/proc").iterdir():
+        if not entry.name.isdigit():
+            continue
+        try:
+            cmdline = (entry / "cmdline").read_bytes()
+        except OSError:
+            continue
+        if marker.encode() in cmdline:
+            pids.append(int(entry.name))
+    return pids
+
+
 @pytest.mark.skipif(not SHM_DIR.is_dir(), reason="no /dev/shm on this platform")
 def test_sigterm_mid_chunk_leaves_no_segment(workload):
     base, db, queries = workload
@@ -148,3 +163,18 @@ def test_sigterm_mid_chunk_leaves_no_segment(workload):
     # ...and the kernel agrees: nothing survived in /dev/shm.
     survivors = [name for name in created if (SHM_DIR / name).exists()]
     assert not survivors, f"segments left in /dev/shm: {survivors}"
+
+    # The workers must not outlive their supervisor either.  Forked
+    # workers inherit sibling pipe ends, so parent death never surfaces
+    # as EOF on their task pipes — the orphan watchdog in the worker
+    # recv loop (and inside the injected hang) is what gets them out.
+    # The idle worker notices within one poll period; the hung worker
+    # within one sleep slice.
+    deadline = time.monotonic() + 15.0
+    marker = str(db)
+    while time.monotonic() < deadline and _scan_pids(marker):
+        time.sleep(0.2)
+    orphans = _scan_pids(marker)
+    for pid in orphans:  # don't pollute the box for later tests
+        os.kill(pid, signal.SIGKILL)
+    assert not orphans, f"worker processes outlived the scan: {orphans}"

@@ -94,3 +94,52 @@ class TestEngineEquivalence:
             protein, [reference], min_identity=0.3, engine="naive"
         )
         assert [r.hits for r in default] == [r.hits for r in naive]
+
+
+class TestBatchEquivalence:
+    """One shared sweep over k queries == k independent sweeps, bit for bit."""
+
+    @given(
+        batch=st.lists(proteins, min_size=1, max_size=6),
+        reference=rna_strings,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_ragged_batch_matches_per_query_sweeps(self, batch, reference):
+        from repro.core.aligner import scores_batch_from_codes, scores_from_codes
+
+        arrays = [encode_query(p).as_array() for p in batch]
+        codes = codes_from_text(reference)
+        solo = [scores_from_codes(a, codes, "bitscore") for a in arrays]
+        for engine in ("bitscore_batch", "bitscore", "vectorized"):
+            shared = scores_batch_from_codes(arrays, codes, engine)
+            assert len(shared) == len(solo)
+            for got, want in zip(shared, solo):
+                assert got.dtype == want.dtype
+                assert np.array_equal(got, want), engine
+
+    @given(protein=type_iii_proteins, reference=rna_strings)
+    @settings(max_examples=25, deadline=None)
+    def test_batch_of_one_is_the_plain_sweep(self, protein, reference):
+        from repro.core.aligner import scores_batch_from_codes, scores_from_codes
+
+        array = encode_query(protein).as_array()
+        codes = codes_from_text(reference)
+        want = scores_from_codes(array, codes, "bitscore")
+        (got,) = scores_batch_from_codes([array], codes, "bitscore_batch")
+        assert np.array_equal(got, want)
+
+    @given(
+        protein=proteins,
+        reference=rna_strings,
+        copies=st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_duplicate_queries_score_identically(self, protein, reference, copies):
+        """The shared planes must not cross-talk between identical lanes."""
+        from repro.core.aligner import scores_batch_from_codes
+
+        arrays = [encode_query(protein).as_array() for _ in range(copies)]
+        codes = codes_from_text(reference)
+        shared = scores_batch_from_codes(arrays, codes, "bitscore_batch")
+        for got in shared[1:]:
+            assert np.array_equal(got, shared[0])

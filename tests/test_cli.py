@@ -390,7 +390,8 @@ class TestProveKernel:
         assert payload["ok"] is True
         assert payload["lane_budget"]["fits"] is True
         assert set(payload["engines"]) == {
-            "bitscore", "packed", "diagonal", "vectorized", "naive",
+            "bitscore", "bitscore_batch", "packed", "diagonal", "vectorized",
+            "naive",
         }
         assert payload["budget_fits_all_accumulators"] is True
 
@@ -539,6 +540,33 @@ class TestScan:
         report = payload["queries"][0]["report"]
         assert report["counters"]["corrupt"] == 1
         assert report["clean"] is True
+
+    def test_session_matches_per_query_scans(self, synthetic_files, capsys):
+        """--session: same hit table as the per-query path, one warm runtime."""
+        db, queries = synthetic_files
+        assert self.scan(db, queries) == 0
+        plain = capsys.readouterr().out
+        assert self.scan(db, queries, "--session") == 0
+        warm = capsys.readouterr().out
+        assert "session:" in warm
+        assert "engine=bitscore_batch" in warm
+
+        def hit_rows(out):
+            return [
+                line.split() for line in out.splitlines()
+                if line.strip().startswith("query_")
+                and "hits" not in line
+            ]
+
+        assert hit_rows(warm) == hit_rows(plain)
+
+    def test_session_rejects_fault_injection(self, synthetic_files, capsys):
+        db, queries = synthetic_files
+        code = self.scan(
+            db, queries, "--session", "--inject-faults", "0:raise"
+        )
+        assert code == 1
+        assert "fault injection" in capsys.readouterr().err
 
     def test_checkpoint_then_resume(self, synthetic_files, tmp_path, capsys):
         db, queries = synthetic_files
