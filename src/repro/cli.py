@@ -29,7 +29,9 @@ Chrome ``trace_event`` JSON openable in ``about:tracing`` / Perfetto).
 Exit codes: ``lint``/``prove`` follow the lint convention (0 clean, 1
 findings/refutations, 2 usage error).  ``scan`` and ``bench`` follow the
 robustness contract documented in ``docs/robustness.md``: 0 = clean,
-3 = completed **with degradation** (the report says how), 1 = fatal,
+3 = completed **with degradation** (the report says how), 4 = completed
+**with dead shards** (``--shards`` only: some shard exhausted its health
+budget and its references are missing from the results), 1 = fatal,
 2 = usage error (argparse).  Everything is deterministic given ``--seed``.
 """
 
@@ -190,7 +192,7 @@ def _obs_finish(args, active: bool) -> None:
 
 
 def cmd_scan(args) -> int:
-    """Supervised database scan; exit 0 clean / 3 degraded / 1 fatal."""
+    """Supervised scan; exit 0 clean / 3 degraded / 4 dead shards / 1 fatal."""
     import json
     import pathlib
 
@@ -263,9 +265,67 @@ def cmd_scan(args) -> int:
 
         threshold = args.threshold
         min_identity = None if threshold is not None else args.min_identity
-        engine = args.engine or ("bitscore_batch" if args.session else "bitscore")
+        engine = args.engine or (
+            "bitscore_batch" if args.session or args.shards else "bitscore"
+        )
         outcomes = []
-        if args.session:
+        dead_any = False
+        if args.shards is not None:
+            # S supervised shard runtimes (one warm session each), merged
+            # seam-exactly; shard death degrades to partial results.
+            if args.session:
+                raise ValueError("--shards and --session are mutually exclusive")
+            if plan is not None:
+                raise ValueError(
+                    "--shards takes shard-scoped faults via --shard-faults, "
+                    "not --inject-faults/--fault-rate"
+                )
+            from repro.host.faults import ShardFaultPlan
+            from repro.host.shards import ShardedScanRuntime, ShardPolicy
+
+            shard_plan = None
+            if args.shard_faults:
+                shard_plan = ShardFaultPlan.parse(
+                    args.shard_faults, hang_seconds=args.fault_hang_seconds
+                )
+            shard_policy = ShardPolicy(
+                max_attempts=args.retries + 1,
+                timeout=args.chunk_timeout if args.chunk_timeout > 0 else None,
+                backoff=args.backoff,
+                hedge_after=args.hedge_after,
+                allow_partial=not args.no_degrade,
+                seed=args.seed,
+            )
+            runtime = ShardedScanRuntime(
+                database,
+                num_shards=args.shards,
+                engine=engine,
+                policy=shard_policy,
+                faults=shard_plan,
+            )
+            print(
+                f"shards: {runtime.num_shards} supervised runtimes, "
+                f"engine={engine}"
+            )
+            checkpoint_dir = (
+                pathlib.Path(args.checkpoint) if args.checkpoint else None
+            )
+            batches, report = runtime.scan_batch(
+                queries,
+                threshold=threshold,
+                min_identity=min_identity,
+                checkpoint_dir=checkpoint_dir,
+                resume=args.resume,
+                with_report=True,
+            )
+            dead_any = report.dead_shards > 0
+            outcomes = [
+                (query, results, report)
+                for query, results in zip(queries, batches)
+            ]
+        elif args.shard_faults:
+            raise ValueError("--shard-faults requires --shards")
+        elif args.session:
             # One warm runtime for the whole query stream: the packed image
             # and worker pool are set up once, queries share passes, and a
             # single batch report covers every query.
@@ -331,6 +391,13 @@ def cmd_scan(args) -> int:
             print(f"{query.name or 'query'}: {len(hits)} hits; {report.summary()}")
             if report.degraded:
                 print(f"  DEGRADED: {report.degraded_reason}")
+            for shard in report.shards:
+                if shard.status == "dead":
+                    print(
+                        f"  DEAD SHARD {shard.shard} "
+                        f"(references {shard.start}..{shard.stop}): "
+                        f"{shard.detail}"
+                    )
             payload["queries"].append(  # type: ignore[union-attr]
                 {
                     "query": query.name or f"query_{index}",
@@ -346,12 +413,15 @@ def cmd_scan(args) -> int:
         print()
         print(text_table(["query", "reference", "position", "score"], rows))
     payload["degraded"] = degraded_any
+    payload["dead_shards"] = dead_any
     if args.report_json:
         path = pathlib.Path(args.report_json)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {path}")
     _obs_finish(args, obs_active)
+    if dead_any:
+        return 4
     return 3 if degraded_any else 0
 
 
@@ -959,7 +1029,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "scan",
         help="fault-tolerant software scan of a FASTA database "
-        "(supervised runtime; exit 0 clean, 3 degraded, 1 fatal)",
+        "(supervised runtime; exit 0 clean, 3 degraded, 4 dead shards, "
+        "1 fatal)",
     )
     add_query_args(p)
     p.add_argument("--database", required=True, help="nucleotide FASTA (.gz ok)")
@@ -976,6 +1047,15 @@ def build_parser() -> argparse.ArgumentParser:
                    "database image and worker pool are set up once, queries "
                    "are grouped into shared passes, and each database "
                    "window is swept once per pass")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="partition the database into N supervised shard "
+                   "runtimes (one warm session each) with per-shard health "
+                   "budgets, elastic checkpoint resume, hedging, and "
+                   "partial-result degraded mode (exit 4 on dead shards)")
+    p.add_argument("--shard-faults", metavar="SPEC",
+                   help="deterministic shard fault plan, e.g. "
+                   "'shard:0:crash,shard:1:hang:1:always' "
+                   "(shard:IDX:KIND[:CHUNK[:ATTEMPTS]]); requires --shards")
     p.add_argument("--chunk-size", type=int, default=None,
                    help="references per chunk (retry/checkpoint granule)")
     p.add_argument("--max-hits", type=int, default=10)

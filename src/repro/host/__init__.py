@@ -11,14 +11,22 @@ from repro.host.errors import (
     InjectedFaultError,
     PoolUnhealthyError,
     ScanError,
+    ShardFailedError,
     WorkerCrashError,
 )
-from repro.host.faults import FaultKind, FaultPlan, FaultSpec
+from repro.host.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    ShardFaultPlan,
+    ShardFaultSpec,
+)
 from repro.host.rescore import RescoreReport, RescoredHit, rescore_hits, rescore_search_result
 from repro.host.resilience import (
     RetryPolicy,
     ScanOutcome,
     ScanReport,
+    ShardStatus,
     supervised_scan,
 )
 from repro.host.scan import PackedDatabase, scan_database
@@ -29,6 +37,13 @@ from repro.host.session import (
     HostSearchResult,
     NamedHit,
     PCIE_BANDWIDTH,
+)
+from repro.host.shards import (
+    ShardPolicy,
+    ShardSpec,
+    ShardedScanRuntime,
+    plan_shards,
+    shard_database,
 )
 
 __all__ = [
@@ -59,10 +74,19 @@ __all__ = [
     "ScanReport",
     "ScanSession",
     "SessionCheckpointStore",
+    "ShardFailedError",
+    "ShardFaultPlan",
+    "ShardFaultSpec",
+    "ShardPolicy",
+    "ShardSpec",
+    "ShardStatus",
+    "ShardedScanRuntime",
     "WorkerCrashError",
+    "plan_shards",
     "rescore_hits",
     "rescore_search_result",
     "scan_database",
     "scan_fingerprint",
+    "shard_database",
     "supervised_scan",
 ]

@@ -75,8 +75,13 @@ class FabPCluster:
         return sum(self._board_nucleotides)
 
     def load_imbalance(self) -> float:
-        """max/mean shard size — 1.0 is perfectly balanced."""
-        sizes = [s for s in self._board_nucleotides if s] or [0]
+        """max/mean shard size — 1.0 is perfectly balanced.
+
+        Empty boards count: an idle board drags the mean down, not out of
+        the statistic — a two-board cluster with one empty shard is
+        maximally imbalanced (2.0), not perfectly balanced.
+        """
+        sizes = list(self._board_nucleotides)
         if not any(sizes):
             return 1.0
         return max(sizes) / (sum(sizes) / len(sizes))
@@ -112,7 +117,7 @@ class FabPCluster:
         """Measured scale-out speedup for one query on this database."""
         single = FabPHost(self.device)
         for board in self.boards:
-            for entry in board._entries:
+            for entry in board.entries:
                 single.add_reference(entry.codes, entry.name)
         single_time = single.search(query, **options).total_seconds
         cluster_time = self.search(query, **options).elapsed_seconds

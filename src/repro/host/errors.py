@@ -17,6 +17,9 @@ The hierarchy:
     sanity check (out-of-range scores, wrong lengths, unordered hits).
   * :class:`ChunkFailedError` — a chunk exhausted its retry budget; the
     ``attempts`` attribute carries the per-attempt outcomes.
+  * :class:`ShardFailedError` — a shard of the sharded runtime exhausted
+    its health budget while partial results were disabled
+    (``ShardPolicy(allow_partial=False)``).
   * :class:`PoolUnhealthyError` — the worker pool kept dying (respawn
     budget exhausted) and degradation was disabled.
   * :class:`CheckpointError` — checkpoint store problems.
@@ -81,6 +84,18 @@ class ChunkFailedError(ScanError):
         self.outcomes = tuple(outcomes)
         super().__init__(
             f"chunk {chunk} failed after {len(self.outcomes)} attempts: "
+            + ", ".join(self.outcomes)
+        )
+
+
+class ShardFailedError(ScanError):
+    """A shard exhausted its health budget and partial results are off."""
+
+    def __init__(self, shard: int, outcomes: Sequence[str]):
+        self.shard = shard
+        self.outcomes = tuple(outcomes)
+        super().__init__(
+            f"shard {shard} failed after {len(self.outcomes)} attempts: "
             + ", ".join(self.outcomes)
         )
 

@@ -61,6 +61,7 @@ __all__ = [
     "ChunkAttempt",
     "ScanReport",
     "ScanOutcome",
+    "ShardStatus",
     "check_chunk_payload",
     "supervised_scan",
 ]
@@ -137,18 +138,68 @@ class ChunkAttempt:
 
 
 @dataclass
+class ShardStatus:
+    """Per-shard outcome of a sharded scan (the schema-v3 ``shards`` row)."""
+
+    shard: int
+    start: int
+    stop: int
+    nucleotides: int
+    status: str = "ok"  # ok | dead
+    attempts: int = 0
+    resumed_chunks: int = 0
+    hedges: int = 0
+    elapsed_seconds: float = 0.0
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "shard": self.shard,
+            "start": self.start,
+            "stop": self.stop,
+            "nucleotides": self.nucleotides,
+            "status": self.status,
+            "attempts": self.attempts,
+            "resumed_chunks": self.resumed_chunks,
+            "hedges": self.hedges,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+        }
+        if self.detail:
+            payload["detail"] = self.detail
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ShardStatus":
+        return cls(
+            shard=int(payload["shard"]),
+            start=int(payload["start"]),
+            stop=int(payload["stop"]),
+            nucleotides=int(payload["nucleotides"]),
+            status=str(payload.get("status", "ok")),
+            attempts=int(payload.get("attempts", 0)),
+            resumed_chunks=int(payload.get("resumed_chunks", 0)),
+            hedges=int(payload.get("hedges", 0)),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            detail=str(payload.get("detail", "")),
+        )
+
+
+@dataclass
 class ScanReport:
-    """Machine-readable account of a supervised scan (schema v2).
+    """Machine-readable account of a supervised scan (schema v3).
 
     Serialized by :meth:`to_dict` / written by ``fabp-repro scan
     --report-json``; the full schema is documented in
-    ``docs/robustness.md`` and ``docs/observability.md``.  Schema v2 adds
+    ``docs/robustness.md`` and ``docs/observability.md``.  Schema v2 added
     the ``metrics`` section (stage wall-times, checkpoint volume, shared
-    memory footprint); v1 reports remain readable through
+    memory footprint); schema v3 adds the ``shards`` section filled by
+    :class:`repro.host.shards.ShardedScanRuntime` (empty for single-shard
+    scans) and the exit code 4 = "complete with dead shards".  Older
+    reports remain readable through
     :func:`repro.obs.summary.normalize_report_dict`.
     """
 
-    mode: str = "serial"  # serial | parallel
+    mode: str = "serial"  # serial | parallel | sharded
     workers: int = 1
     chunk_size: int = 0
     chunks_total: int = 0
@@ -173,17 +224,27 @@ class ScanReport:
     #: Profiling section (new in v2): ``stage_seconds``, ``checkpoint``
     #: volume and ``shared_memory_bytes``, filled by :func:`supervised_scan`.
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Per-shard section (new in v3): filled by the sharded runtime, empty
+    #: for single-shard scans.
+    shards: List[ShardStatus] = field(default_factory=list)
 
     #: Report schema version (bump on breaking changes).
-    VERSION = 2
+    VERSION = 3
 
     @property
     def clean(self) -> bool:
         """Completed without degradation (retries alone stay clean)."""
         return self.chunks_completed == self.chunks_total and not self.degraded
 
+    @property
+    def dead_shards(self) -> int:
+        """Shards that exhausted their health budget (partial results)."""
+        return sum(1 for shard in self.shards if shard.status == "dead")
+
     def exit_code(self) -> int:
-        """The documented CLI contract: 0 clean, 3 completed-with-degradation."""
+        """The documented CLI contract: 0 clean, 3 degraded, 4 dead shards."""
+        if self.dead_shards:
+            return 4
         return 0 if self.clean else 3
 
     def record(
@@ -240,18 +301,27 @@ class ScanReport:
             "resumed": self.resumed,
             "chunk_attempts": [a.to_dict() for a in self.attempts],
             "metrics": self.metrics,
+            "shards": [shard.to_dict() for shard in self.shards],
         }
 
     def summary(self) -> str:
         """One status line for CLI output."""
-        state = "degraded" if self.degraded else "clean"
-        return (
+        if self.dead_shards:
+            state = "dead-shards"
+        elif self.degraded:
+            state = "degraded"
+        else:
+            state = "clean"
+        line = (
             f"{self.chunks_completed}/{self.chunks_total} chunks "
             f"({self.chunks_from_checkpoint} from checkpoint) [{state}] "
             f"retries={self.retries} timeouts={self.timeouts} "
             f"crashes={self.crashes} corrupt={self.corrupt} "
             f"hedges={self.hedges} mode={self.mode}"
         )
+        if self.shards:
+            line += f" shards={len(self.shards)} dead={self.dead_shards}"
+        return line
 
 
 @dataclass

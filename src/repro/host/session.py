@@ -152,6 +152,11 @@ class FabPHost:
         return count
 
     @property
+    def entries(self) -> Tuple[DatabaseEntry, ...]:
+        """The loaded database entries, in insertion order (read-only)."""
+        return tuple(self._entries)
+
+    @property
     def num_references(self) -> int:
         return len(self._entries)
 

@@ -31,6 +31,10 @@ name                                    kind       labels
 ``fabp_scan_session_reuses_total``      counter    —
 ``fabp_scan_session_batch_size``        histogram  —
 ``fabp_scan_session_pass_queries``      histogram  —
+``fabp_shard_active``                   gauge      — (high-water mark)
+``fabp_shard_resumes_total``            counter    —
+``fabp_shard_hedges_total``             counter    —
+``fabp_shard_merge_seconds``            histogram  —
 ``fabp_encoding_cache_hits``            gauge      —
 ``fabp_encoding_cache_misses``          gauge      —
 ``fabp_encoding_cache_entries``         gauge      —
@@ -67,6 +71,10 @@ __all__ = [
     "record_scan_session_open",
     "record_scan_session_batch",
     "record_scan_session_pass",
+    "record_shard_active",
+    "record_shard_resume",
+    "record_shard_hedge",
+    "record_shard_merge",
     "record_kernel_run",
     "record_schedule_plan",
     "record_bench_record",
@@ -98,6 +106,10 @@ HOOK_CATALOGUE = frozenset(
         "fabp_scan_session_reuses_total",
         "fabp_scan_session_batch_size",
         "fabp_scan_session_pass_queries",
+        "fabp_shard_active",
+        "fabp_shard_resumes_total",
+        "fabp_shard_hedges_total",
+        "fabp_shard_merge_seconds",
         "fabp_encoding_cache_hits",
         "fabp_encoding_cache_misses",
         "fabp_encoding_cache_entries",
@@ -308,6 +320,46 @@ def record_scan_session_pass(pass_queries: int) -> None:
         "fabp_scan_session_pass_queries",
         "Queries sharing one database pass.",
     ).default.observe(pass_queries)
+
+
+def record_shard_active(count: int) -> None:
+    """Ratchet the concurrent-shard-runner high-water mark gauge."""
+    if not state.enabled():
+        return
+    gauge = REGISTRY.gauge(
+        "fabp_shard_active",
+        "Most shard runner processes live at once.",
+    ).default
+    gauge.track_max(count)  # type: ignore[union-attr]
+
+
+def record_shard_resume(chunks: int) -> None:
+    """One shard elastically resumed; count the chunks it did NOT replay."""
+    if not state.enabled():
+        return
+    REGISTRY.counter(
+        "fabp_shard_resumes_total",
+        "Chunks restored from checkpoint by respawned shard runners.",
+    ).default.inc(chunks)
+
+
+def record_shard_hedge() -> None:
+    """One straggler shard speculatively re-dispatched to a spare runner."""
+    if not state.enabled():
+        return
+    REGISTRY.counter(
+        "fabp_shard_hedges_total", "Hedged shard re-dispatches."
+    ).default.inc()
+
+
+def record_shard_merge(seconds: float) -> None:
+    """Wall time of one seam-exact merge of per-shard hit lists."""
+    if not state.enabled():
+        return
+    REGISTRY.histogram(
+        "fabp_shard_merge_seconds",
+        "Wall time merging per-shard hit lists.",
+    ).default.observe(seconds)
 
 
 def record_encoding_cache(hits: int, misses: int, entries: int) -> None:

@@ -10,8 +10,9 @@ sniffs which of the three artifact kinds ``PATH`` holds and
 * a Chrome **trace** JSON written by ``--trace-json`` (``traceEvents``)
   — spans aggregated by name;
 * a **scan report** JSON written by ``fabp-repro scan --report-json``
-  (schema v1 or v2; see :func:`normalize_report_dict`) — chunk attempts
-  aggregated by outcome plus the v2 ``metrics`` section.
+  (schema v1, v2 or v3; see :func:`normalize_report_dict`) — chunk
+  attempts aggregated by outcome plus the v2 ``metrics`` section and,
+  for sharded scans, the v3 per-shard table.
 
 The table format is the same for all three — stage, calls, total seconds,
 mean seconds, share of the total — which is exactly the stage-level
@@ -27,7 +28,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 ArtifactKind = str  # "metrics" | "trace" | "scan-report"
 
 #: Current ScanReport schema (mirrors repro.host.resilience.ScanReport).
-SCAN_REPORT_VERSION = 2
+SCAN_REPORT_VERSION = 3
 
 
 def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -65,9 +66,12 @@ def load_artifact(
 
 
 def normalize_report_dict(report: Dict[str, Any]) -> Dict[str, Any]:
-    """Upgrade a ScanReport dict to the v2 shape (v1 stays readable).
+    """Upgrade a ScanReport dict to the v3 shape (v1/v2 stay readable).
 
-    Schema v1 (PR 4) had no ``metrics`` section; v2 adds it.  Consumers —
+    Schema v1 (PR 4) had no ``metrics`` section; v2 added it; v3 adds the
+    ``shards`` section (empty for single-shard scans).  Anything newer
+    than :data:`SCAN_REPORT_VERSION` is refused — forward compatibility
+    by silent field-dropping is how wrong dashboards happen.  Consumers —
     this summarizer, tests, downstream tooling — should call this instead
     of branching on ``version`` themselves.
     """
@@ -79,6 +83,7 @@ def normalize_report_dict(report: Dict[str, Any]) -> Dict[str, Any]:
         )
     normalized = dict(report)
     normalized.setdefault("metrics", {})
+    normalized.setdefault("shards", [])
     normalized["version"] = SCAN_REPORT_VERSION
     return normalized
 
@@ -204,8 +209,26 @@ def _one_report_rows(report: Dict[str, Any]) -> List[Tuple[str, int, float]]:
     return [(f"attempt:{k}", c, t) for k, (c, t) in totals.items()]
 
 
+def _shard_rows(report: Dict[str, Any]) -> List[List[object]]:
+    rows: List[List[object]] = []
+    for shard in report.get("shards", []):
+        rows.append(
+            [
+                shard.get("shard", "?"),
+                f"{shard.get('start', '?')}..{shard.get('stop', '?')}",
+                shard.get("nucleotides", "?"),
+                shard.get("status", "?"),
+                shard.get("attempts", 0),
+                shard.get("resumed_chunks", 0),
+                shard.get("hedges", 0),
+                f"{float(shard.get('elapsed_seconds', 0.0)):.3f}",
+            ]
+        )
+    return rows
+
+
 def summarize_scan_report(payload: Dict[str, Any]) -> str:
-    """Outcome/stage tables from a scan report artifact (v1 or v2)."""
+    """Outcome/stage tables from a scan report artifact (v1, v2 or v3)."""
     reports: List[Tuple[str, Dict[str, Any]]] = []
     if "queries" in payload:  # the CLI wrapper: one report per query
         for entry in payload.get("queries", []):
@@ -225,7 +248,14 @@ def summarize_scan_report(payload: Dict[str, Any]) -> str:
             (f"stage:{stage}", 1, float(seconds))
             for stage, seconds in stage_seconds.items()
         )
-        state = "degraded" if report.get("degraded") else "clean"
+        shards = report.get("shards", [])
+        dead = sum(1 for s in shards if s.get("status") == "dead")
+        if dead:
+            state = "dead-shards"
+        elif report.get("degraded"):
+            state = "degraded"
+        else:
+            state = "clean"
         chunks = report.get("chunks", {})
         sections.append(
             f"{name}: {chunks.get('completed', '?')}/{chunks.get('total', '?')} "
@@ -238,6 +268,16 @@ def summarize_scan_report(payload: Dict[str, Any]) -> str:
                 _table(
                     ["stage", "calls", "total_s", "mean_s", "share"],
                     _share_rows(entries),
+                )
+            )
+        if shards:
+            sections.append(
+                _table(
+                    [
+                        "shard", "references", "nucleotides", "status",
+                        "attempts", "resumed", "hedges", "elapsed_s",
+                    ],
+                    _shard_rows(report),
                 )
             )
         sections.append("")

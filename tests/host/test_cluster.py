@@ -25,6 +25,16 @@ class TestSharding:
         # The three small ones should pile onto the second board.
         assert cluster.load_imbalance() < 1.4
 
+    def test_idle_board_counts_as_imbalance(self, rng):
+        # A reference only fills one board of two: the empty shard must
+        # drag the statistic to max/mean = 2.0, not report perfect balance.
+        cluster = FabPCluster(2)
+        cluster.add_reference(random_rna(4000, rng=rng))
+        assert cluster.load_imbalance() == pytest.approx(2.0)
+
+    def test_all_idle_boards_report_balanced(self):
+        assert FabPCluster(3).load_imbalance() == pytest.approx(1.0)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             FabPCluster(0)

@@ -41,8 +41,18 @@ class TestDatabaseManagement:
         host = FabPHost(LARGE_FPGA)  # 4 channels
         for _ in range(8):
             host.add_reference(random_rna(1000, rng=rng))
-        channels = [e.channel for e in host._entries]
+        channels = [e.channel for e in host.entries]
         assert set(channels) == {0, 1, 2, 3}
+
+    def test_entries_accessor_is_read_only_view(self, rng):
+        host = FabPHost()
+        added = [
+            host.add_reference(random_rna(200, rng=rng, name=f"r{i}"))
+            for i in range(3)
+        ]
+        assert isinstance(host.entries, tuple)
+        assert list(host.entries) == added
+        assert [e.name for e in host.entries] == ["r0", "r1", "r2"]
 
     def test_upload_time_positive(self, rng):
         host = FabPHost()

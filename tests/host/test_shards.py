@@ -1,0 +1,380 @@
+"""Tests for the supervised multi-shard scan runtime."""
+
+import multiprocessing
+from dataclasses import replace
+from unittest import mock
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.host.errors import ShardFailedError
+from repro.host.faults import ShardFaultPlan
+from repro.host.resilience import ScanReport, ShardStatus
+from repro.host.scan import PackedDatabase, scan_database
+from repro.host.shards import (
+    ShardPolicy,
+    ShardSpec,
+    ShardedScanRuntime,
+    plan_shards,
+    shard_database,
+)
+from repro.obs.summary import normalize_report_dict
+from repro.seq.generate import random_protein, random_rna
+
+
+def make_references(rng, count=6, length=2500):
+    return [random_rna(length, rng=rng, name=f"r{i}") for i in range(count)]
+
+
+def hit_tuples(results):
+    """One query's results flattened to comparable (ref, pos, score) rows."""
+    return [
+        (r.reference_name, h.position, h.score)
+        for r in results
+        for h in r.hits
+    ]
+
+
+# -- planning ------------------------------------------------------------------
+
+
+class TestPlanShards:
+    def test_contiguous_cover(self):
+        specs = plan_shards([100, 200, 300, 400, 500], 3)
+        assert specs[0].start == 0
+        assert specs[-1].stop == 5
+        for prev, nxt in zip(specs, specs[1:]):
+            assert prev.stop == nxt.start
+        assert sum(s.nucleotides for s in specs) == 1500
+
+    def test_clamped_to_reference_count(self):
+        specs = plan_shards([10, 20], 8)
+        assert len(specs) == 2
+        assert [s.num_references for s in specs] == [1, 1]
+
+    def test_balances_unequal_lengths(self):
+        # One huge reference should sit alone; the small ones pile together.
+        specs = plan_shards([4000, 500, 500, 500, 500], 2)
+        assert len(specs) == 2
+        sizes = [s.nucleotides for s in specs]
+        assert max(sizes) / (sum(sizes) / 2) < 1.4
+
+    def test_empty_and_errors(self):
+        assert plan_shards([], 4) == []
+        with pytest.raises(ValueError, match=">= 1"):
+            plan_shards([100], 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        lengths=st.lists(st.integers(1, 5000), min_size=1, max_size=24),
+        num_shards=st.integers(1, 8),
+    )
+    def test_invariants_property(self, lengths, num_shards):
+        specs = plan_shards(lengths, num_shards)
+        assert len(specs) == min(num_shards, len(lengths))
+        assert specs[0].start == 0 and specs[-1].stop == len(lengths)
+        for prev, nxt in zip(specs, specs[1:]):
+            assert prev.stop == nxt.start  # contiguous, no gaps
+        for spec in specs:
+            assert spec.num_references >= 1
+            assert spec.nucleotides == sum(lengths[spec.start : spec.stop])
+
+
+class TestShardDatabase:
+    def test_slices_are_exact_subdatabases(self, rng):
+        references = make_references(rng, count=5, length=1000)
+        database = PackedDatabase.from_references(references)
+        for spec in plan_shards(database.lengths, 3):
+            shard = shard_database(database, spec)
+            assert shard.names == database.names[spec.start : spec.stop]
+            np.testing.assert_array_equal(
+                shard.lengths, database.lengths[spec.start : spec.stop]
+            )
+            assert int(shard.byte_offsets[0]) == 0
+            lo = int(database.byte_offsets[spec.start])
+            hi = int(database.byte_offsets[spec.stop])
+            np.testing.assert_array_equal(shard.buffer, database.buffer[lo:hi])
+
+
+# -- policy --------------------------------------------------------------------
+
+
+class TestShardPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            ShardPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="timeout"):
+            ShardPolicy(timeout=0.0)
+        with pytest.raises(ValueError, match="backoff"):
+            ShardPolicy(backoff=-1.0)
+        with pytest.raises(ValueError, match="shard_workers"):
+            ShardPolicy(shard_workers=0)
+
+    def test_delay_is_seeded_and_bounded(self):
+        import random
+
+        policy = ShardPolicy(backoff=0.1, backoff_max=0.5, jitter=0.25, seed=7)
+        a = [policy.delay(n, random.Random(7)) for n in (1, 2, 3, 9)]
+        b = [policy.delay(n, random.Random(7)) for n in (1, 2, 3, 9)]
+        assert a == b
+        assert all(d <= 0.5 * 1.25 for d in a)
+        assert a[0] < a[1] < a[2]
+
+
+# -- bit-identity --------------------------------------------------------------
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_matches_single_shard_scan(self, rng, num_shards):
+        references = make_references(rng)
+        queries = [random_protein(8, rng=rng), random_protein(6, rng=rng)]
+        runtime = ShardedScanRuntime(references, num_shards=num_shards)
+        batches, report = runtime.scan_batch(
+            queries, threshold=14, with_report=True
+        )
+        assert report.exit_code() == 0
+        assert report.mode == "sharded"
+        assert all(s.status == "ok" for s in report.shards)
+        for query, batch in zip(queries, batches):
+            expected = scan_database(
+                query, references, threshold=14, engine="bitscore_batch"
+            )
+            assert hit_tuples(batch) == hit_tuples(expected)
+
+    def test_keep_scores_bit_identical(self, rng):
+        references = make_references(rng, count=4, length=1200)
+        query = random_protein(7, rng=rng)
+        runtime = ShardedScanRuntime(references, num_shards=2)
+        (batch,) = runtime.scan_batch([query], threshold=12, keep_scores=True)
+        expected = scan_database(
+            query, references, threshold=12,
+            engine="bitscore_batch", keep_scores=True,
+        )
+        assert len(batch) == len(expected)
+        for got, want in zip(batch, expected):
+            np.testing.assert_array_equal(got.scores, want.scores)
+
+    def test_empty_database_is_clean(self, rng):
+        runtime = ShardedScanRuntime([], num_shards=4)
+        batches, report = runtime.scan_batch(
+            [random_protein(5, rng=rng)], threshold=10, with_report=True
+        )
+        assert batches == [[]]
+        assert report.exit_code() == 0
+        assert report.shards == []
+
+
+# -- fault recovery ------------------------------------------------------------
+
+
+class TestFaultRecovery:
+    @pytest.mark.parametrize("plan_text", [
+        "shard:1:crash",
+        "shard:1:raise",
+        "shard:1:corrupt",
+    ])
+    def test_recovers_from_transient_fault(self, rng, plan_text):
+        references = make_references(rng)
+        query = random_protein(8, rng=rng)
+        runtime = ShardedScanRuntime(
+            references,
+            num_shards=2,
+            faults=ShardFaultPlan.parse(plan_text),
+            policy=ShardPolicy(max_attempts=3, backoff=0.01),
+        )
+        batches, report = runtime.scan_batch(
+            [query], threshold=14, with_report=True
+        )
+        assert report.exit_code() == 0
+        assert report.shards[1].attempts == 2
+        assert report.retries == 1
+        expected = scan_database(
+            query, references, threshold=14, engine="bitscore_batch"
+        )
+        assert hit_tuples(batches[0]) == hit_tuples(expected)
+
+    def test_hang_killed_at_deadline_then_respawned(self, rng):
+        references = make_references(rng, count=4, length=1200)
+        runtime = ShardedScanRuntime(
+            references,
+            num_shards=2,
+            faults=ShardFaultPlan.parse("shard:0:hang", hang_seconds=60.0),
+            policy=ShardPolicy(max_attempts=3, timeout=0.6, backoff=0.01),
+        )
+        _, report = runtime.scan_batch(
+            [random_protein(6, rng=rng)], threshold=12, with_report=True
+        )
+        assert report.exit_code() == 0
+        assert report.shards[0].attempts == 2
+        outcomes = [a.outcome for a in report.attempts if a.chunk == 0]
+        assert "timeout" in outcomes
+
+    def test_permanent_fault_kills_shard_but_scan_completes(self, rng):
+        references = make_references(rng)
+        query = random_protein(8, rng=rng)
+        runtime = ShardedScanRuntime(
+            references,
+            num_shards=2,
+            faults=ShardFaultPlan.parse("shard:0:crash:0:always"),
+            policy=ShardPolicy(max_attempts=2, backoff=0.01),
+        )
+        batches, report = runtime.scan_batch(
+            [query], threshold=14, with_report=True
+        )
+        assert report.exit_code() == 4
+        assert report.dead_shards == 1
+        dead = report.shards[0]
+        assert dead.status == "dead"
+        assert dead.attempts == 2
+        assert "health budget exhausted" in dead.detail
+        # The surviving shard's references are still scanned, seam-exact.
+        spec = runtime.shard_specs[1]
+        expected = scan_database(
+            query, references[spec.start : spec.stop],
+            threshold=14, engine="bitscore_batch",
+        )
+        assert hit_tuples(batches[0]) == hit_tuples(expected)
+
+    def test_allow_partial_off_raises(self, rng):
+        runtime = ShardedScanRuntime(
+            make_references(rng, count=4, length=1200),
+            num_shards=2,
+            faults=ShardFaultPlan.parse("shard:1:raise:0:always"),
+            policy=ShardPolicy(
+                max_attempts=2, backoff=0.01, allow_partial=False
+            ),
+        )
+        with pytest.raises(ShardFailedError, match="shard 1 failed after 2"):
+            runtime.scan_batch([random_protein(6, rng=rng)], threshold=12)
+
+
+class TestCheckpointResume:
+    def test_respawn_replays_only_unfinished_chunks(self, rng, tmp_path):
+        # 3 references x 20000 nt per shard = two session chunks: chunk 0
+        # checkpoints before the crash fires on scoring call 1, so the
+        # respawned attempt restores it and replays only chunk 1.
+        references = make_references(rng, count=6, length=20000)
+        query = random_protein(8, rng=rng)
+        runtime = ShardedScanRuntime(
+            references,
+            num_shards=2,
+            faults=ShardFaultPlan.parse("shard:1:crash:1:1"),
+            policy=ShardPolicy(max_attempts=3, backoff=0.01),
+        )
+        batches, report = runtime.scan_batch(
+            [query],
+            threshold=16,
+            checkpoint_dir=tmp_path,
+            with_report=True,
+        )
+        assert report.exit_code() == 0
+        assert report.shards[1].attempts == 2
+        assert report.shards[1].resumed_chunks >= 1
+        assert (tmp_path / "shard_01").is_dir()
+        expected = scan_database(
+            query, references, threshold=16, engine="bitscore_batch"
+        )
+        assert hit_tuples(batches[0]) == hit_tuples(expected)
+
+
+class TestHedging:
+    def test_lone_straggler_is_hedged(self, rng):
+        # Shard 0's first attempt hangs (fault attempts=1), no timeout is
+        # set, and hedging kicks in once shard 1 finishes: the hedge twin
+        # resumes fault-free and its sane result wins.
+        references = make_references(rng, count=4, length=1200)
+        runtime = ShardedScanRuntime(
+            references,
+            num_shards=2,
+            faults=ShardFaultPlan.parse("shard:0:hang", hang_seconds=60.0),
+            policy=ShardPolicy(
+                max_attempts=3, timeout=None, hedge_after=0.4, backoff=0.01
+            ),
+        )
+        _, report = runtime.scan_batch(
+            [random_protein(6, rng=rng)], threshold=12, with_report=True
+        )
+        assert report.exit_code() == 0
+        assert report.shards[0].hedges == 1
+        assert report.hedges == 1
+
+
+class TestInlineFallback:
+    def test_fork_failure_falls_back_inline(self, rng):
+        references = make_references(rng, count=4, length=1200)
+        query = random_protein(6, rng=rng)
+        runtime = ShardedScanRuntime(references, num_shards=2)
+        with mock.patch.object(
+            multiprocessing, "get_context", side_effect=OSError("no fork")
+        ):
+            batches, report = runtime.scan_batch(
+                [query], threshold=12, with_report=True
+            )
+        assert report.exit_code() == 0
+        expected = scan_database(
+            query, references, threshold=12, engine="bitscore_batch"
+        )
+        assert hit_tuples(batches[0]) == hit_tuples(expected)
+
+    def test_inline_retries_and_partial_semantics(self, rng):
+        references = make_references(rng, count=4, length=1200)
+        runtime = ShardedScanRuntime(
+            references,
+            num_shards=2,
+            faults=ShardFaultPlan.parse(
+                "shard:0:crash,shard:1:raise:0:always"
+            ),
+            policy=ShardPolicy(max_attempts=2, backoff=0.01),
+        )
+        with mock.patch.object(
+            multiprocessing, "get_context", side_effect=OSError("no fork")
+        ):
+            batches, report = runtime.scan_batch(
+                [random_protein(6, rng=rng)], threshold=12, with_report=True
+            )
+        # Inline crash faults raise (no runner process to sacrifice):
+        # shard 0 recovers on attempt 1, shard 1 exhausts its budget.
+        assert report.shards[0].status == "ok"
+        assert report.shards[0].attempts == 2
+        assert report.shards[1].status == "dead"
+        assert report.exit_code() == 4
+
+
+# -- report schema -------------------------------------------------------------
+
+
+class TestShardReport:
+    def test_report_round_trips_through_v3_schema(self, rng):
+        runtime = ShardedScanRuntime(
+            make_references(rng, count=4, length=1200), num_shards=2
+        )
+        _, report = runtime.scan_batch(
+            [random_protein(6, rng=rng)], threshold=12, with_report=True
+        )
+        payload = report.to_dict()
+        assert payload["version"] == 3
+        assert payload["mode"] == "sharded"
+        normalized = normalize_report_dict(payload)
+        restored = [ShardStatus.from_dict(s) for s in normalized["shards"]]
+        # to_dict rounds elapsed_seconds to microseconds; everything else
+        # must survive the round trip exactly.
+        assert restored == [
+            replace(s, elapsed_seconds=round(s.elapsed_seconds, 6))
+            for s in report.shards
+        ]
+
+    def test_summary_counts_dead_shards(self):
+        report = ScanReport(mode="sharded", workers=2, chunks_total=2)
+        report.chunks_completed = 1
+        report.shards = [
+            ShardStatus(0, 0, 2, 5000, "ok", 1),
+            ShardStatus(1, 2, 4, 5000, "dead", 3, detail="budget"),
+        ]
+        assert report.dead_shards == 1
+        assert report.exit_code() == 4
+        text = report.summary()
+        assert "dead-shards" in text
+        assert "shards=2 dead=1" in text

@@ -1,0 +1,224 @@
+"""Kill-one-shard-runtime integration test (shard supervision, end to end).
+
+A sharded CLI scan is started in a subprocess with a hang injected into
+shard 1's second chunk, so the shard durably checkpoints chunk 0 and then
+stalls.  Once shard 0's runner has finished and only the hung runner is
+left, that runner is SIGKILLed from outside — the supervisor must notice
+the death, respawn the shard with ``resume=True``, replay only the
+unfinished chunk, and finish with output bit-identical to an uninterrupted
+sharded scan.  Afterwards nothing may survive: no orphaned runner
+processes and no leaked ``/dev/shm`` segments (the CLI runs under
+``FABP_SHMSAN=1``).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+SHM_DIR = Path("/dev/shm")
+
+
+def cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    env["FABP_SHMSAN"] = "1"
+    return env
+
+
+def run_cli(args, timeout=180):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=cli_env(),
+    )
+
+
+@pytest.fixture(scope="module")
+def workload(tmp_path_factory):
+    # 6 references x 20000 nt split into 2 shards: each shard holds 60000
+    # positions = two session chunks, so a mid-shard kill leaves exactly
+    # one durable checkpoint behind.
+    base = tmp_path_factory.mktemp("shard_kill")
+    db = base / "db.fasta"
+    queries = base / "q.fasta"
+    generated = run_cli(
+        [
+            "generate",
+            "--queries", "1",
+            "--length", "20",
+            "--references", "6",
+            "--reference-length", "20000",
+            "--seed", "11",
+            "--out-db", str(db),
+            "--out-queries", str(queries),
+        ]
+    )
+    assert generated.returncode == 0, generated.stderr
+    return base, db, queries
+
+
+def scan_args(db, queries, *extra):
+    return [
+        "scan",
+        "--query-file", str(queries),
+        "--database", str(db),
+        "--min-identity", "0.9",
+        "--shards", "2",
+        "--backoff", "0.01",
+        *extra,
+    ]
+
+
+def hits_from(report_path):
+    payload = json.loads(Path(report_path).read_text())
+    return [
+        (q["query"], q["num_hits"], q["report"]["clean"])
+        for q in payload["queries"]
+    ]
+
+
+def child_pids(parent_pid):
+    """PIDs whose direct parent is ``parent_pid`` (via /proc)."""
+    pids = []
+    for entry in Path("/proc").iterdir():
+        if not entry.name.isdigit():
+            continue
+        try:
+            stat = (entry / "stat").read_text()
+        except OSError:
+            continue
+        # field 4 (after the parenthesized comm, which may contain spaces)
+        ppid = int(stat.rsplit(")", 1)[1].split()[1])
+        if ppid == parent_pid:
+            pids.append(int(entry.name))
+    return pids
+
+
+def pid_alive(pid):
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def shm_entries():
+    if not SHM_DIR.is_dir():
+        return set()
+    return {p.name for p in SHM_DIR.iterdir()}
+
+
+def test_killed_shard_runtime_resumes_to_identical_results(workload):
+    base, db, queries = workload
+    clean_report = base / "clean.json"
+    clean = run_cli(
+        scan_args(db, queries, "--report-json", str(clean_report))
+    )
+    assert clean.returncode == 0, clean.stderr
+
+    # Shard 1 checkpoints chunk 0, then hangs on chunk 1 of attempt 0
+    # (--chunk-timeout 0 disables the shard deadline, so only an external
+    # SIGKILL can end the stall).  The fault covers one attempt: the
+    # respawned runner is fault-free.
+    ckpt = base / "ckpt"
+    resumed_report = base / "resumed.json"
+    shm_before = shm_entries()
+    victim = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli",
+            *scan_args(
+                db, queries,
+                "--checkpoint", str(ckpt),
+                "--shard-faults", "shard:1:hang:1",
+                "--fault-hang-seconds", "600",
+                "--chunk-timeout", "0",
+                "--report-json", str(resumed_report),
+            ),
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        env=cli_env(),
+    )
+    observed = set()
+    try:
+        # Wait until shard 1's checkpoint is durable and shard 0's runner
+        # has exited — the lone surviving child *is* the hung shard runtime.
+        deadline = time.monotonic() + 90
+        marker = ckpt / "shard_01" / "chunk_000000.npz"
+        runner = None
+        while time.monotonic() < deadline:
+            children = child_pids(victim.pid)
+            observed.update(children)
+            if marker.exists() and len(children) == 1:
+                runner = children[0]
+                break
+            if victim.poll() is not None:
+                pytest.fail(f"scan exited early with {victim.returncode}")
+            time.sleep(0.05)
+        else:
+            pytest.fail("hung shard runner never isolated")
+        os.kill(runner, signal.SIGKILL)
+        victim.wait(timeout=120)
+    finally:
+        if victim.poll() is None:
+            victim.kill()
+        victim.wait(timeout=30)
+
+    # The supervisor must have respawned the shard and finished cleanly.
+    assert victim.returncode == 0
+    assert hits_from(resumed_report) == hits_from(clean_report)
+
+    payload = json.loads(resumed_report.read_text())
+    report = payload["queries"][0]["report"]
+    assert report["version"] == 3
+    shards = {s["shard"]: s for s in report["shards"]}
+    assert shards[0]["status"] == "ok" and shards[0]["attempts"] == 1
+    assert shards[1]["status"] == "ok" and shards[1]["attempts"] == 2
+    # The respawn restored chunk 0 from the checkpoint and replayed only
+    # the chunk its predecessor never finished.
+    assert shards[1]["resumed_chunks"] >= 1
+    outcomes = [
+        a["outcome"] for a in report["chunk_attempts"] if a["chunk"] == 1
+    ]
+    assert "crash" in outcomes and outcomes[-1] == "ok"
+
+    # Nothing survives the scan: every runner we ever observed is gone...
+    for pid in observed:
+        assert not pid_alive(pid), f"shard runner {pid} outlived the scan"
+    # ...and no shared-memory segment leaked past the sanitized CLI run.
+    assert shm_entries() <= shm_before
+
+
+def test_dead_shard_degrades_to_partial_results(workload):
+    base, db, queries = workload
+    report_path = base / "dead.json"
+    result = run_cli(
+        scan_args(
+            db, queries,
+            "--retries", "1",
+            "--shard-faults", "shard:0:crash:0:always",
+            "--report-json", str(report_path),
+        )
+    )
+    # Exit 4: complete, but with dead shards and partial results.
+    assert result.returncode == 4, result.stderr
+    assert "DEAD SHARD 0" in result.stdout
+    payload = json.loads(report_path.read_text())
+    assert payload["dead_shards"] is True
+    report = payload["queries"][0]["report"]
+    shards = {s["shard"]: s for s in report["shards"]}
+    assert shards[0]["status"] == "dead"
+    assert "health budget exhausted" in shards[0]["detail"]
+    assert shards[1]["status"] == "ok"

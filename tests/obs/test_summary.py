@@ -1,4 +1,4 @@
-"""Artifact sniffing, ScanReport v1->v2 normalization, summarize rendering."""
+"""Artifact sniffing, ScanReport v1/v2->v3 normalization, summarize rendering."""
 
 import json
 
@@ -86,12 +86,21 @@ class TestLoadArtifact:
             load_artifact(tmp_path / "nope.json")
 
 
+def v2_report():
+    """A ScanReport dict as PR 5-8 wrote it: version 2, no shards section."""
+    report = v1_report()
+    report["version"] = 2
+    report["metrics"] = {"stage_seconds": {"execute": 1.4, "merge": 0.1}}
+    return report
+
+
 class TestNormalizeReportDict:
     def test_v1_gains_empty_metrics_section(self):
         original = v1_report()
         normalized = normalize_report_dict(original)
         assert normalized["version"] == SCAN_REPORT_VERSION
         assert normalized["metrics"] == {}
+        assert normalized["shards"] == []
         assert original["version"] == 1  # input not mutated
         assert "metrics" not in original
 
@@ -107,11 +116,51 @@ class TestNormalizeReportDict:
         normalized = normalize_report_dict(report)
         assert normalized["metrics"] == {"stage_seconds": {"execute": 1.0}}
 
+    def test_v2_accepted_and_gains_empty_shards(self):
+        original = v2_report()
+        normalized = normalize_report_dict(original)
+        assert normalized["version"] == SCAN_REPORT_VERSION
+        assert normalized["shards"] == []
+        assert normalized["metrics"] == original["metrics"]
+        assert "shards" not in original  # input not mutated
+
+    def test_v3_shards_pass_through(self):
+        report = v2_report()
+        report["version"] = 3
+        report["shards"] = [
+            {"shard": 0, "start": 0, "stop": 3, "nucleotides": 9000,
+             "status": "dead", "attempts": 2, "resumed_chunks": 1,
+             "hedges": 0, "elapsed_seconds": 0.5},
+        ]
+        normalized = normalize_report_dict(report)
+        assert normalized["shards"] == report["shards"]
+
     def test_newer_schema_is_refused(self):
         report = v1_report()
         report["version"] = SCAN_REPORT_VERSION + 1
         with pytest.raises(ValueError, match="newer than supported"):
             normalize_report_dict(report)
+
+    def test_v4_is_refused(self):
+        report = v2_report()
+        report["version"] = 4
+        with pytest.raises(ValueError, match="newer than supported"):
+            normalize_report_dict(report)
+
+    def test_live_report_round_trips(self):
+        from repro.host.resilience import ScanReport, ShardStatus
+
+        report = ScanReport(mode="sharded", workers=2, chunks_total=2)
+        report.shards = [
+            ShardStatus(0, 0, 3, 9000, "ok", 1, 0, 0, 0.1),
+            ShardStatus(1, 3, 6, 9000, "dead", 3, 2, 1, 0.9, "budget"),
+        ]
+        payload = report.to_dict()
+        assert payload["version"] == SCAN_REPORT_VERSION
+        normalized = normalize_report_dict(payload)
+        assert normalized["shards"] == payload["shards"]
+        restored = [ShardStatus.from_dict(s) for s in normalized["shards"]]
+        assert restored == report.shards
 
 
 class TestSummarizeRendering:
@@ -138,14 +187,28 @@ class TestSummarizeRendering:
         assert "5 spans dropped" in summarize_trace(payload)
 
     def test_scan_report_outcomes_and_stages(self):
-        report = v1_report()
-        report["version"] = 2
-        report["metrics"] = {"stage_seconds": {"execute": 1.4, "merge": 0.1}}
+        report = v2_report()
         text = summarize_scan_report(report)
         assert "3/3 chunks [clean] mode=serial" in text
-        assert "(schema v2)" in text
+        assert "(schema v3)" in text
         assert "attempt:ok" in text and "attempt:raise" in text
         assert "stage:execute" in text
+
+    def test_scan_report_shard_table(self):
+        report = v2_report()
+        report["version"] = 3
+        report["shards"] = [
+            {"shard": 0, "start": 0, "stop": 3, "nucleotides": 9000,
+             "status": "ok", "attempts": 1, "resumed_chunks": 0,
+             "hedges": 0, "elapsed_seconds": 0.1},
+            {"shard": 1, "start": 3, "stop": 6, "nucleotides": 9000,
+             "status": "dead", "attempts": 3, "resumed_chunks": 2,
+             "hedges": 1, "elapsed_seconds": 0.9},
+        ]
+        text = summarize_scan_report(report)
+        assert "[dead-shards]" in text
+        assert "resumed" in text and "hedges" in text
+        assert "3..6" in text and "dead" in text
 
     def test_summarize_autodetects_kind(self, tmp_path):
         path = tmp_path / "m.json"

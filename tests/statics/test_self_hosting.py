@@ -26,6 +26,7 @@ class TestSelfHosting:
             "repro.host.scan",
             "repro.host.resilience",
             "repro.host.checkpoint",
+            "repro.host.shards",
             "repro.obs.profile",
             "repro.statics.engine",
         ):

@@ -464,7 +464,7 @@ class TestBench:
 
 
 class TestScan:
-    """The scan subcommand and its exit-code contract: 0/3/1."""
+    """The scan subcommand and its exit-code contract: 0/3/4/1."""
 
     def scan(self, db, queries, *extra):
         return main(
@@ -607,6 +607,78 @@ class TestScan:
         assert "fatal:" in capsys.readouterr().err
 
 
+class TestScanShards:
+    """``--shards``: the supervised multi-shard path and its exit 4."""
+
+    def scan(self, db, queries, *extra):
+        return main(
+            [
+                "scan",
+                "--query-file", str(queries),
+                "--database", str(db),
+                "--min-identity", "0.9",
+                "--backoff", "0.01",
+                *extra,
+            ]
+        )
+
+    def test_sharded_matches_plain_scan(self, synthetic_files, capsys):
+        db, queries = synthetic_files
+        assert self.scan(db, queries, "--workers", "1") == 0
+        plain = capsys.readouterr().out
+        assert self.scan(db, queries, "--shards", "2") == 0
+        sharded = capsys.readouterr().out
+        assert "shards: 2 supervised runtimes" in sharded
+        assert "mode=sharded" in sharded
+
+        def hit_rows(out):
+            return [
+                line.split() for line in out.splitlines()
+                if line.strip().startswith("query_") and "hits" not in line
+            ]
+
+        assert hit_rows(sharded) == hit_rows(plain)
+
+    def test_dead_shard_exits_four(self, synthetic_files, tmp_path, capsys):
+        import json
+
+        db, queries = synthetic_files
+        artifact = tmp_path / "report.json"
+        code = self.scan(
+            db, queries,
+            "--shards", "2",
+            "--shard-faults", "shard:0:crash:0:always",
+            "--retries", "1",
+            "--report-json", str(artifact),
+        )
+        assert code == 4
+        assert "DEAD SHARD 0" in capsys.readouterr().out
+        payload = json.loads(artifact.read_text())
+        assert payload["dead_shards"] is True
+        shards = payload["queries"][0]["report"]["shards"]
+        assert shards[0]["status"] == "dead"
+
+    def test_shards_and_session_are_exclusive(self, synthetic_files, capsys):
+        db, queries = synthetic_files
+        code = self.scan(db, queries, "--shards", "2", "--session")
+        assert code == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_shards_reject_chunk_fault_plans(self, synthetic_files, capsys):
+        db, queries = synthetic_files
+        code = self.scan(
+            db, queries, "--shards", "2", "--inject-faults", "0:raise"
+        )
+        assert code == 1
+        assert "--shard-faults" in capsys.readouterr().err
+
+    def test_shard_faults_require_shards(self, synthetic_files, capsys):
+        db, queries = synthetic_files
+        code = self.scan(db, queries, "--shard-faults", "shard:0:crash")
+        assert code == 1
+        assert "requires --shards" in capsys.readouterr().err
+
+
 class TestObsCli:
     """--metrics-json/--trace-json and the obs summarize subcommand."""
 
@@ -658,7 +730,7 @@ class TestObsCli:
         assert not obs.enabled()
         assert obs.REGISTRY.families() == []
 
-    def test_report_json_reports_are_schema_v2(self, synthetic_files, tmp_path, capsys):
+    def test_report_json_reports_are_schema_v3(self, synthetic_files, tmp_path, capsys):
         import json
 
         db, queries = synthetic_files
@@ -667,8 +739,9 @@ class TestObsCli:
         capsys.readouterr()
         payload = json.loads(artifact.read_text())
         report = payload["queries"][0]["report"]
-        assert report["version"] == 2
+        assert report["version"] == 3
         assert "execute" in report["metrics"]["stage_seconds"]
+        assert report["shards"] == []  # single-shard scans carry no shard rows
 
     def test_bench_writes_metrics(self, tmp_path, capsys):
         import json
