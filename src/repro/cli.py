@@ -7,6 +7,9 @@ Subcommands:
 * ``scan``      — fault-tolerant software scan of a FASTA database through
   the supervised runtime: retries/timeouts/backoff, checkpoint/resume,
   deterministic fault injection, machine-readable ``ScanReport``
+* ``serve``     — front-door scan daemon over one resident warm runtime:
+  HTTP job admission (``POST /scan``), batched passes, LRU result cache,
+  Prometheus ``/metrics``, graceful SIGTERM drain (``docs/service.md``)
 * ``generate``  — build a synthetic database with planted homologs
 * ``table1``    — print the Table I resource model
 * ``fig6``      — print the Fig. 6 performance/energy sweep
@@ -27,12 +30,15 @@ writes the corresponding artifact (Prometheus-convention metrics as JSON;
 Chrome ``trace_event`` JSON openable in ``about:tracing`` / Perfetto).
 
 Exit codes: ``lint``/``prove`` follow the lint convention (0 clean, 1
-findings/refutations, 2 usage error).  ``scan`` and ``bench`` follow the
-robustness contract documented in ``docs/robustness.md``: 0 = clean,
-3 = completed **with degradation** (the report says how), 4 = completed
-**with dead shards** (``--shards`` only: some shard exhausted its health
-budget and its references are missing from the results), 1 = fatal,
-2 = usage error (argparse).  Everything is deterministic given ``--seed``.
+findings/refutations, 2 usage error).  ``scan``, ``serve`` and ``bench``
+follow the robustness contract documented in ``docs/robustness.md``:
+0 = clean, 3 = completed **with degradation** (the report says how),
+4 = completed **with dead shards** (``--shards`` only: some shard
+exhausted its health budget and its references are missing from the
+results), 1 = fatal, 2 = usage error (argparse).  ``serve`` applies the
+same scheme to its whole run — the worst outcome of any job it served —
+and maps it onto HTTP statuses per ``docs/service.md``.  Everything is
+deterministic given ``--seed``.
 """
 
 from __future__ import annotations
@@ -423,6 +429,85 @@ def cmd_scan(args) -> int:
     if dead_any:
         return 4
     return 3 if degraded_any else 0
+
+
+def cmd_serve(args) -> int:
+    """Front-door daemon; exits with the worst job outcome after drain."""
+    import pathlib
+
+    from repro import obs
+    from repro.host.errors import ScanError
+    from repro.host.scan import PackedDatabase
+    from repro.seq import fasta
+    from repro.service import ScanServer, ScanService
+
+    on_error = None if args.on_bad_record == "ignore" else args.on_bad_record
+    service = None
+    try:
+        skipped: List[fasta.SkippedRecord] = []
+        references = fasta.read_rna(
+            args.database, on_error=on_error, skipped=skipped
+        )
+        database = PackedDatabase.from_references(references)
+        if skipped:
+            print(f"quarantined {len(skipped)} bad records")
+        if not args.no_obs:
+            # The daemon keeps the registry live for /metrics scrapes.
+            obs.reset()
+            obs.enable()
+        service = ScanService(
+            database,
+            engine=args.engine,
+            workers=args.workers,
+            shards=args.shards,
+            max_queue=args.max_queue,
+            max_batch=args.max_batch,
+            cache_entries=args.cache_entries,
+            checkpoint_dir=args.checkpoint,
+        )
+        server = ScanServer(
+            service, host=args.host, port=args.port, verbose=args.verbose
+        )
+    except (ScanError, fasta.FastaError, OSError, ValueError) as exc:
+        print(f"fatal: {exc}", file=sys.stderr)
+        if service is not None:
+            service.close(drain=False)
+        return 1
+    host, port = server.address
+    backend = (
+        f"shards={args.shards}" if args.shards is not None
+        else f"workers={service.stats()['backend']['workers']}"
+    )
+    print(
+        f"serving http://{host}:{port} — {database.num_references} references, "
+        f"{database.total_nucleotides:,} nt resident "
+        f"(engine={service.engine}, {backend}, "
+        f"cache={args.cache_entries} entries, queue<={args.max_queue})"
+    )
+    print(
+        "endpoints: POST /scan | GET /jobs/<id> /results/<id> "
+        "/healthz /metrics — SIGTERM drains gracefully"
+    )
+    if args.ready_file:
+        # Test/CI rendezvous: the resolved address, written once listening.
+        ready = pathlib.Path(args.ready_file)
+        ready.parent.mkdir(parents=True, exist_ok=True)
+        ready.write_text(f"{host} {port}\n")
+    server.install_signal_handlers()
+    server.serve_forever()
+    stats = service.stats()
+    cache = stats["cache"]
+    print(
+        f"drained: {stats['jobs']['done']} done, "
+        f"{stats['jobs']['failed']} failed, "
+        f"{stats['batches_dispatched']} batches, "
+        f"cache hit ratio {cache['hit_ratio']:.0%}"
+    )
+    if args.metrics_json:
+        print(f"wrote {obs.write_metrics_json(args.metrics_json)}")
+    if not args.no_obs:
+        obs.disable()
+    return service.exit_code()
 
 
 def cmd_generate(args) -> int:
@@ -1102,6 +1187,51 @@ def build_parser() -> argparse.ArgumentParser:
                    "hangs are not supervised)")
     add_obs_args(p)
     p.set_defaults(func=cmd_scan)
+
+    p = sub.add_parser(
+        "serve",
+        help="front-door scan daemon: HTTP job admission over one warm "
+        "runtime, batched passes, LRU result cache, /metrics, graceful "
+        "SIGTERM drain (exit: worst job outcome, 0/3/4, or 1 fatal)",
+    )
+    p.add_argument("--database", required=True, help="nucleotide FASTA (.gz ok)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: loopback only)")
+    p.add_argument("--port", type=int, default=8765,
+                   help="TCP port (0 = OS-assigned; see --ready-file)")
+    p.add_argument("--engine", choices=SCAN_ENGINES, default=None,
+                   help="scoring engine (default: bitscore_batch)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="resident worker processes of the warm session "
+                   "(default: one per CPU; 1 = serial)")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="serve from N supervised shard runtimes instead of "
+                   "one session (dead shards surface as per-job exit 4)")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="admission queue bound; a full queue answers 503")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="most jobs coalesced into one scan_batch dispatch")
+    p.add_argument("--cache-entries", type=int, default=256,
+                   help="LRU result-cache entries (0 disables caching)")
+    p.add_argument("--checkpoint", metavar="DIR",
+                   help="durable per-batch checkpoints under DIR; an "
+                   "interrupted drain leaves chunks an identical re-submit "
+                   "resumes")
+    p.add_argument("--on-bad-record", choices=("skip", "raise", "ignore"),
+                   default="skip",
+                   help="what to do with malformed FASTA records")
+    p.add_argument("--ready-file", metavar="PATH",
+                   help="write 'HOST PORT' here once listening (handshake "
+                   "for tests/CI, pairs with --port 0)")
+    p.add_argument("--no-obs", action="store_true",
+                   help="do not enable the metrics registry (/metrics will "
+                   "serve an empty exposition)")
+    p.add_argument("--metrics-json", metavar="PATH",
+                   help="write the final metrics registry here as JSON "
+                   "after the drain")
+    p.add_argument("--verbose", action="store_true",
+                   help="log each HTTP request to stderr")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("generate", help="build a synthetic planted database")
     p.add_argument("--queries", type=int, default=3)

@@ -96,8 +96,36 @@ __all__ = [
     "SessionPayload",
     "SessionCheckpointStore",
     "check_session_payload",
+    "resolve_batch_thresholds",
     "session_fingerprint",
 ]
+
+
+def resolve_batch_thresholds(
+    encoded: Sequence[EncodedQuery],
+    threshold: Optional[Union[int, Sequence[Optional[int]]]],
+    min_identity: Optional[float],
+) -> List[int]:
+    """Resolve one absolute threshold per query of a batch.
+
+    ``threshold`` is either a single value applied to every query (the
+    classic :func:`repro.core.aligner.resolve_threshold` convention) or a
+    sequence with exactly one entry per query; a ``None`` entry falls back
+    to ``min_identity`` for that query.  The sequence form lets callers —
+    the front-door service batcher in particular — share one pass between
+    jobs submitted with heterogeneous thresholds.
+    """
+    if isinstance(threshold, (list, tuple)):
+        if len(threshold) != len(encoded):
+            raise ValueError(
+                f"threshold sequence has {len(threshold)} entries "
+                f"for {len(encoded)} queries"
+            )
+        return [
+            resolve_threshold(e, t, min_identity if t is None else None)
+            for e, t in zip(encoded, threshold)
+        ]
+    return [resolve_threshold(e, threshold, min_identity) for e in encoded]
 
 
 #: One scored (window x query) cell: ``(query_slot, reference, start,
@@ -692,7 +720,7 @@ class ScanSession:
         self,
         queries: Iterable[QueryLike],
         *,
-        threshold: Optional[int] = None,
+        threshold: Optional[Union[int, Sequence[Optional[int]]]] = None,
         min_identity: Optional[float] = None,
         keep_scores: bool = False,
         policy: Optional[RetryPolicy] = None,
@@ -708,7 +736,10 @@ class ScanSession:
         Returns one result list per query, in input order, each bit-identical
         to a solo :func:`repro.host.scan.scan_database` of that query.
         ``threshold`` / ``min_identity`` follow the aligner's convention and
-        are resolved per query.  ``policy``, ``checkpoint_dir``, ``resume``
+        are resolved per query; ``threshold`` may also be a sequence with one
+        entry per query (``None`` entries fall back to ``min_identity``), so
+        heterogeneous jobs can share one pass — the shape the front-door
+        service batcher uses.  ``policy``, ``checkpoint_dir``, ``resume``
         and ``with_report`` mirror the supervised scan: every batch runs
         under retry/hedge/respawn supervision and (with ``with_report``)
         returns its :class:`~repro.host.resilience.ScanReport`.
@@ -721,7 +752,7 @@ class ScanSession:
             q if isinstance(q, EncodedQuery) else encode_query(q)
             for q in query_list
         ]
-        resolved = [resolve_threshold(e, threshold, min_identity) for e in encoded]
+        resolved = resolve_batch_thresholds(encoded, threshold, min_identity)
         reused = self.scans_completed > 0
         passes, tasks = self._plan(encoded, resolved) if encoded else ([], [])
         report = ScanReport(

@@ -52,7 +52,6 @@ import numpy as np
 from repro.core.aligner import (
     AlignmentResult,
     QueryLike,
-    resolve_threshold,
 )
 from repro.core.encoding import EncodedQuery, encode_query
 from repro.host.checkpoint import ChunkPayload
@@ -60,6 +59,7 @@ from repro.host.errors import InjectedFaultError, ScanError, ShardFailedError
 from repro.host.faults import FaultKind, ShardFaultPlan
 from repro.host.resilience import ScanReport, ShardStatus, check_chunk_payload
 from repro.host.scan import PackedDatabase, _build_result
+from repro.host.scan_session import resolve_batch_thresholds
 from repro.obs import profile as _obs_profile
 
 __all__ = [
@@ -289,7 +289,7 @@ def _scan_shard(
     spec: ShardSpec,
     database: PackedDatabase,
     encoded: Sequence[EncodedQuery],
-    threshold: Optional[int],
+    threshold: Optional[Union[int, Sequence[Optional[int]]]],
     min_identity: Optional[float],
     keep_scores: bool,
     engine: str,
@@ -327,7 +327,7 @@ def _shard_runner_main(
     spec: ShardSpec,
     database: PackedDatabase,
     encoded: Sequence[EncodedQuery],
-    threshold: Optional[int],
+    threshold: Optional[Union[int, Sequence[Optional[int]]]],
     min_identity: Optional[float],
     keep_scores: bool,
     engine: str,
@@ -497,7 +497,7 @@ class ShardedScanRuntime:
         self,
         queries: Iterable[QueryLike],
         *,
-        threshold: Optional[int] = None,
+        threshold: Optional[Union[int, Sequence[Optional[int]]]] = None,
         min_identity: Optional[float] = None,
         keep_scores: bool = False,
         checkpoint_dir: Optional[Union[str, Path]] = None,
@@ -511,7 +511,9 @@ class ShardedScanRuntime:
 
         Returns one result list per query, in input order, covering the
         references of every *surviving* shard in global order (all of them
-        on a clean run — bit-identical to a single-shard scan).  With
+        on a clean run — bit-identical to a single-shard scan).
+        ``threshold`` may be a per-query sequence, exactly as in
+        :meth:`repro.host.scan_session.ScanSession.scan_batch`.  With
         ``with_report`` the :class:`ScanReport` (``mode="sharded"``,
         schema v3) carries the per-shard ``shards`` section.
         """
@@ -520,7 +522,7 @@ class ShardedScanRuntime:
             q if isinstance(q, EncodedQuery) else encode_query(q)
             for q in query_list
         ]
-        resolved = [resolve_threshold(e, threshold, min_identity) for e in encoded]
+        resolved = resolve_batch_thresholds(encoded, threshold, min_identity)
         spans = [len(e) for e in encoded]
 
         report = ScanReport(
@@ -590,7 +592,7 @@ class ShardedScanRuntime:
         encoded: List[EncodedQuery],
         resolved: List[int],
         spans: List[int],
-        threshold: Optional[int],
+        threshold: Optional[Union[int, Sequence[Optional[int]]]],
         min_identity: Optional[float],
         keep_scores: bool,
         checkpoint_dir: Optional[Union[str, Path]],
@@ -876,7 +878,7 @@ class ShardedScanRuntime:
         encoded: List[EncodedQuery],
         resolved: List[int],
         spans: List[int],
-        threshold: Optional[int],
+        threshold: Optional[Union[int, Sequence[Optional[int]]]],
         min_identity: Optional[float],
         keep_scores: bool,
         checkpoint_dir: Optional[Union[str, Path]],

@@ -43,6 +43,13 @@ name                                    kind       labels
 ``fabp_kernel_cycles_total``            counter    ``device``, ``kind``
 ``fabp_schedule_plans_total``           counter    ``segments``
 ``fabp_bench_positions_per_s``          gauge      ``engine``, ``workers``
+``fabp_service_requests_total``         counter    ``endpoint``, ``code``
+``fabp_service_request_seconds``        histogram  ``endpoint``
+``fabp_service_queue_depth``            gauge      —
+``fabp_service_jobs_total``             counter    ``outcome``
+``fabp_service_cache_hits_total``       counter    —
+``fabp_service_cache_misses_total``     counter    —
+``fabp_service_batch_jobs``             histogram  —
 ======================================  =========  ==========================
 """
 
@@ -78,6 +85,11 @@ __all__ = [
     "record_kernel_run",
     "record_schedule_plan",
     "record_bench_record",
+    "record_service_request",
+    "record_service_queue_depth",
+    "record_service_job",
+    "record_service_cache",
+    "record_service_batch",
 ]
 
 
@@ -118,6 +130,13 @@ HOOK_CATALOGUE = frozenset(
         "fabp_kernel_cycles_total",
         "fabp_schedule_plans_total",
         "fabp_bench_positions_per_s",
+        "fabp_service_requests_total",
+        "fabp_service_request_seconds",
+        "fabp_service_queue_depth",
+        "fabp_service_jobs_total",
+        "fabp_service_cache_hits_total",
+        "fabp_service_cache_misses_total",
+        "fabp_service_batch_jobs",
     }
 )
 
@@ -428,6 +447,79 @@ def record_schedule_plan(segments: int) -> None:
         "Schedule plans by segment count.",
         ("segments",),
     ).labels(segments=str(segments)).inc()
+
+
+def record_service_request(endpoint: str, code: int, seconds: float) -> None:
+    """One HTTP request served by the front-door scan service.
+
+    ``endpoint`` is the normalized route name (``scan``, ``jobs``,
+    ``results``, ``healthz``, ``metrics``, ``other``), never the raw path —
+    label cardinality stays bounded.
+    """
+    if not state.enabled():
+        return
+    REGISTRY.counter(
+        "fabp_service_requests_total",
+        "Service HTTP requests by endpoint and status code.",
+        ("endpoint", "code"),
+    ).labels(endpoint=endpoint, code=str(code)).inc()
+    REGISTRY.histogram(
+        "fabp_service_request_seconds",
+        "Wall time per service HTTP request.",
+        ("endpoint",),
+    ).labels(endpoint=endpoint).observe(seconds)
+
+
+def record_service_queue_depth(depth: int) -> None:
+    """Snapshot the admission queue depth after an enqueue/dequeue."""
+    if not state.enabled():
+        return
+    REGISTRY.gauge(
+        "fabp_service_queue_depth",
+        "Scan jobs waiting in the service admission queue.",
+    ).default.set(depth)
+
+
+def record_service_job(outcome: str) -> None:
+    """One scan job reaching a terminal state (``done``/``failed``/``cached``)."""
+    if not state.enabled():
+        return
+    REGISTRY.counter(
+        "fabp_service_jobs_total",
+        "Scan jobs finished, by outcome.",
+        ("outcome",),
+    ).labels(outcome=outcome).inc()
+
+
+def record_service_cache(hit: bool) -> None:
+    """One result-cache lookup by the service front door."""
+    if not state.enabled():
+        return
+    if hit:
+        REGISTRY.counter(
+            "fabp_service_cache_hits_total", "Service result-cache hits."
+        ).default.inc()
+    else:
+        REGISTRY.counter(
+            "fabp_service_cache_misses_total", "Service result-cache misses."
+        ).default.inc()
+
+
+def record_service_batch(jobs: int, seconds: float) -> None:
+    """One batched pass dispatched by the service: occupancy + span."""
+    if not state.enabled():
+        return
+    REGISTRY.histogram(
+        "fabp_service_batch_jobs",
+        "Jobs sharing one service scan batch.",
+    ).default.observe(jobs)
+    RECORDER.record(
+        name="service.batch",
+        category="service",
+        start=time.perf_counter() - seconds,
+        duration=seconds,
+        args={"jobs": jobs},
+    )
 
 
 def record_bench_record(

@@ -6,7 +6,9 @@ sniffs which of the three artifact kinds ``PATH`` holds and
 
 * a **metrics** JSON written by ``--metrics-json`` (schema
   ``fabp-metrics``) — stage wall-time from ``fabp_stage_seconds``, engine
-  breakdown from ``fabp_score_seconds``, plus the resilience counters;
+  breakdown from ``fabp_score_seconds``, a per-endpoint service table from
+  ``fabp_service_request_seconds`` (daemon artifacts), plus the
+  resilience counters;
 * a Chrome **trace** JSON written by ``--trace-json`` (``traceEvents``)
   — spans aggregated by name;
 * a **scan report** JSON written by ``fabp-repro scan --report-json``
@@ -151,6 +153,23 @@ def summarize_metrics(payload: Dict[str, Any]) -> str:
             _table(
                 ["engine", "calls", "total_s", "mean_s", "share"],
                 _share_rows(engine_entries),
+            )
+        )
+    service_entries = [
+        (
+            str(s["labels"].get("endpoint", "?")),
+            int(s.get("count", 0)),
+            float(s.get("sum", 0.0)),
+        )
+        for s in _metric_samples(payload, "fabp_service_request_seconds")
+    ]
+    if service_entries:
+        sections.append("")
+        sections.append("Service endpoints (fabp_service_request_seconds)")
+        sections.append(
+            _table(
+                ["endpoint", "requests", "total_s", "mean_s", "share"],
+                _share_rows(service_entries),
             )
         )
     counter_rows: List[List[object]] = []

@@ -1,0 +1,1 @@
+"""Front-door scan service test suite."""

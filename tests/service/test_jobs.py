@@ -1,0 +1,104 @@
+"""Job lifecycle and job-store unit tests."""
+
+import pytest
+
+from repro.core.aligner import align
+from repro.core.encoding import encode_query
+from repro.service.jobs import JOB_STATES, JobStore, pending_jobs, result_to_dict
+
+
+@pytest.fixture()
+def store():
+    return JobStore(max_finished=4)
+
+
+def _job(store, letters="MFR", threshold=5):
+    return store.create("q", encode_query(letters), threshold)
+
+
+def test_job_lifecycle_and_timestamps(store):
+    job = _job(store)
+    assert job.state == "queued" and job.id.startswith("job-")
+    assert job.submitted_at > 0 and job.started_at is None
+    job.mark_running()
+    assert job.state == "running" and job.started_at is not None
+    job.mark_done([])
+    assert job.state == "done" and job.finished_at is not None
+    assert job.exit_code() == 0
+
+
+def test_job_exit_codes():
+    store = JobStore()
+    clean, degraded, dead = (_job(store) for _ in range(3))
+    clean.mark_done([])
+    degraded.mark_done([], degraded=True)
+    dead.mark_done([], degraded=True, dead_shards=2)
+    assert clean.exit_code() == 0
+    assert degraded.exit_code() == 3
+    assert dead.exit_code() == 4  # dead shards dominate
+
+
+def test_job_to_dict_shapes(store):
+    job = _job(store, "MFR", threshold=7)
+    base = job.to_dict()
+    assert base["state"] == "queued" and base["threshold"] == 7
+    assert "exit_code" not in base and "results" not in base
+    result = align("MFR", "AUGUUUCGU", threshold=7)
+    job.mark_running()
+    job.mark_done([result])
+    done = job.to_dict(include_results=True)
+    assert done["exit_code"] == 0 and done["num_hits"] == len(result.hits)
+    assert done["results"][0]["reference"] == result.reference_name
+    failed = _job(store)
+    failed.mark_failed("boom")
+    view = failed.to_dict()
+    assert view["state"] == "failed" and view["exit_code"] == 1
+    assert view["error"] == "boom"
+
+
+def test_result_to_dict_is_json_safe():
+    result = align("MFR", "AUGUUUCGU", min_identity=0.9)
+    payload = result_to_dict(result)
+    assert payload["reference_length"] == 9
+    assert payload["hits"] == [[h.position, h.score] for h in result.hits]
+    assert payload["threshold"] == result.threshold
+    import json
+
+    json.dumps(payload)  # must not raise
+
+
+def test_store_lookup_and_counts(store):
+    jobs = [_job(store) for _ in range(3)]
+    assert store.get(jobs[0].id) is jobs[0]
+    assert store.get("job-999999") is None
+    jobs[0].mark_running()
+    jobs[1].mark_running()
+    jobs[1].mark_done([])
+    counts = store.counts()
+    assert counts == {"queued": 1, "running": 1, "done": 1, "failed": 0}
+    assert set(counts) == set(JOB_STATES)
+    assert pending_jobs(store.jobs()) == [jobs[0], jobs[2]]
+
+
+def test_store_evicts_only_finished_jobs():
+    store = JobStore(max_finished=2)
+    finished = []
+    for _ in range(5):
+        job = _job(store)
+        job.mark_done([])
+        finished.append(job)
+    live = _job(store)  # queued: must never be evicted
+    for _ in range(3):
+        _job(store).mark_done([])
+    # Old finished jobs age out...
+    assert store.get(finished[0].id) is None
+    # ...but the queued job and the freshest finished jobs remain
+    # (eviction runs at admission, so the bound can lag by one batch).
+    assert store.get(live.id) is live
+    assert store.counts()["done"] == 3
+    assert store.counts()["queued"] == 1
+
+
+def test_store_rejects_bad_bound():
+    with pytest.raises(ValueError):
+        JobStore(max_finished=0)

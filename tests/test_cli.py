@@ -821,3 +821,28 @@ class TestObsCli:
         with pytest.raises(SystemExit) as excinfo:
             main(["obs"])
         assert excinfo.value.code == 2
+
+
+class TestServeContract:
+    def test_database_is_required(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["serve"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_engine_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["serve", "--database", "db.fasta", "--engine", "warp"]
+            )
+        assert excinfo.value.code == 2
+
+    def test_missing_database_file_is_fatal(self, capsys):
+        assert main(["serve", "--database", "/no/such/db.fasta"]) == 1
+        assert "fatal:" in capsys.readouterr().err
+
+    def test_defaults_follow_the_documented_contract(self):
+        args = build_parser().parse_args(["serve", "--database", "db.fasta"])
+        assert (args.host, args.port) == ("127.0.0.1", 8765)
+        assert (args.max_queue, args.max_batch) == (64, 16)
+        assert args.cache_entries == 256
+        assert args.shards is None and args.engine is None

@@ -85,3 +85,41 @@ def test_code_fences_are_not_scanned(tmp_path):
     errors = []
     checker.check_links(page, errors)
     assert errors == []
+
+
+def test_cli_surface_and_docs_agree():
+    checker = _load_checker()
+    errors = []
+    checker.check_cli_surface(errors)
+    assert errors == []
+
+
+def test_cli_subcommand_scrape_sees_the_real_parser():
+    checker = _load_checker()
+    registered = checker.cli_subcommands()
+    assert {"scan", "serve", "bench", "encode", "prove"} <= registered
+    # Nested subcommands (obs summarize) are not top-level surface...
+    assert "summarize" not in registered
+    # ...but `obs` itself is.
+    assert "obs" in registered
+
+
+def test_cli_mention_scrape_reads_code_fences(tmp_path):
+    checker = _load_checker()
+    page = tmp_path / "walkthrough.md"
+    page.write_text("```bash\nfabp-repro serve --port 0\n```\n")
+    mentions = checker.documented_subcommands([page])
+    assert "serve" in mentions
+
+
+def test_cli_surface_check_catches_drift():
+    """Both directions of the subcommand check can actually fail."""
+    checker = _load_checker()
+    registered = checker.cli_subcommands()
+    pages = sorted((REPO / "docs").glob("*.md"))
+    pages += [REPO / name for name in checker.EXTRA_FILES
+              if (REPO / name).exists()]
+    mentions = checker.documented_subcommands(pages)
+    # every registered subcommand is documented, and no mention dangles
+    assert registered <= set(mentions)
+    assert set(mentions) <= registered

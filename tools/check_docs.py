@@ -12,7 +12,13 @@ Validates, without requiring mkdocs:
   agree: every RC/OB/KC rule id registered in ``src/repro/statics/*.py``
   has a heading anchor in the page, and every RC/OB/KC heading in the
   page names a registered rule (both directions, source-scraped so the
-  check needs no imports).
+  check needs no imports);
+* the documented CLI surface and the real one agree: every subcommand
+  registered on the top-level ``fabp-repro`` parser in
+  ``src/repro/cli.py`` is mentioned as ``fabp-repro <cmd>`` somewhere in
+  the docs (or the repo-level markdown), and every ``fabp-repro <cmd>``
+  mention names a registered subcommand (both directions, so a renamed
+  or new subcommand fails the build until the docs catch up).
 
 Run from anywhere: ``python tools/check_docs.py``.  Exit code 0 means
 clean, 1 means findings (listed on stdout), matching the lint
@@ -186,6 +192,54 @@ def check_rule_anchors(errors: List[str]) -> None:
         )
 
 
+#: Top-level ``sub.add_parser("name", ...)`` registrations in the CLI.
+#: The lookbehind keeps nested groups (``obs_sub.add_parser``) out: those
+#: are subcommands *of* a subcommand, not part of the top-level surface.
+SUBCOMMAND_RE = re.compile(r"(?<![\w.])sub\.add_parser\(\s*[\"']([a-z0-9-]+)")
+
+#: ``fabp-repro <cmd>`` mentions in prose or fenced shell examples.
+CLI_MENTION_RE = re.compile(r"fabp-repro\s+([a-z][a-z0-9-]*)")
+
+
+def cli_subcommands() -> Set[str]:
+    """Subcommand names registered in ``src/repro/cli.py`` (source-scraped)."""
+    cli = REPO / "src" / "repro" / "cli.py"
+    if not cli.exists():
+        return set()
+    return set(SUBCOMMAND_RE.findall(cli.read_text()))
+
+
+def documented_subcommands(paths: List[Path]) -> dict:
+    """``fabp-repro <word>`` mentions per name, including code fences
+    (that is where CLI walkthroughs live)."""
+    mentions: dict = {}
+    for path in paths:
+        for name in CLI_MENTION_RE.findall(path.read_text()):
+            mentions.setdefault(name, []).append(_display(path))
+    return mentions
+
+
+def check_cli_surface(errors: List[str]) -> None:
+    """Docs and the argparse surface must name the same subcommands."""
+    registered = cli_subcommands()
+    if not registered:
+        errors.append("src/repro/cli.py: no sub.add_parser registrations found")
+        return
+    pages = sorted(DOCS.glob("*.md"))
+    pages += [REPO / name for name in EXTRA_FILES if (REPO / name).exists()]
+    mentions = documented_subcommands(pages)
+    for name in sorted(registered - set(mentions)):
+        errors.append(
+            f"docs: subcommand 'fabp-repro {name}' exists but is never "
+            f"mentioned in docs/ or the repo-level markdown"
+        )
+    for name in sorted(set(mentions) - registered):
+        errors.append(
+            f"{mentions[name][0]}: 'fabp-repro {name}' is not a registered "
+            f"subcommand"
+        )
+
+
 def main() -> int:
     errors: List[str] = []
 
@@ -214,6 +268,7 @@ def main() -> int:
             check_links(path, errors)
 
     check_rule_anchors(errors)
+    check_cli_surface(errors)
 
     if errors:
         print(f"check_docs: {len(errors)} finding(s)")
